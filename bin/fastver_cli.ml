@@ -1,0 +1,244 @@
+(* Command-line driver for FastVer: load a database, run YCSB workloads,
+   inspect verification statistics, or demonstrate tamper detection. *)
+
+open Cmdliner
+
+let ( $$ ) f a = Term.(const f $ a)
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let db_size =
+  Arg.(value & opt int 100_000 & info [ "n"; "db-size" ] ~docv:"N"
+         ~doc:"Number of records loaded initially.")
+
+let ops =
+  Arg.(value & opt int 200_000 & info [ "ops" ] ~docv:"OPS"
+         ~doc:"Operations to run.")
+
+let workers =
+  Arg.(value & opt int 4 & info [ "w"; "workers" ] ~docv:"W"
+         ~doc:"Worker (and verifier) threads.")
+
+let batch =
+  Arg.(value & opt int 32_768 & info [ "batch" ] ~docv:"B"
+         ~doc:"Operations between verification scans (0 = only at the end).")
+
+let depth =
+  Arg.(value & opt int 6 & info [ "d"; "depth" ] ~docv:"D"
+         ~doc:"Merkle frontier depth kept under deferred verification.")
+
+let cache =
+  Arg.(value & opt int 512 & info [ "cache" ] ~docv:"ENTRIES"
+         ~doc:"Verifier cache entries per thread.")
+
+let workload =
+  let wl = Arg.enum [ ("a", `A); ("b", `B); ("c", `C); ("e", `E) ] in
+  Arg.(value & opt wl `A & info [ "workload" ] ~docv:"A|B|C|E"
+         ~doc:"YCSB workload mix.")
+
+let theta =
+  Arg.(value & opt float 0.9 & info [ "theta" ] ~docv:"T"
+         ~doc:"Zipfian skew (0 = uniform).")
+
+let algo =
+  let alg =
+    Arg.enum
+      [ ("blake2s", Record_enc.Blake2s); ("blake2b", Record_enc.Blake2b);
+        ("sha256", Record_enc.Sha256) ]
+  in
+  Arg.(value & opt alg Record_enc.Blake2s & info [ "hash" ]
+         ~docv:"ALGO" ~doc:"Merkle hash function.")
+
+let enclave_model =
+  let model =
+    Arg.enum
+      [ ("zero", Cost_model.zero); ("sim", Cost_model.simulated);
+        ("sgx", Cost_model.sgx) ]
+  in
+  Arg.(value & opt model Cost_model.simulated & info [ "enclave" ]
+         ~docv:"zero|sim|sgx" ~doc:"Enclave cost model.")
+
+let no_auth =
+  Arg.(value & flag & info [ "no-auth" ]
+         ~doc:"Skip client MACs and result signatures (benchmark mode).")
+
+let parallel =
+  Arg.(value & flag & info [ "parallel" ]
+         ~doc:"Drive the workload through OCaml domains (one per worker) \
+               instead of the sequential driver.")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let mk_config workers batch depth cache algo enclave_model no_auth seed =
+  {
+    Fastver.Config.default with
+    n_workers = workers;
+    batch_size = batch;
+    frontier_levels = depth;
+    cache_capacity = cache;
+    algo;
+    cost_model = enclave_model;
+    authenticate_clients = not no_auth;
+    seed;
+  }
+
+let spec_of workload theta =
+  let open Fastver_workload.Ycsb in
+  let base =
+    match workload with
+    | `A -> workload_a
+    | `B -> workload_b
+    | `C -> workload_c
+    | `E -> workload_e
+  in
+  with_dist base (Zipfian theta)
+
+let load_system config db_size =
+  let t = Fastver.create ~config () in
+  Logs.app (fun m -> m "loading %d records…" db_size);
+  let t0 = Unix.gettimeofday () in
+  Fastver.load t
+    (Array.init db_size (fun i ->
+         (Int64.of_int i, Fastver_workload.Ycsb.initial_value (Int64.of_int i))));
+  Logs.app (fun m -> m "loaded in %.2fs" (Unix.gettimeofday () -. t0));
+  t
+
+let report t ops wall =
+  let s = Fastver.stats t in
+  let eff = wall +. (Int64.to_float (Fastver.enclave_overhead_ns t) /. 1e9) in
+  let v = Fastver_verifier.Verifier.stats (Fastver.verifier_handle t) in
+  Logs.app (fun m ->
+      m "@[<v>ops            : %d in %.2fs wall (%.2fs effective)@,\
+         throughput     : %.0f ops/s@,\
+         fast path      : %d ops (%.1f%%), merkle path: %d ops@,\
+         verifications  : %d scans, mean latency %.3fs, max pending batch %d@,\
+         verifier ops   : addm=%d evictm=%d addb=%d evictb=%d evictbm=%d@,\
+         migrations     : %d data, %d frontier records@,\
+         enclave        : %d transitions, %.3fs charged@]"
+        ops wall eff
+        (float_of_int ops /. eff)
+        s.blum_fast_path
+        (100.0 *. float_of_int s.blum_fast_path /. float_of_int (max 1 s.ops))
+        s.merkle_path s.verifies
+        (s.verify_time_s /. float_of_int (max 1 s.verifies))
+        (Fastver.config t).batch_size v.n_add_m v.n_evict_m v.n_add_b
+        v.n_evict_b v.n_evict_bm s.migrated_data s.migrated_frontier
+        (Enclave.transitions
+           (Fastver_verifier.Verifier.enclave (Fastver.verifier_handle t)))
+        (Int64.to_float (Fastver.enclave_overhead_ns t) /. 1e9))
+
+(* ------------------------------------------------------------------ *)
+(* run: drive a workload                                               *)
+(* ------------------------------------------------------------------ *)
+
+let die fmt = Fmt.kstr (fun s -> Logs.err (fun m -> m "%s" s); exit 2) fmt
+
+let run_cmd db_size ops workers batch depth cache workload theta algo
+    enclave_model no_auth parallel seed =
+  if db_size < 1 then die "--db-size must be at least 1";
+  if ops < 0 then die "--ops must be non-negative";
+  if workers < 1 then die "--workers must be at least 1";
+  if theta < 0.0 || theta >= 1.0 then die "--theta must be in [0, 1)";
+  let config = mk_config workers batch depth cache algo enclave_model no_auth seed in
+  Logs.app (fun m -> m "config: %a" Fastver.Config.pp config);
+  let t = load_system config db_size in
+  let gen = Fastver_workload.Ycsb.create ~seed ~db_size (spec_of workload theta) in
+  let t0 = Unix.gettimeofday () in
+  if parallel then
+    Fastver.Parallel.run_ycsb t ~spec:(spec_of workload theta) ~db_size
+      ~ops_per_worker:(ops / workers)
+  else Fastver.run_ops t gen ops;
+  let epoch = Fastver.current_epoch t in
+  let cert = Fastver.verify t in
+  let wall = Unix.gettimeofday () -. t0 in
+  report t ops wall;
+  Logs.app (fun m ->
+      m "epoch %d certificate: %s… (checks: %b)" epoch
+        (Fastver_crypto.Bytes_util.to_hex (String.sub cert 0 8))
+        (Fastver.check_epoch_certificate t ~epoch cert))
+
+(* ------------------------------------------------------------------ *)
+(* attack: tamper with the host and watch detection                    *)
+(* ------------------------------------------------------------------ *)
+
+let attack_cmd db_size workers depth =
+  if db_size < 8 then die "--db-size must be at least 8";
+  let config =
+    mk_config workers 0 depth 512 Record_enc.Blake2s Cost_model.zero false 42
+  in
+  let t = load_system config db_size in
+  ignore (Fastver.get t 7L);
+  ignore (Fastver.verify t);
+  Logs.app (fun m -> m "tampering with record 7 in the untrusted store…");
+  Fastver.Testing.corrupt_store t 7L (Some "EVIL!!");
+  (try
+     let v = Fastver.get t 7L in
+     Logs.app (fun m ->
+         m "forged read returned %a — provisional only; verifying…"
+           Fmt.(option ~none:(any "null") string) v);
+     ignore (Fastver.verify t);
+     Logs.err (fun m -> m "BUG: tampering not detected")
+   with Fastver.Integrity_violation reason ->
+     Logs.app (fun m -> m "DETECTED: %s" reason))
+
+(* ------------------------------------------------------------------ *)
+(* scale: modelled multi-worker scalability                            *)
+(* ------------------------------------------------------------------ *)
+
+let scale_cmd db_size ops depth =
+  Logs.app (fun m -> m "workers  modelled-throughput  verify-latency");
+  List.iter
+    (fun w ->
+      let config =
+        {
+          (mk_config w 65536 depth 512 Record_enc.Blake2s Cost_model.zero true 42)
+          with log_buffer_size = 4096;
+        }
+      in
+      let r =
+        Fastver_simthreads.Simthreads.run_hybrid ~config ~db_size ~ops
+          ~spec:Fastver_workload.Ycsb.workload_a ()
+      in
+      Logs.app (fun m ->
+          m "%7d  %12.0f ops/s  %11.3fs" w r.throughput r.verify_latency_s))
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+
+let setup_logs =
+  (fun () ->
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Warning))
+  $$ Term.const ()
+
+let run_term =
+  Term.(
+    const (fun () -> run_cmd)
+    $ setup_logs $ db_size $ ops $ workers $ batch $ depth $ cache $ workload
+    $ theta $ algo $ enclave_model $ no_auth $ parallel $ seed)
+
+let attack_term =
+  Term.(const (fun () -> attack_cmd) $ setup_logs $ db_size $ workers $ depth)
+
+let scale_term =
+  Term.(const (fun () -> scale_cmd) $ setup_logs $ db_size $ ops $ depth)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Run a YCSB workload over a verified store")
+      run_term;
+    Cmd.v (Cmd.info "attack" ~doc:"Demonstrate tamper detection") attack_term;
+    Cmd.v (Cmd.info "scale" ~doc:"Modelled multi-worker scalability")
+      scale_term;
+  ]
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "fastver" ~version:"1.0.0"
+             ~doc:"FastVer: a key-value store with verified data integrity")
+          cmds))

@@ -1,0 +1,26 @@
+(** Deferred-memory-verification-only store ("DV") — §5 / Concerto.
+
+    Every record is always blum-protected: operations are O(1) (an add/evict
+    pair folded into the epoch's multiset hashes) but {!verify} must migrate
+    the {e entire} database to the next epoch, so verification latency grows
+    linearly with database size — the limitation the hybrid scheme removes. *)
+
+type t
+
+val create : ?algo:Record_enc.algo -> (int64 * string) array -> t
+(** Trusted initial load (Blum's initial write pass). *)
+
+val get : t -> int64 -> string option
+val put : t -> int64 -> string -> unit
+
+val verify : t -> unit
+(** Complete the epoch: migrate all records, aggregate, compare.
+    @raise Failed on any verification failure. *)
+
+exception Failed of string
+
+val verifier : t -> Fastver_verifier.Verifier.t
+val verifier_time_s : t -> float
+val last_verify_latency_s : t -> float
+val ops : t -> int
+val size : t -> int

@@ -1,0 +1,30 @@
+open Fastver_kvstore
+
+type t = { store : string Store.t; mutable ops : int }
+
+let create records =
+  let store = Store.create ~codec:Store.string_codec () in
+  Array.iter
+    (fun (k, v) -> Store.put store (Key.of_int64 k) v ~aux:0L)
+    records;
+  { store; ops = 0 }
+
+let get t k =
+  t.ops <- t.ops + 1;
+  Option.map fst (Store.get t.store (Key.of_int64 k))
+
+let put t k v =
+  t.ops <- t.ops + 1;
+  Store.put t.store (Key.of_int64 k) v ~aux:0L
+
+let scan t k len =
+  let found = ref 0 in
+  for i = 0 to len - 1 do
+    t.ops <- t.ops + 1;
+    match Store.get t.store (Key.of_int64 (Int64.add k (Int64.of_int i))) with
+    | Some _ -> incr found
+    | None -> ()
+  done;
+  !found
+
+let ops t = t.ops

@@ -1,0 +1,12 @@
+(** The unverified baseline: the raw host key-value store with no integrity
+    layer — the "FASTER" bars of Fig. 13c/13d. *)
+
+type t
+
+val create : (int64 * string) array -> t
+val get : t -> int64 -> string option
+val put : t -> int64 -> string -> unit
+val scan : t -> int64 -> int -> int
+(** Returns the number of keys found. *)
+
+val ops : t -> int

@@ -1,0 +1,32 @@
+(** Merkle-tree-only verified store — the baselines of §4 and §8.5.
+
+    Every operation is validated through root-anchored Merkle chains on a
+    single verifier thread; there is no deferred tier, so validation is
+    immediate (P3 holds) but every first touch pays a chain of hash checks
+    and all chains meet at the root (P2/P4 fail). Variants:
+
+    - [`Plain]: no verifier caching — the whole record-to-root path is added
+      and evicted around every operation (classic Merkle, "M");
+    - [`Cached n]: an [n]-record verifier cache with LRU eviction and lazy
+      hash propagation (§4.3, "M1K"/"M32K");
+    - [`Propagate_to_root n]: like [`Cached n] but every update propagates
+      hash changes all the way to the root, modelling VeritasDB's caching
+      ("MV" in Fig. 14b). *)
+
+type variant = [ `Plain | `Cached of int | `Propagate_to_root of int ]
+
+type t
+
+val create :
+  ?algo:Record_enc.algo -> variant -> (int64 * string) array -> t
+(** Build the store over an initial database (trusted load). *)
+
+val get : t -> int64 -> string option
+val put : t -> int64 -> string -> unit
+
+val verifier : t -> Fastver_verifier.Verifier.t
+
+val verifier_time_s : t -> float
+(** Wall time spent inside verifier calls (hashing and checks). *)
+
+val ops : t -> int

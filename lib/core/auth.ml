@@ -1,0 +1,28 @@
+open Fastver_crypto
+
+type key = Cmac.key
+
+let key_of_secret secret =
+  (* CMAC wants a 16-byte AES key; fold arbitrary secrets through SHA-256. *)
+  Cmac.of_aes_key (String.sub (Sha256.digest ("fastver-mac:" ^ secret)) 0 16)
+
+let u64 v = Bytes_util.string_of_u64_le v
+
+let put_request key ~client ~nonce k v =
+  Cmac.mac key
+    (String.concat ""
+       [ "fv-put"; u64 (Int64.of_int client); u64 nonce; Key.encode k; v ])
+
+type kind = Get | Put
+
+let receipt key ~kind ~client ~nonce k value ~epoch =
+  let kind_tag = match kind with Get -> "g" | Put -> "p" in
+  let value_enc = match value with None -> "\x00" | Some v -> "\x01" ^ v in
+  Cmac.mac key
+    (String.concat ""
+       [
+         "fv-res"; kind_tag; u64 (Int64.of_int client); u64 nonce;
+         Key.encode k; value_enc; u64 (Int64.of_int epoch);
+       ])
+
+let check ~expected tag = Bytes_util.equal_constant_time expected tag

@@ -1,0 +1,26 @@
+(** Canonical message encodings MAC'd between clients and the verifier.
+
+    Clients and the verifier share a secret (§2.2); requests and validated
+    results are authenticated with AES-CMAC over the encodings below (the
+    paper's footnote 2: MACs over a secure channel replace signatures).
+    This module is part of the trusted computing base on both ends. *)
+
+type key
+
+val key_of_secret : string -> key
+(** Derive a MAC key from the shared secret (any length). *)
+
+val put_request : key -> client:int -> nonce:int64 -> Key.t -> string -> string
+(** Tag authorising [put(k, v, nonce)] from [client]. *)
+
+type kind = Get | Put
+
+val receipt :
+  key -> kind:kind -> client:int -> nonce:int64 -> Key.t -> string option ->
+  epoch:int -> string
+(** The verifier's provisional validation of a result: covers the operation,
+    its nonce (anti-replay for stale results) and the epoch whose
+    verification will make it final. *)
+
+val check : expected:string -> string -> bool
+(** Constant-time tag comparison. *)

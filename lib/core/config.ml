@@ -1,0 +1,37 @@
+type t = {
+  n_workers : int;
+  cache_capacity : int;
+  frontier_levels : int;
+  batch_size : int;
+  log_buffer_size : int;
+  algo : Record_enc.algo;
+  cost_model : Cost_model.t;
+  authenticate_clients : bool;
+  sorted_migration : bool;
+  mac_secret : string;
+  mset_secret : string;
+  seed : int;
+}
+
+let default =
+  {
+    n_workers = 1;
+    cache_capacity = 512;
+    frontier_levels = 6;
+    batch_size = 65536;
+    log_buffer_size = 4096;
+    algo = Record_enc.Blake2s;
+    cost_model = Cost_model.simulated;
+    authenticate_clients = true;
+    sorted_migration = true;
+    mac_secret = "fastver-shared-client-secret";
+    mset_secret = "fastver-mset-k3y";
+    seed = 42;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "workers=%d cache=%d d=%d batch=%d log=%d algo=%a enclave=%a auth=%b sorted=%b"
+    t.n_workers t.cache_capacity t.frontier_levels t.batch_size
+    t.log_buffer_size Record_enc.pp_algo t.algo Cost_model.pp t.cost_model
+    t.authenticate_clients t.sorted_migration

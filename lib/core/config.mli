@@ -1,0 +1,36 @@
+(** FastVer system configuration.
+
+    The two latency/throughput knobs of §8.1 are [batch_size] (operations
+    between verification scans) and [frontier_levels] (the depth-[d] cut of
+    merkle records kept under deferred protection). *)
+
+type t = {
+  n_workers : int;
+      (** Worker threads; each pairs with one verifier thread (§5.3). *)
+  cache_capacity : int;  (** Verifier cache entries per thread. *)
+  frontier_levels : int;
+      (** Patricia levels below the root whose nodes stay blum-protected;
+          roughly [2^d] records migrate on every verification. *)
+  batch_size : int;
+      (** Operations processed between automatic verification scans; [0]
+          disables automatic verification. *)
+  log_buffer_size : int;
+      (** Verifier-log entries buffered per worker before entering the
+          enclave (§7, amortising transition cost). *)
+  algo : Record_enc.algo;  (** Merkle hash function. *)
+  cost_model : Cost_model.t;  (** Enclave cost accounting. *)
+  authenticate_clients : bool;
+      (** Check client MACs on puts and MAC every validated result. *)
+  sorted_migration : bool;
+      (** Apply deferred records back to the Merkle tree in sorted key order
+          during verification scans (§6.3). Disabling this is the ablation of
+          the paper's sorted-Merkle-updates optimisation. *)
+  mac_secret : string;  (** Secret shared between clients and verifier. *)
+  mset_secret : string;  (** 16-byte multiset-hash PRF key. *)
+  seed : int;
+}
+
+val default : t
+(** 1 worker, 512-entry caches, d = 6, 64K batch, simulated enclave. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1321 @@
+open Fastver_verifier
+open Fastver_kvstore
+
+exception Integrity_violation of string
+
+module Config = Config
+module Auth = Auth
+
+(* ------------------------------------------------------------------ *)
+(* Protection state in the 64-bit aux field of data records (§7)       *)
+(* ------------------------------------------------------------------ *)
+
+let aux_merkle = 0L
+let aux_blum ts = Int64.logor Int64.min_int ts
+let aux_is_blum aux = Int64.compare aux 0L < 0
+let aux_timestamp aux = Int64.logand aux Int64.max_int
+
+(* Host-side protection state of merkle records. *)
+type mstate = M_merkle | M_blum of Timestamp.t | M_cached of int
+
+type maux = { mutable mstate : mstate; mutable owner : int }
+(** [owner >= 0] marks a frontier record and names its worker. *)
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type meta = { client : int; nonce : int64; mac : string }
+
+type entry =
+  | E_add_b of Key.t * Value.t * Timestamp.t
+  | E_evict_b of Key.t * Timestamp.t
+  | E_vget of Key.t * string option * meta option
+  | E_vput of Key.t * string option * meta option
+
+type worker = {
+  wid : int;
+  mutable clock : Timestamp.t; (* exact mirror of the verifier thread clock *)
+  lru : Key_lru.t; (* mirror of the merkle records in the verifier cache *)
+  via : [ `M | `B ] Key.Tbl.t;
+  parents : Key.t Key.Tbl.t; (* pointing parent of each cached-via-merkle key *)
+  mutable log : entry list; (* buffered verifier calls, newest first *)
+  mutable log_len : int;
+  mutable dirty : Key.t list; (* data keys handed to blum this epoch *)
+  mutable dirty_len : int;
+  mutable pending_receipt : (string * int) option; (* mac, epoch *)
+}
+
+type stats = {
+  mutable ops : int;
+  mutable gets : int;
+  mutable puts : int;
+  mutable scans : int;
+  mutable blum_fast_path : int;
+  mutable merkle_path : int;
+  mutable verifies : int;
+  mutable migrated_data : int;
+  mutable migrated_frontier : int;
+  mutable verify_time_s : float;
+  mutable last_verify_latency_s : float;
+  mutable verifier_time_s : float;
+  mutable cas_retries : int;
+  mutable worker_busy_s : float array;
+      (* per-worker attributed processing time, for scalability modelling *)
+  mutable serial_s : float;
+      (* inherently serial work: epoch close + hash aggregation *)
+}
+
+type t = {
+  config : Config.t;
+  enclave : Enclave.t;
+  verifier : Verifier.t;
+  store : string option Store.t; (* data records; None = null value *)
+  tree : maux Tree.t; (* merkle records *)
+  workers : worker array;
+  auth : Auth.key;
+  nonces : (int, int64) Hashtbl.t; (* gateway: last put nonce per client *)
+  sealed : Enclave.Sealed_slot.slot;
+  mutable frontier_by_worker : Key.t list array;
+  mutable rr : int;
+  mutable loaded : bool;
+  worker_locks : Mutex.t array;
+      (* lock order: tree_lock first, then worker locks in ascending id *)
+  tree_lock : Mutex.t;
+  gateway_lock : Mutex.t;
+  ops_since_verify : int Atomic.t;
+  mutable on_verified : (unit -> unit) option;
+      (* e.g. auto-checkpoint: runs after each successful scan *)
+  stats : stats;
+}
+
+let option_codec : string option Store.codec =
+  {
+    encode = (function None -> "\x00" | Some v -> "\x01" ^ v);
+    decode =
+      (fun s ->
+        if s = "\x00" then None else Some (String.sub s 1 (String.length s - 1)));
+  }
+
+let create ?(config = Config.default) () =
+  let enclave = Enclave.create config.cost_model in
+  let vconfig =
+    {
+      Verifier.n_threads = config.n_workers;
+      cache_capacity = config.cache_capacity;
+      algo = config.algo;
+      mac_secret = config.mac_secret;
+      mset_secret = config.mset_secret;
+    }
+  in
+  let worker wid =
+    {
+      wid;
+      clock = Timestamp.zero;
+      lru = Key_lru.create ();
+      via = Key.Tbl.create 64;
+      parents = Key.Tbl.create 64;
+      log = [];
+      log_len = 0;
+      dirty = [];
+      dirty_len = 0;
+      pending_receipt = None;
+    }
+  in
+  {
+    config;
+    enclave;
+    verifier = Verifier.create ~enclave vconfig;
+    store = Store.create ~codec:option_codec ();
+    tree = Tree.create ~root_aux:{ mstate = M_cached 0; owner = -1 };
+    workers = Array.init config.n_workers worker;
+    auth = Auth.key_of_secret config.mac_secret;
+    nonces = Hashtbl.create 8;
+    sealed = Enclave.Sealed_slot.create ();
+    frontier_by_worker = Array.make config.n_workers [];
+    rr = 0;
+    loaded = false;
+    worker_locks = Array.init config.n_workers (fun _ -> Mutex.create ());
+    tree_lock = Mutex.create ();
+    gateway_lock = Mutex.create ();
+    ops_since_verify = Atomic.make 0;
+    on_verified = None;
+    stats =
+      {
+        ops = 0;
+        gets = 0;
+        puts = 0;
+        scans = 0;
+        blum_fast_path = 0;
+        merkle_path = 0;
+        verifies = 0;
+        migrated_data = 0;
+        migrated_frontier = 0;
+        verify_time_s = 0.0;
+        last_verify_latency_s = 0.0;
+        verifier_time_s = 0.0;
+        cas_retries = 0;
+        worker_busy_s = Array.make config.n_workers 0.0;
+        serial_s = 0.0;
+      };
+  }
+
+let config t = t.config
+let stats t = t.stats
+let verifier_handle t = t.verifier
+let enclave_overhead_ns t = Enclave.charged_ns t.enclave
+let current_epoch t = Verifier.current_epoch t.verifier
+
+let ok = function Ok x -> x | Error e -> raise (Integrity_violation e)
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let now = Unix.gettimeofday
+
+let maux t k = (Tree.get_exn t.tree k).aux
+
+(* Mirror the verifier's Lamport-clock rules so workers can predict evict
+   timestamps without a verifier round trip (§5.3). *)
+let mirror_add_b w ts = w.clock <- Timestamp.max w.clock (Timestamp.next ts)
+
+(* ------------------------------------------------------------------ *)
+(* Gateway: client authentication inside the enclave                   *)
+(* ------------------------------------------------------------------ *)
+
+let last_put : (Key.t * string option * meta) option ref = ref None
+
+let gateway_check_put t key value meta =
+  (match meta with Some m -> last_put := Some (key, value, m) | None -> ());
+  match meta with
+  | Some m when t.config.authenticate_clients ->
+      with_lock t.gateway_lock (fun () ->
+          let last =
+            Option.value
+              (Hashtbl.find_opt t.nonces m.client)
+              ~default:Int64.min_int
+          in
+          if Int64.compare m.nonce last <= 0 then
+            raise (Integrity_violation "gateway: put nonce replayed");
+          let v = match value with Some v -> v | None -> "" in
+          let expected =
+            Auth.put_request t.auth ~client:m.client ~nonce:m.nonce key v
+          in
+          if not (Auth.check ~expected m.mac) then
+            raise (Integrity_violation "gateway: bad client signature on put");
+          Hashtbl.replace t.nonces m.client m.nonce)
+  | Some _ | None -> ()
+
+let gateway_receipt t w ~kind key value meta =
+  match meta with
+  | Some m when t.config.authenticate_clients ->
+      let epoch = Verifier.current_epoch t.verifier in
+      let mac =
+        Auth.receipt t.auth ~kind ~client:m.client ~nonce:m.nonce key value
+          ~epoch
+      in
+      w.pending_receipt <- Some (mac, epoch)
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Verification log                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let apply_entry t w = function
+  | E_add_b (k, v, ts) ->
+      ok (Verifier.add_b t.verifier ~tid:w.wid ~key:k ~value:v ~timestamp:ts)
+  | E_evict_b (k, ts) ->
+      ok (Verifier.evict_b t.verifier ~tid:w.wid ~key:k ~timestamp:ts)
+  | E_vget (k, v, meta) ->
+      ok (Verifier.vget t.verifier ~tid:w.wid ~key:k v);
+      gateway_receipt t w ~kind:Auth.Get k v meta
+  | E_vput (k, v, meta) ->
+      gateway_check_put t k v meta;
+      ok (Verifier.vput t.verifier ~tid:w.wid ~key:k v);
+      gateway_receipt t w ~kind:Auth.Put k v meta
+
+let flush_worker t w =
+  if w.log_len > 0 then begin
+    let entries = List.rev w.log in
+    w.log <- [];
+    w.log_len <- 0;
+    let t0 = now () in
+    Enclave.call t.enclave (fun () -> List.iter (apply_entry t w) entries);
+    t.stats.verifier_time_s <- t.stats.verifier_time_s +. (now () -. t0)
+  end
+
+let push t w e =
+  w.log <- e :: w.log;
+  w.log_len <- w.log_len + 1;
+  if w.log_len >= t.config.log_buffer_size then flush_worker t w
+
+(* Drain all buffers; takes each worker's lock (callers already inside a
+   worker lock use [flush_worker] directly). *)
+let flush t =
+  Array.iteri
+    (fun i w -> with_lock t.worker_locks.(i) (fun () -> flush_worker t w))
+    t.workers
+
+(* ------------------------------------------------------------------ *)
+(* Mirror cache management (direct, in-enclave sections)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Update the host copy of [parent]'s slot with a pointer computed and
+   returned by the verifier (the eviction hand-back of §4.3). *)
+let apply_ptr t parent (ptr : Value.ptr) =
+  let pe = Tree.get_exn t.tree parent in
+  match pe.value with
+  | Value.Node n ->
+      let d = Key.dir ptr.key ~ancestor:parent in
+      pe.value <- Value.Node (Value.set_slot n d (Some ptr))
+  | Value.Data _ -> assert false
+
+let mark_in_blum t parent key =
+  let pe = Tree.get_exn t.tree parent in
+  match pe.value with
+  | Value.Node n -> (
+      let d = Key.dir key ~ancestor:parent in
+      match Value.slot n d with
+      | Some p when Key.equal p.key key ->
+          pe.value <- Value.Node (Value.set_slot n d (Some { p with in_blum = true }))
+      | Some _ | None -> assert false)
+  | Value.Data _ -> assert false
+
+let decr_parent_children w parent =
+  match Key_lru.find w.lru parent with
+  | Some pe -> Key_lru.decr_children pe
+  | None -> assert (Key.equal parent Key.root)
+
+(* Evict one merkle record from the verifier cache (and its mirror). *)
+let evict_mirror t w e ~epoch_floor =
+  let k = Key_lru.key e in
+  assert (Key_lru.children e = 0);
+  (match Key.Tbl.find w.via k with
+  | `M ->
+      let parent = Key.Tbl.find w.parents k in
+      let ptr = ok (Verifier.evict_m t.verifier ~tid:w.wid ~key:k ~parent) in
+      apply_ptr t parent ptr;
+      decr_parent_children w parent;
+      (maux t k).mstate <- M_merkle
+  | `B ->
+      let ts' = Timestamp.max w.clock (Timestamp.first_of_epoch epoch_floor) in
+      ok (Verifier.evict_b t.verifier ~tid:w.wid ~key:k ~timestamp:ts');
+      w.clock <- ts';
+      (maux t k).mstate <- M_blum ts');
+  Key_lru.remove w.lru e;
+  Key.Tbl.remove w.via k;
+  Key.Tbl.remove w.parents k
+
+let ensure_room t w ?protect () =
+  (* Keep two slots of headroom: one for the record being added, one for the
+     transient data record of the operation in flight. *)
+  while Key_lru.length w.lru >= t.config.cache_capacity - 2 do
+    match Key_lru.victim ?exclude:protect w.lru with
+    | Some e ->
+        evict_mirror t w e
+          ~epoch_floor:(Verifier.current_epoch t.verifier)
+    | None ->
+        raise
+          (Integrity_violation
+             "verifier cache too small for the active merkle chain")
+  done
+
+(* Make every merkle record on [path] (root-first, ending at the pointing
+   parent) resident in [w]'s verifier cache; returns the pointing parent. *)
+let ensure_chain t w path =
+  let arr = Array.of_list path in
+  let n = Array.length arr in
+  (* The deepest node already cached or blum-protected anchors the chain:
+     everything below it is plain merkle-protected. *)
+  let rec find_anchor i =
+    if i < 0 then -1
+    else
+      let k = arr.(i) in
+      if Key.equal k Key.root then if w.wid = 0 then i else -1
+      else if Key_lru.mem w.lru k then i
+      else
+        match (maux t k).mstate with
+        | M_blum _ -> i
+        | M_merkle -> find_anchor (i - 1)
+        | M_cached wid ->
+            raise
+              (Integrity_violation
+                 (Fmt.str "routing: %a cached in worker %d, not %d" Key.pp k
+                    wid w.wid))
+  in
+  let anchor = find_anchor (n - 1) in
+  if anchor < 0 then
+    raise (Integrity_violation "routing: chain has no anchor for this worker");
+  for j = anchor to n - 1 do
+    let k = arr.(j) in
+    if Key.equal k Key.root then () (* pinned in thread 0 *)
+    else
+      match Key_lru.find w.lru k with
+      | Some e -> Key_lru.touch w.lru e
+      | None -> (
+          let entry = Tree.get_exn t.tree k in
+          match entry.aux.mstate with
+          | M_blum ts ->
+              ensure_room t w ();
+              ok
+                (Verifier.add_b t.verifier ~tid:w.wid ~key:k ~value:entry.value
+                   ~timestamp:ts);
+              mirror_add_b w ts;
+              ignore (Key_lru.add w.lru k);
+              Key.Tbl.replace w.via k `B;
+              entry.aux.mstate <- M_cached w.wid
+          | M_merkle ->
+              let parent = arr.(j - 1) in
+              ensure_room t w ~protect:parent ();
+              let installed =
+                ok
+                  (Verifier.add_m t.verifier ~tid:w.wid ~key:k
+                     ~value:entry.value ~parent)
+              in
+              assert (installed = None);
+              ignore (Key_lru.add w.lru k);
+              Key.Tbl.replace w.via k `M;
+              Key.Tbl.replace w.parents k parent;
+              (match Key_lru.find w.lru parent with
+              | Some pe -> Key_lru.incr_children pe
+              | None -> assert (Key.equal parent Key.root));
+              entry.aux.mstate <- M_cached w.wid
+          | M_cached _ -> assert false)
+  done;
+  arr.(n - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Operation processing                                                *)
+(* ------------------------------------------------------------------ *)
+
+type action = A_get of meta option | A_put of string option * meta option
+
+exception Raced
+(* The record changed protection tier between the optimistic read and the
+   lock acquisition (a verification scan migrated it, §5.3's CAS races);
+   the operation is retried from routing. *)
+
+(* Fast path: the record rides the deferred tier — one CAS plus three O(1)
+   log entries, no Merkle hashing (§5.3). *)
+let rec blum_fast t w key cur ts action =
+  let clock' = Timestamp.max w.clock (Timestamp.next ts) in
+  let ts' = clock' in
+  let new_v = match action with A_get _ -> cur | A_put (v, _) -> v in
+  if
+    Store.try_cas t.store key ~expected_aux:(aux_blum ts) new_v
+      ~aux:(aux_blum ts')
+  then begin
+    w.clock <- ts';
+    push t w (E_add_b (key, Value.Data cur, ts));
+    (match action with
+    | A_get meta -> push t w (E_vget (key, cur, meta))
+    | A_put (v, meta) -> push t w (E_vput (key, v, meta)));
+    push t w (E_evict_b (key, ts'));
+    cur
+  end
+  else begin
+    (* Another worker won the CAS; retry against the fresh state. *)
+    t.stats.cas_retries <- t.stats.cas_retries + 1;
+    match Store.get t.store key with
+    | Some (cur', aux) when aux_is_blum aux ->
+        blum_fast t w key cur' (aux_timestamp aux) action
+    | Some _ | None -> raise Raced
+  end
+
+(* Validate the client-visible operation against the cached record. *)
+let client_validate t w key cur action =
+  match action with
+  | A_get meta ->
+      ok (Verifier.vget t.verifier ~tid:w.wid ~key cur);
+      gateway_receipt t w ~kind:Auth.Get key cur meta;
+      cur
+  | A_put (v, meta) ->
+      gateway_check_put t key v meta;
+      ok (Verifier.vput t.verifier ~tid:w.wid ~key v);
+      gateway_receipt t w ~kind:Auth.Put key v meta;
+      v
+
+(* Hand the (cached, just-validated) data record to the deferred tier for the
+   rest of the epoch (§6.1: touched records are hot). *)
+let defer_data t w key parent new_v =
+  let ts' = w.clock in
+  ok (Verifier.evict_bm t.verifier ~tid:w.wid ~key ~timestamp:ts' ~parent);
+  w.clock <- ts';
+  mark_in_blum t parent key;
+  Store.put t.store key new_v ~aux:(aux_blum ts');
+  w.dirty <- key :: w.dirty;
+  w.dirty_len <- w.dirty_len + 1
+
+let owner_of_path t path =
+  let rec find = function
+    | [] -> 0
+    | k :: rest ->
+        let a = maux t k in
+        if a.owner >= 0 then a.owner else find rest
+  in
+  find path
+
+(* Slow path: the record is merkle-protected (first touch this epoch), or
+   absent. Pays the chain from the nearest blum anchor (§6). Takes the tree
+   lock, then the owning worker's lock; if the record turned blum-protected
+   while we raced for the locks (another domain's first touch), returns
+   [None] and the caller retries on the fast path. *)
+let merkle_slow t key action =
+  with_lock t.tree_lock @@ fun () ->
+  let descent = Tree.descend t.tree key in
+  let w = t.workers.(owner_of_path t descent.path) in
+  with_lock t.worker_locks.(w.wid) @@ fun () ->
+  match Store.get t.store key with
+  | Some (_, aux) when aux_is_blum aux -> None
+  | store_state ->
+  t.stats.merkle_path <- t.stats.merkle_path + 1;
+  flush_worker t w;
+  let t0 = now () in
+  let result =
+    Enclave.call t.enclave (fun () ->
+        match (descent.outcome, action) with
+        | Tree.Exists, _ ->
+            let cur, aux =
+              match store_state with Some s -> s | None -> assert false
+            in
+            assert (Int64.equal aux aux_merkle);
+            let parent = ensure_chain t w descent.path in
+            let installed =
+              ok
+                (Verifier.add_m t.verifier ~tid:w.wid ~key
+                   ~value:(Value.Data cur) ~parent)
+            in
+            assert (installed = None);
+            let new_v = client_validate t w key cur action in
+            defer_data t w key parent new_v;
+            cur
+        | (Tree.Empty_slot | Tree.Split _), A_get meta ->
+            (* Non-existence proof from the pointing parent (Example 4.1). *)
+            let parent = ensure_chain t w descent.path in
+            ok (Verifier.vget_absent t.verifier ~tid:w.wid ~key ~parent);
+            gateway_receipt t w ~kind:Auth.Get key None meta;
+            None
+        | Tree.Empty_slot, (A_put (_, _) as action) ->
+            let parent = ensure_chain t w descent.path in
+            let installed =
+              ok
+                (Verifier.add_m t.verifier ~tid:w.wid ~key
+                   ~value:(Value.Data None) ~parent)
+            in
+            (match installed with
+            | Some ptr -> apply_ptr t parent ptr
+            | None -> assert false);
+            let new_v = client_validate t w key None action in
+            defer_data t w key parent new_v;
+            None
+        | Tree.Split pointee, (A_put (_, _) as action) ->
+            let parent = ensure_chain t w descent.path in
+            (* Fabricate the internal node splitting the edge to [pointee]. *)
+            let node_key = Key.lca key pointee in
+            let pn = Tree.get_exn t.tree parent in
+            let old_ptr =
+              match pn.value with
+              | Value.Node n -> (
+                  match Value.slot n (Key.dir key ~ancestor:parent) with
+                  | Some p -> p
+                  | None -> assert false)
+              | Value.Data _ -> assert false
+            in
+            assert (Key.equal old_ptr.key pointee);
+            let node_value =
+              Value.Node
+                (Value.set_slot { left = None; right = None }
+                   (Key.dir pointee ~ancestor:node_key)
+                   (Some old_ptr))
+            in
+            ensure_room t w ~protect:parent ();
+            let installed =
+              ok
+                (Verifier.add_m t.verifier ~tid:w.wid ~key:node_key
+                   ~value:node_value ~parent)
+            in
+            Tree.set t.tree node_key node_value
+              ~aux:{ mstate = M_cached w.wid; owner = -1 };
+            (match installed with
+            | Some ptr -> apply_ptr t parent ptr
+            | None -> assert false);
+            ignore (Key_lru.add w.lru node_key);
+            Key.Tbl.replace w.via node_key `M;
+            Key.Tbl.replace w.parents node_key parent;
+            (match Key_lru.find w.lru parent with
+            | Some pe -> Key_lru.incr_children pe
+            | None -> assert (Key.equal parent Key.root));
+            (* If the displaced pointee is a cached merkle record, its
+               pointing parent is now the new node. *)
+            (if (not (Key.is_data_key pointee)) && Key_lru.mem w.lru pointee then begin
+               Key.Tbl.replace w.parents pointee node_key;
+               decr_parent_children w parent;
+               match Key_lru.find w.lru node_key with
+               | Some ne -> Key_lru.incr_children ne
+               | None -> assert false
+             end);
+            (* Now a plain fresh insert under the new node. *)
+            let installed =
+              ok
+                (Verifier.add_m t.verifier ~tid:w.wid ~key
+                   ~value:(Value.Data None) ~parent:node_key)
+            in
+            (match installed with
+            | Some ptr -> apply_ptr t node_key ptr
+            | None -> assert false);
+            let new_v = client_validate t w key None action in
+            defer_data t w key node_key new_v;
+            None)
+  in
+  t.stats.verifier_time_s <- t.stats.verifier_time_s +. (now () -. t0);
+  Some (result, w)
+
+let rec process_inner t ?worker key action =
+  t.stats.ops <- t.stats.ops + 1;
+  match Store.get t.store key with
+  | Some (cur, aux) when aux_is_blum aux ->
+      t.stats.blum_fast_path <- t.stats.blum_fast_path + 1;
+      let w =
+        match worker with
+        | Some wid -> t.workers.(wid)
+        | None ->
+            let w = t.workers.(t.rr) in
+            t.rr <- (t.rr + 1) mod Array.length t.workers;
+            w
+      in
+      (match
+         with_lock t.worker_locks.(w.wid) (fun () ->
+             blum_fast t w key cur (aux_timestamp aux) action)
+       with
+      | value -> (value, w)
+      | exception Raced ->
+          t.stats.ops <- t.stats.ops - 1;
+          process_inner t ?worker key action)
+  | Some _ | None -> (
+      match merkle_slow t key action with
+      | Some result -> result
+      | None ->
+          (* lost a first-touch race; the record is deferred now *)
+          t.stats.ops <- t.stats.ops - 1;
+          process_inner t ?worker key action)
+
+let process t ?worker key action =
+  let t0 = now () in
+  let ((_, w) as result) = process_inner t ?worker key action in
+  t.stats.worker_busy_s.(w.wid) <-
+    t.stats.worker_busy_s.(w.wid) +. (now () -. t0);
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Verification scan (§6.3, §8.1)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let verifier_op_count t =
+  let s = Verifier.stats t.verifier in
+  s.n_add_m + s.n_evict_m + s.n_add_b + s.n_evict_b + s.n_evict_bm + s.n_vget
+  + s.n_vput
+
+(* The verification scan is stop-the-world: it owns the tree and every
+   worker (lock order: tree first, then workers ascending — the same order
+   merkle_slow uses, so scans and operations cannot deadlock). *)
+let verify_locked t =
+  Mutex.lock t.tree_lock;
+  Array.iter Mutex.lock t.worker_locks;
+  Fun.protect ~finally:(fun () ->
+      Array.iter Mutex.unlock t.worker_locks;
+      Mutex.unlock t.tree_lock)
+  @@ fun () ->
+  let t0 = now () in
+  let charged0 = Enclave.charged_ns t.enclave in
+  let vops0 = verifier_op_count t in
+  let epoch = Verifier.current_epoch t.verifier in
+  Array.iter (flush_worker t) t.workers;
+  let cert =
+    Enclave.call t.enclave (fun () ->
+        (* 1. Sorted merkle updates: re-apply every touched data record to
+           the tree in key order, exploiting chain-prefix locality. *)
+        Array.iter
+          (fun w ->
+            let tw = now () in
+            let dirty =
+              if t.config.sorted_migration then List.sort Key.compare w.dirty
+              else w.dirty
+            in
+            w.dirty <- [];
+            w.dirty_len <- 0;
+            List.iter
+              (fun key ->
+                match Store.get t.store key with
+                | Some (v, aux) when aux_is_blum aux ->
+                    let ts = aux_timestamp aux in
+                    let descent = Tree.descend t.tree key in
+                    assert (descent.outcome = Tree.Exists);
+                    let parent = ensure_chain t w descent.path in
+                    ensure_room t w ~protect:parent ();
+                    ok
+                      (Verifier.add_b t.verifier ~tid:w.wid ~key
+                         ~value:(Value.Data v) ~timestamp:ts);
+                    mirror_add_b w ts;
+                    let ptr =
+                      ok (Verifier.evict_m t.verifier ~tid:w.wid ~key ~parent)
+                    in
+                    apply_ptr t parent ptr;
+                    Store.put t.store key v ~aux:aux_merkle;
+                    t.stats.migrated_data <- t.stats.migrated_data + 1
+                | Some _ | None ->
+                    raise (Integrity_violation "dirty record not in blum state"))
+              dirty;
+            t.stats.worker_busy_s.(w.wid) <-
+              t.stats.worker_busy_s.(w.wid) +. (now () -. tw))
+          t.workers;
+        (* 2. Migrate frontier merkle records that were not touched (still in
+           the deferred tier) to the next epoch. *)
+        Array.iteri
+          (fun wid frontier ->
+            let w = t.workers.(wid) in
+            let tw = now () in
+            List.iter
+              (fun f ->
+                let entry = Tree.get_exn t.tree f in
+                match entry.aux.mstate with
+                | M_blum ts ->
+                    ensure_room t w ();
+                    ok
+                      (Verifier.add_b t.verifier ~tid:w.wid ~key:f
+                         ~value:entry.value ~timestamp:ts);
+                    mirror_add_b w ts;
+                    let ts' =
+                      Timestamp.max w.clock (Timestamp.first_of_epoch (epoch + 1))
+                    in
+                    ok
+                      (Verifier.evict_b t.verifier ~tid:w.wid ~key:f
+                         ~timestamp:ts');
+                    w.clock <- ts';
+                    entry.aux.mstate <- M_blum ts';
+                    t.stats.migrated_frontier <- t.stats.migrated_frontier + 1
+                | M_cached wid' ->
+                    (* Cached this epoch: the sweep below evicts it into the
+                       next epoch. *)
+                    assert (wid' = wid)
+                | M_merkle -> assert false)
+              frontier;
+            t.stats.worker_busy_s.(wid) <-
+              t.stats.worker_busy_s.(wid) +. (now () -. tw))
+          t.frontier_by_worker;
+        (* 3. Evict every remaining cached merkle record, children first. *)
+        Array.iter
+          (fun w ->
+            let tw = now () in
+            while Key_lru.length w.lru > 0 do
+              match Key_lru.victim w.lru with
+              | Some e -> evict_mirror t w e ~epoch_floor:(epoch + 1)
+              | None ->
+                  raise (Integrity_violation "cycle in cached merkle records")
+            done;
+            t.stats.worker_busy_s.(w.wid) <-
+              t.stats.worker_busy_s.(w.wid) +. (now () -. tw))
+          t.workers;
+        (* 4. Close the epoch on every thread and check the set hashes. *)
+        let ts = now () in
+        let finish_serial x =
+          t.stats.serial_s <- t.stats.serial_s +. (now () -. ts);
+          x
+        in
+        Array.iter
+          (fun w ->
+            ok (Verifier.close_epoch t.verifier ~tid:w.wid ~epoch);
+            w.clock <-
+              Timestamp.max w.clock (Timestamp.first_of_epoch (epoch + 1)))
+          t.workers;
+        finish_serial (ok (Verifier.verify_epoch t.verifier ~epoch)))
+  in
+  (* Account the enclave crossings this scan would have cost: its verifier
+     calls stream through log buffers in a real deployment. *)
+  let vops = verifier_op_count t - vops0 in
+  Enclave.charge_transitions t.enclave (vops / t.config.log_buffer_size);
+  let elapsed =
+    now () -. t0
+    +. Int64.to_float (Int64.sub (Enclave.charged_ns t.enclave) charged0)
+       /. 1e9
+  in
+  t.stats.verifies <- t.stats.verifies + 1;
+  t.stats.last_verify_latency_s <- elapsed;
+  t.stats.verify_time_s <- t.stats.verify_time_s +. elapsed;
+  t.stats.verifier_time_s <- t.stats.verifier_time_s +. (now () -. t0);
+  Atomic.set t.ops_since_verify 0;
+  cert
+
+let verify t =
+  let cert = verify_locked t in
+  (* post-verification hooks (auto-checkpoint) run outside the locks: they
+     re-enter the public API *)
+  (match t.on_verified with Some hook -> hook () | None -> ());
+  cert
+
+let maybe_verify t =
+  if
+    Atomic.fetch_and_add t.ops_since_verify 1 + 1 >= t.config.batch_size
+    && t.config.batch_size > 0
+  then ignore (verify t)
+
+(* ------------------------------------------------------------------ *)
+(* Public operations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_loaded t =
+  if not t.loaded then invalid_arg "Fastver: call load before operating"
+
+let data_key k =
+  if not (Key.is_data_key k) then invalid_arg "Fastver: not a data key";
+  k
+
+let get_key t k =
+  check_loaded t;
+  t.stats.gets <- t.stats.gets + 1;
+  let v, _ = process t (data_key k) (A_get None) in
+  maybe_verify t;
+  v
+
+let put_key t k v =
+  check_loaded t;
+  t.stats.puts <- t.stats.puts + 1;
+  ignore (process t (data_key k) (A_put (Some v, None)));
+  maybe_verify t
+
+let delete_key t k =
+  check_loaded t;
+  t.stats.puts <- t.stats.puts + 1;
+  ignore (process t (data_key k) (A_put (None, None)));
+  maybe_verify t
+
+let get t k = get_key t (Key.of_int64 k)
+
+let put t k v = put_key t (Key.of_int64 k) v
+let delete t k = delete_key t (Key.of_int64 k)
+
+let scan t k len =
+  check_loaded t;
+  t.stats.scans <- t.stats.scans + 1;
+  Array.init len (fun i ->
+      let ki = Int64.add k (Int64.of_int i) in
+      t.stats.gets <- t.stats.gets + 1;
+      let v, _ = process t (Key.of_int64 ki) (A_get None) in
+      maybe_verify t;
+      (ki, v))
+
+let check_epoch_certificate t ~epoch cert =
+  Fastver_crypto.Hmac.verify ~key:t.config.mac_secret
+    (Verifier.epoch_certificate_message ~epoch)
+    ~tag:cert
+
+(* ------------------------------------------------------------------ *)
+(* Trusted load                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let load t records =
+  if t.loaded then invalid_arg "Fastver.load: already loaded";
+  let data =
+    Array.map
+      (fun (k, v) -> (Key.of_int64 k, Value.Data (Some v)))
+      records
+  in
+  Tree.bulk_build t.tree ~algo:t.config.algo
+    ~aux:(fun _ _ -> { mstate = M_merkle; owner = -1 })
+    data;
+  (maux t Key.root).mstate <- M_cached 0;
+  Array.iter
+    (fun (k, v) -> Store.put t.store k (Some v) ~aux:aux_merkle)
+    (Array.map (fun (k, v) -> (Key.of_int64 k, v)) records);
+  ok (Verifier.install_root t.verifier (Tree.get_exn t.tree Key.root).value);
+  t.loaded <- true;
+  (* Push the depth-d frontier into the deferred tier (§6.2): done on worker
+     0, whose thread holds the root. *)
+  let frontier =
+    Tree.frontier t.tree ~levels:t.config.frontier_levels
+    |> List.filter (fun k -> not (Key.equal k Key.root))
+    |> List.sort Key.compare
+  in
+  let n_frontier = List.length frontier in
+  let w0 = t.workers.(0) in
+  Enclave.call t.enclave (fun () ->
+      List.iteri
+        (fun i f ->
+          let wid = i * t.config.n_workers / max 1 n_frontier in
+          let entry = Tree.get_exn t.tree f in
+          entry.aux.owner <- wid;
+          t.frontier_by_worker.(wid) <- f :: t.frontier_by_worker.(wid);
+          let descent = Tree.descend t.tree f in
+          assert (descent.outcome = Tree.Exists);
+          let parent = ensure_chain t w0 descent.path in
+          ensure_room t w0 ~protect:parent ();
+          let installed =
+            ok
+              (Verifier.add_m t.verifier ~tid:0 ~key:f ~value:entry.value
+                 ~parent)
+          in
+          assert (installed = None);
+          let ts' = w0.clock in
+          ok (Verifier.evict_bm t.verifier ~tid:0 ~key:f ~timestamp:ts' ~parent);
+          mark_in_blum t parent f;
+          entry.aux.mstate <- M_blum ts')
+        frontier;
+      (* Clear worker 0's chain nodes so all workers start symmetric. *)
+      while Key_lru.length w0.lru > 0 do
+        match Key_lru.victim w0.lru with
+        | Some e -> evict_mirror t w0 e ~epoch_floor:0
+        | None -> assert false
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Batch driver                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_ops t gen n =
+  let open Fastver_workload in
+  let i = ref 0 in
+  while !i < n do
+    (match Ycsb.next gen with
+    | Ycsb.Read k ->
+        ignore (get t k);
+        incr i
+    | Ycsb.Update (k, v) ->
+        put t k v;
+        incr i
+    | Ycsb.Scan (k, len) ->
+        ignore (scan t k len);
+        i := !i + len)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Session = struct
+  type session = {
+    sys : t;
+    client_id : int;
+    auth : Auth.key;
+    mutable nonce : int64;
+  }
+
+  let connect t ~client_id =
+    { sys = t; client_id; auth = Auth.key_of_secret t.config.mac_secret; nonce = 0L }
+
+  type 'v receipt = { value : 'v; nonce : int64; epoch : int; mac : string }
+
+  let take_receipt s w ~kind ~key ~value ~nonce =
+    with_lock s.sys.worker_locks.(w.wid) (fun () -> flush_worker s.sys w);
+    match w.pending_receipt with
+    | None -> raise (Integrity_violation "missing validation receipt")
+    | Some (mac, epoch) ->
+        w.pending_receipt <- None;
+        let expected =
+          Auth.receipt s.auth ~kind ~client:s.client_id ~nonce key value ~epoch
+        in
+        if not (Auth.check ~expected mac) then
+          raise (Integrity_violation "result MAC check failed");
+        (mac, epoch)
+
+  let get s k =
+    check_loaded s.sys;
+    s.nonce <- Int64.succ s.nonce;
+    let nonce = s.nonce in
+    let key = Key.of_int64 k in
+    s.sys.stats.gets <- s.sys.stats.gets + 1;
+    let meta = { client = s.client_id; nonce; mac = "" } in
+    let value, w = process s.sys key (A_get (Some meta)) in
+    let mac, epoch = take_receipt s w ~kind:Auth.Get ~key ~value ~nonce in
+    maybe_verify s.sys;
+    { value; nonce; epoch; mac }
+
+  let put s k v =
+    check_loaded s.sys;
+    s.nonce <- Int64.succ s.nonce;
+    let nonce = s.nonce in
+    let key = Key.of_int64 k in
+    s.sys.stats.puts <- s.sys.stats.puts + 1;
+    let mac = Auth.put_request s.auth ~client:s.client_id ~nonce key v in
+    let meta = { client = s.client_id; nonce; mac } in
+    let _, w = process s.sys key (A_put (Some v, Some meta)) in
+    let mac, epoch =
+      take_receipt s w ~kind:Auth.Put ~key ~value:(Some v) ~nonce
+    in
+    maybe_verify s.sys;
+    { value = (); nonce; epoch; mac }
+
+  let await_certainty s r =
+    while Verifier.verified_epoch s.sys.verifier < r.epoch do
+      let epoch = Verifier.current_epoch s.sys.verifier in
+      let cert = verify s.sys in
+      if not (check_epoch_certificate s.sys ~epoch cert) then
+        raise (Integrity_violation "bad epoch certificate")
+    done
+end
+
+(* ------------------------------------------------------------------ *)
+(* Durability (§7)                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let tree_file = "merkle.tree"
+let data_file = "data.ckpt"
+let sealed_file = "verifier.sealed"
+let tpm_file = "tpm.state"
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let mstate_encode buf st ~is_root =
+  match st with
+  | M_merkle -> Buffer.add_char buf 'm'
+  | M_blum ts ->
+      Buffer.add_char buf 'b';
+      Buffer.add_string buf (Timestamp.encode ts)
+  | M_cached _ when is_root -> Buffer.add_char buf 'm' (* re-pinned on recover *)
+  | M_cached _ -> invalid_arg "checkpoint: record still cached"
+
+let checkpoint t ~dir =
+  check_loaded t;
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  (* Stop the world: snapshotting the store and trie while other domains
+     mutate them would tear the images (and race Hashtbl internals). *)
+  Mutex.lock t.tree_lock;
+  Array.iter Mutex.lock t.worker_locks;
+  Fun.protect ~finally:(fun () ->
+      Array.iter Mutex.unlock t.worker_locks;
+      Mutex.unlock t.tree_lock)
+  @@ fun () ->
+  Array.iter (flush_worker t) t.workers;
+  let summary =
+    Enclave.call t.enclave (fun () ->
+        ok (Verifier.checkpoint_summary t.verifier))
+  in
+  (* The gateway's anti-replay nonce table is trusted state too: without it
+     a recovered system would accept replays of pre-crash puts. Seal it
+     alongside the verifier summary. *)
+  let nonce_blob =
+    let buf = Buffer.create 64 in
+    Hashtbl.iter
+      (fun client nonce ->
+        Buffer.add_string buf (Fastver_crypto.Bytes_util.string_of_u64_le (Int64.of_int client));
+        Buffer.add_string buf (Fastver_crypto.Bytes_util.string_of_u64_le nonce))
+      t.nonces;
+    Buffer.contents buf
+  in
+  let sealed_payload =
+    Fastver_crypto.Bytes_util.string_of_u64_le (Int64.of_int (String.length nonce_blob))
+    ^ nonce_blob ^ summary
+  in
+  Enclave.Sealed_slot.store t.sealed sealed_payload;
+  write_file (Filename.concat dir sealed_file)
+    (Enclave.Sealed_slot.external_blob t.sealed);
+  (* Simulated TPM NVRAM: hardware state that survives restarts. *)
+  write_file (Filename.concat dir tpm_file)
+    (Fastver_crypto.Bytes_util.to_hex (Enclave.Sealed_slot.hw_key t.sealed)
+    ^ "\n"
+    ^ Int64.to_string (Enclave.Sealed_slot.counter t.sealed));
+  Store.checkpoint t.store
+    ~path:(Filename.concat dir data_file)
+    ~version:(Verifier.verified_epoch t.verifier);
+  (* Merkle records: untrusted file; tampering surfaces as verification
+     failures after recovery. *)
+  let buf = Buffer.create 4096 in
+  Tree.iter t.tree (fun k entry ->
+      Buffer.add_string buf (Key.encode k);
+      let venc = Value.encode entry.value in
+      let b4 = Bytes.create 4 in
+      Bytes.set_int32_le b4 0 (Int32.of_int (String.length venc));
+      Buffer.add_bytes buf b4;
+      Buffer.add_string buf venc;
+      mstate_encode buf entry.aux.mstate ~is_root:(Key.equal k Key.root);
+      Bytes.set_int32_le b4 0 (Int32.of_int entry.aux.owner);
+      Buffer.add_bytes buf b4);
+  write_file (Filename.concat dir tree_file) (Buffer.contents buf)
+
+let recover ?(config = Config.default) ~dir () =
+  let ( let* ) = Result.bind in
+  let* tpm =
+    try Ok (read_file (Filename.concat dir tpm_file))
+    with Sys_error e -> Error e
+  in
+  let* hw_key, counter =
+    match String.split_on_char '\n' tpm with
+    | [ k; c ] -> (
+        try Ok (Fastver_crypto.Bytes_util.of_hex k, Int64.of_string c)
+        with _ -> Error "corrupt tpm state")
+    | _ -> Error "corrupt tpm state"
+  in
+  let sealed = Enclave.Sealed_slot.create_with ~hw_key ~counter in
+  let* blob =
+    try Ok (read_file (Filename.concat dir sealed_file))
+    with Sys_error e -> Error e
+  in
+  Enclave.Sealed_slot.inject_blob sealed blob;
+  let* sealed_payload = Enclave.Sealed_slot.load sealed in
+  let* nonces, summary =
+    if String.length sealed_payload < 8 then Error "sealed payload truncated"
+    else
+      let nonce_len = Int64.to_int (Fastver_crypto.Bytes_util.get_u64_le sealed_payload 0) in
+      if nonce_len < 0 || 8 + nonce_len > String.length sealed_payload then
+        Error "sealed payload corrupt"
+      else begin
+        let nonces = Hashtbl.create 8 in
+        let rec entries off =
+          if off >= 8 + nonce_len then ()
+          else begin
+            Hashtbl.replace nonces
+              (Int64.to_int (Fastver_crypto.Bytes_util.get_u64_le sealed_payload off))
+              (Fastver_crypto.Bytes_util.get_u64_le sealed_payload (off + 8));
+            entries (off + 16)
+          end
+        in
+        entries 8;
+        Ok
+          ( nonces,
+            String.sub sealed_payload (8 + nonce_len)
+              (String.length sealed_payload - 8 - nonce_len) )
+      end
+  in
+  let enclave = Enclave.create config.cost_model in
+  let vconfig =
+    {
+      Verifier.n_threads = config.n_workers;
+      cache_capacity = config.cache_capacity;
+      algo = config.algo;
+      mac_secret = config.mac_secret;
+      mset_secret = config.mset_secret;
+    }
+  in
+  let* verifier = Verifier.of_summary ~enclave vconfig summary in
+  let* store, _version =
+    Store.recover ~codec:option_codec ~path:(Filename.concat dir data_file) ()
+  in
+  let* tree_raw =
+    try Ok (read_file (Filename.concat dir tree_file))
+    with Sys_error e -> Error e
+  in
+  let tree = Tree.create ~root_aux:{ mstate = M_cached 0; owner = -1 } in
+  let* () =
+    let pos = ref 0 and n = String.length tree_raw in
+    try
+      while !pos < n do
+        let kenc = String.sub tree_raw !pos 34 in
+        let depth = String.get_uint16_le kenc 0 in
+        let key =
+          let p = Key.of_bytes32 (String.sub kenc 2 32) in
+          if depth = Key.max_depth then failwith "data key in tree file"
+          else Key.prefix p depth
+        in
+        pos := !pos + 34;
+        let vlen = Int32.to_int (String.get_int32_le tree_raw !pos) in
+        pos := !pos + 4;
+        let value =
+          match Value.decode (String.sub tree_raw !pos vlen) with
+          | Ok v -> v
+          | Error e -> failwith e
+        in
+        pos := !pos + vlen;
+        let mstate =
+          match tree_raw.[!pos] with
+          | 'm' ->
+              incr pos;
+              M_merkle
+          | 'b' ->
+              let ts = String.get_int64_le tree_raw (!pos + 1) in
+              pos := !pos + 9;
+              M_blum ts
+          | _ -> failwith "bad mstate tag"
+        in
+        let owner = Int32.to_int (String.get_int32_le tree_raw !pos) in
+        pos := !pos + 4;
+        if Key.equal key Key.root then begin
+          let e = Tree.get_exn tree Key.root in
+          e.value <- value;
+          e.aux <- { mstate = M_cached 0; owner }
+        end
+        else Tree.set tree key value ~aux:{ mstate; owner }
+      done;
+      Ok ()
+    with
+    | Invalid_argument _ -> Error "tree file truncated"
+    | Failure e -> Error e
+  in
+  let worker wid =
+    {
+      wid;
+      clock = Verifier.clock verifier ~tid:wid;
+      lru = Key_lru.create ();
+      via = Key.Tbl.create 64;
+      parents = Key.Tbl.create 64;
+      log = [];
+      log_len = 0;
+      dirty = [];
+      dirty_len = 0;
+      pending_receipt = None;
+    }
+  in
+  let t =
+    {
+      config;
+      enclave;
+      verifier;
+      store;
+      tree;
+      workers = Array.init config.n_workers worker;
+      auth = Auth.key_of_secret config.mac_secret;
+      nonces;
+      sealed;
+      frontier_by_worker = Array.make config.n_workers [];
+      rr = 0;
+      loaded = true;
+      worker_locks = Array.init config.n_workers (fun _ -> Mutex.create ());
+      tree_lock = Mutex.create ();
+      gateway_lock = Mutex.create ();
+      ops_since_verify = Atomic.make 0;
+      on_verified = None;
+      stats =
+        {
+          ops = 0;
+          gets = 0;
+          puts = 0;
+          scans = 0;
+          blum_fast_path = 0;
+          merkle_path = 0;
+          verifies = 0;
+          migrated_data = 0;
+          migrated_frontier = 0;
+          verify_time_s = 0.0;
+          last_verify_latency_s = 0.0;
+          verifier_time_s = 0.0;
+          cas_retries = 0;
+          worker_busy_s = Array.make config.n_workers 0.0;
+          serial_s = 0.0;
+        };
+    }
+  in
+  Tree.iter t.tree (fun k entry ->
+      if entry.aux.owner >= 0 && entry.aux.owner < config.n_workers then
+        t.frontier_by_worker.(entry.aux.owner) <-
+          k :: t.frontier_by_worker.(entry.aux.owner));
+  Ok t
+
+
+module String_keys = struct
+  let key s =
+    Key.of_bytes32 (Fastver_crypto.Sha256.digest ("fastver-skey:" ^ s))
+
+  let get t k = get_key t (key k)
+  let put t k v = put_key t (key k) v
+  let delete t k = delete_key t (key k)
+end
+
+let set_auto_checkpoint t ~dir =
+  t.on_verified <- Some (fun () -> checkpoint t ~dir)
+
+let clear_auto_checkpoint t = t.on_verified <- None
+
+(* ------------------------------------------------------------------ *)
+(* Parallel runtime (§5.3, §7 thread model)                            *)
+(* ------------------------------------------------------------------ *)
+
+module Parallel = struct
+  exception Worker_failed of int * exn
+
+  let () =
+    Printexc.register_printer (function
+      | Worker_failed (wid, e) ->
+          Some
+            (Printf.sprintf "Parallel.Worker_failed(worker %d, %s)" wid
+               (Printexc.to_string e))
+      | _ -> None)
+
+  let run_ycsb t ~spec ~db_size ~ops_per_worker =
+    check_loaded t;
+    let open Fastver_workload in
+    let n = Array.length t.workers in
+    let failures = Array.make n None in
+    let body wid () =
+      let gen =
+        Ycsb.create ~seed:(t.config.seed + (wid * 7919)) ~db_size spec
+      in
+      try
+        let i = ref 0 in
+        while !i < ops_per_worker do
+          (match Ycsb.next gen with
+          | Ycsb.Read k ->
+              ignore (process t ~worker:wid (Key.of_int64 k) (A_get None));
+              incr i
+          | Ycsb.Update (k, v) ->
+              ignore
+                (process t ~worker:wid (Key.of_int64 k)
+                   (A_put (Some v, None)));
+              incr i
+          | Ycsb.Scan (k, len) ->
+              for j = 0 to len - 1 do
+                ignore
+                  (process t ~worker:wid
+                     (Key.of_int64 (Int64.add k (Int64.of_int j)))
+                     (A_get None))
+              done;
+              i := !i + len);
+          maybe_verify t
+        done
+      with e -> failures.(wid) <- Some e
+    in
+    let domains = Array.init (n - 1) (fun i -> Domain.spawn (body (i + 1))) in
+    body 0 ();
+    Array.iter Domain.join domains;
+    Array.iteri
+      (fun wid failure ->
+        match failure with
+        | Some e -> raise (Worker_failed (wid, e))
+        | None -> ())
+      failures
+end
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection for adversarial tests                             *)
+(* ------------------------------------------------------------------ *)
+
+module Testing = struct
+  let corrupt_store t k value =
+    let key = Key.of_int64 k in
+    match Store.get t.store key with
+    | Some (_, aux) -> Store.put t.store key value ~aux
+    | None -> Store.put t.store key value ~aux:aux_merkle
+
+  let replay_last_put t =
+    match !last_put with
+    | None -> invalid_arg "Testing.replay_last_put: no put recorded"
+    | Some (key, value, m) ->
+        let _, w = process t key (A_put (value, Some m)) in
+        flush_worker t w
+
+  let corrupt_merkle_record t k =
+    let e = Tree.get_exn t.tree k in
+    match e.value with
+    | Value.Node { left = Some p; right } ->
+        e.value <-
+          Value.Node { left = Some { p with hash = String.make 32 'Z' }; right }
+    | Value.Node { left = None; right = Some p } ->
+        e.value <-
+          Value.Node { left = None; right = Some { p with hash = String.make 32 'Z' } }
+    | Value.Node { left = None; right = None } | Value.Data _ ->
+        invalid_arg "corrupt_merkle_record: nothing to corrupt"
+
+  let some_merkle_key t =
+    let found = ref None in
+    Tree.iter t.tree (fun k e ->
+        if !found = None && (not (Key.equal k Key.root)) then
+          match e.aux.mstate with M_merkle -> found := Some k | _ -> ());
+    !found
+end

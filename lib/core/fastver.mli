@@ -1,0 +1,225 @@
+(** FastVer: a verified key-value store (the paper's end-to-end system).
+
+    A {!t} couples the untrusted host machinery — a FASTER-style store for
+    data records, a Patricia sparse-Merkle-tree store for merkle records,
+    per-worker verification-log buffers — with the in-enclave verifier. Every
+    get/put is validated by the verifier using the hybrid scheme of §6:
+
+    - hot records ride the {e deferred} tier: O(1) [add_b]/[evict_b] calls
+      and a multiset-hash fold, no Merkle hashing;
+    - a record's first touch in an epoch pays the Merkle chain from its
+      nearest blum-protected ancestor (the depth-[d] frontier), after which
+      it is handed to the deferred tier ([evict_bm]);
+    - {!verify} runs the verification scan: touched records are re-applied
+      to the Merkle tree in sorted key order (§6.3), frontier merkle records
+      migrate to the next epoch, per-thread set hashes are aggregated and
+      compared, and an epoch certificate is issued.
+
+    Operations are {e provisionally} validated when processed; validation
+    becomes final when the surrounding epoch verifies. {!Integrity_violation}
+    is raised if any verifier check fails — with an honest host that means
+    the backing state was tampered with. *)
+
+exception Integrity_violation of string
+
+module Config : module type of Config
+(** Re-exported so that [Fastver.Config] is the single entry point. *)
+
+module Auth : module type of Auth
+(** Client/verifier MAC encodings (TCB on both ends). *)
+
+type t
+
+val create : ?config:Config.t -> unit -> t
+
+val config : t -> Config.t
+
+val load : t -> (int64 * string) array -> unit
+(** Trusted initial load: installs the database (distinct keys) and its
+    Merkle root before the system is handed to the untrusted host, then
+    pushes the frontier merkle records into the deferred tier. Must be
+    called once, before any operation. *)
+
+(** {2 Operations} *)
+
+val get : t -> int64 -> string option
+val put : t -> int64 -> string -> unit
+
+val get_key : t -> Key.t -> string option
+(** Operate on a full 256-bit data key directly (the int64 API is the
+    paper's zero-padded YCSB convenience). *)
+
+val put_key : t -> Key.t -> string -> unit
+val delete_key : t -> Key.t -> unit
+
+val scan : t -> int64 -> int -> (int64 * string option) array
+(** [scan t k len] reads keys [k .. k+len-1] (YCSB-E style; not atomic, as in
+    the paper — neither FastVer nor FASTER is transactional). *)
+
+val delete : t -> int64 -> unit
+(** Validated update to the null value (the key reverts to non-existent). *)
+
+(** {2 Authenticated client sessions} *)
+
+module Session : sig
+  type session
+  (** Client-side state (part of the TCB): the shared secret, the nonce
+      counter, and the latest verified epoch certificate. *)
+
+  val connect : t -> client_id:int -> session
+
+  type 'v receipt = {
+    value : 'v;
+    nonce : int64;
+    epoch : int;  (** validation is final once this epoch verifies *)
+    mac : string;
+  }
+
+  val get : session -> int64 -> string option receipt
+  (** Validated read; checks the verifier's MAC before returning.
+      @raise Integrity_violation if the receipt does not authenticate. *)
+
+  val put : session -> int64 -> string -> unit receipt
+  (** Signed update; the verifier rejects puts without a valid client MAC. *)
+
+  val await_certainty : session -> 'v receipt -> unit
+  (** Force a verification scan if needed, and check the epoch certificate
+      covering the receipt — after this returns, the result is final, not
+      provisional. *)
+end
+
+(** {2 Verification} *)
+
+val verify : t -> string
+(** Run the verification scan for the current epoch (§8.1 "batching"):
+    migrate deferred records, apply sorted Merkle updates, aggregate and
+    compare set hashes. Returns the epoch certificate. *)
+
+val flush : t -> unit
+(** Drain all worker log buffers into the verifier. *)
+
+val current_epoch : t -> int
+val check_epoch_certificate : t -> epoch:int -> string -> bool
+(** Client-side check of a certificate returned by {!verify}. *)
+
+(** {2 Durability} *)
+
+val checkpoint : t -> dir:string -> unit
+(** Persist the data records, merkle records and sealed verifier summary
+    (§7): run after {!verify} so that the on-disk state corresponds to a
+    verified epoch. *)
+
+val recover : ?config:Config.t -> dir:string -> unit -> (t, string) result
+(** Rebuild a system from a checkpoint; the verifier summary is validated
+    against the enclave's rollback-protected sealed slot. *)
+
+(** {2 String-keyed view}
+
+    The paper assumes 32-byte keys and maps other application key domains
+    onto them with a cryptographic hash, transparently to clients (§2.1).
+    [String_keys] is that adapter: arbitrary string keys, hashed with
+    SHA-256 onto the 256-bit Merkle key space. Range scans are unavailable
+    through this view (hashing destroys order), as in the paper. *)
+
+module String_keys : sig
+  val key : string -> Key.t
+  (** The underlying 256-bit data key for an application key. *)
+
+  val get : t -> string -> string option
+  val put : t -> string -> string -> unit
+  val delete : t -> string -> unit
+end
+
+val set_auto_checkpoint : t -> dir:string -> unit
+(** Checkpoint after every successful verification scan — the paper's §7
+    guarantee that a completed epoch is also a persisted epoch (CPR-aligned
+    epochs). *)
+
+val clear_auto_checkpoint : t -> unit
+
+(** {2 Statistics} *)
+
+type stats = {
+  mutable ops : int;
+  mutable gets : int;
+  mutable puts : int;
+  mutable scans : int;
+  mutable blum_fast_path : int;  (** ops served entirely in the deferred tier *)
+  mutable merkle_path : int;  (** ops that paid a Merkle chain *)
+  mutable verifies : int;
+  mutable migrated_data : int;
+  mutable migrated_frontier : int;
+  mutable verify_time_s : float;  (** total time in verification scans *)
+  mutable last_verify_latency_s : float;
+  mutable verifier_time_s : float;  (** wall time spent applying verifier ops *)
+  mutable cas_retries : int;
+  mutable worker_busy_s : float array;
+      (** per-worker attributed processing time (indexed by worker id);
+          the scalability simulator derives modelled makespans from it *)
+  mutable serial_s : float;
+      (** inherently serial verification work (epoch close, aggregation) *)
+}
+
+val stats : t -> stats
+
+val enclave_overhead_ns : t -> int64
+(** Modelled enclave-transition time accumulated so far; add to wall time
+    when computing effective throughput. *)
+
+val verifier_handle : t -> Fastver_verifier.Verifier.t
+(** The underlying verifier (read-only uses: stats, epoch inspection). *)
+
+(** {2 Parallel runtime}
+
+    The paper's thread model (§5.3, §7): each worker is an OS thread paired
+    with its own verifier thread; workers race compare-and-swaps on shared
+    records (Example 5.2) and interact only through the store, the Merkle
+    tree (coarse lock) and stop-the-world verification scans. Here workers
+    are OCaml domains. This is the real shared-memory runtime — on a
+    multi-core machine it parallelises; the benchmarks use the modelled
+    variant ({!Fastver_simthreads}) because the reproduction container has
+    one core.
+
+    Caveats: statistics counters are updated racily by design (they are
+    diagnostics); authenticated {!Session}s are not supported inside a
+    parallel run. *)
+
+module Parallel : sig
+  exception Worker_failed of int * exn
+
+  val run_ycsb :
+    t -> spec:Fastver_workload.Ycsb.spec -> db_size:int ->
+    ops_per_worker:int -> unit
+  (** Drive [ops_per_worker] YCSB operations through every worker
+      concurrently (distinct per-worker generator seeds), honouring
+      [config.batch_size] verification scans.
+      @raise Worker_failed if any domain raised. *)
+end
+
+(** {2 Batch driver} *)
+
+val run_ops : t -> Fastver_workload.Ycsb.t -> int -> unit
+(** Process [n] operations from a YCSB generator, honouring
+    [config.batch_size] by running {!verify} between batches. *)
+
+(** {2 Failure injection (tests only)}
+
+    Simulates an adversary with full control of the untrusted host (§2.2).
+    Production code has no business here. *)
+
+module Testing : sig
+  val corrupt_store : t -> int64 -> string option -> unit
+  (** Overwrite a data record directly in the host store, bypassing the
+      verifier. The forgery must be detected on the record's next
+      validation, or at the latest when its epoch verifies. *)
+
+  val replay_last_put : t -> unit
+  (** Re-submit the most recent authenticated put verbatim (nonce replay);
+      the gateway must reject it. *)
+
+  val corrupt_merkle_record : t -> Key.t -> unit
+  (** Flip a hash inside a stored merkle record. *)
+
+  val some_merkle_key : t -> Key.t option
+  (** Any currently merkle-protected internal record. *)
+end

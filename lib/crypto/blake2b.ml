@@ -1,0 +1,123 @@
+(* RFC 7693 BLAKE2b. 128-byte blocks, 64-bit words, 12 rounds. *)
+
+let iv =
+  [|
+    0x6a09e667f3bcc908L; 0xbb67ae8584caa73bL; 0x3c6ef372fe94f82bL;
+    0xa54ff53a5f1d36f1L; 0x510e527fade682d1L; 0x9b05688c2b3e6c1fL;
+    0x1f83d9abfb41bd6bL; 0x5be0cd19137e2179L;
+  |]
+
+let sigma =
+  [|
+    [| 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 |];
+    [| 14; 10; 4; 8; 9; 15; 13; 6; 1; 12; 0; 2; 11; 7; 5; 3 |];
+    [| 11; 8; 12; 0; 5; 2; 15; 13; 10; 14; 3; 6; 7; 1; 9; 4 |];
+    [| 7; 9; 3; 1; 13; 12; 11; 14; 2; 6; 5; 10; 4; 0; 15; 8 |];
+    [| 9; 0; 5; 7; 2; 4; 10; 15; 14; 1; 11; 12; 6; 8; 3; 13 |];
+    [| 2; 12; 6; 10; 0; 11; 8; 3; 4; 13; 7; 5; 15; 14; 1; 9 |];
+    [| 12; 5; 1; 15; 14; 13; 4; 10; 0; 7; 6; 3; 9; 2; 8; 11 |];
+    [| 13; 11; 7; 14; 12; 1; 3; 9; 5; 0; 15; 4; 8; 6; 2; 10 |];
+    [| 6; 15; 14; 9; 11; 3; 0; 8; 12; 2; 13; 7; 1; 4; 10; 5 |];
+    [| 10; 2; 8; 4; 7; 6; 1; 5; 15; 11; 9; 14; 3; 12; 13; 0 |];
+    [| 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 |];
+    [| 14; 10; 4; 8; 9; 15; 13; 6; 1; 12; 0; 2; 11; 7; 5; 3 |];
+  |]
+
+type ctx = {
+  h : int64 array;
+  buf : Bytes.t; (* 128-byte block buffer *)
+  mutable buf_len : int;
+  mutable total : int64; (* low 64 bits of the byte counter *)
+  digest_size : int;
+  m : int64 array; (* scratch: current message block as 16 words *)
+  v : int64 array; (* scratch: working vector *)
+}
+
+let rotr64 x n =
+  Int64.logor (Int64.shift_right_logical x n) (Int64.shift_left x (64 - n))
+
+let g v a b c d x y =
+  v.(a) <- Int64.add (Int64.add v.(a) v.(b)) x;
+  v.(d) <- rotr64 (Int64.logxor v.(d) v.(a)) 32;
+  v.(c) <- Int64.add v.(c) v.(d);
+  v.(b) <- rotr64 (Int64.logxor v.(b) v.(c)) 24;
+  v.(a) <- Int64.add (Int64.add v.(a) v.(b)) y;
+  v.(d) <- rotr64 (Int64.logxor v.(d) v.(a)) 16;
+  v.(c) <- Int64.add v.(c) v.(d);
+  v.(b) <- rotr64 (Int64.logxor v.(b) v.(c)) 63
+
+let compress ctx ~last =
+  let m = ctx.m and v = ctx.v in
+  for i = 0 to 15 do
+    m.(i) <- Bytes.get_int64_le ctx.buf (8 * i)
+  done;
+  for i = 0 to 7 do
+    v.(i) <- ctx.h.(i);
+    v.(i + 8) <- iv.(i)
+  done;
+  v.(12) <- Int64.logxor v.(12) ctx.total;
+  (* High word of the counter stays zero: inputs < 2^64 bytes. *)
+  if last then v.(14) <- Int64.lognot v.(14);
+  for r = 0 to 11 do
+    let s = sigma.(r) in
+    g v 0 4 8 12 m.(s.(0)) m.(s.(1));
+    g v 1 5 9 13 m.(s.(2)) m.(s.(3));
+    g v 2 6 10 14 m.(s.(4)) m.(s.(5));
+    g v 3 7 11 15 m.(s.(6)) m.(s.(7));
+    g v 0 5 10 15 m.(s.(8)) m.(s.(9));
+    g v 1 6 11 12 m.(s.(10)) m.(s.(11));
+    g v 2 7 8 13 m.(s.(12)) m.(s.(13));
+    g v 3 4 9 14 m.(s.(14)) m.(s.(15))
+  done;
+  for i = 0 to 7 do
+    ctx.h.(i) <- Int64.logxor ctx.h.(i) (Int64.logxor v.(i) v.(i + 8))
+  done
+
+let init ?(digest_size = 32) () =
+  if digest_size < 1 || digest_size > 64 then
+    invalid_arg "Blake2b.init: digest_size out of range";
+  let h = Array.copy iv in
+  (* Parameter block word 0: digest_size, key_len = 0, fanout = depth = 1. *)
+  h.(0) <-
+    Int64.logxor h.(0)
+      (Int64.of_int (0x01010000 lor digest_size));
+  {
+    h;
+    buf = Bytes.make 128 '\000';
+    buf_len = 0;
+    total = 0L;
+    digest_size;
+    m = Array.make 16 0L;
+    v = Array.make 16 0L;
+  }
+
+(* BLAKE2 must keep the final block out of [compress ~last:false]; flush the
+   buffer only when more input is known to follow. *)
+let update ctx s =
+  let len = String.length s in
+  let pos = ref 0 and remaining = ref len in
+  while !remaining > 0 do
+    if ctx.buf_len = 128 then begin
+      ctx.total <- Int64.add ctx.total 128L;
+      compress ctx ~last:false;
+      ctx.buf_len <- 0
+    end;
+    let take = min (128 - ctx.buf_len) !remaining in
+    Bytes.blit_string s !pos ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := !pos + take;
+    remaining := !remaining - take
+  done
+
+let finalize ctx =
+  ctx.total <- Int64.add ctx.total (Int64.of_int ctx.buf_len);
+  Bytes.fill ctx.buf ctx.buf_len (128 - ctx.buf_len) '\000';
+  compress ctx ~last:true;
+  let out = Bytes.create 64 in
+  Array.iteri (fun i w -> Bytes.set_int64_le out (8 * i) w) ctx.h;
+  Bytes.sub_string out 0 ctx.digest_size
+
+let digest ?(digest_size = 32) msg =
+  let ctx = init ~digest_size () in
+  update ctx msg;
+  finalize ctx

@@ -1,0 +1,18 @@
+(** BLAKE2b (RFC 7693), implemented from scratch.
+
+    The paper uses Blake3 for Merkle hashing; BLAKE2b plays the same role here
+    (a fast cryptographic tree hash) and has a published RFC test suite we
+    validate against. Digest length is configurable between 1 and 64 bytes;
+    FastVer uses 32-byte digests. *)
+
+type ctx
+
+val init : ?digest_size:int -> unit -> ctx
+(** [init ~digest_size ()] starts an unkeyed hash. [digest_size] defaults to
+    32. @raise Invalid_argument unless [1 <= digest_size <= 64]. *)
+
+val update : ctx -> string -> unit
+val finalize : ctx -> string
+
+val digest : ?digest_size:int -> string -> string
+(** One-shot hash. *)

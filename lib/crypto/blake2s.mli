@@ -1,0 +1,17 @@
+(** BLAKE2s (RFC 7693), implemented from scratch.
+
+    The 32-bit sibling of BLAKE2b. Its word operations fit OCaml's native
+    ints, making compression allocation-free — so it plays the role of the
+    paper's Blake3 (a fast 32-bit cryptographic hash) for Merkle hashing. *)
+
+type ctx
+
+val init : ?digest_size:int -> unit -> ctx
+(** [digest_size] defaults to 32. @raise Invalid_argument unless
+    [1 <= digest_size <= 32]. *)
+
+val update : ctx -> string -> unit
+val finalize : ctx -> string
+
+val digest : ?digest_size:int -> string -> string
+(** One-shot hash. *)

@@ -1,0 +1,21 @@
+let block_size = 64
+
+let normalize_key key =
+  let key =
+    if String.length key > block_size then Sha256.digest key else key
+  in
+  key ^ String.make (block_size - String.length key) '\000'
+
+let mac ~key msg =
+  let k = normalize_key key in
+  let ipad = String.map (fun c -> Char.chr (Char.code c lxor 0x36)) k in
+  let opad = String.map (fun c -> Char.chr (Char.code c lxor 0x5c)) k in
+  let inner = Sha256.init () in
+  Sha256.update inner ipad;
+  Sha256.update inner msg;
+  let outer = Sha256.init () in
+  Sha256.update outer opad;
+  Sha256.update outer (Sha256.finalize inner);
+  Sha256.finalize outer
+
+let verify ~key msg ~tag = Bytes_util.equal_constant_time (mac ~key msg) tag

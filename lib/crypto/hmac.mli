@@ -1,0 +1,11 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    Used for client request signatures and verifier result signatures: the
+    paper allows message authentication codes over a shared secret in place of
+    digital signatures (§2.1, footnote 2). *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag. Any key length. *)
+
+val verify : key:string -> string -> tag:string -> bool
+(** Constant-time tag check. *)

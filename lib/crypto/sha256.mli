@@ -1,0 +1,20 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    Used for HMAC-based message authentication between clients and the
+    verifier, and available as an alternative Merkle hash. *)
+
+type ctx
+(** Mutable hashing context for incremental use. *)
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val update_bytes : ctx -> Bytes.t -> int -> int -> unit
+
+val finalize : ctx -> string
+(** Returns the 32-byte digest. The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot convenience: [digest msg] is the 32-byte SHA-256 of [msg]. *)
+
+val digest_size : int
+(** 32. *)

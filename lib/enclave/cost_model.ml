@@ -1,0 +1,16 @@
+type t = {
+  transition_ns : int;
+  memory_access_factor : float;
+  label : string;
+}
+
+let zero = { transition_ns = 0; memory_access_factor = 1.0; label = "zero" }
+
+let simulated =
+  { transition_ns = 8_000; memory_access_factor = 1.0; label = "simulated" }
+
+let sgx = { transition_ns = 8_000; memory_access_factor = 1.11; label = "sgx" }
+
+let pp ppf t =
+  Format.fprintf ppf "%s(transition=%dns, mem=%.2fx)" t.label t.transition_ns
+    t.memory_access_factor

@@ -1,0 +1,32 @@
+(** Enclave cost models.
+
+    The paper evaluates FastVer both on real SGX hardware and with "simulated
+    enclaves" where verifier calls are regular function calls with added
+    delays modelling enclave switching costs (§8, following Haven [5]).
+    This module captures those costs so benchmarks can account for them.
+
+    Costs are expressed in nanoseconds and charged to an accounting counter
+    rather than busy-waited, keeping benchmark runs deterministic; harnesses
+    add the charged time to measured wall time. *)
+
+type t = {
+  transition_ns : int;
+      (** Cost of one host->enclave->host round trip (ecall + ocall). *)
+  memory_access_factor : float;
+      (** Multiplier on time spent executing inside the enclave, modelling
+          EPC paging/MEE overheads (~1.1 observed for SGX in the paper). *)
+  label : string;
+}
+
+val zero : t
+(** No enclave overhead: verifier calls are plain function calls. *)
+
+val simulated : t
+(** The paper's simulated-enclave setting: ~8000 ns per transition (typical
+    SGX ecall round-trip on Coffee Lake-era parts), no memory factor. *)
+
+val sgx : t
+(** A "true SGX" model: same transition cost plus the ~10% execution
+    slowdown the paper measured for real enclaves (§8.2). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+(* A simplified (single-process) rendering of FASTER's epoch framework.
+   Thread-local epochs live in an int array; [max_int] marks "not entered". *)
+
+type action = { epoch : int; run : unit -> unit }
+
+type t = {
+  mutable global : int;
+  locals : int array;
+  mutable pending : action list; (* newest first *)
+  mutable safe_cache : int;
+}
+
+let not_entered = max_int
+
+let create ~n_threads =
+  if n_threads < 1 then invalid_arg "Epoch_protection.create";
+  {
+    global = 1;
+    locals = Array.make n_threads not_entered;
+    pending = [];
+    safe_cache = 0;
+  }
+
+let compute_safe t =
+  let m = Array.fold_left min not_entered t.locals in
+  let bound = if m = not_entered then t.global else m in
+  t.safe_cache <- bound - 1;
+  t.safe_cache
+
+let drain t =
+  let safe = compute_safe t in
+  let ready, waiting = List.partition (fun a -> a.epoch <= safe) t.pending in
+  t.pending <- waiting;
+  (* Oldest first. *)
+  List.iter (fun a -> a.run ()) (List.rev ready)
+
+let acquire t ~tid = t.locals.(tid) <- t.global
+
+let release t ~tid =
+  t.locals.(tid) <- not_entered;
+  drain t
+
+let bump t ~on_safe =
+  let old = t.global in
+  t.global <- old + 1;
+  t.pending <- { epoch = old; run = on_safe } :: t.pending;
+  drain t;
+  t.global
+
+let refresh t ~tid =
+  t.locals.(tid) <- t.global;
+  drain t
+
+let current t = t.global
+let safe t = compute_safe t

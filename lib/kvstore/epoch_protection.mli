@@ -1,0 +1,29 @@
+(** FASTER-style epoch protection.
+
+    Threads operating on the store enter an epoch; maintenance actions
+    (flushing a log region, completing a checkpoint) are deferred until every
+    thread has observed a newer epoch, guaranteeing no thread still works on
+    retired state. This is the CPR building block the paper's durability
+    story leans on (§7): FastVer aligns its verification epochs with the
+    store's checkpoint epochs. *)
+
+type t
+
+val create : n_threads:int -> t
+
+val acquire : t -> tid:int -> unit
+(** Enter the current epoch (refreshing if already entered). *)
+
+val release : t -> tid:int -> unit
+(** Leave epoch protection. *)
+
+val bump : t -> on_safe:(unit -> unit) -> int
+(** Advance the global epoch and register [on_safe] to run once every thread
+    has moved past the old epoch. Returns the new epoch. *)
+
+val refresh : t -> tid:int -> unit
+(** Re-enter the current epoch and run any actions that became safe. *)
+
+val current : t -> int
+val safe : t -> int
+(** The highest epoch such that no thread is still inside an older one. *)

@@ -1,0 +1,259 @@
+type 'v codec = { encode : 'v -> string; decode : string -> 'v }
+
+let string_codec = { encode = Fun.id; decode = Fun.id }
+
+type 'v body =
+  | In_memory of { mutable value : 'v; mutable aux : int64 }
+  | Spilled of { file_off : int; len : int; aux : int64 }
+
+type 'v slot = { key : Key.t; mutable body : 'v body; prev : int }
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable rcu_copies : int;
+  mutable spill_reads : int;
+}
+
+let chunk_bits = 16
+let chunk_size = 1 lsl chunk_bits
+
+type 'v t = {
+  index : int Key.Tbl.t;
+  mutable chunks : 'v slot option array array;
+  mutable tail : int; (* next free address *)
+  mutable_region : int;
+  codec : 'v codec;
+  stripes : Mutex.t array;
+  spill : (string * int) option;
+  mutable spill_chan : (in_channel * out_channel) option;
+  mutable spill_end : int; (* bytes written to the spill file *)
+  mutable spilled_through : int; (* addresses < this may be on disk *)
+  stats : stats;
+}
+
+let create ?(mutable_region_entries = 1 lsl 20) ?spill ~codec () =
+  {
+    index = Key.Tbl.create 4096;
+    chunks = Array.make 16 [||];
+    tail = 0;
+    mutable_region = mutable_region_entries;
+    codec;
+    stripes = Array.init 256 (fun _ -> Mutex.create ());
+    spill;
+    spill_chan = None;
+    spill_end = 0;
+    spilled_through = 0;
+    stats = { reads = 0; writes = 0; rcu_copies = 0; spill_reads = 0 };
+  }
+
+let stats t = t.stats
+let length t = Key.Tbl.length t.index
+let log_size t = t.tail
+
+let slot t addr =
+  match t.chunks.(addr lsr chunk_bits).(addr land (chunk_size - 1)) with
+  | Some s -> s
+  | None -> assert false
+
+let ensure_chunk t ci =
+  if ci >= Array.length t.chunks then begin
+    let chunks = Array.make (2 * Array.length t.chunks) [||] in
+    Array.blit t.chunks 0 chunks 0 (Array.length t.chunks);
+    t.chunks <- chunks
+  end;
+  if Array.length t.chunks.(ci) = 0 then
+    t.chunks.(ci) <- Array.make chunk_size None
+
+let append t s =
+  let addr = t.tail in
+  let ci = addr lsr chunk_bits in
+  ensure_chunk t ci;
+  t.chunks.(ci).(addr land (chunk_size - 1)) <- Some s;
+  t.tail <- addr + 1;
+  addr
+
+let readonly_boundary t = max 0 (t.tail - t.mutable_region)
+
+let with_stripe t key f =
+  let m = t.stripes.(Key.hash key land 255) in
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let spill_channels t =
+  match (t.spill_chan, t.spill) with
+  | Some c, _ -> c
+  | None, None -> invalid_arg "Store: spill not configured"
+  | None, Some (path, _) ->
+      let oc =
+        open_out_gen [ Open_creat; Open_wronly; Open_binary ] 0o644 path
+      and ic = open_in_bin path in
+      t.spill_end <- in_channel_length ic;
+      seek_out oc t.spill_end;
+      t.spill_chan <- Some (ic, oc);
+      (ic, oc)
+
+let read_spilled t ~file_off ~len =
+  let ic, _ = spill_channels t in
+  seek_in ic file_off;
+  t.stats.spill_reads <- t.stats.spill_reads + 1;
+  t.codec.decode (really_input_string ic len)
+
+let current t key =
+  match Key.Tbl.find_opt t.index key with
+  | None -> None
+  | Some addr -> (
+      let s = slot t addr in
+      match s.body with
+      | In_memory { value; aux } -> Some (addr, value, aux)
+      | Spilled { file_off; len; aux } ->
+          Some (addr, read_spilled t ~file_off ~len, aux))
+
+let get t key =
+  t.stats.reads <- t.stats.reads + 1;
+  with_stripe t key (fun () ->
+      Option.map (fun (_, v, a) -> (v, a)) (current t key))
+
+(* Install a new (value, aux) for [key]; in place when the current version is
+   in the mutable region, copy-on-write otherwise. Caller holds the stripe. *)
+let install t key value aux =
+  t.stats.writes <- t.stats.writes + 1;
+  match Key.Tbl.find_opt t.index key with
+  | Some addr when addr >= readonly_boundary t -> (
+      let s = slot t addr in
+      match s.body with
+      | In_memory b ->
+          b.value <- value;
+          b.aux <- aux
+      | Spilled _ ->
+          (* Mutable-region entries are never spilled. *)
+          assert false)
+  | (Some _ | None) as prior ->
+      let prev = Option.value prior ~default:(-1) in
+      if prev >= 0 then t.stats.rcu_copies <- t.stats.rcu_copies + 1;
+      let addr = append t { key; body = In_memory { value; aux }; prev } in
+      Key.Tbl.replace t.index key addr
+
+let put t key value ~aux =
+  with_stripe t key (fun () -> install t key value aux)
+
+let try_cas t key ~expected_aux value ~aux =
+  with_stripe t key (fun () ->
+      match current t key with
+      | Some (_, _, cur_aux) when Int64.equal cur_aux expected_aux ->
+          install t key value aux;
+          true
+      | Some _ | None -> false)
+
+let update t key f =
+  with_stripe t key (fun () ->
+      let prior = Option.map (fun (_, v, a) -> (v, a)) (current t key) in
+      let value, aux = f prior in
+      install t key value aux)
+
+let delete t key = with_stripe t key (fun () -> Key.Tbl.remove t.index key)
+
+let iter_live t f =
+  Key.Tbl.iter
+    (fun key addr ->
+      match (slot t addr).body with
+      | In_memory { value; aux } -> f key value aux
+      | Spilled { file_off; len; aux } ->
+          f key (read_spilled t ~file_off ~len) aux)
+    t.index
+
+let spill_now t =
+  match t.spill with
+  | None -> ()
+  | Some (_, budget) ->
+      let keep_from = max (readonly_boundary t) (t.tail - budget) in
+      if keep_from > t.spilled_through then begin
+        let _, oc = spill_channels t in
+        for addr = t.spilled_through to keep_from - 1 do
+          let ci = addr lsr chunk_bits in
+          match t.chunks.(ci).(addr land (chunk_size - 1)) with
+          | None -> ()
+          | Some s -> (
+              match s.body with
+              | Spilled _ -> ()
+              | In_memory { value; aux } ->
+                  (* Superseded versions are simply dropped. *)
+                  if Key.Tbl.find_opt t.index s.key = Some addr then begin
+                    let data = t.codec.encode value in
+                    let file_off = t.spill_end in
+                    output_string oc data;
+                    t.spill_end <- t.spill_end + String.length data;
+                    s.body <-
+                      Spilled { file_off; len = String.length data; aux }
+                  end
+                  else
+                    t.chunks.(ci).(addr land (chunk_size - 1)) <- None)
+        done;
+        flush oc;
+        t.spilled_through <- keep_from
+      end
+
+(* Checkpoint format: magic, version, count, then per record
+   key(34) aux(8) len(4) payload. *)
+let magic = "FVCKPT01"
+
+let checkpoint t ~path ~version =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      let header = Bytes.create 12 in
+      Bytes.set_int32_le header 0 (Int32.of_int version);
+      Bytes.set_int64_le header 4 (Int64.of_int (length t));
+      output_bytes oc header;
+      iter_live t (fun key value aux ->
+          output_string oc (Key.encode key);
+          let data = t.codec.encode value in
+          let meta = Bytes.create 12 in
+          Bytes.set_int64_le meta 0 aux;
+          Bytes.set_int32_le meta 8 (Int32.of_int (String.length data));
+          output_bytes oc meta;
+          output_string oc data))
+
+let recover ?mutable_region_entries ?spill ~codec ~path () =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic -> (
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match really_input_string ic (String.length magic) with
+          | exception End_of_file -> Error "checkpoint truncated"
+          | m when m <> magic -> Error "bad checkpoint magic"
+          | _ -> (
+              try
+                let header = really_input_string ic 12 in
+                let version =
+                  Int32.to_int (String.get_int32_le header 0)
+                in
+                let count =
+                  Int64.to_int (String.get_int64_le header 4)
+                in
+                let t = create ?mutable_region_entries ?spill ~codec () in
+                for _ = 1 to count do
+                  let kenc = really_input_string ic 34 in
+                  let meta = really_input_string ic 12 in
+                  let aux = String.get_int64_le meta 0 in
+                  let len = Int32.to_int (String.get_int32_le meta 8) in
+                  let data = really_input_string ic len in
+                  let depth = String.get_uint16_le kenc 0 in
+                  let key =
+                    let path32 = String.sub kenc 2 32 in
+                    if depth = Key.max_depth then Key.of_bytes32 path32
+                    else
+                      (* Only data keys appear in data checkpoints; merkle
+                         trees are rebuilt by the integrity layer. *)
+                      failwith "non-data key in checkpoint"
+                  in
+                  put t key (codec.decode data) ~aux
+                done;
+                Ok (t, version)
+              with
+              | End_of_file -> Error "checkpoint truncated"
+              | Failure e -> Error e)))

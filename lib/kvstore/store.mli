@@ -1,0 +1,92 @@
+(** A FASTER-style key-value store (the untrusted host database).
+
+    Records live in a log-structured address space split, like FASTER's
+    HybridLog, into a {e mutable region} (newest addresses, updated in
+    place), a {e read-only region} (updates go copy-on-write: a new version
+    is appended and the hash index is swung to it), and an optional
+    {e spilled region} (oldest versions serialised to a data file and read
+    back on demand). A hash index maps each key to the address of its newest
+    version.
+
+    Every record carries the paper's 64-bit [aux] field (§7), updated
+    atomically together with the value: {!try_cas} emulates FASTER's 128-bit
+    compare-and-swap on (value, aux), which FastVer workers use for
+    speculative timestamp installation (§5.3). Mutations are serialised per
+    key through striped locks, so the store is safe under OCaml domains.
+
+    The store is polymorphic in the value type; a {!codec} is needed only
+    when records are spilled or checkpointed. *)
+
+type 'v codec = { encode : 'v -> string; decode : string -> 'v }
+
+val string_codec : string codec
+
+type 'v t
+
+val create :
+  ?mutable_region_entries:int ->
+  ?spill:(string * int) ->
+  codec:'v codec ->
+  unit ->
+  'v t
+(** [create ~codec ()] builds an empty store. [mutable_region_entries]
+    bounds the in-place-updatable suffix of the log (default 1 M entries).
+    [spill = (path, memory_budget_entries)] enables spilling of cold record
+    versions to [path] once the in-memory log exceeds the budget. *)
+
+val length : 'v t -> int
+(** Number of live records. *)
+
+val log_size : 'v t -> int
+(** Number of allocated log entries (live + superseded versions). *)
+
+val get : 'v t -> Key.t -> ('v * int64) option
+(** Current value and aux field of a key. *)
+
+val put : 'v t -> Key.t -> 'v -> aux:int64 -> unit
+(** Insert or update unconditionally. *)
+
+val try_cas : 'v t -> Key.t -> expected_aux:int64 -> 'v -> aux:int64 -> bool
+(** Atomically update value and aux iff the key exists and its current aux
+    equals [expected_aux] — the speculative-update primitive of §5.3/§7.
+    Returns [false] (no change) otherwise. *)
+
+val update : 'v t -> Key.t -> (('v * int64) option -> 'v * int64) -> unit
+(** Read-modify-write under the key's stripe lock. *)
+
+val delete : 'v t -> Key.t -> unit
+
+val iter_live : 'v t -> (Key.t -> 'v -> int64 -> unit) -> unit
+(** Iterate over current versions, in unspecified order. *)
+
+(** {2 Maintenance} *)
+
+val spill_now : 'v t -> unit
+(** Force cold versions beyond the memory budget out to the spill file. *)
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable rcu_copies : int;  (** updates that had to append a new version *)
+  mutable spill_reads : int;  (** gets served from the spill file *)
+}
+
+val stats : 'v t -> stats
+
+(** {2 Checkpointing (CPR-style)}
+
+    [checkpoint] persists a prefix-consistent snapshot of all live records;
+    [recover] reloads it. FastVer synchronises these with verification
+    epochs so that a verified epoch is also durable (§7). *)
+
+val checkpoint : 'v t -> path:string -> version:int -> unit
+
+val recover :
+  ?mutable_region_entries:int ->
+  ?spill:(string * int) ->
+  codec:'v codec ->
+  path:string ->
+  unit ->
+  ('v t * int, string) result
+(** Returns the store and the checkpoint version, or an error if the file is
+    missing or corrupt. *)

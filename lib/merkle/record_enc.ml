@@ -1,0 +1,32 @@
+open Fastver_crypto
+
+type algo = Blake2b | Blake2s | Sha256
+
+let algo_of_string = function
+  | "blake2b" -> Ok Blake2b
+  | "blake2s" -> Ok Blake2s
+  | "sha256" -> Ok Sha256
+  | s -> Error (Printf.sprintf "unknown hash algorithm %S" s)
+
+let pp_algo ppf = function
+  | Blake2b -> Format.pp_print_string ppf "blake2b"
+  | Blake2s -> Format.pp_print_string ppf "blake2s"
+  | Sha256 -> Format.pp_print_string ppf "sha256"
+
+let count = ref 0
+
+let hash_count () = !count
+let reset_hash_count () = count := 0
+
+let hash_value ?(algo = Blake2s) v =
+  incr count;
+  let enc = Value.encode v in
+  match algo with
+  | Blake2b -> Blake2b.digest ~digest_size:32 enc
+  | Blake2s -> Blake2s.digest ~digest_size:32 enc
+  | Sha256 -> Sha256.digest enc
+
+let blum_element k v t =
+  (* Fixed-width key and timestamp bracket the variable-width value, so the
+     encoding is injective. *)
+  Key.encode k ^ Value.encode v ^ Bytes_util.string_of_u64_le t

@@ -1,0 +1,56 @@
+(** Multi-worker scalability modelling (Figs. 14a/14c of the paper).
+
+    The container running this reproduction has a single CPU core, so the
+    paper's 32-thread scalability experiments cannot be measured directly.
+    Instead, this module executes the {e real} FastVer system configured
+    with [w] logical workers — the production code paths route operations,
+    partition the Merkle tree and run per-thread verifiers exactly as a
+    multi-core deployment would — and derives a modelled parallel makespan
+    from the measured per-worker busy times:
+
+    {v makespan = max_w busy(w) / interference(w) + serial v}
+
+    The algorithmic scaling behaviour (worker partitioning, deferred
+    verification's embarrassing parallelism, Merkle-tree partitioning) comes
+    from real execution; only the memory-system interference between
+    hardware threads is a calibrated factor. The paper reports roughly a 75%
+    throughput gain per doubling of workers for cache-resident data (§8.5),
+    i.e. ~0.875 parallel efficiency per doubling; {!paper_interference}
+    encodes that. Pass [Fun.const 1.0] for an ideal-memory model. *)
+
+type result = {
+  workers : int;
+  ops : int;
+  modeled_seconds : float;  (** parallel makespan under the model *)
+  throughput : float;  (** ops / modeled_seconds *)
+  per_worker_busy_s : float array;
+  serial_s : float;
+  verify_latency_s : float;  (** mean modelled verification-scan latency *)
+}
+
+val paper_interference : int -> float
+(** [0.875 ^ log2 w]: the per-doubling memory-contention efficiency the
+    paper measured for cache-resident micro-benchmarks. *)
+
+val run_hybrid :
+  ?interference:(int -> float) ->
+  config:Fastver.Config.t ->
+  db_size:int ->
+  ops:int ->
+  spec:Fastver_workload.Ycsb.spec ->
+  unit ->
+  result
+(** Load a [db_size]-record database, run [ops] operations of [spec] through
+    the hybrid system with [config.n_workers] logical workers, verify, and
+    model the makespan. *)
+
+val run_dv_micro :
+  ?interference:(int -> float) ->
+  workers:int ->
+  db_size:int ->
+  ops:int ->
+  unit ->
+  result
+(** The Fig. 14c micro-benchmark: array-backed records, all records under
+    deferred verification, a 50/50 read/update uniform workload sharded
+    across [workers] independent verifier threads. *)

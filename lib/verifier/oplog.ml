@@ -1,0 +1,297 @@
+type op =
+  | Add_m of { key : Key.t; value : Value.t; parent : Key.t }
+  | Evict_m of { key : Key.t; parent : Key.t }
+  | Add_b of { key : Key.t; value : Value.t; timestamp : Timestamp.t }
+  | Evict_b of { key : Key.t; timestamp : Timestamp.t }
+  | Evict_bm of { key : Key.t; timestamp : Timestamp.t; parent : Key.t }
+  | Vget of { key : Key.t; value : string option }
+  | Vget_absent of { key : Key.t; parent : Key.t }
+  | Vput of { key : Key.t; value : string option }
+  | Close_epoch of int
+
+let equal_op a b =
+  match (a, b) with
+  | Add_m a, Add_m b ->
+      Key.equal a.key b.key && Value.equal a.value b.value
+      && Key.equal a.parent b.parent
+  | Evict_m a, Evict_m b -> Key.equal a.key b.key && Key.equal a.parent b.parent
+  | Add_b a, Add_b b ->
+      Key.equal a.key b.key && Value.equal a.value b.value
+      && Timestamp.compare a.timestamp b.timestamp = 0
+  | Evict_b a, Evict_b b ->
+      Key.equal a.key b.key && Timestamp.compare a.timestamp b.timestamp = 0
+  | Evict_bm a, Evict_bm b ->
+      Key.equal a.key b.key
+      && Timestamp.compare a.timestamp b.timestamp = 0
+      && Key.equal a.parent b.parent
+  | Vget a, Vget b ->
+      Key.equal a.key b.key && Option.equal String.equal a.value b.value
+  | Vput a, Vput b ->
+      Key.equal a.key b.key && Option.equal String.equal a.value b.value
+  | Vget_absent a, Vget_absent b ->
+      Key.equal a.key b.key && Key.equal a.parent b.parent
+  | Close_epoch a, Close_epoch b -> a = b
+  | ( ( Add_m _ | Evict_m _ | Add_b _ | Evict_b _ | Evict_bm _ | Vget _
+      | Vget_absent _ | Vput _ | Close_epoch _ ),
+      _ ) ->
+      false
+
+let pp_op ppf = function
+  | Add_m { key; parent; _ } ->
+      Format.fprintf ppf "add_m(%a via %a)" Key.pp key Key.pp parent
+  | Evict_m { key; parent } ->
+      Format.fprintf ppf "evict_m(%a to %a)" Key.pp key Key.pp parent
+  | Add_b { key; timestamp; _ } ->
+      Format.fprintf ppf "add_b(%a@%a)" Key.pp key Timestamp.pp timestamp
+  | Evict_b { key; timestamp } ->
+      Format.fprintf ppf "evict_b(%a@%a)" Key.pp key Timestamp.pp timestamp
+  | Evict_bm { key; timestamp; parent } ->
+      Format.fprintf ppf "evict_bm(%a@%a mark %a)" Key.pp key Timestamp.pp
+        timestamp Key.pp parent
+  | Vget { key; _ } -> Format.fprintf ppf "vget(%a)" Key.pp key
+  | Vget_absent { key; _ } -> Format.fprintf ppf "vget_absent(%a)" Key.pp key
+  | Vput { key; _ } -> Format.fprintf ppf "vput(%a)" Key.pp key
+  | Close_epoch e -> Format.fprintf ppf "close_epoch(%d)" e
+
+(* Wire format: tag byte, then fixed-width fields; variable-width values are
+   length-prefixed with a 32-bit little-endian count. Keys use the canonical
+   34-byte encoding. *)
+
+let add_u32 buf v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  Buffer.add_bytes buf b
+
+let add_u64 buf v = Buffer.add_string buf (Fastver_crypto.Bytes_util.string_of_u64_le v)
+
+let add_bytes_lp buf s =
+  add_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let add_key buf k = Buffer.add_string buf (Key.encode k)
+
+let add_value_opt buf = function
+  | None -> Buffer.add_char buf '\x00'
+  | Some s ->
+      Buffer.add_char buf '\x01';
+      add_bytes_lp buf s
+
+let encode buf op =
+  match op with
+  | Add_m { key; value; parent } ->
+      Buffer.add_char buf 'M';
+      add_key buf key;
+      add_key buf parent;
+      add_bytes_lp buf (Value.encode value)
+  | Evict_m { key; parent } ->
+      Buffer.add_char buf 'm';
+      add_key buf key;
+      add_key buf parent
+  | Add_b { key; value; timestamp } ->
+      Buffer.add_char buf 'B';
+      add_key buf key;
+      add_u64 buf timestamp;
+      add_bytes_lp buf (Value.encode value)
+  | Evict_b { key; timestamp } ->
+      Buffer.add_char buf 'b';
+      add_key buf key;
+      add_u64 buf timestamp
+  | Evict_bm { key; timestamp; parent } ->
+      Buffer.add_char buf 'x';
+      add_key buf key;
+      add_u64 buf timestamp;
+      add_key buf parent
+  | Vget { key; value } ->
+      Buffer.add_char buf 'g';
+      add_key buf key;
+      add_value_opt buf value
+  | Vget_absent { key; parent } ->
+      Buffer.add_char buf 'a';
+      add_key buf key;
+      add_key buf parent
+  | Vput { key; value } ->
+      Buffer.add_char buf 'p';
+      add_key buf key;
+      add_value_opt buf value
+  | Close_epoch e ->
+      Buffer.add_char buf 'c';
+      add_u64 buf (Int64.of_int e)
+
+(* Bounded readers over adversarial input. *)
+exception Bad of string
+
+let max_value_len = 1 lsl 24 (* 16 MiB: generous bound on one record *)
+
+let need s pos n =
+  if pos + n > String.length s then raise (Bad "truncated entry")
+
+let read_key s pos =
+  need s pos 34;
+  let depth = String.get_uint16_le s pos in
+  if depth > Key.max_depth then raise (Bad "bad key depth");
+  let path = Key.of_bytes32 (String.sub s (pos + 2) 32) in
+  let k = if depth = Key.max_depth then path else Key.prefix path depth in
+  if not (String.equal (Key.encode k) (String.sub s pos 34)) then
+    raise (Bad "non-canonical key");
+  (k, pos + 34)
+
+let read_u64 s pos =
+  need s pos 8;
+  (Fastver_crypto.Bytes_util.get_u64_le s pos, pos + 8)
+
+let read_bytes_lp s pos =
+  need s pos 4;
+  let n = Int32.to_int (String.get_int32_le s pos) in
+  if n < 0 || n > max_value_len then raise (Bad "bad length");
+  need s (pos + 4) n;
+  (String.sub s (pos + 4) n, pos + 4 + n)
+
+let read_value s pos =
+  let raw, pos = read_bytes_lp s pos in
+  match Value.decode raw with
+  | Ok v -> (v, pos)
+  | Error e -> raise (Bad e)
+
+let read_value_opt s pos =
+  need s pos 1;
+  match s.[pos] with
+  | '\x00' -> (None, pos + 1)
+  | '\x01' ->
+      let v, pos = read_bytes_lp s (pos + 1) in
+      (Some v, pos)
+  | _ -> raise (Bad "bad option tag")
+
+let decode s ~pos =
+  match
+    begin
+      need s pos 1;
+      match s.[pos] with
+      | 'M' ->
+          let key, pos = read_key s (pos + 1) in
+          let parent, pos = read_key s pos in
+          let value, pos = read_value s pos in
+          (Add_m { key; value; parent }, pos)
+      | 'm' ->
+          let key, pos = read_key s (pos + 1) in
+          let parent, pos = read_key s pos in
+          (Evict_m { key; parent }, pos)
+      | 'B' ->
+          let key, pos = read_key s (pos + 1) in
+          let timestamp, pos = read_u64 s pos in
+          let value, pos = read_value s pos in
+          (Add_b { key; value; timestamp }, pos)
+      | 'b' ->
+          let key, pos = read_key s (pos + 1) in
+          let timestamp, pos = read_u64 s pos in
+          (Evict_b { key; timestamp }, pos)
+      | 'x' ->
+          let key, pos = read_key s (pos + 1) in
+          let timestamp, pos = read_u64 s pos in
+          let parent, pos = read_key s pos in
+          (Evict_bm { key; timestamp; parent }, pos)
+      | 'g' ->
+          let key, pos = read_key s (pos + 1) in
+          let value, pos = read_value_opt s pos in
+          (Vget { key; value }, pos)
+      | 'a' ->
+          let key, pos = read_key s (pos + 1) in
+          let parent, pos = read_key s pos in
+          (Vget_absent { key; parent }, pos)
+      | 'p' ->
+          let key, pos = read_key s (pos + 1) in
+          let value, pos = read_value_opt s pos in
+          (Vput { key; value }, pos)
+      | 'c' ->
+          let e, pos = read_u64 s (pos + 1) in
+          if Int64.compare e 0L < 0 || Int64.compare e (Int64.of_int max_int) > 0
+          then raise (Bad "bad epoch");
+          (Close_epoch (Int64.to_int e), pos)
+      | _ -> raise (Bad "unknown tag")
+    end
+  with
+  | entry -> Ok entry
+  | exception Bad e -> Error ("Oplog.decode: " ^ e)
+
+let decode_all s =
+  let rec go pos acc =
+    if pos >= String.length s then Ok (List.rev acc)
+    else
+      match decode s ~pos with
+      | Ok (op, pos) -> go pos (op :: acc)
+      | Error _ as e -> e
+  in
+  go 0 []
+
+type response = { entry_index : int; installed : Value.ptr }
+
+let apply_one v ~tid = function
+  | Add_m { key; value; parent } -> Verifier.add_m v ~tid ~key ~value ~parent
+  | Evict_m { key; parent } ->
+      Result.map Option.some (Verifier.evict_m v ~tid ~key ~parent)
+  | Add_b { key; value; timestamp } ->
+      Result.map (Fun.const None) (Verifier.add_b v ~tid ~key ~value ~timestamp)
+  | Evict_b { key; timestamp } ->
+      Result.map (Fun.const None) (Verifier.evict_b v ~tid ~key ~timestamp)
+  | Evict_bm { key; timestamp; parent } ->
+      Result.map (Fun.const None)
+        (Verifier.evict_bm v ~tid ~key ~timestamp ~parent)
+  | Vget { key; value } ->
+      Result.map (Fun.const None) (Verifier.vget v ~tid ~key value)
+  | Vget_absent { key; parent } ->
+      Result.map (Fun.const None) (Verifier.vget_absent v ~tid ~key ~parent)
+  | Vput { key; value } ->
+      Result.map (Fun.const None) (Verifier.vput v ~tid ~key value)
+  | Close_epoch epoch ->
+      Result.map (Fun.const None) (Verifier.close_epoch v ~tid ~epoch)
+
+let apply_log v ~tid log =
+  let rec go pos index acc =
+    if pos >= String.length log then Ok (List.rev acc)
+    else
+      match decode log ~pos with
+      | Error _ as e -> e
+      | Ok (op, pos) -> (
+          match apply_one v ~tid op with
+          | Error _ as e -> e
+          | Ok None -> go pos (index + 1) acc
+          | Ok (Some installed) ->
+              go pos (index + 1) ({ entry_index = index; installed } :: acc))
+  in
+  go 0 0 []
+
+let encode_responses responses =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun { entry_index; installed = { Value.key; hash; in_blum } } ->
+      add_u32 buf entry_index;
+      add_key buf key;
+      Buffer.add_string buf hash;
+      Buffer.add_char buf (if in_blum then '\x01' else '\x00'))
+    responses;
+  Buffer.contents buf
+
+let decode_responses s =
+  let rec go pos acc =
+    if pos >= String.length s then Ok (List.rev acc)
+    else
+      match
+        begin
+          need s pos 4;
+          let entry_index = Int32.to_int (String.get_int32_le s pos) in
+          if entry_index < 0 then raise (Bad "bad index");
+          let key, pos = read_key s (pos + 4) in
+          need s pos 33;
+          let hash = String.sub s pos 32 in
+          let in_blum =
+            match s.[pos + 32] with
+            | '\x00' -> false
+            | '\x01' -> true
+            | _ -> raise (Bad "bad flag")
+          in
+          ({ entry_index; installed = { Value.key; hash; in_blum } }, pos + 33)
+        end
+      with
+      | r, pos -> go pos (r :: acc)
+      | exception Bad e -> Error ("Oplog.decode_responses: " ^ e)
+  in
+  go 0 []

@@ -1,0 +1,50 @@
+(** Binary encoding of verifier operations — the enclave ABI.
+
+    In a real deployment the host and the verifier do not share a heap: the
+    worker serialises its verifier calls into a log buffer in untrusted
+    memory, enters the enclave once, and the verifier parses and applies the
+    entries (§7). This module is that wire format: a compact, length-safe
+    binary codec for every verifier operation plus the response stream of
+    verifier-computed pointers handed back to the host.
+
+    Since the log is written by the (untrusted) host, {!decode} treats the
+    input as adversarial: truncated, oversized or malformed entries produce
+    [Error], never an exception or an out-of-bounds read. *)
+
+type op =
+  | Add_m of { key : Key.t; value : Value.t; parent : Key.t }
+  | Evict_m of { key : Key.t; parent : Key.t }
+  | Add_b of { key : Key.t; value : Value.t; timestamp : Timestamp.t }
+  | Evict_b of { key : Key.t; timestamp : Timestamp.t }
+  | Evict_bm of { key : Key.t; timestamp : Timestamp.t; parent : Key.t }
+  | Vget of { key : Key.t; value : string option }
+  | Vget_absent of { key : Key.t; parent : Key.t }
+  | Vput of { key : Key.t; value : string option }
+  | Close_epoch of int
+
+val equal_op : op -> op -> bool
+val pp_op : Format.formatter -> op -> unit
+
+val encode : Buffer.t -> op -> unit
+(** Append one entry to a log buffer. *)
+
+val decode : string -> pos:int -> (op * int, string) result
+(** [decode buf ~pos] parses the entry at [pos], returning it and the
+    position of the next entry. *)
+
+val decode_all : string -> (op list, string) result
+
+(** {2 Applying a log}
+
+    [apply_log] is what runs inside the enclave: parse each entry, run it
+    against the verifier, and serialise any returned pointer updates into a
+    response buffer the host uses to reconcile its merkle copies. Stops at
+    the first failing entry (the verifier is poisoned by then anyway). *)
+
+type response = { entry_index : int; installed : Value.ptr }
+
+val apply_log :
+  Verifier.t -> tid:int -> string -> (response list, string) result
+
+val encode_responses : response list -> string
+val decode_responses : string -> (response list, string) result

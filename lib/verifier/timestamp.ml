@@ -1,0 +1,22 @@
+type t = int64
+
+let make ~epoch ~counter =
+  if epoch < 0 || counter < 0 || counter > 0xffff_ffff then
+    invalid_arg "Timestamp.make";
+  Int64.logor
+    (Int64.shift_left (Int64.of_int epoch) 32)
+    (Int64.of_int counter)
+
+let epoch t = Int64.to_int (Int64.shift_right_logical t 32)
+let counter t = Int64.to_int (Int64.logand t 0xffff_ffffL)
+let zero = 0L
+
+let next t =
+  if counter t = 0xffff_ffff then invalid_arg "Timestamp.next: counter overflow";
+  Int64.succ t
+
+let first_of_epoch e = make ~epoch:e ~counter:0
+let compare = Int64.compare
+let max a b = if compare a b >= 0 then a else b
+let encode = Fastver_crypto.Bytes_util.string_of_u64_le
+let pp ppf t = Format.fprintf ppf "(e%d,c%d)" (epoch t) (counter t)

@@ -1,0 +1,80 @@
+type op = Read of int64 | Update of int64 * string | Scan of int64 * int
+
+type distribution = Zipfian of float | Sequential
+
+type spec = {
+  read_prop : float;
+  update_prop : float;
+  scan_prop : float;
+  scan_len : int;
+  dist : distribution;
+}
+
+let workload_a =
+  {
+    read_prop = 0.5;
+    update_prop = 0.5;
+    scan_prop = 0.0;
+    scan_len = 0;
+    dist = Zipfian 0.9;
+  }
+
+let workload_b = { workload_a with read_prop = 0.95; update_prop = 0.05 }
+let workload_c = { workload_a with read_prop = 1.0; update_prop = 0.0 }
+
+let workload_e =
+  {
+    read_prop = 0.0;
+    update_prop = 0.05;
+    scan_prop = 0.95;
+    scan_len = 100;
+    dist = Zipfian 0.9;
+  }
+
+let with_dist spec dist = { spec with dist }
+
+type picker = Zipf of Zipf.t | Seq of int ref * int
+
+type t = {
+  spec : spec;
+  picker : picker;
+  state : Random.State.t;
+  mutable counter : int;
+}
+
+let create ?(seed = 42) ~db_size spec =
+  let state = Random.State.make [| seed |] in
+  let picker =
+    match spec.dist with
+    | Zipfian theta -> Zipf (Zipf.create ~n:db_size ~theta state)
+    | Sequential -> Seq (ref 0, db_size)
+  in
+  { spec; picker; state; counter = 0 }
+
+let pick t =
+  match t.picker with
+  | Zipf z -> Int64.of_int (Zipf.next z)
+  | Seq (r, n) ->
+      let k = !r in
+      r := (k + 1) mod n;
+      Int64.of_int k
+
+let value_of_counter n =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int (n + 0x5eed));
+  Bytes.unsafe_to_string b
+
+let initial_value k =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.logxor k 0x00ffeeddccbbaa99L);
+  Bytes.unsafe_to_string b
+
+let next t =
+  let r = Random.State.float t.state 1.0 in
+  let k = pick t in
+  if r < t.spec.read_prop then Read k
+  else if r < t.spec.read_prop +. t.spec.update_prop then begin
+    t.counter <- t.counter + 1;
+    Update (k, value_of_counter t.counter)
+  end
+  else Scan (k, t.spec.scan_len)

@@ -1,0 +1,79 @@
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  zeta2theta : float;
+  scramble : bool;
+  state : Random.State.t;
+}
+
+(* zeta(n, theta) is O(n); memoise per (n, theta) since benchmarks reuse a
+   handful of configurations. *)
+let zeta_cache : (int * float, float) Hashtbl.t = Hashtbl.create 16
+
+let zeta n theta =
+  match Hashtbl.find_opt zeta_cache (n, theta) with
+  | Some z -> z
+  | None ->
+      let z = ref 0.0 in
+      for i = 1 to n do
+        z := !z +. (1.0 /. Float.pow (float_of_int i) theta)
+      done;
+      Hashtbl.replace zeta_cache (n, theta) !z;
+      !z
+
+let create ?(scramble = true) ~n ~theta state =
+  if n < 1 then invalid_arg "Zipf.create: n";
+  if theta < 0.0 || theta >= 1.0 then invalid_arg "Zipf.create: theta";
+  let zetan = if theta = 0.0 then float_of_int n else zeta n theta in
+  let zeta2theta = if theta = 0.0 then 2.0 else zeta 2 theta in
+  {
+    n;
+    theta;
+    alpha = (if theta = 0.0 then 0.0 else 1.0 /. (1.0 -. theta));
+    zetan;
+    eta =
+      (if theta = 0.0 then 0.0
+       else
+         (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+         /. (1.0 -. (zeta2theta /. zetan)));
+    zeta2theta;
+    scramble;
+    state;
+  }
+
+(* 64-bit mix (splitmix64 finaliser) for rank scrambling. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  let rank =
+    if t.theta = 0.0 then Random.State.int t.state t.n
+    else begin
+      let u = Random.State.float t.state 1.0 in
+      let uz = u *. t.zetan in
+      if uz < 1.0 then 0
+      else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+      else
+        let v =
+          float_of_int t.n
+          *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha
+        in
+        min (t.n - 1) (int_of_float v)
+    end
+  in
+  if t.scramble then
+    Int64.to_int
+      (Int64.rem
+         (Int64.logand (mix64 (Int64.of_int rank)) Int64.max_int)
+         (Int64.of_int t.n))
+  else rank
+
+let n t = t.n
+let theta t = t.theta

@@ -1,0 +1,12 @@
+(** Zipfian key-selection, following the YCSB generator (Gray et al.'s
+    rejection-free method). Values are drawn from [0 .. n-1]; item 0 is the
+    hottest unless scrambling is enabled, which hashes ranks across the
+    keyspace like YCSB's scrambled-zipfian generator. [theta = 0] degenerates
+    to the uniform distribution. *)
+
+type t
+
+val create : ?scramble:bool -> n:int -> theta:float -> Random.State.t -> t
+val next : t -> int
+val n : t -> int
+val theta : t -> float

@@ -1,0 +1,153 @@
+(* The sparse-Merkle key algebra (lib/merkle/key.ml). *)
+
+let key = Alcotest.testable Key.pp Key.equal
+
+let k_of_bits = Key.of_bit_string
+
+let test_basics () =
+  Alcotest.(check int) "root depth" 0 (Key.depth Key.root);
+  Alcotest.(check bool) "root not data" false (Key.is_data_key Key.root);
+  let k = Key.of_int64 42L in
+  Alcotest.(check int) "data depth" 256 (Key.depth k);
+  Alcotest.(check bool) "data key" true (Key.is_data_key k);
+  Alcotest.(check int64) "int roundtrip" 42L (Key.to_int64 k);
+  let b = Key.to_bytes32 k in
+  Alcotest.check key "bytes roundtrip" k (Key.of_bytes32 b)
+
+let test_bits_children () =
+  let k = k_of_bits "0101" in
+  Alcotest.(check bool) "bit 0" false (Key.bit k 0);
+  Alcotest.(check bool) "bit 1" true (Key.bit k 1);
+  Alcotest.check key "child 0" (k_of_bits "01010") (Key.child k false);
+  Alcotest.check key "child 1" (k_of_bits "01011") (Key.child k true);
+  Alcotest.(check string) "bit string roundtrip" "0101" (Key.to_bit_string k)
+
+let test_ancestry () =
+  let anc = k_of_bits "0101" and k = k_of_bits "010101" in
+  Alcotest.(check bool) "proper ancestor" true (Key.is_proper_ancestor anc k);
+  Alcotest.(check bool) "not self-ancestor" false (Key.is_proper_ancestor k k);
+  Alcotest.(check bool) "not descendant" false (Key.is_proper_ancestor k anc);
+  Alcotest.(check bool) "root ancestor of all" true
+    (Key.is_proper_ancestor Key.root k);
+  (* the paper's example: dir(1011, 1) = 0 *)
+  Alcotest.(check bool) "dir example"
+    false
+    (Key.dir (k_of_bits "1011") ~ancestor:(k_of_bits "1"));
+  Alcotest.(check bool) "dir right" true
+    (Key.dir (k_of_bits "011") ~ancestor:(k_of_bits "0"))
+
+let test_lca () =
+  Alcotest.check key "diverging" (k_of_bits "01")
+    (Key.lca (k_of_bits "0100") (k_of_bits "0111"));
+  Alcotest.check key "prefix" (k_of_bits "01")
+    (Key.lca (k_of_bits "01") (k_of_bits "0111"));
+  Alcotest.check key "root" Key.root
+    (Key.lca (k_of_bits "1") (k_of_bits "0"));
+  Alcotest.check key "equal" (k_of_bits "0101")
+    (Key.lca (k_of_bits "0101") (k_of_bits "0101"));
+  (* across word boundaries *)
+  let a = Key.of_int64 0L and b = Key.of_int64 1L in
+  Alcotest.(check int) "dense int64 keys split at depth 255" 255
+    (Key.depth (Key.lca a b))
+
+let test_compare () =
+  let l = List.map k_of_bits [ "1"; "0"; "01"; "010"; "0101"; "011"; "" ] in
+  let sorted = List.sort Key.compare l in
+  Alcotest.(check (list string))
+    "lexicographic, prefixes first"
+    [ ""; "0"; "01"; "010"; "0101"; "011"; "1" ]
+    (List.map Key.to_bit_string sorted)
+
+let test_prefix () =
+  let k = k_of_bits "010110" in
+  Alcotest.check key "prefix 3" (k_of_bits "010") (Key.prefix k 3);
+  Alcotest.check key "prefix 0" Key.root (Key.prefix k 0);
+  Alcotest.check key "prefix full" k (Key.prefix k 6);
+  Alcotest.check_raises "prefix beyond depth"
+    (Invalid_argument "Key.prefix") (fun () -> ignore (Key.prefix k 7))
+
+let test_encode () =
+  let k = k_of_bits "0101" in
+  Alcotest.(check int) "34 bytes" 34 (String.length (Key.encode k));
+  Alcotest.(check bool) "distinct from extension" true
+    (Key.encode k <> Key.encode (k_of_bits "01010"))
+
+(* --- properties --- *)
+
+let arb_key =
+  let gen =
+    QCheck.Gen.(
+      int_range 0 256 >>= fun depth ->
+      list_repeat ((depth + 7) / 8) (int_range 0 255) >|= fun bytes ->
+      let path =
+        String.init 32 (fun i ->
+            match List.nth_opt bytes i with
+            | Some b -> Char.chr b
+            | None -> '\000')
+      in
+      Key.prefix (Key.of_bytes32 path) depth)
+  in
+  QCheck.make ~print:(Fmt.to_to_string Key.pp) gen
+
+let prop_prefix_is_ancestor =
+  QCheck.Test.make ~name:"prefix is ancestor" ~count:500 arb_key (fun k ->
+      Key.depth k = 0
+      ||
+      let n = Key.depth k / 2 in
+      Key.is_proper_ancestor (Key.prefix k n) k
+      || Key.depth (Key.prefix k n) = Key.depth k)
+
+let prop_lca_commutative =
+  QCheck.Test.make ~name:"lca commutative + is common ancestor" ~count:500
+    QCheck.(pair arb_key arb_key)
+    (fun (a, b) ->
+      let l = Key.lca a b and l' = Key.lca b a in
+      Key.equal l l'
+      && (Key.equal l a || Key.is_proper_ancestor l a)
+      && (Key.equal l b || Key.is_proper_ancestor l b))
+
+let prop_child_parent =
+  QCheck.Test.make ~name:"child then prefix is identity" ~count:500
+    QCheck.(pair arb_key bool)
+    (fun (k, d) ->
+      QCheck.assume (Key.depth k < 256);
+      let c = Key.child k d in
+      Key.equal (Key.prefix c (Key.depth k)) k
+      && Key.dir c ~ancestor:k = d)
+
+let prop_compare_matches_bit_strings =
+  QCheck.Test.make ~name:"compare = lexicographic bit strings" ~count:500
+    QCheck.(pair arb_key arb_key)
+    (fun (a, b) ->
+      QCheck.assume (Key.depth a <= 64 && Key.depth b <= 64);
+      let c = compare (Key.to_bit_string a) (Key.to_bit_string b) in
+      let c' = Key.compare a b in
+      (c = 0) = (c' = 0) && (c < 0) = (c' < 0))
+
+let prop_encode_injective =
+  QCheck.Test.make ~name:"encode injective" ~count:500
+    QCheck.(pair arb_key arb_key)
+    (fun (a, b) -> Key.equal a b = (Key.encode a = Key.encode b))
+
+let prop_hash_consistent =
+  QCheck.Test.make ~name:"hash respects equality" ~count:500 arb_key (fun k ->
+      let k' = Key.prefix k (Key.depth k) in
+      Key.hash k = Key.hash k')
+
+let suite =
+  ( "key",
+    [
+      Alcotest.test_case "basics" `Quick test_basics;
+      Alcotest.test_case "bits and children" `Quick test_bits_children;
+      Alcotest.test_case "ancestry and dir" `Quick test_ancestry;
+      Alcotest.test_case "lca" `Quick test_lca;
+      Alcotest.test_case "compare" `Quick test_compare;
+      Alcotest.test_case "prefix" `Quick test_prefix;
+      Alcotest.test_case "encode" `Quick test_encode;
+      QCheck_alcotest.to_alcotest prop_prefix_is_ancestor;
+      QCheck_alcotest.to_alcotest prop_lca_commutative;
+      QCheck_alcotest.to_alcotest prop_child_parent;
+      QCheck_alcotest.to_alcotest prop_compare_matches_bit_strings;
+      QCheck_alcotest.to_alcotest prop_encode_injective;
+      QCheck_alcotest.to_alcotest prop_hash_consistent;
+    ] )

@@ -1,0 +1,222 @@
+(* The FASTER-style host store and epoch protection. *)
+
+open Fastver_kvstore
+
+let k i = Key.of_int64 (Int64.of_int i)
+
+let mk () = Store.create ~mutable_region_entries:64 ~codec:Store.string_codec ()
+
+let test_put_get () =
+  let s = mk () in
+  Alcotest.(check (option (pair string int64))) "missing" None (Store.get s (k 1));
+  Store.put s (k 1) "one" ~aux:7L;
+  Alcotest.(check (option (pair string int64))) "found" (Some ("one", 7L))
+    (Store.get s (k 1));
+  Store.put s (k 1) "uno" ~aux:8L;
+  Alcotest.(check (option (pair string int64))) "updated" (Some ("uno", 8L))
+    (Store.get s (k 1));
+  Alcotest.(check int) "one live record" 1 (Store.length s)
+
+let test_cas () =
+  let s = mk () in
+  Store.put s (k 1) "a" ~aux:10L;
+  Alcotest.(check bool) "wrong aux fails" false
+    (Store.try_cas s (k 1) ~expected_aux:9L "b" ~aux:11L);
+  Alcotest.(check bool) "right aux wins" true
+    (Store.try_cas s (k 1) ~expected_aux:10L "b" ~aux:11L);
+  Alcotest.(check (option (pair string int64))) "applied" (Some ("b", 11L))
+    (Store.get s (k 1));
+  Alcotest.(check bool) "missing key fails" false
+    (Store.try_cas s (k 2) ~expected_aux:0L "x" ~aux:0L)
+
+let test_rcu_versions () =
+  (* With a tiny mutable region, updates to old records append versions. *)
+  let s = Store.create ~mutable_region_entries:4 ~codec:Store.string_codec () in
+  for i = 0 to 15 do
+    Store.put s (k i) (string_of_int i) ~aux:0L
+  done;
+  (* key 0 is far outside the mutable region now *)
+  Store.put s (k 0) "copy" ~aux:1L;
+  Alcotest.(check (option (pair string int64))) "rcu update visible"
+    (Some ("copy", 1L)) (Store.get s (k 0));
+  Alcotest.(check bool) "log grew" true (Store.log_size s > 16);
+  Alcotest.(check bool) "rcu copies counted" true ((Store.stats s).rcu_copies >= 1)
+
+let test_delete_iter () =
+  let s = mk () in
+  for i = 0 to 9 do
+    Store.put s (k i) (string_of_int i) ~aux:0L
+  done;
+  Store.delete s (k 3);
+  Alcotest.(check int) "9 live" 9 (Store.length s);
+  let seen = ref 0 in
+  Store.iter_live s (fun _ _ _ -> incr seen);
+  Alcotest.(check int) "iter sees 9" 9 !seen
+
+let test_update_rmw () =
+  let s = mk () in
+  Store.put s (k 1) "x" ~aux:1L;
+  Store.update s (k 1) (function
+    | Some (v, aux) -> (v ^ "y", Int64.add aux 1L)
+    | None -> Alcotest.fail "missing");
+  Alcotest.(check (option (pair string int64))) "rmw" (Some ("xy", 2L))
+    (Store.get s (k 1))
+
+let test_checkpoint_recover () =
+  let dir = Filename.temp_file "fv" "ckpt" in
+  Sys.remove dir;
+  let s = mk () in
+  for i = 0 to 99 do
+    Store.put s (k i) (Printf.sprintf "val%d" i) ~aux:(Int64.of_int i)
+  done;
+  Store.delete s (k 50);
+  Store.checkpoint s ~path:dir ~version:3;
+  (match Store.recover ~codec:Store.string_codec ~path:dir () with
+  | Error e -> Alcotest.failf "recover: %s" e
+  | Ok (s2, version) ->
+      Alcotest.(check int) "version" 3 version;
+      Alcotest.(check int) "count" 99 (Store.length s2);
+      Alcotest.(check (option (pair string int64))) "record"
+        (Some ("val7", 7L)) (Store.get s2 (k 7));
+      Alcotest.(check (option (pair string int64))) "deleted stays deleted"
+        None (Store.get s2 (k 50)));
+  Sys.remove dir
+
+let test_recover_corrupt () =
+  let dir = Filename.temp_file "fv" "bad" in
+  let oc = open_out_bin dir in
+  output_string oc "NOTACKPT";
+  close_out oc;
+  (match Store.recover ~codec:Store.string_codec ~path:dir () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted corrupt checkpoint");
+  Sys.remove dir
+
+let test_spill () =
+  let path = Filename.temp_file "fv" "spill" in
+  let s =
+    Store.create ~mutable_region_entries:8 ~spill:(path, 16)
+      ~codec:Store.string_codec ()
+  in
+  for i = 0 to 63 do
+    Store.put s (k i) (Printf.sprintf "value-%04d" i) ~aux:0L
+  done;
+  Store.spill_now s;
+  (* all records must still be readable, some from disk *)
+  for i = 0 to 63 do
+    match Store.get s (k i) with
+    | Some (v, _) ->
+        Alcotest.(check string) "spilled value" (Printf.sprintf "value-%04d" i) v
+    | None -> Alcotest.failf "lost key %d" i
+  done;
+  Alcotest.(check bool) "some reads hit the spill file" true
+    ((Store.stats s).spill_reads > 0);
+  Sys.remove path
+
+let test_epoch_protection () =
+  let e = Epoch_protection.create ~n_threads:2 in
+  let fired = ref [] in
+  Epoch_protection.acquire e ~tid:0;
+  Epoch_protection.acquire e ~tid:1;
+  ignore (Epoch_protection.bump e ~on_safe:(fun () -> fired := 1 :: !fired));
+  Alcotest.(check (list int)) "not safe while thread 0 inside old epoch" []
+    !fired;
+  Epoch_protection.refresh e ~tid:0;
+  Alcotest.(check (list int)) "still blocked on thread 1" [] !fired;
+  Epoch_protection.refresh e ~tid:1;
+  Alcotest.(check (list int)) "fires once all threads moved" [ 1 ] !fired;
+  Epoch_protection.release e ~tid:0;
+  Epoch_protection.release e ~tid:1;
+  ignore (Epoch_protection.bump e ~on_safe:(fun () -> fired := 2 :: !fired));
+  Alcotest.(check (list int)) "fires immediately when nobody is inside"
+    [ 2; 1 ] !fired
+
+let prop_model_check =
+  (* differential test against a Hashtbl model *)
+  QCheck.Test.make ~name:"store = hashtable model" ~count:60
+    QCheck.(
+      list
+        (pair (int_bound 50)
+           (make
+              Gen.(
+                oneof
+                  [
+                    return None;
+                    map Option.some (string_size (return 4));
+                  ]))))
+    (fun ops ->
+      let s = Store.create ~mutable_region_entries:8 ~codec:Store.string_codec () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (i, op) ->
+          match op with
+          | None -> (
+              (* read and compare *)
+              match (Store.get s (k i), Hashtbl.find_opt model i) with
+              | None, None -> ()
+              | Some (v, _), Some v' when v = v' -> ()
+              | _ -> failwith "divergence")
+          | Some v ->
+              Store.put s (k i) v ~aux:0L;
+              Hashtbl.replace model i v)
+        ops;
+      Hashtbl.fold
+        (fun i v acc ->
+          acc && match Store.get s (k i) with Some (v', _) -> v = v' | None -> false)
+        model true)
+
+let suite =
+  ( "kvstore",
+    [
+      Alcotest.test_case "put/get" `Quick test_put_get;
+      Alcotest.test_case "cas" `Quick test_cas;
+      Alcotest.test_case "rcu versions" `Quick test_rcu_versions;
+      Alcotest.test_case "delete/iter" `Quick test_delete_iter;
+      Alcotest.test_case "read-modify-write" `Quick test_update_rmw;
+      Alcotest.test_case "checkpoint/recover" `Quick test_checkpoint_recover;
+      Alcotest.test_case "corrupt checkpoint" `Quick test_recover_corrupt;
+      Alcotest.test_case "spill to disk" `Quick test_spill;
+      Alcotest.test_case "epoch protection" `Quick test_epoch_protection;
+      QCheck_alcotest.to_alcotest prop_model_check;
+    ] )
+
+(* The store is shared state under OCaml 5 domains: striped locks must keep
+   per-key operations atomic even with preemptive interleaving. *)
+let test_domain_safety () =
+  let s = Store.create ~codec:Store.string_codec () in
+  let n_keys = 64 and per_domain = 20_000 in
+  for i = 0 to n_keys - 1 do
+    Store.put s (k i) "0" ~aux:0L
+  done;
+  (* each domain increments counters via try_cas retry loops *)
+  let work () =
+    let rng = Random.State.make_self_init () in
+    let done_ = ref 0 in
+    while !done_ < per_domain do
+      let key = k (Random.State.int rng n_keys) in
+      match Store.get s key with
+      | None -> ()
+      | Some (v, aux) ->
+          let v' = string_of_int (int_of_string v + 1) in
+          if Store.try_cas s key ~expected_aux:aux v' ~aux:(Int64.succ aux)
+          then incr done_
+    done
+  in
+  let d1 = Domain.spawn work and d2 = Domain.spawn work in
+  work ();
+  Domain.join d1;
+  Domain.join d2;
+  (* every successful CAS bumped aux once; increments must all survive *)
+  let total = ref 0L and count = ref 0 in
+  Store.iter_live s (fun _ v aux ->
+      total := Int64.add !total aux;
+      count := !count + int_of_string v);
+  Alcotest.(check int) "no lost updates (values)" (3 * per_domain) !count;
+  Alcotest.(check int64) "no lost updates (aux)"
+    (Int64.of_int (3 * per_domain))
+    !total
+
+let suite =
+  ( fst suite,
+    snd suite
+    @ [ Alcotest.test_case "domain safety" `Slow test_domain_safety ] )

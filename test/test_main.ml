@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "fastver"
+    [
+      Test_crypto.suite;
+      Test_key.suite;
+      Test_tree.suite;
+      Test_verifier.suite;
+      Test_oplog.suite;
+      Test_adversary.suite;
+      Test_kvstore.suite;
+      Test_core.suite;
+      Test_baselines.suite;
+      Test_workload.suite;
+      Test_extensions.suite;
+      Test_parallel.suite;
+      Test_simthreads.suite;
+    ]

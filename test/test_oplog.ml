@@ -1,0 +1,178 @@
+(* The binary verification-log codec (the enclave ABI). *)
+
+open Fastver_verifier
+
+let op = Alcotest.testable Oplog.pp_op Oplog.equal_op
+
+let sample_ops =
+  let k = Key.of_int64 42L and p = Key.of_bit_string "0101" in
+  let node =
+    Value.Node
+      {
+        left = Some { key = Key.of_int64 1L; hash = String.make 32 'h'; in_blum = true };
+        right = None;
+      }
+  in
+  [
+    Oplog.Add_m { key = k; value = Value.Data (Some "v") ; parent = p };
+    Oplog.Add_m { key = p; value = node; parent = Key.root };
+    Oplog.Evict_m { key = k; parent = p };
+    Oplog.Add_b { key = k; value = Value.Data None; timestamp = Timestamp.make ~epoch:3 ~counter:7 };
+    Oplog.Evict_b { key = k; timestamp = Timestamp.make ~epoch:3 ~counter:8 };
+    Oplog.Evict_bm { key = k; timestamp = 99L; parent = p };
+    Oplog.Vget { key = k; value = Some "abc" };
+    Oplog.Vget { key = k; value = None };
+    Oplog.Vget_absent { key = k; parent = p };
+    Oplog.Vput { key = k; value = Some "" };
+    Oplog.Close_epoch 12;
+  ]
+
+let test_roundtrip () =
+  let buf = Buffer.create 256 in
+  List.iter (Oplog.encode buf) sample_ops;
+  match Oplog.decode_all (Buffer.contents buf) with
+  | Error e -> Alcotest.failf "decode_all: %s" e
+  | Ok ops -> Alcotest.(check (list op)) "roundtrip" sample_ops ops
+
+let test_adversarial_input () =
+  (* decode must fail cleanly, not raise or read out of bounds *)
+  let buf = Buffer.create 64 in
+  Oplog.encode buf (List.hd sample_ops);
+  let good = Buffer.contents buf in
+  let cases =
+    [
+      "";
+      "Z";
+      String.sub good 0 (String.length good - 1) (* truncated *);
+      "M" ^ String.make 10 '\x00' (* short key *);
+      (* huge length prefix on the value *)
+      (let b = Bytes.of_string good in
+       Bytes.set_int32_le b (1 + 34 + 34) 0x7fffffffl;
+       Bytes.to_string b);
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Oplog.decode s ~pos:0 with
+      | Ok _ when String.equal s good -> ()
+      | Ok _ -> Alcotest.failf "decoded malformed input %S" s
+      | Error _ -> ())
+    cases;
+  (* non-canonical key encodings are rejected *)
+  let b = Bytes.of_string good in
+  Bytes.set_uint16_le b 1 5 (* claim depth 5 for a full 256-bit path *);
+  match Oplog.decode (Bytes.to_string b) ~pos:0 with
+  | Ok _ -> Alcotest.fail "accepted non-canonical key"
+  | Error _ -> ()
+
+let test_apply_log () =
+  (* Drive a real verifier purely through the byte-level ABI. *)
+  let tree = Tree.create ~root_aux:() in
+  let records =
+    Array.init 32 (fun i ->
+        (Key.of_int64 (Int64.of_int i), Value.Data (Some (string_of_int i))))
+  in
+  Tree.bulk_build tree ~aux:(fun _ _ -> ()) records;
+  let v = Verifier.create Verifier.default_config in
+  (match Verifier.install_root v (Tree.get_exn tree Key.root).Tree.value with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let key = Key.of_int64 5L in
+  let d = Tree.descend tree key in
+  let buf = Buffer.create 256 in
+  let arr = Array.of_list d.Tree.path in
+  Array.iteri
+    (fun j k ->
+      if j > 0 then
+        Oplog.encode buf
+          (Oplog.Add_m
+             { key = k; value = (Tree.get_exn tree k).Tree.value; parent = arr.(j - 1) }))
+    arr;
+  let parent = arr.(Array.length arr - 1) in
+  Oplog.encode buf (Oplog.Add_m { key; value = Value.Data (Some "5"); parent });
+  Oplog.encode buf (Oplog.Vget { key; value = Some "5" });
+  Oplog.encode buf (Oplog.Vput { key; value = Some "five" });
+  Oplog.encode buf (Oplog.Evict_m { key; parent });
+  let n_entries = Array.length arr - 1 + 4 in
+  match Oplog.apply_log v ~tid:0 (Buffer.contents buf) with
+  | Error e -> Alcotest.failf "apply_log: %s" e
+  | Ok responses ->
+      (* the eviction hands back exactly one pointer, for the last entry *)
+      let evicts =
+        List.filter (fun r -> r.Oplog.entry_index = n_entries - 1) responses
+      in
+      Alcotest.(check int) "one eviction response" 1 (List.length evicts);
+      let r = List.hd evicts in
+      Alcotest.(check bool) "pointer names the key" true
+        (Key.equal r.installed.Value.key key);
+      (* responses survive their own wire format *)
+      let enc = Oplog.encode_responses responses in
+      (match Oplog.decode_responses enc with
+      | Ok rs ->
+          Alcotest.(check int) "response roundtrip count"
+            (List.length responses) (List.length rs)
+      | Error e -> Alcotest.failf "decode_responses: %s" e);
+      Alcotest.(check bool) "verifier healthy" true (Verifier.failure v = None)
+
+let test_apply_log_rejects_forgery () =
+  let v = Verifier.create Verifier.default_config in
+  let buf = Buffer.create 64 in
+  Oplog.encode buf
+    (Oplog.Add_m
+       { key = Key.of_int64 1L; value = Value.Data (Some "forged");
+         parent = Key.root });
+  match Oplog.apply_log v ~tid:0 (Buffer.contents buf) with
+  | Ok _ -> Alcotest.fail "forged log applied"
+  | Error _ -> ()
+
+let prop_roundtrip =
+  let arb =
+    QCheck.make
+      ~print:(Fmt.to_to_string Oplog.pp_op)
+      QCheck.Gen.(
+        let key = map (fun i -> Key.of_int64 (Int64.of_int i)) (int_bound 10000) in
+        let mkey =
+          map
+            (fun (i, d) -> Key.prefix (Key.of_int64 (Int64.of_int i)) d)
+            (pair (int_bound 10000) (int_range 0 255))
+        in
+        let value =
+          oneof
+            [
+              return (Value.Data None);
+              map (fun s -> Value.Data (Some s)) (string_size (0 -- 30));
+            ]
+        in
+        let ts =
+          map
+            (fun (e, c) -> Timestamp.make ~epoch:e ~counter:c)
+            (pair (int_bound 1000) (int_bound 100000))
+        in
+        oneof
+          [
+            map3 (fun key value parent -> Oplog.Add_m { key; value; parent }) key value mkey;
+            map2 (fun key parent -> Oplog.Evict_m { key; parent }) key mkey;
+            map3 (fun key value timestamp -> Oplog.Add_b { key; value; timestamp }) key value ts;
+            map2 (fun key timestamp -> Oplog.Evict_b { key; timestamp }) key ts;
+            map2 (fun key value -> Oplog.Vput { key; value })
+              key (oneof [ return None; map Option.some (string_size (0 -- 20)) ]);
+            map (fun e -> Oplog.Close_epoch e) (int_bound 100000);
+          ])
+  in
+  QCheck.Test.make ~name:"oplog encode/decode roundtrip" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 20) arb) (fun ops ->
+      let buf = Buffer.create 256 in
+      List.iter (Oplog.encode buf) ops;
+      match Oplog.decode_all (Buffer.contents buf) with
+      | Ok ops' -> List.equal Oplog.equal_op ops ops'
+      | Error _ -> false)
+
+let suite =
+  ( "oplog",
+    [
+      Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "adversarial input" `Quick test_adversarial_input;
+      Alcotest.test_case "apply via bytes" `Quick test_apply_log;
+      Alcotest.test_case "forged log rejected" `Quick test_apply_log_rejects_forgery;
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+    ] )

@@ -1,0 +1,212 @@
+(* Record values and the host-side Patricia tree. *)
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let mk_data n =
+  Array.init n (fun i ->
+      (Key.of_int64 (Int64.of_int i), Value.Data (Some (Printf.sprintf "v%d" i))))
+
+let build n =
+  let t = Tree.create ~root_aux:() in
+  Tree.bulk_build t ~aux:(fun _ _ -> ()) (mk_data n);
+  t
+
+let test_value_encode_decode () =
+  let cases =
+    [
+      Value.Data None;
+      Value.Data (Some "");
+      Value.Data (Some "hello");
+      Value.empty_node;
+      Value.Node
+        {
+          left =
+            Some
+              {
+                key = Key.of_bit_string "010";
+                hash = String.make 32 'h';
+                in_blum = true;
+              };
+          right = None;
+        };
+      Value.Node
+        {
+          left =
+            Some
+              {
+                key = Key.of_int64 7L;
+                hash = String.make 32 'x';
+                in_blum = false;
+              };
+          right =
+            Some
+              {
+                key = Key.of_bit_string "1";
+                hash = String.make 32 'y';
+                in_blum = false;
+              };
+        };
+    ]
+  in
+  List.iter
+    (fun v ->
+      match Value.decode (Value.encode v) with
+      | Ok v' -> Alcotest.check value "roundtrip" v v'
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    cases
+
+let test_value_decode_rejects () =
+  let bad = [ ""; "\x03"; "\x02\x01short"; "\x00extra" ] in
+  List.iter
+    (fun s ->
+      match Value.decode s with
+      | Ok _ -> Alcotest.failf "decoded garbage %S" s
+      | Error _ -> ())
+    bad
+
+let test_init_compat () =
+  let dk = Key.of_int64 1L and mk = Key.of_bit_string "01" in
+  Alcotest.check value "data init" (Value.Data None) (Value.init dk);
+  Alcotest.check value "merkle init" Value.empty_node (Value.init mk);
+  Alcotest.(check bool) "compat data" true (Value.compatible dk (Value.Data None));
+  Alcotest.(check bool) "incompat" false (Value.compatible dk Value.empty_node);
+  Alcotest.(check bool) "is_init" true (Value.is_init mk Value.empty_node)
+
+let test_bulk_build_structure () =
+  let t = build 1000 in
+  (match Tree.check_structure t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "structure: %s" e);
+  (* N data leaves need N-1 internal binary nodes, plus possibly the root
+     record when the top split is below depth 0. *)
+  Alcotest.(check bool) "node count in [N-1, N]" true
+    (Tree.length t >= 999 && Tree.length t <= 1001)
+
+let test_descend () =
+  let t = build 100 in
+  (* existing key *)
+  let d = Tree.descend t (Key.of_int64 5L) in
+  Alcotest.(check bool) "exists" true (d.outcome = Tree.Exists);
+  (match d.path with
+  | root :: _ -> Alcotest.(check bool) "path starts at root" true (Key.equal root Key.root)
+  | [] -> Alcotest.fail "empty path");
+  (* missing key far outside: attach somewhere *)
+  let d = Tree.descend t (Key.of_int64 1_000_000L) in
+  Alcotest.(check bool) "missing not exists" true (d.outcome <> Tree.Exists)
+
+let test_descend_path_is_chain () =
+  let t = build 512 in
+  let d = Tree.descend t (Key.of_int64 300L) in
+  let rec check_chain = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "path strictly descends" true
+          (Key.is_proper_ancestor a b);
+        check_chain rest
+    | [ _ ] | [] -> ()
+  in
+  check_chain d.path
+
+let test_frontier () =
+  let t = build 1024 in
+  let f0 = Tree.frontier t ~levels:0 in
+  Alcotest.(check int) "level 0 = root" 1 (List.length f0);
+  let f3 = Tree.frontier t ~levels:3 in
+  Alcotest.(check bool) "level 3 has <= 8 nodes" true (List.length f3 <= 8);
+  Alcotest.(check bool) "level 3 nonempty" true (f3 <> []);
+  (* every root-to-leaf descent crosses the frontier at most once *)
+  List.iter
+    (fun f ->
+      List.iter
+        (fun f' ->
+          if not (Key.equal f f') then
+            Alcotest.(check bool) "frontier antichain" false
+              (Key.is_proper_ancestor f f'))
+        f3)
+    f3
+
+let test_root_hash_changes () =
+  let t1 = build 100 in
+  let records = mk_data 100 in
+  records.(50) <- (fst records.(50), Value.Data (Some "changed"));
+  let t2 = Tree.create ~root_aux:() in
+  Tree.bulk_build t2 ~aux:(fun _ _ -> ()) records;
+  Alcotest.(check bool) "root hash reflects contents" true
+    (Tree.root_hash t1 () <> Tree.root_hash t2 ())
+
+let test_bulk_build_rejects_duplicates () =
+  let t = Tree.create ~root_aux:() in
+  let records =
+    [| (Key.of_int64 1L, Value.Data (Some "a")); (Key.of_int64 1L, Value.Data (Some "b")) |]
+  in
+  Alcotest.check_raises "duplicate keys"
+    (Invalid_argument "Tree.bulk_build: duplicate key") (fun () ->
+      Tree.bulk_build t ~aux:(fun _ _ -> ()) records)
+
+let test_empty_build () =
+  let t = Tree.create ~root_aux:() in
+  Tree.bulk_build t ~aux:(fun _ _ -> ()) [||];
+  Alcotest.(check int) "only root" 1 (Tree.length t);
+  Alcotest.check value "root empty" Value.empty_node
+    (Tree.get_exn t Key.root).Tree.value
+
+(* property: bulk_build over random key sets yields a well-formed tree in
+   which every inserted key is found by descend. *)
+let prop_bulk_build =
+  QCheck.Test.make ~name:"bulk_build well-formed + complete" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 200) (map Int64.of_int (int_bound 100000)))
+    (fun keys ->
+      let uniq = List.sort_uniq Int64.compare keys in
+      let records =
+        Array.of_list
+          (List.map (fun k -> (Key.of_int64 k, Value.Data (Some "v"))) uniq)
+      in
+      let t = Tree.create ~root_aux:() in
+      Tree.bulk_build t ~aux:(fun _ _ -> ()) records;
+      Tree.check_structure t = Ok ()
+      && List.for_all
+           (fun k -> (Tree.descend t (Key.of_int64 k)).outcome = Tree.Exists)
+           uniq)
+
+let prop_value_roundtrip =
+  let arb_value =
+    QCheck.make
+      ~print:(Fmt.to_to_string Value.pp)
+      QCheck.Gen.(
+        oneof
+          [
+            return (Value.Data None);
+            map (fun s -> Value.Data (Some s)) (string_size (0 -- 40));
+            (let ptr =
+               map2
+                 (fun k blum ->
+                   Some
+                     {
+                       Value.key = Key.of_int64 (Int64.of_int k);
+                       hash = String.make 32 'h';
+                       in_blum = blum;
+                     })
+                 (int_bound 1000) bool
+             in
+             let ptr_opt = oneof [ return None; ptr ] in
+             map2 (fun l r -> Value.Node { left = l; right = r }) ptr_opt ptr_opt);
+          ])
+  in
+  QCheck.Test.make ~name:"value encode/decode roundtrip" ~count:300 arb_value
+    (fun v -> Value.decode (Value.encode v) = Ok v)
+
+let suite =
+  ( "tree",
+    [
+      Alcotest.test_case "value encode/decode" `Quick test_value_encode_decode;
+      Alcotest.test_case "value decode rejects" `Quick test_value_decode_rejects;
+      Alcotest.test_case "init and compatibility" `Quick test_init_compat;
+      Alcotest.test_case "bulk_build structure" `Quick test_bulk_build_structure;
+      Alcotest.test_case "descend" `Quick test_descend;
+      Alcotest.test_case "descend path chain" `Quick test_descend_path_is_chain;
+      Alcotest.test_case "frontier" `Quick test_frontier;
+      Alcotest.test_case "root hash" `Quick test_root_hash_changes;
+      Alcotest.test_case "duplicate rejection" `Quick test_bulk_build_rejects_duplicates;
+      Alcotest.test_case "empty build" `Quick test_empty_build;
+      QCheck_alcotest.to_alcotest prop_bulk_build;
+      QCheck_alcotest.to_alcotest prop_value_roundtrip;
+    ] )

@@ -1,0 +1,103 @@
+(* Workload generators. *)
+
+open Fastver_workload
+
+let test_zipf_bounds () =
+  let z = Zipf.create ~n:1000 ~theta:0.9 (Random.State.make [| 1 |]) in
+  for _ = 1 to 10_000 do
+    let v = Zipf.next z in
+    if v < 0 || v >= 1000 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_zipf_skew () =
+  (* with scrambling off, rank 0 is the hottest item *)
+  let z =
+    Zipf.create ~scramble:false ~n:10_000 ~theta:0.9 (Random.State.make [| 2 |])
+  in
+  let hits = Array.make 10_000 0 in
+  for _ = 1 to 100_000 do
+    let v = Zipf.next z in
+    hits.(v) <- hits.(v) + 1
+  done;
+  Alcotest.(check bool) "head is hot" true (hits.(0) > 2_000);
+  let top100 = ref 0 in
+  for i = 0 to 99 do
+    top100 := !top100 + hits.(i)
+  done;
+  Alcotest.(check bool) "top-100 takes most mass at theta=0.9" true
+    (!top100 > 35_000)
+
+let test_zipf_uniform () =
+  let z =
+    Zipf.create ~scramble:false ~n:100 ~theta:0.0 (Random.State.make [| 3 |])
+  in
+  let hits = Array.make 100 0 in
+  for _ = 1 to 100_000 do
+    let v = Zipf.next z in
+    hits.(v) <- hits.(v) + 1
+  done;
+  Array.iteri
+    (fun i h ->
+      if h < 700 || h > 1300 then
+        Alcotest.failf "uniform deviates at %d: %d hits" i h)
+    hits
+
+let test_zipf_scramble_spreads () =
+  let z = Zipf.create ~n:10_000 ~theta:0.9 (Random.State.make [| 4 |]) in
+  let low = ref 0 in
+  for _ = 1 to 10_000 do
+    if Zipf.next z < 100 then incr low
+  done;
+  (* scrambled hot keys are spread across the keyspace, so the lowest 1%
+     of the key range should not absorb most of the mass *)
+  Alcotest.(check bool) "hot keys spread" true (!low < 3_000)
+
+let count_ops spec n =
+  let g = Ycsb.create ~db_size:1000 spec in
+  let reads = ref 0 and updates = ref 0 and scans = ref 0 in
+  for _ = 1 to n do
+    match Ycsb.next g with
+    | Ycsb.Read _ -> incr reads
+    | Ycsb.Update _ -> incr updates
+    | Ycsb.Scan _ -> incr scans
+  done;
+  (!reads, !updates, !scans)
+
+let test_ycsb_mixes () =
+  let n = 20_000 in
+  let r, u, s = count_ops Ycsb.workload_a n in
+  Alcotest.(check bool) "A is 50/50" true
+    (abs (r - u) < n / 10 && s = 0);
+  let r, u, _ = count_ops Ycsb.workload_b n in
+  Alcotest.(check bool) "B is read-heavy" true (r > (9 * n / 10) && u > 0);
+  let r, u, s = count_ops Ycsb.workload_c n in
+  Alcotest.(check bool) "C is read-only" true (r = n && u = 0 && s = 0);
+  let _, u, s = count_ops Ycsb.workload_e n in
+  Alcotest.(check bool) "E is scan-based" true (s > (9 * n / 10) && u > 0)
+
+let test_ycsb_determinism () =
+  let g1 = Ycsb.create ~seed:9 ~db_size:100 Ycsb.workload_a in
+  let g2 = Ycsb.create ~seed:9 ~db_size:100 Ycsb.workload_a in
+  for _ = 1 to 100 do
+    if Ycsb.next g1 <> Ycsb.next g2 then Alcotest.fail "nondeterministic"
+  done
+
+let test_sequential () =
+  let g = Ycsb.create ~db_size:10 (Ycsb.with_dist Ycsb.workload_c Ycsb.Sequential) in
+  let keys = List.init 12 (fun _ ->
+      match Ycsb.next g with Ycsb.Read k -> Int64.to_int k | _ -> -1)
+  in
+  Alcotest.(check (list int)) "wraps around"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 0; 1 ] keys
+
+let suite =
+  ( "workload",
+    [
+      Alcotest.test_case "zipf bounds" `Quick test_zipf_bounds;
+      Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+      Alcotest.test_case "zipf uniform" `Quick test_zipf_uniform;
+      Alcotest.test_case "zipf scramble" `Quick test_zipf_scramble_spreads;
+      Alcotest.test_case "ycsb mixes" `Quick test_ycsb_mixes;
+      Alcotest.test_case "ycsb determinism" `Quick test_ycsb_determinism;
+      Alcotest.test_case "sequential" `Quick test_sequential;
+    ] )
