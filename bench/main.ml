@@ -20,6 +20,68 @@ let header title =
   line ()
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Every row printed for a figure is also recorded here and dumped as
+   JSON to bench/results/latest.json, so regression tooling can diff
+   runs without scraping the tables. *)
+module Results = struct
+  type v = S of string | I of int | F of float
+
+  let rows : (string * (string * v) list) list ref = ref []
+  let record fig kvs = rows := (fig, kvs) :: !rows
+
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let json_of_v = function
+    | S s -> Printf.sprintf "\"%s\"" (escape s)
+    | I i -> string_of_int i
+    | F f -> if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+  let rec mkdir_p dir =
+    if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+    then begin
+      mkdir_p (Filename.dirname dir);
+      try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+
+  let write ~scale ~figs path =
+    mkdir_p (Filename.dirname path);
+    let oc = open_out path in
+    let out fmt = Printf.fprintf oc fmt in
+    let tm = Unix.gmtime (Unix.time ()) in
+    out "{\n";
+    out "  \"generated_utc\": \"%04d-%02d-%02dT%02d:%02d:%02dZ\",\n"
+      (tm.tm_year + 1900) (tm.tm_mon + 1) tm.tm_mday tm.tm_hour tm.tm_min
+      tm.tm_sec;
+    out "  \"scale\": \"%s\",\n" (escape scale);
+    out "  \"figures\": [%s],\n"
+      (String.concat ", " (List.map (fun f -> json_of_v (S f)) figs));
+    out "  \"rows\": [\n";
+    let emit_row i (fig, kvs) =
+      out "    {\"figure\": %s" (json_of_v (S fig));
+      List.iter (fun (k, v) -> out ", \"%s\": %s" (escape k) (json_of_v v)) kvs;
+      out "}%s\n" (if i = List.length !rows - 1 then "" else ",")
+    in
+    List.iteri emit_row (List.rev !rows);
+    out "  ]\n}\n";
+    close_out oc
+end
+
+(* ------------------------------------------------------------------ *)
 (* Scaling                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -116,7 +178,11 @@ let fig12 s ~full =
               let ops = min 150_000 (max 30_000 (2 * batch)) in
               let p = run_point t gen ~ops ~batch in
               pf "%-10s %-4d %-9d %12.0f %14.3f\n%!" label d batch
-                p.throughput p.latency)
+                p.throughput p.latency;
+              Results.(record "fig12"
+                [ ("db", S label); ("records", I n); ("d", I d);
+                  ("batch", I batch); ("ops_per_s", F p.throughput);
+                  ("latency_s", F p.latency) ]))
             [ 2_048; 8_192; 32_768; 131_072 ])
         [ 4; 8 ])
     sizes
@@ -140,7 +206,10 @@ let fig13a s =
     (fun batch ->
       let ops = min 120_000 (max 30_000 (2 * batch)) in
       let p = run_point t gen ~ops ~batch in
-      pf "%-9d %12.0f %14.3f\n%!" batch p.throughput p.latency)
+      pf "%-9d %12.0f %14.3f\n%!" batch p.throughput p.latency;
+      Results.(record "fig13a"
+        [ ("records", I n); ("batch", I batch);
+          ("key_ops_per_s", F p.throughput); ("latency_s", F p.latency) ]))
     [ 4_096; 16_384; 65_536 ]
 
 (* ------------------------------------------------------------------ *)
@@ -177,7 +246,13 @@ let fig13b s =
         sim.latency "";
       pf "%-10s %-11s %12.0f %14.3f %7.0f%%\n%!" label "sgx" sgx.throughput
         sgx.latency
-        (100.0 *. sgx.throughput /. sim.throughput))
+        (100.0 *. sgx.throughput /. sim.throughput);
+      List.iter
+        (fun (enclave, (p : point)) ->
+          Results.(record "fig13b"
+            [ ("db", S label); ("enclave", S enclave);
+              ("ops_per_s", F p.throughput); ("latency_s", F p.latency) ]))
+        [ ("simulated", sim); ("sgx", sgx) ])
     [ scaled s (8_000_000, "8M"); scaled s (32_000_000, "32M") ]
 
 (* ------------------------------------------------------------------ *)
@@ -239,7 +314,15 @@ let fig13cd s =
             best.throughput
             (match tuned with
             | Some p -> Printf.sprintf "%.0f" p.throughput
-            | None -> "n/a"))
+            | None -> "n/a");
+          Results.(record "fig13cd"
+            (( "db", S label) :: ("workload", S wl_label)
+             :: ("faster_ops_per_s", F faster)
+             :: ("fastver_best_ops_per_s", F best.throughput)
+             ::
+             (match tuned with
+             | Some p -> [ ("fastver_1s_ops_per_s", F p.throughput) ]
+             | None -> []))))
         [
           ("50%read", Fastver_workload.Ycsb.workload_a);
           ("readonly", Fastver_workload.Ycsb.workload_c);
@@ -277,7 +360,11 @@ let fig14a s =
           in
           if w = 4 then base := r.throughput /. 4.0;
           pf "%-10s %-8d %14.0f %11.1fx\n%!" label w r.throughput
-            (r.throughput /. !base))
+            (r.throughput /. !base);
+          Results.(record "fig14a"
+            [ ("db", S label); ("workers", I w);
+              ("modelled_ops_per_s", F r.throughput);
+              ("speedup", F (r.throughput /. !base)) ]))
         [ 4; 8; 16; 32 ])
     [ scaled s (8_000_000, "8M"); scaled s (32_000_000, "32M") ]
 
@@ -311,7 +398,11 @@ let fig14b s =
     let wall = Unix.gettimeofday () -. t0 in
     pf "%-10s %12.0f %17.0f%%\n%!" label
       (float_of_int ops /. wall)
-      (100.0 *. Fastver_baselines.Merkle_store.verifier_time_s m /. wall)
+      (100.0 *. Fastver_baselines.Merkle_store.verifier_time_s m /. wall);
+    Results.(record "fig14b"
+      [ ("variant", S label); ("ops_per_s", F (float_of_int ops /. wall));
+        ("verifier_time_frac",
+         F (Fastver_baselines.Merkle_store.verifier_time_s m /. wall)) ])
   in
   run_merkle "M" `Plain ~sequential:false;
   run_merkle "M1K" (`Cached 1_024) ~sequential:false;
@@ -331,7 +422,11 @@ let fig14b s =
   let wall = Unix.gettimeofday () -. t0 in
   pf "%-10s %12.0f %17.0f%%\n%!" "DV"
     (float_of_int dv_ops /. wall)
-    (100.0 *. Fastver_baselines.Dv_store.verifier_time_s dv /. wall)
+    (100.0 *. Fastver_baselines.Dv_store.verifier_time_s dv /. wall);
+  Results.(record "fig14b"
+    [ ("variant", S "DV"); ("ops_per_s", F (float_of_int dv_ops /. wall));
+      ("verifier_time_frac",
+       F (Fastver_baselines.Dv_store.verifier_time_s dv /. wall)) ])
 
 (* ------------------------------------------------------------------ *)
 (* Figure 14c: multithreaded micro (cache-fit vs large DB)             *)
@@ -354,7 +449,11 @@ let fig14c s =
           in
           if w = 1 then base := r.throughput;
           pf "%-10s %-8d %14.0f %11.1fx\n%!" label w r.throughput
-            (r.throughput /. !base))
+            (r.throughput /. !base);
+          Results.(record "fig14c"
+            [ ("db", S label); ("workers", I w);
+              ("modelled_ops_per_s", F r.throughput);
+              ("speedup", F (r.throughput /. !base)) ]))
         [ 1; 2; 4; 8; 16; 32 ])
     [ (16_384, "16K"); (32_000_000 / s.div, "64M-eq") ]
 
@@ -385,7 +484,12 @@ let concerto s =
     Fastver_baselines.Dv_store.verify dv;
     pf "%-26s %-10d %12.0f %18.3f\n%!" "Concerto (DV only)" n
       (float_of_int dv_ops /. dv_wall)
-      (Fastver_baselines.Dv_store.last_verify_latency_s dv)
+      (Fastver_baselines.Dv_store.last_verify_latency_s dv);
+    Results.(record "concerto"
+      [ ("system", S "concerto-dv"); ("records", I n);
+        ("ops_per_s", F (float_of_int dv_ops /. dv_wall));
+        ("verify_latency_s",
+         F (Fastver_baselines.Dv_store.last_verify_latency_s dv)) ])
   in
   (* DV latency grows linearly with the database... *)
   let base = 10_000_000 / s.div in
@@ -400,7 +504,10 @@ let concerto s =
       let p = run_point t gen ~ops:(max 30_000 batch) ~batch in
       pf "%-26s %-10d %12.0f %18.3f\n%!"
         (Printf.sprintf "FastVer (batch %d)" batch)
-        base p.throughput p.latency)
+        base p.throughput p.latency;
+      Results.(record "concerto"
+        [ ("system", S "fastver"); ("records", I base); ("batch", I batch);
+          ("ops_per_s", F p.throughput); ("verify_latency_s", F p.latency) ]))
     [ 8_192; 32_768 ]
 
 (* ------------------------------------------------------------------ *)
@@ -446,7 +553,10 @@ let ablations s =
   List.iter
     (fun (label, sorted) ->
       let p = hybrid_point ~sorted ~n ~ops ~batch () in
-      pf "%-10s %12.0f %14.3f\n%!" label p.throughput p.latency)
+      pf "%-10s %12.0f %14.3f\n%!" label p.throughput p.latency;
+      Results.(record "ablation_migration"
+        [ ("migration", S label); ("ops_per_s", F p.throughput);
+          ("latency_s", F p.latency) ]))
     [ ("sorted", true); ("unsorted", false) ];
 
   header
@@ -456,7 +566,10 @@ let ablations s =
   List.iter
     (fun theta ->
       let p = hybrid_point ~theta ~n ~ops ~batch () in
-      pf "%-10.1f %12.0f %14.3f\n%!" theta p.throughput p.latency)
+      pf "%-10.1f %12.0f %14.3f\n%!" theta p.throughput p.latency;
+      Results.(record "ablation_skew"
+        [ ("theta", F theta); ("ops_per_s", F p.throughput);
+          ("latency_s", F p.latency) ]))
     [ 0.0; 0.9 ];
 
   header "Ablation: Merkle hash function";
@@ -466,7 +579,10 @@ let ablations s =
       let p = hybrid_point ~algo ~n ~ops ~batch () in
       pf "%-10s %12.0f %14.3f\n%!"
         (Format.asprintf "%a" Record_enc.pp_algo algo)
-        p.throughput p.latency)
+        p.throughput p.latency;
+      Results.(record "ablation_hash"
+        [ ("hash", S (Format.asprintf "%a" Record_enc.pp_algo algo));
+          ("ops_per_s", F p.throughput); ("latency_s", F p.latency) ]))
     [ Record_enc.Blake2s; Record_enc.Blake2b; Record_enc.Sha256 ];
 
   header
@@ -476,7 +592,10 @@ let ablations s =
   List.iter
     (fun cache ->
       let p = hybrid_point ~cache ~n ~ops ~batch () in
-      pf "%-10d %12.0f %14.3f\n%!" cache p.throughput p.latency)
+      pf "%-10d %12.0f %14.3f\n%!" cache p.throughput p.latency;
+      Results.(record "ablation_cache"
+        [ ("cache", I cache); ("ops_per_s", F p.throughput);
+          ("latency_s", F p.latency) ]))
     [ 64; 128; 512; 4096 ];
 
   header
@@ -486,7 +605,10 @@ let ablations s =
   List.iter
     (fun logbuf ->
       let p = hybrid_point ~logbuf ~n ~ops ~batch () in
-      pf "%-10d %12.0f %14.3f\n%!" logbuf p.throughput p.latency)
+      pf "%-10d %12.0f %14.3f\n%!" logbuf p.throughput p.latency;
+      Results.(record "ablation_logbuf"
+        [ ("logbuf", I logbuf); ("ops_per_s", F p.throughput);
+          ("latency_s", F p.latency) ]))
     [ 16; 128; 1024; 8192 ]
 
 (* ------------------------------------------------------------------ *)
@@ -545,17 +667,73 @@ let bechamel_micro () =
     in
     Hashtbl.iter
       (fun name result ->
+        let short =
+          match String.index_opt name '/' with
+          | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+          | None -> name
+        in
         match Analyze.OLS.estimates result with
         | Some [ est ] ->
-            pf "  %-40s %10.0f ns/op\n%!"
-              (match String.index_opt name '/' with
-              | Some i -> String.sub name (i + 1) (String.length name - i - 1)
-              | None -> name)
-              est
+            pf "  %-40s %10.0f ns/op\n%!" short est;
+            Results.(record "micro"
+              [ ("primitive", S short); ("ns_per_op", F est) ])
         | Some _ | None -> pf "  %-40s (no estimate)\n%!" name)
       results
   in
   List.iter benchmark tests
+
+(* ------------------------------------------------------------------ *)
+(* Network serving layer: closed-loop clients over a Unix socket       *)
+(* ------------------------------------------------------------------ *)
+
+let fig_net () =
+  header
+    "Network serving layer: closed-loop pipelined clients over a Unix\n\
+     socket, every response signature verified client-side (§7: one\n\
+     verification-log flush per drained batch amortises the enclave\n\
+     transition across connections)";
+  let n = 20_000 in
+  let config =
+    {
+      Fastver.Config.default with
+      n_workers = 4;
+      batch_size = 16_384;
+      cost_model = Cost_model.zero;
+    }
+  in
+  Gc.compact ();
+  let t = Fastver.create ~config () in
+  Fastver.load t (records n);
+  let path = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fastver-bench-%d.sock" (Unix.getpid ())) in
+  match Fastver_net.Server.create t ~listen:(Fastver_net.Addr.Unix_sock path) with
+  | Error e -> pf "  cannot start server: %s\n%!" e
+  | Ok srv ->
+      Fastver_net.Server.start srv;
+      let addr = Fastver_net.Server.bound_addr srv in
+      pf "%-8s %-7s %12s %10s %10s %10s\n" "clients" "window" "ops/s"
+        "p50(ms)" "p99(ms)" "failures";
+      let next_client = ref 1 in
+      List.iter
+        (fun (clients, window) ->
+          let r =
+            Fastver_net.Net_bench.run ~addr ~clients ~window ~ops:20_000
+              ~db_size:n ~first_client:!next_client ()
+          in
+          (* nonces are per-client and single-use, so sessions never share
+             a client id across runs *)
+          next_client := !next_client + clients;
+          let open Fastver_net.Net_bench in
+          pf "%-8d %-7d %12.0f %10.3f %10.3f %10d\n%!" clients window
+            r.ops_per_s r.p50_ms r.p99_ms (r.integrity_failures + r.errors);
+          Results.(record "net"
+            [ ("clients", I clients); ("window", I window); ("ops", I r.ops);
+              ("ops_per_s", F r.ops_per_s); ("p50_ms", F r.p50_ms);
+              ("p99_ms", F r.p99_ms); ("mean_ms", F r.mean_ms);
+              ("integrity_failures", I r.integrity_failures);
+              ("errors", I r.errors) ]))
+        [ (1, 1); (1, 32); (4, 32); (8, 64) ];
+      Fastver_net.Server.stop srv
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -563,7 +741,7 @@ let bechamel_micro () =
 
 let all_figs =
   [ "fig12"; "fig13a"; "fig13b"; "fig13cd"; "fig14a"; "fig14b"; "fig14c";
-    "concerto"; "ablations"; "micro" ]
+    "concerto"; "ablations"; "net"; "micro" ]
 
 let run_bench only quick full =
   (* Reduce GC-induced variance: larger minor heap, and each measurement
@@ -587,9 +765,13 @@ let run_bench only quick full =
   run "fig14c" (fun () -> fig14c s);
   run "concerto" (fun () -> concerto s);
   run "ablations" (fun () -> ablations s);
+  run "net" fig_net;
   run "micro" bechamel_micro;
+  let results_path = Filename.concat "bench" (Filename.concat "results" "latest.json") in
+  Results.write ~scale:s.label ~figs:selected results_path;
   print_newline ();
   line ();
+  pf "results JSON: %s\n" results_path;
   pf "done in %.1f minutes\n" ((Unix.gettimeofday () -. t0) /. 60.0)
 
 let () =

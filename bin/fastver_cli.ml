@@ -185,6 +185,62 @@ let attack_cmd db_size workers depth =
      Logs.app (fun m -> m "DETECTED: %s" reason))
 
 (* ------------------------------------------------------------------ *)
+(* serve / client-bench: the network layer                             *)
+(* ------------------------------------------------------------------ *)
+
+module Net = Fastver_net
+
+let parse_addr s =
+  match Net.Addr.parse s with Ok a -> a | Error e -> die "%s" e
+
+let serve_cmd listen db_size workers batch depth cache algo enclave_model
+    no_auth seed batch_limit =
+  if db_size < 1 then die "--db-size must be at least 1";
+  if workers < 1 then die "--workers must be at least 1";
+  let addr = parse_addr listen in
+  let config = mk_config workers batch depth cache algo enclave_model no_auth seed in
+  let t = load_system config db_size in
+  let scfg = { Net.Server.default_config with batch_limit } in
+  match Net.Server.create ~config:scfg t ~listen:addr with
+  | Error e -> die "%s" e
+  | Ok srv ->
+      let stopping = Atomic.make false in
+      let on_signal _ = Atomic.set stopping true in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+      Logs.app (fun m ->
+          m "serving on %a (auth %s) — Ctrl-C to stop" Net.Addr.pp
+            (Net.Server.bound_addr srv)
+            (if no_auth then "off" else "on"));
+      Net.Server.start srv;
+      while not (Atomic.get stopping) do
+        try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      Net.Server.stop srv;
+      let c = Net.Server.counters srv in
+      let s = Fastver.stats t in
+      Logs.app (fun m ->
+          m "served %d requests on %d connections in %d drains (largest %d); \
+             %d protocol errors, %d failed ops; store at %d ops, epoch %d"
+            c.served c.accepted c.batches c.max_batch c.proto_errors
+            c.op_failures s.ops (Fastver.current_epoch t))
+
+let client_bench_cmd connect clients window ops db_size put_ratio secret
+    no_verify seed =
+  if clients < 1 then die "--clients must be at least 1";
+  if window < 1 then die "--window must be at least 1";
+  if put_ratio < 0.0 || put_ratio > 1.0 then die "--put-ratio must be in [0, 1]";
+  let addr = parse_addr connect in
+  let r =
+    Net.Net_bench.run ~addr ~clients ~window ~ops ~db_size ~put_ratio
+      ~verify:(not no_verify) ~secret ~seed ()
+  in
+  Logs.app (fun m -> m "%a" Net.Net_bench.pp_result r);
+  let open Net.Net_bench in
+  if r.integrity_failures > 0 then die "integrity failures detected";
+  if r.errors > 0 then die "client errors occurred"
+
+(* ------------------------------------------------------------------ *)
 (* scale: modelled multi-worker scalability                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -223,6 +279,56 @@ let run_term =
 let attack_term =
   Term.(const (fun () -> attack_cmd) $ setup_logs $ db_size $ workers $ depth)
 
+let listen =
+  Arg.(value & opt string "tcp:127.0.0.1:4433" & info [ "listen" ]
+         ~docv:"ADDR" ~doc:"Address to serve on: tcp:HOST:PORT or unix:PATH.")
+
+let connect =
+  Arg.(value & opt string "tcp:127.0.0.1:4433" & info [ "connect" ]
+         ~docv:"ADDR" ~doc:"Server address: tcp:HOST:PORT or unix:PATH.")
+
+let batch_limit =
+  Arg.(value & opt int Fastver_net.Server.default_config.batch_limit
+       & info [ "batch-limit" ] ~docv:"N"
+           ~doc:"Max requests drained through the worker loop per batch.")
+
+let clients =
+  Arg.(value & opt int 4 & info [ "clients" ] ~docv:"C"
+         ~doc:"Concurrent client sessions.")
+
+let window =
+  Arg.(value & opt int 32 & info [ "window" ] ~docv:"W"
+         ~doc:"Pipelined requests kept in flight per client.")
+
+let put_ratio =
+  Arg.(value & opt float 0.5 & info [ "put-ratio" ] ~docv:"R"
+         ~doc:"Fraction of operations that are puts.")
+
+let secret =
+  Arg.(value & opt string Fastver.Config.default.mac_secret
+       & info [ "secret" ] ~docv:"S"
+           ~doc:"Shared MAC secret (must match the server's).")
+
+let no_verify =
+  Arg.(value & flag & info [ "no-verify" ]
+         ~doc:"Skip client-side signature checks (for --no-auth servers).")
+
+let serve_term =
+  Term.(
+    const (fun () -> serve_cmd)
+    $ setup_logs $ listen $ db_size $ workers $ batch $ depth $ cache $ algo
+    $ enclave_model $ no_auth $ seed $ batch_limit)
+
+let client_bench_ops =
+  Arg.(value & opt int 100_000 & info [ "ops" ] ~docv:"OPS"
+         ~doc:"Total operations across all clients.")
+
+let client_bench_term =
+  Term.(
+    const (fun () -> client_bench_cmd)
+    $ setup_logs $ connect $ clients $ window $ client_bench_ops $ db_size
+    $ put_ratio $ secret $ no_verify $ seed)
+
 let scale_term =
   Term.(const (fun () -> scale_cmd) $ setup_logs $ db_size $ ops $ depth)
 
@@ -233,6 +339,15 @@ let cmds =
     Cmd.v (Cmd.info "attack" ~doc:"Demonstrate tamper detection") attack_term;
     Cmd.v (Cmd.info "scale" ~doc:"Modelled multi-worker scalability")
       scale_term;
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:"Serve a verified store over TCP or a Unix socket")
+      serve_term;
+    Cmd.v
+      (Cmd.info "client-bench"
+         ~doc:"Closed-loop benchmark against a running fastver server, \
+               verifying every response signature")
+      client_bench_term;
   ]
 
 let () =

@@ -43,7 +43,10 @@ type worker = {
   mutable log_len : int;
   mutable dirty : Key.t list; (* data keys handed to blum this epoch *)
   mutable dirty_len : int;
-  mutable pending_receipt : (string * int) option; (* mac, epoch *)
+  receipts : (string * int) Queue.t;
+      (* (mac, epoch) of validated results, in processing order; a FIFO so
+         that a whole batch can flush through the enclave once and the
+         receipts be collected afterwards (Batch.submit) *)
 }
 
 type stats = {
@@ -119,7 +122,7 @@ let create ?(config = Config.default) () =
       log_len = 0;
       dirty = [];
       dirty_len = 0;
-      pending_receipt = None;
+      receipts = Queue.create ();
     }
   in
   {
@@ -215,7 +218,7 @@ let gateway_receipt t w ~kind key value meta =
         Auth.receipt t.auth ~kind ~client:m.client ~nonce:m.nonce key value
           ~epoch
       in
-      w.pending_receipt <- Some (mac, epoch)
+      Queue.push (mac, epoch) w.receipts
   | Some _ | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -231,7 +234,6 @@ let apply_entry t w = function
       ok (Verifier.vget t.verifier ~tid:w.wid ~key:k v);
       gateway_receipt t w ~kind:Auth.Get k v meta
   | E_vput (k, v, meta) ->
-      gateway_check_put t k v meta;
       ok (Verifier.vput t.verifier ~tid:w.wid ~key:k v);
       gateway_receipt t w ~kind:Auth.Put k v meta
 
@@ -431,7 +433,6 @@ let client_validate t w key cur action =
       gateway_receipt t w ~kind:Auth.Get key cur meta;
       cur
   | A_put (v, meta) ->
-      gateway_check_put t key v meta;
       ok (Verifier.vput t.verifier ~tid:w.wid ~key v);
       gateway_receipt t w ~kind:Auth.Put key v meta;
       v
@@ -601,6 +602,13 @@ let rec process_inner t ?worker key action =
           process_inner t ?worker key action)
 
 let process t ?worker key action =
+  (* Admission control runs up front, before any verifier mutation or log
+     entry: a put with a forged client MAC or a replayed nonce is rejected
+     here with the system state untouched, so one bad request cannot poison
+     the epoch for everyone else (needed by the batching server). *)
+  (match action with
+  | A_put (v, (Some _ as meta)) -> gateway_check_put t key v meta
+  | A_put (_, None) | A_get _ -> ());
   let t0 = now () in
   let ((_, w) as result) = process_inner t ?worker key action in
   t.stats.worker_busy_s.(w.wid) <-
@@ -905,11 +913,14 @@ module Session = struct
   type 'v receipt = { value : 'v; nonce : int64; epoch : int; mac : string }
 
   let take_receipt s w ~kind ~key ~value ~nonce =
-    with_lock s.sys.worker_locks.(w.wid) (fun () -> flush_worker s.sys w);
-    match w.pending_receipt with
+    let receipt =
+      with_lock s.sys.worker_locks.(w.wid) (fun () ->
+          flush_worker s.sys w;
+          Queue.take_opt w.receipts)
+    in
+    match receipt with
     | None -> raise (Integrity_violation "missing validation receipt")
     | Some (mac, epoch) ->
-        w.pending_receipt <- None;
         let expected =
           Auth.receipt s.auth ~kind ~client:s.client_id ~nonce key value ~epoch
         in
@@ -951,6 +962,131 @@ module Session = struct
       if not (check_epoch_certificate s.sys ~epoch cert) then
         raise (Integrity_violation "bad epoch certificate")
     done
+end
+
+(* ------------------------------------------------------------------ *)
+(* Batch submission (network serving path)                             *)
+(* ------------------------------------------------------------------ *)
+
+module Batch = struct
+  type op =
+    | Get of { client : int; nonce : int64; key : int64 }
+    | Put of { client : int; nonce : int64; mac : string; key : int64;
+               value : string option }
+    | Scan of { client : int; nonce : int64; start : int64; len : int }
+
+  type item = {
+    ikey : int64;
+    ivalue : string option;
+    mutable iepoch : int;
+    mutable imac : string;
+  }
+
+  type reply =
+    | Got of item
+    | Put_done of item
+    | Scanned of item array
+    | Failed of string
+
+  (* One elementary validated operation (a scan of length n is n of them),
+     waiting for its receipt to come out of the worker's flush. *)
+  type pending = { p_wid : int; p_item : item; p_op : int }
+
+  let submit t ops =
+    check_loaded t;
+    let auth = t.config.authenticate_clients in
+    let n = Array.length ops in
+    let errors = Array.make n None in
+    let pendings = ref [] (* newest first *) in
+    let meta_of ~client ~nonce ~mac =
+      if auth then Some { client; nonce; mac } else None
+    in
+    let one i action ~client ~nonce ~mac key =
+      let meta = meta_of ~client ~nonce ~mac in
+      let returned, w =
+        process t (data_key (Key.of_int64 key))
+          (match action with
+          | `Get -> A_get meta
+          | `Put v -> A_put (v, meta))
+      in
+      (* what the receipt MAC covers: the read value for gets, the new
+         value for puts (process returns the overwritten value) *)
+      let value = match action with `Get -> returned | `Put v -> v in
+      let item = { ikey = key; ivalue = value; iepoch = 0; imac = "" } in
+      pendings := { p_wid = w.wid; p_item = item; p_op = i } :: !pendings;
+      maybe_verify t;
+      item
+    in
+    let replies =
+      Array.mapi
+        (fun i op ->
+          match op with
+          | Get { client; nonce; key } -> (
+              t.stats.gets <- t.stats.gets + 1;
+              match one i `Get ~client ~nonce ~mac:"" key with
+              | item -> Got item
+              | exception Integrity_violation e ->
+                  errors.(i) <- Some e;
+                  Failed e)
+          | Put { client; nonce; mac; key; value } -> (
+              t.stats.puts <- t.stats.puts + 1;
+              match one i (`Put value) ~client ~nonce ~mac key with
+              | item -> Put_done item
+              | exception Integrity_violation e ->
+                  errors.(i) <- Some e;
+                  Failed e)
+          | Scan { client; nonce; start; len } -> (
+              t.stats.scans <- t.stats.scans + 1;
+              let items = ref [] in
+              match
+                for j = 0 to len - 1 do
+                  t.stats.gets <- t.stats.gets + 1;
+                  let k = Int64.add start (Int64.of_int j) in
+                  items := one i `Get ~client ~nonce ~mac:"" k :: !items
+                done
+              with
+              | () -> Scanned (Array.of_list (List.rev !items))
+              | exception Integrity_violation e ->
+                  errors.(i) <- Some e;
+                  Failed e))
+        ops
+    in
+    (* One drain of every worker's log buffer covers the whole batch: this is
+       where the enclave-transition amortisation happens (§7). A violation
+       here is real tampering surfacing on a deferred validation; ops whose
+       receipts never materialise are failed below. *)
+    let flush_error =
+      match flush t with
+      | () -> None
+      | exception Integrity_violation e -> Some e
+    in
+    (if auth then
+       let fallback_epoch = Verifier.current_epoch t.verifier in
+       List.iter
+         (fun p ->
+           (* pop even for already-failed ops so queues stay in sync *)
+           match
+             with_lock t.worker_locks.(p.p_wid) (fun () ->
+                 Queue.take_opt t.workers.(p.p_wid).receipts)
+           with
+           | Some (mac, epoch) ->
+               p.p_item.imac <- mac;
+               p.p_item.iepoch <- epoch
+           | None ->
+               p.p_item.iepoch <- fallback_epoch;
+               if errors.(p.p_op) = None then
+                 errors.(p.p_op) <-
+                   Some
+                     (Option.value flush_error
+                        ~default:"validation receipt missing"))
+         (List.rev !pendings)
+     else
+       let epoch = Verifier.current_epoch t.verifier in
+       List.iter (fun p -> p.p_item.iepoch <- epoch) !pendings);
+    Array.mapi
+      (fun i reply ->
+        match errors.(i) with Some e -> Failed e | None -> reply)
+      replies
 end
 
 (* ------------------------------------------------------------------ *)
@@ -1160,7 +1296,7 @@ let recover ?(config = Config.default) ~dir () =
       log_len = 0;
       dirty = [];
       dirty_len = 0;
-      pending_receipt = None;
+      receipts = Queue.create ();
     }
   in
   let t =

@@ -88,6 +88,49 @@ module Session : sig
       provisional. *)
 end
 
+(** {2 Batch submission}
+
+    The serving-path entry point ([lib/net]): a whole batch of decoded
+    client requests is driven through the worker loop, then every worker's
+    verification-log buffer is drained through the enclave {e once} —
+    amortising transition cost over the batch exactly as §7 amortises
+    ecalls — and the per-operation validation receipts are collected
+    afterwards (in submission order, from per-worker FIFO queues).
+
+    Errors isolate per operation: a put with a bad client MAC or replayed
+    nonce is rejected at admission, before it can touch verifier state, and
+    surfaces as [Failed] without affecting its neighbours. *)
+
+module Batch : sig
+  type op =
+    | Get of { client : int; nonce : int64; key : int64 }
+    | Put of { client : int; nonce : int64; mac : string; key : int64;
+               value : string option }
+        (** [mac] must be [Auth.put_request] over the operation when
+            [authenticate_clients] is set; [value = None] deletes. *)
+    | Scan of { client : int; nonce : int64; start : int64; len : int }
+
+  type item = {
+    ikey : int64;
+    ivalue : string option;
+    mutable iepoch : int;
+    mutable imac : string;
+        (** [Auth.receipt] over the item (empty when auth is disabled). *)
+  }
+
+  type reply =
+    | Got of item
+    | Put_done of item
+    | Scanned of item array
+    | Failed of string
+
+  val submit : t -> op array -> reply array
+  (** [submit t ops] processes every operation (honouring [batch_size]
+      verification scans) and returns replies in submission order. Does not
+      raise on per-operation integrity failures — they come back as
+      [Failed]. *)
+end
+
 (** {2 Verification} *)
 
 val verify : t -> string

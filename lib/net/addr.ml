@@ -1,0 +1,45 @@
+type t = Tcp of string * int | Unix_sock of string
+
+let parse s =
+  match String.index_opt s ':' with
+  | None -> Error "expected tcp:HOST:PORT or unix:PATH"
+  | Some i -> (
+      let scheme = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match scheme with
+      | "unix" ->
+          if rest = "" then Error "unix: empty socket path"
+          else Ok (Unix_sock rest)
+      | "tcp" -> (
+          match String.rindex_opt rest ':' with
+          | None -> Error "tcp: expected HOST:PORT"
+          | Some j -> (
+              let host = String.sub rest 0 j in
+              let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+              match int_of_string_opt port with
+              | Some p when p > 0 && p < 65536 ->
+                  Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+              | Some _ | None -> Error "tcp: bad port"))
+      | _ -> Error (Printf.sprintf "unknown scheme %S (tcp or unix)" scheme))
+
+let to_sockaddr = function
+  | Unix_sock path -> Ok (Unix.ADDR_UNIX path)
+  | Tcp (host, port) -> (
+      match Unix.inet_addr_of_string host with
+      | ip -> Ok (Unix.ADDR_INET (ip, port))
+      | exception Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } ->
+              Error (Printf.sprintf "host %s has no address" host)
+          | { Unix.h_addr_list; _ } -> Ok (Unix.ADDR_INET (h_addr_list.(0), port))
+          | exception Not_found -> Error (Printf.sprintf "unknown host %s" host)))
+
+let domain = function
+  | Unix_sock _ -> Unix.PF_UNIX
+  | Tcp _ -> Unix.PF_INET
+
+let to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)

@@ -1,0 +1,13 @@
+(** Serving addresses: ["tcp:HOST:PORT"] or ["unix:/path/to.sock"]. *)
+
+type t = Tcp of string * int | Unix_sock of string
+
+val parse : string -> (t, string) result
+
+val to_sockaddr : t -> (Unix.sockaddr, string) result
+(** Resolves the host of a [Tcp] address (IPv4 literal or name). *)
+
+val domain : t -> Unix.socket_domain
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

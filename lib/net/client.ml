@@ -1,0 +1,289 @@
+exception Server_error of string
+exception Protocol_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Server_error e -> Some (Printf.sprintf "Fastver_net.Client.Server_error(%s)" e)
+    | Protocol_error e ->
+        Some (Printf.sprintf "Fastver_net.Client.Protocol_error(%s)" e)
+    | _ -> None)
+
+type t = {
+  fd : Unix.file_descr;
+  reader : Frame.reader;
+  scratch : Bytes.t;
+  mutable next_id : int64;
+  mutable closed : bool;
+}
+
+let connect addr =
+  match Addr.to_sockaddr addr with
+  | Error e -> Error e
+  | Ok sockaddr -> (
+      let fd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
+      match
+        Unix.connect fd sockaddr;
+        match addr with
+        | Addr.Tcp _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+        | Addr.Unix_sock _ -> ()
+      with
+      | () ->
+          Ok
+            {
+              fd;
+              reader = Frame.create ();
+              scratch = Bytes.create 65536;
+              next_id = 0L;
+              closed = false;
+            }
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" (Addr.to_string addr)
+               (Unix.error_message e)))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send t req =
+  let id = t.next_id in
+  t.next_id <- Int64.succ t.next_id;
+  Sockio.send_all t.fd (Wire.encode_request ~id req);
+  id
+
+let recv t =
+  let rec frame () =
+    match Frame.next t.reader with
+    | Error e -> raise (Protocol_error e)
+    | Ok (Some payload) -> payload
+    | Ok None -> (
+        match Sockio.read_chunk t.fd t.scratch with
+        | `Eof -> raise (Protocol_error "connection closed by server")
+        | `Data n ->
+            Frame.feed t.reader t.scratch 0 n;
+            frame ()
+        | `Again ->
+            ignore (Unix.select [ t.fd ] [] [] (-1.0));
+            frame ())
+  in
+  match Wire.decode_response (frame ()) with
+  | Ok (id, resp) -> (id, resp)
+  | Error e -> raise (Protocol_error e)
+
+let expect_id id (id', resp) =
+  if not (Int64.equal id id') then
+    raise
+      (Protocol_error
+         (Printf.sprintf "out-of-order response: expected id %Ld, got %Ld" id
+            id'));
+  resp
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type expect =
+  | X_get of { id : int64; key : int64; nonce : int64 }
+  | X_put of { id : int64; key : int64; nonce : int64; value : string option }
+  | X_scan of { id : int64; start : int64; len : int; nonce : int64 }
+
+type session = {
+  conn : t;
+  client : int;
+  auth : Fastver.Auth.key option; (* None = trust the transport *)
+  secret : string;
+  mutable nonce : int64;
+  inflight : expect Queue.t;
+}
+
+let open_session ?(verify = true) conn ~client ~secret =
+  let id = send conn (Wire.Open_session { client }) in
+  (match expect_id id (recv conn) with
+  | Wire.Session_opened { client = c } when c = client -> ()
+  | Wire.Session_opened _ -> raise (Protocol_error "session echo mismatch")
+  | Wire.Error e -> raise (Server_error e)
+  | _ -> raise (Protocol_error "unexpected response to open-session"));
+  {
+    conn;
+    client;
+    auth = (if verify then Some (Fastver.Auth.key_of_secret secret) else None);
+    secret;
+    nonce = 0L;
+    inflight = Queue.create ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pipelined sends                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let next_nonce s =
+  s.nonce <- Int64.succ s.nonce;
+  s.nonce
+
+let send_get s key =
+  let nonce = next_nonce s in
+  let id = send s.conn (Wire.Get { key; nonce }) in
+  Queue.push (X_get { id; key; nonce }) s.inflight;
+  id
+
+let send_put_opt s key value =
+  let nonce = next_nonce s in
+  let mac =
+    match s.auth with
+    | None -> ""
+    | Some k ->
+        Fastver.Auth.put_request k ~client:s.client ~nonce (Key.of_int64 key)
+          (Option.value value ~default:"")
+  in
+  let id = send s.conn (Wire.Put { key; nonce; mac; value }) in
+  Queue.push (X_put { id; key; nonce; value }) s.inflight;
+  id
+
+let send_put s key value = send_put_opt s key (Some value)
+let send_delete s key = send_put_opt s key None
+
+let send_scan s start len =
+  let nonce = next_nonce s in
+  let id = send s.conn (Wire.Scan { start; len; nonce }) in
+  Queue.push (X_scan { id; start; len; nonce }) s.inflight;
+  id
+
+(* ------------------------------------------------------------------ *)
+(* Verified receipt checking                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_item s ~kind ~nonce (item : Wire.item) =
+  match s.auth with
+  | None -> ()
+  | Some key ->
+      let expected =
+        Fastver.Auth.receipt key ~kind ~client:s.client ~nonce
+          (Key.of_int64 item.key) item.value ~epoch:item.epoch
+      in
+      if not (Fastver.Auth.check ~expected item.mac) then
+        raise
+          (Fastver.Integrity_violation
+             (Printf.sprintf "client: receipt MAC mismatch for key %Ld"
+                item.key))
+
+type reply =
+  | Value of string option
+  | Stored
+  | Scan_result of (int64 * string option) array
+
+let await s =
+  match Queue.take_opt s.inflight with
+  | None -> invalid_arg "Client.await: nothing in flight"
+  | Some expect -> (
+      let id =
+        match expect with
+        | X_get { id; _ } | X_put { id; _ } | X_scan { id; _ } -> id
+      in
+      match (expect, expect_id id (recv s.conn)) with
+      | _, Wire.Error e -> raise (Server_error e)
+      | X_get { key; nonce; _ }, Wire.Got { nonce = n'; item } ->
+          if not (Int64.equal nonce n') then
+            raise (Protocol_error "nonce echo mismatch");
+          if not (Int64.equal item.key key) then
+            raise (Protocol_error "key echo mismatch");
+          check_item s ~kind:Fastver.Auth.Get ~nonce item;
+          (id, Value item.value)
+      | X_put { key; nonce; value; _ }, Wire.Put_ok { nonce = n'; item } ->
+          if not (Int64.equal nonce n') then
+            raise (Protocol_error "nonce echo mismatch");
+          if not (Int64.equal item.key key) then
+            raise (Protocol_error "key echo mismatch");
+          if item.value <> value then
+            raise (Protocol_error "value echo mismatch");
+          check_item s ~kind:Fastver.Auth.Put ~nonce item;
+          (id, Stored)
+      | X_scan { start; len; nonce; _ }, Wire.Scanned { nonce = n'; items } ->
+          if not (Int64.equal nonce n') then
+            raise (Protocol_error "nonce echo mismatch");
+          if Array.length items <> len then
+            raise (Protocol_error "scan result length mismatch");
+          ( id,
+            Scan_result
+              (Array.mapi
+                 (fun i item ->
+                   let expected_key = Int64.add start (Int64.of_int i) in
+                   if not (Int64.equal item.Wire.key expected_key) then
+                     raise (Protocol_error "scan key mismatch");
+                   check_item s ~kind:Fastver.Auth.Get ~nonce item;
+                   (item.Wire.key, item.Wire.value))
+                 items) )
+      | _, _ -> raise (Protocol_error "response kind does not match request"))
+
+let in_flight s = Queue.length s.inflight
+
+let drain s =
+  while not (Queue.is_empty s.inflight) do
+    ignore (await s)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Blocking helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let get s key =
+  ignore (send_get s key);
+  match snd (await s) with
+  | Value v -> v
+  | _ -> raise (Protocol_error "bad reply kind")
+
+let put s key value =
+  ignore (send_put s key value);
+  match snd (await s) with
+  | Stored -> ()
+  | _ -> raise (Protocol_error "bad reply kind")
+
+let delete s key =
+  ignore (send_delete s key);
+  match snd (await s) with
+  | Stored -> ()
+  | _ -> raise (Protocol_error "bad reply kind")
+
+let scan s start len =
+  ignore (send_scan s start len);
+  match snd (await s) with
+  | Scan_result items -> items
+  | _ -> raise (Protocol_error "bad reply kind")
+
+let verify_now s =
+  drain s;
+  let id = send s.conn Wire.Verify in
+  match expect_id id (recv s.conn) with
+  | Wire.Verified { epoch; cert } ->
+      (match s.auth with
+      | None -> ()
+      | Some _ ->
+          if
+            not
+              (Fastver_crypto.Hmac.verify ~key:s.secret
+                 (Fastver_verifier.Verifier.epoch_certificate_message ~epoch)
+                 ~tag:cert)
+          then
+            raise
+              (Fastver.Integrity_violation
+                 (Printf.sprintf "client: bad epoch %d certificate" epoch)));
+      (epoch, cert)
+  | Wire.Error e -> raise (Server_error e)
+  | _ -> raise (Protocol_error "unexpected response to verify")
+
+let close_session s =
+  drain s;
+  let id = send s.conn Wire.Close_session in
+  match expect_id id (recv s.conn) with
+  | Wire.Session_closed -> ()
+  | Wire.Error e -> raise (Server_error e)
+  | _ -> raise (Protocol_error "unexpected response to close-session")
+
+let stats conn =
+  let id = send conn Wire.Stats in
+  match expect_id id (recv conn) with
+  | Wire.Stats_reply s -> s
+  | Wire.Error e -> raise (Server_error e)
+  | _ -> raise (Protocol_error "unexpected response to stats")

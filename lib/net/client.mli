@@ -1,0 +1,79 @@
+(** FastVer client library: sessions, pipelining, and — the point of the
+    whole exercise — client-side verification of every response.
+
+    A {!session} holds the shared secret and a nonce counter (the client
+    half of the TCB, mirroring {!Fastver.Session}). Every validated result
+    arriving over the wire carries the verifier's receipt MAC; the client
+    re-derives the expected MAC from (kind, client id, nonce, key, value,
+    epoch) and raises {!Fastver.Integrity_violation} on any mismatch — a
+    byte flipped anywhere between the enclave and this process is detected
+    here, whether by the network or by the untrusted host itself.
+
+    Requests may be pipelined: [send_*] enqueue without waiting, {!await}
+    completes them strictly in order (the server guarantees per-connection
+    ordering). The blocking helpers ({!get}, {!put}, …) are
+    send-one-await-one. *)
+
+exception Server_error of string
+(** The server answered this request with an error (e.g. a rejected put). *)
+
+exception Protocol_error of string
+(** The byte stream is not a well-formed FastVer conversation. *)
+
+type t
+(** A connection. *)
+
+val connect : Addr.t -> (t, string) result
+val close : t -> unit
+
+type session
+
+val open_session :
+  ?verify:bool -> t -> client:int -> secret:string -> session
+(** Opens an authenticated session. [verify] (default [true]) controls
+    client-side receipt checking — switch it off only when the server runs
+    with [authenticate_clients = false]. *)
+
+val close_session : session -> unit
+(** Drains in-flight requests, then closes the session (not the
+    connection). *)
+
+(** {2 Pipelined interface} *)
+
+val send_get : session -> int64 -> int64
+(** Enqueue; returns the request id (for latency bookkeeping). *)
+
+val send_put : session -> int64 -> string -> int64
+val send_delete : session -> int64 -> int64
+val send_scan : session -> int64 -> int -> int64
+
+type reply =
+  | Value of string option
+  | Stored
+  | Scan_result of (int64 * string option) array
+
+val await : session -> int64 * reply
+(** Complete the oldest in-flight request: reads, checks the receipt MAC
+    and nonce, returns (request id, result).
+    @raise Fastver.Integrity_violation on a signature mismatch.
+    @raise Server_error if the server reported an error for it. *)
+
+val in_flight : session -> int
+
+val drain : session -> unit
+(** Await (and verify) everything in flight. *)
+
+(** {2 Blocking helpers} *)
+
+val get : session -> int64 -> string option
+val put : session -> int64 -> string -> unit
+val delete : session -> int64 -> unit
+val scan : session -> int64 -> int -> (int64 * string option) array
+
+val verify_now : session -> int * string
+(** Ask the server to run a verification scan; returns (epoch, certificate)
+    after checking the certificate against the shared secret.
+    @raise Fastver.Integrity_violation if the certificate does not check. *)
+
+val stats : t -> Wire.stats
+(** Server statistics (no session needed). *)

@@ -1,0 +1,120 @@
+type result = {
+  clients : int;
+  window : int;
+  ops : int;
+  wall_s : float;
+  ops_per_s : float;
+  p50_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  integrity_failures : int;
+  errors : int;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%d clients x window %d: %d ops in %.2fs = %.0f ops/s; latency p50 %.3fms \
+     p99 %.3fms mean %.3fms; %d integrity failures, %d errors"
+    r.clients r.window r.ops r.wall_s r.ops_per_s r.p50_ms r.p99_ms r.mean_ms
+    r.integrity_failures r.errors
+
+type client_out = {
+  mutable latencies : float array; (* seconds, one per completed op *)
+  mutable completed : int;
+  mutable c_integrity : int;
+  mutable c_errors : int;
+}
+
+let run_client ~addr ~window ~my_ops ~db_size ~put_ratio ~verify ~secret ~seed
+    ~client () =
+  let out =
+    { latencies = Array.make (max my_ops 1) 0.0; completed = 0;
+      c_integrity = 0; c_errors = 0 }
+  in
+  (match Client.connect addr with
+  | Error e ->
+      out.c_errors <- out.c_errors + 1;
+      Logs.err (fun m -> m "client %d: %s" client e)
+  | Ok conn -> (
+      try
+        let s = Client.open_session ~verify conn ~client ~secret in
+        let rng = Random.State.make [| seed; client |] in
+        let sent_at = Hashtbl.create (2 * window) in
+        let sent = ref 0 in
+        let send_one () =
+          let key = Int64.of_int (Random.State.int rng (max db_size 1)) in
+          let id =
+            if Random.State.float rng 1.0 < put_ratio then
+              Client.send_put s key (Printf.sprintf "c%d-%d" client !sent)
+            else Client.send_get s key
+          in
+          Hashtbl.replace sent_at id (Unix.gettimeofday ());
+          incr sent
+        in
+        (try
+           while out.completed < my_ops do
+             while !sent < my_ops && Client.in_flight s < window do
+               send_one ()
+             done;
+             let id, _reply = Client.await s in
+             (match Hashtbl.find_opt sent_at id with
+             | Some t0 ->
+                 out.latencies.(out.completed) <- Unix.gettimeofday () -. t0;
+                 Hashtbl.remove sent_at id
+             | None -> ());
+             out.completed <- out.completed + 1
+           done;
+           Client.close_session s
+         with
+        | Fastver.Integrity_violation _ ->
+            out.c_integrity <- out.c_integrity + 1
+        | Client.Server_error _ | Client.Protocol_error _ ->
+            out.c_errors <- out.c_errors + 1);
+        Client.close conn
+      with e ->
+        out.c_errors <- out.c_errors + 1;
+        Logs.err (fun m -> m "client %d: %s" client (Printexc.to_string e));
+        Client.close conn));
+  out
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let run ~addr ~clients ~window ~ops ~db_size ?(put_ratio = 0.5)
+    ?(verify = true) ?(secret = Fastver.Config.default.mac_secret)
+    ?(seed = 42) ?(first_client = 1) () =
+  let my_ops = max 1 (ops / max 1 clients) in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    Array.init clients (fun i ->
+        Domain.spawn
+          (run_client ~addr ~window ~my_ops ~db_size ~put_ratio ~verify
+             ~secret ~seed ~client:(first_client + i)))
+  in
+  let outs = Array.map Domain.join domains in
+  let wall = Unix.gettimeofday () -. t0 in
+  let total = Array.fold_left (fun a o -> a + o.completed) 0 outs in
+  let lats =
+    Array.concat
+      (Array.to_list
+         (Array.map (fun o -> Array.sub o.latencies 0 o.completed) outs))
+  in
+  Array.sort compare lats;
+  let mean =
+    if Array.length lats = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 lats /. float_of_int (Array.length lats)
+  in
+  {
+    clients;
+    window;
+    ops = total;
+    wall_s = wall;
+    ops_per_s = (if wall > 0.0 then float_of_int total /. wall else 0.0);
+    p50_ms = 1000.0 *. percentile lats 0.50;
+    p99_ms = 1000.0 *. percentile lats 0.99;
+    mean_ms = 1000.0 *. mean;
+    integrity_failures = Array.fold_left (fun a o -> a + o.c_integrity) 0 outs;
+    errors = Array.fold_left (fun a o -> a + o.c_errors) 0 outs;
+  }

@@ -1,0 +1,437 @@
+let src = Logs.Src.create "fastver.net.server" ~doc:"FastVer serving loop"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  batch_limit : int;
+  queue_limit : int;
+  conn_out_limit : int;
+  max_frame : int;
+  max_scan_len : int;
+}
+
+let default_config =
+  {
+    batch_limit = 256;
+    queue_limit = 1024;
+    conn_out_limit = 4 * 1024 * 1024;
+    max_frame = Wire.max_frame;
+    max_scan_len = 65536;
+  }
+
+type counters = {
+  mutable accepted : int;
+  mutable served : int;
+  mutable batches : int;
+  mutable max_batch : int;
+  mutable proto_errors : int;
+  mutable op_failures : int;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  reader : Frame.reader;
+  outq : string Queue.t;
+  mutable out_off : int; (* written prefix of the head of [outq] *)
+  mutable out_bytes : int; (* total queued output *)
+  mutable client : int option;
+  mutable closing : bool; (* close once output drains *)
+  mutable dead : bool; (* close now, discard output *)
+}
+
+type t = {
+  sys : Fastver.t;
+  cfg : config;
+  listener : Unix.file_descr;
+  addr : Addr.t;
+  pending : (conn * int64 * Wire.request) Queue.t;
+  mutable conns : conn list;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  stopping : bool Atomic.t;
+  mutable domain : unit Domain.t option;
+  counters : counters;
+  clients_in_use : (int, conn) Hashtbl.t;
+  scratch : Bytes.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(config = default_config) sys ~listen =
+  match Addr.to_sockaddr listen with
+  | Error e -> Error e
+  | Ok sockaddr -> (
+      let fd = Unix.socket (Addr.domain listen) Unix.SOCK_STREAM 0 in
+      match
+        (match listen with
+        | Addr.Unix_sock path ->
+            if Sys.file_exists path then Unix.unlink path
+        | Addr.Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+        Unix.bind fd sockaddr;
+        Unix.listen fd 128;
+        Unix.set_nonblock fd
+      with
+      | () ->
+          let addr =
+            (* read the effective address back (supports tcp port 0) *)
+            match (listen, Unix.getsockname fd) with
+            | Addr.Tcp (host, _), Unix.ADDR_INET (_, port) ->
+                Addr.Tcp (host, port)
+            | a, _ -> a
+          in
+          let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+          Unix.set_nonblock stop_r;
+          Ok
+            {
+              sys;
+              cfg = config;
+              listener = fd;
+              addr;
+              pending = Queue.create ();
+              conns = [];
+              stop_r;
+              stop_w;
+              stopping = Atomic.make false;
+              domain = None;
+              counters =
+                {
+                  accepted = 0;
+                  served = 0;
+                  batches = 0;
+                  max_batch = 0;
+                  proto_errors = 0;
+                  op_failures = 0;
+                };
+              clients_in_use = Hashtbl.create 16;
+              scratch = Bytes.create 65536;
+            }
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "cannot listen on %s: %s" (Addr.to_string listen)
+               (Unix.error_message e)))
+
+let bound_addr t = t.addr
+let counters t = t.counters
+
+(* ------------------------------------------------------------------ *)
+(* Output                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let emit t conn id resp =
+  if not conn.dead then begin
+    let s = Wire.encode_response ~id resp in
+    Queue.push s conn.outq;
+    conn.out_bytes <- conn.out_bytes + String.length s;
+    t.counters.served <- t.counters.served + 1
+  end
+
+let flush_output conn =
+  try
+    let continue = ref true in
+    while !continue && not (Queue.is_empty conn.outq) do
+      let head = Queue.peek conn.outq in
+      match Sockio.write_sub conn.fd head conn.out_off with
+      | `Again -> continue := false
+      | `Wrote n ->
+          conn.out_off <- conn.out_off + n;
+          conn.out_bytes <- conn.out_bytes - n;
+          if conn.out_off = String.length head then begin
+            ignore (Queue.pop conn.outq);
+            conn.out_off <- 0
+          end
+    done
+  with Unix.Unix_error _ -> conn.dead <- true
+
+(* ------------------------------------------------------------------ *)
+(* Request processing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let item_of (b : Fastver.Batch.item) : Wire.item =
+  { key = b.ikey; value = b.ivalue; epoch = b.iepoch; mac = b.imac }
+
+let stats_reply t =
+  let s = Fastver.stats t.sys in
+  let i = Int64.of_int in
+  Wire.Stats_reply
+    {
+      ops = i s.ops;
+      gets = i s.gets;
+      puts = i s.puts;
+      scans = i s.scans;
+      verifies = i s.verifies;
+      fast_path = i s.blum_fast_path;
+      merkle_path = i s.merkle_path;
+      epoch = i (Fastver.current_epoch t.sys);
+    }
+
+(* Classify a request: [`Data] ops accumulate into the next worker-loop
+   drain; [`Admin] ops run inline at their position so per-connection
+   ordering is exact. *)
+let classify t conn req =
+  let auth = (Fastver.config t.sys).authenticate_clients in
+  let client () =
+    match conn.client with
+    | Some c -> Ok c
+    | None -> if auth then Error "no open session" else Ok 0
+  in
+  match (req : Wire.request) with
+  | Wire.Get { key; nonce } -> (
+      match client () with
+      | Error e -> `Err e
+      | Ok client -> `Data (Fastver.Batch.Get { client; nonce; key }))
+  | Wire.Put { key; nonce; mac; value } -> (
+      match client () with
+      | Error e -> `Err e
+      | Ok client -> `Data (Fastver.Batch.Put { client; nonce; mac; key; value }))
+  | Wire.Scan { start; len; nonce } -> (
+      if len < 0 || len > t.cfg.max_scan_len then `Err "scan length out of range"
+      else
+        match client () with
+        | Error e -> `Err e
+        | Ok client -> `Data (Fastver.Batch.Scan { client; nonce; start; len }))
+  | Wire.Open_session { client } ->
+      `Admin
+        (fun conn ->
+          match (conn.client, Hashtbl.find_opt t.clients_in_use client) with
+          | Some _, _ -> Wire.Error "session already open on this connection"
+          | None, Some other when other != conn ->
+              Wire.Error "client id already in use"
+          | None, _ ->
+              conn.client <- Some client;
+              Hashtbl.replace t.clients_in_use client conn;
+              Wire.Session_opened { client })
+  | Wire.Close_session ->
+      `Admin
+        (fun conn ->
+          (match conn.client with
+          | Some c -> Hashtbl.remove t.clients_in_use c
+          | None -> ());
+          conn.client <- None;
+          Wire.Session_closed)
+  | Wire.Verify ->
+      `Admin
+        (fun _conn ->
+          let epoch = Fastver.current_epoch t.sys in
+          match Fastver.verify t.sys with
+          | cert -> Wire.Verified { epoch; cert }
+          | exception Fastver.Integrity_violation e ->
+              Wire.Error ("integrity: " ^ e))
+  | Wire.Stats -> `Admin (fun _conn -> stats_reply t)
+
+let response_of_reply nonce (reply : Fastver.Batch.reply) =
+  match reply with
+  | Fastver.Batch.Got item -> Wire.Got { nonce; item = item_of item }
+  | Fastver.Batch.Put_done item -> Wire.Put_ok { nonce; item = item_of item }
+  | Fastver.Batch.Scanned items ->
+      Wire.Scanned { nonce; items = Array.map item_of items }
+  | Fastver.Batch.Failed e -> Wire.Error ("integrity: " ^ e)
+
+let nonce_of = function
+  | Wire.Get { nonce; _ } | Wire.Put { nonce; _ } | Wire.Scan { nonce; _ } ->
+      nonce
+  | Wire.Open_session _ | Wire.Close_session | Wire.Verify | Wire.Stats -> 0L
+
+(* Drain up to [batch_limit] pending requests through the worker loop.
+   Consecutive data operations share one Batch.submit (one log flush);
+   admin operations execute at their exact position. *)
+let drain t =
+  if not (Queue.is_empty t.pending) then begin
+    let batch = ref [] and n = ref 0 in
+    while !n < t.cfg.batch_limit && not (Queue.is_empty t.pending) do
+      batch := Queue.pop t.pending :: !batch;
+      incr n
+    done;
+    let batch = List.rev !batch in
+    t.counters.batches <- t.counters.batches + 1;
+    if !n > t.counters.max_batch then t.counters.max_batch <- !n;
+    let acc = ref [] in
+    (* (conn, id, nonce, op), newest first *)
+    let flush_acc () =
+      match List.rev !acc with
+      | [] -> ()
+      | ops ->
+          acc := [];
+          let arr = Array.of_list (List.map (fun (_, _, _, op) -> op) ops) in
+          let replies = Fastver.Batch.submit t.sys arr in
+          List.iteri
+            (fun i (conn, id, nonce, _) ->
+              (match replies.(i) with
+              | Fastver.Batch.Failed _ ->
+                  t.counters.op_failures <- t.counters.op_failures + 1
+              | _ -> ());
+              emit t conn id (response_of_reply nonce replies.(i)))
+            ops
+    in
+    List.iter
+      (fun (conn, id, req) ->
+        if not conn.dead then
+          match classify t conn req with
+          | `Data op -> acc := (conn, id, nonce_of req, op) :: !acc
+          | `Admin f ->
+              flush_acc ();
+              emit t conn id (f conn)
+          | `Err e ->
+              flush_acc ();
+              t.counters.op_failures <- t.counters.op_failures + 1;
+              emit t conn id (Wire.Error e))
+      batch;
+    flush_acc ();
+    (* opportunistic write: the sockets are almost always writable *)
+    List.iter
+      (fun (conn, _, _) ->
+        if not (Queue.is_empty conn.outq) then flush_output conn)
+      batch
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Input                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let protocol_error t conn msg =
+  t.counters.proto_errors <- t.counters.proto_errors + 1;
+  emit t conn 0L (Wire.Error ("protocol: " ^ msg));
+  conn.closing <- true
+
+let parse_frames t conn =
+  let continue = ref true in
+  while !continue && not conn.closing do
+    match Frame.next conn.reader with
+    | Ok None -> continue := false
+    | Ok (Some payload) -> (
+        match Wire.decode_request payload with
+        | Ok (id, req) -> Queue.push (conn, id, req) t.pending
+        | Error e -> protocol_error t conn e)
+    | Error e -> protocol_error t conn e
+  done
+
+let handle_readable t conn =
+  let continue = ref true in
+  while !continue do
+    match Sockio.read_chunk conn.fd t.scratch with
+    | `Again -> continue := false
+    | `Eof ->
+        conn.closing <- true;
+        continue := false
+    | `Data n -> Frame.feed conn.reader t.scratch 0 n
+    | exception Unix.Unix_error _ ->
+        conn.dead <- true;
+        continue := false
+  done;
+  parse_frames t conn
+
+let accept_loop t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true t.listener with
+    | fd, _peer ->
+        Unix.set_nonblock fd;
+        (match t.addr with
+        | Addr.Tcp _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+        | Addr.Unix_sock _ -> ());
+        t.counters.accepted <- t.counters.accepted + 1;
+        t.conns <-
+          {
+            fd;
+            reader = Frame.create ~max_frame:t.cfg.max_frame ();
+            outq = Queue.create ();
+            out_off = 0;
+            out_bytes = 0;
+            client = None;
+            closing = false;
+            dead = false;
+          }
+          :: t.conns
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+let close_conn t conn =
+  (match conn.client with
+  | Some c -> Hashtbl.remove t.clients_in_use c
+  | None -> ());
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+
+let reap t =
+  let gone, kept =
+    List.partition
+      (fun c -> c.dead || (c.closing && Queue.is_empty c.outq))
+      t.conns
+  in
+  List.iter (close_conn t) gone;
+  t.conns <- kept
+
+(* ------------------------------------------------------------------ *)
+(* Event loop                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run t =
+  Log.info (fun m -> m "serving on %a" Addr.pp t.addr);
+  while not (Atomic.get t.stopping) do
+    let backpressured = Queue.length t.pending >= t.cfg.queue_limit in
+    let read_fds =
+      t.stop_r :: t.listener
+      :: List.filter_map
+           (fun c ->
+             if
+               (not c.closing) && (not c.dead) && (not backpressured)
+               && c.out_bytes < t.cfg.conn_out_limit
+             then Some c.fd
+             else None)
+           t.conns
+    in
+    let write_fds =
+      List.filter_map
+        (fun c ->
+          if (not c.dead) && not (Queue.is_empty c.outq) then Some c.fd
+          else None)
+        t.conns
+    in
+    let timeout = if Queue.is_empty t.pending then -1.0 else 0.0 in
+    match Unix.select read_fds write_fds [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+        (* a connection died under us between loop passes *)
+        reap t
+    | readable, writable, _ ->
+        if List.mem t.stop_r readable then begin
+          let buf = Bytes.create 64 in
+          try ignore (Unix.read t.stop_r buf 0 64) with Unix.Unix_error _ -> ()
+        end;
+        if List.mem t.listener readable then accept_loop t;
+        List.iter
+          (fun c -> if List.mem c.fd readable then handle_readable t c)
+          t.conns;
+        drain t;
+        List.iter
+          (fun c ->
+            if List.mem c.fd writable && not (Queue.is_empty c.outq) then
+              flush_output c)
+          t.conns;
+        reap t
+  done;
+  List.iter (close_conn t) t.conns;
+  t.conns <- [];
+  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  (match t.addr with
+  | Addr.Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | Addr.Tcp _ -> ());
+  Log.info (fun m ->
+      m "stopped: %d conns accepted, %d requests, %d batches (max %d)"
+        t.counters.accepted t.counters.served t.counters.batches
+        t.counters.max_batch)
+
+let start t = t.domain <- Some (Domain.spawn (fun () -> run t))
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (try ignore (Unix.write_substring t.stop_w "x" 0 1)
+     with Unix.Unix_error _ -> ());
+    (match t.domain with Some d -> Domain.join d | None -> ());
+    t.domain <- None;
+    try Unix.close t.stop_w with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,56 @@
+(** The FastVer serving loop: many connections, one batching worker drain.
+
+    A single event loop (TCP and/or Unix-domain) reads requests into
+    per-connection buffers and drains them through the FastVer worker loop
+    in batches via {!Fastver.Batch.submit}, so the whole batch shares one
+    verification-log flush — the same enclave-transition amortisation the
+    paper applies to ecalls (§7). Responses are written back in
+    per-connection request order, so clients may pipeline freely.
+
+    Robustness properties:
+    - {e backpressure}: the pending-request queue is bounded; when it (or a
+      connection's output queue) fills, the loop simply stops reading from
+      sockets until it drains — TCP flow control pushes back on clients;
+    - {e error isolation}: a malformed frame or forged request poisons only
+      its own connection/operation, never the loop or other clients;
+    - {e clean shutdown}: {!stop} wakes the loop, which closes every
+      socket and removes the Unix socket file. *)
+
+type config = {
+  batch_limit : int;  (** max requests drained per batch (default 256) *)
+  queue_limit : int;  (** pending-queue bound — backpressure (default 1024) *)
+  conn_out_limit : int;
+      (** queued output bytes per connection before its reads pause *)
+  max_frame : int;
+  max_scan_len : int;  (** reject scans longer than this *)
+}
+
+val default_config : config
+
+type counters = {
+  mutable accepted : int;  (** connections accepted *)
+  mutable served : int;  (** requests answered *)
+  mutable batches : int;  (** worker-loop drains *)
+  mutable max_batch : int;  (** largest single drain *)
+  mutable proto_errors : int;  (** malformed frames / requests *)
+  mutable op_failures : int;  (** operations answered with an error *)
+}
+
+type t
+
+val create : ?config:config -> Fastver.t -> listen:Addr.t -> (t, string) result
+(** Binds and listens immediately (so [listen] may use TCP port 0 and the
+    effective address read back with {!bound_addr}). *)
+
+val bound_addr : t -> Addr.t
+
+val counters : t -> counters
+
+val run : t -> unit
+(** Run the event loop in the calling thread until {!stop}. *)
+
+val start : t -> unit
+(** Run the loop in a background domain. *)
+
+val stop : t -> unit
+(** Signal shutdown and, if {!start} was used, join the domain. Idempotent. *)

@@ -1,0 +1,25 @@
+let rec read_chunk fd buf =
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | 0 -> `Eof
+  | n -> `Data n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_chunk fd buf
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Again
+
+let rec write_sub fd s off =
+  match Unix.write_substring fd s off (String.length s - off) with
+  | n -> `Wrote n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_sub fd s off
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Again
+
+let send_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    match write_sub fd s !off with
+    | `Wrote w -> off := !off + w
+    | `Again ->
+        (* blocking fd: only reachable if the caller set O_NONBLOCK *)
+        ignore (Unix.select [] [ fd ] [] (-1.0))
+  done

@@ -1,0 +1,12 @@
+(** Small socket-IO helpers shared by server and client. *)
+
+val read_chunk : Unix.file_descr -> Bytes.t -> [ `Data of int | `Eof | `Again ]
+(** One [read] into the scratch buffer. [`Again] on EAGAIN/EWOULDBLOCK
+    (non-blocking sockets); EINTR is retried.
+    @raise Unix.Unix_error on hard errors (treat as connection loss). *)
+
+val write_sub : Unix.file_descr -> string -> int -> [ `Wrote of int | `Again ]
+(** Write [s] from offset [off] once; returns bytes accepted. *)
+
+val send_all : Unix.file_descr -> string -> unit
+(** Blocking write of the entire string (client side). *)

@@ -1,0 +1,340 @@
+let version = 1
+let magic = "FV"
+let header_len = 2 + 1 + 1 + 8
+let max_frame = 16 * 1024 * 1024
+
+type request =
+  | Open_session of { client : int }
+  | Close_session
+  | Get of { key : int64; nonce : int64 }
+  | Put of { key : int64; nonce : int64; mac : string; value : string option }
+  | Scan of { start : int64; len : int; nonce : int64 }
+  | Verify
+  | Stats
+
+type item = { key : int64; value : string option; epoch : int; mac : string }
+
+type stats = {
+  ops : int64;
+  gets : int64;
+  puts : int64;
+  scans : int64;
+  verifies : int64;
+  fast_path : int64;
+  merkle_path : int64;
+  epoch : int64;
+}
+
+type response =
+  | Session_opened of { client : int }
+  | Session_closed
+  | Got of { nonce : int64; item : item }
+  | Put_ok of { nonce : int64; item : item }
+  | Scanned of { nonce : int64; items : item array }
+  | Verified of { epoch : int; cert : string }
+  | Stats_reply of stats
+  | Error of string
+
+(* ------------------------------------------------------------------ *)
+(* Message type tags (requests 0x01-0x7f, responses 0x81-0xff)         *)
+(* ------------------------------------------------------------------ *)
+
+let tag_open = 0x01
+let tag_close = 0x02
+let tag_get = 0x03
+let tag_put = 0x04
+let tag_scan = 0x05
+let tag_verify = 0x06
+let tag_stats = 0x07
+let tag_opened = 0x81
+let tag_closed = 0x82
+let tag_got = 0x83
+let tag_put_ok = 0x84
+let tag_scanned = 0x85
+let tag_verified = 0x86
+let tag_stats_reply = 0x87
+let tag_error = 0xff
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let add_u16 b v =
+  add_u8 b v;
+  add_u8 b (v lsr 8)
+
+let add_u32 b v =
+  let by = Bytes.create 4 in
+  Bytes.set_int32_le by 0 (Int32.of_int v);
+  Buffer.add_bytes b by
+
+let add_i64 b v =
+  let by = Bytes.create 8 in
+  Bytes.set_int64_le by 0 v;
+  Buffer.add_bytes b by
+
+let add_mac b s =
+  add_u16 b (String.length s);
+  Buffer.add_string b s
+
+let add_value_opt b = function
+  | None -> add_u8 b 0
+  | Some v ->
+      add_u8 b 1;
+      add_u32 b (String.length v);
+      Buffer.add_string b v
+
+let add_item b (it : item) =
+  add_i64 b it.key;
+  add_u32 b it.epoch;
+  add_value_opt b it.value;
+  add_mac b it.mac
+
+let frame ~id tag body =
+  let b = Buffer.create (4 + header_len + String.length body) in
+  add_u32 b (header_len + String.length body);
+  Buffer.add_string b magic;
+  add_u8 b version;
+  add_u8 b tag;
+  add_i64 b id;
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let body f =
+  let b = Buffer.create 64 in
+  f b;
+  Buffer.contents b
+
+let encode_request ~id = function
+  | Open_session { client } -> frame ~id tag_open (body (fun b -> add_u32 b client))
+  | Close_session -> frame ~id tag_close ""
+  | Get { key; nonce } ->
+      frame ~id tag_get
+        (body (fun b ->
+             add_i64 b key;
+             add_i64 b nonce))
+  | Put { key; nonce; mac; value } ->
+      frame ~id tag_put
+        (body (fun b ->
+             add_i64 b key;
+             add_i64 b nonce;
+             add_mac b mac;
+             add_value_opt b value))
+  | Scan { start; len; nonce } ->
+      frame ~id tag_scan
+        (body (fun b ->
+             add_i64 b start;
+             add_u32 b len;
+             add_i64 b nonce))
+  | Verify -> frame ~id tag_verify ""
+  | Stats -> frame ~id tag_stats ""
+
+let encode_response ~id = function
+  | Session_opened { client } ->
+      frame ~id tag_opened (body (fun b -> add_u32 b client))
+  | Session_closed -> frame ~id tag_closed ""
+  | Got { nonce; item } ->
+      frame ~id tag_got
+        (body (fun b ->
+             add_i64 b nonce;
+             add_item b item))
+  | Put_ok { nonce; item } ->
+      frame ~id tag_put_ok
+        (body (fun b ->
+             add_i64 b nonce;
+             add_item b item))
+  | Scanned { nonce; items } ->
+      frame ~id tag_scanned
+        (body (fun b ->
+             add_i64 b nonce;
+             add_u32 b (Array.length items);
+             Array.iter (add_item b) items))
+  | Verified { epoch; cert } ->
+      frame ~id tag_verified
+        (body (fun b ->
+             add_u32 b epoch;
+             add_mac b cert))
+  | Stats_reply s ->
+      frame ~id tag_stats_reply
+        (body (fun b ->
+             List.iter (add_i64 b)
+               [ s.ops; s.gets; s.puts; s.scans; s.verifies; s.fast_path;
+                 s.merkle_path; s.epoch ]))
+  | Error msg ->
+      frame ~id tag_error
+        (body (fun b ->
+             add_u32 b (String.length msg);
+             Buffer.add_string b msg))
+
+(* ------------------------------------------------------------------ *)
+(* Decoding: a bounds-checked cursor; [Bad] converts to [Error] at the *)
+(* message boundary, so decoders never raise on hostile input          *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+type cursor = { s : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.s then raise (Bad "truncated payload")
+
+let u8 c =
+  need c 1;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c =
+  need c 2;
+  let v = String.get_uint16_le c.s c.pos in
+  c.pos <- c.pos + 2;
+  v
+
+let u32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_le c.s c.pos) land 0xffffffff in
+  c.pos <- c.pos + 4;
+  v
+
+let i64 c =
+  need c 8;
+  let v = String.get_int64_le c.s c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let str c n =
+  need c n;
+  let v = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  v
+
+let mac_str c =
+  let n = u16 c in
+  str c n
+
+let value_opt c =
+  match u8 c with
+  | 0 -> None
+  | 1 ->
+      let n = u32 c in
+      Some (str c n)
+  | t -> raise (Bad (Printf.sprintf "bad value tag 0x%02x" t))
+
+let item c =
+  let key = i64 c in
+  let epoch = u32 c in
+  let value = value_opt c in
+  let mac = mac_str c in
+  { key; value; epoch; mac }
+
+let finish c v =
+  if c.pos <> String.length c.s then raise (Bad "trailing bytes in payload");
+  v
+
+let header payload =
+  if String.length payload < header_len then raise (Bad "payload too short");
+  if String.sub payload 0 2 <> magic then raise (Bad "bad magic");
+  let c = { s = payload; pos = 2 } in
+  let ver = u8 c in
+  if ver <> version then raise (Bad (Printf.sprintf "unsupported version %d" ver));
+  let tag = u8 c in
+  let id = i64 c in
+  (c, tag, id)
+
+let decode decode_tag payload =
+  match
+    let c, tag, id = header payload in
+    (id, finish c (decode_tag c tag))
+  with
+  | v -> Ok v
+  | exception Bad e -> Error e
+
+let decode_request =
+  decode (fun c tag ->
+      if tag = tag_open then Open_session { client = u32 c }
+      else if tag = tag_close then Close_session
+      else if tag = tag_get then
+        let key = i64 c in
+        let nonce = i64 c in
+        Get { key; nonce }
+      else if tag = tag_put then
+        let key = i64 c in
+        let nonce = i64 c in
+        let mac = mac_str c in
+        let value = value_opt c in
+        Put { key; nonce; mac; value }
+      else if tag = tag_scan then
+        let start = i64 c in
+        let len = u32 c in
+        let nonce = i64 c in
+        Scan { start; len; nonce }
+      else if tag = tag_verify then Verify
+      else if tag = tag_stats then Stats
+      else raise (Bad (Printf.sprintf "unknown request tag 0x%02x" tag)))
+
+let decode_response =
+  decode (fun c tag ->
+      if tag = tag_opened then Session_opened { client = u32 c }
+      else if tag = tag_closed then Session_closed
+      else if tag = tag_got then
+        let nonce = i64 c in
+        Got { nonce; item = item c }
+      else if tag = tag_put_ok then
+        let nonce = i64 c in
+        Put_ok { nonce; item = item c }
+      else if tag = tag_scanned then begin
+        let nonce = i64 c in
+        let count = u32 c in
+        (* each item consumes >= 15 bytes, so [count] is implicitly bounded
+           by the payload length: check before building the array *)
+        if count * 15 > String.length c.s - c.pos then
+          raise (Bad "scan count exceeds payload");
+        let items = Array.init count (fun _ -> item c) in
+        Scanned { nonce; items }
+      end
+      else if tag = tag_verified then
+        let epoch = u32 c in
+        let cert = mac_str c in
+        Verified { epoch; cert }
+      else if tag = tag_stats_reply then
+        let ops = i64 c in
+        let gets = i64 c in
+        let puts = i64 c in
+        let scans = i64 c in
+        let verifies = i64 c in
+        let fast_path = i64 c in
+        let merkle_path = i64 c in
+        let epoch = i64 c in
+        Stats_reply
+          { ops; gets; puts; scans; verifies; fast_path; merkle_path; epoch }
+      else if tag = tag_error then
+        let n = u32 c in
+        Error (str c n)
+      else raise (Bad (Printf.sprintf "unknown response tag 0x%02x" tag)))
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (logs, debugging)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let pp_request ppf = function
+  | Open_session { client } -> Format.fprintf ppf "open-session(client %d)" client
+  | Close_session -> Format.fprintf ppf "close-session"
+  | Get { key; _ } -> Format.fprintf ppf "get(%Ld)" key
+  | Put { key; value; _ } ->
+      Format.fprintf ppf "put(%Ld, %s)" key
+        (match value with None -> "null" | Some _ -> "value")
+  | Scan { start; len; _ } -> Format.fprintf ppf "scan(%Ld, %d)" start len
+  | Verify -> Format.fprintf ppf "verify"
+  | Stats -> Format.fprintf ppf "stats"
+
+let pp_response ppf = function
+  | Session_opened { client } -> Format.fprintf ppf "session-opened(%d)" client
+  | Session_closed -> Format.fprintf ppf "session-closed"
+  | Got _ -> Format.fprintf ppf "got"
+  | Put_ok _ -> Format.fprintf ppf "put-ok"
+  | Scanned { items; _ } -> Format.fprintf ppf "scanned(%d)" (Array.length items)
+  | Verified { epoch; _ } -> Format.fprintf ppf "verified(epoch %d)" epoch
+  | Stats_reply _ -> Format.fprintf ppf "stats-reply"
+  | Error e -> Format.fprintf ppf "error(%s)" e

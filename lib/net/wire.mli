@@ -1,0 +1,73 @@
+(** The FastVer wire protocol: length-prefixed binary frames.
+
+    Every message travels as [u32-le length] followed by [length] payload
+    bytes. The payload starts with a fixed header — 2 magic bytes ["FV"], a
+    1-byte protocol version, a 1-byte message type, and a u64-le request id
+    that correlates pipelined responses with their requests — and continues
+    with the type-specific body.
+
+    Integers are little-endian; byte strings are length-prefixed (u16 for
+    MACs, u32 for values). The per-session nonces and AES-CMAC signatures of
+    {!Fastver.Auth} are carried verbatim: a put request ships the client's
+    request MAC, every validated result ships the verifier's receipt MAC, so
+    the client re-derives and checks each signature locally.
+
+    Decoders are total: any truncated or corrupted payload yields [Error _],
+    never an exception and never unbounded work or allocation. *)
+
+val version : int
+(** Protocol version carried in every frame (currently 1). *)
+
+val header_len : int
+(** Bytes of the fixed payload header (magic, version, type, request id). *)
+
+val max_frame : int
+(** Upper bound on a sane payload length (decoders and frame readers reject
+    anything larger before allocating). *)
+
+type request =
+  | Open_session of { client : int }
+  | Close_session
+  | Get of { key : int64; nonce : int64 }
+  | Put of { key : int64; nonce : int64; mac : string; value : string option }
+  | Scan of { start : int64; len : int; nonce : int64 }
+  | Verify
+  | Stats
+
+type item = { key : int64; value : string option; epoch : int; mac : string }
+(** One validated result: the receipt MAC covers (kind, client, nonce, key,
+    value, epoch) — see {!Fastver.Auth.receipt}. *)
+
+type stats = {
+  ops : int64;
+  gets : int64;
+  puts : int64;
+  scans : int64;
+  verifies : int64;
+  fast_path : int64;
+  merkle_path : int64;
+  epoch : int64;
+}
+
+type response =
+  | Session_opened of { client : int }
+  | Session_closed
+  | Got of { nonce : int64; item : item }
+  | Put_ok of { nonce : int64; item : item }
+  | Scanned of { nonce : int64; items : item array }
+  | Verified of { epoch : int; cert : string }
+  | Stats_reply of stats
+  | Error of string
+
+val encode_request : id:int64 -> request -> string
+(** The full frame, length prefix included. *)
+
+val encode_response : id:int64 -> response -> string
+
+val decode_request : string -> (int64 * request, string) result
+(** Decode one frame payload (as returned by {!Frame.next}). *)
+
+val decode_response : string -> (int64 * response, string) result
+
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit

@@ -14,4 +14,6 @@ let () =
       Test_extensions.suite;
       Test_parallel.suite;
       Test_simthreads.suite;
+      Test_wire.suite;
+      Test_net.suite;
     ]

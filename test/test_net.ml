@@ -1,0 +1,348 @@
+(* The network serving layer, end to end: Batch.submit semantics, an
+   in-process server spoken to over a Unix socket (results matching a direct
+   in-process run), and the adversarial case — a proxy flips one bit of a
+   response and the client's signature check catches it. *)
+
+module Net = Fastver_net
+
+let initial_value = Fastver_workload.Ycsb.initial_value
+
+let test_config =
+  {
+    Fastver.Config.default with
+    n_workers = 2;
+    batch_size = 64;
+    cost_model = Cost_model.zero;
+  }
+
+let mk_system ?(config = test_config) ?(n = 256) () =
+  let t = Fastver.create ~config () in
+  Fastver.load t
+    (Array.init n (fun i -> (Int64.of_int i, initial_value (Int64.of_int i))));
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Batch.submit                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let auth_key = Fastver.Auth.key_of_secret Fastver.Config.default.mac_secret
+
+let put_mac ~client ~nonce key value =
+  Fastver.Auth.put_request auth_key ~client ~nonce (Key.of_int64 key)
+    (Option.value value ~default:"")
+
+let check_receipt ~kind ~client ~nonce (it : Fastver.Batch.item) =
+  let expected =
+    Fastver.Auth.receipt auth_key ~kind ~client ~nonce (Key.of_int64 it.ikey)
+      it.ivalue ~epoch:it.iepoch
+  in
+  Alcotest.(check bool) "receipt MAC" true (Fastver.Auth.check ~expected it.imac)
+
+let test_batch_submit () =
+  let t = mk_system () in
+  let client = 9 in
+  let ops =
+    [|
+      Fastver.Batch.Get { client; nonce = 1L; key = 5L };
+      Fastver.Batch.Put
+        {
+          client;
+          nonce = 2L;
+          mac = put_mac ~client ~nonce:2L 5L (Some "hello");
+          key = 5L;
+          value = Some "hello";
+        };
+      Fastver.Batch.Get { client; nonce = 3L; key = 5L };
+      Fastver.Batch.Scan { client; nonce = 4L; start = 4L; len = 3 };
+    |]
+  in
+  (match Fastver.Batch.submit t ops with
+  | [| Got a; Put_done b; Got c; Scanned items |] ->
+      Alcotest.(check (option string)) "initial get" (Some (initial_value 5L))
+        a.ivalue;
+      check_receipt ~kind:Fastver.Auth.Get ~client ~nonce:1L a;
+      Alcotest.(check (option string)) "put echoes new value" (Some "hello")
+        b.ivalue;
+      check_receipt ~kind:Fastver.Auth.Put ~client ~nonce:2L b;
+      Alcotest.(check (option string)) "get sees the put" (Some "hello")
+        c.ivalue;
+      check_receipt ~kind:Fastver.Auth.Get ~client ~nonce:3L c;
+      Alcotest.(check int) "scan length" 3 (Array.length items);
+      Array.iteri
+        (fun i it ->
+          Alcotest.(check int64) "scan key" (Int64.add 4L (Int64.of_int i))
+            it.Fastver.Batch.ikey;
+          check_receipt ~kind:Fastver.Auth.Get ~client ~nonce:4L it)
+        items
+  | _ -> Alcotest.fail "unexpected reply shapes");
+  ignore (Fastver.verify t)
+
+let test_batch_isolates_forgeries () =
+  let t = mk_system () in
+  let client = 3 in
+  let good nonce key value =
+    Fastver.Batch.Put
+      { client; nonce; mac = put_mac ~client ~nonce key (Some value); key;
+        value = Some value }
+  in
+  let ops =
+    [|
+      good 1L 10L "a";
+      (* forged MAC: must fail alone, not poison the batch *)
+      Fastver.Batch.Put
+        { client; nonce = 2L; mac = String.make 16 'x'; key = 11L;
+          value = Some "evil" };
+      good 3L 12L "c";
+      (* nonce replay: rejected by the gateway *)
+      good 1L 13L "d";
+      Fastver.Batch.Get { client; nonce = 4L; key = 10L };
+    |]
+  in
+  (match Fastver.Batch.submit t ops with
+  | [| Put_done _; Failed _; Put_done _; Failed _; Got g |] ->
+      Alcotest.(check (option string)) "batch survived the forgery" (Some "a")
+        g.ivalue
+  | _ -> Alcotest.fail "expected [ok; failed; ok; failed; ok]");
+  Alcotest.(check (option string)) "forged put not applied"
+    (Some (initial_value 11L)) (Fastver.get t 11L);
+  Alcotest.(check (option string)) "replayed put not applied"
+    (Some (initial_value 13L)) (Fastver.get t 13L);
+  (* the epoch still verifies: rejected ops left no trace *)
+  ignore (Fastver.verify t)
+
+(* ------------------------------------------------------------------ *)
+(* Server + client over a Unix socket                                  *)
+(* ------------------------------------------------------------------ *)
+
+let sock_counter = ref 0
+
+let fresh_sock () =
+  incr sock_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "fastver-test-%d-%d.sock" (Unix.getpid ()) !sock_counter)
+
+let with_server ?config ?n f =
+  let t = mk_system ?config ?n () in
+  let path = fresh_sock () in
+  match Net.Server.create t ~listen:(Net.Addr.Unix_sock path) with
+  | Error e -> Alcotest.fail e
+  | Ok srv ->
+      Net.Server.start srv;
+      Fun.protect
+        ~finally:(fun () -> Net.Server.stop srv)
+        (fun () -> f t (Net.Addr.Unix_sock path))
+
+let connect addr =
+  match Net.Client.connect addr with
+  | Ok c -> c
+  | Error e -> Alcotest.fail e
+
+let secret = Fastver.Config.default.mac_secret
+
+let test_session_matches_direct () =
+  with_server (fun _t addr ->
+      let conn = connect addr in
+      let s = Net.Client.open_session conn ~client:1 ~secret in
+      (* reference model: what a direct in-process run would return *)
+      let model = Hashtbl.create 256 in
+      for i = 0 to 255 do
+        Hashtbl.replace model (Int64.of_int i) (Some (initial_value (Int64.of_int i)))
+      done;
+      let model_get k =
+        match Hashtbl.find_opt model k with Some v -> v | None -> None
+      in
+      let rng = Random.State.make [| 11 |] in
+      for i = 0 to 299 do
+        let k = Int64.of_int (Random.State.int rng 256) in
+        match Random.State.int rng 4 with
+        | 0 ->
+            Alcotest.(check (option string)) "get" (model_get k)
+              (Net.Client.get s k)
+        | 1 ->
+            let v = Printf.sprintf "v%d" i in
+            Net.Client.put s k v;
+            Hashtbl.replace model k (Some v)
+        | 2 ->
+            Net.Client.delete s k;
+            Hashtbl.replace model k None
+        | _ ->
+            let start = Int64.of_int (Random.State.int rng 250) in
+            let len = 1 + Random.State.int rng 5 in
+            let items = Net.Client.scan s start len in
+            Alcotest.(check int) "scan len" len (Array.length items);
+            Array.iter
+              (fun (k, v) ->
+                Alcotest.(check (option string)) "scan item" (model_get k) v)
+              items
+      done;
+      (* pipelining: a window of sends, then drain (verifying each) *)
+      for i = 0 to 49 do
+        ignore (Net.Client.send_get s (Int64.of_int (i mod 256)))
+      done;
+      Alcotest.(check int) "in flight" 50 (Net.Client.in_flight s);
+      Net.Client.drain s;
+      let epoch, _cert = Net.Client.verify_now s in
+      Alcotest.(check bool) "epochs advanced" true (epoch > 0);
+      Net.Client.close_session s;
+      let st = Net.Client.stats conn in
+      Alcotest.(check bool) "server counted ops" true (st.Net.Wire.ops > 300L);
+      Net.Client.close conn)
+
+let test_two_sessions () =
+  with_server (fun _t addr ->
+      let c1 = connect addr and c2 = connect addr in
+      let s1 = Net.Client.open_session c1 ~client:1 ~secret
+      and s2 = Net.Client.open_session c2 ~client:2 ~secret in
+      Net.Client.put s1 7L "from-one";
+      Alcotest.(check (option string)) "cross-session read" (Some "from-one")
+        (Net.Client.get s2 7L);
+      (* a second session may not steal a live client id *)
+      (try
+         ignore (Net.Client.open_session c2 ~client:1 ~secret);
+         Alcotest.fail "duplicate client id accepted"
+       with Net.Client.Server_error _ -> ());
+      Net.Client.close_session s1;
+      Net.Client.close_session s2;
+      Net.Client.close c1;
+      Net.Client.close c2)
+
+(* ------------------------------------------------------------------ *)
+(* Tampering on the wire                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A frame-aware person-in-the-middle: forwards both directions verbatim,
+   except that [tamper] may rewrite one response payload (it is applied
+   until it first returns [Some]). *)
+let start_proxy ~listen_path ~server_addr ~tamper =
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX listen_path);
+  Unix.listen lfd 1;
+  Domain.spawn (fun () ->
+      let cfd, _ = Unix.accept lfd in
+      let sfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (match Net.Addr.to_sockaddr server_addr with
+      | Ok a -> Unix.connect sfd a
+      | Error e -> failwith e);
+      let reader = Net.Frame.create () in
+      let buf = Bytes.create 4096 in
+      let tampered = ref false in
+      let prefix len =
+        let b = Bytes.create 4 in
+        Bytes.set_int32_le b 0 (Int32.of_int len);
+        Bytes.to_string b
+      in
+      let forward_response payload =
+        let payload =
+          if !tampered then payload
+          else
+            match tamper payload with
+            | Some p ->
+                tampered := true;
+                p
+            | None -> payload
+        in
+        Net.Sockio.send_all cfd (prefix (String.length payload) ^ payload)
+      in
+      (try
+         let running = ref true in
+         while !running do
+           let rs, _, _ = Unix.select [ cfd; sfd ] [] [] 10.0 in
+           if rs = [] then running := false;
+           List.iter
+             (fun fd ->
+               let n = Unix.read fd buf 0 (Bytes.length buf) in
+               if n = 0 then running := false
+               else if fd == cfd then
+                 Net.Sockio.send_all sfd (Bytes.sub_string buf 0 n)
+               else begin
+                 Net.Frame.feed reader buf 0 n;
+                 let rec drain () =
+                   match Net.Frame.next reader with
+                   | Ok (Some payload) ->
+                       forward_response payload;
+                       drain ()
+                   | Ok None -> ()
+                   | Error _ -> running := false
+                 in
+                 drain ()
+               end)
+             rs
+         done
+       with Unix.Unix_error _ | Failure _ -> ());
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ cfd; sfd; lfd ])
+
+(* Flip one byte of the first Got response (tag 0x83) at [index] — counted
+   from the end when negative, so [-1] is the receipt MAC's last byte. *)
+let flip_got_byte index payload =
+  if String.length payload <= Net.Wire.header_len
+     || Char.code payload.[3] <> 0x83
+  then None
+  else begin
+    let b = Bytes.of_string payload in
+    let i = if index < 0 then Bytes.length b + index else index in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+    Some (Bytes.to_string b)
+  end
+
+let test_tampered_response_detected () =
+  with_server (fun _t addr ->
+      let proxy_path = fresh_sock () in
+      let proxy =
+        start_proxy ~listen_path:proxy_path ~server_addr:addr
+          ~tamper:(flip_got_byte (-1))
+      in
+      let conn = connect (Net.Addr.Unix_sock proxy_path) in
+      let s = Net.Client.open_session conn ~client:1 ~secret in
+      (* puts pass through untouched... *)
+      Net.Client.put s 3L "real";
+      (* ...then the proxy corrupts the first Got response *)
+      (try
+         let v = Net.Client.get s 3L in
+         Alcotest.fail
+           (Printf.sprintf "tampered response accepted: %s"
+              (Option.value v ~default:"<none>"))
+       with Fastver.Integrity_violation _ -> ());
+      Net.Client.close conn;
+      Domain.join proxy;
+      try Sys.remove proxy_path with Sys_error _ -> ())
+
+(* Without signatures (auth off server-side, checking off client-side) the
+   same kind of flip sails through: it is the MAC that detects tampering,
+   not the framing. Flipping the first value byte turns "real" into "seal"
+   and nobody notices. *)
+let test_tamper_needs_verification () =
+  let config = { test_config with authenticate_clients = false } in
+  with_server ~config (fun _t addr ->
+      let proxy_path = fresh_sock () in
+      (* value bytes of a Got payload start after header, nonce, key,
+         epoch, present byte and u32 length *)
+      let value_off = Net.Wire.header_len + 8 + 8 + 4 + 1 + 4 in
+      let proxy =
+        start_proxy ~listen_path:proxy_path ~server_addr:addr
+          ~tamper:(flip_got_byte value_off)
+      in
+      let conn = connect (Net.Addr.Unix_sock proxy_path) in
+      let s = Net.Client.open_session ~verify:false conn ~client:1 ~secret in
+      Net.Client.put s 3L "real";
+      Alcotest.(check (option string)) "flip invisible without signatures"
+        (Some "seal") (Net.Client.get s 3L);
+      Net.Client.close conn;
+      Domain.join proxy;
+      try Sys.remove proxy_path with Sys_error _ -> ())
+
+let suite =
+  ( "net",
+    [
+      Alcotest.test_case "batch submit" `Quick test_batch_submit;
+      Alcotest.test_case "batch isolates forgeries" `Quick
+        test_batch_isolates_forgeries;
+      Alcotest.test_case "session matches direct run" `Quick
+        test_session_matches_direct;
+      Alcotest.test_case "two sessions" `Quick test_two_sessions;
+      Alcotest.test_case "tampered response detected" `Quick
+        test_tampered_response_detected;
+      Alcotest.test_case "tamper needs verification" `Quick
+        test_tamper_needs_verification;
+    ] )

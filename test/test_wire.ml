@@ -1,0 +1,243 @@
+(* Wire-protocol properties: every message round-trips through
+   encode -> frame extraction -> decode, under any stream chunking; and the
+   decoders are total — truncated, corrupted or outright hostile payloads
+   yield [Error], never an exception, never unbounded allocation. *)
+
+module Wire = Fastver_net.Wire
+module Frame = Fastver_net.Frame
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_mac = QCheck.Gen.(string_size (0 -- 48))
+let gen_value = QCheck.Gen.(opt (string_size (0 -- 200)))
+let gen_i64 = QCheck.Gen.(map Int64.of_int int)
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun client -> Wire.Open_session { client }) (0 -- 0xFFFF);
+        return Wire.Close_session;
+        map2 (fun key nonce -> Wire.Get { key; nonce }) gen_i64 gen_i64;
+        map3
+          (fun key nonce (mac, value) -> Wire.Put { key; nonce; mac; value })
+          gen_i64 gen_i64 (pair gen_mac gen_value);
+        map3
+          (fun start len nonce -> Wire.Scan { start; len; nonce })
+          gen_i64 (0 -- 1000) gen_i64;
+        return Wire.Verify;
+        return Wire.Stats;
+      ])
+
+let gen_item =
+  QCheck.Gen.(
+    map
+      (fun (key, value, epoch, mac) -> { Wire.key; value; epoch; mac })
+      (quad gen_i64 gen_value (0 -- 1_000_000) gen_mac))
+
+let gen_stats =
+  QCheck.Gen.(
+    map
+      (fun (a, b, c, d) ->
+        {
+          Wire.ops = a;
+          gets = b;
+          puts = c;
+          scans = d;
+          verifies = a;
+          fast_path = b;
+          merkle_path = c;
+          epoch = d;
+        })
+      (quad gen_i64 gen_i64 gen_i64 gen_i64))
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun client -> Wire.Session_opened { client }) (0 -- 0xFFFF);
+        return Wire.Session_closed;
+        map2 (fun nonce item -> Wire.Got { nonce; item }) gen_i64 gen_item;
+        map2 (fun nonce item -> Wire.Put_ok { nonce; item }) gen_i64 gen_item;
+        map2
+          (fun nonce items -> Wire.Scanned { nonce; items = Array.of_list items })
+          gen_i64 (list_size (0 -- 12) gen_item);
+        map2 (fun epoch cert -> Wire.Verified { epoch; cert }) (0 -- 1_000_000)
+          gen_mac;
+        map (fun s -> Wire.Stats_reply s) gen_stats;
+        map (fun e -> Wire.Error e) (string_size (0 -- 80));
+      ])
+
+let arb_request =
+  QCheck.make gen_request ~print:(Format.asprintf "%a" Wire.pp_request)
+
+let arb_response =
+  QCheck.make gen_response ~print:(Format.asprintf "%a" Wire.pp_response)
+
+(* ------------------------------------------------------------------ *)
+(* Round trips                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Strip the length prefix with a Frame reader, as the real stack does. *)
+let payload_of_frame frame =
+  let r = Frame.create () in
+  Frame.feed_string r frame;
+  match Frame.next r with
+  | Ok (Some p) -> p
+  | Ok None -> failwith "frame incomplete"
+  | Error e -> failwith e
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request encode|>decode = id" ~count:1000
+    QCheck.(pair arb_request int64)
+    (fun (req, id) ->
+      Wire.decode_request (payload_of_frame (Wire.encode_request ~id req))
+      = Ok (id, req))
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"response encode|>decode = id" ~count:1000
+    QCheck.(pair arb_response int64)
+    (fun (resp, id) ->
+      Wire.decode_response (payload_of_frame (Wire.encode_response ~id resp))
+      = Ok (id, resp))
+
+(* Any chunking of a message sequence yields the same frames. *)
+let prop_chunked_feed =
+  QCheck.Test.make ~name:"frame reader is chunking-invariant" ~count:200
+    QCheck.(pair (small_list arb_request) (list small_nat))
+    (fun (reqs, cuts) ->
+      let stream =
+        String.concat ""
+          (List.mapi (fun i r -> Wire.encode_request ~id:(Int64.of_int i) r) reqs)
+      in
+      let r = Frame.create () in
+      let got = ref [] in
+      let pos = ref 0 in
+      let take n =
+        let n = min n (String.length stream - !pos) in
+        Frame.feed_string r (String.sub stream !pos n);
+        pos := !pos + n;
+        let rec drain () =
+          match Frame.next r with
+          | Ok (Some p) ->
+              got := Wire.decode_request p :: !got;
+              drain ()
+          | Ok None -> ()
+          | Error e -> failwith e
+        in
+        drain ()
+      in
+      List.iter (fun c -> take (1 + c)) cuts;
+      take (String.length stream);
+      List.rev !got
+      = List.mapi (fun i r -> Ok (Int64.of_int i, r)) reqs)
+
+(* ------------------------------------------------------------------ *)
+(* Hostile input: decoders must be total                               *)
+(* ------------------------------------------------------------------ *)
+
+let decodes_without_raising payload =
+  match (Wire.decode_request payload, Wire.decode_response payload) with
+  | (Ok _ | Error _), (Ok _ | Error _) -> true
+
+let prop_truncation =
+  QCheck.Test.make ~name:"truncated payloads never raise" ~count:1000
+    QCheck.(triple arb_request arb_response (float_bound_inclusive 1.0))
+    (fun (req, resp, frac) ->
+      let check frame =
+        let payload = payload_of_frame frame in
+        let cut = int_of_float (frac *. float_of_int (String.length payload)) in
+        let truncated = String.sub payload 0 cut in
+        decodes_without_raising truncated
+        && (cut = String.length payload
+           || Result.is_error (Wire.decode_request truncated))
+      in
+      check (Wire.encode_request ~id:7L req)
+      && check (Wire.encode_response ~id:7L resp))
+
+let prop_corruption =
+  QCheck.Test.make ~name:"corrupted payloads never raise" ~count:1000
+    QCheck.(triple arb_response small_nat char)
+    (fun (resp, pos, c) ->
+      let payload = payload_of_frame (Wire.encode_response ~id:3L resp) in
+      let b = Bytes.of_string payload in
+      Bytes.set b (pos mod Bytes.length b) c;
+      decodes_without_raising (Bytes.to_string b))
+
+let prop_garbage =
+  QCheck.Test.make ~name:"random garbage never raises" ~count:1000
+    QCheck.(string_of_size QCheck.Gen.(0 -- 256))
+    decodes_without_raising
+
+(* Trailing bytes after a well-formed body are a protocol error. *)
+let prop_trailing_junk =
+  QCheck.Test.make ~name:"trailing bytes rejected" ~count:500 arb_request
+    (fun req ->
+      let payload = payload_of_frame (Wire.encode_request ~id:1L req) in
+      Result.is_error (Wire.decode_request (payload ^ "x")))
+
+let test_frame_length_bounds () =
+  let mk len =
+    let b = Buffer.create 8 in
+    Buffer.add_char b (Char.chr (len land 0xff));
+    Buffer.add_char b (Char.chr ((len lsr 8) land 0xff));
+    Buffer.add_char b (Char.chr ((len lsr 16) land 0xff));
+    Buffer.add_char b (Char.chr ((len lsr 24) land 0xff));
+    Buffer.contents b
+  in
+  let r = Frame.create () in
+  Frame.feed_string r (mk 5);
+  (match Frame.next r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "undersized frame length accepted");
+  let r = Frame.create () in
+  Frame.feed_string r (mk (Wire.max_frame + 1));
+  (match Frame.next r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized frame length accepted");
+  (* the error is sticky: the stream cannot be resynchronised *)
+  match Frame.next r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "frame error must be sticky"
+
+(* A Scanned response claiming 2^32-ish items must be rejected before any
+   allocation proportional to the claim. *)
+let test_scan_count_bomb () =
+  let b = Buffer.create 32 in
+  Buffer.add_string b "FV";
+  Buffer.add_char b (Char.chr Wire.version);
+  Buffer.add_char b '\x85' (* Scanned *);
+  Buffer.add_string b (String.make 8 '\x00') (* id *);
+  Buffer.add_string b (String.make 8 '\x00') (* nonce *);
+  Buffer.add_string b "\xff\xff\xff\x7f" (* count *);
+  let t0 = Unix.gettimeofday () in
+  (match Wire.decode_response (Buffer.contents b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "item-count bomb accepted");
+  if Unix.gettimeofday () -. t0 > 0.5 then
+    Alcotest.fail "item-count bomb took too long"
+
+let test_version_rejected () =
+  let payload = payload_of_frame (Wire.encode_request ~id:0L Wire.Verify) in
+  let b = Bytes.of_string payload in
+  Bytes.set b 2 '\x63';
+  match Wire.decode_request (Bytes.to_string b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong protocol version accepted"
+
+let suite =
+  ( "wire",
+    [
+      Alcotest.test_case "frame length bounds" `Quick test_frame_length_bounds;
+      Alcotest.test_case "scan count bomb" `Quick test_scan_count_bomb;
+      Alcotest.test_case "bad version rejected" `Quick test_version_rejected;
+      QCheck_alcotest.to_alcotest prop_request_roundtrip;
+      QCheck_alcotest.to_alcotest prop_response_roundtrip;
+      QCheck_alcotest.to_alcotest prop_chunked_feed;
+      QCheck_alcotest.to_alcotest prop_truncation;
+      QCheck_alcotest.to_alcotest prop_corruption;
+      QCheck_alcotest.to_alcotest prop_garbage;
+      QCheck_alcotest.to_alcotest prop_trailing_junk;
+    ] )
