@@ -194,12 +194,30 @@ let parse_addr s =
   match Net.Addr.parse s with Ok a -> a | Error e -> die "%s" e
 
 let serve_cmd listen db_size workers batch depth cache algo enclave_model
-    no_auth seed batch_limit =
+    no_auth seed batch_limit ckpt_dir =
   if db_size < 1 then die "--db-size must be at least 1";
   if workers < 1 then die "--workers must be at least 1";
   let addr = parse_addr listen in
   let config = mk_config workers batch depth cache algo enclave_model no_auth seed in
-  let t = load_system config db_size in
+  let t =
+    match ckpt_dir with
+    | None -> load_system config db_size
+    | Some dir -> (
+        (* Durable serving: resume from the newest committed checkpoint
+           generation if there is one, otherwise load fresh; either way,
+           checkpoint after every verification scan from here on. *)
+        match Fastver.recover ~config ~dir () with
+        | Ok t ->
+            Logs.app (fun m ->
+                m "recovered from checkpoint in %s (verified epoch %d)" dir
+                  (Fastver.current_epoch t));
+            t
+        | Error e ->
+            Logs.app (fun m ->
+                m "no usable checkpoint in %s (%s); loading fresh" dir e);
+            load_system config db_size)
+  in
+  Option.iter (fun dir -> Fastver.set_auto_checkpoint t ~dir) ckpt_dir;
   let scfg = { Net.Server.default_config with batch_limit } in
   match Net.Server.create ~config:scfg t ~listen:addr with
   | Error e -> die "%s" e
@@ -224,6 +242,22 @@ let serve_cmd listen db_size workers batch depth cache algo enclave_model
              %d protocol errors, %d failed ops; store at %d ops, epoch %d"
             c.served c.accepted c.batches c.max_batch c.proto_errors
             c.op_failures s.ops (Fastver.current_epoch t))
+
+let recover_cmd dir workers batch depth cache algo enclave_model no_auth seed =
+  let config = mk_config workers batch depth cache algo enclave_model no_auth seed in
+  match Fastver.recover ~config ~dir () with
+  | Error e -> die "recover: %s" e
+  | Ok t -> (
+      let epoch = Fastver.current_epoch t in
+      match Fastver.verify t with
+      | exception Fastver.Integrity_violation reason ->
+          die "recovered state failed verification: %s" reason
+      | cert ->
+          if not (Fastver.check_epoch_certificate t ~epoch cert) then
+            die "recovered state failed certificate check";
+          Logs.app (fun m ->
+              m "recovered from %s: epoch %d verified, certificate OK" dir
+                epoch))
 
 let client_bench_cmd connect clients window ops db_size put_ratio secret
     no_verify seed =
@@ -313,11 +347,26 @@ let no_verify =
   Arg.(value & flag & info [ "no-verify" ]
          ~doc:"Skip client-side signature checks (for --no-auth servers).")
 
+let ckpt_dir =
+  Arg.(value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR"
+         ~doc:"Recover from (and auto-checkpoint to) crash-safe checkpoint \
+               generations under this directory.")
+
+let recover_dir =
+  Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+         ~doc:"Checkpoint directory to recover from.")
+
 let serve_term =
   Term.(
     const (fun () -> serve_cmd)
     $ setup_logs $ listen $ db_size $ workers $ batch $ depth $ cache $ algo
-    $ enclave_model $ no_auth $ seed $ batch_limit)
+    $ enclave_model $ no_auth $ seed $ batch_limit $ ckpt_dir)
+
+let recover_term =
+  Term.(
+    const (fun () -> recover_cmd)
+    $ setup_logs $ recover_dir $ workers $ batch $ depth $ cache $ algo
+    $ enclave_model $ no_auth $ seed)
 
 let client_bench_ops =
   Arg.(value & opt int 100_000 & info [ "ops" ] ~docv:"OPS"
@@ -343,6 +392,11 @@ let cmds =
       (Cmd.info "serve"
          ~doc:"Serve a verified store over TCP or a Unix socket")
       serve_term;
+    Cmd.v
+      (Cmd.info "recover"
+         ~doc:"Recover a verified store from its newest committed checkpoint \
+               generation and run a verification scan")
+      recover_term;
     Cmd.v
       (Cmd.info "client-bench"
          ~doc:"Closed-loop benchmark against a running fastver server, \

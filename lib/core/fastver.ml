@@ -1098,11 +1098,14 @@ let data_file = "data.ckpt"
 let sealed_file = "verifier.sealed"
 let tpm_file = "tpm.state"
 
-let write_file path contents =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+(* Checkpoints are versioned generations [dir/ckpt-<n>/] holding the four
+   component files plus a MANIFEST with the SHA-256 of each. Every file —
+   the manifest included — is written temp-file + fsync + rename
+   ({!Ckpt_io}), and the manifest is written last, so the manifest's
+   presence-and-validity is the generation's commit point: a crash at any
+   byte offset leaves either a committed generation (old or new) or a torn
+   one that recovery can recognise and discard. *)
+let component_files = [ data_file; tree_file; sealed_file; tpm_file ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -1152,15 +1155,24 @@ let checkpoint t ~dir =
     ^ nonce_blob ^ summary
   in
   Enclave.Sealed_slot.store t.sealed sealed_payload;
-  write_file (Filename.concat dir sealed_file)
+  (* A fresh generation directory: higher than anything on disk, committed
+     or torn. Its files all land inside it, so a crash mid-checkpoint can
+     never touch a previous generation. *)
+  let generation =
+    match Ckpt_io.generations dir with (g, _) :: _ -> g + 1 | [] -> 0
+  in
+  let gdir = Filename.concat dir (Ckpt_io.generation_dir_name generation) in
+  Ckpt_io.remove_tree gdir;
+  Sys.mkdir gdir 0o755;
+  Ckpt_io.write_file_atomic (Filename.concat gdir sealed_file)
     (Enclave.Sealed_slot.external_blob t.sealed);
   (* Simulated TPM NVRAM: hardware state that survives restarts. *)
-  write_file (Filename.concat dir tpm_file)
+  Ckpt_io.write_file_atomic (Filename.concat gdir tpm_file)
     (Fastver_crypto.Bytes_util.to_hex (Enclave.Sealed_slot.hw_key t.sealed)
     ^ "\n"
     ^ Int64.to_string (Enclave.Sealed_slot.counter t.sealed));
   Store.checkpoint t.store
-    ~path:(Filename.concat dir data_file)
+    ~path:(Filename.concat gdir data_file)
     ~version:(Verifier.verified_epoch t.verifier);
   (* Merkle records: untrusted file; tampering surfaces as verification
      failures after recovery. *)
@@ -1175,13 +1187,33 @@ let checkpoint t ~dir =
       mstate_encode buf entry.aux.mstate ~is_root:(Key.equal k Key.root);
       Bytes.set_int32_le b4 0 (Int32.of_int entry.aux.owner);
       Buffer.add_bytes buf b4);
-  write_file (Filename.concat dir tree_file) (Buffer.contents buf)
+  Ckpt_io.write_file_atomic (Filename.concat gdir tree_file)
+    (Buffer.contents buf);
+  (* Commit point: the manifest, checksumming every component, goes last. *)
+  let entries =
+    List.map
+      (fun name ->
+        match Ckpt_io.Manifest.entry_of_file ~dir:gdir name with
+        | Ok e -> e
+        | Error e -> failwith ("checkpoint: " ^ name ^ ": " ^ e))
+      component_files
+  in
+  Ckpt_io.Manifest.write ~dir:gdir { generation; entries };
+  Ckpt_io.fsync_dir dir;
+  (* Retention: keep this generation and its predecessor (the fallback for
+     a crash during the *next* checkpoint); prune everything older. *)
+  List.iter
+    (fun (g, path) ->
+      if g < generation - 1 then Ckpt_io.remove_tree path)
+    (Ckpt_io.generations dir)
 
-let recover ?(config = Config.default) ~dir () =
+(* Rebuild a system from one committed generation directory. Total: every
+   decoder failure is an [Error]; nothing here may raise on corrupt input. *)
+let recover_generation ?(config = Config.default) ~gdir () =
   let ( let* ) = Result.bind in
   let* tpm =
-    try Ok (read_file (Filename.concat dir tpm_file))
-    with Sys_error e -> Error e
+    try Ok (read_file (Filename.concat gdir tpm_file))
+    with Sys_error e | Failure e -> Error e
   in
   let* hw_key, counter =
     match String.split_on_char '\n' tpm with
@@ -1192,8 +1224,8 @@ let recover ?(config = Config.default) ~dir () =
   in
   let sealed = Enclave.Sealed_slot.create_with ~hw_key ~counter in
   let* blob =
-    try Ok (read_file (Filename.concat dir sealed_file))
-    with Sys_error e -> Error e
+    try Ok (read_file (Filename.concat gdir sealed_file))
+    with Sys_error e | Failure e -> Error e
   in
   Enclave.Sealed_slot.inject_blob sealed blob;
   let* sealed_payload = Enclave.Sealed_slot.load sealed in
@@ -1232,12 +1264,26 @@ let recover ?(config = Config.default) ~dir () =
     }
   in
   let* verifier = Verifier.of_summary ~enclave vconfig summary in
-  let* store, _version =
-    Store.recover ~codec:option_codec ~path:(Filename.concat dir data_file) ()
+  let* store, data_version =
+    Store.recover ~codec:option_codec ~path:(Filename.concat gdir data_file) ()
+  in
+  (* The data checkpoint's version must equal the sealed verifier summary's
+     verified epoch: they were written by the same checkpoint, and a
+     disagreement means the generation was stitched together from mixed
+     states (the sealed summary is the trusted side of the pair). *)
+  let* () =
+    let epoch = Verifier.verified_epoch verifier in
+    if data_version <> epoch then
+      Error
+        (Printf.sprintf
+           "data checkpoint version %d disagrees with sealed verifier epoch \
+            %d"
+           data_version epoch)
+    else Ok ()
   in
   let* tree_raw =
-    try Ok (read_file (Filename.concat dir tree_file))
-    with Sys_error e -> Error e
+    try Ok (read_file (Filename.concat gdir tree_file))
+    with Sys_error e | Failure e -> Error e
   in
   let tree = Tree.create ~root_aux:{ mstate = M_cached 0; owner = -1 } in
   let* () =
@@ -1344,6 +1390,42 @@ let recover ?(config = Config.default) ~dir () =
           k :: t.frontier_by_worker.(entry.aux.owner));
   Ok t
 
+(* A generation commits only when its manifest lists every component file
+   and every checksum verifies. Anything less is a torn write — the crash
+   left no manifest, a truncated one, or files whose bytes never all reached
+   disk — and is deleted so it can never shadow the good generation behind
+   it. A generation whose manifest *does* verify but whose contents fail
+   deeper validation is different: that takes deliberate tampering (the
+   manifest itself would have had to be rewritten), so we surface the error
+   rather than silently falling back, which would hand an adversary a
+   one-bit-flip rollback primitive. *)
+let recover ?(config = Config.default) ~dir () =
+  let committed gdir =
+    match Ckpt_io.Manifest.read ~dir:gdir with
+    | Error e -> Error e
+    | Ok m ->
+        if
+          List.for_all
+            (fun name ->
+              List.exists
+                (fun e -> e.Ckpt_io.Manifest.name = name)
+                m.Ckpt_io.Manifest.entries)
+            component_files
+        then Result.map (fun () -> ()) (Ckpt_io.Manifest.verify ~dir:gdir m)
+        else Error "manifest missing a component file"
+  in
+  let rec scan = function
+    | [] -> Error "no valid checkpoint generation"
+    | (_, gdir) :: older -> (
+        match committed gdir with
+        | Error _ ->
+            Ckpt_io.remove_tree gdir;
+            scan older
+        | Ok () -> recover_generation ~config ~gdir ())
+  in
+  match Ckpt_io.generations dir with
+  | [] -> Error "no checkpoint found"
+  | gens -> scan gens
 
 module String_keys = struct
   let key s =

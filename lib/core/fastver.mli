@@ -150,11 +150,23 @@ val check_epoch_certificate : t -> epoch:int -> string -> bool
 val checkpoint : t -> dir:string -> unit
 (** Persist the data records, merkle records and sealed verifier summary
     (§7): run after {!verify} so that the on-disk state corresponds to a
-    verified epoch. *)
+    verified epoch.
+
+    Crash-safe: each checkpoint is a fresh generation [dir/ckpt-<n>/] whose
+    files are written temp-file + fsync + rename and committed by a MANIFEST
+    (written last, same protocol) carrying the SHA-256 of every component —
+    a crash at any byte offset leaves the previous generation untouched.
+    The current and previous generations are retained; older ones are
+    pruned. *)
 
 val recover : ?config:Config.t -> dir:string -> unit -> (t, string) result
-(** Rebuild a system from a checkpoint; the verifier summary is validated
-    against the enclave's rollback-protected sealed slot. *)
+(** Rebuild a system from the newest committed checkpoint generation: the
+    newest [ckpt-<n>/] whose manifest checksums verify is used, and torn
+    generations (crash artifacts without a valid manifest) are deleted.
+    The verifier summary is validated against the enclave's
+    rollback-protected sealed slot, and the data checkpoint's version must
+    match the sealed summary's verified epoch. Total on corrupt input:
+    malformed checkpoints yield [Error _], never an exception. *)
 
 (** {2 String-keyed view}
 

@@ -26,6 +26,11 @@ type 'v t = {
   codec : 'v codec;
   stripes : Mutex.t array;
   spill : (string * int) option;
+  spill_lock : Mutex.t;
+      (* Serialises every seek/read/write on the shared spill channels.
+         Stripe locks only serialise per-key access: two gets of spilled
+         keys in different stripes would otherwise race seek_in against
+         really_input_string and return each other's bytes. *)
   mutable spill_chan : (in_channel * out_channel) option;
   mutable spill_end : int; (* bytes written to the spill file *)
   mutable spilled_through : int; (* addresses < this may be on disk *)
@@ -41,6 +46,7 @@ let create ?(mutable_region_entries = 1 lsl 20) ?spill ~codec () =
     codec;
     stripes = Array.init 256 (fun _ -> Mutex.create ());
     spill;
+    spill_lock = Mutex.create ();
     spill_chan = None;
     spill_end = 0;
     spilled_through = 0;
@@ -93,11 +99,19 @@ let spill_channels t =
       t.spill_chan <- Some (ic, oc);
       (ic, oc)
 
+let with_spill_lock t f =
+  Mutex.lock t.spill_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.spill_lock) f
+
 let read_spilled t ~file_off ~len =
-  let ic, _ = spill_channels t in
-  seek_in ic file_off;
-  t.stats.spill_reads <- t.stats.spill_reads + 1;
-  t.codec.decode (really_input_string ic len)
+  let raw =
+    with_spill_lock t (fun () ->
+        let ic, _ = spill_channels t in
+        seek_in ic file_off;
+        t.stats.spill_reads <- t.stats.spill_reads + 1;
+        really_input_string ic len)
+  in
+  t.codec.decode raw
 
 let current t key =
   match Key.Tbl.find_opt t.index key with
@@ -167,7 +181,8 @@ let spill_now t =
   | None -> ()
   | Some (_, budget) ->
       let keep_from = max (readonly_boundary t) (t.tail - budget) in
-      if keep_from > t.spilled_through then begin
+      if keep_from > t.spilled_through then
+        with_spill_lock t @@ fun () ->
         let _, oc = spill_channels t in
         for addr = t.spilled_through to keep_from - 1 do
           let ci = addr lsr chunk_bits in
@@ -191,56 +206,68 @@ let spill_now t =
         done;
         flush oc;
         t.spilled_through <- keep_from
-      end
 
-(* Checkpoint format: magic, version, count, then per record
-   key(34) aux(8) len(4) payload. *)
-let magic = "FVCKPT01"
+(* Checkpoint format: magic, version(8), count(8), then per record
+   key(34) aux(8) len(4) payload. The version is a full int64 — the verified
+   epoch must round-trip exactly; FVCKPT01 truncated it through int32. *)
+let magic = "FVCKPT02"
 
 let checkpoint t ~path ~version =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc magic;
-      let header = Bytes.create 12 in
-      Bytes.set_int32_le header 0 (Int32.of_int version);
-      Bytes.set_int64_le header 4 (Int64.of_int (length t));
-      output_bytes oc header;
-      iter_live t (fun key value aux ->
-          output_string oc (Key.encode key);
-          let data = t.codec.encode value in
-          let meta = Bytes.create 12 in
-          Bytes.set_int64_le meta 0 aux;
-          Bytes.set_int32_le meta 8 (Int32.of_int (String.length data));
-          output_bytes oc meta;
-          output_string oc data))
+  Ckpt_io.with_atomic_file path @@ fun w ->
+  Ckpt_io.write w magic;
+  let header = Bytes.create 16 in
+  Bytes.set_int64_le header 0 (Int64.of_int version);
+  Bytes.set_int64_le header 8 (Int64.of_int (length t));
+  Ckpt_io.write_bytes w header;
+  iter_live t (fun key value aux ->
+      Ckpt_io.write w (Key.encode key);
+      let data = t.codec.encode value in
+      let meta = Bytes.create 12 in
+      Bytes.set_int64_le meta 0 aux;
+      Bytes.set_int32_le meta 8 (Int32.of_int (String.length data));
+      Ckpt_io.write_bytes w meta;
+      Ckpt_io.write w data)
 
+(* Every length and count read from disk is validated against the bytes
+   actually remaining in the file before it is used for allocation or
+   arithmetic: the checkpoint is untrusted input, and recovery must be total
+   — any malformed file is an [Error], never an exception (and never an
+   attempt to allocate a record the file could not possibly contain). *)
 let recover ?mutable_region_entries ?spill ~codec ~path () =
   match open_in_bin path with
   | exception Sys_error e -> Error e
   | ic -> (
       Fun.protect
-        ~finally:(fun () -> close_in ic)
+        ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
+          let size = in_channel_length ic in
           match really_input_string ic (String.length magic) with
           | exception End_of_file -> Error "checkpoint truncated"
           | m when m <> magic -> Error "bad checkpoint magic"
           | _ -> (
               try
-                let header = really_input_string ic 12 in
-                let version =
-                  Int32.to_int (String.get_int32_le header 0)
-                in
-                let count =
-                  Int64.to_int (String.get_int64_le header 4)
-                in
+                let header = really_input_string ic 16 in
+                let version64 = String.get_int64_le header 0 in
+                if version64 < 0L || Int64.of_int (Int64.to_int version64) <> version64
+                then failwith "checkpoint: bad version";
+                let version = Int64.to_int version64 in
+                let count64 = String.get_int64_le header 8 in
+                (* Each record occupies at least 34 + 12 bytes. *)
+                let remaining = size - String.length magic - 16 in
+                if
+                  count64 < 0L
+                  || Int64.of_int (Int64.to_int count64) <> count64
+                  || Int64.to_int count64 > remaining / 46
+                then failwith "checkpoint: implausible record count";
+                let count = Int64.to_int count64 in
                 let t = create ?mutable_region_entries ?spill ~codec () in
                 for _ = 1 to count do
                   let kenc = really_input_string ic 34 in
                   let meta = really_input_string ic 12 in
                   let aux = String.get_int64_le meta 0 in
                   let len = Int32.to_int (String.get_int32_le meta 8) in
+                  if len < 0 || len > size - pos_in ic then
+                    failwith "checkpoint: record length exceeds file";
                   let data = really_input_string ic len in
                   let depth = String.get_uint16_le kenc 0 in
                   let key =
@@ -251,9 +278,15 @@ let recover ?mutable_region_entries ?spill ~codec ~path () =
                          trees are rebuilt by the integrity layer. *)
                       failwith "non-data key in checkpoint"
                   in
-                  put t key (codec.decode data) ~aux
+                  let value =
+                    match codec.decode data with
+                    | v -> v
+                    | exception _ -> failwith "checkpoint: undecodable record"
+                  in
+                  put t key value ~aux
                 done;
                 Ok (t, version)
               with
               | End_of_file -> Error "checkpoint truncated"
+              | Invalid_argument _ -> Error "checkpoint corrupt"
               | Failure e -> Error e)))

@@ -80,6 +80,9 @@ val stats : 'v t -> stats
     epochs so that a verified epoch is also durable (§7). *)
 
 val checkpoint : 'v t -> path:string -> version:int -> unit
+(** Atomic: the snapshot is streamed to [path ^ ".tmp"], fsynced and renamed
+    over [path] ({!Ckpt_io}), so a crash mid-checkpoint leaves the previous
+    file intact. [version] (the verified epoch) is stored as a full int64. *)
 
 val recover :
   ?mutable_region_entries:int ->
@@ -89,4 +92,7 @@ val recover :
   unit ->
   ('v t * int, string) result
 (** Returns the store and the checkpoint version, or an error if the file is
-    missing or corrupt. *)
+    missing or corrupt. Total on untrusted input: every on-disk length and
+    count is validated against the file size before use, so arbitrary byte
+    corruption yields [Error _], never an exception or an oversized
+    allocation. *)

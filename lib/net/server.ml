@@ -60,6 +60,11 @@ type t = {
 (* ------------------------------------------------------------------ *)
 
 let create ?(config = default_config) sys ~listen =
+  (* A client that disconnects with a server write still pending would
+     otherwise deliver a fatal SIGPIPE to the whole process. Ignore it so
+     the failure surfaces as EPIPE, which the per-connection write path
+     turns into [conn.dead]. *)
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   match Addr.to_sockaddr listen with
   | Error e -> Error e
   | Ok sockaddr -> (

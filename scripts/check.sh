@@ -14,4 +14,32 @@ dune build bench/main.exe bin/fastver_cli.exe @examples/all 2>/dev/null \
 echo "== dune runtest"
 dune runtest
 
+echo "== crash round-trip (serve + kill -9 mid-load + recover)"
+FV=_build/default/bin/fastver_cli.exe
+WORK=$(mktemp -d)
+trap 'kill -9 $SRV 2>/dev/null || true; rm -rf "$WORK"' EXIT
+$FV serve --listen "unix:$WORK/sock" -n 2000 --batch 500 --enclave zero \
+  --checkpoint-dir "$WORK/ckpt" &
+SRV=$!
+i=0
+while [ ! -S "$WORK/sock" ]; do
+  i=$((i + 1)); [ $i -gt 100 ] && { echo "server never came up"; exit 1; }
+  sleep 0.1
+done
+# drive load until at least one checkpoint generation has committed
+$FV client-bench --connect "unix:$WORK/sock" --ops 3000 --clients 2 -n 2000
+i=0
+until ls "$WORK"/ckpt/ckpt-*/MANIFEST >/dev/null 2>&1; do
+  i=$((i + 1)); [ $i -gt 100 ] && { echo "no checkpoint committed"; exit 1; }
+  sleep 0.1
+done
+# more load in flight, then kill -9 — possibly mid-checkpoint
+$FV client-bench --connect "unix:$WORK/sock" --ops 20000 --clients 2 -n 2000 &
+BENCH=$!
+sleep 0.3
+kill -9 $SRV
+wait $BENCH 2>/dev/null || true
+# recovery must land on a committed generation and pass full verification
+$FV recover --dir "$WORK/ckpt" --enclave zero
+
 echo "OK"

@@ -173,7 +173,9 @@ let test_checkpoint_recover () =
         (Fastver.get t2 10L)
 
 let test_recover_tampered_tree () =
+  let module C = Fastver_kvstore.Ckpt_io in
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "fv-test-tamper" in
+  C.remove_tree dir;
   let config =
     { Fastver.Config.default with batch_size = 0; frontier_levels = 1 }
   in
@@ -181,16 +183,38 @@ let test_recover_tampered_tree () =
   Fastver.load t (Array.init 50 (fun i -> (Int64.of_int i, string_of_int i)));
   ignore (Fastver.verify t);
   Fastver.checkpoint t ~dir;
+  let gdir =
+    match C.generations dir with
+    | (_, g) :: _ -> g
+    | [] -> Alcotest.fail "checkpoint wrote no generation"
+  in
   (* corrupt one byte of the untrusted merkle-tree file *)
-  let path = Filename.concat dir "merkle.tree" in
+  let path = Filename.concat gdir "merkle.tree" in
   let ic = open_in_bin path in
   let raw = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
   close_in ic;
   Bytes.set raw (Bytes.length raw / 2)
     (Char.chr (Char.code (Bytes.get raw (Bytes.length raw / 2)) lxor 1));
   let oc = open_out_bin path in
-  output_bytes oc (Bytes.to_string raw |> String.to_seq |> String.of_seq |> Bytes.of_string);
+  output_bytes oc raw;
   close_out oc;
+  (* The manifest is untrusted too: a host-controlled adversary re-hashes it
+     so the generation still looks committed. Detection must come from the
+     verifier, not the crash checksums. *)
+  (match C.Manifest.read ~dir:gdir with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+      let entries =
+        List.map
+          (fun (e : C.Manifest.entry) ->
+            if e.name = "merkle.tree" then
+              match C.Manifest.entry_of_file ~dir:gdir "merkle.tree" with
+              | Ok e' -> e'
+              | Error err -> Alcotest.fail err
+            else e)
+          m.entries
+      in
+      C.Manifest.write ~dir:gdir { m with entries });
   match Fastver.recover ~config ~dir () with
   | Error _ -> () (* rejected at parse time: fine *)
   | Ok t2 -> (

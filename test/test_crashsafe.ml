@@ -1,0 +1,382 @@
+(* Crash-fault injection over the durability layer (§7).
+
+   The sweep drives a checkpoint-under-load into every interesting cut
+   point — mid-write at a range of byte offsets, plus pre-fsync and
+   pre-rename for every component file and the manifest — "kills" the
+   process there (Ckpt_io.Injected_crash), recovers from disk, and asserts
+   the recovered system is a consistent committed state: full verification
+   passes, the pre-crash authenticated put cannot be replayed, and the
+   system keeps working. The corruption tests then attack the files of a
+   committed generation directly (truncation, bit flips, with and without
+   an adversarial manifest fix-up): recovery must stay total (Error, never
+   an exception) and must never yield a system that verifies a lie. *)
+
+module C = Fastver_kvstore.Ckpt_io
+
+let vo = Alcotest.(option string)
+
+let fresh_dir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) name in
+  C.remove_tree dir;
+  dir
+
+let config =
+  {
+    Fastver.Config.default with
+    n_workers = 2;
+    batch_size = 0;
+    frontier_levels = 2;
+    cost_model = Cost_model.zero;
+  }
+
+let mk ?(n = 40) () =
+  let t = Fastver.create ~config () in
+  Fastver.load t
+    (Array.init n (fun i -> (Int64.of_int i, Printf.sprintf "v%06d" i)));
+  t
+
+(* Build a system with one committed checkpoint generation (the fallback),
+   then more updates, and return it poised for a second checkpoint. The
+   last *authenticated* put happens before the committed checkpoint, so its
+   nonce is in every recoverable nonce table and a replay must always be
+   rejected. *)
+let poised dir =
+  let t = mk () in
+  let s = Fastver.Session.connect t ~client_id:3 in
+  ignore (Fastver.Session.put s 1L "committed-v1");
+  ignore (Fastver.verify t);
+  Fastver.checkpoint t ~dir;
+  Fastver.put t 1L "in-flight-v2";
+  Fastver.put t 41L "new-record";
+  ignore (Fastver.verify t);
+  t
+
+(* After recovery from any cut point the state must be the committed
+   generation: old (only gen 0 committed) or new (crash after the second
+   manifest committed — only possible when the fault never fired). *)
+let assert_recovered_consistent ~dir ~crashed =
+  match Fastver.recover ~config ~dir () with
+  | Error e -> Alcotest.failf "recover after crash: %s" e
+  | Ok t2 ->
+      let v1 = Fastver.get t2 1L in
+      (if crashed then
+         Alcotest.(check vo) "old generation state" (Some "committed-v1") v1
+       else
+         Alcotest.(check vo) "new generation state" (Some "in-flight-v2") v1);
+      (* the pre-crash authenticated put must not be replayable *)
+      (match Fastver.Testing.replay_last_put t2 with
+      | exception Fastver.Integrity_violation _ -> ()
+      | () -> Alcotest.fail "pre-crash put replayed after crash recovery");
+      (* full verification over every record, then continued service *)
+      for i = 0 to 39 do
+        ignore (Fastver.get t2 (Int64.of_int i))
+      done;
+      ignore (Fastver.verify t2);
+      Fastver.put t2 5L "post-recovery";
+      ignore (Fastver.verify t2);
+      Alcotest.(check vo) "usable after recovery" (Some "post-recovery")
+        (Fastver.get t2 5L)
+
+let run_cut_point name fault =
+  let dir = fresh_dir ("fv-crash-" ^ name) in
+  let t = poised dir in
+  C.arm fault;
+  let crashed =
+    match Fastver.checkpoint t ~dir with
+    | () -> false
+    | exception C.Injected_crash _ -> true
+  in
+  C.disarm ();
+  assert_recovered_consistent ~dir ~crashed;
+  C.remove_tree dir;
+  crashed
+
+(* Total bytes a second checkpoint writes, to place the mid-write cuts. *)
+let checkpoint_write_volume () =
+  let dir = fresh_dir "fv-crash-measure" in
+  let t = poised dir in
+  C.arm (C.Die_after_bytes max_int);
+  Fastver.checkpoint t ~dir;
+  C.disarm ();
+  let total = C.bytes_written () in
+  C.remove_tree dir;
+  total
+
+let test_sweep_mid_write () =
+  let total = checkpoint_write_volume () in
+  Alcotest.(check bool) "checkpoint writes something" true (total > 0);
+  (* cut at every eighth of the write volume, plus the first and last byte *)
+  let cuts =
+    [ 0; 1 ]
+    @ List.init 7 (fun i -> (i + 1) * total / 8)
+    @ [ total - 1 ]
+  in
+  let n_crashed =
+    List.fold_left
+      (fun acc cut ->
+        let crashed =
+          run_cut_point
+            (Printf.sprintf "byte-%d" cut)
+            (C.Die_after_bytes cut)
+        in
+        acc + if crashed then 1 else 0)
+      0 cuts
+  in
+  Alcotest.(check int) "every cut point crashed" (List.length cuts) n_crashed
+
+let component_files =
+  [ "data.ckpt"; "merkle.tree"; "verifier.sealed"; "tpm.state"; "MANIFEST" ]
+
+let test_sweep_pre_fsync () =
+  List.iter
+    (fun file ->
+      let crashed =
+        run_cut_point ("fsync-" ^ file) (C.Die_before_fsync file)
+      in
+      Alcotest.(check bool) ("crashed before fsync of " ^ file) true crashed)
+    component_files
+
+let test_sweep_pre_rename () =
+  List.iter
+    (fun file ->
+      let crashed =
+        run_cut_point ("rename-" ^ file) (C.Die_before_rename file)
+      in
+      Alcotest.(check bool) ("crashed before rename of " ^ file) true crashed)
+    component_files
+
+(* Two crashes in a row (the second checkpoint *and* the one after it) must
+   still fall back to the oldest committed generation. *)
+let test_double_crash () =
+  let dir = fresh_dir "fv-crash-double" in
+  let t = poised dir in
+  C.arm (C.Die_after_bytes 100);
+  (try Fastver.checkpoint t ~dir with C.Injected_crash _ -> ());
+  C.arm (C.Die_before_rename "MANIFEST");
+  (try Fastver.checkpoint t ~dir with C.Injected_crash _ -> ());
+  C.disarm ();
+  assert_recovered_consistent ~dir ~crashed:true;
+  C.remove_tree dir
+
+(* A crash mid-checkpoint must leave the *running* system intact too: the
+   invariant protects the next checkpoint attempt after a transient fault
+   (full disk, say) when the process did not actually die. *)
+let test_survivor_can_checkpoint_again () =
+  let dir = fresh_dir "fv-crash-retry" in
+  let t = poised dir in
+  C.arm (C.Die_after_bytes 1000);
+  (try Fastver.checkpoint t ~dir with C.Injected_crash _ -> ());
+  C.disarm ();
+  ignore (Fastver.verify t);
+  Fastver.checkpoint t ~dir;
+  (match Fastver.recover ~config ~dir () with
+  | Error e -> Alcotest.failf "recover after retry: %s" e
+  | Ok t2 ->
+      Alcotest.(check vo) "retry checkpointed the live state"
+        (Some "in-flight-v2") (Fastver.get t2 1L));
+  C.remove_tree dir
+
+(* ------------------------------------------------------------------ *)
+(* Corrupt committed generations: recovery total, tampering detected   *)
+(* ------------------------------------------------------------------ *)
+
+let rec copy_tree src dst =
+  if Sys.is_directory src then begin
+    Sys.mkdir dst 0o755;
+    Array.iter
+      (fun name ->
+        copy_tree (Filename.concat src name) (Filename.concat dst name))
+      (Sys.readdir src)
+  end
+  else begin
+    let ic = open_in_bin src in
+    let raw = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let oc = open_out_bin dst in
+    output_string oc raw;
+    close_out oc
+  end
+
+(* One committed checkpoint, built once and copied per corruption case. *)
+let pristine =
+  lazy
+    (let dir = fresh_dir "fv-crash-pristine" in
+     let t = mk () in
+     let s = Fastver.Session.connect t ~client_id:7 in
+     ignore (Fastver.Session.put s 2L "sealed-in");
+     ignore (Fastver.verify t);
+     Fastver.checkpoint t ~dir;
+     dir)
+
+let rehash_manifest gdir =
+  match C.Manifest.read ~dir:gdir with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+      let entries =
+        List.map
+          (fun (e : C.Manifest.entry) ->
+            match C.Manifest.entry_of_file ~dir:gdir e.name with
+            | Ok e' -> e'
+            | Error err -> Alcotest.fail err)
+          m.entries
+      in
+      C.Manifest.write ~dir:gdir { m with entries }
+
+let mutate_file path f =
+  let ic = open_in_bin path in
+  let raw = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+  close_in ic;
+  let raw = f raw in
+  let oc = open_out_bin path in
+  output_bytes oc raw;
+  close_out oc
+
+(* Corrupt [file] of a copy of the pristine generation with [f], optionally
+   re-hash the manifest (host adversary), then recover: it must return —
+   and if it returns [Ok], reading everything and verifying must trip the
+   verifier rather than certify the corrupt state. *)
+let check_corruption ?(fixup = true) ~file ~name f =
+  let dir = fresh_dir ("fv-corrupt-" ^ name) in
+  copy_tree (Lazy.force pristine) dir;
+  let gdir =
+    match C.generations dir with
+    | (_, g) :: _ -> g
+    | [] -> Alcotest.fail "pristine checkpoint has no generation"
+  in
+  mutate_file (Filename.concat gdir file) f;
+  if fixup then rehash_manifest gdir;
+  (match Fastver.recover ~config ~dir () with
+  | Error _ -> ()
+  | Ok t2 -> (
+      match
+        for i = 0 to 39 do
+          ignore (Fastver.get t2 (Int64.of_int i))
+        done;
+        ignore (Fastver.get t2 2L);
+        ignore (Fastver.verify t2)
+      with
+      | exception Fastver.Integrity_violation _ -> ()
+      | () ->
+          (* Structurally-dead bytes may legitimately decode to the honest
+             state; anything else must have been caught above. *)
+          Alcotest.(check vo)
+            (name ^ ": surviving state must be honest")
+            (Some "sealed-in") (Fastver.get t2 2L)));
+  C.remove_tree dir
+
+let truncate_half raw = Bytes.sub raw 0 (Bytes.length raw / 2)
+
+let flip_middle raw =
+  let i = Bytes.length raw / 2 in
+  Bytes.set raw i (Char.chr (Char.code (Bytes.get raw i) lxor 0x10));
+  raw
+
+let test_corrupt_components () =
+  List.iter
+    (fun file ->
+      check_corruption ~file ~name:(file ^ "-trunc") truncate_half;
+      check_corruption ~file ~name:(file ^ "-flip") flip_middle;
+      (* without the manifest fix-up the generation is simply torn *)
+      check_corruption ~fixup:false ~file ~name:(file ^ "-torn") flip_middle)
+    [ "data.ckpt"; "merkle.tree"; "verifier.sealed"; "tpm.state" ]
+
+let test_corrupt_manifest () =
+  List.iter
+    (fun (name, f) -> check_corruption ~fixup:false ~file:"MANIFEST" ~name f)
+    [
+      ("manifest-trunc", truncate_half);
+      ("manifest-flip", flip_middle);
+      ("manifest-garbage", fun _ -> Bytes.of_string "not a manifest at all");
+    ]
+
+(* A data checkpoint whose version was doctored must be rejected against the
+   sealed verifier epoch even though its checksums can be made to agree. *)
+let test_version_epoch_mismatch () =
+  let dir = fresh_dir "fv-corrupt-version" in
+  copy_tree (Lazy.force pristine) dir;
+  let gdir =
+    match C.generations dir with
+    | (_, g) :: _ -> g
+    | [] -> Alcotest.fail "no generation"
+  in
+  mutate_file (Filename.concat gdir "data.ckpt") (fun raw ->
+      (* version int64 lives right after the 8-byte magic *)
+      Bytes.set_int64_le raw 8 (Int64.add (Bytes.get_int64_le raw 8) 7L);
+      raw);
+  rehash_manifest gdir;
+  (match Fastver.recover ~config ~dir () with
+  | Error e ->
+      let contains_disagrees =
+        let n = String.length e and m = String.length "disagrees" in
+        let rec at i =
+          i + m <= n && (String.sub e i m = "disagrees" || at (i + 1))
+        in
+        at 0
+      in
+      Alcotest.(check bool) ("rejected for epoch disagreement: " ^ e) true
+        contains_disagrees
+  | Ok _ -> Alcotest.fail "doctored checkpoint version accepted");
+  C.remove_tree dir
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: recovery is total on arbitrary corruption                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_recover_never_raises =
+  QCheck.Test.make ~name:"Fastver.recover total under random corruption"
+    ~count:60
+    QCheck.(
+      quad (int_bound 3) (int_bound 1000) (int_bound 255) bool)
+    (fun (file_idx, frac_millis, byte, fixup) ->
+      let frac = float_of_int frac_millis /. 1000.0 in
+      let dir = fresh_dir "fv-fuzz-recover" in
+      copy_tree (Lazy.force pristine) dir;
+      let gdir =
+        match C.generations dir with
+        | (_, g) :: _ -> g
+        | [] -> failwith "no generation"
+      in
+      let file =
+        List.nth
+          [ "data.ckpt"; "merkle.tree"; "verifier.sealed"; "tpm.state" ]
+          file_idx
+      in
+      mutate_file (Filename.concat gdir file) (fun raw ->
+          if Bytes.length raw = 0 then raw
+          else begin
+            let i =
+              min
+                (Bytes.length raw - 1)
+                (int_of_float (frac *. float_of_int (Bytes.length raw)))
+            in
+            Bytes.set raw i (Char.chr byte);
+            raw
+          end);
+      if fixup then rehash_manifest gdir;
+      let ok =
+        match Fastver.recover ~config ~dir () with
+        | Ok _ | Error _ -> true
+        | exception _ -> false
+      in
+      C.remove_tree dir;
+      ok)
+
+let suite =
+  ( "crashsafe",
+    [
+      Alcotest.test_case "sweep: mid-write cut points" `Quick
+        test_sweep_mid_write;
+      Alcotest.test_case "sweep: pre-fsync cut points" `Quick
+        test_sweep_pre_fsync;
+      Alcotest.test_case "sweep: pre-rename cut points" `Quick
+        test_sweep_pre_rename;
+      Alcotest.test_case "double crash" `Quick test_double_crash;
+      Alcotest.test_case "survivor checkpoints again" `Quick
+        test_survivor_can_checkpoint_again;
+      Alcotest.test_case "corrupt component files" `Quick
+        test_corrupt_components;
+      Alcotest.test_case "corrupt manifest" `Quick test_corrupt_manifest;
+      Alcotest.test_case "version/epoch mismatch" `Quick
+        test_version_epoch_mismatch;
+      QCheck_alcotest.to_alcotest prop_recover_never_raises;
+    ] )

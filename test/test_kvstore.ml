@@ -92,6 +92,95 @@ let test_recover_corrupt () =
   | Ok _ -> Alcotest.fail "accepted corrupt checkpoint");
   Sys.remove dir
 
+(* The verified epoch is an int64 on disk: versions past 2^31 must
+   round-trip instead of truncating through int32. *)
+let test_checkpoint_version_64bit () =
+  let path = Filename.temp_file "fv" "v64" in
+  let s = mk () in
+  Store.put s (k 1) "x" ~aux:0L;
+  let version = 0x1_2345_6789 in
+  Store.checkpoint s ~path ~version;
+  (match Store.recover ~codec:Store.string_codec ~path () with
+  | Error e -> Alcotest.failf "recover: %s" e
+  | Ok (_, v) -> Alcotest.(check int) "version survives 32 bits" version v);
+  Sys.remove path
+
+let valid_checkpoint_bytes () =
+  let path = Filename.temp_file "fv" "fuzzsrc" in
+  let s = mk () in
+  for i = 0 to 19 do
+    Store.put s (k i) (Printf.sprintf "value-%03d" i) ~aux:(Int64.of_int i)
+  done;
+  Store.checkpoint s ~path ~version:5;
+  let ic = open_in_bin path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  raw
+
+(* Recovery is total: header fields claiming more records or longer
+   payloads than the file holds (or negative ones) must be an [Error]
+   before any allocation, never an exception. *)
+let test_recover_hostile_lengths () =
+  let base = valid_checkpoint_bytes () in
+  let path = Filename.temp_file "fv" "hostile" in
+  let try_recover raw =
+    let oc = open_out_bin path in
+    output_string oc raw;
+    close_out oc;
+    match Store.recover ~codec:Store.string_codec ~path () with
+    | Ok _ -> Alcotest.fail "accepted a hostile checkpoint"
+    | Error _ -> ()
+  in
+  let patch64 off v =
+    let b = Bytes.of_string base in
+    Bytes.set_int64_le b off v;
+    Bytes.to_string b
+  in
+  let patch32 off v =
+    let b = Bytes.of_string base in
+    Bytes.set_int32_le b off v;
+    Bytes.to_string b
+  in
+  try_recover (patch64 16 (-1L)) (* negative count *);
+  try_recover (patch64 16 Int64.max_int) (* absurd count *);
+  try_recover (patch64 16 1_000_000L) (* count beyond file size *);
+  try_recover (patch64 8 (-3L)) (* negative version *);
+  (* first record's len field: magic(8) header(16) key(34) aux(8) *)
+  try_recover (patch32 66 (-5l)) (* negative len *);
+  try_recover (patch32 66 Int32.max_int) (* len beyond file size *);
+  try_recover (String.sub base 0 (String.length base - 3)) (* truncated *);
+  Sys.remove path
+
+let prop_recover_fuzz =
+  let base = lazy (valid_checkpoint_bytes ()) in
+  QCheck.Test.make ~name:"Store.recover never raises on mutated checkpoints"
+    ~count:300
+    QCheck.(
+      pair (list (pair (int_bound 10_000) (int_bound 255))) (int_bound 10_000))
+    (fun (mutations, cut) ->
+      let base = Lazy.force base in
+      let b = Bytes.of_string base in
+      List.iter
+        (fun (off, byte) ->
+          if off < Bytes.length b then Bytes.set b off (Char.chr byte))
+        mutations;
+      let raw = Bytes.to_string b in
+      let raw =
+        if cut < String.length raw then String.sub raw 0 cut else raw
+      in
+      let path = Filename.temp_file "fv" "fuzz" in
+      let oc = open_out_bin path in
+      output_string oc raw;
+      close_out oc;
+      let ok =
+        match Store.recover ~codec:Store.string_codec ~path () with
+        | Ok _ | Error _ -> true
+        | exception _ -> false
+      in
+      Sys.remove path;
+      ok)
+
 let test_spill () =
   let path = Filename.temp_file "fv" "spill" in
   let s =
@@ -175,9 +264,14 @@ let suite =
       Alcotest.test_case "read-modify-write" `Quick test_update_rmw;
       Alcotest.test_case "checkpoint/recover" `Quick test_checkpoint_recover;
       Alcotest.test_case "corrupt checkpoint" `Quick test_recover_corrupt;
+      Alcotest.test_case "64-bit checkpoint version" `Quick
+        test_checkpoint_version_64bit;
+      Alcotest.test_case "hostile checkpoint lengths" `Quick
+        test_recover_hostile_lengths;
       Alcotest.test_case "spill to disk" `Quick test_spill;
       Alcotest.test_case "epoch protection" `Quick test_epoch_protection;
       QCheck_alcotest.to_alcotest prop_model_check;
+      QCheck_alcotest.to_alcotest prop_recover_fuzz;
     ] )
 
 (* The store is shared state under OCaml 5 domains: striped locks must keep
@@ -216,7 +310,49 @@ let test_domain_safety () =
     (Int64.of_int (3 * per_domain))
     !total
 
+(* Spilled reads share one in_channel. Stripe locks don't serialise gets of
+   *different* keys, so two domains reading two spilled keys race seek_in
+   against really_input_string: without the dedicated spill-channel lock
+   each can be handed the other's bytes. *)
+let test_spill_read_race () =
+  let path = Filename.temp_file "fv" "spillrace" in
+  let s =
+    Store.create ~mutable_region_entries:4 ~spill:(path, 4)
+      ~codec:Store.string_codec ()
+  in
+  let n_keys = 32 in
+  for i = 0 to n_keys - 1 do
+    Store.put s (k i) (Printf.sprintf "spilled-%04d" i) ~aux:0L
+  done;
+  Store.spill_now s;
+  Alcotest.(check bool) "records actually spilled" true
+    ((Store.stats s).spill_reads >= 0 && Store.length s = n_keys);
+  (* hammer disjoint key sets from concurrent domains; every read must
+     return its own key's payload, never a neighbour's bytes *)
+  let mismatches = Atomic.make 0 in
+  let work lo hi () =
+    let rng = Random.State.make [| lo |] in
+    for _ = 1 to 20_000 do
+      let i = lo + Random.State.int rng (hi - lo) in
+      match Store.get s (k i) with
+      | Some (v, _) when v = Printf.sprintf "spilled-%04d" i -> ()
+      | Some _ | None -> Atomic.incr mismatches
+    done
+  in
+  let d1 = Domain.spawn (work 0 (n_keys / 2)) in
+  let d2 = Domain.spawn (work (n_keys / 2) n_keys) in
+  work 0 n_keys ();
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check int) "no torn spilled reads" 0 (Atomic.get mismatches);
+  Alcotest.(check bool) "reads hit the spill file" true
+    ((Store.stats s).spill_reads > 0);
+  Sys.remove path
+
 let suite =
   ( fst suite,
     snd suite
-    @ [ Alcotest.test_case "domain safety" `Slow test_domain_safety ] )
+    @ [
+        Alcotest.test_case "domain safety" `Slow test_domain_safety;
+        Alcotest.test_case "spill read race" `Quick test_spill_read_race;
+      ] )

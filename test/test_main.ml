@@ -12,6 +12,7 @@ let () =
       Test_baselines.suite;
       Test_workload.suite;
       Test_extensions.suite;
+      Test_crashsafe.suite;
       Test_parallel.suite;
       Test_simthreads.suite;
       Test_wire.suite;
