@@ -204,18 +204,28 @@ let serve_cmd listen db_size workers batch depth cache algo enclave_model
     | None -> load_system config db_size
     | Some dir -> (
         (* Durable serving: resume from the newest committed checkpoint
-           generation if there is one, otherwise load fresh; either way,
-           checkpoint after every verification scan from here on. *)
+           generation if there is one, or load fresh when the directory
+           holds no checkpoint at all; either way, checkpoint after every
+           verification scan from here on. Any other recovery error —
+           tampering, corruption, a legacy layout — is fatal: serving fresh
+           with auto-checkpointing into the same directory would prune the
+           old generations a couple of scans later, converting a transient
+           or adversarial recovery failure into permanent data loss. *)
         match Fastver.recover ~config ~dir () with
         | Ok t ->
             Logs.app (fun m ->
                 m "recovered from checkpoint in %s (verified epoch %d)" dir
                   (Fastver.current_epoch t));
             t
+        | Error e when e = Fastver.err_no_checkpoint ->
+            Logs.app (fun m -> m "no checkpoint in %s; loading fresh" dir);
+            load_system config db_size
         | Error e ->
-            Logs.app (fun m ->
-                m "no usable checkpoint in %s (%s); loading fresh" dir e);
-            load_system config db_size)
+            die
+              "cannot recover from %s: %s — refusing to serve fresh over an \
+               existing checkpoint directory (point --checkpoint-dir \
+               elsewhere to start over)"
+              dir e)
   in
   Option.iter (fun dir -> Fastver.set_auto_checkpoint t ~dir) ckpt_dir;
   let scfg = { Net.Server.default_config with batch_limit } in

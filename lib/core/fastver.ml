@@ -1107,6 +1107,45 @@ let tpm_file = "tpm.state"
    one that recovery can recognise and discard. *)
 let component_files = [ data_file; tree_file; sealed_file; tpm_file ]
 
+(* A generation commits only when its manifest lists every component file,
+   records the directory's own generation number, and every checksum
+   verifies. The two failure modes are not interchangeable:
+
+   [Torn] — no manifest, or one that doesn't parse. Components are fsync'd
+   and renamed before the manifest commits, so this is what a crash leaves
+   behind; the generation never happened and is safe to delete and skip.
+
+   [Tampered] — a well-formed manifest whose claims don't hold: a checksum
+   or size mismatch, a missing component entry, or a generation number that
+   disagrees with the [ckpt-<n>] directory name. No crash can produce this
+   (the manifest only ever commits over fully-synced components), so it
+   implies tampering or corruption and must be surfaced, never silently
+   skipped — deleting it and falling back would hand an adversary a
+   one-bit-flip rollback primitive and destroy the evidence. *)
+type generation_status = Committed | Torn of string | Tampered of string
+
+let classify_generation ~number gdir =
+  match Ckpt_io.Manifest.read ~dir:gdir with
+  | Error e -> Torn e
+  | Ok m ->
+      if m.Ckpt_io.Manifest.generation <> number then
+        Tampered
+          (Printf.sprintf "manifest records generation %d"
+             m.Ckpt_io.Manifest.generation)
+      else if
+        not
+          (List.for_all
+             (fun name ->
+               List.exists
+                 (fun e -> e.Ckpt_io.Manifest.name = name)
+                 m.Ckpt_io.Manifest.entries)
+             component_files)
+      then Tampered "manifest missing a component file"
+      else
+        match Ckpt_io.Manifest.verify ~dir:gdir m with
+        | Ok () -> Committed
+        | Error e -> Tampered e
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -1200,12 +1239,27 @@ let checkpoint t ~dir =
   in
   Ckpt_io.Manifest.write ~dir:gdir { generation; entries };
   Ckpt_io.fsync_dir dir;
-  (* Retention: keep this generation and its predecessor (the fallback for
-     a crash during the *next* checkpoint); prune everything older. *)
+  (* Retention: keep this generation plus its newest *committed*
+     predecessor (the fallback for a crash during the *next* checkpoint);
+     prune everything else. The fallback is chosen by commit status, not by
+     number: a checkpoint attempt that failed non-fatally (disk full, say,
+     with the process still serving) leaves a torn directory in the numeric
+     predecessor slot, and keeping that instead of the last good generation
+     would leave no usable fallback at all. *)
+  let older =
+    List.filter (fun (g, _) -> g < generation) (Ckpt_io.generations dir)
+  in
+  let fallback =
+    List.find_opt
+      (fun (g, path) -> classify_generation ~number:g path = Committed)
+      older
+  in
   List.iter
     (fun (g, path) ->
-      if g < generation - 1 then Ckpt_io.remove_tree path)
-    (Ckpt_io.generations dir)
+      match fallback with
+      | Some (fg, _) when g = fg -> ()
+      | Some _ | None -> Ckpt_io.remove_tree path)
+    older
 
 (* Rebuild a system from one committed generation directory. Total: every
    decoder failure is an [Error]; nothing here may raise on corrupt input. *)
@@ -1390,41 +1444,44 @@ let recover_generation ?(config = Config.default) ~gdir () =
           k :: t.frontier_by_worker.(entry.aux.owner));
   Ok t
 
-(* A generation commits only when its manifest lists every component file
-   and every checksum verifies. Anything less is a torn write — the crash
-   left no manifest, a truncated one, or files whose bytes never all reached
-   disk — and is deleted so it can never shadow the good generation behind
-   it. A generation whose manifest *does* verify but whose contents fail
-   deeper validation is different: that takes deliberate tampering (the
-   manifest itself would have had to be rewritten), so we surface the error
-   rather than silently falling back, which would hand an adversary a
-   one-bit-flip rollback primitive. *)
+let err_no_checkpoint = "no checkpoint found"
+
+(* Newest-first scan over the generations, applying the torn/tampered
+   distinction of {!classify_generation}: torn crash artifacts are deleted
+   and skipped (they never committed and can never shadow the good
+   generation behind them); a tampered generation stops recovery cold, with
+   the directory left in place as evidence. *)
 let recover ?(config = Config.default) ~dir () =
-  let committed gdir =
-    match Ckpt_io.Manifest.read ~dir:gdir with
-    | Error e -> Error e
-    | Ok m ->
-        if
-          List.for_all
-            (fun name ->
-              List.exists
-                (fun e -> e.Ckpt_io.Manifest.name = name)
-                m.Ckpt_io.Manifest.entries)
-            component_files
-        then Result.map (fun () -> ()) (Ckpt_io.Manifest.verify ~dir:gdir m)
-        else Error "manifest missing a component file"
-  in
   let rec scan = function
     | [] -> Error "no valid checkpoint generation"
-    | (_, gdir) :: older -> (
-        match committed gdir with
-        | Error _ ->
+    | (number, gdir) :: older -> (
+        match classify_generation ~number gdir with
+        | Torn _ ->
             Ckpt_io.remove_tree gdir;
             scan older
-        | Ok () -> recover_generation ~config ~gdir ())
+        | Tampered e ->
+            Error
+              (Printf.sprintf
+                 "%s: %s — a committed manifest that fails validation \
+                  implies tampering, not a crash; refusing to fall back to \
+                  an older generation"
+                 (Filename.basename gdir) e)
+        | Committed -> recover_generation ~config ~gdir ())
   in
   match Ckpt_io.generations dir with
-  | [] -> Error "no checkpoint found"
+  | [] ->
+      (* Distinguish "nothing here" (fresh start is safe) from a checkpoint
+         written by the pre-generation flat layout, which this release can
+         no longer read. *)
+      if
+        List.exists
+          (fun f -> Sys.file_exists (Filename.concat dir f))
+          component_files
+      then
+        Error
+          "unsupported legacy checkpoint format (flat pre-generation \
+           layout); re-checkpoint with this release"
+      else Error err_no_checkpoint
   | gens -> scan gens
 
 module String_keys = struct

@@ -156,17 +156,32 @@ val checkpoint : t -> dir:string -> unit
     files are written temp-file + fsync + rename and committed by a MANIFEST
     (written last, same protocol) carrying the SHA-256 of every component —
     a crash at any byte offset leaves the previous generation untouched.
-    The current and previous generations are retained; older ones are
-    pruned. *)
+    The new generation and its newest {e committed} predecessor are
+    retained (a torn attempt in the numeric predecessor slot is never kept
+    in place of the last good generation); everything else is pruned. *)
 
 val recover : ?config:Config.t -> dir:string -> unit -> (t, string) result
-(** Rebuild a system from the newest committed checkpoint generation: the
-    newest [ckpt-<n>/] whose manifest checksums verify is used, and torn
-    generations (crash artifacts without a valid manifest) are deleted.
-    The verifier summary is validated against the enclave's
-    rollback-protected sealed slot, and the data checkpoint's version must
-    match the sealed summary's verified epoch. Total on corrupt input:
-    malformed checkpoints yield [Error _], never an exception. *)
+(** Rebuild a system from the newest committed checkpoint generation.
+    Generations are scanned newest-first; a {e torn} one — no manifest, or
+    a manifest that doesn't parse, which is all a crash can leave behind —
+    is deleted and skipped. A {e tampered} one — a well-formed manifest
+    whose checksums fail, that lacks a component entry, or whose recorded
+    generation disagrees with its [ckpt-<n>] directory name — stops
+    recovery with [Error _] and is left in place as evidence: silently
+    falling back to an older generation would turn one flipped bit into a
+    rollback primitive. The verifier summary is validated against the
+    enclave's rollback-protected sealed slot, and the data checkpoint's
+    version must match the sealed summary's verified epoch. Total on
+    corrupt input: malformed checkpoints yield [Error _], never an
+    exception. *)
+
+val err_no_checkpoint : string
+(** The exact [Error] payload {!recover} returns when [dir] holds no
+    checkpoint at all (missing or empty directory). This is the only
+    recovery error after which starting fresh is safe; every other error —
+    tampering, corruption, an unsupported legacy layout — means a
+    checkpoint exists but could not be trusted, and overwriting it should
+    require explicit operator intent. *)
 
 (** {2 String-keyed view}
 

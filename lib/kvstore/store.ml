@@ -211,6 +211,7 @@ let spill_now t =
    key(34) aux(8) len(4) payload. The version is a full int64 — the verified
    epoch must round-trip exactly; FVCKPT01 truncated it through int32. *)
 let magic = "FVCKPT02"
+let legacy_magic = "FVCKPT01" (* int32 version header; no longer readable *)
 
 let checkpoint t ~path ~version =
   Ckpt_io.with_atomic_file path @@ fun w ->
@@ -243,6 +244,10 @@ let recover ?mutable_region_entries ?spill ~codec ~path () =
           let size = in_channel_length ic in
           match really_input_string ic (String.length magic) with
           | exception End_of_file -> Error "checkpoint truncated"
+          | m when m = legacy_magic ->
+              Error
+                "unsupported legacy checkpoint format FVCKPT01; \
+                 re-checkpoint with this release"
           | m when m <> magic -> Error "bad checkpoint magic"
           | _ -> (
               try

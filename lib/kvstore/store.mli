@@ -92,7 +92,9 @@ val recover :
   unit ->
   ('v t * int, string) result
 (** Returns the store and the checkpoint version, or an error if the file is
-    missing or corrupt. Total on untrusted input: every on-disk length and
-    count is validated against the file size before use, so arbitrary byte
-    corruption yields [Error _], never an exception or an oversized
-    allocation. *)
+    missing or corrupt. A checkpoint with the legacy [FVCKPT01] magic (int32
+    version header) is rejected with an explicit unsupported-format error
+    rather than a generic bad-magic one. Total on untrusted input: every
+    on-disk length and count is validated against the file size before use,
+    so arbitrary byte corruption yields [Error _], never an exception or an
+    oversized allocation. *)

@@ -20,6 +20,11 @@ let fresh_dir name =
   C.remove_tree dir;
   dir
 
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec at i = i + m <= n && (String.sub hay i m = needle || at (i + 1)) in
+  at 0
+
 let config =
   {
     Fastver.Config.default with
@@ -276,8 +281,10 @@ let test_corrupt_components () =
     (fun file ->
       check_corruption ~file ~name:(file ^ "-trunc") truncate_half;
       check_corruption ~file ~name:(file ^ "-flip") flip_middle;
-      (* without the manifest fix-up the generation is simply torn *)
-      check_corruption ~fixup:false ~file ~name:(file ^ "-torn") flip_middle)
+      (* without the fix-up the well-formed manifest's checksum mismatch is
+         surfaced as tampering (an [Error], never a silent fallback) *)
+      check_corruption ~fixup:false ~file ~name:(file ^ "-mismatch")
+        flip_middle)
     [ "data.ckpt"; "merkle.tree"; "verifier.sealed"; "tpm.state" ]
 
 let test_corrupt_manifest () =
@@ -288,6 +295,104 @@ let test_corrupt_manifest () =
       ("manifest-flip", flip_middle);
       ("manifest-garbage", fun _ -> Bytes.of_string "not a manifest at all");
     ]
+
+(* The rollback primitive the scheme must deny: one flipped bit in the
+   newest committed generation (manifest left alone, so its checksums no
+   longer verify) must surface an error — not silently recover the older
+   generation — and must leave the tampered directory in place as
+   evidence. *)
+let test_tamper_does_not_roll_back () =
+  let dir = fresh_dir "fv-tamper-rollback" in
+  let t = mk () in
+  Fastver.put t 1L "old-state";
+  ignore (Fastver.verify t);
+  Fastver.checkpoint t ~dir;
+  Fastver.put t 1L "new-state";
+  ignore (Fastver.verify t);
+  Fastver.checkpoint t ~dir;
+  let gdir =
+    match C.generations dir with
+    | (_, g) :: _ -> g
+    | [] -> Alcotest.fail "no generation"
+  in
+  mutate_file (Filename.concat gdir "data.ckpt") flip_middle;
+  (match Fastver.recover ~config ~dir () with
+  | Ok _ -> Alcotest.fail "tampered newest generation accepted"
+  | Error e ->
+      Alcotest.(check bool) ("surfaced as tampering: " ^ e) true
+        (contains e "tampering"));
+  Alcotest.(check bool) "tampered generation preserved as evidence" true
+    (Sys.file_exists (Filename.concat gdir "MANIFEST"));
+  C.remove_tree dir
+
+(* Replaying an old committed generation under a higher ckpt-<n> number must
+   not let it shadow the newest one: the manifest records its own generation
+   and a disagreement with the directory name is tampering. *)
+let test_generation_number_pinned () =
+  let dir = fresh_dir "fv-gen-rename" in
+  let t = mk () in
+  Fastver.put t 1L "old-state";
+  ignore (Fastver.verify t);
+  Fastver.checkpoint t ~dir;
+  Fastver.put t 1L "new-state";
+  ignore (Fastver.verify t);
+  Fastver.checkpoint t ~dir;
+  copy_tree (Filename.concat dir "ckpt-0") (Filename.concat dir "ckpt-5");
+  (match Fastver.recover ~config ~dir () with
+  | Ok _ -> Alcotest.fail "replayed generation accepted under a new number"
+  | Error e ->
+      Alcotest.(check bool) ("surfaced as tampering: " ^ e) true
+        (contains e "tampering"));
+  C.remove_tree dir
+
+(* Retention must keep the newest *committed* predecessor: after a failed
+   checkpoint attempt (non-fatal — the process kept serving) the torn
+   directory occupies the numeric predecessor slot, and the next successful
+   checkpoint must prune it rather than the last good generation. *)
+let test_retention_keeps_committed_fallback () =
+  let dir = fresh_dir "fv-retention" in
+  let t = poised dir in
+  (* torn ckpt-1: the attempt dies mid-write *)
+  C.arm (C.Die_after_bytes 100);
+  (try Fastver.checkpoint t ~dir with C.Injected_crash _ -> ());
+  C.disarm ();
+  ignore (Fastver.verify t);
+  (* committed ckpt-2: retention runs *)
+  Fastver.checkpoint t ~dir;
+  Alcotest.(check bool) "committed ckpt-0 retained as fallback" true
+    (Sys.file_exists (Filename.concat dir "ckpt-0/MANIFEST"));
+  Alcotest.(check bool) "torn ckpt-1 pruned" false
+    (Sys.file_exists (Filename.concat dir "ckpt-1"));
+  (* if the newest generation is later lost wholesale, the fallback must be
+     recoverable *)
+  C.remove_tree (Filename.concat dir "ckpt-2");
+  (match Fastver.recover ~config ~dir () with
+  | Error e -> Alcotest.failf "fallback recovery: %s" e
+  | Ok t2 ->
+      Alcotest.(check vo) "fallback is the committed generation"
+        (Some "committed-v1") (Fastver.get t2 1L));
+  C.remove_tree dir
+
+(* An empty or missing directory is the one error after which a fresh start
+   is safe (the CLI keys on its exact payload); a flat pre-generation layout
+   is a format change and must say so. *)
+let test_no_checkpoint_vs_legacy_layout () =
+  let dir = fresh_dir "fv-empty" in
+  (match Fastver.recover ~config ~dir () with
+  | Ok _ -> Alcotest.fail "recovered from nothing"
+  | Error e ->
+      Alcotest.(check string) "exact no-checkpoint error"
+        Fastver.err_no_checkpoint e);
+  Sys.mkdir dir 0o755;
+  let oc = open_out_bin (Filename.concat dir "data.ckpt") in
+  output_string oc "FVCKPT01legacy-flat-layout";
+  close_out oc;
+  (match Fastver.recover ~config ~dir () with
+  | Ok _ -> Alcotest.fail "recovered from a legacy layout"
+  | Error e ->
+      Alcotest.(check bool) ("explicit legacy error: " ^ e) true
+        (contains e "legacy"));
+  C.remove_tree dir
 
 (* A data checkpoint whose version was doctored must be rejected against the
    sealed verifier epoch even though its checksums can be made to agree. *)
@@ -306,15 +411,8 @@ let test_version_epoch_mismatch () =
   rehash_manifest gdir;
   (match Fastver.recover ~config ~dir () with
   | Error e ->
-      let contains_disagrees =
-        let n = String.length e and m = String.length "disagrees" in
-        let rec at i =
-          i + m <= n && (String.sub e i m = "disagrees" || at (i + 1))
-        in
-        at 0
-      in
       Alcotest.(check bool) ("rejected for epoch disagreement: " ^ e) true
-        contains_disagrees
+        (contains e "disagrees")
   | Ok _ -> Alcotest.fail "doctored checkpoint version accepted");
   C.remove_tree dir
 
@@ -376,6 +474,14 @@ let suite =
       Alcotest.test_case "corrupt component files" `Quick
         test_corrupt_components;
       Alcotest.test_case "corrupt manifest" `Quick test_corrupt_manifest;
+      Alcotest.test_case "tampering does not roll back" `Quick
+        test_tamper_does_not_roll_back;
+      Alcotest.test_case "generation number pinned in manifest" `Quick
+        test_generation_number_pinned;
+      Alcotest.test_case "retention keeps committed fallback" `Quick
+        test_retention_keeps_committed_fallback;
+      Alcotest.test_case "no-checkpoint vs legacy layout" `Quick
+        test_no_checkpoint_vs_legacy_layout;
       Alcotest.test_case "version/epoch mismatch" `Quick
         test_version_epoch_mismatch;
       QCheck_alcotest.to_alcotest prop_recover_never_raises;

@@ -92,6 +92,25 @@ let test_recover_corrupt () =
   | Ok _ -> Alcotest.fail "accepted corrupt checkpoint");
   Sys.remove dir
 
+(* A checkpoint from the FVCKPT01 era must be called out as a format change,
+   not lumped in with arbitrary corruption. *)
+let test_recover_legacy_magic () =
+  let path = Filename.temp_file "fv" "legacy" in
+  let oc = open_out_bin path in
+  output_string oc "FVCKPT01";
+  output_string oc (String.make 12 '\000') (* old int32-version header *);
+  close_out oc;
+  (match Store.recover ~codec:Store.string_codec ~path () with
+  | Ok _ -> Alcotest.fail "accepted a legacy checkpoint"
+  | Error e ->
+      let mentions_legacy =
+        let n = String.length e and m = String.length "legacy" in
+        let rec at i = i + m <= n && (String.sub e i m = "legacy" || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) ("explicit legacy error: " ^ e) true mentions_legacy);
+  Sys.remove path
+
 (* The verified epoch is an int64 on disk: versions past 2^31 must
    round-trip instead of truncating through int32. *)
 let test_checkpoint_version_64bit () =
@@ -264,6 +283,8 @@ let suite =
       Alcotest.test_case "read-modify-write" `Quick test_update_rmw;
       Alcotest.test_case "checkpoint/recover" `Quick test_checkpoint_recover;
       Alcotest.test_case "corrupt checkpoint" `Quick test_recover_corrupt;
+      Alcotest.test_case "legacy checkpoint magic" `Quick
+        test_recover_legacy_magic;
       Alcotest.test_case "64-bit checkpoint version" `Quick
         test_checkpoint_version_64bit;
       Alcotest.test_case "hostile checkpoint lengths" `Quick
