@@ -27,7 +27,9 @@ let header title =
    JSON to bench/results/latest.json, so regression tooling can diff
    runs without scraping the tables. *)
 module Results = struct
-  type v = S of string | I of int | F of float
+  type v = S of string | I of int | F of float | J of string
+  (* [J] is pre-rendered JSON spliced in verbatim — the metric registry's
+     snapshot renderer already emits valid JSON. *)
 
   let rows : (string * (string * v) list) list ref = ref []
   let record fig kvs = rows := (fig, kvs) :: !rows
@@ -50,6 +52,7 @@ module Results = struct
     | S s -> Printf.sprintf "\"%s\"" (escape s)
     | I i -> string_of_int i
     | F f -> if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+    | J s -> s
 
   let rec mkdir_p dir =
     if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
@@ -182,7 +185,9 @@ let fig12 s ~full =
               Results.(record "fig12"
                 [ ("db", S label); ("records", I n); ("d", I d);
                   ("batch", I batch); ("ops_per_s", F p.throughput);
-                  ("latency_s", F p.latency) ]))
+                  ("latency_s", F p.latency);
+                  ("metrics_snapshot",
+                   J (Fastver_obs.Registry.to_json (Fastver.registry t))) ]))
             [ 2_048; 8_192; 32_768; 131_072 ])
         [ 4; 8 ])
     sizes
@@ -731,9 +736,79 @@ let fig_net () =
               ("ops_per_s", F r.ops_per_s); ("p50_ms", F r.p50_ms);
               ("p99_ms", F r.p99_ms); ("mean_ms", F r.mean_ms);
               ("integrity_failures", I r.integrity_failures);
-              ("errors", I r.errors) ]))
+              ("errors", I r.errors);
+              ("metrics_snapshot",
+               J (Fastver_obs.Registry.to_json (Fastver.registry t))) ]))
         [ (1, 1); (1, 32); (4, 32); (8, 64) ];
       Fastver_net.Server.stop srv
+
+(* ------------------------------------------------------------------ *)
+(* Observability overhead: metrics-on vs metrics-off                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig_obs s =
+  header
+    "Observability overhead: hot-path metric recording on vs off,\n\
+     single-thread YCSB-C (read-only, zipf 0.9; acceptance: <= 5%\n\
+     throughput cost — callback-backed metrics are scrape-time only and\n\
+     don't appear here)";
+  let n = 2_000_000 / s.div in
+  let ops = 120_000 and batch = 32_768 in
+  let run_mode enabled =
+    let config =
+      {
+        Fastver.Config.default with
+        n_workers = 1;
+        frontier_levels = 8;
+        batch_size = 0;
+        cost_model = Cost_model.zero;
+        authenticate_clients = false;
+        metrics_enabled = enabled;
+      }
+    in
+    Gc.compact ();
+    let t = Fastver.create ~config () in
+    Fastver.load t (records n);
+    let gen =
+      Fastver_workload.Ycsb.create ~db_size:n
+        (Fastver_workload.Ycsb.with_dist Fastver_workload.Ycsb.workload_c
+           (Fastver_workload.Ycsb.Zipfian 0.9))
+    in
+    (* warm one epoch so steady-state is measured *)
+    Fastver.run_ops t gen 8_192;
+    ignore (Fastver.verify t);
+    (t, run_point t gen ~ops ~batch)
+  in
+  (* interleave the modes and take the best of three each, so a scheduler
+     hiccup hits both sides rather than biasing the ratio *)
+  ignore (run_mode false) (* throwaway: first run pays page-faults for all *);
+  let samples = ref [] in
+  List.iter
+    (fun enabled ->
+      let t, p = run_mode enabled in
+      samples := (enabled, t, p.throughput) :: !samples)
+    [ false; true; false; true; false; true ];
+  let best enabled =
+    List.fold_left
+      (fun acc (e, _, th) -> if e = enabled then max acc th else acc)
+      0.0 !samples
+  in
+  let off = { throughput = best false; latency = 0.0 } in
+  let on = { throughput = best true; latency = 0.0 } in
+  let t_on =
+    match List.find (fun (e, _, _) -> e) !samples with _, t, _ -> t
+  in
+  let overhead = 100.0 *. (1.0 -. (on.throughput /. off.throughput)) in
+  pf "%-12s %12s\n" "metrics" "ops/s";
+  pf "%-12s %12.0f\n" "off" off.throughput;
+  pf "%-12s %12.0f   (overhead %+.1f%%)\n%!" "on" on.throughput overhead;
+  Results.(record "obs"
+    [ ("metrics", S "off"); ("records", I n); ("ops_per_s", F off.throughput) ]);
+  Results.(record "obs"
+    [ ("metrics", S "on"); ("records", I n); ("ops_per_s", F on.throughput);
+      ("overhead_pct", F overhead);
+      ("metrics_snapshot",
+       J (Fastver_obs.Registry.to_json (Fastver.registry t_on))) ])
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -741,7 +816,7 @@ let fig_net () =
 
 let all_figs =
   [ "fig12"; "fig13a"; "fig13b"; "fig13cd"; "fig14a"; "fig14b"; "fig14c";
-    "concerto"; "ablations"; "net"; "micro" ]
+    "concerto"; "ablations"; "net"; "obs"; "micro" ]
 
 let run_bench only quick full =
   (* Reduce GC-induced variance: larger minor heap, and each measurement
@@ -766,6 +841,7 @@ let run_bench only quick full =
   run "concerto" (fun () -> concerto s);
   run "ablations" (fun () -> ablations s);
   run "net" fig_net;
+  run "obs" (fun () -> fig_obs s);
   run "micro" bechamel_micro;
   let results_path = Filename.concat "bench" (Filename.concat "results" "latest.json") in
   Results.write ~scale:s.label ~figs:selected results_path;

@@ -194,7 +194,7 @@ let parse_addr s =
   match Net.Addr.parse s with Ok a -> a | Error e -> die "%s" e
 
 let serve_cmd listen db_size workers batch depth cache algo enclave_model
-    no_auth seed batch_limit ckpt_dir =
+    no_auth seed batch_limit ckpt_dir metrics_interval =
   if db_size < 1 then die "--db-size must be at least 1";
   if workers < 1 then die "--workers must be at least 1";
   let addr = parse_addr listen in
@@ -241,8 +241,16 @@ let serve_cmd listen db_size workers batch depth cache algo enclave_model
             (Net.Server.bound_addr srv)
             (if no_auth then "off" else "on"));
       Net.Server.start srv;
+      let last_dump = ref (Unix.gettimeofday ()) in
       while not (Atomic.get stopping) do
-        try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        (try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        match metrics_interval with
+        | Some secs when Unix.gettimeofday () -. !last_dump >= secs ->
+            last_dump := Unix.gettimeofday ();
+            Logs.app (fun m ->
+                m "metrics %s"
+                  (Fastver_obs.Registry.to_json (Fastver.registry t)))
+        | _ -> ()
       done;
       Net.Server.stop srv;
       let c = Net.Server.counters srv in
@@ -268,6 +276,146 @@ let recover_cmd dir workers batch depth cache algo enclave_model no_auth seed =
           Logs.app (fun m ->
               m "recovered from %s: epoch %d verified, certificate OK" dir
                 epoch))
+
+(* ------------------------------------------------------------------ *)
+(* stats: fetch and reconcile a live metrics snapshot                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The registry's JSON renderer emits a fixed field order
+   ("name","labels",…) with label keys sorted, so an exact-prefix substring
+   search extracts any value deterministically — no JSON parser needed. *)
+let find_sub hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i =
+    if i + n > h then None
+    else if String.sub hay i n = needle then Some (i + n)
+    else go (i + 1)
+  in
+  go 0
+
+let num_after s i =
+  let j = ref i in
+  while
+    !j < String.length s
+    &&
+    match s.[!j] with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  do
+    incr j
+  done;
+  float_of_string_opt (String.sub s i (!j - i))
+
+let counter_of json ?(labels = "{}") name =
+  match
+    find_sub json
+      (Printf.sprintf "{\"name\":\"%s\",\"labels\":%s,\"value\":" name labels)
+  with
+  | None -> None
+  | Some i -> num_after json i
+
+(* A histogram object holds no nested braces after its (empty) labels, so
+   the first '}' past the prefix closes it. *)
+let hist_of json name field =
+  match find_sub json (Printf.sprintf "{\"name\":\"%s\",\"labels\":{}," name) with
+  | None -> None
+  | Some i -> (
+      match String.index_from_opt json i '}' with
+      | None -> None
+      | Some fin -> (
+          let seg = String.sub json i (fin - i) in
+          match find_sub seg (Printf.sprintf "\"%s\":" field) with
+          | None -> None
+          | Some j -> num_after seg j))
+
+let stats_cmd connect format check =
+  let addr = parse_addr connect in
+  match Net.Client.connect addr with
+  | Error e -> die "%s" e
+  | Ok conn ->
+      let json = Net.Client.metrics conn ~format:Net.Wire.Json in
+      (match format with
+      | `Json -> print_endline json
+      | `Prometheus ->
+          print_string (Net.Client.metrics conn ~format:Net.Wire.Prometheus)
+      | `Table ->
+          let row name v = Printf.printf "%-36s %s\n" name v in
+          let c ?labels disp name =
+            row disp
+              (match counter_of json ?labels name with
+              | Some v -> Printf.sprintf "%.0f" v
+              | None -> "-")
+          in
+          let tier tier =
+            c
+              ~labels:(Printf.sprintf "{\"tier\":\"%s\"}" tier)
+              (Printf.sprintf "ops (%s tier)" tier)
+              "fastver_ops_total"
+          in
+          tier "blum";
+          tier "merkle";
+          tier "cached";
+          List.iter
+            (fun (disp, name) -> c disp name)
+            [
+              ("gets", "fastver_gets_total");
+              ("puts", "fastver_puts_total");
+              ("scans", "fastver_scans_total");
+              ("verification scans", "fastver_verifies_total");
+              ("cas retries", "fastver_cas_retries_total");
+              ("epoch", "fastver_epoch");
+              ("verified epoch", "fastver_verified_epoch");
+              ("epoch certificates", "fastver_epoch_certificates_total");
+              ("store records", "fastver_store_records");
+              ("store reads", "fastver_store_reads_total");
+              ("store writes", "fastver_store_writes_total");
+              ("store spill reads", "fastver_store_spill_reads_total");
+              ("net connections", "fastver_net_connections_total");
+              ("net requests", "fastver_net_requests_total");
+              ("net batches", "fastver_net_batches_total");
+              ("net protocol errors", "fastver_net_proto_errors_total");
+              ("net op failures", "fastver_net_op_failures_total");
+            ];
+          let lat field disp =
+            row disp
+              (match hist_of json "fastver_request_seconds" field with
+              | Some v -> Printf.sprintf "%.6fs" v
+              | None -> "-")
+          in
+          lat "p50" "request latency p50";
+          lat "p99" "request latency p99";
+          lat "max" "request latency max");
+      Net.Client.close conn;
+      if check then begin
+        (* Reconcile the snapshot against itself: the per-tier attribution
+           must account for every validated elementary op, and every served
+           request must have left a latency sample. *)
+        let geti ?labels name =
+          match counter_of json ?labels name with
+          | Some v -> int_of_float v
+          | None -> die "stats --check: metric %s missing from snapshot" name
+        in
+        let t l = geti ~labels:(Printf.sprintf "{\"tier\":\"%s\"}" l)
+            "fastver_ops_total" in
+        let by_tier = t "blum" + t "merkle" + t "cached" in
+        let data_ops = geti "fastver_gets_total" + geti "fastver_puts_total" in
+        let served = geti "fastver_net_requests_total" in
+        let sampled =
+          match hist_of json "fastver_request_seconds" "count" with
+          | Some v -> int_of_float v
+          | None -> die "stats --check: fastver_request_seconds missing"
+        in
+        if served <= 0 then die "stats --check: no requests served yet";
+        if by_tier <> data_ops then
+          die "stats --check: tier attribution %d <> %d validated ops" by_tier
+            data_ops;
+        if sampled <> served then
+          die "stats --check: %d latency samples <> %d served requests" sampled
+            served;
+        Logs.app (fun m ->
+            m "checks OK: %d ops attributed across tiers, %d requests sampled"
+              by_tier served)
+      end
 
 let client_bench_cmd connect clients window ops db_size put_ratio secret
     no_verify seed =
@@ -366,11 +514,38 @@ let recover_dir =
   Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
          ~doc:"Checkpoint directory to recover from.")
 
+let metrics_interval =
+  Arg.(value & opt (some float) None & info [ "metrics-interval" ]
+         ~docv:"SECS"
+         ~doc:"Dump the metric registry as one JSON line (via the log) every \
+               SECS seconds while serving.")
+
 let serve_term =
   Term.(
     const (fun () -> serve_cmd)
     $ setup_logs $ listen $ db_size $ workers $ batch $ depth $ cache $ algo
-    $ enclave_model $ no_auth $ seed $ batch_limit $ ckpt_dir)
+    $ enclave_model $ no_auth $ seed $ batch_limit $ ckpt_dir
+    $ metrics_interval)
+
+let stats_format =
+  let f =
+    Arg.enum [ ("table", `Table); ("json", `Json); ("prometheus", `Prometheus) ]
+  in
+  Arg.(value & opt f `Table & info [ "format" ] ~docv:"table|json|prometheus"
+         ~doc:"Output format: a human-readable table, the raw JSON snapshot, \
+               or Prometheus text exposition.")
+
+let stats_check =
+  Arg.(value & flag & info [ "check" ]
+         ~doc:"Reconcile the snapshot against itself: per-tier op counts \
+               must sum to validated ops, and the request-latency histogram \
+               must hold one sample per served request. Exits non-zero on \
+               any mismatch.")
+
+let stats_term =
+  Term.(
+    const (fun () -> stats_cmd) $ setup_logs $ connect $ stats_format
+    $ stats_check)
 
 let recover_term =
   Term.(
@@ -412,6 +587,11 @@ let cmds =
          ~doc:"Closed-loop benchmark against a running fastver server, \
                verifying every response signature")
       client_bench_term;
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:"Fetch a live metrics snapshot from a running fastver server \
+               and optionally reconcile it against itself")
+      stats_term;
   ]
 
 let () =

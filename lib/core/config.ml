@@ -11,6 +11,7 @@ type t = {
   mac_secret : string;
   mset_secret : string;
   seed : int;
+  metrics_enabled : bool;
 }
 
 let default =
@@ -27,11 +28,13 @@ let default =
     mac_secret = "fastver-shared-client-secret";
     mset_secret = "fastver-mset-k3y";
     seed = 42;
+    metrics_enabled = true;
   }
 
 let pp ppf t =
   Format.fprintf ppf
-    "workers=%d cache=%d d=%d batch=%d log=%d algo=%a enclave=%a auth=%b sorted=%b"
+    "workers=%d cache=%d d=%d batch=%d log=%d algo=%a enclave=%a auth=%b \
+     sorted=%b metrics=%b"
     t.n_workers t.cache_capacity t.frontier_levels t.batch_size
     t.log_buffer_size Record_enc.pp_algo t.algo Cost_model.pp t.cost_model
-    t.authenticate_clients t.sorted_migration
+    t.authenticate_clients t.sorted_migration t.metrics_enabled

@@ -28,6 +28,11 @@ type t = {
   mac_secret : string;  (** Secret shared between clients and verifier. *)
   mset_secret : string;  (** 16-byte multiset-hash PRF key. *)
   seed : int;
+  metrics_enabled : bool;
+      (** Record hot-path observability metrics (tier attribution, flush
+          sizes, scan timings) into the system's {!Fastver_obs.Registry}.
+          Callback-backed metrics register either way; disabling only skips
+          the per-operation counter updates. *)
 }
 
 val default : t

@@ -5,6 +5,7 @@ exception Integrity_violation of string
 
 module Config = Config
 module Auth = Auth
+module Reg = Fastver_obs.Registry
 
 (* ------------------------------------------------------------------ *)
 (* Protection state in the 64-bit aux field of data records (§7)       *)
@@ -90,7 +91,56 @@ type t = {
   mutable on_verified : (unit -> unit) option;
       (* e.g. auto-checkpoint: runs after each successful scan *)
   stats : stats;
+  metrics : Metrics.t;
 }
+
+(* Callback-backed metrics: surface the subsystems' own counters at render
+   time instead of double-accounting them on the hot path. Runs once per
+   system (both constructors); re-registration on the same registry is
+   idempotent. *)
+let wire_metrics t =
+  let module V = Fastver_verifier.Verifier in
+  let reg = Metrics.registry t.metrics in
+  Reg.gauge_fn reg ~help:"Current (in-progress) epoch" "fastver_epoch"
+    (fun () -> float_of_int (V.current_epoch t.verifier));
+  Reg.gauge_fn reg ~help:"Newest verified epoch" "fastver_verified_epoch"
+    (fun () -> float_of_int (V.verified_epoch t.verifier));
+  Reg.counter_fn reg ~help:"Epoch certificates issued"
+    "fastver_epoch_certificates_total" (fun () ->
+      (V.stats t.verifier).n_certificates);
+  List.iter
+    (fun (op, read) ->
+      Reg.counter_fn reg
+        ~labels:[ ("op", op) ]
+        ~help:"In-enclave verifier calls by operation"
+        "fastver_verifier_ops_total" read)
+    [
+      ("add_m", fun () -> (V.stats t.verifier).n_add_m);
+      ("evict_m", fun () -> (V.stats t.verifier).n_evict_m);
+      ("add_b", fun () -> (V.stats t.verifier).n_add_b);
+      ("evict_b", fun () -> (V.stats t.verifier).n_evict_b);
+      ("evict_bm", fun () -> (V.stats t.verifier).n_evict_bm);
+      ("vget", fun () -> (V.stats t.verifier).n_vget);
+      ("vput", fun () -> (V.stats t.verifier).n_vput);
+    ];
+  Reg.gauge_fn reg ~help:"Live data records in the host store"
+    "fastver_store_records" (fun () ->
+      float_of_int (Fastver_kvstore.Store.length t.store));
+  Reg.counter_fn reg ~help:"Host store reads" "fastver_store_reads_total"
+    (fun () -> (Fastver_kvstore.Store.stats t.store).reads);
+  Reg.counter_fn reg ~help:"Host store writes" "fastver_store_writes_total"
+    (fun () -> (Fastver_kvstore.Store.stats t.store).writes);
+  Reg.counter_fn reg
+    ~help:"Updates that appended a new immutable version"
+    "fastver_store_rcu_copies_total" (fun () ->
+      (Fastver_kvstore.Store.stats t.store).rcu_copies);
+  Reg.counter_fn reg ~help:"Gets served from the spill file"
+    "fastver_store_spill_reads_total" (fun () ->
+      (Fastver_kvstore.Store.stats t.store).spill_reads);
+  Reg.gauge_fn reg
+    ~help:"Modelled enclave-transition nanoseconds accumulated"
+    "fastver_enclave_overhead_ns" (fun () ->
+      Int64.to_float (Enclave.charged_ns t.enclave))
 
 let option_codec : string option Store.codec =
   {
@@ -125,46 +175,52 @@ let create ?(config = Config.default) () =
       receipts = Queue.create ();
     }
   in
-  {
-    config;
-    enclave;
-    verifier = Verifier.create ~enclave vconfig;
-    store = Store.create ~codec:option_codec ();
-    tree = Tree.create ~root_aux:{ mstate = M_cached 0; owner = -1 };
-    workers = Array.init config.n_workers worker;
-    auth = Auth.key_of_secret config.mac_secret;
-    nonces = Hashtbl.create 8;
-    sealed = Enclave.Sealed_slot.create ();
-    frontier_by_worker = Array.make config.n_workers [];
-    rr = 0;
-    loaded = false;
-    worker_locks = Array.init config.n_workers (fun _ -> Mutex.create ());
-    tree_lock = Mutex.create ();
-    gateway_lock = Mutex.create ();
-    ops_since_verify = Atomic.make 0;
-    on_verified = None;
-    stats =
-      {
-        ops = 0;
-        gets = 0;
-        puts = 0;
-        scans = 0;
-        blum_fast_path = 0;
-        merkle_path = 0;
-        verifies = 0;
-        migrated_data = 0;
-        migrated_frontier = 0;
-        verify_time_s = 0.0;
-        last_verify_latency_s = 0.0;
-        verifier_time_s = 0.0;
-        cas_retries = 0;
-        worker_busy_s = Array.make config.n_workers 0.0;
-        serial_s = 0.0;
-      };
-  }
+  let t =
+    {
+      config;
+      enclave;
+      verifier = Verifier.create ~enclave vconfig;
+      store = Store.create ~codec:option_codec ();
+      tree = Tree.create ~root_aux:{ mstate = M_cached 0; owner = -1 };
+      workers = Array.init config.n_workers worker;
+      auth = Auth.key_of_secret config.mac_secret;
+      nonces = Hashtbl.create 8;
+      sealed = Enclave.Sealed_slot.create ();
+      frontier_by_worker = Array.make config.n_workers [];
+      rr = 0;
+      loaded = false;
+      worker_locks = Array.init config.n_workers (fun _ -> Mutex.create ());
+      tree_lock = Mutex.create ();
+      gateway_lock = Mutex.create ();
+      ops_since_verify = Atomic.make 0;
+      on_verified = None;
+      stats =
+        {
+          ops = 0;
+          gets = 0;
+          puts = 0;
+          scans = 0;
+          blum_fast_path = 0;
+          merkle_path = 0;
+          verifies = 0;
+          migrated_data = 0;
+          migrated_frontier = 0;
+          verify_time_s = 0.0;
+          last_verify_latency_s = 0.0;
+          verifier_time_s = 0.0;
+          cas_retries = 0;
+          worker_busy_s = Array.make config.n_workers 0.0;
+          serial_s = 0.0;
+        };
+      metrics = Metrics.create ~enabled:config.metrics_enabled ();
+    }
+  in
+  wire_metrics t;
+  t
 
 let config t = t.config
 let stats t = t.stats
+let registry t = Metrics.registry t.metrics
 let verifier_handle t = t.verifier
 let enclave_overhead_ns t = Enclave.charged_ns t.enclave
 let current_epoch t = Verifier.current_epoch t.verifier
@@ -239,6 +295,7 @@ let apply_entry t w = function
 
 let flush_worker t w =
   if w.log_len > 0 then begin
+    Metrics.flush t.metrics w.log_len;
     let entries = List.rev w.log in
     w.log <- [];
     w.log_len <- 0;
@@ -324,8 +381,13 @@ let ensure_room t w ?protect () =
   done
 
 (* Make every merkle record on [path] (root-first, ending at the pointing
-   parent) resident in [w]'s verifier cache; returns the pointing parent. *)
-let ensure_chain t w path =
+   parent) resident in [w]'s verifier cache; returns the pointing parent.
+   [loaded] counts chain records that were not already resident — the
+   operation's tier attribution hinges on it. *)
+let ensure_chain ?loaded t w path =
+  let note_load () =
+    match loaded with Some r -> incr r | None -> ()
+  in
   let arr = Array.of_list path in
   let n = Array.length arr in
   (* The deepest node already cached or blum-protected anchors the chain:
@@ -359,6 +421,7 @@ let ensure_chain t w path =
           let entry = Tree.get_exn t.tree k in
           match entry.aux.mstate with
           | M_blum ts ->
+              note_load ();
               ensure_room t w ();
               ok
                 (Verifier.add_b t.verifier ~tid:w.wid ~key:k ~value:entry.value
@@ -368,6 +431,7 @@ let ensure_chain t w path =
               Key.Tbl.replace w.via k `B;
               entry.aux.mstate <- M_cached w.wid
           | M_merkle ->
+              note_load ();
               let parent = arr.(j - 1) in
               ensure_room t w ~protect:parent ();
               let installed =
@@ -414,11 +478,13 @@ let rec blum_fast t w key cur ts action =
     | A_get meta -> push t w (E_vget (key, cur, meta))
     | A_put (v, meta) -> push t w (E_vput (key, v, meta)));
     push t w (E_evict_b (key, ts'));
+    Metrics.tier t.metrics Metrics.Blum;
     cur
   end
   else begin
     (* Another worker won the CAS; retry against the fresh state. *)
     t.stats.cas_retries <- t.stats.cas_retries + 1;
+    Metrics.cas_retry t.metrics;
     match Store.get t.store key with
     | Some (cur', aux) when aux_is_blum aux ->
         blum_fast t w key cur' (aux_timestamp aux) action
@@ -473,6 +539,7 @@ let merkle_slow t key action =
   t.stats.merkle_path <- t.stats.merkle_path + 1;
   flush_worker t w;
   let t0 = now () in
+  let loaded = ref 0 in
   let result =
     Enclave.call t.enclave (fun () ->
         match (descent.outcome, action) with
@@ -481,7 +548,7 @@ let merkle_slow t key action =
               match store_state with Some s -> s | None -> assert false
             in
             assert (Int64.equal aux aux_merkle);
-            let parent = ensure_chain t w descent.path in
+            let parent = ensure_chain ~loaded t w descent.path in
             let installed =
               ok
                 (Verifier.add_m t.verifier ~tid:w.wid ~key
@@ -493,12 +560,12 @@ let merkle_slow t key action =
             cur
         | (Tree.Empty_slot | Tree.Split _), A_get meta ->
             (* Non-existence proof from the pointing parent (Example 4.1). *)
-            let parent = ensure_chain t w descent.path in
+            let parent = ensure_chain ~loaded t w descent.path in
             ok (Verifier.vget_absent t.verifier ~tid:w.wid ~key ~parent);
             gateway_receipt t w ~kind:Auth.Get key None meta;
             None
         | Tree.Empty_slot, (A_put (_, _) as action) ->
-            let parent = ensure_chain t w descent.path in
+            let parent = ensure_chain ~loaded t w descent.path in
             let installed =
               ok
                 (Verifier.add_m t.verifier ~tid:w.wid ~key
@@ -511,8 +578,11 @@ let merkle_slow t key action =
             defer_data t w key parent new_v;
             None
         | Tree.Split pointee, (A_put (_, _) as action) ->
-            let parent = ensure_chain t w descent.path in
-            (* Fabricate the internal node splitting the edge to [pointee]. *)
+            let parent = ensure_chain ~loaded t w descent.path in
+            (* Fabricate the internal node splitting the edge to [pointee] —
+               new chain material, so the op is Merkle-tier regardless of
+               cache residency. *)
+            incr loaded;
             let node_key = Key.lca key pointee in
             let pn = Tree.get_exn t.tree parent in
             let old_ptr =
@@ -570,6 +640,8 @@ let merkle_slow t key action =
             None)
   in
   t.stats.verifier_time_s <- t.stats.verifier_time_s +. (now () -. t0);
+  Metrics.tier t.metrics
+    (if !loaded = 0 then Metrics.Cached else Metrics.Merkle);
   Some (result, w)
 
 let rec process_inner t ?worker key action =
@@ -611,6 +683,9 @@ let process t ?worker key action =
   | A_put (_, None) | A_get _ -> ());
   let t0 = now () in
   let ((_, w) as result) = process_inner t ?worker key action in
+  (match action with
+  | A_get _ -> Metrics.get_op t.metrics
+  | A_put _ -> Metrics.put_op t.metrics);
   t.stats.worker_busy_s.(w.wid) <-
     t.stats.worker_busy_s.(w.wid) +. (now () -. t0);
   result
@@ -637,6 +712,7 @@ let verify_locked t =
   let t0 = now () in
   let charged0 = Enclave.charged_ns t.enclave in
   let vops0 = verifier_op_count t in
+  let touched0 = t.stats.migrated_data + t.stats.migrated_frontier in
   let epoch = Verifier.current_epoch t.verifier in
   Array.iter (flush_worker t) t.workers;
   let cert =
@@ -751,6 +827,8 @@ let verify_locked t =
   t.stats.last_verify_latency_s <- elapsed;
   t.stats.verify_time_s <- t.stats.verify_time_s +. elapsed;
   t.stats.verifier_time_s <- t.stats.verifier_time_s +. (now () -. t0);
+  Metrics.verify_scan t.metrics ~seconds:elapsed
+    ~touched:(t.stats.migrated_data + t.stats.migrated_frontier - touched0);
   Atomic.set t.ops_since_verify 0;
   cert
 
@@ -805,6 +883,7 @@ let delete t k = delete_key t (Key.of_int64 k)
 let scan t k len =
   check_loaded t;
   t.stats.scans <- t.stats.scans + 1;
+  Metrics.scan_op t.metrics;
   Array.init len (fun i ->
       let ki = Int64.add k (Int64.of_int i) in
       t.stats.gets <- t.stats.gets + 1;
@@ -1037,6 +1116,7 @@ module Batch = struct
                   Failed e)
           | Scan { client; nonce; start; len } -> (
               t.stats.scans <- t.stats.scans + 1;
+              Metrics.scan_op t.metrics;
               let items = ref [] in
               match
                 for j = 0 to len - 1 do
@@ -1163,6 +1243,7 @@ let mstate_encode buf st ~is_root =
 
 let checkpoint t ~dir =
   check_loaded t;
+  let ck0 = now () in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   (* Stop the world: snapshotting the store and trie while other domains
      mutate them would tear the images (and race Hashtbl internals). *)
@@ -1259,7 +1340,8 @@ let checkpoint t ~dir =
       match fallback with
       | Some (fg, _) when g = fg -> ()
       | Some _ | None -> Ckpt_io.remove_tree path)
-    older
+    older;
+  Metrics.checkpoint_write t.metrics (now () -. ck0)
 
 (* Rebuild a system from one committed generation directory. Total: every
    decoder failure is an [Error]; nothing here may raise on corrupt input. *)
@@ -1436,12 +1518,14 @@ let recover_generation ?(config = Config.default) ~gdir () =
           worker_busy_s = Array.make config.n_workers 0.0;
           serial_s = 0.0;
         };
+      metrics = Metrics.create ~enabled:config.metrics_enabled ();
     }
   in
   Tree.iter t.tree (fun k entry ->
       if entry.aux.owner >= 0 && entry.aux.owner < config.n_workers then
         t.frontier_by_worker.(entry.aux.owner) <-
           k :: t.frontier_by_worker.(entry.aux.owner));
+  wire_metrics t;
   Ok t
 
 let err_no_checkpoint = "no checkpoint found"
@@ -1452,6 +1536,7 @@ let err_no_checkpoint = "no checkpoint found"
    generation behind them); a tampered generation stops recovery cold, with
    the directory left in place as evidence. *)
 let recover ?(config = Config.default) ~dir () =
+  let t0 = now () in
   let rec scan = function
     | [] -> Error "no valid checkpoint generation"
     | (number, gdir) :: older -> (
@@ -1482,7 +1567,12 @@ let recover ?(config = Config.default) ~dir () =
           "unsupported legacy checkpoint format (flat pre-generation \
            layout); re-checkpoint with this release"
       else Error err_no_checkpoint
-  | gens -> scan gens
+  | gens -> (
+      match scan gens with
+      | Ok t ->
+          Metrics.recover_done t.metrics (now () -. t0);
+          Ok t
+      | Error _ as e -> e)
 
 module String_keys = struct
   let key s =

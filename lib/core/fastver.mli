@@ -232,6 +232,29 @@ type stats = {
 
 val stats : t -> stats
 
+val registry : t -> Fastver_obs.Registry.t
+(** The system's metric registry ({!Fastver_obs}). Always present; hot-path
+    recording honours [Config.metrics_enabled]. Core metrics:
+
+    - [fastver_ops_total{tier="blum"|"merkle"|"cached"}] — validated
+      elementary ops by the tier that served them; the three sum to the
+      number of validated ops ([blum] = deferred fast path, [merkle] = slow
+      path that loaded chain records, [cached] = slow path with the whole
+      chain already resident in the verifier cache);
+    - [fastver_gets_total] / [fastver_puts_total] / [fastver_scans_total],
+      [fastver_cas_retries_total], [fastver_verifies_total];
+    - [fastver_log_flush_entries], [fastver_verify_scan_seconds],
+      [fastver_verify_touched_records], [fastver_checkpoint_write_seconds],
+      [fastver_recover_seconds] (histograms);
+    - callback-backed: [fastver_epoch], [fastver_verified_epoch],
+      [fastver_epoch_certificates_total],
+      [fastver_verifier_ops_total{op=...}], [fastver_store_records],
+      [fastver_store_reads_total], [fastver_store_writes_total],
+      [fastver_store_rcu_copies_total], [fastver_store_spill_reads_total],
+      [fastver_enclave_overhead_ns].
+
+    [lib/net]'s server registers its own metrics here too. *)
+
 val enclave_overhead_ns : t -> int64
 (** Modelled enclave-transition time accumulated so far; add to wall time
     when computing effective throughput. *)

@@ -1,0 +1,99 @@
+open Fastver_obs
+
+type tier = Blum | Merkle | Cached
+
+type t = {
+  enabled : bool;
+  registry : Registry.t;
+  ops_blum : Counter.t;
+  ops_merkle : Counter.t;
+  ops_cached : Counter.t;
+  gets : Counter.t;
+  puts : Counter.t;
+  scans : Counter.t;
+  cas_retries : Counter.t;
+  verifies : Counter.t;
+  flush_entries : Histogram.t;
+  verify_seconds : Histogram.t;
+  verify_touched : Histogram.t;
+  checkpoint_seconds : Histogram.t;
+  recover_seconds : Histogram.t;
+}
+
+let create ~enabled () =
+  let r = Registry.create () in
+  let tier_counter tier =
+    Registry.counter r ~labels:[ ("tier", tier) ]
+      ~help:"Validated elementary operations by protection tier"
+      "fastver_ops_total"
+  in
+  {
+    enabled;
+    registry = r;
+    ops_blum = tier_counter "blum";
+    ops_merkle = tier_counter "merkle";
+    ops_cached = tier_counter "cached";
+    gets =
+      Registry.counter r ~help:"Validated elementary reads" "fastver_gets_total";
+    puts =
+      Registry.counter r ~help:"Validated elementary updates"
+        "fastver_puts_total";
+    scans =
+      Registry.counter r ~help:"Range scans submitted" "fastver_scans_total";
+    cas_retries =
+      Registry.counter r ~help:"Fast-path CAS losses retried"
+        "fastver_cas_retries_total";
+    verifies =
+      Registry.counter r ~help:"Verification scans completed"
+        "fastver_verifies_total";
+    flush_entries =
+      Registry.histogram r
+        ~help:"Verification-log entries per enclave flush"
+        "fastver_log_flush_entries";
+    verify_seconds =
+      Registry.histogram r ~scale:1e-9
+        ~help:"Verification scan duration (incl. modelled enclave cost)"
+        "fastver_verify_scan_seconds";
+    verify_touched =
+      Registry.histogram r
+        ~help:"Records migrated per verification scan (data + frontier)"
+        "fastver_verify_touched_records";
+    checkpoint_seconds =
+      Registry.histogram r ~scale:1e-9
+        ~help:"Checkpoint generation write duration"
+        "fastver_checkpoint_write_seconds";
+    recover_seconds =
+      Registry.histogram r ~scale:1e-9
+        ~help:"Checkpoint recovery duration" "fastver_recover_seconds";
+  }
+
+let registry t = t.registry
+let enabled t = t.enabled
+
+let tier t which =
+  if t.enabled then
+    Counter.incr
+      (match which with
+      | Blum -> t.ops_blum
+      | Merkle -> t.ops_merkle
+      | Cached -> t.ops_cached)
+
+let get_op t = if t.enabled then Counter.incr t.gets
+let put_op t = if t.enabled then Counter.incr t.puts
+let scan_op t = if t.enabled then Counter.incr t.scans
+let cas_retry t = if t.enabled then Counter.incr t.cas_retries
+
+let flush t n = if t.enabled then Histogram.record t.flush_entries n
+
+let verify_scan t ~seconds ~touched =
+  if t.enabled then begin
+    Counter.incr t.verifies;
+    Histogram.record_span t.verify_seconds seconds;
+    Histogram.record t.verify_touched touched
+  end
+
+let checkpoint_write t seconds =
+  if t.enabled then Histogram.record_span t.checkpoint_seconds seconds
+
+let recover_done t seconds =
+  if t.enabled then Histogram.record_span t.recover_seconds seconds

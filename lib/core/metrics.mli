@@ -1,0 +1,39 @@
+(** Core-layer observability: the {!Fastver_obs} metrics a {!Fastver.t}
+    maintains about itself.
+
+    One instance per system, created alongside it (both [create] and
+    checkpoint recovery). Hot-path helpers are no-ops when the config
+    disables metrics; the registry itself always exists, so callback-backed
+    metrics (store stats, verifier op counts, epochs) can be attached and
+    rendered either way. *)
+
+type tier = Blum | Merkle | Cached
+
+type t
+
+val create : enabled:bool -> unit -> t
+val registry : t -> Fastver_obs.Registry.t
+val enabled : t -> bool
+
+(** {2 Hot-path recording} (each guarded by [enabled]) *)
+
+val tier : t -> tier -> unit
+(** One validated elementary operation, attributed to the tier that served
+    it: [Blum] = deferred fast path, [Merkle] = slow path that had to load
+    chain records into the verifier cache, [Cached] = slow path whose whole
+    chain was already resident. *)
+
+val get_op : t -> unit
+val put_op : t -> unit
+val scan_op : t -> unit
+val cas_retry : t -> unit
+
+val flush : t -> int -> unit
+(** Verification-log entries in one enclave flush. *)
+
+val verify_scan : t -> seconds:float -> touched:int -> unit
+(** One verification scan: wall+modelled duration and the number of
+    migrated records (data + frontier) it touched. *)
+
+val checkpoint_write : t -> float -> unit
+val recover_done : t -> float -> unit

@@ -9,11 +9,22 @@ type 'v body =
 type 'v slot = { key : Key.t; mutable body : 'v body; prev : int }
 
 type stats = {
-  mutable reads : int;
-  mutable writes : int;
-  mutable rcu_copies : int;
-  mutable spill_reads : int;
+  reads : int;
+  writes : int;
+  rcu_copies : int;
+  spill_reads : int;
 }
+
+(* Live counters: atomics, so gets in one domain and stats snapshots in
+   another never race (reads were bumped outside the stripe lock). *)
+type stats_live = {
+  a_reads : int Atomic.t;
+  a_writes : int Atomic.t;
+  a_rcu_copies : int Atomic.t;
+  a_spill_reads : int Atomic.t;
+}
+
+let bump a = ignore (Atomic.fetch_and_add a 1)
 
 let chunk_bits = 16
 let chunk_size = 1 lsl chunk_bits
@@ -34,7 +45,7 @@ type 'v t = {
   mutable spill_chan : (in_channel * out_channel) option;
   mutable spill_end : int; (* bytes written to the spill file *)
   mutable spilled_through : int; (* addresses < this may be on disk *)
-  stats : stats;
+  stats : stats_live;
 }
 
 let create ?(mutable_region_entries = 1 lsl 20) ?spill ~codec () =
@@ -50,10 +61,22 @@ let create ?(mutable_region_entries = 1 lsl 20) ?spill ~codec () =
     spill_chan = None;
     spill_end = 0;
     spilled_through = 0;
-    stats = { reads = 0; writes = 0; rcu_copies = 0; spill_reads = 0 };
+    stats =
+      {
+        a_reads = Atomic.make 0;
+        a_writes = Atomic.make 0;
+        a_rcu_copies = Atomic.make 0;
+        a_spill_reads = Atomic.make 0;
+      };
   }
 
-let stats t = t.stats
+let stats t =
+  {
+    reads = Atomic.get t.stats.a_reads;
+    writes = Atomic.get t.stats.a_writes;
+    rcu_copies = Atomic.get t.stats.a_rcu_copies;
+    spill_reads = Atomic.get t.stats.a_spill_reads;
+  }
 let length t = Key.Tbl.length t.index
 let log_size t = t.tail
 
@@ -108,7 +131,7 @@ let read_spilled t ~file_off ~len =
     with_spill_lock t (fun () ->
         let ic, _ = spill_channels t in
         seek_in ic file_off;
-        t.stats.spill_reads <- t.stats.spill_reads + 1;
+        bump t.stats.a_spill_reads;
         really_input_string ic len)
   in
   t.codec.decode raw
@@ -124,14 +147,14 @@ let current t key =
           Some (addr, read_spilled t ~file_off ~len, aux))
 
 let get t key =
-  t.stats.reads <- t.stats.reads + 1;
+  bump t.stats.a_reads;
   with_stripe t key (fun () ->
       Option.map (fun (_, v, a) -> (v, a)) (current t key))
 
 (* Install a new (value, aux) for [key]; in place when the current version is
    in the mutable region, copy-on-write otherwise. Caller holds the stripe. *)
 let install t key value aux =
-  t.stats.writes <- t.stats.writes + 1;
+  bump t.stats.a_writes;
   match Key.Tbl.find_opt t.index key with
   | Some addr when addr >= readonly_boundary t -> (
       let s = slot t addr in
@@ -144,7 +167,7 @@ let install t key value aux =
           assert false)
   | (Some _ | None) as prior ->
       let prev = Option.value prior ~default:(-1) in
-      if prev >= 0 then t.stats.rcu_copies <- t.stats.rcu_copies + 1;
+      if prev >= 0 then bump t.stats.a_rcu_copies;
       let addr = append t { key; body = In_memory { value; aux }; prev } in
       Key.Tbl.replace t.index key addr
 

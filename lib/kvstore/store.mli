@@ -65,13 +65,15 @@ val spill_now : 'v t -> unit
 (** Force cold versions beyond the memory budget out to the spill file. *)
 
 type stats = {
-  mutable reads : int;
-  mutable writes : int;
-  mutable rcu_copies : int;  (** updates that had to append a new version *)
-  mutable spill_reads : int;  (** gets served from the spill file *)
+  reads : int;
+  writes : int;
+  rcu_copies : int;  (** updates that had to append a new version *)
+  spill_reads : int;  (** gets served from the spill file *)
 }
 
 val stats : 'v t -> stats
+(** A consistent-enough snapshot: the live counters are [Atomic.t]s bumped
+    from any domain; each field reads one atomic. *)
 
 (** {2 Checkpointing (CPR-style)}
 

@@ -287,3 +287,12 @@ let stats conn =
   | Wire.Stats_reply s -> s
   | Wire.Error e -> raise (Server_error e)
   | _ -> raise (Protocol_error "unexpected response to stats")
+
+let metrics conn ~format =
+  let id = send conn (Wire.Metrics { format }) in
+  match expect_id id (recv conn) with
+  | Wire.Metrics_reply { format = f; data } ->
+      if f <> format then raise (Protocol_error "metrics format mismatch");
+      data
+  | Wire.Error e -> raise (Server_error e)
+  | _ -> raise (Protocol_error "unexpected response to metrics")

@@ -77,3 +77,8 @@ val verify_now : session -> int * string
 
 val stats : t -> Wire.stats
 (** Server statistics (no session needed). *)
+
+val metrics : t -> format:Wire.metrics_format -> string
+(** The server's metric registry rendered as JSON or Prometheus text (no
+    session needed). Diagnostics only — the payload carries no receipt
+    MAC. *)

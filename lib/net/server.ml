@@ -20,13 +20,53 @@ let default_config =
   }
 
 type counters = {
-  mutable accepted : int;
-  mutable served : int;
-  mutable batches : int;
-  mutable max_batch : int;
-  mutable proto_errors : int;
-  mutable op_failures : int;
+  accepted : int;
+  served : int;
+  batches : int;
+  max_batch : int;
+  proto_errors : int;
+  op_failures : int;
 }
+
+(* Live counters ride the system's metric registry as [Atomic.t]s: they are
+   mutated in the server's domain and read from callers' threads (tests,
+   the CLI), which plain [mutable int]s cannot do soundly. *)
+type metrics = {
+  m_accepted : Fastver_obs.Counter.t;
+  m_served : Fastver_obs.Counter.t;
+  m_batches : Fastver_obs.Counter.t;
+  m_proto_errors : Fastver_obs.Counter.t;
+  m_op_failures : Fastver_obs.Counter.t;
+  m_batch_requests : Fastver_obs.Histogram.t;
+  m_request_seconds : Fastver_obs.Histogram.t;
+}
+
+let make_metrics sys =
+  let module Reg = Fastver_obs.Registry in
+  let reg = Fastver.registry sys in
+  {
+    m_accepted =
+      Reg.counter reg ~help:"Connections accepted"
+        "fastver_net_connections_total";
+    m_served =
+      Reg.counter reg ~help:"Requests answered (including errors)"
+        "fastver_net_requests_total";
+    m_batches =
+      Reg.counter reg ~help:"Worker-loop drains" "fastver_net_batches_total";
+    m_proto_errors =
+      Reg.counter reg ~help:"Malformed frames or requests"
+        "fastver_net_proto_errors_total";
+    m_op_failures =
+      Reg.counter reg ~help:"Operations answered with an error"
+        "fastver_net_op_failures_total";
+    m_batch_requests =
+      Reg.histogram reg ~help:"Requests per worker-loop drain"
+        "fastver_net_batch_requests";
+    m_request_seconds =
+      Reg.histogram reg ~scale:1e-9
+        ~help:"End-to-end request latency (decode to response enqueue)"
+        "fastver_request_seconds";
+  }
 
 type conn = {
   fd : Unix.file_descr;
@@ -44,13 +84,15 @@ type t = {
   cfg : config;
   listener : Unix.file_descr;
   addr : Addr.t;
-  pending : (conn * int64 * Wire.request) Queue.t;
+  pending : (conn * int64 * Wire.request * float) Queue.t;
+      (* (conn, id, request, arrival time) — the timestamp feeds the
+         end-to-end latency histogram when the response is enqueued *)
   mutable conns : conn list;
   stop_r : Unix.file_descr;
   stop_w : Unix.file_descr;
   stopping : bool Atomic.t;
   mutable domain : unit Domain.t option;
-  counters : counters;
+  metrics : metrics;
   clients_in_use : (int, conn) Hashtbl.t;
   scratch : Bytes.t;
 }
@@ -100,15 +142,7 @@ let create ?(config = default_config) sys ~listen =
               stop_w;
               stopping = Atomic.make false;
               domain = None;
-              counters =
-                {
-                  accepted = 0;
-                  served = 0;
-                  batches = 0;
-                  max_batch = 0;
-                  proto_errors = 0;
-                  op_failures = 0;
-                };
+              metrics = make_metrics sys;
               clients_in_use = Hashtbl.create 16;
               scratch = Bytes.create 65536;
             }
@@ -119,18 +153,34 @@ let create ?(config = default_config) sys ~listen =
                (Unix.error_message e)))
 
 let bound_addr t = t.addr
-let counters t = t.counters
+
+let counters t =
+  let module C = Fastver_obs.Counter in
+  let batch = Fastver_obs.Histogram.snapshot t.metrics.m_batch_requests in
+  {
+    accepted = C.get t.metrics.m_accepted;
+    served = C.get t.metrics.m_served;
+    batches = C.get t.metrics.m_batches;
+    max_batch = batch.Fastver_obs.Histogram.max;
+    proto_errors = C.get t.metrics.m_proto_errors;
+    op_failures = C.get t.metrics.m_op_failures;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Output                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let emit t conn id resp =
+let emit ?arrived t conn id resp =
   if not conn.dead then begin
     let s = Wire.encode_response ~id resp in
     Queue.push s conn.outq;
     conn.out_bytes <- conn.out_bytes + String.length s;
-    t.counters.served <- t.counters.served + 1
+    Fastver_obs.Counter.incr t.metrics.m_served;
+    match arrived with
+    | Some t0 ->
+        Fastver_obs.Histogram.record_span t.metrics.m_request_seconds
+          (Unix.gettimeofday () -. t0)
+    | None -> ()
   end
 
 let flush_output conn =
@@ -225,6 +275,16 @@ let classify t conn req =
           | exception Fastver.Integrity_violation e ->
               Wire.Error ("integrity: " ^ e))
   | Wire.Stats -> `Admin (fun _conn -> stats_reply t)
+  | Wire.Metrics { format } ->
+      `Admin
+        (fun _conn ->
+          let reg = Fastver.registry t.sys in
+          let data =
+            match format with
+            | Wire.Json -> Fastver_obs.Registry.to_json reg
+            | Wire.Prometheus -> Fastver_obs.Registry.to_prometheus reg
+          in
+          Wire.Metrics_reply { format; data })
 
 let response_of_reply nonce (reply : Fastver.Batch.reply) =
   match reply with
@@ -237,7 +297,9 @@ let response_of_reply nonce (reply : Fastver.Batch.reply) =
 let nonce_of = function
   | Wire.Get { nonce; _ } | Wire.Put { nonce; _ } | Wire.Scan { nonce; _ } ->
       nonce
-  | Wire.Open_session _ | Wire.Close_session | Wire.Verify | Wire.Stats -> 0L
+  | Wire.Open_session _ | Wire.Close_session | Wire.Verify | Wire.Stats
+  | Wire.Metrics _ ->
+      0L
 
 (* Drain up to [batch_limit] pending requests through the worker loop.
    Consecutive data operations share one Batch.submit (one log flush);
@@ -250,43 +312,43 @@ let drain t =
       incr n
     done;
     let batch = List.rev !batch in
-    t.counters.batches <- t.counters.batches + 1;
-    if !n > t.counters.max_batch then t.counters.max_batch <- !n;
+    Fastver_obs.Counter.incr t.metrics.m_batches;
+    Fastver_obs.Histogram.record t.metrics.m_batch_requests !n;
     let acc = ref [] in
-    (* (conn, id, nonce, op), newest first *)
+    (* (conn, id, nonce, arrival, op), newest first *)
     let flush_acc () =
       match List.rev !acc with
       | [] -> ()
       | ops ->
           acc := [];
-          let arr = Array.of_list (List.map (fun (_, _, _, op) -> op) ops) in
+          let arr = Array.of_list (List.map (fun (_, _, _, _, op) -> op) ops) in
           let replies = Fastver.Batch.submit t.sys arr in
           List.iteri
-            (fun i (conn, id, nonce, _) ->
+            (fun i (conn, id, nonce, arrived, _) ->
               (match replies.(i) with
               | Fastver.Batch.Failed _ ->
-                  t.counters.op_failures <- t.counters.op_failures + 1
+                  Fastver_obs.Counter.incr t.metrics.m_op_failures
               | _ -> ());
-              emit t conn id (response_of_reply nonce replies.(i)))
+              emit ~arrived t conn id (response_of_reply nonce replies.(i)))
             ops
     in
     List.iter
-      (fun (conn, id, req) ->
+      (fun (conn, id, req, arrived) ->
         if not conn.dead then
           match classify t conn req with
-          | `Data op -> acc := (conn, id, nonce_of req, op) :: !acc
+          | `Data op -> acc := (conn, id, nonce_of req, arrived, op) :: !acc
           | `Admin f ->
               flush_acc ();
-              emit t conn id (f conn)
+              emit ~arrived t conn id (f conn)
           | `Err e ->
               flush_acc ();
-              t.counters.op_failures <- t.counters.op_failures + 1;
-              emit t conn id (Wire.Error e))
+              Fastver_obs.Counter.incr t.metrics.m_op_failures;
+              emit ~arrived t conn id (Wire.Error e))
       batch;
     flush_acc ();
     (* opportunistic write: the sockets are almost always writable *)
     List.iter
-      (fun (conn, _, _) ->
+      (fun (conn, _, _, _) ->
         if not (Queue.is_empty conn.outq) then flush_output conn)
       batch
   end
@@ -296,8 +358,12 @@ let drain t =
 (* ------------------------------------------------------------------ *)
 
 let protocol_error t conn msg =
-  t.counters.proto_errors <- t.counters.proto_errors + 1;
-  emit t conn 0L (Wire.Error ("protocol: " ^ msg));
+  Fastver_obs.Counter.incr t.metrics.m_proto_errors;
+  (* arrival = now: a malformed frame has no decoded request to timestamp,
+     but every emitted response must carry a latency sample so that the
+     request histogram's count always equals [served] *)
+  emit ~arrived:(Unix.gettimeofday ()) t conn 0L
+    (Wire.Error ("protocol: " ^ msg));
   conn.closing <- true
 
 let parse_frames t conn =
@@ -307,7 +373,8 @@ let parse_frames t conn =
     | Ok None -> continue := false
     | Ok (Some payload) -> (
         match Wire.decode_request payload with
-        | Ok (id, req) -> Queue.push (conn, id, req) t.pending
+        | Ok (id, req) ->
+            Queue.push (conn, id, req, Unix.gettimeofday ()) t.pending
         | Error e -> protocol_error t conn e)
     | Error e -> protocol_error t conn e
   done
@@ -336,7 +403,7 @@ let accept_loop t =
         (match t.addr with
         | Addr.Tcp _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
         | Addr.Unix_sock _ -> ());
-        t.counters.accepted <- t.counters.accepted + 1;
+        Fastver_obs.Counter.incr t.metrics.m_accepted;
         t.conns <-
           {
             fd;
@@ -425,10 +492,10 @@ let run t =
   (match t.addr with
   | Addr.Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
   | Addr.Tcp _ -> ());
+  let c = counters t in
   Log.info (fun m ->
       m "stopped: %d conns accepted, %d requests, %d batches (max %d)"
-        t.counters.accepted t.counters.served t.counters.batches
-        t.counters.max_batch)
+        c.accepted c.served c.batches c.max_batch)
 
 let start t = t.domain <- Some (Domain.spawn (fun () -> run t))
 

@@ -28,13 +28,16 @@ type config = {
 val default_config : config
 
 type counters = {
-  mutable accepted : int;  (** connections accepted *)
-  mutable served : int;  (** requests answered *)
-  mutable batches : int;  (** worker-loop drains *)
-  mutable max_batch : int;  (** largest single drain *)
-  mutable proto_errors : int;  (** malformed frames / requests *)
-  mutable op_failures : int;  (** operations answered with an error *)
+  accepted : int;  (** connections accepted *)
+  served : int;  (** requests answered *)
+  batches : int;  (** worker-loop drains *)
+  max_batch : int;  (** largest single drain *)
+  proto_errors : int;  (** malformed frames / requests *)
+  op_failures : int;  (** operations answered with an error *)
 }
+(** A point-in-time snapshot. The live counters are [Atomic.t]s registered
+    on the system's {!Fastver.registry} (names [fastver_net_*]), so reading
+    from outside the server domain is sound. *)
 
 type t
 

@@ -3,6 +3,8 @@ let magic = "FV"
 let header_len = 2 + 1 + 1 + 8
 let max_frame = 16 * 1024 * 1024
 
+type metrics_format = Json | Prometheus
+
 type request =
   | Open_session of { client : int }
   | Close_session
@@ -11,6 +13,7 @@ type request =
   | Scan of { start : int64; len : int; nonce : int64 }
   | Verify
   | Stats
+  | Metrics of { format : metrics_format }
 
 type item = { key : int64; value : string option; epoch : int; mac : string }
 
@@ -33,6 +36,7 @@ type response =
   | Scanned of { nonce : int64; items : item array }
   | Verified of { epoch : int; cert : string }
   | Stats_reply of stats
+  | Metrics_reply of { format : metrics_format; data : string }
   | Error of string
 
 (* ------------------------------------------------------------------ *)
@@ -46,6 +50,7 @@ let tag_put = 0x04
 let tag_scan = 0x05
 let tag_verify = 0x06
 let tag_stats = 0x07
+let tag_metrics = 0x08
 let tag_opened = 0x81
 let tag_closed = 0x82
 let tag_got = 0x83
@@ -53,7 +58,10 @@ let tag_put_ok = 0x84
 let tag_scanned = 0x85
 let tag_verified = 0x86
 let tag_stats_reply = 0x87
+let tag_metrics_reply = 0x88
 let tag_error = 0xff
+
+let metrics_format_byte = function Json -> 0 | Prometheus -> 1
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                            *)
@@ -130,6 +138,9 @@ let encode_request ~id = function
              add_i64 b nonce))
   | Verify -> frame ~id tag_verify ""
   | Stats -> frame ~id tag_stats ""
+  | Metrics { format } ->
+      frame ~id tag_metrics
+        (body (fun b -> add_u8 b (metrics_format_byte format)))
 
 let encode_response ~id = function
   | Session_opened { client } ->
@@ -162,6 +173,12 @@ let encode_response ~id = function
              List.iter (add_i64 b)
                [ s.ops; s.gets; s.puts; s.scans; s.verifies; s.fast_path;
                  s.merkle_path; s.epoch ]))
+  | Metrics_reply { format; data } ->
+      frame ~id tag_metrics_reply
+        (body (fun b ->
+             add_u8 b (metrics_format_byte format);
+             add_u32 b (String.length data);
+             Buffer.add_string b data))
   | Error msg ->
       frame ~id tag_error
         (body (fun b ->
@@ -222,6 +239,12 @@ let value_opt c =
       Some (str c n)
   | t -> raise (Bad (Printf.sprintf "bad value tag 0x%02x" t))
 
+let metrics_format c =
+  match u8 c with
+  | 0 -> Json
+  | 1 -> Prometheus
+  | t -> raise (Bad (Printf.sprintf "bad metrics format 0x%02x" t))
+
 let item c =
   let key = i64 c in
   let epoch = u32 c in
@@ -272,6 +295,7 @@ let decode_request =
         Scan { start; len; nonce }
       else if tag = tag_verify then Verify
       else if tag = tag_stats then Stats
+      else if tag = tag_metrics then Metrics { format = metrics_format c }
       else raise (Bad (Printf.sprintf "unknown request tag 0x%02x" tag)))
 
 let decode_response =
@@ -309,6 +333,10 @@ let decode_response =
         let epoch = i64 c in
         Stats_reply
           { ops; gets; puts; scans; verifies; fast_path; merkle_path; epoch }
+      else if tag = tag_metrics_reply then
+        let format = metrics_format c in
+        let n = u32 c in
+        Metrics_reply { format; data = str c n }
       else if tag = tag_error then
         let n = u32 c in
         Error (str c n)
@@ -328,6 +356,9 @@ let pp_request ppf = function
   | Scan { start; len; _ } -> Format.fprintf ppf "scan(%Ld, %d)" start len
   | Verify -> Format.fprintf ppf "verify"
   | Stats -> Format.fprintf ppf "stats"
+  | Metrics { format } ->
+      Format.fprintf ppf "metrics(%s)"
+        (match format with Json -> "json" | Prometheus -> "prometheus")
 
 let pp_response ppf = function
   | Session_opened { client } -> Format.fprintf ppf "session-opened(%d)" client
@@ -337,4 +368,6 @@ let pp_response ppf = function
   | Scanned { items; _ } -> Format.fprintf ppf "scanned(%d)" (Array.length items)
   | Verified { epoch; _ } -> Format.fprintf ppf "verified(epoch %d)" epoch
   | Stats_reply _ -> Format.fprintf ppf "stats-reply"
+  | Metrics_reply { data; _ } ->
+      Format.fprintf ppf "metrics-reply(%d bytes)" (String.length data)
   | Error e -> Format.fprintf ppf "error(%s)" e

@@ -25,6 +25,9 @@ val max_frame : int
 (** Upper bound on a sane payload length (decoders and frame readers reject
     anything larger before allocating). *)
 
+type metrics_format = Json | Prometheus
+(** Rendering requested from the server's {!Fastver_obs.Registry}. *)
+
 type request =
   | Open_session of { client : int }
   | Close_session
@@ -33,6 +36,7 @@ type request =
   | Scan of { start : int64; len : int; nonce : int64 }
   | Verify
   | Stats
+  | Metrics of { format : metrics_format }
 
 type item = { key : int64; value : string option; epoch : int; mac : string }
 (** One validated result: the receipt MAC covers (kind, client, nonce, key,
@@ -57,6 +61,9 @@ type response =
   | Scanned of { nonce : int64; items : item array }
   | Verified of { epoch : int; cert : string }
   | Stats_reply of stats
+  | Metrics_reply of { format : metrics_format; data : string }
+      (** [data] is the rendered snapshot (untrusted diagnostics — metrics
+          are host-side state and carry no receipt MAC). *)
   | Error of string
 
 val encode_request : id:int64 -> request -> string

@@ -1,0 +1,16 @@
+(** Monotone event counter.
+
+    A single [int Atomic.t]: increments are lock-free and safe from any
+    domain; reads are wait-free and may be taken concurrently with writers
+    (each read observes some committed prefix of the increments). *)
+
+type t
+
+val create : unit -> t
+val incr : t -> unit
+val add : t -> int -> unit
+val get : t -> int
+
+val set : t -> int -> unit
+(** Overwrite the count. For tests and for seeding recovered state — not a
+    serving-path operation. *)

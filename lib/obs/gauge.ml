@@ -1,0 +1,9 @@
+type t = float Atomic.t
+
+let create () = Atomic.make 0.0
+let set t v = Atomic.set t v
+let get t = Atomic.get t
+
+let rec add t d =
+  let cur = Atomic.get t in
+  if not (Atomic.compare_and_set t cur (cur +. d)) then add t d

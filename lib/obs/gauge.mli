@@ -1,0 +1,11 @@
+(** Instantaneous float value (queue depth, resident records, ...).
+
+    Backed by an [Atomic.t] holding an immutable float box, so concurrent
+    [set]/[add] never tear a word. *)
+
+type t
+
+val create : unit -> t
+val set : t -> float -> unit
+val add : t -> float -> unit
+val get : t -> float

@@ -1,0 +1,123 @@
+let sub_bits = 5
+let sub_count = 1 lsl sub_bits (* linear sub-buckets per octave *)
+let max_bits = 47 (* ~1.6 days in nanoseconds *)
+let max_value = (1 lsl max_bits) - 1
+let n_octaves = max_bits - sub_bits + 1
+let n_buckets = n_octaves lsl sub_bits
+
+let msb_pos v =
+  (* index of the highest set bit; [v > 0] *)
+  let p = ref 0 and v = ref v in
+  if !v lsr 32 <> 0 then begin p := !p + 32; v := !v lsr 32 end;
+  if !v lsr 16 <> 0 then begin p := !p + 16; v := !v lsr 16 end;
+  if !v lsr 8 <> 0 then begin p := !p + 8; v := !v lsr 8 end;
+  if !v lsr 4 <> 0 then begin p := !p + 4; v := !v lsr 4 end;
+  if !v lsr 2 <> 0 then begin p := !p + 2; v := !v lsr 2 end;
+  if !v lsr 1 <> 0 then incr p;
+  !p
+
+let bucket_of_value v =
+  if v < sub_count then v
+  else
+    let msb = msb_pos v in
+    let octave = msb - sub_bits + 1 in
+    let sub = (v lsr (msb - sub_bits)) land (sub_count - 1) in
+    (octave lsl sub_bits) + sub
+
+let bucket_bounds i =
+  if i < sub_count then (i, i)
+  else
+    let octave = i lsr sub_bits and sub = i land (sub_count - 1) in
+    let scale = octave - 1 in
+    let lo = (sub_count + sub) lsl scale in
+    (lo, lo + (1 lsl scale) - 1)
+
+type t = {
+  buckets : int Atomic.t array;
+  sum : int Atomic.t;
+  min : int Atomic.t;
+  max : int Atomic.t;
+}
+
+let create () =
+  {
+    buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+    sum = Atomic.make 0;
+    min = Atomic.make max_int;
+    max = Atomic.make min_int;
+  }
+
+let rec update_extreme better a v =
+  let cur = Atomic.get a in
+  if better v cur && not (Atomic.compare_and_set a cur v) then
+    update_extreme better a v
+
+let record t v =
+  let v = if v < 0 then 0 else if v > max_value then max_value else v in
+  ignore (Atomic.fetch_and_add t.buckets.(bucket_of_value v) 1);
+  ignore (Atomic.fetch_and_add t.sum v);
+  update_extreme ( < ) t.min v;
+  update_extreme ( > ) t.max v
+
+let record_span t seconds = record t (int_of_float (seconds *. 1e9))
+
+type snapshot = {
+  counts : int array;
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+}
+
+let empty =
+  { counts = Array.make n_buckets 0; count = 0; sum = 0; min = 0; max = 0 }
+
+let snapshot t =
+  let counts = Array.map Atomic.get t.buckets in
+  let count = Array.fold_left ( + ) 0 counts in
+  if count = 0 then empty
+  else
+    {
+      counts;
+      count;
+      sum = Atomic.get t.sum;
+      min = Atomic.get t.min;
+      max = Atomic.get t.max;
+    }
+
+let merge a b =
+  if a.count = 0 then b
+  else if b.count = 0 then a
+  else
+    {
+      counts = Array.init n_buckets (fun i -> a.counts.(i) + b.counts.(i));
+      count = a.count + b.count;
+      sum = a.sum + b.sum;
+      min = min a.min b.min;
+      max = max a.max b.max;
+    }
+
+let quantile s q =
+  if s.count = 0 then 0.
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int s.count)) in
+      if r < 1 then 1 else if r > s.count then s.count else r
+    in
+    let est = ref 0. and cum = ref 0 and i = ref 0 in
+    (try
+       while true do
+         cum := !cum + s.counts.(!i);
+         if !cum >= rank then begin
+           let _, hi = bucket_bounds !i in
+           (* never report past the largest observed sample *)
+           est := float_of_int (min hi s.max);
+           raise Exit
+         end;
+         incr i
+       done
+     with Exit -> ());
+    !est
+  end
+
+let mean s = if s.count = 0 then 0. else float_of_int s.sum /. float_of_int s.count

@@ -1,0 +1,222 @@
+type kind =
+  | K_counter of Counter.t
+  | K_counter_fn of (unit -> int) ref
+  | K_gauge of Gauge.t
+  | K_gauge_fn of (unit -> float) ref
+  | K_histogram of Histogram.t * float
+
+type metric = {
+  name : string;
+  labels : (string * string) list; (* sorted by label key *)
+  help : string;
+  kind : kind;
+}
+
+type t = { lock : Mutex.t; mutable metrics : metric list (* newest first *) }
+
+let create () = { lock = Mutex.create (); metrics = [] }
+
+let norm_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t name labels =
+  List.find_opt (fun m -> m.name = name && m.labels = labels) t.metrics
+
+let kind_name = function
+  | K_counter _ | K_counter_fn _ -> "counter"
+  | K_gauge _ | K_gauge_fn _ -> "gauge"
+  | K_histogram _ -> "histogram"
+
+let register t ?(labels = []) ?(help = "") name fresh =
+  let labels = norm_labels labels in
+  with_lock t @@ fun () ->
+  match find t name labels with
+  | Some m -> m.kind
+  | None ->
+      let kind = fresh () in
+      t.metrics <- { name; labels; help; kind } :: t.metrics;
+      kind
+
+let mismatch name existing =
+  invalid_arg
+    (Printf.sprintf "Registry: %s already registered as a %s" name
+       (kind_name existing))
+
+let counter t ?labels ?help name =
+  match register t ?labels ?help name (fun () -> K_counter (Counter.create ()))
+  with
+  | K_counter c -> c
+  | k -> mismatch name k
+
+let gauge t ?labels ?help name =
+  match register t ?labels ?help name (fun () -> K_gauge (Gauge.create ())) with
+  | K_gauge g -> g
+  | k -> mismatch name k
+
+let histogram t ?labels ?help ?(scale = 1.0) name =
+  match
+    register t ?labels ?help name (fun () ->
+        K_histogram (Histogram.create (), scale))
+  with
+  | K_histogram (h, _) -> h
+  | k -> mismatch name k
+
+let counter_fn t ?labels ?help name f =
+  match
+    register t ?labels ?help name (fun () -> K_counter_fn (ref f))
+  with
+  | K_counter_fn r -> r := f
+  | k -> mismatch name k
+
+let gauge_fn t ?labels ?help name f =
+  match register t ?labels ?help name (fun () -> K_gauge_fn (ref f)) with
+  | K_gauge_fn r -> r := f
+  | k -> mismatch name k
+
+(* -- reading ------------------------------------------------------------ *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of Histogram.snapshot * float
+
+let sample = function
+  | K_counter c -> Counter_v (Counter.get c)
+  | K_counter_fn f -> Counter_v (!f ())
+  | K_gauge g -> Gauge_v (Gauge.get g)
+  | K_gauge_fn f -> Gauge_v (!f ())
+  | K_histogram (h, scale) -> Histogram_v (Histogram.snapshot h, scale)
+
+let sorted t =
+  let ms = with_lock t (fun () -> t.metrics) in
+  List.sort
+    (fun a b ->
+      match compare a.name b.name with 0 -> compare a.labels b.labels | c -> c)
+    ms
+
+let dump t = List.map (fun m -> (m.name, m.labels, sample m.kind)) (sorted t)
+
+(* -- renderers ---------------------------------------------------------- *)
+
+let quantiles = [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99); ("0.999", 0.999) ]
+
+let json_float f =
+  if Float.is_finite f then
+    let s = Printf.sprintf "%.9g" f in
+    (* "%.9g" never emits a bare leading dot, and its exponents parse as
+       JSON numbers *)
+    s
+  else "0"
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_labels ?extra labels =
+  let labels = match extra with None -> labels | Some kv -> labels @ [ kv ] in
+  match labels with
+  | [] -> ""
+  | kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) kvs)
+      ^ "}"
+
+let to_prometheus t =
+  let b = Buffer.create 4096 in
+  let last_header = ref "" in
+  List.iter
+    (fun m ->
+      if m.name <> !last_header then begin
+        last_header := m.name;
+        if m.help <> "" then
+          Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" m.name m.help);
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s %s\n" m.name
+             (match m.kind with
+             | K_counter _ | K_counter_fn _ -> "counter"
+             | K_gauge _ | K_gauge_fn _ -> "gauge"
+             | K_histogram _ -> "summary"))
+      end;
+      match sample m.kind with
+      | Counter_v n ->
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %d\n" m.name (prom_labels m.labels) n)
+      | Gauge_v v ->
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %s\n" m.name (prom_labels m.labels)
+               (json_float v))
+      | Histogram_v (s, scale) ->
+          List.iter
+            (fun (qname, q) ->
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %s\n" m.name
+                   (prom_labels ~extra:("quantile", qname) m.labels)
+                   (json_float (Histogram.quantile s q *. scale))))
+            quantiles;
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum%s %s\n" m.name (prom_labels m.labels)
+               (json_float (float_of_int s.Histogram.sum *. scale)));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count%s %d\n" m.name (prom_labels m.labels)
+               s.Histogram.count))
+    (sorted t);
+  Buffer.contents b
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v))
+         labels)
+  ^ "}"
+
+let to_json t =
+  let counters = Buffer.create 1024
+  and gauges = Buffer.create 1024
+  and hists = Buffer.create 1024 in
+  let addf buf fmt =
+    if Buffer.length buf > 0 then Buffer.add_char buf ',';
+    Printf.ksprintf (Buffer.add_string buf) fmt
+  in
+  List.iter
+    (fun m ->
+      let name = escape m.name and labels = json_labels m.labels in
+      match sample m.kind with
+      | Counter_v n ->
+          addf counters "{\"name\":\"%s\",\"labels\":%s,\"value\":%d}" name
+            labels n
+      | Gauge_v v ->
+          addf gauges "{\"name\":\"%s\",\"labels\":%s,\"value\":%s}" name labels
+            (json_float v)
+      | Histogram_v (s, scale) ->
+          let sc x = json_float (x *. scale) in
+          addf hists
+            "{\"name\":\"%s\",\"labels\":%s,\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"mean\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"p999\":%s}"
+            name labels s.Histogram.count
+            (sc (float_of_int s.Histogram.sum))
+            (sc (float_of_int s.Histogram.min))
+            (sc (float_of_int s.Histogram.max))
+            (sc (Histogram.mean s))
+            (sc (Histogram.quantile s 0.5))
+            (sc (Histogram.quantile s 0.9))
+            (sc (Histogram.quantile s 0.99))
+            (sc (Histogram.quantile s 0.999)))
+    (sorted t);
+  Printf.sprintf "{\"counters\":[%s],\"gauges\":[%s],\"histograms\":[%s]}"
+    (Buffer.contents counters) (Buffer.contents gauges) (Buffer.contents hists)

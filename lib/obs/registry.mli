@@ -1,0 +1,65 @@
+(** Named metric registry.
+
+    Metrics are identified by [(name, labels)]; registering the same
+    identity twice returns the first handle (so layers can share one
+    registry without coordinating creation order). [_fn] variants register a
+    callback sampled at render time — the cheap way to surface an existing
+    subsystem's own counters without double-accounting.
+
+    Registration takes a lock; recording through the returned handles is
+    lock-free ({!Counter}, {!Gauge}, {!Histogram}). Rendering snapshots
+    every metric at call time, in [(name, labels)] order, so output is
+    deterministic for a quiesced system. *)
+
+type t
+
+val create : unit -> t
+
+val counter :
+  t -> ?labels:(string * string) list -> ?help:string -> string -> Counter.t
+
+val gauge :
+  t -> ?labels:(string * string) list -> ?help:string -> string -> Gauge.t
+
+val histogram :
+  t ->
+  ?labels:(string * string) list ->
+  ?help:string ->
+  ?scale:float ->
+  string ->
+  Histogram.t
+(** [scale] multiplies rendered values (sum, mean, quantiles, min, max);
+    use [1e-9] for histograms recorded in nanoseconds but exposed in
+    seconds. Sample counts are never scaled. *)
+
+val counter_fn :
+  t -> ?labels:(string * string) list -> ?help:string -> string ->
+  (unit -> int) -> unit
+(** Callback-backed counter; re-registering the same identity replaces the
+    callback (e.g. a restarted server on the same registry). *)
+
+val gauge_fn :
+  t -> ?labels:(string * string) list -> ?help:string -> string ->
+  (unit -> float) -> unit
+
+(** {2 Reading} *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of Histogram.snapshot * float  (** snapshot, render scale *)
+
+val dump : t -> (string * (string * string) list * value) list
+(** Every metric, sampled now, sorted by [(name, labels)]. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition. Histograms render as summaries
+    ([{quantile="0.5"}] ... plus [_sum] / [_count]). *)
+
+val to_json : t -> string
+(** Compact single-line JSON snapshot:
+    [{"counters":[{"name":..,"labels":{..},"value":N}],
+      "gauges":[..],
+      "histograms":[{"name":..,"labels":{..},"count":N,"sum":X,"min":X,
+                     "max":X,"mean":X,"p50":X,"p90":X,"p99":X,"p999":X}]}]
+    Field order is fixed, so the output is greppable by exact prefix. *)

@@ -1,0 +1,9 @@
+type t = float
+
+let start () = Unix.gettimeofday ()
+let elapsed_s t = Unix.gettimeofday () -. t
+let finish t h = Histogram.record_span h (elapsed_s t)
+
+let time h f =
+  let t = start () in
+  Fun.protect ~finally:(fun () -> finish t h) f

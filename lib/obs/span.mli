@@ -1,0 +1,14 @@
+(** Lightweight stage timing: a wall-clock start mark whose elapsed time
+    lands in a {!Histogram}. *)
+
+type t
+
+val start : unit -> t
+val elapsed_s : t -> float
+
+val finish : t -> Histogram.t -> unit
+(** Record the elapsed time (as nanoseconds) into the histogram. *)
+
+val time : Histogram.t -> (unit -> 'a) -> 'a
+(** Run the thunk and record its duration; records even when the thunk
+    raises (the stage still happened). *)

@@ -38,6 +38,7 @@ type op_stats = {
   mutable n_evict_bm : int;
   mutable n_vget : int;
   mutable n_vput : int;
+  mutable n_certificates : int;
 }
 
 type t = {
@@ -92,6 +93,7 @@ let create ?enclave config =
         n_evict_bm = 0;
         n_vget = 0;
         n_vput = 0;
+        n_certificates = 0;
       };
   }
 
@@ -406,6 +408,7 @@ let verify_epoch t ~epoch =
       fail t "verify_epoch: add/evict multiset mismatch in epoch %d" epoch
     else begin
       t.verified <- epoch;
+      t.stats.n_certificates <- t.stats.n_certificates + 1;
       Ok (Hmac.mac ~key:t.config.mac_secret (epoch_certificate_message ~epoch))
     end
   end

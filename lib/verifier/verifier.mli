@@ -180,6 +180,8 @@ type op_stats = {
   mutable n_evict_bm : int;
   mutable n_vget : int;
   mutable n_vput : int;
+  mutable n_certificates : int;
+      (** epoch certificates issued ({!verify_epoch} successes) *)
 }
 
 val stats : t -> op_stats

@@ -42,4 +42,30 @@ wait $BENCH 2>/dev/null || true
 # recovery must land on a committed generation and pass full verification
 $FV recover --dir "$WORK/ckpt" --enclave zero
 
+echo "== observability smoke (serve + client ops + stats --check)"
+$FV serve --listen "unix:$WORK/obs.sock" -n 2000 --batch 0 --enclave zero &
+OBS_SRV=$!
+trap 'kill -9 $SRV $OBS_SRV 2>/dev/null || true; rm -rf "$WORK"' EXIT
+i=0
+while [ ! -S "$WORK/obs.sock" ]; do
+  i=$((i + 1)); [ $i -gt 100 ] && { echo "obs server never came up"; exit 1; }
+  sleep 0.1
+done
+$FV client-bench --connect "unix:$WORK/obs.sock" --ops 2000 --clients 2 -n 2000
+# reconciliation: served > 0, per-tier op counts sum to validated ops,
+# one latency sample per served request — the CLI exits non-zero otherwise
+$FV stats --connect "unix:$WORK/obs.sock" --check
+# every metric documented in README's Observability section must be present
+# in the live snapshot
+$FV stats --connect "unix:$WORK/obs.sock" --format json > "$WORK/metrics.json"
+sed -n '/<!-- metrics:begin -->/,/<!-- metrics:end -->/p' README.md \
+  | grep -o 'fastver_[a-z_]*' | sort -u > "$WORK/documented"
+[ -s "$WORK/documented" ] || { echo "README metric list not found"; exit 1; }
+while read -r name; do
+  grep -q "\"name\":\"$name\"" "$WORK/metrics.json" \
+    || { echo "documented metric $name missing from live snapshot"; exit 1; }
+done < "$WORK/documented"
+echo "  $(wc -l < "$WORK/documented") documented metrics all present"
+kill -9 $OBS_SRV 2>/dev/null || true
+
 echo "OK"

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "fastver"
     [
       Test_crypto.suite;
+      Test_obs.suite;
       Test_key.suite;
       Test_tree.suite;
       Test_verifier.suite;

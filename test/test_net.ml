@@ -207,6 +207,78 @@ let test_two_sessions () =
       Net.Client.close c2)
 
 (* ------------------------------------------------------------------ *)
+(* Metrics reconcile with ground truth                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Reg = Fastver_obs.Registry
+
+let test_metrics_reconcile () =
+  with_server (fun t addr ->
+      let conn = connect addr in
+      let s = Net.Client.open_session conn ~client:1 ~secret in
+      let n_puts = 60 and n_gets = 120 and scan_len = 5 in
+      for i = 0 to n_puts - 1 do
+        Net.Client.put s (Int64.of_int (i mod 256)) (Printf.sprintf "m%d" i)
+      done;
+      for i = 0 to n_gets - 1 do
+        ignore (Net.Client.get s (Int64.of_int (i mod 256)))
+      done;
+      ignore (Net.Client.scan s 10L scan_len);
+      (* drain returned every response, so the server has fully accounted
+         for everything submitted — the registry is quiescent now *)
+      let dump = Reg.dump (Fastver.registry t) in
+      let counter ?(labels = []) name =
+        match
+          List.find_opt (fun (n, l, _) -> n = name && l = labels) dump
+        with
+        | Some (_, _, Reg.Counter_v v) -> v
+        | _ -> Alcotest.failf "counter %s missing from registry" name
+      in
+      let hist name =
+        match
+          List.find_opt (fun (n, l, _) -> n = name && l = []) dump
+        with
+        | Some (_, _, Reg.Histogram_v (snap, _)) -> snap
+        | _ -> Alcotest.failf "histogram %s missing from registry" name
+      in
+      let tier l = counter ~labels:[ ("tier", l) ] "fastver_ops_total" in
+      let by_tier = tier "blum" + tier "merkle" + tier "cached" in
+      let gets = counter "fastver_gets_total"
+      and puts = counter "fastver_puts_total" in
+      (* every submitted elementary op is attributed to exactly one tier *)
+      Alcotest.(check int) "tier attribution sums to validated ops"
+        (gets + puts) by_tier;
+      Alcotest.(check int) "elementary ops as submitted"
+        (n_puts + n_gets + scan_len) by_tier;
+      Alcotest.(check int) "scan expansion lands in gets" (n_gets + scan_len)
+        gets;
+      Alcotest.(check int) "puts as submitted" n_puts puts;
+      Alcotest.(check int) "one scan" 1 (counter "fastver_scans_total");
+      (* every emitted response left exactly one latency sample *)
+      let served = counter "fastver_net_requests_total" in
+      let lat = hist "fastver_request_seconds" in
+      Alcotest.(check int) "latency histogram count = served requests" served
+        lat.Fastver_obs.Histogram.count;
+      Alcotest.(check bool) "requests were served" true (served > 0);
+      (* the same snapshot is reachable over the wire, in both formats *)
+      let json = Net.Client.metrics conn ~format:Net.Wire.Json in
+      let contains hay needle =
+        let n = String.length needle and l = String.length hay in
+        let rec go i = i + n <= l && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "wire JSON carries the served counter" true
+        (contains json
+           (Printf.sprintf
+              "{\"name\":\"fastver_net_requests_total\",\"labels\":{},\"value\":%d}"
+              served));
+      let prom = Net.Client.metrics conn ~format:Net.Wire.Prometheus in
+      Alcotest.(check bool) "wire Prometheus carries the latency summary" true
+        (contains prom "fastver_request_seconds_count ");
+      Net.Client.close_session s;
+      Net.Client.close conn)
+
+(* ------------------------------------------------------------------ *)
 (* Tampering on the wire                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -341,6 +413,8 @@ let suite =
       Alcotest.test_case "session matches direct run" `Quick
         test_session_matches_direct;
       Alcotest.test_case "two sessions" `Quick test_two_sessions;
+      Alcotest.test_case "metrics reconcile with ground truth" `Quick
+        test_metrics_reconcile;
       Alcotest.test_case "tampered response detected" `Quick
         test_tampered_response_detected;
       Alcotest.test_case "tamper needs verification" `Quick

@@ -1,0 +1,227 @@
+(* Observability library: histogram bucket math against exact order
+   statistics, snapshot merge algebra, lock-free recording from many
+   domains, and registry semantics/rendering. *)
+
+module Obs = Fastver_obs
+module H = Obs.Histogram
+
+(* ------------------------------------------------------------------ *)
+(* Bucket geometry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_bucket_geometry () =
+  (* every representable value falls in exactly the bucket whose bounds
+     contain it, and bucket ranges tile the space without gaps *)
+  let check v =
+    let i = H.bucket_of_value v in
+    let lo, hi = H.bucket_bounds i in
+    if not (lo <= v && v <= hi) then
+      Alcotest.failf "value %d in bucket %d [%d,%d]" v i lo hi
+  in
+  for v = 0 to 4096 do check v done;
+  List.iter check
+    [ 65_535; 65_536; 1_000_000; 123_456_789; H.max_value ];
+  let prev_hi = ref (-1) in
+  for i = 0 to H.n_buckets - 1 do
+    let lo, hi = H.bucket_bounds i in
+    if lo <> !prev_hi + 1 then
+      Alcotest.failf "bucket %d starts at %d, previous ended at %d" i lo !prev_hi;
+    if hi < lo then Alcotest.failf "bucket %d inverted" i;
+    prev_hi := hi
+  done;
+  Alcotest.(check int) "last bucket reaches max_value" H.max_value !prev_hi
+
+(* ------------------------------------------------------------------ *)
+(* Quantiles vs exact order statistics                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_samples =
+  (* mix magnitudes so octave boundaries get exercised *)
+  QCheck.Gen.(
+    list_size (1 -- 200)
+      (oneof
+         [ 0 -- 40; 0 -- 10_000; map abs int; return H.max_value ]))
+
+let exact_rank samples q =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+  a.(rank - 1)
+
+let prop_quantile_bound =
+  QCheck.Test.make ~name:"quantile within one bucket of exact" ~count:500
+    (QCheck.make gen_samples ~print:QCheck.Print.(list int))
+    (fun samples ->
+      let samples = List.map (fun v -> min (abs v) H.max_value) samples in
+      let h = H.create () in
+      List.iter (H.record h) samples;
+      let s = H.snapshot h in
+      List.for_all
+        (fun q ->
+          let exact = exact_rank samples q in
+          let est = H.quantile s q in
+          (* estimate is an upper bound, within one bucket width *)
+          float_of_int exact <= est
+          && est <= float_of_int exact +. (float_of_int exact /. 32.0) +. 1.0)
+        [ 0.0; 0.5; 0.9; 0.99; 0.999; 1.0 ])
+
+let prop_count_sum_minmax =
+  QCheck.Test.make ~name:"snapshot count/sum/min/max are exact" ~count:300
+    (QCheck.make gen_samples ~print:QCheck.Print.(list int))
+    (fun samples ->
+      let samples = List.map (fun v -> min (abs v) H.max_value) samples in
+      let h = H.create () in
+      List.iter (H.record h) samples;
+      let s = H.snapshot h in
+      s.H.count = List.length samples
+      && s.H.sum = List.fold_left ( + ) 0 samples
+      && s.H.min = List.fold_left min H.max_value samples
+      && s.H.max = List.fold_left max 0 samples)
+
+(* ------------------------------------------------------------------ *)
+(* Merge algebra                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let snap_of samples =
+  let h = H.create () in
+  List.iter (H.record h) samples;
+  H.snapshot h
+
+let snap_eq a b =
+  a.H.counts = b.H.counts && a.H.count = b.H.count && a.H.sum = b.H.sum
+  && a.H.min = b.H.min && a.H.max = b.H.max
+
+let prop_merge_algebra =
+  QCheck.Test.make ~name:"merge is associative+commutative, empty is unit"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(triple gen_samples gen_samples gen_samples)
+       ~print:QCheck.Print.(triple (list int) (list int) (list int)))
+    (fun (xs, ys, zs) ->
+      let clamp = List.map (fun v -> min (abs v) H.max_value) in
+      let a = snap_of (clamp xs)
+      and b = snap_of (clamp ys)
+      and c = snap_of (clamp zs) in
+      snap_eq (H.merge a (H.merge b c)) (H.merge (H.merge a b) c)
+      && snap_eq (H.merge a b) (H.merge b a)
+      && snap_eq (H.merge a H.empty) a
+      && snap_eq (H.merge H.empty a) a
+      (* merging equals recording the concatenation *)
+      && snap_eq (H.merge a b) (snap_of (clamp xs @ clamp ys)))
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent recording                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_record () =
+  let h = H.create () in
+  let c = Obs.Counter.create () in
+  let per_domain = 20_000 and domains = 4 in
+  let worker seed () =
+    let st = Random.State.make [| seed |] in
+    for _ = 1 to per_domain do
+      H.record h (Random.State.int st 1_000_000);
+      Obs.Counter.incr c
+    done
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker (i + 1))) in
+  List.iter Domain.join ds;
+  let s = H.snapshot h in
+  Alcotest.(check int) "no sample lost" (domains * per_domain) s.H.count;
+  Alcotest.(check int) "counter exact" (domains * per_domain) (Obs.Counter.get c);
+  Alcotest.(check int) "buckets sum to count" s.H.count
+    (Array.fold_left ( + ) 0 s.H.counts)
+
+(* ------------------------------------------------------------------ *)
+(* Registry semantics and rendering                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_identity () =
+  let r = Obs.Registry.create () in
+  let a = Obs.Registry.counter r "reqs" ~labels:[ ("x", "1") ] in
+  let b = Obs.Registry.counter r "reqs" ~labels:[ ("x", "1") ] in
+  let other = Obs.Registry.counter r "reqs" ~labels:[ ("x", "2") ] in
+  Obs.Counter.incr a;
+  Obs.Counter.incr b;
+  Alcotest.(check int) "same identity shares the cell" 2 (Obs.Counter.get a);
+  Alcotest.(check int) "different labels are distinct" 0 (Obs.Counter.get other);
+  (match Obs.Registry.gauge r "reqs" ~labels:[ ("x", "1") ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch must raise");
+  Obs.Registry.counter_fn r "cb" (fun () -> 7);
+  Obs.Registry.counter_fn r "cb" (fun () -> 9);
+  match Obs.Registry.dump r with
+  | l -> (
+      match List.find (fun (n, _, _) -> n = "cb") l with
+      | _, _, Obs.Registry.Counter_v v ->
+          Alcotest.(check int) "re-registration replaces the callback" 9 v
+      | _ -> Alcotest.fail "callback counter missing")
+
+let test_renderers () =
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter r "fv_ops_total" ~labels:[ ("tier", "blum") ] in
+  let g = Obs.Registry.gauge r "fv_depth" in
+  let h = Obs.Registry.histogram r "fv_lat_seconds" ~scale:1e-9 in
+  Obs.Counter.add c 41;
+  Obs.Counter.incr c;
+  Obs.Gauge.set g 6.5;
+  H.record h 1_000_000;
+  H.record h 2_000_000;
+  let json = Obs.Registry.to_json r in
+  let has needle =
+    let n = String.length needle and l = String.length json in
+    let rec go i =
+      i + n <= l && (String.sub json i n = needle || go (i + 1))
+    in
+    if not (go 0) then Alcotest.failf "JSON missing %S in %s" needle json
+  in
+  has "{\"name\":\"fv_ops_total\",\"labels\":{\"tier\":\"blum\"},\"value\":42}";
+  has "{\"name\":\"fv_depth\",\"labels\":{},\"value\":6.5}";
+  has "{\"name\":\"fv_lat_seconds\",\"labels\":{},\"count\":2,";
+  let prom = Obs.Registry.to_prometheus r in
+  List.iter
+    (fun needle ->
+      let n = String.length needle and l = String.length prom in
+      let rec go i =
+        i + n <= l && (String.sub prom i n = needle || go (i + 1))
+      in
+      if not (go 0) then Alcotest.failf "prometheus missing %S in %s" needle prom)
+    [
+      "# TYPE fv_ops_total counter";
+      "fv_ops_total{tier=\"blum\"} 42";
+      "# TYPE fv_lat_seconds summary";
+      "fv_lat_seconds_count 2";
+    ]
+
+let test_span () =
+  let h = H.create () in
+  let s = Obs.Span.start () in
+  Unix.sleepf 0.01;
+  Obs.Span.finish s h;
+  (match
+     Obs.Span.time h (fun () -> raise Exit)
+   with
+  | exception Exit -> ()
+  | _ -> Alcotest.fail "Span.time must re-raise");
+  let snap = H.snapshot h in
+  Alcotest.(check int) "both spans recorded (even the raising one)" 2
+    snap.H.count;
+  if snap.H.max < 9_000_000 then
+    Alcotest.failf "10ms span recorded as %dns" snap.H.max
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "bucket geometry tiles the range" `Quick
+        test_bucket_geometry;
+      Alcotest.test_case "concurrent record loses nothing" `Quick
+        test_concurrent_record;
+      Alcotest.test_case "registry identity and kinds" `Quick
+        test_registry_identity;
+      Alcotest.test_case "renderers" `Quick test_renderers;
+      Alcotest.test_case "span timing" `Quick test_span;
+      QCheck_alcotest.to_alcotest prop_quantile_bound;
+      QCheck_alcotest.to_alcotest prop_count_sum_minmax;
+      QCheck_alcotest.to_alcotest prop_merge_algebra;
+    ] )

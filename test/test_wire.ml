@@ -14,6 +14,9 @@ let gen_mac = QCheck.Gen.(string_size (0 -- 48))
 let gen_value = QCheck.Gen.(opt (string_size (0 -- 200)))
 let gen_i64 = QCheck.Gen.(map Int64.of_int int)
 
+let gen_metrics_format =
+  QCheck.Gen.(oneofl [ Wire.Json; Wire.Prometheus ])
+
 let gen_request =
   QCheck.Gen.(
     oneof
@@ -29,6 +32,7 @@ let gen_request =
           gen_i64 (0 -- 1000) gen_i64;
         return Wire.Verify;
         return Wire.Stats;
+        map (fun format -> Wire.Metrics { format }) gen_metrics_format;
       ])
 
 let gen_item =
@@ -67,6 +71,10 @@ let gen_response =
         map2 (fun epoch cert -> Wire.Verified { epoch; cert }) (0 -- 1_000_000)
           gen_mac;
         map (fun s -> Wire.Stats_reply s) gen_stats;
+        map2
+          (fun format data -> Wire.Metrics_reply { format; data })
+          gen_metrics_format
+          (string_size (0 -- 400));
         map (fun e -> Wire.Error e) (string_size (0 -- 80));
       ])
 
@@ -219,6 +227,19 @@ let test_scan_count_bomb () =
   if Unix.gettimeofday () -. t0 > 0.5 then
     Alcotest.fail "item-count bomb took too long"
 
+(* A metrics request whose format byte is neither 0 nor 1 must be rejected,
+   not mapped to some default rendering. *)
+let test_bad_metrics_format () =
+  let payload =
+    payload_of_frame (Wire.encode_request ~id:9L (Wire.Metrics { format = Wire.Json }))
+  in
+  let b = Bytes.of_string payload in
+  (* the format byte is the last body byte *)
+  Bytes.set b (Bytes.length b - 1) '\x02';
+  match Wire.decode_request (Bytes.to_string b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown metrics format byte accepted"
+
 let test_version_rejected () =
   let payload = payload_of_frame (Wire.encode_request ~id:0L Wire.Verify) in
   let b = Bytes.of_string payload in
@@ -233,6 +254,8 @@ let suite =
       Alcotest.test_case "frame length bounds" `Quick test_frame_length_bounds;
       Alcotest.test_case "scan count bomb" `Quick test_scan_count_bomb;
       Alcotest.test_case "bad version rejected" `Quick test_version_rejected;
+      Alcotest.test_case "bad metrics format rejected" `Quick
+        test_bad_metrics_format;
       QCheck_alcotest.to_alcotest prop_request_roundtrip;
       QCheck_alcotest.to_alcotest prop_response_roundtrip;
       QCheck_alcotest.to_alcotest prop_chunked_feed;
