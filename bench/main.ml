@@ -463,6 +463,160 @@ let fig14c s =
     [ (16_384, "16K"); (32_000_000 / s.div, "64M-eq") ]
 
 (* ------------------------------------------------------------------ *)
+(* Scale: measured multi-domain throughput + modelled extension        *)
+(* ------------------------------------------------------------------ *)
+
+let scale_json_rows : string list ref = ref []
+
+let fig_scale s =
+  header
+    "Scale: hybrid throughput vs worker domains. Measured rows run\n\
+     Parallel.run_ycsb on real Domain.spawn workers (wall-clock, zero\n\
+     cost model, parallel verification scans included in the window);\n\
+     modelled rows extend the curve with the fig14a cost-model simulation";
+  let n = 8_000_000 / s.div in
+  let cores = Domain.recommended_domain_count () in
+  pf "  [runtime recommends %d domain(s) on this machine]\n%!" cores;
+  let record_row ~mode ~workers ~ops_per_s ~speedup ~max_slice =
+    Results.(record "scale"
+      [ ("mode", S mode); ("workers", I workers);
+        ("ops_per_s", F ops_per_s); ("speedup", F speedup);
+        ("max_scan_slice_s", F max_slice) ]);
+    scale_json_rows :=
+      Printf.sprintf
+        "    {\"mode\": \"%s\", \"workers\": %d, \"ops_per_s\": %.1f, \
+         \"speedup\": %.3f, \"max_scan_slice_s\": %.6f}"
+        mode workers ops_per_s speedup max_slice
+      :: !scale_json_rows
+  in
+  pf "%-10s %-8s %12s %10s %18s\n" "mode" "workers" "ops/s" "speedup"
+    "max-scan-slice(s)";
+  (* measured: real worker domains, wall clock; total ops held constant so
+     the sweep compares the same work at every width *)
+  let total = 60_000 in
+  let measured_point w =
+    let config =
+      {
+        Fastver.Config.default with
+        n_workers = w;
+        frontier_levels = 8;
+        cache_capacity = 512;
+        batch_size = 16_384;
+        cost_model = Cost_model.zero;
+        authenticate_clients = false;
+      }
+    in
+    Gc.compact ();
+    let t = Fastver.create ~config () in
+    Fastver.load t (records n);
+    let spec = Fastver_workload.Ycsb.workload_a in
+    (* warm an epoch so steady state is measured *)
+    Fastver.Parallel.run_ycsb t ~spec ~db_size:n ~ops_per_worker:(4_096 / w);
+    ignore (Fastver.verify t);
+    let per_worker = total / w in
+    let t0 = Unix.gettimeofday () in
+    Fastver.Parallel.run_ycsb t ~spec ~db_size:n ~ops_per_worker:per_worker;
+    ignore (Fastver.verify t);
+    let wall = Unix.gettimeofday () -. t0 in
+    let busy = (Fastver.stats t).worker_busy_s in
+    (float_of_int (per_worker * w) /. wall, Array.fold_left max 0.0 busy)
+  in
+  let widths = if cores > 1 then [ 1; 2; 4 ] else [ 1 ] in
+  if cores = 1 then
+    pf "  [single core: measured sweep reduced to 1 worker; modelled rows\n\
+       \   carry the scaling curve]\n%!";
+  let base = ref 0.0 in
+  List.iter
+    (fun w ->
+      let ops_per_s, max_slice = measured_point w in
+      if w = 1 then base := ops_per_s;
+      let speedup = ops_per_s /. !base in
+      pf "%-10s %-8d %12.0f %9.2fx %18.6f\n%!" "measured" w ops_per_s speedup
+        max_slice;
+      record_row ~mode:"measured" ~workers:w ~ops_per_s ~speedup ~max_slice)
+    widths;
+  (* modelled: the cost-model simulation carries the curve past the
+     machine's cores, fed by the same measured per-worker busy times *)
+  let mbase = ref 0.0 in
+  List.iter
+    (fun w ->
+      let config =
+        {
+          Fastver.Config.default with
+          n_workers = w;
+          frontier_levels = 8;
+          batch_size = 16_384;
+          cost_model = Cost_model.simulated;
+          authenticate_clients = false;
+        }
+      in
+      let r =
+        Fastver_simthreads.Simthreads.run_hybrid ~config ~db_size:n
+          ~ops:60_000 ~spec:Fastver_workload.Ycsb.workload_a ()
+      in
+      if w = 1 then mbase := r.throughput;
+      let speedup = r.throughput /. !mbase in
+      pf "%-10s %-8d %12.0f %9.2fx %18s\n%!" "modelled" w r.throughput speedup
+        "-";
+      record_row ~mode:"modelled" ~workers:w ~ops_per_s:r.throughput ~speedup
+        ~max_slice:0.0)
+    [ 1; 2; 4; 8 ];
+  (* top-level summary consumed by EXPERIMENTS.md and CI *)
+  let path = "BENCH_scale.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"figure\": \"scale\",\n  \"recommended_domains\": %d,\n\
+    \  \"rows\": [\n%s\n  ]\n}\n"
+    cores
+    (String.concat ",\n" (List.rev !scale_json_rows));
+  close_out oc;
+  pf "  wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
+(* Wire-encoding allocation regression gate                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig_wire_alloc () =
+  header
+    "Wire encoding allocation: bytes allocated per message when reusing a\n\
+     per-connection encode buffer (regression gate — the single-pass\n\
+     encoder must allocate only the final frame string)";
+  let b = Buffer.create 256 in
+  let mac = String.make 16 'm' in
+  let reqs =
+    [|
+      Fastver_net.Wire.Get { key = 42L; nonce = 7L };
+      Fastver_net.Wire.Put
+        { key = 42L; nonce = 8L; mac; value = Some "01234567" };
+      Fastver_net.Wire.Scan { start = 1L; len = 100; nonce = 9L };
+    |]
+  in
+  (* warm: grow the reused buffer to its steady-state capacity *)
+  Array.iter
+    (fun r -> ignore (Fastver_net.Wire.encode_request_into b ~id:0L r))
+    reqs;
+  let iters = 50_000 in
+  let a0 = Gc.allocated_bytes () in
+  for i = 1 to iters do
+    Array.iter
+      (fun r ->
+        ignore (Fastver_net.Wire.encode_request_into b ~id:(Int64.of_int i) r))
+      reqs
+  done;
+  let per_msg =
+    (Gc.allocated_bytes () -. a0) /. float_of_int (iters * Array.length reqs)
+  in
+  let bound = 192.0 in
+  pf "  %.1f bytes/message (bound %.0f)\n%!" per_msg bound;
+  Results.(record "wirealloc"
+    [ ("bytes_per_msg", F per_msg); ("bound", F bound) ]);
+  if per_msg > bound then
+    failwith
+      (Printf.sprintf
+         "wire encode allocation regression: %.1f bytes/message exceeds %.0f"
+         per_msg bound)
+
+(* ------------------------------------------------------------------ *)
 (* Concerto comparison (§8.1 discussion)                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -816,7 +970,7 @@ let fig_obs s =
 
 let all_figs =
   [ "fig12"; "fig13a"; "fig13b"; "fig13cd"; "fig14a"; "fig14b"; "fig14c";
-    "concerto"; "ablations"; "net"; "obs"; "micro" ]
+    "scale"; "concerto"; "ablations"; "net"; "wirealloc"; "obs"; "micro" ]
 
 let run_bench only quick full =
   (* Reduce GC-induced variance: larger minor heap, and each measurement
@@ -838,9 +992,11 @@ let run_bench only quick full =
   run "fig14a" (fun () -> fig14a s);
   run "fig14b" (fun () -> fig14b s);
   run "fig14c" (fun () -> fig14c s);
+  run "scale" (fun () -> fig_scale s);
   run "concerto" (fun () -> concerto s);
   run "ablations" (fun () -> ablations s);
   run "net" fig_net;
+  run "wirealloc" fig_wire_alloc;
   run "obs" (fun () -> fig_obs s);
   run "micro" bechamel_micro;
   let results_path = Filename.concat "bench" (Filename.concat "results" "latest.json") in

@@ -433,10 +433,49 @@ let client_bench_cmd connect clients window ops db_size put_ratio secret
   if r.errors > 0 then die "client errors occurred"
 
 (* ------------------------------------------------------------------ *)
-(* scale: modelled multi-worker scalability                            *)
+(* scale: measured + modelled multi-worker scalability                 *)
 (* ------------------------------------------------------------------ *)
 
 let scale_cmd db_size ops depth =
+  (* measured: real Domain.spawn workers running the YCSB mix wall-clock,
+     including the domain-parallel verification scans (only on machines
+     with more than one core — a single-core sweep just measures domain
+     context-switching) *)
+  let cores = Domain.recommended_domain_count () in
+  if cores > 1 then begin
+    Logs.app (fun m -> m "measured (%d cores recommended):" cores);
+    Logs.app (fun m -> m "workers  throughput            speedup  max-scan-slice");
+    let base = ref 0.0 in
+    List.iter
+      (fun w ->
+        let config =
+          {
+            (mk_config w 16384 depth 512 Record_enc.Blake2s Cost_model.zero
+               true 42)
+            with log_buffer_size = 4096;
+          }
+        in
+        let t = load_system config db_size in
+        let per_worker = ops / w in
+        let t0 = Unix.gettimeofday () in
+        Fastver.Parallel.run_ycsb t ~spec:Fastver_workload.Ycsb.workload_a
+          ~db_size ~ops_per_worker:per_worker;
+        ignore (Fastver.verify t);
+        let wall = Unix.gettimeofday () -. t0 in
+        let throughput = float_of_int (per_worker * w) /. wall in
+        if w = 1 then base := throughput;
+        let slice =
+          Array.fold_left max 0.0 (Fastver.stats t).worker_busy_s
+        in
+        Logs.app (fun m ->
+            m "%7d  %12.0f ops/s  %8.2fx  %11.3fs" w throughput
+              (throughput /. !base) slice))
+      (List.filter (fun w -> w = 1 || w <= cores) [ 1; 2; 4; 8 ])
+  end
+  else
+    Logs.app (fun m ->
+        m "single core recommended: skipping the measured sweep");
+  Logs.app (fun m -> m "modelled:");
   Logs.app (fun m -> m "workers  modelled-throughput  verify-latency");
   List.iter
     (fun w ->

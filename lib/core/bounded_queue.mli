@@ -1,0 +1,27 @@
+(** A bounded blocking queue for handing work between domains.
+
+    Multi-producer/multi-consumer; one mutex, two condition variables. The
+    network server uses it as the SPMC job channel between the I/O loop and
+    its executor pool: the bounded capacity turns a saturated pool into
+    backpressure on the producer instead of unbounded queue growth. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] — @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Blocks while the queue is full.
+    @raise Invalid_argument if the queue is closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocks while the queue is empty and open; [None] once the queue is
+    closed and drained. *)
+
+val close : 'a t -> unit
+(** Idempotent. Wakes all blocked producers and consumers; subsequent
+    pushes raise, pops drain the remaining elements then return [None]. *)
+
+val length : 'a t -> int

@@ -5,6 +5,7 @@ exception Integrity_violation of string
 
 module Config = Config
 module Auth = Auth
+module Bounded_queue = Bounded_queue
 module Reg = Fastver_obs.Registry
 
 (* ------------------------------------------------------------------ *)
@@ -26,7 +27,18 @@ type maux = { mutable mstate : mstate; mutable owner : int }
 (* Workers                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type meta = { client : int; nonce : int64; mac : string }
+type meta = {
+  client : int;
+  nonce : int64;
+  mac : string;
+  receipt : (string * int) option ref;
+      (* validated-result receipt (mac, epoch), written when the op's log
+         entry flushes through the enclave. A per-op cell rather than a
+         per-worker FIFO: concurrent batch submissions (the server's
+         executor pool) would interleave positional queues. *)
+}
+
+let mk_meta ~client ~nonce ~mac = { client; nonce; mac; receipt = ref None }
 
 type entry =
   | E_add_b of Key.t * Value.t * Timestamp.t
@@ -44,10 +56,6 @@ type worker = {
   mutable log_len : int;
   mutable dirty : Key.t list; (* data keys handed to blum this epoch *)
   mutable dirty_len : int;
-  receipts : (string * int) Queue.t;
-      (* (mac, epoch) of validated results, in processing order; a FIFO so
-         that a whole batch can flush through the enclave once and the
-         receipts be collected afterwards (Batch.submit) *)
 }
 
 type stats = {
@@ -81,6 +89,10 @@ type t = {
   nonces : (int, int64) Hashtbl.t; (* gateway: last put nonce per client *)
   sealed : Enclave.Sealed_slot.slot;
   mutable frontier_by_worker : Key.t list array;
+  owners : int Key.Tbl.t;
+      (* frontier key -> owning worker. Static once load/recover completes,
+         so external dispatchers (the server's executor pool) can route a
+         data key to its worker without taking any lock. *)
   mutable rr : int;
   mutable loaded : bool;
   worker_locks : Mutex.t array;
@@ -140,7 +152,12 @@ let wire_metrics t =
   Reg.gauge_fn reg
     ~help:"Modelled enclave-transition nanoseconds accumulated"
     "fastver_enclave_overhead_ns" (fun () ->
-      Int64.to_float (Enclave.charged_ns t.enclave))
+      Int64.to_float (Enclave.charged_ns t.enclave));
+  (* Register the per-worker scan-slice series eagerly so every worker's
+     histogram is present in snapshots before the first verification scan. *)
+  for wid = 0 to Array.length t.workers - 1 do
+    ignore (Metrics.verify_worker_seconds t.metrics ~wid)
+  done
 
 let option_codec : string option Store.codec =
   {
@@ -172,7 +189,6 @@ let create ?(config = Config.default) () =
       log_len = 0;
       dirty = [];
       dirty_len = 0;
-      receipts = Queue.create ();
     }
   in
   let t =
@@ -187,6 +203,7 @@ let create ?(config = Config.default) () =
       nonces = Hashtbl.create 8;
       sealed = Enclave.Sealed_slot.create ();
       frontier_by_worker = Array.make config.n_workers [];
+      owners = Key.Tbl.create 64;
       rr = 0;
       loaded = false;
       worker_locks = Array.init config.n_workers (fun _ -> Mutex.create ());
@@ -231,6 +248,88 @@ let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
+(* Shadow of the documented lock order — [tree_lock] first, then worker
+   locks in ascending id ([merkle_slow], [verify_locked] and [checkpoint]
+   all follow it). Each domain tracks what it holds in domain-local state;
+   enforcement is off by default (a single [Atomic.get] per lock operation)
+   and switched on by tests via [Testing.enforce_lock_order]. A violation
+   raises [Invalid_argument] at the acquisition that breaks the order,
+   naming both locks. *)
+module Lock_order = struct
+  type held = { mutable tree : bool; mutable workers : int list (* desc *) }
+
+  let enforce = Atomic.make false
+  let dls = Domain.DLS.new_key (fun () -> { tree = false; workers = [] })
+  let fail fmt = Printf.ksprintf invalid_arg ("lock order: " ^^ fmt)
+
+  let note_tree_lock () =
+    if Atomic.get enforce then begin
+      let h = Domain.DLS.get dls in
+      if h.tree then fail "tree_lock is not reentrant";
+      (match h.workers with
+      | wid :: _ ->
+          fail "tree_lock requested while holding worker lock %d" wid
+      | [] -> ());
+      h.tree <- true
+    end
+
+  let note_tree_unlock () =
+    if Atomic.get enforce then (Domain.DLS.get dls).tree <- false
+
+  let note_worker_lock wid =
+    if Atomic.get enforce then begin
+      let h = Domain.DLS.get dls in
+      (match h.workers with
+      | top :: _ when top >= wid ->
+          fail "worker lock %d requested while holding worker lock %d" wid top
+      | _ -> ());
+      h.workers <- wid :: h.workers
+    end
+
+  let note_worker_unlock wid =
+    if Atomic.get enforce then begin
+      let h = Domain.DLS.get dls in
+      h.workers <- List.filter (fun w -> w <> wid) h.workers
+    end
+end
+
+let with_tree_lock t f =
+  Lock_order.note_tree_lock ();
+  Mutex.lock t.tree_lock;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.tree_lock;
+      Lock_order.note_tree_unlock ())
+    f
+
+let with_worker_lock t wid f =
+  Lock_order.note_worker_lock wid;
+  Mutex.lock t.worker_locks.(wid);
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.worker_locks.(wid);
+      Lock_order.note_worker_unlock wid)
+    f
+
+(* Stop-the-world acquisition (verification scans, checkpoints). *)
+let lock_world t =
+  Lock_order.note_tree_lock ();
+  Mutex.lock t.tree_lock;
+  Array.iteri
+    (fun wid l ->
+      Lock_order.note_worker_lock wid;
+      Mutex.lock l)
+    t.worker_locks
+
+let unlock_world t =
+  Array.iteri
+    (fun wid l ->
+      Mutex.unlock l;
+      Lock_order.note_worker_unlock wid)
+    t.worker_locks;
+  Mutex.unlock t.tree_lock;
+  Lock_order.note_tree_unlock ()
+
 let now = Unix.gettimeofday
 
 let maux t k = (Tree.get_exn t.tree k).aux
@@ -266,7 +365,7 @@ let gateway_check_put t key value meta =
           Hashtbl.replace t.nonces m.client m.nonce)
   | Some _ | None -> ()
 
-let gateway_receipt t w ~kind key value meta =
+let gateway_receipt t ~kind key value meta =
   match meta with
   | Some m when t.config.authenticate_clients ->
       let epoch = Verifier.current_epoch t.verifier in
@@ -274,7 +373,7 @@ let gateway_receipt t w ~kind key value meta =
         Auth.receipt t.auth ~kind ~client:m.client ~nonce:m.nonce key value
           ~epoch
       in
-      Queue.push (mac, epoch) w.receipts
+      m.receipt := Some (mac, epoch)
   | Some _ | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -288,10 +387,10 @@ let apply_entry t w = function
       ok (Verifier.evict_b t.verifier ~tid:w.wid ~key:k ~timestamp:ts)
   | E_vget (k, v, meta) ->
       ok (Verifier.vget t.verifier ~tid:w.wid ~key:k v);
-      gateway_receipt t w ~kind:Auth.Get k v meta
+      gateway_receipt t ~kind:Auth.Get k v meta
   | E_vput (k, v, meta) ->
       ok (Verifier.vput t.verifier ~tid:w.wid ~key:k v);
-      gateway_receipt t w ~kind:Auth.Put k v meta
+      gateway_receipt t ~kind:Auth.Put k v meta
 
 let flush_worker t w =
   if w.log_len > 0 then begin
@@ -313,7 +412,7 @@ let push t w e =
    worker lock use [flush_worker] directly). *)
 let flush t =
   Array.iteri
-    (fun i w -> with_lock t.worker_locks.(i) (fun () -> flush_worker t w))
+    (fun i w -> with_worker_lock t i (fun () -> flush_worker t w))
     t.workers
 
 (* ------------------------------------------------------------------ *)
@@ -496,11 +595,11 @@ let client_validate t w key cur action =
   match action with
   | A_get meta ->
       ok (Verifier.vget t.verifier ~tid:w.wid ~key cur);
-      gateway_receipt t w ~kind:Auth.Get key cur meta;
+      gateway_receipt t ~kind:Auth.Get key cur meta;
       cur
   | A_put (v, meta) ->
       ok (Verifier.vput t.verifier ~tid:w.wid ~key v);
-      gateway_receipt t w ~kind:Auth.Put key v meta;
+      gateway_receipt t ~kind:Auth.Put key v meta;
       v
 
 (* Hand the (cached, just-validated) data record to the deferred tier for the
@@ -523,16 +622,33 @@ let owner_of_path t path =
   in
   find path
 
+(* Routing without locks, for external dispatchers (the server's executor
+   pool): frontier ownership is static after load/recover, and the frontier
+   is an antichain of prefixes no deeper than [frontier_levels], so the
+   owning worker of a data key is a bounded number of hash probes. Keys not
+   under any frontier node route to worker 0, matching [owner_of_path]
+   (worker 0's thread holds the root). *)
+let owner_of_key t k =
+  let key = Key.of_int64 k in
+  let rec probe d =
+    if d < 1 then 0
+    else
+      match Key.Tbl.find_opt t.owners (Key.prefix key d) with
+      | Some wid -> wid
+      | None -> probe (d - 1)
+  in
+  probe t.config.frontier_levels
+
 (* Slow path: the record is merkle-protected (first touch this epoch), or
    absent. Pays the chain from the nearest blum anchor (§6). Takes the tree
    lock, then the owning worker's lock; if the record turned blum-protected
    while we raced for the locks (another domain's first touch), returns
    [None] and the caller retries on the fast path. *)
 let merkle_slow t key action =
-  with_lock t.tree_lock @@ fun () ->
+  with_tree_lock t @@ fun () ->
   let descent = Tree.descend t.tree key in
   let w = t.workers.(owner_of_path t descent.path) in
-  with_lock t.worker_locks.(w.wid) @@ fun () ->
+  with_worker_lock t w.wid @@ fun () ->
   match Store.get t.store key with
   | Some (_, aux) when aux_is_blum aux -> None
   | store_state ->
@@ -562,7 +678,7 @@ let merkle_slow t key action =
             (* Non-existence proof from the pointing parent (Example 4.1). *)
             let parent = ensure_chain ~loaded t w descent.path in
             ok (Verifier.vget_absent t.verifier ~tid:w.wid ~key ~parent);
-            gateway_receipt t w ~kind:Auth.Get key None meta;
+            gateway_receipt t ~kind:Auth.Get key None meta;
             None
         | Tree.Empty_slot, (A_put (_, _) as action) ->
             let parent = ensure_chain ~loaded t w descent.path in
@@ -658,7 +774,7 @@ let rec process_inner t ?worker key action =
             w
       in
       (match
-         with_lock t.worker_locks.(w.wid) (fun () ->
+         with_worker_lock t w.wid (fun () ->
              blum_fast t w key cur (aux_timestamp aux) action)
        with
       | value -> (value, w)
@@ -673,14 +789,18 @@ let rec process_inner t ?worker key action =
           t.stats.ops <- t.stats.ops - 1;
           process_inner t ?worker key action)
 
-let process t ?worker key action =
+let process t ?worker ?(admitted = false) key action =
   (* Admission control runs up front, before any verifier mutation or log
      entry: a put with a forged client MAC or a replayed nonce is rejected
      here with the system state untouched, so one bad request cannot poison
-     the epoch for everyone else (needed by the batching server). *)
+     the epoch for everyone else (needed by the batching server).
+     [admitted] skips the check for ops the dispatcher already admitted in
+     arrival order on its own domain — re-running it here would burn the
+     nonce twice and reject every such put as a replay. *)
   (match action with
-  | A_put (v, (Some _ as meta)) -> gateway_check_put t key v meta
-  | A_put (_, None) | A_get _ -> ());
+  | A_put (v, (Some _ as meta)) when not admitted ->
+      gateway_check_put t key v meta
+  | A_put _ | A_get _ -> ());
   let t0 = now () in
   let ((_, w) as result) = process_inner t ?worker key action in
   (match action with
@@ -699,15 +819,112 @@ let verifier_op_count t =
   s.n_add_m + s.n_evict_m + s.n_add_b + s.n_evict_b + s.n_evict_bm + s.n_vget
   + s.n_vput
 
+(* One worker's slice of the verification scan. Safe to run concurrently
+   with the other workers' slices while the coordinator holds every lock:
+   the dirty set and the cached mirror anchor at the worker's own frontier
+   partition ([find_anchor] rejects cross-worker chains), the verifier
+   thread state is per-tid, and the only tree mutations are to entry fields
+   of partition-local records — never to the tree's structure. Shared
+   counters are returned, not mutated, so the coordinator can sum them once
+   after the joins. *)
+let scan_worker t ~epoch w =
+  let migrated_data = ref 0 and migrated_frontier = ref 0 in
+  Enclave.call t.enclave (fun () ->
+      (* 1. Sorted merkle updates: re-apply every touched data record to
+         the tree in key order, exploiting chain-prefix locality. The list
+         is drained into an array and sorted in place — no per-node
+         allocation while sorting, unlike [List.sort] on the linked list.
+         Duplicates cannot arise today (a dirty key is blum-protected and
+         re-touches take the fast path), but the sorted pass skips adjacent
+         equals so a duplicate could never double-migrate. *)
+      let dirty =
+        match w.dirty with
+        | [] -> [||]
+        | hd :: _ ->
+            let a = Array.make w.dirty_len hd in
+            let i = ref 0 in
+            List.iter
+              (fun k ->
+                a.(!i) <- k;
+                incr i)
+              w.dirty;
+            a
+      in
+      w.dirty <- [];
+      w.dirty_len <- 0;
+      if t.config.sorted_migration then Array.sort Key.compare dirty;
+      for i = 0 to Array.length dirty - 1 do
+        let key = dirty.(i) in
+        if not (i > 0 && Key.equal key dirty.(i - 1)) then
+          match Store.get t.store key with
+          | Some (v, aux) when aux_is_blum aux ->
+              let ts = aux_timestamp aux in
+              let descent = Tree.descend t.tree key in
+              assert (descent.outcome = Tree.Exists);
+              let parent = ensure_chain t w descent.path in
+              ensure_room t w ~protect:parent ();
+              ok
+                (Verifier.add_b t.verifier ~tid:w.wid ~key
+                   ~value:(Value.Data v) ~timestamp:ts);
+              mirror_add_b w ts;
+              let ptr =
+                ok (Verifier.evict_m t.verifier ~tid:w.wid ~key ~parent)
+              in
+              apply_ptr t parent ptr;
+              Store.put t.store key v ~aux:aux_merkle;
+              incr migrated_data
+          | Some _ | None ->
+              raise (Integrity_violation "dirty record not in blum state")
+      done;
+      (* 2. Migrate this worker's frontier merkle records that were not
+         touched (still in the deferred tier) to the next epoch. *)
+      List.iter
+        (fun f ->
+          let entry = Tree.get_exn t.tree f in
+          match entry.aux.mstate with
+          | M_blum ts ->
+              ensure_room t w ();
+              ok
+                (Verifier.add_b t.verifier ~tid:w.wid ~key:f
+                   ~value:entry.value ~timestamp:ts);
+              mirror_add_b w ts;
+              let ts' =
+                Timestamp.max w.clock (Timestamp.first_of_epoch (epoch + 1))
+              in
+              ok
+                (Verifier.evict_b t.verifier ~tid:w.wid ~key:f ~timestamp:ts');
+              w.clock <- ts';
+              entry.aux.mstate <- M_blum ts';
+              incr migrated_frontier
+          | M_cached wid' ->
+              (* Cached this epoch: the sweep below evicts it into the next
+                 epoch. *)
+              assert (wid' = w.wid)
+          | M_merkle -> assert false)
+        t.frontier_by_worker.(w.wid);
+      (* 3. Evict every remaining cached merkle record, children first. *)
+      while Key_lru.length w.lru > 0 do
+        match Key_lru.victim w.lru with
+        | Some e -> evict_mirror t w e ~epoch_floor:(epoch + 1)
+        | None -> raise (Integrity_violation "cycle in cached merkle records")
+      done;
+      (* 4a. Close this thread's epoch; the cross-thread set-hash check
+         stays with the coordinator. *)
+      ok (Verifier.close_epoch t.verifier ~tid:w.wid ~epoch);
+      w.clock <- Timestamp.max w.clock (Timestamp.first_of_epoch (epoch + 1)));
+  (!migrated_data, !migrated_frontier)
+
 (* The verification scan is stop-the-world: it owns the tree and every
    worker (lock order: tree first, then workers ascending — the same order
-   merkle_slow uses, so scans and operations cannot deadlock). *)
+   merkle_slow uses, so scans and operations cannot deadlock). Under the
+   locks, the per-worker slices fan out to real domains (§8.5: the scan's
+   re-apply and migration work is partitioned exactly like the operation
+   load); only the set-hash aggregation and certificate sealing are
+   serial. The multiset fold is order-independent, so the parallel scan
+   yields bit-identical epoch certificates to the sequential one. *)
 let verify_locked t =
-  Mutex.lock t.tree_lock;
-  Array.iter Mutex.lock t.worker_locks;
-  Fun.protect ~finally:(fun () ->
-      Array.iter Mutex.unlock t.worker_locks;
-      Mutex.unlock t.tree_lock)
+  lock_world t;
+  Fun.protect ~finally:(fun () -> unlock_world t)
   @@ fun () ->
   let t0 = now () in
   let charged0 = Enclave.charged_ns t.enclave in
@@ -715,105 +932,45 @@ let verify_locked t =
   let touched0 = t.stats.migrated_data + t.stats.migrated_frontier in
   let epoch = Verifier.current_epoch t.verifier in
   Array.iter (flush_worker t) t.workers;
+  let n = Array.length t.workers in
+  let results = Array.make n (0, 0) in
+  let failures = Array.make n None in
+  let slice wid () =
+    let w = t.workers.(wid) in
+    let tw = now () in
+    (match scan_worker t ~epoch w with
+    | r -> results.(wid) <- r
+    | exception e -> failures.(wid) <- Some e);
+    let dt = now () -. tw in
+    t.stats.worker_busy_s.(wid) <- t.stats.worker_busy_s.(wid) +. dt;
+    Metrics.verify_worker t.metrics ~wid ~seconds:dt
+  in
+  (* Worker 0's slice runs on the coordinator domain; failures are collected
+     per worker and re-raised only after every domain has joined, so a
+     tampering detection on one partition never leaves another domain
+     running unsupervised. *)
+  (if n = 1 then slice 0 ()
+   else begin
+     let domains =
+       Array.init (n - 1) (fun i -> Domain.spawn (slice (i + 1)))
+     in
+     slice 0 ();
+     Array.iter Domain.join domains
+   end);
+  Array.iter (function Some e -> raise e | None -> ()) failures;
+  Array.iter
+    (fun (d, f) ->
+      t.stats.migrated_data <- t.stats.migrated_data + d;
+      t.stats.migrated_frontier <- t.stats.migrated_frontier + f)
+    results;
+  (* 4b. Serial tail: aggregate the per-thread set hashes and seal the
+     epoch certificate. *)
+  let ts = now () in
   let cert =
     Enclave.call t.enclave (fun () ->
-        (* 1. Sorted merkle updates: re-apply every touched data record to
-           the tree in key order, exploiting chain-prefix locality. *)
-        Array.iter
-          (fun w ->
-            let tw = now () in
-            let dirty =
-              if t.config.sorted_migration then List.sort Key.compare w.dirty
-              else w.dirty
-            in
-            w.dirty <- [];
-            w.dirty_len <- 0;
-            List.iter
-              (fun key ->
-                match Store.get t.store key with
-                | Some (v, aux) when aux_is_blum aux ->
-                    let ts = aux_timestamp aux in
-                    let descent = Tree.descend t.tree key in
-                    assert (descent.outcome = Tree.Exists);
-                    let parent = ensure_chain t w descent.path in
-                    ensure_room t w ~protect:parent ();
-                    ok
-                      (Verifier.add_b t.verifier ~tid:w.wid ~key
-                         ~value:(Value.Data v) ~timestamp:ts);
-                    mirror_add_b w ts;
-                    let ptr =
-                      ok (Verifier.evict_m t.verifier ~tid:w.wid ~key ~parent)
-                    in
-                    apply_ptr t parent ptr;
-                    Store.put t.store key v ~aux:aux_merkle;
-                    t.stats.migrated_data <- t.stats.migrated_data + 1
-                | Some _ | None ->
-                    raise (Integrity_violation "dirty record not in blum state"))
-              dirty;
-            t.stats.worker_busy_s.(w.wid) <-
-              t.stats.worker_busy_s.(w.wid) +. (now () -. tw))
-          t.workers;
-        (* 2. Migrate frontier merkle records that were not touched (still in
-           the deferred tier) to the next epoch. *)
-        Array.iteri
-          (fun wid frontier ->
-            let w = t.workers.(wid) in
-            let tw = now () in
-            List.iter
-              (fun f ->
-                let entry = Tree.get_exn t.tree f in
-                match entry.aux.mstate with
-                | M_blum ts ->
-                    ensure_room t w ();
-                    ok
-                      (Verifier.add_b t.verifier ~tid:w.wid ~key:f
-                         ~value:entry.value ~timestamp:ts);
-                    mirror_add_b w ts;
-                    let ts' =
-                      Timestamp.max w.clock (Timestamp.first_of_epoch (epoch + 1))
-                    in
-                    ok
-                      (Verifier.evict_b t.verifier ~tid:w.wid ~key:f
-                         ~timestamp:ts');
-                    w.clock <- ts';
-                    entry.aux.mstate <- M_blum ts';
-                    t.stats.migrated_frontier <- t.stats.migrated_frontier + 1
-                | M_cached wid' ->
-                    (* Cached this epoch: the sweep below evicts it into the
-                       next epoch. *)
-                    assert (wid' = wid)
-                | M_merkle -> assert false)
-              frontier;
-            t.stats.worker_busy_s.(wid) <-
-              t.stats.worker_busy_s.(wid) +. (now () -. tw))
-          t.frontier_by_worker;
-        (* 3. Evict every remaining cached merkle record, children first. *)
-        Array.iter
-          (fun w ->
-            let tw = now () in
-            while Key_lru.length w.lru > 0 do
-              match Key_lru.victim w.lru with
-              | Some e -> evict_mirror t w e ~epoch_floor:(epoch + 1)
-              | None ->
-                  raise (Integrity_violation "cycle in cached merkle records")
-            done;
-            t.stats.worker_busy_s.(w.wid) <-
-              t.stats.worker_busy_s.(w.wid) +. (now () -. tw))
-          t.workers;
-        (* 4. Close the epoch on every thread and check the set hashes. *)
-        let ts = now () in
-        let finish_serial x =
-          t.stats.serial_s <- t.stats.serial_s +. (now () -. ts);
-          x
-        in
-        Array.iter
-          (fun w ->
-            ok (Verifier.close_epoch t.verifier ~tid:w.wid ~epoch);
-            w.clock <-
-              Timestamp.max w.clock (Timestamp.first_of_epoch (epoch + 1)))
-          t.workers;
-        finish_serial (ok (Verifier.verify_epoch t.verifier ~epoch)))
+        ok (Verifier.verify_epoch t.verifier ~epoch))
   in
+  t.stats.serial_s <- t.stats.serial_s +. (now () -. ts);
   (* Account the enclave crossings this scan would have cost: its verifier
      calls stream through log buffers in a real deployment. *)
   let vops = verifier_op_count t - vops0 in
@@ -855,6 +1012,18 @@ let check_loaded t =
 let data_key k =
   if not (Key.is_data_key k) then invalid_arg "Fastver: not a data key";
   k
+
+(* Admission for external dispatchers: validate and consume a put's client
+   MAC + nonce in arrival order on the dispatching domain, then process the
+   op (with [~admitted:true]) on any executor. Splitting admission from
+   execution is what keeps per-client nonce monotonicity exact when batches
+   execute concurrently. *)
+let admit_put t ~client ~nonce ~mac ~key ~value =
+  check_loaded t;
+  let meta = Some (mk_meta ~client ~nonce ~mac) in
+  match gateway_check_put t (data_key (Key.of_int64 key)) value meta with
+  | () -> Ok ()
+  | exception Integrity_violation e -> Error e
 
 let get_key t k =
   check_loaded t;
@@ -932,6 +1101,7 @@ let load t records =
           let entry = Tree.get_exn t.tree f in
           entry.aux.owner <- wid;
           t.frontier_by_worker.(wid) <- f :: t.frontier_by_worker.(wid);
+          Key.Tbl.replace t.owners f wid;
           let descent = Tree.descend t.tree f in
           assert (descent.outcome = Tree.Exists);
           let parent = ensure_chain t w0 descent.path in
@@ -991,13 +1161,12 @@ module Session = struct
 
   type 'v receipt = { value : 'v; nonce : int64; epoch : int; mac : string }
 
-  let take_receipt s w ~kind ~key ~value ~nonce =
-    let receipt =
-      with_lock s.sys.worker_locks.(w.wid) (fun () ->
-          flush_worker s.sys w;
-          Queue.take_opt w.receipts)
-    in
-    match receipt with
+  let take_receipt s w meta ~kind ~key ~value ~nonce =
+    (* The op's receipt cell fills when its log entry flushes; flushing under
+       the worker lock also orders any cell write made by a concurrent
+       domain's scan before this read. *)
+    with_worker_lock s.sys w.wid (fun () -> flush_worker s.sys w);
+    match !(meta.receipt) with
     | None -> raise (Integrity_violation "missing validation receipt")
     | Some (mac, epoch) ->
         let expected =
@@ -1013,9 +1182,9 @@ module Session = struct
     let nonce = s.nonce in
     let key = Key.of_int64 k in
     s.sys.stats.gets <- s.sys.stats.gets + 1;
-    let meta = { client = s.client_id; nonce; mac = "" } in
+    let meta = mk_meta ~client:s.client_id ~nonce ~mac:"" in
     let value, w = process s.sys key (A_get (Some meta)) in
-    let mac, epoch = take_receipt s w ~kind:Auth.Get ~key ~value ~nonce in
+    let mac, epoch = take_receipt s w meta ~kind:Auth.Get ~key ~value ~nonce in
     maybe_verify s.sys;
     { value; nonce; epoch; mac }
 
@@ -1026,10 +1195,10 @@ module Session = struct
     let key = Key.of_int64 k in
     s.sys.stats.puts <- s.sys.stats.puts + 1;
     let mac = Auth.put_request s.auth ~client:s.client_id ~nonce key v in
-    let meta = { client = s.client_id; nonce; mac } in
+    let meta = mk_meta ~client:s.client_id ~nonce ~mac in
     let _, w = process s.sys key (A_put (Some v, Some meta)) in
     let mac, epoch =
-      take_receipt s w ~kind:Auth.Put ~key ~value:(Some v) ~nonce
+      take_receipt s w meta ~kind:Auth.Put ~key ~value:(Some v) ~nonce
     in
     maybe_verify s.sys;
     { value = (); nonce; epoch; mac }
@@ -1068,22 +1237,23 @@ module Batch = struct
     | Failed of string
 
   (* One elementary validated operation (a scan of length n is n of them),
-     waiting for its receipt to come out of the worker's flush. *)
-  type pending = { p_wid : int; p_item : item; p_op : int }
+     waiting for its receipt cell to fill when its log entry flushes. *)
+  type pending = { p_meta : meta option; p_item : item; p_op : int }
 
-  let submit t ops =
+  let submit ?worker ?(pre_admitted = false) t ops =
     check_loaded t;
     let auth = t.config.authenticate_clients in
     let n = Array.length ops in
     let errors = Array.make n None in
     let pendings = ref [] (* newest first *) in
     let meta_of ~client ~nonce ~mac =
-      if auth then Some { client; nonce; mac } else None
+      if auth then Some (mk_meta ~client ~nonce ~mac) else None
     in
     let one i action ~client ~nonce ~mac key =
       let meta = meta_of ~client ~nonce ~mac in
-      let returned, w =
-        process t (data_key (Key.of_int64 key))
+      let returned, _w =
+        process t ?worker ~admitted:pre_admitted
+          (data_key (Key.of_int64 key))
           (match action with
           | `Get -> A_get meta
           | `Put v -> A_put (v, meta))
@@ -1092,7 +1262,7 @@ module Batch = struct
          value for puts (process returns the overwritten value) *)
       let value = match action with `Get -> returned | `Put v -> v in
       let item = { ikey = key; ivalue = value; iepoch = 0; imac = "" } in
-      pendings := { p_wid = w.wid; p_item = item; p_op = i } :: !pendings;
+      pendings := { p_meta = meta; p_item = item; p_op = i } :: !pendings;
       maybe_verify t;
       item
     in
@@ -1144,22 +1314,24 @@ module Batch = struct
        let fallback_epoch = Verifier.current_epoch t.verifier in
        List.iter
          (fun p ->
-           (* pop even for already-failed ops so queues stay in sync *)
-           match
-             with_lock t.worker_locks.(p.p_wid) (fun () ->
-                 Queue.take_opt t.workers.(p.p_wid).receipts)
-           with
-           | Some (mac, epoch) ->
-               p.p_item.imac <- mac;
-               p.p_item.iepoch <- epoch
-           | None ->
-               p.p_item.iepoch <- fallback_epoch;
-               if errors.(p.p_op) = None then
-                 errors.(p.p_op) <-
-                   Some
-                     (Option.value flush_error
-                        ~default:"validation receipt missing"))
-         (List.rev !pendings)
+           (* [flush t] above took every worker's lock, which also orders any
+              receipt-cell write made by a concurrent domain's verification
+              scan before these reads. *)
+           match p.p_meta with
+           | None -> assert false
+           | Some m -> (
+               match !(m.receipt) with
+               | Some (mac, epoch) ->
+                   p.p_item.imac <- mac;
+                   p.p_item.iepoch <- epoch
+               | None ->
+                   p.p_item.iepoch <- fallback_epoch;
+                   if errors.(p.p_op) = None then
+                     errors.(p.p_op) <-
+                       Some
+                         (Option.value flush_error
+                            ~default:"validation receipt missing")))
+         !pendings
      else
        let epoch = Verifier.current_epoch t.verifier in
        List.iter (fun p -> p.p_item.iepoch <- epoch) !pendings);
@@ -1247,11 +1419,8 @@ let checkpoint t ~dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   (* Stop the world: snapshotting the store and trie while other domains
      mutate them would tear the images (and race Hashtbl internals). *)
-  Mutex.lock t.tree_lock;
-  Array.iter Mutex.lock t.worker_locks;
-  Fun.protect ~finally:(fun () ->
-      Array.iter Mutex.unlock t.worker_locks;
-      Mutex.unlock t.tree_lock)
+  lock_world t;
+  Fun.protect ~finally:(fun () -> unlock_world t)
   @@ fun () ->
   Array.iter (flush_worker t) t.workers;
   let summary =
@@ -1478,7 +1647,6 @@ let recover_generation ?(config = Config.default) ~gdir () =
       log_len = 0;
       dirty = [];
       dirty_len = 0;
-      receipts = Queue.create ();
     }
   in
   let t =
@@ -1493,6 +1661,7 @@ let recover_generation ?(config = Config.default) ~gdir () =
       nonces;
       sealed;
       frontier_by_worker = Array.make config.n_workers [];
+      owners = Key.Tbl.create 64;
       rr = 0;
       loaded = true;
       worker_locks = Array.init config.n_workers (fun _ -> Mutex.create ());
@@ -1522,9 +1691,11 @@ let recover_generation ?(config = Config.default) ~gdir () =
     }
   in
   Tree.iter t.tree (fun k entry ->
-      if entry.aux.owner >= 0 && entry.aux.owner < config.n_workers then
+      if entry.aux.owner >= 0 && entry.aux.owner < config.n_workers then begin
         t.frontier_by_worker.(entry.aux.owner) <-
-          k :: t.frontier_by_worker.(entry.aux.owner));
+          k :: t.frontier_by_worker.(entry.aux.owner);
+        Key.Tbl.replace t.owners k entry.aux.owner
+      end);
   wire_metrics t;
   Ok t
 
@@ -1603,6 +1774,24 @@ module Parallel = struct
                (Printexc.to_string e))
       | _ -> None)
 
+  (* SplitMix64 finaliser mixing the worker id into the configured seed.
+     The previous [seed + wid * 7919] made configured seeds differing by a
+     multiple of 7919 replay each other's worker streams shifted by one
+     worker; a bijective avalanche mix decorrelates every (seed, wid)
+     pair. *)
+  let mix_seed seed wid =
+    let z =
+      ref
+        (Int64.add (Int64.of_int seed)
+           (Int64.mul (Int64.of_int (wid + 1)) 0x9e3779b97f4a7c15L))
+    in
+    z := Int64.mul (Int64.logxor !z (Int64.shift_right_logical !z 30))
+           0xbf58476d1ce4e5b9L;
+    z := Int64.mul (Int64.logxor !z (Int64.shift_right_logical !z 27))
+           0x94d049bb133111ebL;
+    z := Int64.logxor !z (Int64.shift_right_logical !z 31);
+    Int64.to_int (Int64.logand !z 0x3fffffffffffffffL)
+
   let run_ycsb t ~spec ~db_size ~ops_per_worker =
     check_loaded t;
     let open Fastver_workload in
@@ -1610,7 +1799,7 @@ module Parallel = struct
     let failures = Array.make n None in
     let body wid () =
       let gen =
-        Ycsb.create ~seed:(t.config.seed + (wid * 7919)) ~db_size spec
+        Ycsb.create ~seed:(mix_seed t.config.seed wid) ~db_size spec
       in
       try
         let i = ref 0 in
@@ -1683,4 +1872,11 @@ module Testing = struct
         if !found = None && (not (Key.equal k Key.root)) then
           match e.aux.mstate with M_merkle -> found := Some k | _ -> ());
     !found
+
+  (* Lock-order assertion hooks: with enforcement on, every acquisition in
+     the core checks the documented [tree_lock] -> ascending-worker-lock
+     order, and these helpers let tests provoke violations directly. *)
+  let enforce_lock_order on = Atomic.set Lock_order.enforce on
+  let with_tree_lock t f = with_tree_lock t f
+  let with_worker_lock t wid f = with_worker_lock t wid f
 end

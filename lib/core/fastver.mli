@@ -28,6 +28,10 @@ module Config : module type of Config
 module Auth : module type of Auth
 (** Client/verifier MAC encodings (TCB on both ends). *)
 
+module Bounded_queue : module type of Bounded_queue
+(** Bounded blocking MPMC queue (re-exported for the network server's
+    executor pool). *)
+
 type t
 
 val create : ?config:Config.t -> unit -> t
@@ -95,7 +99,8 @@ end
     verification-log buffer is drained through the enclave {e once} —
     amortising transition cost over the batch exactly as §7 amortises
     ecalls — and the per-operation validation receipts are collected
-    afterwards (in submission order, from per-worker FIFO queues).
+    afterwards from per-operation receipt cells (safe under concurrent
+    [submit] calls from executor domains).
 
     Errors isolate per operation: a put with a bad client MAC or replayed
     nonce is rejected at admission, before it can touch verifier state, and
@@ -124,19 +129,50 @@ module Batch : sig
     | Scanned of item array
     | Failed of string
 
-  val submit : t -> op array -> reply array
+  val submit : ?worker:int -> ?pre_admitted:bool -> t -> op array -> reply array
   (** [submit t ops] processes every operation (honouring [batch_size]
       verification scans) and returns replies in submission order. Does not
       raise on per-operation integrity failures — they come back as
-      [Failed]. *)
+      [Failed].
+
+      [?worker] pins the batch to one worker's log buffer (the server's
+      executor pool routes each batch to the worker owning its keys).
+      [?pre_admitted] skips the gateway admission check on puts — for
+      callers that already ran {!admit_put} on the dispatching domain to
+      consume client nonces in arrival order; re-checking would burn the
+      nonce twice and reject the put as a replay. *)
 end
+
+val admit_put :
+  t -> client:int -> nonce:int64 -> mac:string -> key:int64 ->
+  value:string option -> (unit, string) result
+(** Run the gateway admission check (client MAC + nonce freshness) for a
+    put without processing it. Used by the server's I/O domain to admit
+    puts in per-client arrival order before handing them to executor
+    domains via [Batch.submit ~pre_admitted:true]. No-op [Ok ()] when
+    client authentication is disabled. *)
+
+val owner_of_key : t -> int64 -> int
+(** The worker id owning a data key's frontier partition (the worker whose
+    log buffer its slow-path entries land in). Lock-free; the routing table
+    is static once {!load} / {!recover} completes. The server uses it to
+    route operations to executor domains so each batch touches one worker's
+    buffer. *)
 
 (** {2 Verification} *)
 
 val verify : t -> string
 (** Run the verification scan for the current epoch (§8.1 "batching"):
     migrate deferred records, apply sorted Merkle updates, aggregate and
-    compare set hashes. Returns the epoch certificate. *)
+    compare set hashes. Returns the epoch certificate.
+
+    With [n_workers > 1] the scan is parallel: each worker's sorted dirty
+    set and frontier partition are re-applied on its own spawned domain
+    (per-worker slice timings land in [worker_busy_s] and
+    [fastver_verify_worker_seconds]); only set-hash aggregation and
+    certificate sealing stay serial. The multiset hashes are
+    order-independent, so the certificate is identical to the sequential
+    scan's. *)
 
 val flush : t -> unit
 (** Drain all worker log buffers into the verifier. *)
@@ -244,8 +280,10 @@ val registry : t -> Fastver_obs.Registry.t
     - [fastver_gets_total] / [fastver_puts_total] / [fastver_scans_total],
       [fastver_cas_retries_total], [fastver_verifies_total];
     - [fastver_log_flush_entries], [fastver_verify_scan_seconds],
-      [fastver_verify_touched_records], [fastver_checkpoint_write_seconds],
-      [fastver_recover_seconds] (histograms);
+      [fastver_verify_worker_seconds{worker=...}] (per-worker parallel scan
+      slices), [fastver_verify_touched_records],
+      [fastver_checkpoint_write_seconds], [fastver_recover_seconds]
+      (histograms);
     - callback-backed: [fastver_epoch], [fastver_verified_epoch],
       [fastver_epoch_certificates_total],
       [fastver_verifier_ops_total{op=...}], [fastver_store_records],
@@ -284,8 +322,11 @@ module Parallel : sig
     t -> spec:Fastver_workload.Ycsb.spec -> db_size:int ->
     ops_per_worker:int -> unit
   (** Drive [ops_per_worker] YCSB operations through every worker
-      concurrently (distinct per-worker generator seeds), honouring
-      [config.batch_size] verification scans.
+      concurrently, honouring [config.batch_size] verification scans.
+      Per-worker generator seeds are derived by mixing the worker id
+      through a SplitMix64 finaliser, so any two configured seeds produce
+      disjoint per-worker streams (a plain [seed + wid * k] collides for
+      seeds differing by [k]).
       @raise Worker_failed if any domain raised. *)
 end
 
@@ -315,4 +356,16 @@ module Testing : sig
 
   val some_merkle_key : t -> Key.t option
   (** Any currently merkle-protected internal record. *)
+
+  val enforce_lock_order : bool -> unit
+  (** Globally enable the lock-order shadow: every [tree_lock] / worker-lock
+      acquisition checks the documented order ([tree_lock] first, then
+      worker locks in ascending id) and raises [Invalid_argument] naming
+      both locks on a violation. Off by default (one atomic load per lock
+      operation when off). *)
+
+  val with_tree_lock : t -> (unit -> 'a) -> 'a
+  val with_worker_lock : t -> int -> (unit -> 'a) -> 'a
+  (** Order-checked lock acquisition, exposed so tests can provoke
+      violations deliberately. *)
 end

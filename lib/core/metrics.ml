@@ -85,6 +85,15 @@ let cas_retry t = if t.enabled then Counter.incr t.cas_retries
 
 let flush t n = if t.enabled then Histogram.record t.flush_entries n
 
+let verify_worker_seconds t ~wid =
+  Registry.histogram t.registry ~scale:1e-9
+    ~labels:[ ("worker", string_of_int wid) ]
+    ~help:"Per-worker verification-scan time (parallel slice)"
+    "fastver_verify_worker_seconds"
+
+let verify_worker t ~wid ~seconds =
+  if t.enabled then Histogram.record_span (verify_worker_seconds t ~wid) seconds
+
 let verify_scan t ~seconds ~touched =
   if t.enabled then begin
     Counter.incr t.verifies;

@@ -35,5 +35,14 @@ val verify_scan : t -> seconds:float -> touched:int -> unit
 (** One verification scan: wall+modelled duration and the number of
     migrated records (data + frontier) it touched. *)
 
+val verify_worker_seconds : t -> wid:int -> Fastver_obs.Histogram.t
+(** The per-worker scan-slice histogram ([fastver_verify_worker_seconds]
+    labeled [worker=<wid>]). Registration is idempotent; call once per
+    worker at wiring time so the series exists before the first scan. *)
+
+val verify_worker : t -> wid:int -> seconds:float -> unit
+(** One worker's share of a verification scan (dirty re-apply + frontier
+    migration + epoch close on its own domain). *)
+
 val checkpoint_write : t -> float -> unit
 val recover_done : t -> float -> unit

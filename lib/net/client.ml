@@ -12,6 +12,7 @@ type t = {
   fd : Unix.file_descr;
   reader : Frame.reader;
   scratch : Bytes.t;
+  enc : Buffer.t; (* reused encode buffer: one frame string per send *)
   mutable next_id : int64;
   mutable closed : bool;
 }
@@ -33,6 +34,7 @@ let connect addr =
               fd;
               reader = Frame.create ();
               scratch = Bytes.create 65536;
+              enc = Buffer.create 256;
               next_id = 0L;
               closed = false;
             }
@@ -51,7 +53,7 @@ let close t =
 let send t req =
   let id = t.next_id in
   t.next_id <- Int64.succ t.next_id;
-  Sockio.send_all t.fd (Wire.encode_request ~id req);
+  Sockio.send_all t.fd (Wire.encode_request_into t.enc ~id req);
   id
 
 let recv t =

@@ -72,11 +72,42 @@ type conn = {
   fd : Unix.file_descr;
   reader : Frame.reader;
   outq : string Queue.t;
+  slots : (int64 * float * Wire.response option Atomic.t) Queue.t;
+      (* (id, arrival, reply slot) in request order: responses — filled by
+         executor domains or inline — are emitted strictly from the head,
+         so per-connection reply order survives parallel execution *)
+  enc : Buffer.t; (* reused encode buffer (one frame string per response) *)
   mutable out_off : int; (* written prefix of the head of [outq] *)
   mutable out_bytes : int; (* total queued output *)
   mutable client : int option;
   mutable closing : bool; (* close once output drains *)
   mutable dead : bool; (* close now, discard output *)
+}
+
+(* One executor batch: data operations for a single owning worker, run
+   through [Fastver.Batch.submit ~worker] off the I/O domain. Executors
+   never see a [conn] or an fd — they only fill the reply slots. *)
+type job = {
+  j_owner : int option; (* [None] = unpinned (inline single-domain mode) *)
+  j_ops : (int64 * Fastver.Batch.op * Wire.response option Atomic.t) array;
+      (* (wire nonce, op, reply slot) *)
+}
+
+(* Executor pool (active when [n_workers > 1]): one domain per system
+   worker, fed over a bounded queue each. Routing jobs by key owner keeps
+   every worker's verification-log buffer written with partition affinity,
+   and the per-owner FIFO makes operations on the same key execute in
+   arrival order (same key -> same owner -> same queue). Cross-partition
+   requests (scans, verify, admin) quiesce the pool first. *)
+type pool = {
+  n_execs : int;
+  queues : job Fastver.Bounded_queue.t array; (* one SPSC queue per executor *)
+  mutable execs : unit Domain.t array;
+  in_flight : int Atomic.t; (* jobs pushed but not yet completed *)
+  idle_lock : Mutex.t;
+  idle_cond : Condition.t; (* signalled when [in_flight] drops to 0 *)
+  wake_r : Unix.file_descr; (* executor completion -> select wake-up *)
+  wake_w : Unix.file_descr;
 }
 
 type t = {
@@ -95,6 +126,7 @@ type t = {
   metrics : metrics;
   clients_in_use : (int, conn) Hashtbl.t;
   scratch : Bytes.t;
+  pool : pool option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -130,6 +162,27 @@ let create ?(config = default_config) sys ~listen =
           in
           let stop_r, stop_w = Unix.pipe ~cloexec:true () in
           Unix.set_nonblock stop_r;
+          let pool =
+            let n = (Fastver.config sys).n_workers in
+            if n <= 1 then None
+            else begin
+              let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+              Unix.set_nonblock wake_r;
+              Unix.set_nonblock wake_w;
+              Some
+                {
+                  n_execs = n;
+                  queues =
+                    Array.init n (fun _ -> Fastver.Bounded_queue.create 8);
+                  execs = [||];
+                  in_flight = Atomic.make 0;
+                  idle_lock = Mutex.create ();
+                  idle_cond = Condition.create ();
+                  wake_r;
+                  wake_w;
+                }
+            end
+          in
           Ok
             {
               sys;
@@ -145,6 +198,7 @@ let create ?(config = default_config) sys ~listen =
               metrics = make_metrics sys;
               clients_in_use = Hashtbl.create 16;
               scratch = Bytes.create 65536;
+              pool;
             }
       | exception Unix.Unix_error (e, _, _) ->
           (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -170,17 +224,32 @@ let counters t =
 (* Output                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let emit ?arrived t conn id resp =
+(* Emit the filled prefix of the reply-slot queue. Slots behind an
+   operation still running on an executor stay queued, so responses leave
+   in request order even when later operations finished first. *)
+let emit_ready t conn =
   if not conn.dead then begin
-    let s = Wire.encode_response ~id resp in
-    Queue.push s conn.outq;
-    conn.out_bytes <- conn.out_bytes + String.length s;
-    Fastver_obs.Counter.incr t.metrics.m_served;
-    match arrived with
-    | Some t0 ->
-        Fastver_obs.Histogram.record_span t.metrics.m_request_seconds
-          (Unix.gettimeofday () -. t0)
-    | None -> ()
+    let continue = ref true in
+    while !continue && not (Queue.is_empty conn.slots) do
+      let _, _, slot = Queue.peek conn.slots in
+      match Atomic.get slot with
+      | None -> continue := false
+      | Some resp ->
+          let id, arrived, _ = Queue.pop conn.slots in
+          let s = Wire.encode_response_into conn.enc ~id resp in
+          Queue.push s conn.outq;
+          conn.out_bytes <- conn.out_bytes + String.length s;
+          Fastver_obs.Counter.incr t.metrics.m_served;
+          Fastver_obs.Histogram.record_span t.metrics.m_request_seconds
+            (Unix.gettimeofday () -. arrived)
+    done
+  end
+
+(* Queue an already-computed response at this request's position. *)
+let post t conn id ~arrived resp =
+  if not conn.dead then begin
+    Queue.push (id, arrived, Atomic.make (Some resp)) conn.slots;
+    emit_ready t conn
   end
 
 let flush_output conn =
@@ -301,9 +370,79 @@ let nonce_of = function
   | Wire.Metrics _ ->
       0L
 
-(* Drain up to [batch_limit] pending requests through the worker loop.
-   Consecutive data operations share one Batch.submit (one log flush);
-   admin operations execute at their exact position. *)
+(* ------------------------------------------------------------------ *)
+(* Executor pool                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Run one batch of data operations and fill its reply slots. Puts were
+   already admitted on the I/O domain (client MAC + nonce consumed in
+   arrival order), so the submit skips re-admission. Called from executor
+   domains and, in single-worker mode, inline on the I/O domain. *)
+let run_job t (job : job) =
+  let ops = Array.map (fun (_, op, _) -> op) job.j_ops in
+  let replies =
+    try Fastver.Batch.submit ?worker:job.j_owner ~pre_admitted:true t.sys ops
+    with exn ->
+      (* [Batch.submit] maps per-op failures to [Failed] itself; anything
+         escaping (e.g. a tampering detection in an auto-triggered
+         verification scan) must not kill an executor domain. *)
+      Array.map (fun _ -> Fastver.Batch.Failed (Printexc.to_string exn)) ops
+  in
+  Array.iteri
+    (fun i (nonce, _, slot) ->
+      (match replies.(i) with
+      | Fastver.Batch.Failed _ ->
+          Fastver_obs.Counter.incr t.metrics.m_op_failures
+      | _ -> ());
+      Atomic.set slot (Some (response_of_reply nonce replies.(i))))
+    job.j_ops
+
+let wake p =
+  (* Nonblocking, best-effort: a full pipe already guarantees a pending
+     wake-up of the select loop. *)
+  try ignore (Unix.write_substring p.wake_w "x" 0 1) with Unix.Unix_error _ -> ()
+
+let executor t p wid () =
+  let rec loop () =
+    match Fastver.Bounded_queue.pop p.queues.(wid) with
+    | None -> () (* closed and drained: shutdown *)
+    | Some job ->
+        run_job t job;
+        Mutex.lock p.idle_lock;
+        ignore (Atomic.fetch_and_add p.in_flight (-1));
+        if Atomic.get p.in_flight = 0 then Condition.broadcast p.idle_cond;
+        Mutex.unlock p.idle_lock;
+        wake p;
+        loop ()
+  in
+  loop ()
+
+(* Wait until every dispatched job has completed (its slots filled). The
+   barrier before cross-partition work: verify, stats, metrics, session
+   admin and multi-key scans all observe a quiescent pool. *)
+let barrier p =
+  Mutex.lock p.idle_lock;
+  while Atomic.get p.in_flight > 0 do
+    Condition.wait p.idle_cond p.idle_lock
+  done;
+  Mutex.unlock p.idle_lock
+
+let dispatch p ~owner job =
+  Atomic.incr p.in_flight;
+  Fastver.Bounded_queue.push p.queues.(owner) job
+
+let admit t (op : Fastver.Batch.op) =
+  match op with
+  | Fastver.Batch.Put { client; nonce; mac; key; value } ->
+      Fastver.admit_put t.sys ~client ~nonce ~mac ~key ~value
+  | Fastver.Batch.Get _ | Fastver.Batch.Scan _ -> Ok ()
+
+(* Drain up to [batch_limit] pending requests. Data operations accumulate
+   into per-owner groups — one [Batch.submit] (one log flush) per owner per
+   drain — dispatched to the executor pool, or run inline as a single
+   unpinned batch when there is no pool. Admin operations and scans
+   quiesce the pool and run at their exact position; reply slots keep
+   per-connection response order either way. *)
 let drain t =
   if not (Queue.is_empty t.pending) then begin
     let batch = ref [] and n = ref 0 in
@@ -314,41 +453,75 @@ let drain t =
     let batch = List.rev !batch in
     Fastver_obs.Counter.incr t.metrics.m_batches;
     Fastver_obs.Histogram.record t.metrics.m_batch_requests !n;
-    let acc = ref [] in
-    (* (conn, id, nonce, arrival, op), newest first *)
+    let n_groups = match t.pool with Some p -> p.n_execs | None -> 1 in
+    let groups = Array.make n_groups [] in
+    (* (nonce, op, slot), newest first *)
+    let any = ref false in
     let flush_acc () =
-      match List.rev !acc with
-      | [] -> ()
-      | ops ->
-          acc := [];
-          let arr = Array.of_list (List.map (fun (_, _, _, _, op) -> op) ops) in
-          let replies = Fastver.Batch.submit t.sys arr in
-          List.iteri
-            (fun i (conn, id, nonce, arrived, _) ->
-              (match replies.(i) with
-              | Fastver.Batch.Failed _ ->
-                  Fastver_obs.Counter.incr t.metrics.m_op_failures
-              | _ -> ());
-              emit ~arrived t conn id (response_of_reply nonce replies.(i)))
-            ops
+      if !any then begin
+        any := false;
+        Array.iteri
+          (fun owner -> function
+            | [] -> ()
+            | entries ->
+                groups.(owner) <- [];
+                let job =
+                  {
+                    j_owner =
+                      (match t.pool with Some _ -> Some owner | None -> None);
+                    j_ops = Array.of_list (List.rev entries);
+                  }
+                in
+                match t.pool with
+                | None -> run_job t job
+                | Some p -> dispatch p ~owner job)
+          groups
+      end
+    in
+    let quiesce () =
+      flush_acc ();
+      match t.pool with Some p -> barrier p | None -> ()
     in
     List.iter
       (fun (conn, id, req, arrived) ->
         if not conn.dead then
           match classify t conn req with
-          | `Data op -> acc := (conn, id, nonce_of req, arrived, op) :: !acc
+          | `Data op -> (
+              match admit t op with
+              | Error e ->
+                  Fastver_obs.Counter.incr t.metrics.m_op_failures;
+                  post t conn id ~arrived (Wire.Error ("integrity: " ^ e))
+              | Ok () -> (
+                  let slot = Atomic.make None in
+                  Queue.push (id, arrived, slot) conn.slots;
+                  let entry = (nonce_of req, op, slot) in
+                  match (t.pool, op) with
+                  | Some _, (Fastver.Batch.Get { key; _ }
+                            | Fastver.Batch.Put { key; _ }) ->
+                      let owner = Fastver.owner_of_key t.sys key in
+                      groups.(owner) <- entry :: groups.(owner);
+                      any := true
+                  | Some _, Fastver.Batch.Scan _ ->
+                      (* A scan may span owner partitions: run it inline
+                         against a quiescent pool so it observes every
+                         earlier put. *)
+                      quiesce ();
+                      run_job t { j_owner = None; j_ops = [| entry |] }
+                  | None, _ ->
+                      groups.(0) <- entry :: groups.(0);
+                      any := true))
           | `Admin f ->
-              flush_acc ();
-              emit ~arrived t conn id (f conn)
+              quiesce ();
+              post t conn id ~arrived (f conn)
           | `Err e ->
-              flush_acc ();
               Fastver_obs.Counter.incr t.metrics.m_op_failures;
-              emit ~arrived t conn id (Wire.Error e))
+              post t conn id ~arrived (Wire.Error e))
       batch;
     flush_acc ();
     (* opportunistic write: the sockets are almost always writable *)
     List.iter
       (fun (conn, _, _, _) ->
+        emit_ready t conn;
         if not (Queue.is_empty conn.outq) then flush_output conn)
       batch
   end
@@ -362,7 +535,7 @@ let protocol_error t conn msg =
   (* arrival = now: a malformed frame has no decoded request to timestamp,
      but every emitted response must carry a latency sample so that the
      request histogram's count always equals [served] *)
-  emit ~arrived:(Unix.gettimeofday ()) t conn 0L
+  post t conn 0L ~arrived:(Unix.gettimeofday ())
     (Wire.Error ("protocol: " ^ msg));
   conn.closing <- true
 
@@ -409,6 +582,8 @@ let accept_loop t =
             fd;
             reader = Frame.create ~max_frame:t.cfg.max_frame ();
             outq = Queue.create ();
+            slots = Queue.create ();
+            enc = Buffer.create 256;
             out_off = 0;
             out_bytes = 0;
             client = None;
@@ -431,7 +606,11 @@ let close_conn t conn =
 let reap t =
   let gone, kept =
     List.partition
-      (fun c -> c.dead || (c.closing && Queue.is_empty c.outq))
+      (fun c ->
+        (* a closing connection waits for replies still in flight on the
+           pool ([slots]) as well as unwritten output *)
+        c.dead
+        || (c.closing && Queue.is_empty c.outq && Queue.is_empty c.slots))
       t.conns
   in
   List.iter (close_conn t) gone;
@@ -443,6 +622,11 @@ let reap t =
 
 let run t =
   Log.info (fun m -> m "serving on %a" Addr.pp t.addr);
+  (match t.pool with
+  | Some p ->
+      Log.info (fun m -> m "executor pool: %d worker domains" p.n_execs);
+      p.execs <- Array.init p.n_execs (fun wid -> Domain.spawn (executor t p wid))
+  | None -> ());
   while not (Atomic.get t.stopping) do
     let backpressured = Queue.length t.pending >= t.cfg.queue_limit in
     let read_fds =
@@ -455,6 +639,9 @@ let run t =
              then Some c.fd
              else None)
            t.conns
+    in
+    let read_fds =
+      match t.pool with Some p -> p.wake_r :: read_fds | None -> read_fds
     in
     let write_fds =
       List.filter_map
@@ -474,18 +661,39 @@ let run t =
           let buf = Bytes.create 64 in
           try ignore (Unix.read t.stop_r buf 0 64) with Unix.Unix_error _ -> ()
         end;
+        (match t.pool with
+        | Some p when List.mem p.wake_r readable -> (
+            (* drain coalesced completion wake-ups *)
+            let buf = Bytes.create 256 in
+            try
+              while Unix.read p.wake_r buf 0 256 = 256 do
+                ()
+              done
+            with Unix.Unix_error _ -> ())
+        | _ -> ());
         if List.mem t.listener readable then accept_loop t;
         List.iter
           (fun c -> if List.mem c.fd readable then handle_readable t c)
           t.conns;
         drain t;
+        ignore writable;
         List.iter
           (fun c ->
-            if List.mem c.fd writable && not (Queue.is_empty c.outq) then
-              flush_output c)
+            emit_ready t c;
+            (* opportunistic write for pool completions too, not just fds
+               select reported writable: a failed attempt is one EAGAIN *)
+            if not (Queue.is_empty c.outq) then flush_output c)
           t.conns;
         reap t
   done;
+  (match t.pool with
+  | Some p ->
+      Array.iter Fastver.Bounded_queue.close p.queues;
+      Array.iter Domain.join p.execs;
+      p.execs <- [||];
+      (try Unix.close p.wake_r with Unix.Unix_error _ -> ());
+      (try Unix.close p.wake_w with Unix.Unix_error _ -> ())
+  | None -> ());
   List.iter (close_conn t) t.conns;
   t.conns <- [];
   (try Unix.close t.listener with Unix.Unix_error _ -> ());

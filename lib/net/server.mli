@@ -1,11 +1,23 @@
-(** The FastVer serving loop: many connections, one batching worker drain.
+(** The FastVer serving loop: an I/O event loop feeding an executor pool.
 
     A single event loop (TCP and/or Unix-domain) reads requests into
     per-connection buffers and drains them through the FastVer worker loop
     in batches via {!Fastver.Batch.submit}, so the whole batch shares one
     verification-log flush — the same enclave-transition amortisation the
-    paper applies to ecalls (§7). Responses are written back in
-    per-connection request order, so clients may pipeline freely.
+    paper applies to ecalls (§7).
+
+    With [n_workers > 1] the select loop keeps I/O only: decoded batches
+    are grouped by owning worker ({!Fastver.owner_of_key}) and handed to
+    one executor domain per worker over bounded queues (a full queue
+    blocks the dispatcher — backpressure, not unbounded growth). Puts are
+    admitted (client MAC + nonce) on the I/O domain in arrival order
+    before dispatch. Responses are written back in per-connection request
+    order regardless of execution order (per-request reply slots), so
+    clients may pipeline freely; operations on the {e same} key execute in
+    arrival order (same key → same owner → same FIFO queue), while
+    independent keys may execute in parallel. Cross-partition requests —
+    scans, verify, stats, metrics, session admin — quiesce the pool first
+    and run at their exact position.
 
     Robustness properties:
     - {e backpressure}: the pending-request queue is bounded; when it (or a

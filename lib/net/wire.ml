@@ -67,6 +67,10 @@ let metrics_format_byte = function Json -> 0 | Prometheus -> 1
 (* Encoding                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* The field writers append characters directly — no scratch [Bytes] per
+   field — so that encoding into a reused buffer stays allocation-free up
+   to the final frame string. *)
+
 let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
 
 let add_u16 b v =
@@ -74,14 +78,12 @@ let add_u16 b v =
   add_u8 b (v lsr 8)
 
 let add_u32 b v =
-  let by = Bytes.create 4 in
-  Bytes.set_int32_le by 0 (Int32.of_int v);
-  Buffer.add_bytes b by
+  add_u8 b v;
+  add_u8 b (v lsr 8);
+  add_u8 b (v lsr 16);
+  add_u8 b (v lsr 24)
 
-let add_i64 b v =
-  let by = Bytes.create 8 in
-  Bytes.set_int64_le by 0 v;
-  Buffer.add_bytes b by
+let add_i64 b v = Buffer.add_int64_le b v
 
 let add_mac b s =
   add_u16 b (String.length s);
@@ -100,90 +102,99 @@ let add_item b (it : item) =
   add_value_opt b it.value;
   add_mac b it.mac
 
-let frame ~id tag body =
-  let b = Buffer.create (4 + header_len + String.length body) in
-  add_u32 b (header_len + String.length body);
+(* A message is encoded in one pass into the caller's scratch buffer
+   (header + body, no intermediate body string), then copied once into the
+   exact-size frame string with the length prefix patched in front. With a
+   reused buffer the only steady-state allocation is that result string. *)
+
+let begin_frame b ~id tag =
+  Buffer.clear b;
   Buffer.add_string b magic;
   add_u8 b version;
   add_u8 b tag;
-  add_i64 b id;
-  Buffer.add_string b body;
-  Buffer.contents b
+  add_i64 b id
 
-let body f =
-  let b = Buffer.create 64 in
-  f b;
-  Buffer.contents b
+let to_frame b =
+  let n = Buffer.length b in
+  let out = Bytes.create (4 + n) in
+  Bytes.set_int32_le out 0 (Int32.of_int n);
+  Buffer.blit b 0 out 4 n;
+  Bytes.unsafe_to_string out
 
-let encode_request ~id = function
-  | Open_session { client } -> frame ~id tag_open (body (fun b -> add_u32 b client))
-  | Close_session -> frame ~id tag_close ""
+let encode_request_into b ~id req =
+  (match req with
+  | Open_session { client } ->
+      begin_frame b ~id tag_open;
+      add_u32 b client
+  | Close_session -> begin_frame b ~id tag_close
   | Get { key; nonce } ->
-      frame ~id tag_get
-        (body (fun b ->
-             add_i64 b key;
-             add_i64 b nonce))
+      begin_frame b ~id tag_get;
+      add_i64 b key;
+      add_i64 b nonce
   | Put { key; nonce; mac; value } ->
-      frame ~id tag_put
-        (body (fun b ->
-             add_i64 b key;
-             add_i64 b nonce;
-             add_mac b mac;
-             add_value_opt b value))
+      begin_frame b ~id tag_put;
+      add_i64 b key;
+      add_i64 b nonce;
+      add_mac b mac;
+      add_value_opt b value
   | Scan { start; len; nonce } ->
-      frame ~id tag_scan
-        (body (fun b ->
-             add_i64 b start;
-             add_u32 b len;
-             add_i64 b nonce))
-  | Verify -> frame ~id tag_verify ""
-  | Stats -> frame ~id tag_stats ""
+      begin_frame b ~id tag_scan;
+      add_i64 b start;
+      add_u32 b len;
+      add_i64 b nonce
+  | Verify -> begin_frame b ~id tag_verify
+  | Stats -> begin_frame b ~id tag_stats
   | Metrics { format } ->
-      frame ~id tag_metrics
-        (body (fun b -> add_u8 b (metrics_format_byte format)))
+      begin_frame b ~id tag_metrics;
+      add_u8 b (metrics_format_byte format));
+  to_frame b
 
-let encode_response ~id = function
+let encode_response_into b ~id resp =
+  (match resp with
   | Session_opened { client } ->
-      frame ~id tag_opened (body (fun b -> add_u32 b client))
-  | Session_closed -> frame ~id tag_closed ""
+      begin_frame b ~id tag_opened;
+      add_u32 b client
+  | Session_closed -> begin_frame b ~id tag_closed
   | Got { nonce; item } ->
-      frame ~id tag_got
-        (body (fun b ->
-             add_i64 b nonce;
-             add_item b item))
+      begin_frame b ~id tag_got;
+      add_i64 b nonce;
+      add_item b item
   | Put_ok { nonce; item } ->
-      frame ~id tag_put_ok
-        (body (fun b ->
-             add_i64 b nonce;
-             add_item b item))
+      begin_frame b ~id tag_put_ok;
+      add_i64 b nonce;
+      add_item b item
   | Scanned { nonce; items } ->
-      frame ~id tag_scanned
-        (body (fun b ->
-             add_i64 b nonce;
-             add_u32 b (Array.length items);
-             Array.iter (add_item b) items))
+      begin_frame b ~id tag_scanned;
+      add_i64 b nonce;
+      add_u32 b (Array.length items);
+      Array.iter (add_item b) items
   | Verified { epoch; cert } ->
-      frame ~id tag_verified
-        (body (fun b ->
-             add_u32 b epoch;
-             add_mac b cert))
+      begin_frame b ~id tag_verified;
+      add_u32 b epoch;
+      add_mac b cert
   | Stats_reply s ->
-      frame ~id tag_stats_reply
-        (body (fun b ->
-             List.iter (add_i64 b)
-               [ s.ops; s.gets; s.puts; s.scans; s.verifies; s.fast_path;
-                 s.merkle_path; s.epoch ]))
+      begin_frame b ~id tag_stats_reply;
+      add_i64 b s.ops;
+      add_i64 b s.gets;
+      add_i64 b s.puts;
+      add_i64 b s.scans;
+      add_i64 b s.verifies;
+      add_i64 b s.fast_path;
+      add_i64 b s.merkle_path;
+      add_i64 b s.epoch
   | Metrics_reply { format; data } ->
-      frame ~id tag_metrics_reply
-        (body (fun b ->
-             add_u8 b (metrics_format_byte format);
-             add_u32 b (String.length data);
-             Buffer.add_string b data))
+      begin_frame b ~id tag_metrics_reply;
+      add_u8 b (metrics_format_byte format);
+      add_u32 b (String.length data);
+      Buffer.add_string b data
   | Error msg ->
-      frame ~id tag_error
-        (body (fun b ->
-             add_u32 b (String.length msg);
-             Buffer.add_string b msg))
+      begin_frame b ~id tag_error;
+      add_u32 b (String.length msg);
+      Buffer.add_string b msg);
+  to_frame b
+
+let encode_request ~id req = encode_request_into (Buffer.create 64) ~id req
+let encode_response ~id resp = encode_response_into (Buffer.create 64) ~id resp
 
 (* ------------------------------------------------------------------ *)
 (* Decoding: a bounds-checked cursor; [Bad] converts to [Error] at the *)

@@ -71,6 +71,14 @@ val encode_request : id:int64 -> request -> string
 
 val encode_response : id:int64 -> response -> string
 
+val encode_request_into : Buffer.t -> id:int64 -> request -> string
+(** Like {!encode_request}, but encodes through the caller's scratch buffer
+    (cleared first). With a per-connection buffer the only steady-state
+    allocation per message is the returned frame string — the server and
+    client use this on their hot paths. *)
+
+val encode_response_into : Buffer.t -> id:int64 -> response -> string
+
 val decode_request : string -> (int64 * request, string) result
 (** Decode one frame payload (as returned by {!Frame.next}). *)
 

@@ -68,4 +68,33 @@ done < "$WORK/documented"
 echo "  $(wc -l < "$WORK/documented") documented metrics all present"
 kill -9 $OBS_SRV 2>/dev/null || true
 
+echo "== multi-domain stress under verbose GC"
+# the parallel suite (real Domain.spawn workers, parallel verification
+# scans) and the net suite (executor pool, n_workers > 1) re-run with GC
+# statistics printed at exit, so heap corruption or a runaway allocation
+# under concurrency is caught here rather than in production
+TEST=_build/default/test/test_main.exe
+OCAMLRUNPARAM=v=0x400 $TEST test parallel > "$WORK/stress-parallel.log" 2>&1 \
+  || { cat "$WORK/stress-parallel.log"; exit 1; }
+OCAMLRUNPARAM=v=0x400 $TEST test net > "$WORK/stress-net.log" 2>&1 \
+  || { cat "$WORK/stress-net.log"; exit 1; }
+echo "  parallel + net suites clean under OCAMLRUNPARAM=v=0x400"
+
+echo "== multi-domain serve round trip (executor pool, 4 workers)"
+$FV serve --listen "unix:$WORK/pool.sock" -n 2000 --batch 0 --enclave zero \
+  --workers 4 &
+POOL_SRV=$!
+trap 'kill -9 $SRV $OBS_SRV $POOL_SRV 2>/dev/null || true; rm -rf "$WORK"' EXIT
+i=0
+while [ ! -S "$WORK/pool.sock" ]; do
+  i=$((i + 1)); [ $i -gt 100 ] && { echo "pool server never came up"; exit 1; }
+  sleep 0.1
+done
+# parallel pipelined clients through the executor pool, every response
+# signature verified client-side, then the reconciliation checks again
+$FV client-bench --connect "unix:$WORK/pool.sock" --ops 4000 --clients 4 \
+  --window 32 -n 2000
+$FV stats --connect "unix:$WORK/pool.sock" --check
+kill -9 $POOL_SRV 2>/dev/null || true
+
 echo "OK"

@@ -207,6 +207,114 @@ let test_two_sessions () =
       Net.Client.close c2)
 
 (* ------------------------------------------------------------------ *)
+(* Multi-domain stress: executor pool under concurrent clients         *)
+(* ------------------------------------------------------------------ *)
+
+(* Several client domains hammer a pooled server ([n_workers = 4], so the
+   select loop dispatches to executor domains) with blocking ops, pipelined
+   put->get windows on the same key, bursts, and scans. Each client owns a
+   disjoint key range, so read-your-writes must hold exactly: a reordered
+   reply, a lost same-key FIFO, or a put admitted out of nonce order all
+   surface as a hard failure (receipt MACs are checked on every reply). *)
+let test_multi_domain_stress () =
+  let config = { test_config with n_workers = 4; batch_size = 512 } in
+  with_server ~config (fun t addr ->
+      let n_clients = 4 and keys_per_client = 64 and ops = 300 in
+      let failures = Array.make n_clients None in
+      let body idx () =
+        try
+          let cid = idx + 1 in
+          let conn = connect addr in
+          let s = Net.Client.open_session conn ~client:cid ~secret in
+          let base = idx * keys_per_client in
+          let rng = Random.State.make [| 42; cid |] in
+          let model = Hashtbl.create 64 in
+          let expect_of k =
+            match Hashtbl.find_opt model k with
+            | Some v -> v
+            | None -> Some (initial_value k)
+          in
+          for i = 0 to ops - 1 do
+            let k =
+              Int64.of_int (base + Random.State.int rng keys_per_client)
+            in
+            match Random.State.int rng 5 with
+            | 0 ->
+                let got = Net.Client.get s k in
+                if got <> expect_of k then
+                  Printf.ksprintf failwith
+                    "client %d key %Ld: lost read-your-writes" cid k
+            | 1 ->
+                let v = Printf.sprintf "c%d-%d" cid i in
+                Net.Client.put s k v;
+                Hashtbl.replace model k (Some v)
+            | 2 -> (
+                (* pipelined put;put;get on one key: same key -> same owner
+                   queue, so the get must observe the second put *)
+                let v1 = Printf.sprintf "c%d-%d-a" cid i in
+                let v2 = Printf.sprintf "c%d-%d-b" cid i in
+                ignore (Net.Client.send_put s k v1);
+                ignore (Net.Client.send_put s k v2);
+                ignore (Net.Client.send_get s k);
+                (match Net.Client.await s with
+                | _, Net.Client.Stored -> ()
+                | _ -> failwith "bad reply kind for pipelined put");
+                (match Net.Client.await s with
+                | _, Net.Client.Stored -> ()
+                | _ -> failwith "bad reply kind for pipelined put");
+                match Net.Client.await s with
+                | _, Net.Client.Value got ->
+                    if got <> Some v2 then
+                      Printf.ksprintf failwith
+                        "client %d key %Ld: pipelined get saw %s, not the \
+                         second put"
+                        cid k
+                        (Option.value got ~default:"<none>");
+                    Hashtbl.replace model k (Some v2)
+                | _ -> failwith "bad reply kind for pipelined get")
+            | 3 ->
+                (* a burst of pipelined gets: replies must come back in
+                   request order even when executors finish out of order *)
+                for j = 0 to 9 do
+                  ignore
+                    (Net.Client.send_get s
+                       (Int64.of_int (base + ((i + j) mod keys_per_client))))
+                done;
+                Net.Client.drain s
+            | _ ->
+                (* scans quiesce the pool: they must observe every earlier
+                   put of this client *)
+                let start = base + Random.State.int rng (keys_per_client - 4) in
+                let items = Net.Client.scan s (Int64.of_int start) 4 in
+                Array.iter
+                  (fun (k, v) ->
+                    if v <> expect_of k then
+                      Printf.ksprintf failwith
+                        "client %d key %Ld: scan missed a put" cid k)
+                  items
+          done;
+          ignore (Net.Client.verify_now s);
+          Net.Client.close_session s;
+          Net.Client.close conn
+        with e -> failures.(idx) <- Some e
+      in
+      let domains =
+        Array.init (n_clients - 1) (fun i -> Domain.spawn (body (i + 1)))
+      in
+      body 0 ();
+      Array.iter Domain.join domains;
+      Array.iteri
+        (fun i -> function
+          | Some e ->
+              Alcotest.failf "client %d failed: %s" (i + 1)
+                (Printexc.to_string e)
+          | None -> ())
+        failures;
+      ignore (Fastver.verify t);
+      Alcotest.(check bool) "verifier healthy" true
+        (Fastver_verifier.Verifier.failure (Fastver.verifier_handle t) = None))
+
+(* ------------------------------------------------------------------ *)
 (* Metrics reconcile with ground truth                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -413,6 +521,7 @@ let suite =
       Alcotest.test_case "session matches direct run" `Quick
         test_session_matches_direct;
       Alcotest.test_case "two sessions" `Quick test_two_sessions;
+      Alcotest.test_case "multi-domain stress" `Slow test_multi_domain_stress;
       Alcotest.test_case "metrics reconcile with ground truth" `Quick
         test_metrics_reconcile;
       Alcotest.test_case "tampered response detected" `Quick
