@@ -194,11 +194,16 @@ let parse_addr s =
   match Net.Addr.parse s with Ok a -> a | Error e -> die "%s" e
 
 let serve_cmd listen db_size workers batch depth cache algo enclave_model
-    no_auth seed batch_limit ckpt_dir metrics_interval =
+    no_auth seed batch_limit ckpt_dir background_verify metrics_interval =
   if db_size < 1 then die "--db-size must be at least 1";
   if workers < 1 then die "--workers must be at least 1";
   let addr = parse_addr listen in
-  let config = mk_config workers batch depth cache algo enclave_model no_auth seed in
+  let config =
+    {
+      (mk_config workers batch depth cache algo enclave_model no_auth seed)
+      with background_verify;
+    }
+  in
   let t =
     match ckpt_dir with
     | None -> load_system config db_size
@@ -553,6 +558,13 @@ let recover_dir =
   Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
          ~doc:"Checkpoint directory to recover from.")
 
+let background_verify =
+  Arg.(value & flag & info [ "background-verify" ]
+         ~doc:"Run verification scans on a background domain: Verify (and \
+               auto-triggered scans) seal the epoch boundary under a brief \
+               barrier and keep serving into the next epoch while the scan \
+               runs, instead of quiescing the executor pool.")
+
 let metrics_interval =
   Arg.(value & opt (some float) None & info [ "metrics-interval" ]
          ~docv:"SECS"
@@ -564,7 +576,7 @@ let serve_term =
     const (fun () -> serve_cmd)
     $ setup_logs $ listen $ db_size $ workers $ batch $ depth $ cache $ algo
     $ enclave_model $ no_auth $ seed $ batch_limit $ ckpt_dir
-    $ metrics_interval)
+    $ background_verify $ metrics_interval)
 
 let stats_format =
   let f =

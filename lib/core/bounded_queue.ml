@@ -2,7 +2,9 @@
    server's I/O loop and its executor pool). Single lock + two condition
    variables: [push] blocks while full — which is exactly the backpressure
    the producer wants — and [pop] blocks while empty. [close] wakes
-   everyone; a closed queue rejects pushes and drains to [None]. *)
+   everyone; a closed queue answers [push] with [false] (total, never
+   raises — a producer racing [close] must not crash) and drains pops to
+   [None]. *)
 
 type 'a t = {
   buf : 'a option array;
@@ -34,10 +36,13 @@ let push t x =
   while (not t.closed) && t.len = Array.length t.buf do
     Condition.wait t.not_full t.lock
   done;
-  if t.closed then invalid_arg "Bounded_queue.push: queue is closed";
-  t.buf.((t.head + t.len) mod Array.length t.buf) <- Some x;
-  t.len <- t.len + 1;
-  Condition.signal t.not_empty
+  if t.closed then false
+  else begin
+    t.buf.((t.head + t.len) mod Array.length t.buf) <- Some x;
+    t.len <- t.len + 1;
+    Condition.signal t.not_empty;
+    true
+  end
 
 let pop t =
   Mutex.lock t.lock;

@@ -12,9 +12,11 @@ val create : int -> 'a t
 
 val capacity : 'a t -> int
 
-val push : 'a t -> 'a -> unit
-(** Blocks while the queue is full.
-    @raise Invalid_argument if the queue is closed. *)
+val push : 'a t -> 'a -> bool
+(** Blocks while the queue is full. Returns [true] once the element is
+    enqueued, [false] if the queue is (or becomes, while blocked) closed —
+    the element is dropped and the caller must fail the work it carries.
+    Total: never raises, so a producer racing {!close} cannot crash. *)
 
 val pop : 'a t -> 'a option
 (** Blocks while the queue is empty and open; [None] once the queue is
@@ -22,6 +24,7 @@ val pop : 'a t -> 'a option
 
 val close : 'a t -> unit
 (** Idempotent. Wakes all blocked producers and consumers; subsequent
-    pushes raise, pops drain the remaining elements then return [None]. *)
+    pushes return [false], pops drain the remaining elements then return
+    [None]. *)
 
 val length : 'a t -> int

@@ -12,6 +12,7 @@ type t = {
   mset_secret : string;
   seed : int;
   metrics_enabled : bool;
+  background_verify : bool;
 }
 
 let default =
@@ -29,12 +30,14 @@ let default =
     mset_secret = "fastver-mset-k3y";
     seed = 42;
     metrics_enabled = true;
+    background_verify = false;
   }
 
 let pp ppf t =
   Format.fprintf ppf
     "workers=%d cache=%d d=%d batch=%d log=%d algo=%a enclave=%a auth=%b \
-     sorted=%b metrics=%b"
+     sorted=%b metrics=%b bgverify=%b"
     t.n_workers t.cache_capacity t.frontier_levels t.batch_size
     t.log_buffer_size Record_enc.pp_algo t.algo Cost_model.pp t.cost_model
     t.authenticate_clients t.sorted_migration t.metrics_enabled
+    t.background_verify

@@ -33,6 +33,13 @@ type t = {
           sizes, scan timings) into the system's {!Fastver_obs.Registry}.
           Callback-backed metrics register either way; disabling only skips
           the per-operation counter updates. *)
+  background_verify : bool;
+      (** Run epoch verification scans concurrently with foreground
+          traffic: the epoch boundary is sealed under a brief O(workers)
+          barrier, the live epoch is bumped so gets/puts resume
+          immediately, and the scan runs over the sealed snapshot on
+          background domains. Off by default: [Fastver.verify] then holds
+          the world lock for the whole scan (quiesced semantics). *)
 }
 
 val default : t

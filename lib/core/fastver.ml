@@ -93,6 +93,10 @@ type t = {
       (* frontier key -> owning worker. Static once load/recover completes,
          so external dispatchers (the server's executor pool) can route a
          data key to its worker without taking any lock. *)
+  mutable owner_depths : int list;
+      (* distinct [Key.depth]s of the frontier keys, deepest first: the
+         frontier is found by pointer hops, so in a compressed tree its
+         keys can sit at any depth — routing probes exactly these. *)
   mutable rr : int;
   mutable loaded : bool;
   worker_locks : Mutex.t array;
@@ -100,6 +104,28 @@ type t = {
   tree_lock : Mutex.t;
   gateway_lock : Mutex.t;
   ops_since_verify : int Atomic.t;
+  live_epoch : int Atomic.t;
+      (* the epoch operations are folding into right now. Trails
+         [Verifier.current_epoch] during a background scan: the seal barrier
+         bumps it to [e+1] while the verifier still holds epoch [e] open
+         until the scan closes it. Equal to the verifier's current epoch
+         whenever no scan is in flight. *)
+  verify_mutex : Mutex.t;
+      (* serializes verification scans and checkpoints with each other;
+         acquired before (never inside) the tree/worker locks *)
+  verify_inflight : bool Atomic.t;
+  bg_lock : Mutex.t;
+      (* guards the [bg_join] handoff so racing dispatchers cannot leak an
+         unjoined domain *)
+  bg_join : unit Domain.t option Atomic.t;
+      (* the background scan domain, if one was spawned; joined by the next
+         verify/checkpoint/shutdown so domains never leak *)
+  mutable redeferred : Key.t list;
+  redeferred_lock : Mutex.t;
+      (* leaf lock (no other lock taken while held): data keys whose
+         fast-path touch crossed the epoch boundary during a background
+         scan; the next seal barrier routes them to their owners' dirty
+         snapshots *)
   mutable on_verified : (unit -> unit) option;
       (* e.g. auto-checkpoint: runs after each successful scan *)
   stats : stats;
@@ -204,12 +230,20 @@ let create ?(config = Config.default) () =
       sealed = Enclave.Sealed_slot.create ();
       frontier_by_worker = Array.make config.n_workers [];
       owners = Key.Tbl.create 64;
+      owner_depths = [];
       rr = 0;
       loaded = false;
       worker_locks = Array.init config.n_workers (fun _ -> Mutex.create ());
       tree_lock = Mutex.create ();
       gateway_lock = Mutex.create ();
       ops_since_verify = Atomic.make 0;
+      live_epoch = Atomic.make 0;
+      verify_mutex = Mutex.create ();
+      verify_inflight = Atomic.make false;
+      bg_lock = Mutex.create ();
+      bg_join = Atomic.make None;
+      redeferred = [];
+      redeferred_lock = Mutex.create ();
       on_verified = None;
       stats =
         {
@@ -241,6 +275,8 @@ let registry t = Metrics.registry t.metrics
 let verifier_handle t = t.verifier
 let enclave_overhead_ns t = Enclave.charged_ns t.enclave
 let current_epoch t = Verifier.current_epoch t.verifier
+let live_epoch t = Atomic.get t.live_epoch
+let verify_in_flight t = Atomic.get t.verify_inflight
 
 let ok = function Ok x -> x | Error e -> raise (Integrity_violation e)
 
@@ -368,7 +404,12 @@ let gateway_check_put t key value meta =
 let gateway_receipt t ~kind key value meta =
   match meta with
   | Some m when t.config.authenticate_clients ->
-      let epoch = Verifier.current_epoch t.verifier in
+      (* The live epoch, not the verifier's: during a background scan the
+         verifier still holds the sealed epoch open, but this op folds into
+         the live one — a receipt stamped with the sealed epoch could claim
+         certainty one epoch early. Reading one epoch late is merely
+         conservative. *)
+      let epoch = Atomic.get t.live_epoch in
       let mac =
         Auth.receipt t.auth ~kind ~client:m.client ~nonce:m.nonce key value
           ~epoch
@@ -471,8 +512,10 @@ let ensure_room t w ?protect () =
   while Key_lru.length w.lru >= t.config.cache_capacity - 2 do
     match Key_lru.victim ?exclude:protect w.lru with
     | Some e ->
-        evict_mirror t w e
-          ~epoch_floor:(Verifier.current_epoch t.verifier)
+        (* Evictions must land in the live epoch: during a background scan
+           of the sealed epoch, an evict timestamped into the sealed epoch
+           would add an element the in-flight scan can no longer balance. *)
+        evict_mirror t w e ~epoch_floor:(Atomic.get t.live_epoch)
     | None ->
         raise
           (Integrity_violation
@@ -564,8 +607,15 @@ exception Raced
 (* Fast path: the record rides the deferred tier — one CAS plus three O(1)
    log entries, no Merkle hashing (§5.3). *)
 let rec blum_fast t w key cur ts action =
+  (* The evict must land in the live epoch: while a background scan has the
+     previous epoch sealed but still open in the verifier, a re-touch of a
+     record whose timestamp predates the seal would otherwise evict back
+     into the sealed epoch — an element the in-flight scan's snapshot can
+     no longer balance. *)
   let clock' = Timestamp.max w.clock (Timestamp.next ts) in
-  let ts' = clock' in
+  let ts' =
+    Timestamp.max clock' (Timestamp.first_of_epoch (Atomic.get t.live_epoch))
+  in
   let new_v = match action with A_get _ -> cur | A_put (v, _) -> v in
   if
     Store.try_cas t.store key ~expected_aux:(aux_blum ts) new_v
@@ -577,6 +627,18 @@ let rec blum_fast t w key cur ts action =
     | A_get meta -> push t w (E_vget (key, cur, meta))
     | A_put (v, meta) -> push t w (E_vput (key, v, meta)));
     push t w (E_evict_b (key, ts'));
+    if Timestamp.epoch ts < Timestamp.epoch ts' then
+      (* The touch crossed the epoch boundary (only possible while a
+         background scan is in flight): the [add_b] above balances the
+         sealed epoch's evict of this record, and the new evict lands in
+         the live epoch — so the record must re-enter the live epoch's
+         dirty set or that evict would never be balanced. The owner's
+         dirty list belongs to another worker's lock; park the key in a
+         leaf-locked side list that the next seal barrier routes to its
+         owner's snapshot. Exactly one touch per record crosses (the next
+         one sees both timestamps in the live epoch). *)
+      with_lock t.redeferred_lock (fun () ->
+          t.redeferred <- key :: t.redeferred);
     Metrics.tier t.metrics Metrics.Blum;
     cur
   end
@@ -605,7 +667,11 @@ let client_validate t w key cur action =
 (* Hand the (cached, just-validated) data record to the deferred tier for the
    rest of the epoch (§6.1: touched records are hot). *)
 let defer_data t w key parent new_v =
-  let ts' = w.clock in
+  (* Same live-epoch floor as [blum_fast]: during a background scan the
+     deferral's evict may not land in the sealed epoch. *)
+  let ts' =
+    Timestamp.max w.clock (Timestamp.first_of_epoch (Atomic.get t.live_epoch))
+  in
   ok (Verifier.evict_bm t.verifier ~tid:w.wid ~key ~timestamp:ts' ~parent);
   w.clock <- ts';
   mark_in_blum t parent key;
@@ -623,21 +689,32 @@ let owner_of_path t path =
   find path
 
 (* Routing without locks, for external dispatchers (the server's executor
-   pool): frontier ownership is static after load/recover, and the frontier
-   is an antichain of prefixes no deeper than [frontier_levels], so the
-   owning worker of a data key is a bounded number of hash probes. Keys not
+   pool) and the seal barrier (parked cross-epoch keys): frontier ownership
+   is static after load/recover, and the frontier is an antichain, so a
+   data key has at most one frontier ancestor — probe the prefix at each
+   depth the frontier actually uses (pointer-hop frontiers sit at arbitrary
+   depths in the compressed tree, not at depth [frontier_levels]). Keys not
    under any frontier node route to worker 0, matching [owner_of_path]
    (worker 0's thread holds the root). *)
-let owner_of_key t k =
-  let key = Key.of_int64 k in
-  let rec probe d =
-    if d < 1 then 0
-    else
-      match Key.Tbl.find_opt t.owners (Key.prefix key d) with
-      | Some wid -> wid
-      | None -> probe (d - 1)
+let owner_of_data_key t key =
+  let rec probe = function
+    | [] -> 0
+    | d :: rest -> (
+        match Key.Tbl.find_opt t.owners (Key.prefix key d) with
+        | Some wid -> wid
+        | None -> probe rest)
   in
-  probe t.config.frontier_levels
+  probe t.owner_depths
+
+(* Derive [owner_depths] from a freshly populated [owners] table. *)
+let refresh_owner_depths t =
+  let ds =
+    Key.Tbl.fold (fun k _ acc -> Key.depth k :: acc) t.owners []
+    |> List.sort_uniq (fun a b -> compare b a)
+  in
+  t.owner_depths <- ds
+
+let owner_of_key t k = owner_of_data_key t (Key.of_int64 k)
 
 (* Slow path: the record is merkle-protected (first touch this epoch), or
    absent. Pays the chain from the nearest blum anchor (§6). Takes the tree
@@ -819,158 +896,287 @@ let verifier_op_count t =
   s.n_add_m + s.n_evict_m + s.n_add_b + s.n_evict_b + s.n_evict_bm + s.n_vget
   + s.n_vput
 
-(* One worker's slice of the verification scan. Safe to run concurrently
-   with the other workers' slices while the coordinator holds every lock:
-   the dirty set and the cached mirror anchor at the worker's own frontier
-   partition ([find_anchor] rejects cross-worker chains), the verifier
-   thread state is per-tid, and the only tree mutations are to entry fields
-   of partition-local records — never to the tree's structure. Shared
-   counters are returned, not mutated, so the coordinator can sum them once
-   after the joins. *)
-let scan_worker t ~epoch w =
+(* Background slices re-take the tree lock and their own worker lock per
+   [bg_chunk]-sized chunk of work, releasing them in between so foreground
+   operations interleave: the pause any single operation can observe is
+   bounded by one chunk, not the whole scan. *)
+let bg_chunk = 256
+
+(* One worker's slice of the verification scan: steps 1–3 (sorted dirty
+   re-apply, frontier migration, quiesced cache sweep). Epoch close and
+   set-hash detachment stay with the coordinator ([close_and_detach]): a
+   worker's log buffer can hold fast-path entries for records of {e any}
+   partition (routing is round-robin / caller-chosen), so no thread may
+   certify the epoch closed until every partition has migrated.
+
+   Quiesced mode ([background = false]): the coordinator holds every lock
+   and the slices run free, exactly as before. Background mode: the world
+   is live — the slice chunks its way through the sealed snapshot under
+   tree + own-worker locks (the same order [merkle_slow] takes, so no
+   deadlock), racing foreground fast-path CASes on the store; migration
+   therefore claims each dirty record by CAS, and a record whose touch
+   already carried it into the live epoch is skipped (the toucher's
+   [add_b] balanced this epoch, and the seal parked the key for the
+   next). *)
+let scan_worker t ~epoch ~background w dirty =
   let migrated_data = ref 0 and migrated_frontier = ref 0 in
-  Enclave.call t.enclave (fun () ->
-      (* 1. Sorted merkle updates: re-apply every touched data record to
-         the tree in key order, exploiting chain-prefix locality. The list
-         is drained into an array and sorted in place — no per-node
-         allocation while sorting, unlike [List.sort] on the linked list.
-         Duplicates cannot arise today (a dirty key is blum-protected and
-         re-touches take the fast path), but the sorted pass skips adjacent
-         equals so a duplicate could never double-migrate. *)
-      let dirty =
-        match w.dirty with
-        | [] -> [||]
-        | hd :: _ ->
-            let a = Array.make w.dirty_len hd in
-            let i = ref 0 in
-            List.iter
-              (fun k ->
-                a.(!i) <- k;
-                incr i)
-              w.dirty;
-            a
-      in
-      w.dirty <- [];
-      w.dirty_len <- 0;
-      if t.config.sorted_migration then Array.sort Key.compare dirty;
-      for i = 0 to Array.length dirty - 1 do
+  let chunked len f =
+    if not background then begin
+      if len > 0 then Enclave.call t.enclave (fun () -> f 0 len)
+    end
+    else begin
+      let i = ref 0 in
+      while !i < len do
+        let hi = min len (!i + bg_chunk) in
+        with_tree_lock t (fun () ->
+            with_worker_lock t w.wid (fun () ->
+                (* Drain buffered foreground entries before any direct
+                   verifier call: their evict timestamps predate ours, and
+                   the thread clock only moves forward. *)
+                flush_worker t w;
+                Enclave.call t.enclave (fun () -> f !i hi)));
+        i := hi
+      done
+    end
+  in
+  (* 1. Sorted merkle updates: re-apply every touched data record to the
+     tree in key order, exploiting chain-prefix locality (the snapshot
+     array is sorted in place — no per-node allocation). Duplicates cannot
+     arise today (a dirty key is blum-protected and re-touches take the
+     fast path), but the sorted pass skips adjacent equals so a duplicate
+     could never double-migrate. *)
+  if t.config.sorted_migration then Array.sort Key.compare dirty;
+  let rec migrate_dirty key =
+    match Store.get t.store key with
+    | Some (v, aux) when aux_is_blum aux ->
+        let ts = aux_timestamp aux in
+        if Timestamp.epoch ts > epoch then
+          (* Re-touched across the seal while this scan was in flight: the
+             toucher's [add_b] balanced this epoch's evict and its key is
+             parked for the next seal. Nothing to do here. *)
+          ()
+        else if
+          not (Store.try_cas t.store key ~expected_aux:aux v ~aux:aux_merkle)
+        then
+          (* A foreground fast-path CAS slipped in between our read and
+             ours; re-read — it either stayed in the sealed epoch (retry
+             the claim) or crossed into the live one (skip, above). *)
+          migrate_dirty key
+        else begin
+          (* Claimed: the store says merkle, so any racing fast path now
+             fails its CAS and falls through to [merkle_slow], which
+             blocks on the tree lock until this chunk completes. *)
+          let descent = Tree.descend t.tree key in
+          assert (descent.outcome = Tree.Exists);
+          let parent = ensure_chain t w descent.path in
+          ensure_room t w ~protect:parent ();
+          ok
+            (Verifier.add_b t.verifier ~tid:w.wid ~key ~value:(Value.Data v)
+               ~timestamp:ts);
+          mirror_add_b w ts;
+          let ptr = ok (Verifier.evict_m t.verifier ~tid:w.wid ~key ~parent) in
+          apply_ptr t parent ptr;
+          incr migrated_data
+        end
+    | Some _ | None ->
+        raise (Integrity_violation "dirty record not in blum state")
+  in
+  chunked (Array.length dirty) (fun lo hi ->
+      for i = lo to hi - 1 do
         let key = dirty.(i) in
-        if not (i > 0 && Key.equal key dirty.(i - 1)) then
-          match Store.get t.store key with
-          | Some (v, aux) when aux_is_blum aux ->
-              let ts = aux_timestamp aux in
-              let descent = Tree.descend t.tree key in
-              assert (descent.outcome = Tree.Exists);
-              let parent = ensure_chain t w descent.path in
-              ensure_room t w ~protect:parent ();
-              ok
-                (Verifier.add_b t.verifier ~tid:w.wid ~key
-                   ~value:(Value.Data v) ~timestamp:ts);
-              mirror_add_b w ts;
-              let ptr =
-                ok (Verifier.evict_m t.verifier ~tid:w.wid ~key ~parent)
-              in
-              apply_ptr t parent ptr;
-              Store.put t.store key v ~aux:aux_merkle;
-              incr migrated_data
-          | Some _ | None ->
-              raise (Integrity_violation "dirty record not in blum state")
-      done;
-      (* 2. Migrate this worker's frontier merkle records that were not
-         touched (still in the deferred tier) to the next epoch. *)
-      List.iter
-        (fun f ->
-          let entry = Tree.get_exn t.tree f in
-          match entry.aux.mstate with
-          | M_blum ts ->
-              ensure_room t w ();
-              ok
-                (Verifier.add_b t.verifier ~tid:w.wid ~key:f
-                   ~value:entry.value ~timestamp:ts);
-              mirror_add_b w ts;
-              let ts' =
-                Timestamp.max w.clock (Timestamp.first_of_epoch (epoch + 1))
-              in
-              ok
-                (Verifier.evict_b t.verifier ~tid:w.wid ~key:f ~timestamp:ts');
-              w.clock <- ts';
-              entry.aux.mstate <- M_blum ts';
-              incr migrated_frontier
-          | M_cached wid' ->
-              (* Cached this epoch: the sweep below evicts it into the next
-                 epoch. *)
-              assert (wid' = w.wid)
-          | M_merkle -> assert false)
-        t.frontier_by_worker.(w.wid);
-      (* 3. Evict every remaining cached merkle record, children first. *)
-      while Key_lru.length w.lru > 0 do
-        match Key_lru.victim w.lru with
-        | Some e -> evict_mirror t w e ~epoch_floor:(epoch + 1)
-        | None -> raise (Integrity_violation "cycle in cached merkle records")
-      done;
-      (* 4a. Close this thread's epoch; the cross-thread set-hash check
-         stays with the coordinator. *)
-      ok (Verifier.close_epoch t.verifier ~tid:w.wid ~epoch);
-      w.clock <- Timestamp.max w.clock (Timestamp.first_of_epoch (epoch + 1)));
+        if not (i > 0 && Key.equal key dirty.(i - 1)) then migrate_dirty key
+      done);
+  (* 2. Migrate this worker's frontier merkle records that were not touched
+     (still in the deferred tier) to the next epoch. *)
+  let frontier = Array.of_list t.frontier_by_worker.(w.wid) in
+  chunked (Array.length frontier) (fun lo hi ->
+      for i = lo to hi - 1 do
+        let f = frontier.(i) in
+        let entry = Tree.get_exn t.tree f in
+        match entry.aux.mstate with
+        | M_blum ts when Timestamp.epoch ts <= epoch ->
+            ensure_room t w ();
+            ok
+              (Verifier.add_b t.verifier ~tid:w.wid ~key:f ~value:entry.value
+                 ~timestamp:ts);
+            mirror_add_b w ts;
+            let ts' =
+              Timestamp.max w.clock (Timestamp.first_of_epoch (epoch + 1))
+            in
+            ok (Verifier.evict_b t.verifier ~tid:w.wid ~key:f ~timestamp:ts');
+            w.clock <- ts';
+            entry.aux.mstate <- M_blum ts';
+            incr migrated_frontier
+        | M_blum _ ->
+            (* Already carried into the live epoch by a mid-scan cache
+               eviction; the next scan migrates it. *)
+            ()
+        | M_cached wid' ->
+            (* Cached this epoch: the quiesced sweep below — or, in
+               background mode, a later capacity eviction at the live-epoch
+               floor — moves it into a later epoch. Only ever cached by the
+               owner ([merkle_slow] routes by [owner_of_path]). *)
+            assert (wid' = w.wid)
+        | M_merkle -> assert false
+      done);
+  (* 3. Quiesced only: evict every remaining cached merkle record, children
+     first, so the epoch leaves the caches empty. Background scans leave
+     the working set resident — a record cached in epoch [e] contributes
+     nothing further to [e] (its add already balanced the evict that made
+     it cached), and its own eventual eviction lands at the live-epoch
+     floor, balanced by that epoch's scan. *)
+  if not background then
+    Enclave.call t.enclave (fun () ->
+        while Key_lru.length w.lru > 0 do
+          match Key_lru.victim w.lru with
+          | Some e -> evict_mirror t w e ~epoch_floor:(epoch + 1)
+          | None ->
+              raise (Integrity_violation "cycle in cached merkle records")
+        done);
   (!migrated_data, !migrated_frontier)
 
-(* The verification scan is stop-the-world: it owns the tree and every
-   worker (lock order: tree first, then workers ascending — the same order
-   merkle_slow uses, so scans and operations cannot deadlock). Under the
-   locks, the per-worker slices fan out to real domains (§8.5: the scan's
-   re-apply and migration work is partitioned exactly like the operation
-   load); only the set-hash aggregation and certificate sealing are
-   serial. The multiset fold is order-independent, so the parallel scan
-   yields bit-identical epoch certificates to the sequential one. *)
-let verify_locked t =
-  lock_world t;
-  Fun.protect ~finally:(fun () -> unlock_world t)
-  @@ fun () ->
+(* 4a. Epoch close + set-hash detachment, one worker at a time, strictly
+   after every slice has joined (see [scan_worker] on why no thread may
+   close earlier). In background mode each worker's lock is held just long
+   enough to flush its buffer, close the epoch and detach its set hashes;
+   afterwards the serial aggregation reads only the detached values, never
+   thread state that foreground traffic keeps mutating. *)
+let close_and_detach t ~epoch ~background =
+  let n = Array.length t.workers in
+  let detached = Array.make n ("", "") in
+  for wid = 0 to n - 1 do
+    let w = t.workers.(wid) in
+    let work () =
+      flush_worker t w;
+      Enclave.call t.enclave (fun () ->
+          ok (Verifier.close_epoch t.verifier ~tid:wid ~epoch);
+          detached.(wid) <-
+            ok (Verifier.detach_epoch t.verifier ~tid:wid ~epoch));
+      w.clock <- Timestamp.max w.clock (Timestamp.first_of_epoch (epoch + 1))
+    in
+    if background then with_worker_lock t wid work else work ()
+  done;
+  detached
+
+(* The verification scan (§6.3, §8.1). Quiesced mode: stop-the-world — the
+   coordinator owns the tree and every worker for the whole scan (lock
+   order: tree first, then workers ascending — the same order
+   [merkle_slow] uses, so scans and operations cannot deadlock), and the
+   per-worker slices fan out to real domains (§8.5). Background mode
+   ([config.background_verify]): the world stops only for the {e seal
+   barrier} — flush every log buffer, snapshot every dirty set, route the
+   parked epoch-crossing keys, bump the live epoch — after which
+   foreground gets/puts resume immediately against epoch [e+1] while the
+   slices migrate epoch [e] underneath them.
+
+   Either way the scan ends in the same serial detached aggregation; the
+   multiset fold is order-independent, so background scans yield
+   bit-identical epoch certificates to quiesced (and to sequential) ones.
+
+   The caller must hold [verify_mutex]. Returns [(epoch, certificate)]. *)
+let verify_inner t =
+  let background = t.config.background_verify in
   let t0 = now () in
   let charged0 = Enclave.charged_ns t.enclave in
   let vops0 = verifier_op_count t in
   let touched0 = t.stats.migrated_data + t.stats.migrated_frontier in
-  let epoch = Verifier.current_epoch t.verifier in
-  Array.iter (flush_worker t) t.workers;
-  let n = Array.length t.workers in
-  let results = Array.make n (0, 0) in
-  let failures = Array.make n None in
-  let slice wid () =
-    let w = t.workers.(wid) in
-    let tw = now () in
-    (match scan_worker t ~epoch w with
-    | r -> results.(wid) <- r
-    | exception e -> failures.(wid) <- Some e);
-    let dt = now () -. tw in
-    t.stats.worker_busy_s.(wid) <- t.stats.worker_busy_s.(wid) +. dt;
-    Metrics.verify_worker t.metrics ~wid ~seconds:dt
+  Atomic.set t.verify_inflight true;
+  Metrics.verify_in_flight t.metrics 1;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set t.verify_inflight false;
+      Metrics.verify_in_flight t.metrics 0)
+  @@ fun () ->
+  (* ---- Seal barrier: O(workers) under the world lock. ---- *)
+  lock_world t;
+  let seal () =
+    let epoch = Verifier.current_epoch t.verifier in
+    Array.iter (flush_worker t) t.workers;
+    let dirty_lists =
+      Array.map
+        (fun w ->
+          let d = w.dirty in
+          w.dirty <- [];
+          w.dirty_len <- 0;
+          d)
+        t.workers
+    in
+    (* Keys whose fast-path touch crossed the previous boundary belong to
+       this epoch's dirty sets; route each to its owner's snapshot. *)
+    List.iter
+      (fun k ->
+        let wid = owner_of_data_key t k in
+        dirty_lists.(wid) <- k :: dirty_lists.(wid))
+      (with_lock t.redeferred_lock (fun () ->
+           let r = t.redeferred in
+           t.redeferred <- [];
+           r));
+    (* From here on, operations fold into the next epoch. *)
+    Atomic.set t.live_epoch (epoch + 1);
+    Atomic.set t.ops_since_verify 0;
+    (epoch, Array.map Array.of_list dirty_lists)
   in
-  (* Worker 0's slice runs on the coordinator domain; failures are collected
-     per worker and re-raised only after every domain has joined, so a
-     tampering detection on one partition never leaves another domain
-     running unsupervised. *)
-  (if n = 1 then slice 0 ()
-   else begin
-     let domains =
-       Array.init (n - 1) (fun i -> Domain.spawn (slice (i + 1)))
-     in
-     slice 0 ();
-     Array.iter Domain.join domains
-   end);
-  Array.iter (function Some e -> raise e | None -> ()) failures;
-  Array.iter
-    (fun (d, f) ->
-      t.stats.migrated_data <- t.stats.migrated_data + d;
-      t.stats.migrated_frontier <- t.stats.migrated_frontier + f)
-    results;
-  (* 4b. Serial tail: aggregate the per-thread set hashes and seal the
-     epoch certificate. *)
-  let ts = now () in
+  let epoch, dirty =
+    match seal () with
+    | sealed -> sealed
+    | exception e ->
+        unlock_world t;
+        raise e
+  in
+  if background then begin
+    unlock_world t;
+    Metrics.verify_pause t.metrics ~seconds:(now () -. t0)
+  end;
+  let run_scan () =
+    let n = Array.length t.workers in
+    let results = Array.make n (0, 0) in
+    let failures = Array.make n None in
+    let slice wid () =
+      let w = t.workers.(wid) in
+      let tw = now () in
+      (match scan_worker t ~epoch ~background w dirty.(wid) with
+      | r -> results.(wid) <- r
+      | exception e -> failures.(wid) <- Some e);
+      let dt = now () -. tw in
+      t.stats.worker_busy_s.(wid) <- t.stats.worker_busy_s.(wid) +. dt;
+      Metrics.verify_worker t.metrics ~wid ~seconds:dt
+    in
+    (* Worker 0's slice runs on the coordinator domain; failures are
+       collected per worker and re-raised only after every domain has
+       joined, so a tampering detection on one partition never leaves
+       another domain running unsupervised. *)
+    (if n = 1 then slice 0 ()
+     else begin
+       let domains =
+         Array.init (n - 1) (fun i -> Domain.spawn (slice (i + 1)))
+       in
+       slice 0 ();
+       Array.iter Domain.join domains
+     end);
+    Array.iter (function Some e -> raise e | None -> ()) failures;
+    Array.iter
+      (fun (d, f) ->
+        t.stats.migrated_data <- t.stats.migrated_data + d;
+        t.stats.migrated_frontier <- t.stats.migrated_frontier + f)
+      results;
+    (* 4b. Serial tail: close every thread, detach its set hashes and seal
+       the epoch certificate over the aggregate. *)
+    let ts = now () in
+    let detached = close_and_detach t ~epoch ~background in
+    let cert =
+      Enclave.call t.enclave (fun () ->
+          ok (Verifier.verify_epoch_detached t.verifier ~epoch ~detached))
+    in
+    t.stats.serial_s <- t.stats.serial_s +. (now () -. ts);
+    cert
+  in
   let cert =
-    Enclave.call t.enclave (fun () ->
-        ok (Verifier.verify_epoch t.verifier ~epoch))
+    if background then run_scan ()
+    else
+      Fun.protect ~finally:(fun () -> unlock_world t) run_scan
   in
-  t.stats.serial_s <- t.stats.serial_s +. (now () -. ts);
+  if not background then
+    Metrics.verify_pause t.metrics ~seconds:(now () -. t0);
   (* Account the enclave crossings this scan would have cost: its verifier
      calls stream through log buffers in a real deployment. *)
   let vops = verifier_op_count t - vops0 in
@@ -986,21 +1192,61 @@ let verify_locked t =
   t.stats.verifier_time_s <- t.stats.verifier_time_s +. (now () -. t0);
   Metrics.verify_scan t.metrics ~seconds:elapsed
     ~touched:(t.stats.migrated_data + t.stats.migrated_frontier - touched0);
-  Atomic.set t.ops_since_verify 0;
-  cert
+  (epoch, cert)
 
-let verify t =
-  let cert = verify_locked t in
+(* Join the background scan domain, if one is outstanding. The handoff
+   goes through [bg_lock] so a joiner racing a dispatcher can never leave
+   a domain unjoined. *)
+let join_bg t =
+  match with_lock t.bg_lock (fun () -> Atomic.exchange t.bg_join None) with
+  | Some d -> Domain.join d
+  | None -> ()
+
+let verify_pair t =
+  join_bg t;
+  let pair = with_lock t.verify_mutex (fun () -> verify_inner t) in
   (* post-verification hooks (auto-checkpoint) run outside the locks: they
      re-enter the public API *)
   (match t.on_verified with Some hook -> hook () | None -> ());
-  cert
+  pair
+
+let verify t = snd (verify_pair t)
+
+let verify_async t ~on_complete =
+  (* Raise the latch before the domain exists, so [maybe_verify] callers
+     stop dispatching the moment a scan is queued, not once it starts. *)
+  Atomic.set t.verify_inflight true;
+  with_lock t.bg_lock (fun () ->
+      let prev = Atomic.exchange t.bg_join None in
+      let d =
+        Domain.spawn (fun () ->
+            (* Chain behind any previous background scan; its result went
+               to its own completion callback. *)
+            (match prev with Some p -> Domain.join p | None -> ());
+            match with_lock t.verify_mutex (fun () -> verify_inner t) with
+            | pair ->
+                (match t.on_verified with Some hook -> hook () | None -> ());
+                on_complete (Ok pair)
+            | exception e -> on_complete (Error e))
+      in
+      Atomic.set t.bg_join (Some d))
+
+let wait_verify t = join_bg t
 
 let maybe_verify t =
   if
     Atomic.fetch_and_add t.ops_since_verify 1 + 1 >= t.config.batch_size
     && t.config.batch_size > 0
-  then ignore (verify t)
+  then
+    if t.config.background_verify then begin
+      (* Fire-and-forget, at most one in flight: the scan runs on its own
+         domain while this operation returns. A failed scan needs no
+         handling here — an integrity violation poisons the verifier, so
+         it resurfaces on the very next operation. *)
+      if Atomic.compare_and_set t.verify_inflight false true then
+        verify_async t ~on_complete:(fun _ -> ())
+    end
+    else ignore (verify t)
 
 (* ------------------------------------------------------------------ *)
 (* Public operations                                                   *)
@@ -1122,7 +1368,8 @@ let load t records =
         match Key_lru.victim w0.lru with
         | Some e -> evict_mirror t w0 e ~epoch_floor:0
         | None -> assert false
-      done)
+      done);
+  refresh_owner_depths t
 
 (* ------------------------------------------------------------------ *)
 (* Batch driver                                                        *)
@@ -1205,8 +1452,11 @@ module Session = struct
 
   let await_certainty s r =
     while Verifier.verified_epoch s.sys.verifier < r.epoch do
-      let epoch = Verifier.current_epoch s.sys.verifier in
-      let cert = verify s.sys in
+      (* [verify_pair] reports which epoch the certificate covers — reading
+         the verifier's current epoch separately would race a concurrent
+         (or background) scan and check the certificate against the wrong
+         epoch. *)
+      let epoch, cert = verify_pair s.sys in
       if not (check_epoch_certificate s.sys ~epoch cert) then
         raise (Integrity_violation "bad epoch certificate")
     done
@@ -1249,15 +1499,17 @@ module Batch = struct
     let meta_of ~client ~nonce ~mac =
       if auth then Some (mk_meta ~client ~nonce ~mac) else None
     in
+    let touched = Array.make (Array.length t.workers) false in
     let one i action ~client ~nonce ~mac key =
       let meta = meta_of ~client ~nonce ~mac in
-      let returned, _w =
+      let returned, w =
         process t ?worker ~admitted:pre_admitted
           (data_key (Key.of_int64 key))
           (match action with
           | `Get -> A_get meta
           | `Put v -> A_put (v, meta))
       in
+      touched.(w.wid) <- true;
       (* what the receipt MAC covers: the read value for gets, the new
          value for puts (process returns the overwritten value) *)
       let value = match action with `Get -> returned | `Put v -> v in
@@ -1301,22 +1553,33 @@ module Batch = struct
                   Failed e))
         ops
     in
-    (* One drain of every worker's log buffer covers the whole batch: this is
-       where the enclave-transition amortisation happens (§7). A violation
-       here is real tampering surfacing on a deferred validation; ops whose
-       receipts never materialise are failed below. *)
+    (* One drain per worker this batch actually ran on covers every receipt:
+       this is where the enclave-transition amortisation happens (§7) —
+       and flushing only touched workers means a batch confined to one
+       partition never blocks on another partition's (possibly stalled)
+       executor. A violation here is real tampering surfacing on a deferred
+       validation; ops whose receipts never materialise are failed below. *)
     let flush_error =
-      match flush t with
+      match
+        Array.iteri
+          (fun i w ->
+            if touched.(i) then
+              with_worker_lock t i (fun () -> flush_worker t w))
+          t.workers
+      with
       | () -> None
       | exception Integrity_violation e -> Some e
     in
     (if auth then
-       let fallback_epoch = Verifier.current_epoch t.verifier in
+       (* Live epoch, not the verifier's: a background scan keeps the sealed
+          epoch open in the verifier while these ops folded into the live
+          one; a later fallback stamp is merely conservative. *)
+       let fallback_epoch = Atomic.get t.live_epoch in
        List.iter
          (fun p ->
-           (* [flush t] above took every worker's lock, which also orders any
-              receipt-cell write made by a concurrent domain's verification
-              scan before these reads. *)
+           (* The flush above took every touched worker's lock, which also
+              orders any receipt-cell write made by a concurrent domain's
+              verification scan before these reads. *)
            match p.p_meta with
            | None -> assert false
            | Some m -> (
@@ -1333,7 +1596,7 @@ module Batch = struct
                             ~default:"validation receipt missing")))
          !pendings
      else
-       let epoch = Verifier.current_epoch t.verifier in
+       let epoch = Atomic.get t.live_epoch in
        List.iter (fun p -> p.p_item.iepoch <- epoch) !pendings);
     Array.mapi
       (fun i reply ->
@@ -1417,12 +1680,33 @@ let checkpoint t ~dir =
   check_loaded t;
   let ck0 = now () in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  (* Serialize against verification scans: a checkpoint taken mid-scan
+     would capture half-migrated protection state and lose the scan's
+     sealed snapshot (which lives only in the scan's arrays). Taken before
+     any world lock — the same order the scans use. *)
+  with_lock t.verify_mutex
+  @@ fun () ->
   (* Stop the world: snapshotting the store and trie while other domains
      mutate them would tear the images (and race Hashtbl internals). *)
   lock_world t;
   Fun.protect ~finally:(fun () -> unlock_world t)
   @@ fun () ->
   Array.iter (flush_worker t) t.workers;
+  (* With background verification, foreground traffic may have left merkle
+     records cached at the instant the world stopped; the sealed summary
+     requires empty caches and the tree image cannot encode cached
+     records, so evict them all (children first) into the live epoch. *)
+  Array.iter
+    (fun w ->
+      Enclave.call t.enclave (fun () ->
+          while Key_lru.length w.lru > 0 do
+            match Key_lru.victim w.lru with
+            | Some e ->
+                evict_mirror t w e ~epoch_floor:(Atomic.get t.live_epoch)
+            | None ->
+                raise (Integrity_violation "cycle in cached merkle records")
+          done))
+    t.workers;
   let summary =
     Enclave.call t.enclave (fun () ->
         ok (Verifier.checkpoint_summary t.verifier))
@@ -1662,12 +1946,20 @@ let recover_generation ?(config = Config.default) ~gdir () =
       sealed;
       frontier_by_worker = Array.make config.n_workers [];
       owners = Key.Tbl.create 64;
+      owner_depths = [];
       rr = 0;
       loaded = true;
       worker_locks = Array.init config.n_workers (fun _ -> Mutex.create ());
       tree_lock = Mutex.create ();
       gateway_lock = Mutex.create ();
       ops_since_verify = Atomic.make 0;
+      live_epoch = Atomic.make (Verifier.current_epoch verifier);
+      verify_mutex = Mutex.create ();
+      verify_inflight = Atomic.make false;
+      bg_lock = Mutex.create ();
+      bg_join = Atomic.make None;
+      redeferred = [];
+      redeferred_lock = Mutex.create ();
       on_verified = None;
       stats =
         {
@@ -1695,6 +1987,21 @@ let recover_generation ?(config = Config.default) ~gdir () =
         t.frontier_by_worker.(entry.aux.owner) <-
           k :: t.frontier_by_worker.(entry.aux.owner);
         Key.Tbl.replace t.owners k entry.aux.owner
+      end);
+  refresh_owner_depths t;
+  (* Re-seed the dirty sets from the persisted protection state: a
+     checkpoint may land mid-epoch (with background verification it
+     routinely does), so data records still riding the deferred tier
+     persist with blum aux, and their evict-set entries came back with the
+     sealed summary. Without their keys in the owners' dirty lists the
+     next scan could never balance those entries. The store aux is the
+     source of truth — it also covers keys that were sitting in the
+     in-memory re-deferral list when the process died. *)
+  Store.iter_live t.store (fun k _ aux ->
+      if aux_is_blum aux then begin
+        let w = t.workers.(owner_of_data_key t k) in
+        w.dirty <- k :: w.dirty;
+        w.dirty_len <- w.dirty_len + 1
       end);
   wire_metrics t;
   Ok t

@@ -172,7 +172,39 @@ val verify : t -> string
     [fastver_verify_worker_seconds]); only set-hash aggregation and
     certificate sealing stay serial. The multiset hashes are
     order-independent, so the certificate is identical to the sequential
-    scan's. *)
+    scan's.
+
+    With [Config.background_verify] the world stops only for the {e seal
+    barrier} — an O(workers) section that flushes the log buffers,
+    snapshots the per-worker dirty sets and bumps {!live_epoch} — and the
+    scan then runs over the sealed snapshot concurrently with foreground
+    gets/puts, which immediately fold into the next epoch. [verify] itself
+    still blocks its caller until the certificate is sealed (use
+    {!verify_async} to overlap); the certificate is bit-identical to the
+    quiesced scan's. *)
+
+val verify_async : t -> on_complete:((int * string, exn) result -> unit) -> unit
+(** Run the next verification scan on its own domain and return
+    immediately. [on_complete] fires on that domain with [(epoch,
+    certificate)] — or the raised exception (an [Integrity_violation]
+    poisons the verifier, so it also resurfaces on the next operation).
+    Scans are serialized: a dispatch while one is in flight queues behind
+    it. The spawned domain is joined by the next {!verify},
+    {!wait_verify} or {!checkpoint}, so callers that only ever dispatch
+    must call {!wait_verify} before discarding the system. *)
+
+val wait_verify : t -> unit
+(** Join the outstanding {!verify_async} scan, if any (its result still
+    goes to its own [on_complete]). No-op when none is in flight. *)
+
+val verify_in_flight : t -> bool
+(** Whether a verification scan is currently queued or running (also
+    surfaced as the [fastver_verify_in_flight] gauge). *)
+
+val live_epoch : t -> int
+(** The epoch operations fold into right now. Equal to {!current_epoch}
+    except while a background scan is in flight, when the verifier still
+    holds the sealed epoch open and [live_epoch] is one ahead. *)
 
 val flush : t -> unit
 (** Drain all worker log buffers into the verifier. *)
@@ -186,7 +218,14 @@ val check_epoch_certificate : t -> epoch:int -> string -> bool
 val checkpoint : t -> dir:string -> unit
 (** Persist the data records, merkle records and sealed verifier summary
     (§7): run after {!verify} so that the on-disk state corresponds to a
-    verified epoch.
+    verified epoch. Serializes with verification scans (a checkpoint
+    issued during a background scan waits for the scan to finish) and
+    evicts all cached merkle records first — so a mid-epoch checkpoint
+    under live traffic is well-defined:
+    still-deferred records persist with their blum protection state, and
+    recovery re-seeds the dirty sets from it. A recovered system therefore
+    resumes from the last {e sealed} (checkpointed) epoch; work from any
+    in-flight scan or later epoch is simply re-done.
 
     Crash-safe: each checkpoint is a fresh generation [dir/ckpt-<n>/] whose
     files are written temp-file + fsync + rename and committed by a MANIFEST
@@ -282,8 +321,12 @@ val registry : t -> Fastver_obs.Registry.t
     - [fastver_log_flush_entries], [fastver_verify_scan_seconds],
       [fastver_verify_worker_seconds{worker=...}] (per-worker parallel scan
       slices), [fastver_verify_touched_records],
-      [fastver_checkpoint_write_seconds], [fastver_recover_seconds]
-      (histograms);
+      [fastver_verify_pause_seconds] (the foreground pause per
+      verification: the whole scan when quiesced, only the seal barrier
+      with [background_verify]), [fastver_checkpoint_write_seconds],
+      [fastver_recover_seconds] (histograms);
+    - [fastver_verify_in_flight] (gauge, 0/1: a scan is queued or
+      running);
     - callback-backed: [fastver_epoch], [fastver_verified_epoch],
       [fastver_epoch_certificates_total],
       [fastver_verifier_ops_total{op=...}], [fastver_store_records],

@@ -16,6 +16,8 @@ type t = {
   flush_entries : Histogram.t;
   verify_seconds : Histogram.t;
   verify_touched : Histogram.t;
+  verify_pause_seconds : Histogram.t;
+  verify_in_flight : Gauge.t;
   checkpoint_seconds : Histogram.t;
   recover_seconds : Histogram.t;
 }
@@ -58,6 +60,17 @@ let create ~enabled () =
       Registry.histogram r
         ~help:"Records migrated per verification scan (data + frontier)"
         "fastver_verify_touched_records";
+    verify_pause_seconds =
+      Registry.histogram r ~scale:1e-9
+        ~help:
+          "Foreground pause per verification (world-lock hold: the whole \
+           scan when quiesced, only the O(workers) seal barrier in \
+           background mode)"
+        "fastver_verify_pause_seconds";
+    verify_in_flight =
+      Registry.gauge r
+        ~help:"Verification scans currently in flight (0 or 1)"
+        "fastver_verify_in_flight";
     checkpoint_seconds =
       Registry.histogram r ~scale:1e-9
         ~help:"Checkpoint generation write duration"
@@ -93,6 +106,11 @@ let verify_worker_seconds t ~wid =
 
 let verify_worker t ~wid ~seconds =
   if t.enabled then Histogram.record_span (verify_worker_seconds t ~wid) seconds
+
+let verify_pause t ~seconds =
+  if t.enabled then Histogram.record_span t.verify_pause_seconds seconds
+
+let verify_in_flight t n = Gauge.set t.verify_in_flight (float_of_int n)
 
 let verify_scan t ~seconds ~touched =
   if t.enabled then begin

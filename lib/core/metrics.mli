@@ -35,6 +35,16 @@ val verify_scan : t -> seconds:float -> touched:int -> unit
 (** One verification scan: wall+modelled duration and the number of
     migrated records (data + frontier) it touched. *)
 
+val verify_pause : t -> seconds:float -> unit
+(** Foreground pause one verification imposed: the world-lock hold time —
+    the whole scan when quiesced, only the seal barrier in background
+    mode. *)
+
+val verify_in_flight : t -> int -> unit
+(** Set the in-flight-verification gauge (0 or 1). Not gated by [enabled]:
+    the gauge is cheap and load-bearing for operators watching a
+    background scan. *)
+
 val verify_worker_seconds : t -> wid:int -> Fastver_obs.Histogram.t
 (** The per-worker scan-slice histogram ([fastver_verify_worker_seconds]
     labeled [worker=<wid>]). Registration is idempotent; call once per

@@ -37,6 +37,7 @@ type metrics = {
   m_batches : Fastver_obs.Counter.t;
   m_proto_errors : Fastver_obs.Counter.t;
   m_op_failures : Fastver_obs.Counter.t;
+  m_lost_wakeups : Fastver_obs.Counter.t;
   m_batch_requests : Fastver_obs.Histogram.t;
   m_request_seconds : Fastver_obs.Histogram.t;
 }
@@ -59,6 +60,12 @@ let make_metrics sys =
     m_op_failures =
       Reg.counter reg ~help:"Operations answered with an error"
         "fastver_net_op_failures_total";
+    m_lost_wakeups =
+      Reg.counter reg
+        ~help:
+          "Select-loop wake-up writes that failed for a reason other than \
+           a full pipe or an orderly shutdown"
+        "fastver_net_lost_wakeups_total";
     m_batch_requests =
       Reg.histogram reg ~help:"Requests per worker-loop drain"
         "fastver_net_batch_requests";
@@ -121,6 +128,12 @@ type t = {
   mutable conns : conn list;
   stop_r : Unix.file_descr;
   stop_w : Unix.file_descr;
+  vwake_r : Unix.file_descr;
+      (* background-verification completion -> select wake-up: the
+         [Fastver.verify_async] callback runs on the scan domain, where
+         filling a reply slot alone would leave the response sitting until
+         unrelated traffic re-entered the event loop *)
+  vwake_w : Unix.file_descr;
   stopping : bool Atomic.t;
   mutable domain : unit Domain.t option;
   metrics : metrics;
@@ -162,6 +175,9 @@ let create ?(config = default_config) sys ~listen =
           in
           let stop_r, stop_w = Unix.pipe ~cloexec:true () in
           Unix.set_nonblock stop_r;
+          let vwake_r, vwake_w = Unix.pipe ~cloexec:true () in
+          Unix.set_nonblock vwake_r;
+          Unix.set_nonblock vwake_w;
           let pool =
             let n = (Fastver.config sys).n_workers in
             if n <= 1 then None
@@ -193,6 +209,8 @@ let create ?(config = default_config) sys ~listen =
               conns = [];
               stop_r;
               stop_w;
+              vwake_r;
+              vwake_w;
               stopping = Atomic.make false;
               domain = None;
               metrics = make_metrics sys;
@@ -336,13 +354,19 @@ let classify t conn req =
           conn.client <- None;
           Wire.Session_closed)
   | Wire.Verify ->
-      `Admin
-        (fun _conn ->
-          let epoch = Fastver.current_epoch t.sys in
-          match Fastver.verify t.sys with
-          | cert -> Wire.Verified { epoch; cert }
-          | exception Fastver.Integrity_violation e ->
-              Wire.Error ("integrity: " ^ e))
+      if (Fastver.config t.sys).background_verify then
+        (* No quiesce, no blocking the I/O domain: the scan runs on a
+           background domain and the reply slot is filled from its
+           completion callback (see [`Verify] in [drain]). *)
+        `Verify
+      else
+        `Admin
+          (fun _conn ->
+            let epoch = Fastver.current_epoch t.sys in
+            match Fastver.verify t.sys with
+            | cert -> Wire.Verified { epoch; cert }
+            | exception Fastver.Integrity_violation e ->
+                Wire.Error ("integrity: " ^ e))
   | Wire.Stats -> `Admin (fun _conn -> stats_reply t)
   | Wire.Metrics { format } ->
       `Admin
@@ -397,10 +421,23 @@ let run_job t (job : job) =
       Atomic.set slot (Some (response_of_reply nonce replies.(i))))
     job.j_ops
 
-let wake p =
-  (* Nonblocking, best-effort: a full pipe already guarantees a pending
-     wake-up of the select loop. *)
-  try ignore (Unix.write_substring p.wake_w "x" 0 1) with Unix.Unix_error _ -> ()
+(* One-byte wake-up write into a select-loop pipe. EAGAIN/EWOULDBLOCK are
+   success: a full pipe already guarantees a pending wake-up. EPIPE/EBADF
+   during an orderly shutdown are expected — the loop closed its end and
+   will not select again. Anything else really did lose a wake-up (the
+   select loop may sleep on a filled reply slot until unrelated traffic
+   arrives), so make it loud instead of swallowing it. *)
+let wake t fd =
+  try ignore (Unix.write_substring fd "x" 0 1) with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _)
+    when Atomic.get t.stopping ->
+      ()
+  | Unix.Unix_error (e, fn, _) ->
+      Fastver_obs.Counter.incr t.metrics.m_lost_wakeups;
+      Log.err (fun m ->
+          m "lost select-loop wake-up: %s failed with %s" fn
+            (Unix.error_message e))
 
 let executor t p wid () =
   let rec loop () =
@@ -412,7 +449,7 @@ let executor t p wid () =
         ignore (Atomic.fetch_and_add p.in_flight (-1));
         if Atomic.get p.in_flight = 0 then Condition.broadcast p.idle_cond;
         Mutex.unlock p.idle_lock;
-        wake p;
+        wake t p.wake_w;
         loop ()
   in
   loop ()
@@ -427,9 +464,23 @@ let barrier p =
   done;
   Mutex.unlock p.idle_lock
 
-let dispatch p ~owner job =
+let dispatch t p ~owner job =
   Atomic.incr p.in_flight;
-  Fastver.Bounded_queue.push p.queues.(owner) job
+  if not (Fastver.Bounded_queue.push p.queues.(owner) job) then begin
+    (* The queue closed under us: [stop] raced this drain. No executor will
+       run the job, so fail its operations in place — the reply slots must
+       fill (a [closing] connection waits on them) and [in_flight] must
+       come back down or the final [barrier] would hang the shutdown. *)
+    Array.iter
+      (fun (_, _, slot) ->
+        Fastver_obs.Counter.incr t.metrics.m_op_failures;
+        Atomic.set slot (Some (Wire.Error "shutdown: server stopping")))
+      job.j_ops;
+    Mutex.lock p.idle_lock;
+    ignore (Atomic.fetch_and_add p.in_flight (-1));
+    if Atomic.get p.in_flight = 0 then Condition.broadcast p.idle_cond;
+    Mutex.unlock p.idle_lock
+  end
 
 let admit t (op : Fastver.Batch.op) =
   match op with
@@ -474,7 +525,7 @@ let drain t =
                 in
                 match t.pool with
                 | None -> run_job t job
-                | Some p -> dispatch p ~owner job)
+                | Some p -> dispatch t p ~owner job)
           groups
       end
     in
@@ -510,6 +561,28 @@ let drain t =
                   | None, _ ->
                       groups.(0) <- entry :: groups.(0);
                       any := true))
+          | `Verify ->
+              (* Dispatch (not barrier) the data ops accumulated so far, so
+                 this connection's earlier puts are at least in executor
+                 queues when the scan domain seals the epoch boundary; the
+                 certificate covers whatever prefix beat the seal, exactly
+                 the contract of a concurrent verification. *)
+              flush_acc ();
+              let slot = Atomic.make None in
+              Queue.push (id, arrived, slot) conn.slots;
+              Fastver.verify_async t.sys ~on_complete:(fun res ->
+                  (match res with
+                  | Ok (epoch, cert) ->
+                      Atomic.set slot (Some (Wire.Verified { epoch; cert }))
+                  | Error e ->
+                      Fastver_obs.Counter.incr t.metrics.m_op_failures;
+                      let reason =
+                        match e with
+                        | Fastver.Integrity_violation r -> r
+                        | e -> Printexc.to_string e
+                      in
+                      Atomic.set slot (Some (Wire.Error ("integrity: " ^ reason))));
+                  wake t t.vwake_w)
           | `Admin f ->
               quiesce ();
               post t conn id ~arrived (f conn)
@@ -630,7 +703,7 @@ let run t =
   while not (Atomic.get t.stopping) do
     let backpressured = Queue.length t.pending >= t.cfg.queue_limit in
     let read_fds =
-      t.stop_r :: t.listener
+      t.stop_r :: t.vwake_r :: t.listener
       :: List.filter_map
            (fun c ->
              if
@@ -650,8 +723,12 @@ let run t =
           else None)
         t.conns
     in
-    let timeout = if Queue.is_empty t.pending then -1.0 else 0.0 in
-    match Unix.select read_fds write_fds [] timeout with
+    (* Block until an fd is ready: [drain] below always empties [pending],
+       and every other wake source — stop, pool completions, background
+       verification completions, new frames — is a pipe or socket in
+       [read_fds]. A zero timeout here would busy-spin the I/O domain
+       whenever a single slow executor kept any request pending. *)
+    match Unix.select read_fds write_fds [] (-1.0) with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error (Unix.EBADF, _, _) ->
         (* a connection died under us between loop passes *)
@@ -671,11 +748,21 @@ let run t =
               done
             with Unix.Unix_error _ -> ())
         | _ -> ());
+        (if List.mem t.vwake_r readable then
+           let buf = Bytes.create 256 in
+           try
+             while Unix.read t.vwake_r buf 0 256 = 256 do
+               ()
+             done
+           with Unix.Unix_error _ -> ());
         if List.mem t.listener readable then accept_loop t;
         List.iter
           (fun c -> if List.mem c.fd readable then handle_readable t c)
           t.conns;
-        drain t;
+        (* to empty: the blocking select above relies on it *)
+        while not (Queue.is_empty t.pending) do
+          drain t
+        done;
         ignore writable;
         List.iter
           (fun c ->
@@ -694,6 +781,12 @@ let run t =
       (try Unix.close p.wake_r with Unix.Unix_error _ -> ());
       (try Unix.close p.wake_w with Unix.Unix_error _ -> ())
   | None -> ());
+  (* Executors are gone, so no new scan can start; join any background
+     verification still running before its completion callback could write
+     a closed vwake fd. *)
+  Fastver.wait_verify t.sys;
+  (try Unix.close t.vwake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.vwake_w with Unix.Unix_error _ -> ());
   List.iter (close_conn t) t.conns;
   t.conns <- [];
   (try Unix.close t.listener with Unix.Unix_error _ -> ());

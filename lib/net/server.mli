@@ -19,14 +19,31 @@
     scans, verify, stats, metrics, session admin — quiesce the pool first
     and run at their exact position.
 
+    Exception: with {!Fastver.Config.t.background_verify} set, [Verify]
+    does {e not} quiesce. The epoch boundary is sealed under a brief
+    O(workers) barrier and the scan runs on a background domain
+    ({!Fastver.verify_async}) while executors keep serving gets and puts
+    into the next epoch; the response is emitted when the scan completes
+    (a dedicated wake pipe re-enters the select loop, so the reply never
+    waits for unrelated traffic). The certificate is bit-identical to the
+    one a quiescent scan of the same epoch would produce.
+
     Robustness properties:
     - {e backpressure}: the pending-request queue is bounded; when it (or a
       connection's output queue) fills, the loop simply stops reading from
       sockets until it drains — TCP flow control pushes back on clients;
     - {e error isolation}: a malformed frame or forged request poisons only
       its own connection/operation, never the loop or other clients;
-    - {e clean shutdown}: {!stop} wakes the loop, which closes every
-      socket and removes the Unix socket file. *)
+    - {e clean shutdown}: {!stop} wakes the loop, which closes the executor
+      queues, fails any batch that raced the close with an explicit
+      [shutdown] error (never a crash: {!Fastver.Bounded_queue.push} is
+      total), joins executors and any in-flight background verification,
+      then closes every socket and removes the Unix socket file;
+    - {e no busy-wait}: the loop always blocks in [select] — completions
+      from executor domains and background scans arrive over wake pipes,
+      and wake-up writes that fail for a real reason (not a full pipe, not
+      an orderly shutdown) are logged and counted
+      ([fastver_net_lost_wakeups_total]) instead of silently dropped. *)
 
 type config = {
   batch_limit : int;  (** max requests drained per batch (default 256) *)

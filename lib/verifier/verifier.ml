@@ -382,6 +382,56 @@ let close_epoch t ~tid ~epoch =
 let epoch_certificate_message ~epoch =
   Printf.sprintf "fastver-epoch-verified:%d" epoch
 
+(* Background verification: once a thread has closed [epoch], its epoch set
+   hashes are frozen. [detach_epoch] removes them from the thread's open-set
+   tables (under whatever lock serializes that thread's operations) and
+   returns the raw values, so the serial aggregation in
+   [verify_epoch_detached] never touches per-thread hashtables that
+   foreground traffic is concurrently folding epoch e+1 elements into. *)
+let detach_epoch t ~tid ~epoch =
+  let* () = guard t in
+  let th = thread t tid in
+  if th.closed_through < epoch then
+    fail t "detach_epoch: thread %d has not closed epoch %d" tid epoch
+  else begin
+    let take sets =
+      match Hashtbl.find_opt sets epoch with
+      | Some h ->
+          Hashtbl.remove sets epoch;
+          Multiset_hash.value h
+      | None -> Multiset_hash.empty_value
+    in
+    let add = take th.add_sets in
+    let evict = take th.evict_sets in
+    Ok (add, evict)
+  end
+
+let verify_epoch_detached t ~epoch ~detached =
+  let* () = guard t in
+  if epoch <> t.verified + 1 then
+    fail t "verify_epoch: expected epoch %d" (t.verified + 1)
+  else if Array.length detached <> Array.length t.threads then
+    fail t "verify_epoch: detached sets for %d threads, have %d"
+      (Array.length detached) (Array.length t.threads)
+  else if Array.exists (fun th -> th.closed_through < epoch) t.threads then
+    fail t "verify_epoch: not all threads closed epoch %d" epoch
+  else begin
+    let adds = Multiset_hash.create t.mset_key
+    and evicts = Multiset_hash.create t.mset_key in
+    Array.iter
+      (fun (add, evict) ->
+        Multiset_hash.merge adds (Multiset_hash.of_value t.mset_key add);
+        Multiset_hash.merge evicts (Multiset_hash.of_value t.mset_key evict))
+      detached;
+    if not (Multiset_hash.equal adds evicts) then
+      fail t "verify_epoch: add/evict multiset mismatch in epoch %d" epoch
+    else begin
+      t.verified <- epoch;
+      t.stats.n_certificates <- t.stats.n_certificates + 1;
+      Ok (Hmac.mac ~key:t.config.mac_secret (epoch_certificate_message ~epoch))
+    end
+  end
+
 let verify_epoch t ~epoch =
   let* () = guard t in
   if epoch <> t.verified + 1 then

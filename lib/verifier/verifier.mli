@@ -121,6 +121,21 @@ val verify_epoch : t -> epoch:int -> string result
     {!verified_epoch}. On mismatch the verifier is poisoned: some provisional
     validation in this epoch was inconsistent. *)
 
+val detach_epoch : t -> tid:int -> epoch:int -> (string * string) result
+(** [(add, evict)] multiset-hash values of thread [tid]'s contributions to
+    [epoch], removed from the thread's open-epoch tables. Requires the
+    thread to have closed [epoch] (its contributions are then frozen). Call
+    under whatever lock serializes [tid]'s operations: afterwards the serial
+    {!verify_epoch_detached} aggregation never reads thread state that
+    foreground traffic mutates, so verification of epoch [e] can run
+    concurrently with operations folding into epoch [e+1]. *)
+
+val verify_epoch_detached :
+  t -> epoch:int -> detached:(string * string) array -> string result
+(** {!verify_epoch} over pre-{!detach_epoch}ed per-thread set hashes (one
+    pair per thread, indexed by [tid]) instead of the live thread tables.
+    Same certificate, same poisoning semantics. *)
+
 (** {2 Validation signatures} *)
 
 val sign : t -> string -> string

@@ -10,6 +10,7 @@ let () =
       Test_adversary.suite;
       Test_kvstore.suite;
       Test_core.suite;
+      Test_queue.suite;
       Test_baselines.suite;
       Test_workload.suite;
       Test_extensions.suite;

@@ -315,6 +315,212 @@ let test_multi_domain_stress () =
         (Fastver_verifier.Verifier.failure (Fastver.verifier_handle t) = None))
 
 (* ------------------------------------------------------------------ *)
+(* Background verification over the wire                               *)
+(* ------------------------------------------------------------------ *)
+
+(* With [background_verify] the Verify request no longer quiesces the
+   executor pool: session A's verify_now blocks only its own connection
+   while session B (on another connection) keeps being served. Across a few
+   cycles the foreground must demonstrably progress during in-flight scans,
+   every certificate must check out, and the pause histogram must have
+   recorded one seal barrier per scan. *)
+let test_background_verify_serves_foreground () =
+  let config =
+    {
+      test_config with
+      n_workers = 4;
+      batch_size = 0;
+      background_verify = true;
+    }
+  in
+  with_server ~config (fun t addr ->
+      let conn_a = connect addr and conn_b = connect addr in
+      let s_a = Net.Client.open_session conn_a ~client:1 ~secret in
+      let s_b = Net.Client.open_session conn_b ~client:2 ~secret in
+      let cycles = 8 in
+      let in_verify = Atomic.make false in
+      let overlap = Atomic.make 0 in
+      let fail_b = Atomic.make None in
+      let stop_b = Atomic.make false in
+      let b_driver =
+        Domain.spawn (fun () ->
+            try
+              let i = ref 0 in
+              while not (Atomic.get stop_b) do
+                incr i;
+                Net.Client.put s_b
+                  (Int64.of_int (128 + (!i mod 64)))
+                  (Printf.sprintf "b%d" !i);
+                if Atomic.get in_verify then Atomic.incr overlap
+              done
+            with e -> Atomic.set fail_b (Some e))
+      in
+      let epochs = ref [] in
+      for i = 0 to cycles - 1 do
+        for j = 0 to 63 do
+          Net.Client.put s_a (Int64.of_int j) (Printf.sprintf "a%d-%d" i j)
+        done;
+        Atomic.set in_verify true;
+        let epoch, _cert = Net.Client.verify_now s_a in
+        Atomic.set in_verify false;
+        epochs := epoch :: !epochs
+      done;
+      Atomic.set stop_b true;
+      Domain.join b_driver;
+      (match Atomic.get fail_b with
+      | Some e ->
+          Alcotest.failf "foreground client failed: %s" (Printexc.to_string e)
+      | None -> ());
+      (* consecutive scans sealed consecutive epochs *)
+      (match List.rev !epochs with
+      | e0 :: rest ->
+          ignore
+            (List.fold_left
+               (fun prev e ->
+                 Alcotest.(check int) "consecutive sealed epochs" (prev + 1) e;
+                 e)
+               e0 rest)
+      | [] -> Alcotest.fail "no scans ran");
+      Alcotest.(check bool) "foreground served during in-flight scans" true
+        (Atomic.get overlap > 0);
+      (* the pause histogram saw one seal barrier per scan *)
+      let dump = Fastver_obs.Registry.dump (Fastver.registry t) in
+      (match
+         List.find_opt
+           (fun (n, _, _) -> n = "fastver_verify_pause_seconds")
+           dump
+       with
+      | Some (_, _, Fastver_obs.Registry.Histogram_v (snap, _)) ->
+          Alcotest.(check bool) "pause recorded per scan" true
+            (snap.Fastver_obs.Histogram.count >= cycles)
+      | _ -> Alcotest.fail "fastver_verify_pause_seconds missing");
+      Net.Client.close_session s_a;
+      Net.Client.close_session s_b;
+      Net.Client.close conn_a;
+      Net.Client.close conn_b;
+      Fastver.wait_verify t;
+      ignore (Fastver.verify t))
+
+(* ------------------------------------------------------------------ *)
+(* Executor-pool robustness: stalls and shutdown races                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A stalled executor must not busy-spin the I/O domain. Hold worker 0's
+   lock so its executor blocks mid-job, keep a request for it outstanding,
+   and serve light traffic on the other worker: everything else stays
+   live, and process CPU over the stall window stays far below the window
+   itself (a spinning select loop would burn a full core). *)
+let test_stalled_executor_no_spin () =
+  let config = { test_config with n_workers = 2; batch_size = 0 } in
+  with_server ~config (fun t addr ->
+      let key_of owner =
+        let rec go k =
+          if Fastver.owner_of_key t k = owner then k else go (Int64.add k 1L)
+        in
+        go 0L
+      in
+      let k0 = key_of 0 and k1 = key_of 1 in
+      let conn_a = connect addr and conn_b = connect addr in
+      let s_a = Net.Client.open_session conn_a ~client:1 ~secret in
+      let s_b = Net.Client.open_session conn_b ~client:2 ~secret in
+      Net.Client.put s_b k1 "warm";
+      (* deferred-tier both keys: the op parked on the held worker lock
+         must be a fast-path one, holding no lock other workers need *)
+      Net.Client.put s_a k0 "warm";
+      let lock = Mutex.create () and cond = Condition.create () in
+      let release = ref false in
+      let stalled = Atomic.make false in
+      let blocker =
+        Domain.spawn (fun () ->
+            Fastver.Testing.with_worker_lock t 0 (fun () ->
+                Atomic.set stalled true;
+                Mutex.lock lock;
+                while not !release do
+                  Condition.wait cond lock
+                done;
+                Mutex.unlock lock))
+      in
+      while not (Atomic.get stalled) do
+        Domain.cpu_relax ()
+      done;
+      (* this put parks worker 0's executor on the held lock *)
+      ignore (Net.Client.send_put s_a k0 "stalled");
+      Unix.sleepf 0.05;
+      let cpu_of (tm : Unix.process_times) = tm.tms_utime +. tm.tms_stime in
+      let cpu0 = cpu_of (Unix.times ()) in
+      let wall0 = Unix.gettimeofday () in
+      let served = ref 0 in
+      while Unix.gettimeofday () -. wall0 < 0.4 do
+        Alcotest.(check (option string)) "healthy worker still serves"
+          (Some "warm") (Net.Client.get s_b k1);
+        incr served;
+        Unix.sleepf 0.01
+      done;
+      let cpu = cpu_of (Unix.times ()) -. cpu0 in
+      Alcotest.(check bool) "other partition stayed live" true (!served > 10);
+      Alcotest.(check bool)
+        (Printf.sprintf "I/O domain slept during the stall (%.3fs cpu)" cpu)
+        true (cpu < 0.25);
+      (* release: the parked job completes and its reply arrives *)
+      Mutex.lock lock;
+      release := true;
+      Condition.broadcast cond;
+      Mutex.unlock lock;
+      Domain.join blocker;
+      (match Net.Client.await s_a with
+      | _, Net.Client.Stored -> ()
+      | _ -> Alcotest.fail "stalled put did not complete");
+      Alcotest.(check (option string)) "stalled put applied" (Some "stalled")
+        (Net.Client.get s_a k0);
+      Net.Client.close_session s_a;
+      Net.Client.close_session s_b;
+      Net.Client.close conn_a;
+      Net.Client.close conn_b)
+
+(* Shutdown racing live dispatch: stop the server while a client hammers
+   it. The closed executor queues must fail in-flight jobs gracefully
+   ([Bounded_queue.push] answering false — never an exception), [stop] must
+   return (no hung barrier, no unjoined domain), and the client sees
+   either normal replies or a clean error/EOF. *)
+let test_stop_under_load () =
+  let config = { test_config with n_workers = 2; batch_size = 0 } in
+  let t = mk_system ~config () in
+  let path = fresh_sock () in
+  match Net.Server.create t ~listen:(Net.Addr.Unix_sock path) with
+  | Error e -> Alcotest.fail e
+  | Ok srv ->
+      Net.Server.start srv;
+      let stop_client = Atomic.make false in
+      let client =
+        Domain.spawn (fun () ->
+            try
+              let conn = connect (Net.Addr.Unix_sock path) in
+              let s = Net.Client.open_session conn ~client:1 ~secret in
+              (try
+                 let i = ref 0 in
+                 while not (Atomic.get stop_client) do
+                   incr i;
+                   if !i mod 2 = 0 then
+                     ignore (Net.Client.get s (Int64.of_int (!i mod 256)))
+                   else
+                     Net.Client.put s
+                       (Int64.of_int (!i mod 256))
+                       (Printf.sprintf "s%d" !i)
+                 done
+               with
+              | Net.Client.Server_error _ | End_of_file
+              | Unix.Unix_error _ | Failure _ ->
+                  (* shutdown may sever mid-request; that is the point *)
+                  ());
+              try Net.Client.close conn with _ -> ()
+            with _ -> ())
+      in
+      Unix.sleepf 0.15;
+      Net.Server.stop srv;
+      Atomic.set stop_client true;
+      Domain.join client
+
+(* ------------------------------------------------------------------ *)
 (* Metrics reconcile with ground truth                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -522,6 +728,11 @@ let suite =
         test_session_matches_direct;
       Alcotest.test_case "two sessions" `Quick test_two_sessions;
       Alcotest.test_case "multi-domain stress" `Slow test_multi_domain_stress;
+      Alcotest.test_case "background verify serves foreground" `Slow
+        test_background_verify_serves_foreground;
+      Alcotest.test_case "stalled executor does not spin" `Slow
+        test_stalled_executor_no_spin;
+      Alcotest.test_case "stop under load" `Quick test_stop_under_load;
       Alcotest.test_case "metrics reconcile with ground truth" `Quick
         test_metrics_reconcile;
       Alcotest.test_case "tampered response detected" `Quick

@@ -1,0 +1,121 @@
+(* Bounded_queue under real domains: the executor-pool handoff primitive.
+
+   The contract that the server's shutdown path leans on: [push] is total —
+   it answers [false] instead of raising when the queue is (or becomes,
+   while blocked on a full buffer) closed — and for any interleaving of
+   producers, consumers and a racing [close], every item whose push was
+   accepted is popped exactly once, every rejected item is popped never,
+   and nothing deadlocks. *)
+
+module Q = Fastver.Bounded_queue
+
+let test_push_after_close_rejected () =
+  let q = Q.create 4 in
+  Alcotest.(check bool) "open queue accepts" true (Q.push q 1);
+  Q.close q;
+  Alcotest.(check bool) "closed queue rejects" false (Q.push q 2);
+  Alcotest.(check bool) "close is idempotent" false
+    (Q.close q;
+     Q.push q 3);
+  Alcotest.(check (option int)) "buffered item still drains" (Some 1) (Q.pop q);
+  Alcotest.(check (option int)) "then closed-and-drained" None (Q.pop q)
+
+let test_blocked_push_released_by_close () =
+  (* The exact shutdown race in the server: a dispatcher blocked on a full
+     executor queue while [stop] closes it must wake up with [false], not
+     hang and not raise. *)
+  let q = Q.create 1 in
+  Alcotest.(check bool) "fill" true (Q.push q 0);
+  let result = ref None in
+  let d = Domain.spawn (fun () -> result := Some (Q.push q 1)) in
+  (* give the producer time to block on the full buffer (if close wins the
+     race instead, push still answers false — the property is the same) *)
+  Unix.sleepf 0.05;
+  Q.close q;
+  Domain.join d;
+  Alcotest.(check (option bool)) "blocked push answers false" (Some false)
+    !result;
+  Alcotest.(check (option int)) "accepted item survives close" (Some 0)
+    (Q.pop q);
+  Alcotest.(check (option int)) "rejected item never appears" None (Q.pop q)
+
+(* Producers, consumers and a mid-stream close, all on their own domains.
+   [close_after] steers when the close fires (after that many observed
+   pops, or immediately when 0), so runs cover close-before-first-push
+   through close-after-everything-drained. *)
+let prop_exactly_once =
+  QCheck.Test.make
+    ~name:"Bounded_queue: multi-domain push/pop/close, exactly-once"
+    ~count:25
+    QCheck.(
+      quad (int_range 1 4) (int_range 1 3) (int_range 1 3) (int_range 0 120))
+    (fun (cap, n_prod, n_cons, close_after) ->
+      let per_prod = 40 in
+      let total = n_prod * per_prod in
+      let q = Q.create cap in
+      let popped_count = Atomic.make 0 in
+      let prods_done = Atomic.make 0 in
+      let producers =
+        Array.init n_prod (fun p ->
+            Domain.spawn (fun () ->
+                let acc = Array.make per_prod false in
+                for i = 0 to per_prod - 1 do
+                  acc.(i) <- Q.push q ((p * per_prod) + i)
+                done;
+                Atomic.incr prods_done;
+                acc))
+      in
+      let consumers =
+        Array.init n_cons (fun _ ->
+            Domain.spawn (fun () ->
+                let acc = ref [] in
+                let rec loop () =
+                  match Q.pop q with
+                  | Some x ->
+                      acc := x :: !acc;
+                      Atomic.incr popped_count;
+                      loop ()
+                  | None -> ()
+                in
+                loop ();
+                !acc))
+      in
+      (* close once enough pops were observed — or immediately once every
+         producer finished, so the spin always terminates *)
+      while
+        Atomic.get popped_count < min close_after total
+        && Atomic.get prods_done < n_prod
+      do
+        Domain.cpu_relax ()
+      done;
+      Q.close q;
+      let accepted = Array.map Domain.join producers in
+      let popped = Array.map Domain.join consumers in
+      let seen = Array.make total 0 in
+      Array.iter
+        (List.iter (fun x ->
+             if x < 0 || x >= total then failwith "popped an impossible item";
+             seen.(x) <- seen.(x) + 1))
+        popped;
+      Array.iteri
+        (fun p acc ->
+            Array.iteri
+              (fun i ok ->
+                let id = (p * per_prod) + i in
+                let expect = if ok then 1 else 0 in
+                if seen.(id) <> expect then
+                  QCheck.Test.fail_reportf
+                    "item %d: push=%b but popped %d times" id ok seen.(id))
+              acc)
+        accepted;
+      true)
+
+let suite =
+  ( "bounded-queue",
+    [
+      Alcotest.test_case "push after close rejected" `Quick
+        test_push_after_close_rejected;
+      Alcotest.test_case "blocked push released by close" `Quick
+        test_blocked_push_released_by_close;
+      QCheck_alcotest.to_alcotest prop_exactly_once;
+    ] )
