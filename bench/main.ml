@@ -61,6 +61,69 @@ module Results = struct
       try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
     end
 
+  let git_rev () =
+    match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+    | exception _ -> "unknown"
+    | ic -> (
+        let rev = try String.trim (input_line ic) with End_of_file -> "" in
+        ignore (Unix.close_process_in ic);
+        if rev = "" then "unknown" else rev)
+
+  (* Per-figure archives for regression tracking: each run leaves
+     [<fig>-<utc-timestamp>.json] (kept forever) plus [<fig>-latest.json]
+     (overwritten), both stamped with the git revision and scale so
+     `fastver bench diff` can compare like against like. Pre-rendered [J]
+     splices (metric snapshots) are dropped — archives hold only the
+     numbers the diff reads. *)
+  let write_figure_archives ~dir ~scale ~stamp =
+    mkdir_p dir;
+    let by_fig = Hashtbl.create 8 in
+    List.iter
+      (fun (fig, kvs) ->
+        let kvs = List.filter (function _, J _ -> false | _ -> true) kvs in
+        Hashtbl.replace by_fig fig
+          (kvs :: Option.value ~default:[] (Hashtbl.find_opt by_fig fig)))
+      !rows;
+    let rev = git_rev () in
+    let emit fig rows_for_fig path =
+      let oc = open_out path in
+      let out fmt = Printf.fprintf oc fmt in
+      out "{\n  \"figure\": %s,\n" (json_of_v (S fig));
+      out "  \"generated_utc\": \"%s\",\n" stamp;
+      out "  \"git_rev\": \"%s\",\n" (escape rev);
+      out "  \"scale\": \"%s\",\n" (escape scale);
+      out "  \"rows\": [\n";
+      let last = List.length rows_for_fig - 1 in
+      List.iteri
+        (fun i kvs ->
+          out "    {%s}%s\n"
+            (String.concat ", "
+               (List.map
+                  (fun (k, v) ->
+                    Printf.sprintf "\"%s\": %s" (escape k) (json_of_v v))
+                  kvs))
+            (if i = last then "" else ","))
+        rows_for_fig;
+      out "  ]\n}\n";
+      close_out oc
+    in
+    Hashtbl.iter
+      (fun fig rows_for_fig ->
+        (* [!rows] is newest-first, and the per-figure cons above reversed
+           it back: rows land here in run order already. *)
+        let base = Filename.concat dir (Printf.sprintf "%s-%s" fig stamp) in
+        let rec fresh n =
+          let p =
+            if n = 0 then base ^ ".json"
+            else Printf.sprintf "%s-%d.json" base n
+          in
+          if Sys.file_exists p then fresh (n + 1) else p
+        in
+        emit fig rows_for_fig (fresh 0);
+        emit fig rows_for_fig
+          (Filename.concat dir (Printf.sprintf "%s-latest.json" fig)))
+      by_fig
+
   let write ~scale ~figs path =
     mkdir_p (Filename.dirname path);
     let oc = open_out path in
@@ -1091,13 +1154,106 @@ let fig_obs s =
        J (Fastver_obs.Registry.to_json (Fastver.registry t_on))) ])
 
 (* ------------------------------------------------------------------ *)
+(* Cold tier: authenticated larger-than-memory serving                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> remove_tree (Filename.concat path f))
+        (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let fig_coldtier () =
+  header
+    "Cold tier: verified serving of larger-than-memory databases. The\n\
+     in-memory budget is fixed; databases 2x/4x/8x that size overflow to\n\
+     the authenticated log-structured cold tier after each verification\n\
+     scan. Every cold read is MAC-checked and re-enters deferred\n\
+     verification as an ordinary blum add; verification stays ON";
+  let budget = 2_048 in
+  let json_rows = ref [] in
+  pf "%-6s %-9s %12s %14s %10s %10s %9s %12s\n" "mult" "records" "ops/s"
+    "latency(s)" "cold-rd" "cold-wr" "segments" "gc-rewrites";
+  List.iter
+    (fun mult ->
+      let n = mult * budget in
+      let dir = Filename.temp_file "fastver" "-coldtier" in
+      Sys.remove dir;
+      let config =
+        {
+          Fastver.Config.default with
+          n_workers = 2;
+          frontier_levels = 6;
+          batch_size = 0;
+          cost_model = Cost_model.zero;
+          authenticate_clients = false;
+          cold_dir = Some dir;
+          cold_threshold = budget;
+          cold_segment_bytes = 128 * 1024;
+          cold_gc_ratio = 0.4;
+        }
+      in
+      Gc.compact ();
+      let t = Fastver.create ~config () in
+      Fastver.load t (records n);
+      let gen =
+        Fastver_workload.Ycsb.create ~db_size:n
+          (Fastver_workload.Ycsb.with_dist Fastver_workload.Ycsb.workload_a
+             (Fastver_workload.Ycsb.Zipfian 0.9))
+      in
+      (* warm one epoch: the first verify demotes the overflow to disk *)
+      Fastver.run_ops t gen 2_048;
+      ignore (Fastver.verify t);
+      let p = run_point t gen ~ops:24_000 ~batch:4_096 in
+      let cs =
+        match Fastver.cold_stats t with
+        | Some cs -> cs
+        | None -> failwith "coldtier: no cold tier attached"
+      in
+      let open Fastver_kvstore.Store.Cold in
+      if mult >= 4 && cs.reads = 0 then
+        failwith "coldtier: no reads were served from the cold tier";
+      if cs.scrub_failures > 0 then
+        failwith "coldtier: integrity failures on cold reads";
+      pf "%-6s %-9d %12.0f %14.3f %10d %10d %9d %12d\n%!"
+        (Printf.sprintf "%dx" mult) n p.throughput p.latency cs.reads
+        cs.writes cs.segments cs.gc_rewrites;
+      Results.(record "coldtier"
+        [ ("mult", I mult); ("records", I n); ("budget", I budget);
+          ("ops_per_s", F p.throughput); ("latency_s", F p.latency);
+          ("cold_reads", I cs.reads); ("cold_writes", I cs.writes);
+          ("segments", I cs.segments); ("dead_segments", I cs.dead_segments);
+          ("live_bytes", I cs.live_bytes); ("dead_bytes", I cs.dead_bytes);
+          ("gc_rewrites", I cs.gc_rewrites) ]);
+      json_rows :=
+        Printf.sprintf
+          "    {\"mult\": %d, \"records\": %d, \"budget\": %d, \
+           \"ops_per_s\": %.1f, \"latency_s\": %.6f, \"cold_reads\": %d, \
+           \"cold_writes\": %d, \"segments\": %d, \"gc_rewrites\": %d}"
+          mult n budget p.throughput p.latency cs.reads cs.writes cs.segments
+          cs.gc_rewrites
+        :: !json_rows;
+      remove_tree dir)
+    [ 2; 4; 8 ];
+  let path = "BENCH_cold.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"figure\": \"coldtier\",\n  \"rows\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.rev !json_rows));
+  close_out oc;
+  pf "  wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let all_figs =
   [ "fig12"; "fig13a"; "fig13b"; "fig13cd"; "fig14a"; "fig14b"; "fig14c";
-    "scale"; "vpause"; "concerto"; "ablations"; "net"; "wirealloc"; "obs";
-    "micro" ]
+    "scale"; "vpause"; "concerto"; "ablations"; "coldtier"; "net";
+    "wirealloc"; "obs"; "micro" ]
 
 let run_bench only quick full =
   (* Reduce GC-induced variance: larger minor heap, and each measurement
@@ -1123,12 +1279,21 @@ let run_bench only quick full =
   run "vpause" (fun () -> fig_vpause s);
   run "concerto" (fun () -> concerto s);
   run "ablations" (fun () -> ablations s);
+  run "coldtier" fig_coldtier;
   run "net" fig_net;
   run "wirealloc" fig_wire_alloc;
   run "obs" (fun () -> fig_obs s);
   run "micro" bechamel_micro;
   let results_path = Filename.concat "bench" (Filename.concat "results" "latest.json") in
   Results.write ~scale:s.label ~figs:selected results_path;
+  let stamp =
+    let tm = Unix.gmtime (Unix.time ()) in
+    Printf.sprintf "%04d%02d%02dT%02d%02d%02dZ" (tm.tm_year + 1900)
+      (tm.tm_mon + 1) tm.tm_mday tm.tm_hour tm.tm_min tm.tm_sec
+  in
+  Results.write_figure_archives
+    ~dir:(Filename.concat "bench" "results")
+    ~scale:s.label ~stamp;
   print_newline ();
   line ();
   pf "results JSON: %s\n" results_path;

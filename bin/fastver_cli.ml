@@ -194,14 +194,16 @@ let parse_addr s =
   match Net.Addr.parse s with Ok a -> a | Error e -> die "%s" e
 
 let serve_cmd listen db_size workers batch depth cache algo enclave_model
-    no_auth seed batch_limit ckpt_dir background_verify metrics_interval =
+    no_auth seed batch_limit ckpt_dir background_verify metrics_interval
+    cold_dir cold_threshold =
   if db_size < 1 then die "--db-size must be at least 1";
   if workers < 1 then die "--workers must be at least 1";
+  if cold_threshold < 1 then die "--cold-threshold must be at least 1";
   let addr = parse_addr listen in
   let config =
     {
       (mk_config workers batch depth cache algo enclave_model no_auth seed)
-      with background_verify;
+      with background_verify; cold_dir; cold_threshold;
     }
   in
   let t =
@@ -266,8 +268,14 @@ let serve_cmd listen db_size workers batch depth cache algo enclave_model
             c.served c.accepted c.batches c.max_batch c.proto_errors
             c.op_failures s.ops (Fastver.current_epoch t))
 
-let recover_cmd dir workers batch depth cache algo enclave_model no_auth seed =
-  let config = mk_config workers batch depth cache algo enclave_model no_auth seed in
+let recover_cmd dir workers batch depth cache algo enclave_model no_auth seed
+    cold_dir cold_threshold =
+  let config =
+    {
+      (mk_config workers batch depth cache algo enclave_model no_auth seed)
+      with cold_dir; cold_threshold;
+    }
+  in
   match Fastver.recover ~config ~dir () with
   | Error e -> die "recover: %s" e
   | Ok t -> (
@@ -375,6 +383,13 @@ let stats_cmd connect format check =
               ("store reads", "fastver_store_reads_total");
               ("store writes", "fastver_store_writes_total");
               ("store spill reads", "fastver_store_spill_reads_total");
+              ("cold segments", "fastver_cold_segments");
+              ("cold live bytes", "fastver_cold_live_bytes");
+              ("cold dead bytes", "fastver_cold_dead_bytes");
+              ("cold reads", "fastver_cold_reads_total");
+              ("cold writes", "fastver_cold_writes_total");
+              ("cold gc rewrites", "fastver_cold_gc_rewrites_total");
+              ("cold scrub failures", "fastver_cold_scrub_failures_total");
               ("net connections", "fastver_net_connections_total");
               ("net requests", "fastver_net_requests_total");
               ("net batches", "fastver_net_batches_total");
@@ -554,6 +569,19 @@ let ckpt_dir =
          ~doc:"Recover from (and auto-checkpoint to) crash-safe checkpoint \
                generations under this directory.")
 
+let cold_dir =
+  Arg.(value & opt (some string) None & info [ "cold-dir" ] ~docv:"DIR"
+         ~doc:"Enable the authenticated cold tier: records beyond the \
+               in-memory budget are demoted to log-structured segments \
+               under DIR after each verification scan, and read back with \
+               their MACs checked.")
+
+let cold_threshold =
+  Arg.(value & opt int Fastver.Config.default.cold_threshold
+       & info [ "cold-threshold" ] ~docv:"N"
+           ~doc:"In-memory record budget when --cold-dir is set: log \
+                 entries older than the newest N stay on disk.")
+
 let recover_dir =
   Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
          ~doc:"Checkpoint directory to recover from.")
@@ -576,7 +604,7 @@ let serve_term =
     const (fun () -> serve_cmd)
     $ setup_logs $ listen $ db_size $ workers $ batch $ depth $ cache $ algo
     $ enclave_model $ no_auth $ seed $ batch_limit $ ckpt_dir
-    $ background_verify $ metrics_interval)
+    $ background_verify $ metrics_interval $ cold_dir $ cold_threshold)
 
 let stats_format =
   let f =
@@ -602,7 +630,7 @@ let recover_term =
   Term.(
     const (fun () -> recover_cmd)
     $ setup_logs $ recover_dir $ workers $ batch $ depth $ cache $ algo
-    $ enclave_model $ no_auth $ seed)
+    $ enclave_model $ no_auth $ seed $ cold_dir $ cold_threshold)
 
 let client_bench_ops =
   Arg.(value & opt int 100_000 & info [ "ops" ] ~docv:"OPS"
@@ -616,6 +644,213 @@ let client_bench_term =
 
 let scale_term =
   Term.(const (fun () -> scale_cmd) $ setup_logs $ db_size $ ops $ depth)
+
+(* ------------------------------------------------------------------ *)
+(* bench diff: regression gate over archived benchmark runs            *)
+(* ------------------------------------------------------------------ *)
+
+(* The bench harness archives every run as
+   bench/results/<figure>-<timestamp>.json (git rev + scale + the figure's
+   rows, no nested snapshots). `bench diff` compares the newest archive of
+   each figure against the previous one: per metric, the mean over the
+   figure's rows, with a per-figure tolerance. Config keys (db, batch,
+   workers…) carry no direction and are ignored; only keys matching the
+   direction table below are compared. *)
+
+(* Higher-is-better checked first: "ops_per_s" would otherwise match the
+   lower-is-better "_s" suffix family. *)
+let metric_direction key =
+  let has needle = find_sub key needle <> None in
+  if has "ops_per_s" || has "throughput" || has "speedup" then Some `Higher
+  else if
+    has "latency" || has "bytes_per_msg" || has "ns_per_op" || has "pause"
+    || has "lat_p" || has "lat_max" || has "p50" || has "p99" || has "mean_ms"
+  then Some `Lower
+  else None
+
+(* One archived row per line; pull every "key": <number> pair off it. *)
+let kv_pairs line =
+  let n = String.length line in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match String.index_from_opt line !i '"' with
+    | None -> i := n
+    | Some q0 -> (
+        match String.index_from_opt line (q0 + 1) '"' with
+        | None -> i := n
+        | Some q1 ->
+            let key = String.sub line (q0 + 1) (q1 - q0 - 1) in
+            let j = ref (q1 + 1) in
+            while !j < n && (line.[!j] = ':' || line.[!j] = ' ') do incr j done;
+            (if !j < n && line.[q1 + 1] = ':' then
+               match num_after line !j with
+               | Some v -> out := (key, v) :: !out
+               | None -> ());
+            i := q1 + 1))
+  done;
+  List.rev !out
+
+let default_threshold fig = if fig = "wirealloc" then 0.10 else 0.30
+
+(* Mean of each direction-carrying metric over a figure archive's rows. *)
+let archive_metrics path =
+  let ic = open_in path in
+  let tbl = Hashtbl.create 8 in
+  (try
+     while true do
+       let line = input_line ic in
+       if find_sub (String.trim line) "{\"" = Some 2 then
+         List.iter
+           (fun (key, v) ->
+             if metric_direction key <> None then
+               let sum, count =
+                 Option.value ~default:(0.0, 0) (Hashtbl.find_opt tbl key)
+               in
+               Hashtbl.replace tbl key (sum +. v, count + 1))
+           (kv_pairs line)
+     done
+   with End_of_file -> close_in ic);
+  Hashtbl.fold (fun k (sum, n) acc -> (k, sum /. float_of_int n) :: acc) tbl []
+
+(* Archive names are <figure>-<YYYYMMDDTHHMMSSZ>[-<n>].json, where the
+   optional -<n> disambiguates several runs within one second. Parse out
+   (figure, stamp, n) so grouping survives dashes in figure names and the
+   newest-run ordering survives same-second collisions ("-1" sorts before
+   ".json" bytewise, so a plain filename sort would invert them). *)
+let parse_archive f =
+  if not (Filename.check_suffix f ".json") then None
+  else
+    let base = Filename.chop_suffix f ".json" in
+    let n = String.length base in
+    let is_digit c = '0' <= c && c <= '9' in
+    let stamp_at i =
+      i + 16 <= n
+      && base.[i + 8] = 'T'
+      && base.[i + 15] = 'Z'
+      &&
+      let ok = ref true in
+      for j = 0 to 15 do
+        if j <> 8 && j <> 15 && not (is_digit base.[i + j]) then ok := false
+      done;
+      !ok
+    in
+    let rec scan i =
+      if i >= n then None
+      else if base.[i] = '-' && stamp_at (i + 1) then
+        let fig = String.sub base 0 i in
+        let stamp = String.sub base (i + 1) 16 in
+        let rest = String.sub base (i + 17) (n - i - 17) in
+        let seq =
+          if rest = "" then Some 0
+          else if String.length rest > 1 && rest.[0] = '-' then
+            int_of_string_opt (String.sub rest 1 (String.length rest - 1))
+          else None
+        in
+        match seq with Some s when fig <> "" -> Some (fig, stamp, s) | _ -> None
+      else scan (i + 1)
+    in
+    scan 0
+
+let bench_diff_cmd results_dir figures threshold =
+  if not (Sys.file_exists results_dir && Sys.is_directory results_dir) then
+    die "no archived benchmark runs in %s — run the bench harness first"
+      results_dir;
+  (* group the timestamped archives by figure (latest.json copies carry no
+     stamp and are excluded by the parse) *)
+  let archives = Hashtbl.create 8 in
+  Array.iter
+    (fun f ->
+      match parse_archive f with
+      | Some (fig, stamp, seq) ->
+          Hashtbl.replace archives fig
+            ((stamp, seq, f)
+            :: Option.value ~default:[] (Hashtbl.find_opt archives fig))
+      | None -> ())
+    (Sys.readdir results_dir);
+  let selected =
+    match figures with
+    | [] -> List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) archives [])
+    | l -> l
+  in
+  let regressions = ref 0 in
+  List.iter
+    (fun fig ->
+      match Hashtbl.find_opt archives fig with
+      | None -> Printf.printf "%-12s no archived runs\n" fig
+      | Some files when List.length files < 2 ->
+          Printf.printf "%-12s only one archived run — nothing to compare\n" fig
+      | Some files -> (
+          (* order by (stamp, same-second sequence number), newest first *)
+          match
+            List.rev (List.sort compare files) |> List.map (fun (_, _, f) -> f)
+          with
+          | newest :: prev :: _ ->
+              let tol =
+                match threshold with
+                | Some t -> t
+                | None -> default_threshold fig
+              in
+              let base = archive_metrics (Filename.concat results_dir prev) in
+              let cur = archive_metrics (Filename.concat results_dir newest) in
+              Printf.printf "%-12s %s vs %s (tolerance %.0f%%)\n" fig newest
+                prev (100.0 *. tol);
+              List.iter
+                (fun (key, v) ->
+                  match (List.assoc_opt key base, metric_direction key) with
+                  | Some b, Some dir when b <> 0.0 ->
+                      let ratio = v /. b in
+                      let regressed =
+                        match dir with
+                        | `Higher -> ratio < 1.0 -. tol
+                        | `Lower -> ratio > 1.0 +. tol
+                      in
+                      if regressed then incr regressions;
+                      Printf.printf "  %-28s %12.4g -> %12.4g  %+6.1f%%%s\n"
+                        key b v
+                        (100.0 *. (ratio -. 1.0))
+                        (if regressed then "  REGRESSION" else "")
+                  | _ -> ())
+                (List.sort compare cur)
+          | _ -> ()))
+    selected;
+  if !regressions > 0 then
+    die "%d metric(s) regressed beyond tolerance" !regressions
+  else Logs.app (fun m -> m "no regressions beyond tolerance")
+
+let results_dir =
+  Arg.(value & opt string (Filename.concat "bench" "results")
+       & info [ "results-dir" ] ~docv:"DIR"
+           ~doc:"Directory holding the archived benchmark runs.")
+
+let diff_figures =
+  Arg.(value & opt_all string [] & info [ "figure" ] ~docv:"FIG"
+         ~doc:"Only diff this figure (repeatable; default: every figure \
+               with archives).")
+
+let diff_threshold =
+  Arg.(value & opt (some float) None & info [ "threshold" ] ~docv:"FRAC"
+         ~doc:"Override the per-figure tolerance (fraction, e.g. 0.1 = \
+               10%). Defaults: 0.10 for wirealloc, 0.30 elsewhere.")
+
+let bench_diff_term =
+  Term.(
+    const (fun () -> bench_diff_cmd)
+    $ setup_logs $ results_dir $ diff_figures $ diff_threshold)
+
+let bench_cmd_group =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:"Operate on archived benchmark results (the harness itself is \
+             the separate bench/main.exe)")
+    [
+      Cmd.v
+        (Cmd.info "diff"
+           ~doc:"Compare each figure's newest archived run against the \
+                 previous one and fail on metric regressions beyond a \
+                 per-figure tolerance")
+        bench_diff_term;
+    ]
 
 let cmds =
   [
@@ -643,6 +878,7 @@ let cmds =
          ~doc:"Fetch a live metrics snapshot from a running fastver server \
                and optionally reconcile it against itself")
       stats_term;
+    bench_cmd_group;
   ]
 
 let () =

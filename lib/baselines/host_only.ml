@@ -11,7 +11,9 @@ let create records =
 
 let get t k =
   t.ops <- t.ops + 1;
-  Option.map fst (Store.get t.store (Key.of_int64 k))
+  match Store.get t.store (Key.of_int64 k) with
+  | Ok r -> Option.map fst r
+  | Error _ -> None
 
 let put t k v =
   t.ops <- t.ops + 1;
@@ -22,8 +24,8 @@ let scan t k len =
   for i = 0 to len - 1 do
     t.ops <- t.ops + 1;
     match Store.get t.store (Key.of_int64 (Int64.add k (Int64.of_int i))) with
-    | Some _ -> incr found
-    | None -> ()
+    | Ok (Some _) -> incr found
+    | Ok None | Error _ -> ()
   done;
   !found
 

@@ -13,6 +13,10 @@ type t = {
   seed : int;
   metrics_enabled : bool;
   background_verify : bool;
+  cold_dir : string option;
+  cold_threshold : int;
+  cold_segment_bytes : int;
+  cold_gc_ratio : float;
 }
 
 let default =
@@ -31,13 +35,20 @@ let default =
     seed = 42;
     metrics_enabled = true;
     background_verify = false;
+    cold_dir = None;
+    cold_threshold = 100_000;
+    cold_segment_bytes = 4 * 1024 * 1024;
+    cold_gc_ratio = 0.5;
   }
 
 let pp ppf t =
   Format.fprintf ppf
     "workers=%d cache=%d d=%d batch=%d log=%d algo=%a enclave=%a auth=%b \
-     sorted=%b metrics=%b bgverify=%b"
+     sorted=%b metrics=%b bgverify=%b cold=%s"
     t.n_workers t.cache_capacity t.frontier_levels t.batch_size
     t.log_buffer_size Record_enc.pp_algo t.algo Cost_model.pp t.cost_model
     t.authenticate_clients t.sorted_migration t.metrics_enabled
     t.background_verify
+    (match t.cold_dir with
+    | None -> "off"
+    | Some d -> Printf.sprintf "%s@%d" d t.cold_threshold)

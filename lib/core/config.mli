@@ -40,6 +40,16 @@ type t = {
           immediately, and the scan runs over the sealed snapshot on
           background domains. Off by default: [Fastver.verify] then holds
           the world lock for the whole scan (quiesced semantics). *)
+  cold_dir : string option;
+      (** Directory for the authenticated cold tier; [None] keeps every
+          record in memory. Larger-than-memory datasets demote cooling
+          records here after each verification scan. *)
+  cold_threshold : int;
+      (** In-memory record budget: log entries older than the newest
+          [cold_threshold] are demoted to the cold tier. *)
+  cold_segment_bytes : int;  (** Cold segment seal threshold. *)
+  cold_gc_ratio : float;
+      (** Compact a sealed segment once this fraction of its bytes is dead. *)
 }
 
 val default : t

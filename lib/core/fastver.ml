@@ -128,6 +128,11 @@ type t = {
          snapshots *)
   mutable on_verified : (unit -> unit) option;
       (* e.g. auto-checkpoint: runs after each successful scan *)
+  cold : Store.Cold.t option;
+  cold_lock : Mutex.t;
+      (* serialises cold maintenance (demotion + compaction) with itself
+         and with checkpointing, so one demotion pass's segment rotations
+         are never interleaved with another's manifest encoding *)
   stats : stats;
   metrics : Metrics.t;
 }
@@ -175,6 +180,9 @@ let wire_metrics t =
   Reg.counter_fn reg ~help:"Gets served from the spill file"
     "fastver_store_spill_reads_total" (fun () ->
       (Fastver_kvstore.Store.stats t.store).spill_reads);
+  (* Registered whether or not a cold tier is attached, so the documented
+     fastver_cold_* names are always present in a snapshot. *)
+  Store.Cold.wire_metrics t.cold reg;
   Reg.gauge_fn reg
     ~help:"Modelled enclave-transition nanoseconds accumulated"
     "fastver_enclave_overhead_ns" (fun () ->
@@ -193,8 +201,32 @@ let option_codec : string option Store.codec =
         if s = "\x00" then None else Some (String.sub s 1 (String.length s - 1)));
   }
 
+(* Open the cold tier named by the configuration. [manifest] is the
+   committed cold manifest when recovering from a checkpoint; [None] means a
+   fresh start, where any leftover segment files are uncommitted garbage. *)
+let cold_of_config ?manifest (config : Config.t) =
+  match config.cold_dir with
+  | None -> Ok None
+  | Some dir -> (
+      let ccfg =
+        {
+          Store.Cold.dir;
+          mac_secret = config.mac_secret;
+          segment_bytes = config.cold_segment_bytes;
+        }
+      in
+      match manifest with
+      | Some m -> Result.map Option.some (Store.Cold.recover ccfg ~manifest:m)
+      | None ->
+          Result.map Option.some (Store.Cold.create ~clear_stray:true ccfg))
+
 let create ?(config = Config.default) () =
   let enclave = Enclave.create config.cost_model in
+  let cold =
+    match cold_of_config config with
+    | Ok c -> c
+    | Error e -> invalid_arg ("Fastver.create: " ^ e)
+  in
   let vconfig =
     {
       Verifier.n_threads = config.n_workers;
@@ -222,7 +254,7 @@ let create ?(config = Config.default) () =
       config;
       enclave;
       verifier = Verifier.create ~enclave vconfig;
-      store = Store.create ~codec:option_codec ();
+      store = Store.create ?cold ~codec:option_codec ();
       tree = Tree.create ~root_aux:{ mstate = M_cached 0; owner = -1 };
       workers = Array.init config.n_workers worker;
       auth = Auth.key_of_secret config.mac_secret;
@@ -245,6 +277,8 @@ let create ?(config = Config.default) () =
       redeferred = [];
       redeferred_lock = Mutex.create ();
       on_verified = None;
+      cold;
+      cold_lock = Mutex.create ();
       stats =
         {
           ops = 0;
@@ -274,6 +308,7 @@ let stats t = t.stats
 let registry t = Metrics.registry t.metrics
 let verifier_handle t = t.verifier
 let enclave_overhead_ns t = Enclave.charged_ns t.enclave
+let cold_stats t = Option.map Store.Cold.stats t.cold
 let current_epoch t = Verifier.current_epoch t.verifier
 let live_epoch t = Atomic.get t.live_epoch
 let verify_in_flight t = Atomic.get t.verify_inflight
@@ -646,7 +681,7 @@ let rec blum_fast t w key cur ts action =
     (* Another worker won the CAS; retry against the fresh state. *)
     t.stats.cas_retries <- t.stats.cas_retries + 1;
     Metrics.cas_retry t.metrics;
-    match Store.get t.store key with
+    match ok (Store.get t.store key) with
     | Some (cur', aux) when aux_is_blum aux ->
         blum_fast t w key cur' (aux_timestamp aux) action
     | Some _ | None -> raise Raced
@@ -726,7 +761,7 @@ let merkle_slow t key action =
   let descent = Tree.descend t.tree key in
   let w = t.workers.(owner_of_path t descent.path) in
   with_worker_lock t w.wid @@ fun () ->
-  match Store.get t.store key with
+  match ok (Store.get t.store key) with
   | Some (_, aux) when aux_is_blum aux -> None
   | store_state ->
   t.stats.merkle_path <- t.stats.merkle_path + 1;
@@ -839,7 +874,7 @@ let merkle_slow t key action =
 
 let rec process_inner t ?worker key action =
   t.stats.ops <- t.stats.ops + 1;
-  match Store.get t.store key with
+  match ok (Store.get t.store key) with
   | Some (cur, aux) when aux_is_blum aux ->
       t.stats.blum_fast_path <- t.stats.blum_fast_path + 1;
       let w =
@@ -947,7 +982,7 @@ let scan_worker t ~epoch ~background w dirty =
      could never double-migrate. *)
   if t.config.sorted_migration then Array.sort Key.compare dirty;
   let rec migrate_dirty key =
-    match Store.get t.store key with
+    match ok (Store.get t.store key) with
     | Some (v, aux) when aux_is_blum aux ->
         let ts = aux_timestamp aux in
         if Timestamp.epoch ts > epoch then
@@ -1202,9 +1237,34 @@ let join_bg t =
   | Some d -> Domain.join d
   | None -> ()
 
+(* Cold-tier maintenance rides the verification cadence: right after a scan
+   every record's aux is freshly installed, so demotion moves settled
+   versions, and the records just migrated to merkle are exactly the cooling
+   ones. Runs outside [verify_mutex] (demotion flips bodies under stripe
+   locks, safe against live traffic) but under [cold_lock] so two scans
+   finishing close together don't compact concurrently. Maintenance errors
+   are soft — the tier degrades to serving what it has and the next cycle
+   retries — but injected crash faults propagate (the crash tests need the
+   exception to escape). *)
+let cold_maintain t =
+  match t.cold with
+  | None -> ()
+  | Some _ ->
+      with_lock t.cold_lock (fun () ->
+          (match Store.demote_now t.store ~budget:t.config.cold_threshold with
+          | Ok _ -> ()
+          | Error e -> Logs.warn (fun m -> m "cold demotion: %s" e));
+          match
+            Store.compact_cold t.store
+              ~min_dead_ratio:t.config.cold_gc_ratio
+          with
+          | Ok _ -> ()
+          | Error e -> Logs.warn (fun m -> m "cold compaction: %s" e))
+
 let verify_pair t =
   join_bg t;
   let pair = with_lock t.verify_mutex (fun () -> verify_inner t) in
+  cold_maintain t;
   (* post-verification hooks (auto-checkpoint) run outside the locks: they
      re-enter the public API *)
   (match t.on_verified with Some hook -> hook () | None -> ());
@@ -1225,6 +1285,7 @@ let verify_async t ~on_complete =
             (match prev with Some p -> Domain.join p | None -> ());
             match with_lock t.verify_mutex (fun () -> verify_inner t) with
             | pair ->
+                cold_maintain t;
                 (match t.on_verified with Some hook -> hook () | None -> ());
                 on_complete (Ok pair)
             | exception e -> on_complete (Error e))
@@ -1613,6 +1674,12 @@ let data_file = "data.ckpt"
 let sealed_file = "verifier.sealed"
 let tpm_file = "tpm.state"
 
+(* Present only when a cold tier is configured; checksummed by the MANIFEST
+   like every other component. Written after the data checkpoint so every
+   cold reference the data file holds points at a segment the manifest
+   commits. *)
+let cold_manifest_file = "cold.manifest"
+
 (* Checkpoints are versioned generations [dir/ckpt-<n>/] holding the four
    component files plus a MANIFEST with the SHA-256 of each. Every file —
    the manifest included — is written temp-file + fsync + rename
@@ -1747,6 +1814,17 @@ let checkpoint t ~dir =
   Store.checkpoint t.store
     ~path:(Filename.concat gdir data_file)
     ~version:(Verifier.verified_epoch t.verifier);
+  (* Cold tier: the segment files themselves stay in [cold_dir] (they are
+     append-only and immutable once sealed); the generation records only
+     the manifest naming the committed prefix of each. [manifest_encode]
+     fsyncs the active segment first, so every record the data checkpoint
+     references is durable before the manifest that vouches for it. *)
+  (match t.cold with
+  | None -> ()
+  | Some c ->
+      Ckpt_io.write_file_atomic
+        (Filename.concat gdir cold_manifest_file)
+        (Store.Cold.manifest_encode c));
   (* Merkle records: untrusted file; tampering surfaces as verification
      failures after recovery. *)
   let buf = Buffer.create 4096 in
@@ -1763,13 +1841,17 @@ let checkpoint t ~dir =
   Ckpt_io.write_file_atomic (Filename.concat gdir tree_file)
     (Buffer.contents buf);
   (* Commit point: the manifest, checksumming every component, goes last. *)
+  let components =
+    component_files
+    @ (match t.cold with None -> [] | Some _ -> [ cold_manifest_file ])
+  in
   let entries =
     List.map
       (fun name ->
         match Ckpt_io.Manifest.entry_of_file ~dir:gdir name with
         | Ok e -> e
         | Error e -> failwith ("checkpoint: " ^ name ^ ": " ^ e))
-      component_files
+      components
   in
   Ckpt_io.Manifest.write ~dir:gdir { generation; entries };
   Ckpt_io.fsync_dir dir;
@@ -1794,6 +1876,12 @@ let checkpoint t ~dir =
       | Some (fg, _) when g = fg -> ()
       | Some _ | None -> Ckpt_io.remove_tree path)
     older;
+  (* Only now — after the new generation committed and old ones were
+     pruned — may segments retired two checkpoints ago be unlinked: no
+     retained manifest can still name them. *)
+  (match t.cold with
+  | None -> ()
+  | Some c -> Store.Cold.note_checkpoint c);
   Metrics.checkpoint_write t.metrics (now () -. ck0)
 
 (* Rebuild a system from one committed generation directory. Total: every
@@ -1853,8 +1941,24 @@ let recover_generation ?(config = Config.default) ~gdir () =
     }
   in
   let* verifier = Verifier.of_summary ~enclave vconfig summary in
+  (* The cold tier recovers from the manifest this generation committed:
+     sealed segments are re-verified against their footers and the torn
+     tail of the active segment is truncated back to the committed length.
+     A generation without a cold manifest (written with the tier off)
+     recovers with a fresh tier when one is now configured. *)
+  let* cold =
+    let mpath = Filename.concat gdir cold_manifest_file in
+    if Sys.file_exists mpath then
+      let* manifest =
+        try Ok (read_file mpath) with Sys_error e | Failure e -> Error e
+      in
+      cold_of_config ~manifest config
+    else cold_of_config config
+  in
   let* store, data_version =
-    Store.recover ~codec:option_codec ~path:(Filename.concat gdir data_file) ()
+    Store.recover ?cold ~codec:option_codec
+      ~path:(Filename.concat gdir data_file)
+      ()
   in
   (* The data checkpoint's version must equal the sealed verifier summary's
      verified epoch: they were written by the same checkpoint, and a
@@ -1961,6 +2065,8 @@ let recover_generation ?(config = Config.default) ~gdir () =
       redeferred = [];
       redeferred_lock = Mutex.create ();
       on_verified = None;
+      cold;
+      cold_lock = Mutex.create ();
       stats =
         {
           ops = 0;
@@ -1997,7 +2103,7 @@ let recover_generation ?(config = Config.default) ~gdir () =
      next scan could never balance those entries. The store aux is the
      source of truth — it also covers keys that were sitting in the
      in-memory re-deferral list when the process died. *)
-  Store.iter_live t.store (fun k _ aux ->
+  Store.iter_aux t.store (fun k aux ->
       if aux_is_blum aux then begin
         let w = t.workers.(owner_of_data_key t k) in
         w.dirty <- k :: w.dirty;
@@ -2151,8 +2257,8 @@ module Testing = struct
   let corrupt_store t k value =
     let key = Key.of_int64 k in
     match Store.get t.store key with
-    | Some (_, aux) -> Store.put t.store key value ~aux
-    | None -> Store.put t.store key value ~aux:aux_merkle
+    | Ok (Some (_, aux)) -> Store.put t.store key value ~aux
+    | Ok None | Error _ -> Store.put t.store key value ~aux:aux_merkle
 
   let replay_last_put t =
     match !last_put with

@@ -35,6 +35,9 @@ module Bounded_queue : module type of Bounded_queue
 type t
 
 val create : ?config:Config.t -> unit -> t
+(** @raise Invalid_argument if [Config.cold_dir] is set but the cold tier
+    cannot be opened (unwritable directory, segment size below the record
+    overhead). *)
 
 val config : t -> Config.t
 
@@ -339,6 +342,10 @@ val registry : t -> Fastver_obs.Registry.t
 val enclave_overhead_ns : t -> int64
 (** Modelled enclave-transition time accumulated so far; add to wall time
     when computing effective throughput. *)
+
+val cold_stats : t -> Fastver_kvstore.Store.Cold.stats option
+(** Cold-tier counters (segments, live/dead bytes, authenticated reads,
+    GC rewrites); [None] when [Config.cold_dir] is unset. *)
 
 val verifier_handle : t -> Fastver_verifier.Verifier.t
 (** The underlying verifier (read-only uses: stats, epoch inspection). *)

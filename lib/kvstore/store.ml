@@ -2,11 +2,17 @@ type 'v codec = { encode : 'v -> string; decode : string -> 'v }
 
 let string_codec = { encode = Fun.id; decode = Fun.id }
 
+module Cold = Fastver_cold.Cold
+
 type 'v body =
   | In_memory of { mutable value : 'v; mutable aux : int64 }
   | Spilled of { file_off : int; len : int; aux : int64 }
+  | Cold_ref of { cref : Cold.rref; aux : int64 }
 
 type 'v slot = { key : Key.t; mutable body : 'v body; prev : int }
+
+let aux_of_body = function
+  | In_memory { aux; _ } | Spilled { aux; _ } | Cold_ref { aux; _ } -> aux
 
 type stats = {
   reads : int;
@@ -45,10 +51,12 @@ type 'v t = {
   mutable spill_chan : (in_channel * out_channel) option;
   mutable spill_end : int; (* bytes written to the spill file *)
   mutable spilled_through : int; (* addresses < this may be on disk *)
+  cold : Cold.t option;
+  mutable demoted_through : int; (* addresses < this may be in the cold tier *)
   stats : stats_live;
 }
 
-let create ?(mutable_region_entries = 1 lsl 20) ?spill ~codec () =
+let create ?(mutable_region_entries = 1 lsl 20) ?spill ?cold ~codec () =
   {
     index = Key.Tbl.create 4096;
     chunks = Array.make 16 [||];
@@ -61,6 +69,8 @@ let create ?(mutable_region_entries = 1 lsl 20) ?spill ~codec () =
     spill_chan = None;
     spill_end = 0;
     spilled_through = 0;
+    cold;
+    demoted_through = 0;
     stats =
       {
         a_reads = Atomic.make 0;
@@ -109,131 +119,324 @@ let with_stripe t key f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
+(* Misconfiguration (a spilled or cold record with no backing tier) is a
+   total [Error _], not an exception: the server answers the one request
+   with a failure instead of dying mid-request. *)
 let spill_channels t =
   match (t.spill_chan, t.spill) with
-  | Some c, _ -> c
-  | None, None -> invalid_arg "Store: spill not configured"
-  | None, Some (path, _) ->
-      let oc =
-        open_out_gen [ Open_creat; Open_wronly; Open_binary ] 0o644 path
-      and ic = open_in_bin path in
-      t.spill_end <- in_channel_length ic;
-      seek_out oc t.spill_end;
-      t.spill_chan <- Some (ic, oc);
-      (ic, oc)
+  | Some c, _ -> Ok c
+  | None, None -> Error "Store: spill not configured"
+  | None, Some (path, _) -> (
+      match
+        ( open_out_gen [ Open_creat; Open_wronly; Open_binary ] 0o644 path,
+          open_in_bin path )
+      with
+      | oc, ic ->
+          t.spill_end <- in_channel_length ic;
+          seek_out oc t.spill_end;
+          t.spill_chan <- Some (ic, oc);
+          Ok (ic, oc)
+      | exception Sys_error e -> Error ("Store: spill open failed: " ^ e))
 
 let with_spill_lock t f =
   Mutex.lock t.spill_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.spill_lock) f
 
+let decode_value t raw =
+  match t.codec.decode raw with
+  | v -> Ok v
+  | exception _ -> Error "Store: undecodable record payload"
+
 let read_spilled t ~file_off ~len =
   let raw =
     with_spill_lock t (fun () ->
-        let ic, _ = spill_channels t in
-        seek_in ic file_off;
-        bump t.stats.a_spill_reads;
-        really_input_string ic len)
+        match spill_channels t with
+        | Error _ as e -> e
+        | Ok (ic, _) -> (
+            seek_in ic file_off;
+            bump t.stats.a_spill_reads;
+            match really_input_string ic len with
+            | raw -> Ok raw
+            | exception End_of_file -> Error "Store: spill read truncated"))
   in
-  t.codec.decode raw
+  Result.bind raw (decode_value t)
 
-let current t key =
+(* A cold read that raced compaction (the segment was rewritten and retired
+   between fetching the reference and reading it) reports [`Stale]; the
+   rewrite installed a fresh reference first, so re-reading the slot body
+   succeeds. Bounded retries: anything persistent is a real error. *)
+let rec current ?(retries = 3) t key =
   match Key.Tbl.find_opt t.index key with
-  | None -> None
+  | None -> Ok None
   | Some addr -> (
       let s = slot t addr in
       match s.body with
-      | In_memory { value; aux } -> Some (addr, value, aux)
+      | In_memory { value; aux } -> Ok (Some (addr, value, aux))
       | Spilled { file_off; len; aux } ->
-          Some (addr, read_spilled t ~file_off ~len, aux))
+          Result.map
+            (fun v -> Some (addr, v, aux))
+            (read_spilled t ~file_off ~len)
+      | Cold_ref { cref; aux } -> (
+          match t.cold with
+          | None -> Error "Store: cold tier not configured"
+          | Some c -> (
+              match Cold.get c ~key cref with
+              | Ok (raw, rec_aux) ->
+                  if not (Int64.equal rec_aux aux) then
+                    Error "Store: cold record aux disagrees with index"
+                  else
+                    Result.map (fun v -> Some (addr, v, aux)) (decode_value t raw)
+              | Error `Stale when retries > 0 ->
+                  current ~retries:(retries - 1) t key
+              | Error `Stale -> Error "Store: cold segment retired during read"
+              | Error (`Fail e) -> Error e)))
 
 let get t key =
   bump t.stats.a_reads;
   with_stripe t key (fun () ->
-      Option.map (fun (_, v, a) -> (v, a)) (current t key))
+      Result.map (Option.map (fun (_, v, a) -> (v, a))) (current t key))
+
+let note_dead_body t body =
+  match (body, t.cold) with
+  | Cold_ref { cref; _ }, Some c -> Cold.note_dead c cref
+  | _ -> ()
 
 (* Install a new (value, aux) for [key]; in place when the current version is
    in the mutable region, copy-on-write otherwise. Caller holds the stripe. *)
 let install t key value aux =
   bump t.stats.a_writes;
-  match Key.Tbl.find_opt t.index key with
-  | Some addr when addr >= readonly_boundary t -> (
-      let s = slot t addr in
-      match s.body with
+  let in_place =
+    match Key.Tbl.find_opt t.index key with
+    | Some addr when addr >= readonly_boundary t -> (
+        (* Recovery can land cold references in the mutable region; those
+           update copy-on-write like any other on-disk version. *)
+        match (slot t addr).body with
+        | In_memory _ -> Some addr
+        | Spilled _ | Cold_ref _ -> None)
+    | Some _ | None -> None
+  in
+  match in_place with
+  | Some addr -> (
+      match (slot t addr).body with
       | In_memory b ->
           b.value <- value;
           b.aux <- aux
-      | Spilled _ ->
-          (* Mutable-region entries are never spilled. *)
-          assert false)
-  | (Some _ | None) as prior ->
-      let prev = Option.value prior ~default:(-1) in
-      if prev >= 0 then bump t.stats.a_rcu_copies;
-      let addr = append t { key; body = In_memory { value; aux }; prev } in
-      Key.Tbl.replace t.index key addr
+      | Spilled _ | Cold_ref _ -> assert false)
+  | None ->
+      (match Key.Tbl.find_opt t.index key with
+      | Some prev ->
+          bump t.stats.a_rcu_copies;
+          note_dead_body t (slot t prev).body;
+          let addr = append t { key; body = In_memory { value; aux }; prev } in
+          Key.Tbl.replace t.index key addr
+      | None ->
+          let addr =
+            append t { key; body = In_memory { value; aux }; prev = -1 }
+          in
+          Key.Tbl.replace t.index key addr)
 
 let put t key value ~aux =
   with_stripe t key (fun () -> install t key value aux)
 
+(* Aux-only compare: every body variant carries its aux word, so the CAS
+   never needs the value bytes — a cold or spilled record CASes without
+   touching disk. *)
 let try_cas t key ~expected_aux value ~aux =
   with_stripe t key (fun () ->
-      match current t key with
-      | Some (_, _, cur_aux) when Int64.equal cur_aux expected_aux ->
-          install t key value aux;
-          true
-      | Some _ | None -> false)
+      match Key.Tbl.find_opt t.index key with
+      | None -> false
+      | Some addr ->
+          if Int64.equal (aux_of_body (slot t addr).body) expected_aux then begin
+            install t key value aux;
+            true
+          end
+          else false)
 
 let update t key f =
   with_stripe t key (fun () ->
-      let prior = Option.map (fun (_, v, a) -> (v, a)) (current t key) in
-      let value, aux = f prior in
-      install t key value aux)
+      match current t key with
+      | Error _ as e -> e
+      | Ok prior ->
+          let value, aux = f (Option.map (fun (_, v, a) -> (v, a)) prior) in
+          install t key value aux;
+          Ok ())
 
-let delete t key = with_stripe t key (fun () -> Key.Tbl.remove t.index key)
+let delete t key =
+  with_stripe t key (fun () ->
+      (match Key.Tbl.find_opt t.index key with
+      | Some addr -> note_dead_body t (slot t addr).body
+      | None -> ());
+      Key.Tbl.remove t.index key)
+
+exception Iter_stop of string
 
 let iter_live t f =
-  Key.Tbl.iter
-    (fun key addr ->
-      match (slot t addr).body with
-      | In_memory { value; aux } -> f key value aux
-      | Spilled { file_off; len; aux } ->
-          f key (read_spilled t ~file_off ~len) aux)
-    t.index
+  match
+    Key.Tbl.iter
+      (fun key addr ->
+        match (slot t addr).body with
+        | In_memory { value; aux } -> f key value aux
+        | Spilled { file_off; len; aux } -> (
+            match read_spilled t ~file_off ~len with
+            | Ok v -> f key v aux
+            | Error e -> raise (Iter_stop e))
+        | Cold_ref { cref; aux } -> (
+            match t.cold with
+            | None -> raise (Iter_stop "Store: cold tier not configured")
+            | Some c -> (
+                match Cold.get c ~key cref with
+                | Ok (raw, _) -> (
+                    match decode_value t raw with
+                    | Ok v -> f key v aux
+                    | Error e -> raise (Iter_stop e))
+                | Error `Stale -> raise (Iter_stop "Store: stale cold read")
+                | Error (`Fail e) -> raise (Iter_stop e))))
+      t.index
+  with
+  | () -> Ok ()
+  | exception Iter_stop e -> Error e
+
+let iter_aux t f = Key.Tbl.iter (fun key addr -> f key (aux_of_body (slot t addr).body)) t.index
 
 let spill_now t =
   match t.spill with
-  | None -> ()
+  | None -> Error "Store: spill not configured"
   | Some (_, budget) ->
       let keep_from = max (readonly_boundary t) (t.tail - budget) in
-      if keep_from > t.spilled_through then
+      if keep_from <= t.spilled_through then Ok ()
+      else
         with_spill_lock t @@ fun () ->
-        let _, oc = spill_channels t in
-        for addr = t.spilled_through to keep_from - 1 do
-          let ci = addr lsr chunk_bits in
-          match t.chunks.(ci).(addr land (chunk_size - 1)) with
-          | None -> ()
-          | Some s -> (
-              match s.body with
-              | Spilled _ -> ()
-              | In_memory { value; aux } ->
-                  (* Superseded versions are simply dropped. *)
-                  if Key.Tbl.find_opt t.index s.key = Some addr then begin
-                    let data = t.codec.encode value in
-                    let file_off = t.spill_end in
-                    output_string oc data;
-                    t.spill_end <- t.spill_end + String.length data;
-                    s.body <-
-                      Spilled { file_off; len = String.length data; aux }
-                  end
-                  else
-                    t.chunks.(ci).(addr land (chunk_size - 1)) <- None)
-        done;
-        flush oc;
-        t.spilled_through <- keep_from
+        match spill_channels t with
+        | Error _ as e -> e
+        | Ok (_, oc) ->
+            for addr = t.spilled_through to keep_from - 1 do
+              let ci = addr lsr chunk_bits in
+              match t.chunks.(ci).(addr land (chunk_size - 1)) with
+              | None -> ()
+              | Some s -> (
+                  match s.body with
+                  | Spilled _ | Cold_ref _ -> ()
+                  | In_memory { value; aux } ->
+                      (* Superseded versions are simply dropped. *)
+                      if Key.Tbl.find_opt t.index s.key = Some addr then begin
+                        let data = t.codec.encode value in
+                        let file_off = t.spill_end in
+                        output_string oc data;
+                        t.spill_end <- t.spill_end + String.length data;
+                        s.body <-
+                          Spilled { file_off; len = String.length data; aux }
+                      end
+                      else
+                        t.chunks.(ci).(addr land (chunk_size - 1)) <- None)
+            done;
+            flush oc;
+            t.spilled_through <- keep_from;
+            Ok ()
 
-(* Checkpoint format: magic, version(8), count(8), then per record
-   key(34) aux(8) len(4) payload. The version is a full int64 — the verified
-   epoch must round-trip exactly; FVCKPT01 truncated it through int32. *)
-let magic = "FVCKPT02"
+(* {2 Cold-tier demotion and compaction} *)
+
+let cold_tier t = t.cold
+
+(* Demote cooling record versions (older than the in-memory budget, outside
+   the mutable region) to the cold tier. Unlike [spill_now] this runs under
+   each key's stripe lock, so it is safe while serving: the body flip cannot
+   race an install or a read of the same key. *)
+let demote_now t ~budget =
+  match t.cold with
+  | None -> Ok 0
+  | Some c ->
+      let keep_from = max (readonly_boundary t) (t.tail - budget) in
+      if keep_from <= t.demoted_through then Ok 0
+      else begin
+        let demoted = ref 0 in
+        let err = ref None in
+        let addr = ref t.demoted_through in
+        while !err = None && !addr < keep_from do
+          let a = !addr in
+          let ci = a lsr chunk_bits in
+          (match t.chunks.(ci).(a land (chunk_size - 1)) with
+          | None -> ()
+          | Some s ->
+              with_stripe t s.key (fun () ->
+                  if Key.Tbl.find_opt t.index s.key = Some a then begin
+                    match s.body with
+                    | Spilled _ | Cold_ref _ -> ()
+                    | In_memory { value; aux } -> (
+                        let data = t.codec.encode value in
+                        match Cold.append c ~key:s.key ~aux ~value:data with
+                        | Ok cref ->
+                            s.body <- Cold_ref { cref; aux };
+                            incr demoted
+                        | Error e -> err := Some e)
+                  end
+                  else begin
+                    (* superseded version: drop it, account dead cold bytes *)
+                    note_dead_body t s.body;
+                    t.chunks.(ci).(a land (chunk_size - 1)) <- None
+                  end));
+          if !err = None then begin
+            incr addr;
+            t.demoted_through <- !addr
+          end
+        done;
+        match !err with Some e -> Error e | None -> Ok !demoted
+      end
+
+(* Rewrite the live records out of garbage-heavy sealed segments, then retire
+   those segments. Raw record bytes move without a decode round-trip; the
+   authenticated read validates them before the rewrite. *)
+let compact_cold t ~min_dead_ratio =
+  match t.cold with
+  | None -> Ok 0
+  | Some c -> (
+      match Cold.gc_candidates c ~min_dead_ratio with
+      | [] -> Ok 0
+      | cands ->
+          let in_cand seg = List.mem seg cands in
+          let chunks = t.chunks and tail = t.tail in
+          let rewritten = ref 0 in
+          let err = ref None in
+          let addr = ref 0 in
+          while !err = None && !addr < tail do
+            let a = !addr in
+            let ci = a lsr chunk_bits in
+            (match chunks.(ci).(a land (chunk_size - 1)) with
+            | None -> ()
+            | Some s ->
+                with_stripe t s.key (fun () ->
+                    match s.body with
+                    | Cold_ref { cref; aux }
+                      when in_cand cref.Cold.seg
+                           && Key.Tbl.find_opt t.index s.key = Some a -> (
+                        match Cold.get c ~key:s.key cref with
+                        | Ok (raw, _) -> (
+                            match Cold.append c ~key:s.key ~aux ~value:raw with
+                            | Ok cref' ->
+                                s.body <- Cold_ref { cref = cref'; aux };
+                                Cold.note_dead c cref;
+                                Cold.note_gc_rewrite c;
+                                incr rewritten
+                            | Error e -> err := Some e)
+                        | Error `Stale -> ()
+                        | Error (`Fail e) -> err := Some e)
+                    | _ -> ()));
+            incr addr
+          done;
+          (match !err with
+          | Some e -> Error e
+          | None ->
+              Cold.retire_segments c cands;
+              Ok !rewritten))
+
+(* Checkpoint format FVCKPT03: magic, version(8), count(8), then per record
+   key(34) aux(8) tag(1) and either an inline payload (tag 0: len(4) data)
+   or a cold-tier reference (tag 1: seg(4) off(8) len(4)) — cold values are
+   already durable in their segment, so the checkpoint stores the pointer
+   and the cold manifest vouches for the segment. FVCKPT02 (inline-only, no
+   tag byte) is still readable; FVCKPT01 truncated the version through int32
+   and is rejected explicitly. *)
+let magic = "FVCKPT03"
+let magic_v2 = "FVCKPT02"
 let legacy_magic = "FVCKPT01" (* int32 version header; no longer readable *)
 
 let checkpoint t ~path ~version =
@@ -243,21 +446,45 @@ let checkpoint t ~path ~version =
   Bytes.set_int64_le header 0 (Int64.of_int version);
   Bytes.set_int64_le header 8 (Int64.of_int (length t));
   Ckpt_io.write_bytes w header;
-  iter_live t (fun key value aux ->
+  let write_inline aux data =
+    let meta = Bytes.create 13 in
+    Bytes.set_int64_le meta 0 aux;
+    Bytes.set meta 8 '\000';
+    Bytes.set_int32_le meta 9 (Int32.of_int (String.length data));
+    Ckpt_io.write_bytes w meta;
+    Ckpt_io.write w data
+  in
+  Key.Tbl.iter
+    (fun key addr ->
       Ckpt_io.write w (Key.encode key);
-      let data = t.codec.encode value in
-      let meta = Bytes.create 12 in
-      Bytes.set_int64_le meta 0 aux;
-      Bytes.set_int32_le meta 8 (Int32.of_int (String.length data));
-      Ckpt_io.write_bytes w meta;
-      Ckpt_io.write w data)
+      match (slot t addr).body with
+      | In_memory { value; aux } -> write_inline aux (t.codec.encode value)
+      | Spilled { file_off; len; aux } -> (
+          match read_spilled t ~file_off ~len with
+          | Ok v -> write_inline aux (t.codec.encode v)
+          | Error e -> failwith ("checkpoint: " ^ e))
+      | Cold_ref { cref; aux } ->
+          let meta = Bytes.create 25 in
+          Bytes.set_int64_le meta 0 aux;
+          Bytes.set meta 8 '\001';
+          Bytes.set_int32_le meta 9 (Int32.of_int cref.Cold.seg);
+          Bytes.set_int64_le meta 13 (Int64.of_int cref.Cold.off);
+          Bytes.set_int32_le meta 21 (Int32.of_int cref.Cold.len);
+          Ckpt_io.write_bytes w meta)
+    t.index
 
 (* Every length and count read from disk is validated against the bytes
    actually remaining in the file before it is used for allocation or
    arithmetic: the checkpoint is untrusted input, and recovery must be total
    — any malformed file is an [Error], never an exception (and never an
    attempt to allocate a record the file could not possibly contain). *)
-let recover ?mutable_region_entries ?spill ~codec ~path () =
+let put_cold t key ~cref ~aux =
+  with_stripe t key (fun () ->
+      let addr = append t { key; body = Cold_ref { cref; aux }; prev = -1 } in
+      Key.Tbl.replace t.index key addr);
+  match t.cold with Some c -> Cold.note_live c cref | None -> ()
+
+let recover ?mutable_region_entries ?spill ?cold ~codec ~path () =
   match open_in_bin path with
   | exception Sys_error e -> Error e
   | ic -> (
@@ -271,8 +498,9 @@ let recover ?mutable_region_entries ?spill ~codec ~path () =
               Error
                 "unsupported legacy checkpoint format FVCKPT01; \
                  re-checkpoint with this release"
-          | m when m <> magic -> Error "bad checkpoint magic"
-          | _ -> (
+          | m when m <> magic && m <> magic_v2 -> Error "bad checkpoint magic"
+          | m -> (
+              let v3 = m = magic in
               try
                 let header = really_input_string ic 16 in
                 let version64 = String.get_int64_le header 0 in
@@ -280,7 +508,8 @@ let recover ?mutable_region_entries ?spill ~codec ~path () =
                 then failwith "checkpoint: bad version";
                 let version = Int64.to_int version64 in
                 let count64 = String.get_int64_le header 8 in
-                (* Each record occupies at least 34 + 12 bytes. *)
+                (* Each record occupies at least 34 + 12 bytes (v2) or
+                   34 + 13 (v3, inline empty payload). *)
                 let remaining = size - String.length magic - 16 in
                 if
                   count64 < 0L
@@ -288,30 +517,67 @@ let recover ?mutable_region_entries ?spill ~codec ~path () =
                   || Int64.to_int count64 > remaining / 46
                 then failwith "checkpoint: implausible record count";
                 let count = Int64.to_int count64 in
-                let t = create ?mutable_region_entries ?spill ~codec () in
-                for _ = 1 to count do
-                  let kenc = really_input_string ic 34 in
-                  let meta = really_input_string ic 12 in
-                  let aux = String.get_int64_le meta 0 in
-                  let len = Int32.to_int (String.get_int32_le meta 8) in
+                let t = create ?mutable_region_entries ?spill ?cold ~codec () in
+                let decode_key kenc =
+                  let depth = String.get_uint16_le kenc 0 in
+                  let path32 = String.sub kenc 2 32 in
+                  if depth = Key.max_depth then Key.of_bytes32 path32
+                  else
+                    (* Only data keys appear in data checkpoints; merkle
+                       trees are rebuilt by the integrity layer. *)
+                    failwith "non-data key in checkpoint"
+                in
+                let put_inline key aux len =
                   if len < 0 || len > size - pos_in ic then
                     failwith "checkpoint: record length exceeds file";
                   let data = really_input_string ic len in
-                  let depth = String.get_uint16_le kenc 0 in
-                  let key =
-                    let path32 = String.sub kenc 2 32 in
-                    if depth = Key.max_depth then Key.of_bytes32 path32
-                    else
-                      (* Only data keys appear in data checkpoints; merkle
-                         trees are rebuilt by the integrity layer. *)
-                      failwith "non-data key in checkpoint"
-                  in
                   let value =
                     match codec.decode data with
                     | v -> v
                     | exception _ -> failwith "checkpoint: undecodable record"
                   in
                   put t key value ~aux
+                in
+                for _ = 1 to count do
+                  let kenc = really_input_string ic 34 in
+                  if v3 then begin
+                    let meta = really_input_string ic 9 in
+                    let aux = String.get_int64_le meta 0 in
+                    match meta.[8] with
+                    | '\000' ->
+                        let len32 = really_input_string ic 4 in
+                        put_inline (decode_key kenc) aux
+                          (Int32.to_int (String.get_int32_le len32 0))
+                    | '\001' -> (
+                        let refb = really_input_string ic 16 in
+                        let seg = Int32.to_int (String.get_int32_le refb 0) in
+                        let off64 = String.get_int64_le refb 4 in
+                        let len = Int32.to_int (String.get_int32_le refb 12) in
+                        if
+                          off64 < 0L
+                          || Int64.of_int (Int64.to_int off64) <> off64
+                          || seg < 0 || len < 0
+                        then failwith "checkpoint: malformed cold reference";
+                        let cref =
+                          { Cold.seg; off = Int64.to_int off64; len }
+                        in
+                        match cold with
+                        | None ->
+                            failwith
+                              "checkpoint references cold segments but no \
+                               cold tier is configured"
+                        | Some c -> (
+                            match Cold.validate_ref c cref with
+                            | Error e -> failwith ("checkpoint: " ^ e)
+                            | Ok () -> put_cold t (decode_key kenc) ~cref ~aux))
+                    | _ -> failwith "checkpoint: unknown record tag"
+                  end
+                  else begin
+                    let meta = really_input_string ic 12 in
+                    let aux = String.get_int64_le meta 0 in
+                    let len = Int32.to_int (String.get_int32_le meta 8) in
+                    put_inline (decode_key kenc) aux len
+                  end
                 done;
                 Ok (t, version)
               with

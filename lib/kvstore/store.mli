@@ -3,10 +3,11 @@
     Records live in a log-structured address space split, like FASTER's
     HybridLog, into a {e mutable region} (newest addresses, updated in
     place), a {e read-only region} (updates go copy-on-write: a new version
-    is appended and the hash index is swung to it), and an optional
-    {e spilled region} (oldest versions serialised to a data file and read
-    back on demand). A hash index maps each key to the address of its newest
-    version.
+    is appended and the hash index is swung to it), and two optional on-disk
+    regions for the oldest versions: a plain {e spill} file (unauthenticated,
+    kept for baselines) and an authenticated {e cold tier}
+    ({!Fastver_cold.Cold}) whose reads are MAC-checked end to end. A hash
+    index maps each key to the address of its newest version.
 
     Every record carries the paper's 64-bit [aux] field (§7), updated
     atomically together with the value: {!try_cas} emulates FASTER's 128-bit
@@ -14,8 +15,14 @@
     speculative timestamp installation (§5.3). Mutations are serialised per
     key through striped locks, so the store is safe under OCaml domains.
 
+    Reads that may touch a disk tier are total: a missing or misconfigured
+    backing tier, a torn read or a failed integrity check is an [Error _],
+    never an exception — the server fails the one request and keeps serving.
+
     The store is polymorphic in the value type; a {!codec} is needed only
-    when records are spilled or checkpointed. *)
+    when records leave memory or are checkpointed. *)
+
+module Cold = Fastver_cold.Cold
 
 type 'v codec = { encode : 'v -> string; decode : string -> 'v }
 
@@ -26,13 +33,16 @@ type 'v t
 val create :
   ?mutable_region_entries:int ->
   ?spill:(string * int) ->
+  ?cold:Cold.t ->
   codec:'v codec ->
   unit ->
   'v t
 (** [create ~codec ()] builds an empty store. [mutable_region_entries]
     bounds the in-place-updatable suffix of the log (default 1 M entries).
     [spill = (path, memory_budget_entries)] enables spilling of cold record
-    versions to [path] once the in-memory log exceeds the budget. *)
+    versions to [path] once the in-memory log exceeds the budget. [cold]
+    attaches an authenticated cold tier; {!demote_now} moves cooling
+    versions into it. *)
 
 val length : 'v t -> int
 (** Number of live records. *)
@@ -40,8 +50,10 @@ val length : 'v t -> int
 val log_size : 'v t -> int
 (** Number of allocated log entries (live + superseded versions). *)
 
-val get : 'v t -> Key.t -> ('v * int64) option
-(** Current value and aux field of a key. *)
+val get : 'v t -> Key.t -> (('v * int64) option, string) result
+(** Current value and aux field of a key. [Ok None] when absent; [Error _]
+    when the record lives on disk and the read failed (misconfigured tier,
+    torn read, or — for the cold tier — a failed MAC check). *)
 
 val put : 'v t -> Key.t -> 'v -> aux:int64 -> unit
 (** Insert or update unconditionally. *)
@@ -49,20 +61,44 @@ val put : 'v t -> Key.t -> 'v -> aux:int64 -> unit
 val try_cas : 'v t -> Key.t -> expected_aux:int64 -> 'v -> aux:int64 -> bool
 (** Atomically update value and aux iff the key exists and its current aux
     equals [expected_aux] — the speculative-update primitive of §5.3/§7.
-    Returns [false] (no change) otherwise. *)
+    Returns [false] (no change) otherwise. Compares the aux word carried by
+    the slot, so it never reads a disk tier. *)
 
-val update : 'v t -> Key.t -> (('v * int64) option -> 'v * int64) -> unit
-(** Read-modify-write under the key's stripe lock. *)
+val update :
+  'v t -> Key.t -> (('v * int64) option -> 'v * int64) -> (unit, string) result
+(** Read-modify-write under the key's stripe lock. [Error _] if the prior
+    value could not be read back from its disk tier (no update happens). *)
 
 val delete : 'v t -> Key.t -> unit
 
-val iter_live : 'v t -> (Key.t -> 'v -> int64 -> unit) -> unit
-(** Iterate over current versions, in unspecified order. *)
+val iter_live :
+  'v t -> (Key.t -> 'v -> int64 -> unit) -> (unit, string) result
+(** Iterate over current versions, in unspecified order. Stops at the first
+    record whose disk tier fails to produce it. *)
+
+val iter_aux : 'v t -> (Key.t -> int64 -> unit) -> unit
+(** Iterate over the (key, aux) of every current version without touching
+    any disk tier. Total. *)
 
 (** {2 Maintenance} *)
 
-val spill_now : 'v t -> unit
-(** Force cold versions beyond the memory budget out to the spill file. *)
+val spill_now : 'v t -> (unit, string) result
+(** Force cold versions beyond the memory budget out to the spill file.
+    [Error _] when no spill file is configured (misconfiguration is total,
+    never an exception). *)
+
+val cold_tier : 'v t -> Cold.t option
+
+val demote_now : 'v t -> budget:int -> (int, string) result
+(** Demote record versions older than the newest [budget] log entries (and
+    outside the mutable region) to the cold tier; returns how many moved.
+    Each body flip happens under the key's stripe lock, so demotion is safe
+    while the store is serving. [Ok 0] when no cold tier is attached. *)
+
+val compact_cold : 'v t -> min_dead_ratio:float -> (int, string) result
+(** Rewrite live records out of sealed segments whose dead-byte ratio is at
+    least [min_dead_ratio], then retire those segments; returns how many
+    records were rewritten. Every rewrite re-validates the record's MAC. *)
 
 type stats = {
   reads : int;
@@ -73,7 +109,8 @@ type stats = {
 
 val stats : 'v t -> stats
 (** A consistent-enough snapshot: the live counters are [Atomic.t]s bumped
-    from any domain; each field reads one atomic. *)
+    from any domain; each field reads one atomic. Cold-tier counters live in
+    {!Cold.stats}. *)
 
 (** {2 Checkpointing (CPR-style)}
 
@@ -84,19 +121,26 @@ val stats : 'v t -> stats
 val checkpoint : 'v t -> path:string -> version:int -> unit
 (** Atomic: the snapshot is streamed to [path ^ ".tmp"], fsynced and renamed
     over [path] ({!Ckpt_io}), so a crash mid-checkpoint leaves the previous
-    file intact. [version] (the verified epoch) is stored as a full int64. *)
+    file intact. [version] (the verified epoch) is stored as a full int64.
+    Cold records are stored as segment references (their bytes are already
+    durable in the cold tier); pair this file with the cold manifest in the
+    same generation. @raise Failure if a spilled record cannot be read back. *)
 
 val recover :
   ?mutable_region_entries:int ->
   ?spill:(string * int) ->
+  ?cold:Cold.t ->
   codec:'v codec ->
   path:string ->
   unit ->
   ('v t * int, string) result
 (** Returns the store and the checkpoint version, or an error if the file is
-    missing or corrupt. A checkpoint with the legacy [FVCKPT01] magic (int32
-    version header) is rejected with an explicit unsupported-format error
-    rather than a generic bad-magic one. Total on untrusted input: every
-    on-disk length and count is validated against the file size before use,
-    so arbitrary byte corruption yields [Error _], never an exception or an
-    oversized allocation. *)
+    missing or corrupt. Reads the current [FVCKPT03] format and the previous
+    inline-only [FVCKPT02]; the legacy [FVCKPT01] magic (int32 version
+    header) is rejected with an explicit unsupported-format error rather
+    than a generic bad-magic one. Cold references are validated against
+    [cold] (recovered from the same generation's manifest) — a checkpoint
+    that references cold segments recovers to [Error _] when no cold tier is
+    configured. Total on untrusted input: every on-disk length and count is
+    validated against the file size before use, so arbitrary byte corruption
+    yields [Error _], never an exception or an oversized allocation. *)

@@ -114,6 +114,23 @@ OCAMLRUNPARAM=v=0x400 $TEST test net > "$WORK/stress-net.log" 2>&1 \
   || { cat "$WORK/stress-net.log"; exit 1; }
 echo "  parallel + net suites clean under OCAMLRUNPARAM=v=0x400"
 
+echo "== cold tier (tamper detection + bench regression gate)"
+# the cold suite includes the three byte-flip tamper legs (record value,
+# evict timestamp, sealed footer) and the larger-than-memory end-to-end run
+$TEST test cold > "$WORK/cold.log" 2>&1 \
+  || { cat "$WORK/cold.log"; exit 1; }
+# crash legs: killed mid-segment-write and mid-compaction, recovery must
+# land on the committed prefix
+$TEST test crashsafe > "$WORK/cold-crash.log" 2>&1 \
+  || { cat "$WORK/cold-crash.log"; exit 1; }
+echo "  cold + crashsafe suites clean"
+# two quick allocation-figure runs archive under bench/results/, then
+# `bench diff` gates the newest against the previous at wirealloc's tight
+# 10% tolerance (same-machine back-to-back runs must agree)
+dune exec bench/main.exe -- --quick --only wirealloc > /dev/null
+dune exec bench/main.exe -- --quick --only wirealloc > /dev/null
+$FV bench diff --figure wirealloc
+
 echo "== multi-domain serve round trip (executor pool, 4 workers)"
 $FV serve --listen "unix:$WORK/pool.sock" -n 2000 --batch 0 --enclave zero \
   --workers 4 &

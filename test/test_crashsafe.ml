@@ -538,6 +538,136 @@ let prop_recover_never_raises =
       C.remove_tree dir;
       ok)
 
+(* ------------------------------------------------------------------ *)
+(* Cold-tier crashes: mid-segment-write and mid-compaction            *)
+(* ------------------------------------------------------------------ *)
+
+module Cold = Fastver_kvstore.Store.Cold
+
+let k i = Key.of_int64 (Int64.of_int i)
+
+(* Kill the process (Cold.Injected_crash) part-way through a torn segment
+   append during cold maintenance, then recover from the last committed
+   generation: the torn tail must be truncated away and the recovered state
+   must be exactly the checkpointed one. *)
+let test_crash_mid_cold_append () =
+  let cdir = fresh_dir "fv-crash-coldapp-tier" in
+  let dir = fresh_dir "fv-crash-coldapp-ckpt" in
+  let cold_config =
+    {
+      config with
+      cold_dir = Some cdir;
+      cold_threshold = 16;
+      cold_segment_bytes = 2048;
+    }
+  in
+  let t = Fastver.create ~config:cold_config () in
+  let n = 64 in
+  Fastver.load t
+    (Array.init n (fun i -> (Int64.of_int i, Printf.sprintf "v%06d" i)));
+  ignore (Fastver.verify t) (* demotes the cooling tail to cold *);
+  Fastver.checkpoint t ~dir;
+  (* dirty the store so the next maintenance pass has records to demote,
+     then die torn: half a record hits the disk before the "kill" *)
+  for i = 0 to n - 1 do
+    Fastver.put t (Int64.of_int i) (Printf.sprintf "doomed-%d" i)
+  done;
+  Cold.arm_fault { Cold.after_appends = 3; torn = true };
+  let crashed =
+    match Fastver.verify t with
+    | _ -> false
+    | exception Cold.Injected_crash _ -> true
+  in
+  Cold.disarm_fault ();
+  Alcotest.(check bool) "crashed mid segment write" true crashed;
+  match Fastver.recover ~config:cold_config ~dir () with
+  | Error e -> Alcotest.failf "recover after cold append crash: %s" e
+  | Ok t2 ->
+      for i = 0 to n - 1 do
+        Alcotest.(check vo) "committed prefix only"
+          (Some (Printf.sprintf "v%06d" i))
+          (Fastver.get t2 (Int64.of_int i))
+      done;
+      ignore (Fastver.verify t2);
+      Fastver.put t2 1L "post-crash";
+      ignore (Fastver.verify t2);
+      Alcotest.(check vo) "usable after recovery" (Some "post-crash")
+        (Fastver.get t2 1L);
+      C.remove_tree dir;
+      C.remove_tree cdir
+
+(* Same, but the kill lands inside compaction's rewrite loop: segments were
+   part-rewritten but never retired in any committed manifest, so recovery
+   must land on the pre-compaction committed state with nothing lost. *)
+let test_crash_mid_compaction () =
+  let cdir = fresh_dir "fv-crash-compact-tier" in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ()) "fv-crash-compact.ckpt"
+  in
+  if Sys.file_exists path then Sys.remove path;
+  let module Store = Fastver_kvstore.Store in
+  let cold =
+    match
+      Cold.create
+        { Cold.dir = cdir; mac_secret = "crash-secret"; segment_bytes = 512 }
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "Cold.create: %s" e
+  in
+  let s =
+    Store.create ~mutable_region_entries:4 ~cold ~codec:Store.string_codec ()
+  in
+  let n = 64 in
+  for i = 0 to n - 1 do
+    Store.put s (k i) (Printf.sprintf "v%06d" i) ~aux:(Int64.of_int i)
+  done;
+  (match Store.demote_now s ~budget:0 with
+  | Ok moved -> Alcotest.(check bool) "demoted" true (moved > 0)
+  | Error e -> Alcotest.failf "demote_now: %s" e);
+  (* commit point: manifest first, then the store checkpoint of the same
+     generation (mirrors Fastver.checkpoint's ordering) *)
+  let manifest = Cold.manifest_encode cold in
+  Store.checkpoint s ~path ~version:1;
+  (* supersede half the demoted records so compaction has work *)
+  for i = 0 to (n / 2) - 1 do
+    Store.put s (k i) (Printf.sprintf "doomed-%d" i) ~aux:(Int64.of_int i)
+  done;
+  Cold.arm_fault { Cold.after_appends = 2; torn = true };
+  let crashed =
+    match Store.compact_cold s ~min_dead_ratio:0.2 with
+    | Ok _ | Error _ -> false
+    | exception Cold.Injected_crash _ -> true
+  in
+  Cold.disarm_fault ();
+  Alcotest.(check bool) "crashed mid compaction" true crashed;
+  (* restart: recover the tier from the committed manifest (truncating the
+     torn rewrite tail), then the store against it *)
+  let cold2 =
+    match
+      Cold.recover
+        { Cold.dir = cdir; mac_secret = "crash-secret"; segment_bytes = 512 }
+        ~manifest
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "Cold.recover after crash: %s" e
+  in
+  (match
+     Store.recover ~cold:cold2 ~codec:Store.string_codec ~path ()
+   with
+  | Error e -> Alcotest.failf "Store.recover after crash: %s" e
+  | Ok (s2, version) ->
+      Alcotest.(check int) "committed version" 1 version;
+      for i = 0 to n - 1 do
+        match Store.get s2 (k i) with
+        | Ok (Some (v, _)) ->
+            Alcotest.(check string) "committed prefix only"
+              (Printf.sprintf "v%06d" i) v
+        | Ok None -> Alcotest.failf "key %d lost to the crash" i
+        | Error e -> Alcotest.failf "get %d after crash recovery: %s" i e
+      done);
+  Sys.remove path;
+  C.remove_tree cdir
+
 let suite =
   ( "crashsafe",
     [

@@ -6,15 +6,26 @@ let k i = Key.of_int64 (Int64.of_int i)
 
 let mk () = Store.create ~mutable_region_entries:64 ~codec:Store.string_codec ()
 
+(* Reads and maintenance are result-typed (disk tiers can fail); in these
+   tests any [Error _] is a test failure. *)
+let get_ok s key =
+  match Store.get s key with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "Store.get: %s" e
+
+let ok_unit label = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" label e
+
 let test_put_get () =
   let s = mk () in
-  Alcotest.(check (option (pair string int64))) "missing" None (Store.get s (k 1));
+  Alcotest.(check (option (pair string int64))) "missing" None (get_ok s (k 1));
   Store.put s (k 1) "one" ~aux:7L;
   Alcotest.(check (option (pair string int64))) "found" (Some ("one", 7L))
-    (Store.get s (k 1));
+    (get_ok s (k 1));
   Store.put s (k 1) "uno" ~aux:8L;
   Alcotest.(check (option (pair string int64))) "updated" (Some ("uno", 8L))
-    (Store.get s (k 1));
+    (get_ok s (k 1));
   Alcotest.(check int) "one live record" 1 (Store.length s)
 
 let test_cas () =
@@ -25,7 +36,7 @@ let test_cas () =
   Alcotest.(check bool) "right aux wins" true
     (Store.try_cas s (k 1) ~expected_aux:10L "b" ~aux:11L);
   Alcotest.(check (option (pair string int64))) "applied" (Some ("b", 11L))
-    (Store.get s (k 1));
+    (get_ok s (k 1));
   Alcotest.(check bool) "missing key fails" false
     (Store.try_cas s (k 2) ~expected_aux:0L "x" ~aux:0L)
 
@@ -38,7 +49,7 @@ let test_rcu_versions () =
   (* key 0 is far outside the mutable region now *)
   Store.put s (k 0) "copy" ~aux:1L;
   Alcotest.(check (option (pair string int64))) "rcu update visible"
-    (Some ("copy", 1L)) (Store.get s (k 0));
+    (Some ("copy", 1L)) (get_ok s (k 0));
   Alcotest.(check bool) "log grew" true (Store.log_size s > 16);
   Alcotest.(check bool) "rcu copies counted" true ((Store.stats s).rcu_copies >= 1)
 
@@ -50,17 +61,18 @@ let test_delete_iter () =
   Store.delete s (k 3);
   Alcotest.(check int) "9 live" 9 (Store.length s);
   let seen = ref 0 in
-  Store.iter_live s (fun _ _ _ -> incr seen);
+  ok_unit "iter_live" (Store.iter_live s (fun _ _ _ -> incr seen));
   Alcotest.(check int) "iter sees 9" 9 !seen
 
 let test_update_rmw () =
   let s = mk () in
   Store.put s (k 1) "x" ~aux:1L;
-  Store.update s (k 1) (function
-    | Some (v, aux) -> (v ^ "y", Int64.add aux 1L)
-    | None -> Alcotest.fail "missing");
+  ok_unit "update"
+    (Store.update s (k 1) (function
+      | Some (v, aux) -> (v ^ "y", Int64.add aux 1L)
+      | None -> Alcotest.fail "missing"));
   Alcotest.(check (option (pair string int64))) "rmw" (Some ("xy", 2L))
-    (Store.get s (k 1))
+    (get_ok s (k 1))
 
 let test_checkpoint_recover () =
   let dir = Filename.temp_file "fv" "ckpt" in
@@ -77,9 +89,9 @@ let test_checkpoint_recover () =
       Alcotest.(check int) "version" 3 version;
       Alcotest.(check int) "count" 99 (Store.length s2);
       Alcotest.(check (option (pair string int64))) "record"
-        (Some ("val7", 7L)) (Store.get s2 (k 7));
+        (Some ("val7", 7L)) (get_ok s2 (k 7));
       Alcotest.(check (option (pair string int64))) "deleted stays deleted"
-        None (Store.get s2 (k 50)));
+        None (get_ok s2 (k 50)));
   Sys.remove dir
 
 let test_recover_corrupt () =
@@ -209,10 +221,10 @@ let test_spill () =
   for i = 0 to 63 do
     Store.put s (k i) (Printf.sprintf "value-%04d" i) ~aux:0L
   done;
-  Store.spill_now s;
+  ok_unit "spill_now" (Store.spill_now s);
   (* all records must still be readable, some from disk *)
   for i = 0 to 63 do
-    match Store.get s (k i) with
+    match get_ok s (k i) with
     | Some (v, _) ->
         Alcotest.(check string) "spilled value" (Printf.sprintf "value-%04d" i) v
     | None -> Alcotest.failf "lost key %d" i
@@ -261,8 +273,8 @@ let prop_model_check =
           | None -> (
               (* read and compare *)
               match (Store.get s (k i), Hashtbl.find_opt model i) with
-              | None, None -> ()
-              | Some (v, _), Some v' when v = v' -> ()
+              | Ok None, None -> ()
+              | Ok (Some (v, _)), Some v' when v = v' -> ()
               | _ -> failwith "divergence")
           | Some v ->
               Store.put s (k i) v ~aux:0L;
@@ -270,7 +282,11 @@ let prop_model_check =
         ops;
       Hashtbl.fold
         (fun i v acc ->
-          acc && match Store.get s (k i) with Some (v', _) -> v = v' | None -> false)
+          acc
+          &&
+          match Store.get s (k i) with
+          | Ok (Some (v', _)) -> v = v'
+          | Ok None | Error _ -> false)
         model true)
 
 let suite =
@@ -310,8 +326,8 @@ let test_domain_safety () =
     while !done_ < per_domain do
       let key = k (Random.State.int rng n_keys) in
       match Store.get s key with
-      | None -> ()
-      | Some (v, aux) ->
+      | Ok None | Error _ -> ()
+      | Ok (Some (v, aux)) ->
           let v' = string_of_int (int_of_string v + 1) in
           if Store.try_cas s key ~expected_aux:aux v' ~aux:(Int64.succ aux)
           then incr done_
@@ -323,9 +339,10 @@ let test_domain_safety () =
   Domain.join d2;
   (* every successful CAS bumped aux once; increments must all survive *)
   let total = ref 0L and count = ref 0 in
-  Store.iter_live s (fun _ v aux ->
-      total := Int64.add !total aux;
-      count := !count + int_of_string v);
+  ok_unit "iter_live"
+    (Store.iter_live s (fun _ v aux ->
+         total := Int64.add !total aux;
+         count := !count + int_of_string v));
   Alcotest.(check int) "no lost updates (values)" (3 * per_domain) !count;
   Alcotest.(check int64) "no lost updates (aux)"
     (Int64.of_int (3 * per_domain))
@@ -345,7 +362,7 @@ let test_spill_read_race () =
   for i = 0 to n_keys - 1 do
     Store.put s (k i) (Printf.sprintf "spilled-%04d" i) ~aux:0L
   done;
-  Store.spill_now s;
+  ok_unit "spill_now" (Store.spill_now s);
   Alcotest.(check bool) "records actually spilled" true
     ((Store.stats s).spill_reads >= 0 && Store.length s = n_keys);
   (* hammer disjoint key sets from concurrent domains; every read must
@@ -356,8 +373,8 @@ let test_spill_read_race () =
     for _ = 1 to 20_000 do
       let i = lo + Random.State.int rng (hi - lo) in
       match Store.get s (k i) with
-      | Some (v, _) when v = Printf.sprintf "spilled-%04d" i -> ()
-      | Some _ | None -> Atomic.incr mismatches
+      | Ok (Some (v, _)) when v = Printf.sprintf "spilled-%04d" i -> ()
+      | Ok _ | Error _ -> Atomic.incr mismatches
     done
   in
   let d1 = Domain.spawn (work 0 (n_keys / 2)) in

@@ -9,6 +9,7 @@ let () =
       Test_oplog.suite;
       Test_adversary.suite;
       Test_kvstore.suite;
+      Test_cold.suite;
       Test_core.suite;
       Test_queue.suite;
       Test_baselines.suite;
