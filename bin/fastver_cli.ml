@@ -72,6 +72,11 @@ let parallel =
 let seed =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
 
+let shards =
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N"
+         ~doc:"Verifier shards (independent keyspace partitions, each with \
+               its own Merkle tree and verifier). 0 follows --workers.")
+
 let mk_config workers batch depth cache algo enclave_model no_auth seed =
   {
     Fastver.Config.default with
@@ -109,7 +114,7 @@ let load_system config db_size =
 let report t ops wall =
   let s = Fastver.stats t in
   let eff = wall +. (Int64.to_float (Fastver.enclave_overhead_ns t) /. 1e9) in
-  let v = Fastver_verifier.Verifier.stats (Fastver.verifier_handle t) in
+  let v = Fastver.verifier_stats t in
   Logs.app (fun m ->
       m "@[<v>ops            : %d in %.2fs wall (%.2fs effective)@,\
          throughput     : %.0f ops/s@,\
@@ -126,8 +131,7 @@ let report t ops wall =
         (s.verify_time_s /. float_of_int (max 1 s.verifies))
         (Fastver.config t).batch_size v.n_add_m v.n_evict_m v.n_add_b
         v.n_evict_b v.n_evict_bm s.migrated_data s.migrated_frontier
-        (Enclave.transitions
-           (Fastver_verifier.Verifier.enclave (Fastver.verifier_handle t)))
+        (Enclave.transitions (Fastver.enclave_handle t))
         (Int64.to_float (Fastver.enclave_overhead_ns t) /. 1e9))
 
 (* ------------------------------------------------------------------ *)
@@ -136,13 +140,17 @@ let report t ops wall =
 
 let die fmt = Fmt.kstr (fun s -> Logs.err (fun m -> m "%s" s); exit 2) fmt
 
-let run_cmd db_size ops workers batch depth cache workload theta algo
+let run_cmd db_size ops workers shards batch depth cache workload theta algo
     enclave_model no_auth parallel seed =
   if db_size < 1 then die "--db-size must be at least 1";
   if ops < 0 then die "--ops must be non-negative";
   if workers < 1 then die "--workers must be at least 1";
+  if shards < 0 then die "--shards must be non-negative";
   if theta < 0.0 || theta >= 1.0 then die "--theta must be in [0, 1)";
-  let config = mk_config workers batch depth cache algo enclave_model no_auth seed in
+  let config =
+    { (mk_config workers batch depth cache algo enclave_model no_auth seed)
+      with n_shards = shards }
+  in
   Logs.app (fun m -> m "config: %a" Fastver.Config.pp config);
   let t = load_system config db_size in
   let gen = Fastver_workload.Ycsb.create ~seed ~db_size (spec_of workload theta) in
@@ -193,17 +201,18 @@ module Net = Fastver_net
 let parse_addr s =
   match Net.Addr.parse s with Ok a -> a | Error e -> die "%s" e
 
-let serve_cmd listen db_size workers batch depth cache algo enclave_model
-    no_auth seed batch_limit ckpt_dir background_verify metrics_interval
-    cold_dir cold_threshold =
+let serve_cmd listen db_size workers shards batch depth cache algo
+    enclave_model no_auth seed batch_limit ckpt_dir background_verify
+    metrics_interval cold_dir cold_threshold =
   if db_size < 1 then die "--db-size must be at least 1";
   if workers < 1 then die "--workers must be at least 1";
+  if shards < 0 then die "--shards must be non-negative";
   if cold_threshold < 1 then die "--cold-threshold must be at least 1";
   let addr = parse_addr listen in
   let config =
     {
       (mk_config workers batch depth cache algo enclave_model no_auth seed)
-      with background_verify; cold_dir; cold_threshold;
+      with n_shards = shards; background_verify; cold_dir; cold_threshold;
     }
   in
   let t =
@@ -524,8 +533,8 @@ let setup_logs =
 let run_term =
   Term.(
     const (fun () -> run_cmd)
-    $ setup_logs $ db_size $ ops $ workers $ batch $ depth $ cache $ workload
-    $ theta $ algo $ enclave_model $ no_auth $ parallel $ seed)
+    $ setup_logs $ db_size $ ops $ workers $ shards $ batch $ depth $ cache
+    $ workload $ theta $ algo $ enclave_model $ no_auth $ parallel $ seed)
 
 let attack_term =
   Term.(const (fun () -> attack_cmd) $ setup_logs $ db_size $ workers $ depth)
@@ -602,8 +611,8 @@ let metrics_interval =
 let serve_term =
   Term.(
     const (fun () -> serve_cmd)
-    $ setup_logs $ listen $ db_size $ workers $ batch $ depth $ cache $ algo
-    $ enclave_model $ no_auth $ seed $ batch_limit $ ckpt_dir
+    $ setup_logs $ listen $ db_size $ workers $ shards $ batch $ depth $ cache
+    $ algo $ enclave_model $ no_auth $ seed $ batch_limit $ ckpt_dir
     $ background_verify $ metrics_interval $ cold_dir $ cold_threshold)
 
 let stats_format =
@@ -691,7 +700,10 @@ let kv_pairs line =
   done;
   List.rev !out
 
-let default_threshold fig = if fig = "wirealloc" then 0.10 else 0.30
+let default_threshold fig =
+  if fig = "wirealloc" then 0.10
+  else if fig = "scale" then 0.35
+  else 0.30
 
 (* Mean of each direction-carrying metric over a figure archive's rows. *)
 let archive_metrics path =

@@ -7,6 +7,11 @@
 type t = {
   n_workers : int;
       (** Worker threads; each pairs with one verifier thread (§5.3). *)
+  n_shards : int;
+      (** Keyspace partitions, each with its own Merkle tree, verifier
+          state, and epoch clock; per-shard epoch certificates fold into one
+          store-level certificate. [0] (the default) follows [n_workers] —
+          use {!shards} to resolve. *)
   cache_capacity : int;  (** Verifier cache entries per thread. *)
   frontier_levels : int;
       (** Patricia levels below the root whose nodes stay blum-protected;
@@ -54,5 +59,8 @@ type t = {
 
 val default : t
 (** 1 worker, 512-entry caches, d = 6, 64K batch, simulated enclave. *)
+
+val shards : t -> int
+(** Resolved shard count: [n_shards] if positive, else [max 1 n_workers]. *)
 
 val pp : Format.formatter -> t -> unit

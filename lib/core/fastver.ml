@@ -17,14 +17,15 @@ let aux_blum ts = Int64.logor Int64.min_int ts
 let aux_is_blum aux = Int64.compare aux 0L < 0
 let aux_timestamp aux = Int64.logand aux Int64.max_int
 
-(* Host-side protection state of merkle records. *)
+(* Host-side protection state of merkle records. [M_cached sid] names the
+   shard whose (single) verifier thread holds the record. *)
 type mstate = M_merkle | M_blum of Timestamp.t | M_cached of int
 
 type maux = { mutable mstate : mstate; mutable owner : int }
-(** [owner >= 0] marks a frontier record and names its worker. *)
+(** [owner >= 0] marks a frontier record and names its shard. *)
 
 (* ------------------------------------------------------------------ *)
-(* Workers                                                             *)
+(* Shards                                                              *)
 (* ------------------------------------------------------------------ *)
 
 type meta = {
@@ -46,8 +47,18 @@ type entry =
   | E_vget of Key.t * string option * meta option
   | E_vput of Key.t * string option * meta option
 
-type worker = {
-  wid : int;
+(* One keyspace partition: its own Merkle tree, its own single-threaded
+   verifier (tid is always 0), its own dirty set, frontier and epoch
+   clock — and its own pair of locks, so partitions never contend. The
+   worker-side mirror state (lru/via/parents/log) lives here too: shard
+   routing is forced by key, so a shard {e is} its worker. *)
+type shard = {
+  sid : int;
+  tree : maux Tree.t; (* this partition's merkle records *)
+  verifier : Verifier.t; (* n_threads = 1, sharing the system enclave *)
+  tree_lock : Mutex.t;
+  worker_lock : Mutex.t;
+  mutable frontier : Key.t list; (* this shard's frontier merkle keys *)
   mutable clock : Timestamp.t; (* exact mirror of the verifier thread clock *)
   lru : Key_lru.t; (* mirror of the merkle records in the verifier cache *)
   via : [ `M | `B ] Key.Tbl.t;
@@ -73,50 +84,42 @@ type stats = {
   mutable verifier_time_s : float;
   mutable cas_retries : int;
   mutable worker_busy_s : float array;
-      (* per-worker attributed processing time, for scalability modelling *)
+      (* per-shard attributed processing time, for scalability modelling *)
   mutable serial_s : float;
-      (* inherently serial work: epoch close + hash aggregation *)
+      (* inherently serial work: the store-level multiset fold + signature *)
 }
 
 type t = {
   config : Config.t;
   enclave : Enclave.t;
-  verifier : Verifier.t;
+  shards : shard array;
+  mutable boundaries : Key.t array;
+      (* [n_shards - 1] sorted data keys partitioning the keyspace into
+         ranges; shard [i] owns keys in [boundaries.(i-1), boundaries.(i)).
+         Computed from key quantiles at load time and sealed inside the
+         enclave payload at checkpoint: routing decides which shard proves
+         a key's (non-)existence, so a tampered boundary would let the host
+         ask the wrong shard for a false absence proof. *)
   store : string option Store.t; (* data records; None = null value *)
-  tree : maux Tree.t; (* merkle records *)
-  workers : worker array;
   auth : Auth.key;
   nonces : (int, int64) Hashtbl.t; (* gateway: last put nonce per client *)
   sealed : Enclave.Sealed_slot.slot;
-  mutable frontier_by_worker : Key.t list array;
-  owners : int Key.Tbl.t;
-      (* frontier key -> owning worker. Static once load/recover completes,
-         so external dispatchers (the server's executor pool) can route a
-         data key to its worker without taking any lock. *)
-  mutable owner_depths : int list;
-      (* distinct [Key.depth]s of the frontier keys, deepest first: the
-         frontier is found by pointer hops, so in a compressed tree its
-         keys can sit at any depth — routing probes exactly these. *)
-  mutable rr : int;
   mutable loaded : bool;
-  worker_locks : Mutex.t array;
-      (* lock order: tree_lock first, then worker locks in ascending id *)
-  tree_lock : Mutex.t;
   gateway_lock : Mutex.t;
   ops_since_verify : int Atomic.t;
   live_epoch : int Atomic.t;
-      (* the epoch operations are folding into right now. Trails
-         [Verifier.current_epoch] during a background scan: the seal barrier
-         bumps it to [e+1] while the verifier still holds epoch [e] open
-         until the scan closes it. Equal to the verifier's current epoch
+      (* the epoch operations are folding into right now. Trails the
+         verifiers' current epoch during a background scan: the seal barrier
+         bumps it to [e+1] while the verifiers still hold epoch [e] open
+         until the scan closes it. Equal to the verifiers' current epoch
          whenever no scan is in flight. *)
   verify_mutex : Mutex.t;
       (* serializes verification scans and checkpoints with each other;
-         acquired before (never inside) the tree/worker locks *)
+         acquired before (never inside) the shard locks *)
   verify_inflight : bool Atomic.t;
   bg_lock : Mutex.t;
       (* guards the [bg_join] handoff so racing dispatchers cannot leak an
-         unjoined domain *)
+         unjoined domain; nothing else may be acquired while held *)
   bg_join : unit Domain.t option Atomic.t;
       (* the background scan domain, if one was spawned; joined by the next
          verify/checkpoint/shutdown so domains never leak *)
@@ -124,7 +127,7 @@ type t = {
   redeferred_lock : Mutex.t;
       (* leaf lock (no other lock taken while held): data keys whose
          fast-path touch crossed the epoch boundary during a background
-         scan; the next seal barrier routes them to their owners' dirty
+         scan; the next seal barrier routes them to their shards' dirty
          snapshots *)
   mutable on_verified : (unit -> unit) option;
       (* e.g. auto-checkpoint: runs after each successful scan *)
@@ -145,27 +148,47 @@ let wire_metrics t =
   let module V = Fastver_verifier.Verifier in
   let reg = Metrics.registry t.metrics in
   Reg.gauge_fn reg ~help:"Current (in-progress) epoch" "fastver_epoch"
-    (fun () -> float_of_int (V.current_epoch t.verifier));
+    (fun () -> float_of_int (V.current_epoch t.shards.(0).verifier));
   Reg.gauge_fn reg ~help:"Newest verified epoch" "fastver_verified_epoch"
-    (fun () -> float_of_int (V.verified_epoch t.verifier));
+    (fun () ->
+      float_of_int
+        (Array.fold_left
+           (fun acc sh -> min acc (V.verified_epoch sh.verifier))
+           max_int t.shards));
+  (* Epochs certify in lockstep across shards, so shard 0 counts them all. *)
   Reg.counter_fn reg ~help:"Epoch certificates issued"
     "fastver_epoch_certificates_total" (fun () ->
-      (V.stats t.verifier).n_certificates);
+      (V.stats t.shards.(0).verifier).n_certificates);
+  let sum read =
+    Array.fold_left (fun acc sh -> acc + read (V.stats sh.verifier)) 0 t.shards
+  in
   List.iter
     (fun (op, read) ->
       Reg.counter_fn reg
         ~labels:[ ("op", op) ]
         ~help:"In-enclave verifier calls by operation"
-        "fastver_verifier_ops_total" read)
+        "fastver_verifier_ops_total"
+        (fun () -> sum read))
     [
-      ("add_m", fun () -> (V.stats t.verifier).n_add_m);
-      ("evict_m", fun () -> (V.stats t.verifier).n_evict_m);
-      ("add_b", fun () -> (V.stats t.verifier).n_add_b);
-      ("evict_b", fun () -> (V.stats t.verifier).n_evict_b);
-      ("evict_bm", fun () -> (V.stats t.verifier).n_evict_bm);
-      ("vget", fun () -> (V.stats t.verifier).n_vget);
-      ("vput", fun () -> (V.stats t.verifier).n_vput);
+      ("add_m", fun (s : V.op_stats) -> s.n_add_m);
+      ("evict_m", fun s -> s.n_evict_m);
+      ("add_b", fun s -> s.n_add_b);
+      ("evict_b", fun s -> s.n_evict_b);
+      ("evict_bm", fun s -> s.n_evict_bm);
+      ("vget", fun s -> s.n_vget);
+      ("vput", fun s -> s.n_vput);
     ];
+  Array.iter
+    (fun sh ->
+      Reg.counter_fn reg
+        ~labels:[ ("shard", string_of_int sh.sid) ]
+        ~help:"In-enclave verifier calls by shard"
+        "fastver_shard_ops_total"
+        (fun () ->
+          let s = V.stats sh.verifier in
+          s.n_add_m + s.n_evict_m + s.n_add_b + s.n_evict_b + s.n_evict_bm
+          + s.n_vget + s.n_vput))
+    t.shards;
   Reg.gauge_fn reg ~help:"Live data records in the host store"
     "fastver_store_records" (fun () ->
       float_of_int (Fastver_kvstore.Store.length t.store));
@@ -187,10 +210,10 @@ let wire_metrics t =
     ~help:"Modelled enclave-transition nanoseconds accumulated"
     "fastver_enclave_overhead_ns" (fun () ->
       Int64.to_float (Enclave.charged_ns t.enclave));
-  (* Register the per-worker scan-slice series eagerly so every worker's
+  (* Register the per-shard scan-slice series eagerly so every shard's
      histogram is present in snapshots before the first verification scan. *)
-  for wid = 0 to Array.length t.workers - 1 do
-    ignore (Metrics.verify_worker_seconds t.metrics ~wid)
+  for sid = 0 to Array.length t.shards - 1 do
+    ignore (Metrics.verify_shard_seconds t.metrics ~sid)
   done
 
 let option_codec : string option Store.codec =
@@ -220,6 +243,57 @@ let cold_of_config ?manifest (config : Config.t) =
       | None ->
           Result.map Option.some (Store.Cold.create ~clear_stray:true ccfg))
 
+let vconfig_of (config : Config.t) =
+  {
+    Verifier.n_threads = 1;
+    cache_capacity = config.cache_capacity;
+    algo = config.algo;
+    mac_secret = config.mac_secret;
+    mset_secret = config.mset_secret;
+  }
+
+let mk_shard ?tree verifier sid =
+  let tree =
+    match tree with
+    | Some tr -> tr
+    | None -> Tree.create ~root_aux:{ mstate = M_cached sid; owner = -1 }
+  in
+  {
+    sid;
+    tree;
+    verifier;
+    tree_lock = Mutex.create ();
+    worker_lock = Mutex.create ();
+    frontier = [];
+    clock = Verifier.clock verifier ~tid:0;
+    lru = Key_lru.create ();
+    via = Key.Tbl.create 64;
+    parents = Key.Tbl.create 64;
+    log = [];
+    log_len = 0;
+    dirty = [];
+    dirty_len = 0;
+  }
+
+let mk_stats n_sh =
+  {
+    ops = 0;
+    gets = 0;
+    puts = 0;
+    scans = 0;
+    blum_fast_path = 0;
+    merkle_path = 0;
+    verifies = 0;
+    migrated_data = 0;
+    migrated_frontier = 0;
+    verify_time_s = 0.0;
+    last_verify_latency_s = 0.0;
+    verifier_time_s = 0.0;
+    cas_retries = 0;
+    worker_busy_s = Array.make n_sh 0.0;
+    serial_s = 0.0;
+  }
+
 let create ?(config = Config.default) () =
   let enclave = Enclave.create config.cost_model in
   let cold =
@@ -227,46 +301,21 @@ let create ?(config = Config.default) () =
     | Ok c -> c
     | Error e -> invalid_arg ("Fastver.create: " ^ e)
   in
-  let vconfig =
-    {
-      Verifier.n_threads = config.n_workers;
-      cache_capacity = config.cache_capacity;
-      algo = config.algo;
-      mac_secret = config.mac_secret;
-      mset_secret = config.mset_secret;
-    }
-  in
-  let worker wid =
-    {
-      wid;
-      clock = Timestamp.zero;
-      lru = Key_lru.create ();
-      via = Key.Tbl.create 64;
-      parents = Key.Tbl.create 64;
-      log = [];
-      log_len = 0;
-      dirty = [];
-      dirty_len = 0;
-    }
-  in
+  let n_sh = Config.shards config in
+  let vconfig = vconfig_of config in
   let t =
     {
       config;
       enclave;
-      verifier = Verifier.create ~enclave vconfig;
+      shards =
+        Array.init n_sh (fun sid ->
+            mk_shard (Verifier.create ~enclave vconfig) sid);
+      boundaries = [||];
       store = Store.create ?cold ~codec:option_codec ();
-      tree = Tree.create ~root_aux:{ mstate = M_cached 0; owner = -1 };
-      workers = Array.init config.n_workers worker;
       auth = Auth.key_of_secret config.mac_secret;
       nonces = Hashtbl.create 8;
       sealed = Enclave.Sealed_slot.create ();
-      frontier_by_worker = Array.make config.n_workers [];
-      owners = Key.Tbl.create 64;
-      owner_depths = [];
-      rr = 0;
       loaded = false;
-      worker_locks = Array.init config.n_workers (fun _ -> Mutex.create ());
-      tree_lock = Mutex.create ();
       gateway_lock = Mutex.create ();
       ops_since_verify = Atomic.make 0;
       live_epoch = Atomic.make 0;
@@ -279,24 +328,7 @@ let create ?(config = Config.default) () =
       on_verified = None;
       cold;
       cold_lock = Mutex.create ();
-      stats =
-        {
-          ops = 0;
-          gets = 0;
-          puts = 0;
-          scans = 0;
-          blum_fast_path = 0;
-          merkle_path = 0;
-          verifies = 0;
-          migrated_data = 0;
-          migrated_frontier = 0;
-          verify_time_s = 0.0;
-          last_verify_latency_s = 0.0;
-          verifier_time_s = 0.0;
-          cas_retries = 0;
-          worker_busy_s = Array.make config.n_workers 0.0;
-          serial_s = 0.0;
-        };
+      stats = mk_stats n_sh;
       metrics = Metrics.create ~enabled:config.metrics_enabled ();
     }
   in
@@ -306,10 +338,50 @@ let create ?(config = Config.default) () =
 let config t = t.config
 let stats t = t.stats
 let registry t = Metrics.registry t.metrics
-let verifier_handle t = t.verifier
+let n_shards t = Array.length t.shards
+let enclave_handle t = t.enclave
 let enclave_overhead_ns t = Enclave.charged_ns t.enclave
 let cold_stats t = Option.map Store.Cold.stats t.cold
-let current_epoch t = Verifier.current_epoch t.verifier
+let current_epoch t = Verifier.current_epoch t.shards.(0).verifier
+
+let verified_epoch t =
+  Array.fold_left
+    (fun acc sh -> min acc (Verifier.verified_epoch sh.verifier))
+    max_int t.shards
+
+let verifier_failure t =
+  Array.fold_left
+    (fun acc sh ->
+      match acc with Some _ -> acc | None -> Verifier.failure sh.verifier)
+    None t.shards
+
+let verifier_stats t =
+  let acc =
+    {
+      Verifier.n_add_m = 0;
+      n_evict_m = 0;
+      n_add_b = 0;
+      n_evict_b = 0;
+      n_evict_bm = 0;
+      n_vget = 0;
+      n_vput = 0;
+      n_certificates = 0;
+    }
+  in
+  Array.iter
+    (fun sh ->
+      let s = Verifier.stats sh.verifier in
+      acc.n_add_m <- acc.n_add_m + s.n_add_m;
+      acc.n_evict_m <- acc.n_evict_m + s.n_evict_m;
+      acc.n_add_b <- acc.n_add_b + s.n_add_b;
+      acc.n_evict_b <- acc.n_evict_b + s.n_evict_b;
+      acc.n_evict_bm <- acc.n_evict_bm + s.n_evict_bm;
+      acc.n_vget <- acc.n_vget + s.n_vget;
+      acc.n_vput <- acc.n_vput + s.n_vput;
+      acc.n_certificates <- max acc.n_certificates s.n_certificates)
+    t.shards;
+  acc
+
 let live_epoch t = Atomic.get t.live_epoch
 let verify_in_flight t = Atomic.get t.verify_inflight
 
@@ -319,37 +391,74 @@ let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-(* Shadow of the documented lock order — [tree_lock] first, then worker
-   locks in ascending id ([merkle_slow], [verify_locked] and [checkpoint]
-   all follow it). Each domain tracks what it holds in domain-local state;
-   enforcement is off by default (a single [Atomic.get] per lock operation)
-   and switched on by tests via [Testing.enforce_lock_order]. A violation
-   raises [Invalid_argument] at the acquisition that breaks the order,
-   naming both locks. *)
+(* Shadow of the documented lock order — shard tree locks in ascending sid,
+   then worker locks in ascending sid ([merkle_slow], [verify_inner] and
+   [checkpoint] all follow it); [redeferred_lock] and [cold_lock] come
+   after the world (redeferred under any shard/worker lock, cold under the
+   world lock), and both are leaves: nothing is acquired while they are
+   held. [bg_lock] stands alone: it is only ever taken with nothing held,
+   and nothing is acquired under it. Each domain tracks what it holds in
+   domain-local state; enforcement is off by default (a single [Atomic.get]
+   per lock operation) and switched on by tests via
+   [Testing.enforce_lock_order]. A violation raises [Invalid_argument] at
+   the acquisition that breaks the order, naming both locks. *)
 module Lock_order = struct
-  type held = { mutable tree : bool; mutable workers : int list (* desc *) }
+  type held = {
+    mutable trees : int list; (* desc *)
+    mutable workers : int list; (* desc *)
+    mutable bg : bool;
+    mutable redeferred : bool;
+    mutable cold : bool;
+  }
 
   let enforce = Atomic.make false
-  let dls = Domain.DLS.new_key (fun () -> { tree = false; workers = [] })
+
+  let dls =
+    Domain.DLS.new_key (fun () ->
+        { trees = []; workers = []; bg = false; redeferred = false;
+          cold = false })
+
   let fail fmt = Printf.ksprintf invalid_arg ("lock order: " ^^ fmt)
 
-  let note_tree_lock () =
+  (* Locks under which nothing further may be acquired. *)
+  let leaf_held h =
+    if h.bg then Some "bg_lock"
+    else if h.redeferred then Some "redeferred_lock"
+    else if h.cold then Some "cold_lock"
+    else None
+
+  let check_leaf h what =
+    match leaf_held h with
+    | Some l -> fail "%s requested while holding %s" what l
+    | None -> ()
+
+  let note_tree_lock sid =
     if Atomic.get enforce then begin
       let h = Domain.DLS.get dls in
-      if h.tree then fail "tree_lock is not reentrant";
+      check_leaf h (Printf.sprintf "shard tree lock %d" sid);
       (match h.workers with
       | wid :: _ ->
-          fail "tree_lock requested while holding worker lock %d" wid
+          fail "shard tree lock %d requested while holding worker lock %d" sid
+            wid
       | [] -> ());
-      h.tree <- true
+      (match h.trees with
+      | top :: _ when top >= sid ->
+          fail "shard tree lock %d requested while holding shard tree lock %d"
+            sid top
+      | _ -> ());
+      h.trees <- sid :: h.trees
     end
 
-  let note_tree_unlock () =
-    if Atomic.get enforce then (Domain.DLS.get dls).tree <- false
+  let note_tree_unlock sid =
+    if Atomic.get enforce then begin
+      let h = Domain.DLS.get dls in
+      h.trees <- List.filter (fun s -> s <> sid) h.trees
+    end
 
   let note_worker_lock wid =
     if Atomic.get enforce then begin
       let h = Domain.DLS.get dls in
+      check_leaf h (Printf.sprintf "worker lock %d" wid);
       (match h.workers with
       | top :: _ when top >= wid ->
           fail "worker lock %d requested while holding worker lock %d" wid top
@@ -362,52 +471,157 @@ module Lock_order = struct
       let h = Domain.DLS.get dls in
       h.workers <- List.filter (fun w -> w <> wid) h.workers
     end
+
+  let note_bg_lock () =
+    if Atomic.get enforce then begin
+      let h = Domain.DLS.get dls in
+      check_leaf h "bg_lock";
+      (match h.trees with
+      | sid :: _ -> fail "bg_lock requested while holding shard tree lock %d" sid
+      | [] -> ());
+      (match h.workers with
+      | wid :: _ -> fail "bg_lock requested while holding worker lock %d" wid
+      | [] -> ());
+      h.bg <- true
+    end
+
+  let note_bg_unlock () =
+    if Atomic.get enforce then (Domain.DLS.get dls).bg <- false
+
+  (* Acquirable under shard/worker locks (the fast path parks keys while
+     holding its worker lock; the seal barrier routes them under the world
+     lock) — but itself a leaf. *)
+  let note_redeferred_lock () =
+    if Atomic.get enforce then begin
+      let h = Domain.DLS.get dls in
+      check_leaf h "redeferred_lock";
+      h.redeferred <- true
+    end
+
+  let note_redeferred_unlock () =
+    if Atomic.get enforce then (Domain.DLS.get dls).redeferred <- false
+
+  (* Acquirable under the world lock (checkpoint commits the cold manifest
+     with the world stopped) — but itself a leaf. *)
+  let note_cold_lock () =
+    if Atomic.get enforce then begin
+      let h = Domain.DLS.get dls in
+      check_leaf h "cold_lock";
+      h.cold <- true
+    end
+
+  let note_cold_unlock () =
+    if Atomic.get enforce then (Domain.DLS.get dls).cold <- false
 end
 
-let with_tree_lock t f =
-  Lock_order.note_tree_lock ();
-  Mutex.lock t.tree_lock;
+let with_shard_lock t sid f =
+  Lock_order.note_tree_lock sid;
+  Mutex.lock t.shards.(sid).tree_lock;
   Fun.protect
     ~finally:(fun () ->
-      Mutex.unlock t.tree_lock;
-      Lock_order.note_tree_unlock ())
+      Mutex.unlock t.shards.(sid).tree_lock;
+      Lock_order.note_tree_unlock sid)
     f
 
 let with_worker_lock t wid f =
   Lock_order.note_worker_lock wid;
-  Mutex.lock t.worker_locks.(wid);
+  Mutex.lock t.shards.(wid).worker_lock;
   Fun.protect
     ~finally:(fun () ->
-      Mutex.unlock t.worker_locks.(wid);
+      Mutex.unlock t.shards.(wid).worker_lock;
       Lock_order.note_worker_unlock wid)
     f
 
-(* Stop-the-world acquisition (verification scans, checkpoints). *)
+let with_bg_lock t f =
+  Lock_order.note_bg_lock ();
+  Mutex.lock t.bg_lock;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.bg_lock;
+      Lock_order.note_bg_unlock ())
+    f
+
+let with_redeferred_lock t f =
+  Lock_order.note_redeferred_lock ();
+  Mutex.lock t.redeferred_lock;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.redeferred_lock;
+      Lock_order.note_redeferred_unlock ())
+    f
+
+let with_cold_lock t f =
+  Lock_order.note_cold_lock ();
+  Mutex.lock t.cold_lock;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.cold_lock;
+      Lock_order.note_cold_unlock ())
+    f
+
+(* Stop-the-world acquisition (verification scans, checkpoints): every
+   shard tree lock in ascending sid, then every worker lock in ascending
+   sid — the same order [merkle_slow] uses for its single shard. *)
 let lock_world t =
-  Lock_order.note_tree_lock ();
-  Mutex.lock t.tree_lock;
-  Array.iteri
-    (fun wid l ->
-      Lock_order.note_worker_lock wid;
-      Mutex.lock l)
-    t.worker_locks
+  Array.iter
+    (fun sh ->
+      Lock_order.note_tree_lock sh.sid;
+      Mutex.lock sh.tree_lock)
+    t.shards;
+  Array.iter
+    (fun sh ->
+      Lock_order.note_worker_lock sh.sid;
+      Mutex.lock sh.worker_lock)
+    t.shards
 
 let unlock_world t =
-  Array.iteri
-    (fun wid l ->
-      Mutex.unlock l;
-      Lock_order.note_worker_unlock wid)
-    t.worker_locks;
-  Mutex.unlock t.tree_lock;
-  Lock_order.note_tree_unlock ()
+  Array.iter
+    (fun sh ->
+      Mutex.unlock sh.worker_lock;
+      Lock_order.note_worker_unlock sh.sid)
+    t.shards;
+  Array.iter
+    (fun sh ->
+      Mutex.unlock sh.tree_lock;
+      Lock_order.note_tree_unlock sh.sid)
+    t.shards
 
 let now = Unix.gettimeofday
 
-let maux t k = (Tree.get_exn t.tree k).aux
+let maux sh k = (Tree.get_exn sh.tree k).aux
 
-(* Mirror the verifier's Lamport-clock rules so workers can predict evict
+(* Mirror the verifier's Lamport-clock rules so the host can predict evict
    timestamps without a verifier round trip (§5.3). *)
-let mirror_add_b w ts = w.clock <- Timestamp.max w.clock (Timestamp.next ts)
+let mirror_add_b sh ts = sh.clock <- Timestamp.max sh.clock (Timestamp.next ts)
+
+(* ------------------------------------------------------------------ *)
+(* Routing: keyspace partitioning                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The shard owning [key]: the number of range boundaries <= key (binary
+   search). Total by construction — every key lands in exactly one shard,
+   whatever bytes it holds — and lock-free: boundaries are immutable after
+   load/recover, so external dispatchers (the server's executor pool)
+   route without coordination. *)
+let shard_of_data_key t key =
+  let b = t.boundaries in
+  let lo = ref 0 and hi = ref (Array.length b) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Key.compare b.(mid) key <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let owner_of_key t k = shard_of_data_key t (Key.of_int64 k)
+
+(* Boundaries for an empty load: evenly spaced top-byte cuts. Real loads
+   use key quantiles instead (uniform cuts would put every key in one
+   shard under [Key.of_int64], which populates the low bits). *)
+let synth_boundaries n =
+  Array.init (n - 1) (fun i ->
+      let b = Bytes.make 32 '\x00' in
+      Bytes.set b 0 (Char.chr ((i + 1) * 256 / n mod 256));
+      Key.of_bytes32 (Bytes.to_string b))
 
 (* ------------------------------------------------------------------ *)
 (* Gateway: client authentication inside the enclave                   *)
@@ -456,40 +670,42 @@ let gateway_receipt t ~kind key value meta =
 (* Verification log                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let apply_entry t w = function
+let apply_entry t sh = function
   | E_add_b (k, v, ts) ->
-      ok (Verifier.add_b t.verifier ~tid:w.wid ~key:k ~value:v ~timestamp:ts)
+      ok (Verifier.add_b sh.verifier ~tid:0 ~key:k ~value:v ~timestamp:ts)
   | E_evict_b (k, ts) ->
-      ok (Verifier.evict_b t.verifier ~tid:w.wid ~key:k ~timestamp:ts)
+      ok (Verifier.evict_b sh.verifier ~tid:0 ~key:k ~timestamp:ts)
   | E_vget (k, v, meta) ->
-      ok (Verifier.vget t.verifier ~tid:w.wid ~key:k v);
+      ok (Verifier.vget sh.verifier ~tid:0 ~key:k v);
       gateway_receipt t ~kind:Auth.Get k v meta
   | E_vput (k, v, meta) ->
-      ok (Verifier.vput t.verifier ~tid:w.wid ~key:k v);
+      ok (Verifier.vput sh.verifier ~tid:0 ~key:k v);
       gateway_receipt t ~kind:Auth.Put k v meta
 
-let flush_worker t w =
-  if w.log_len > 0 then begin
-    Metrics.flush t.metrics w.log_len;
-    let entries = List.rev w.log in
-    w.log <- [];
-    w.log_len <- 0;
+let flush_worker t sh =
+  if sh.log_len > 0 then begin
+    Metrics.flush t.metrics sh.log_len;
+    let entries = List.rev sh.log in
+    sh.log <- [];
+    sh.log_len <- 0;
     let t0 = now () in
-    Enclave.call t.enclave (fun () -> List.iter (apply_entry t w) entries);
+    Enclave.call t.enclave (fun () -> List.iter (apply_entry t sh) entries);
     t.stats.verifier_time_s <- t.stats.verifier_time_s +. (now () -. t0)
   end
 
-let push t w e =
-  w.log <- e :: w.log;
-  w.log_len <- w.log_len + 1;
-  if w.log_len >= t.config.log_buffer_size then flush_worker t w
+let push t sh e =
+  sh.log <- e :: sh.log;
+  sh.log_len <- sh.log_len + 1;
+  if sh.log_len >= t.config.log_buffer_size then flush_worker t sh
 
-(* Drain all buffers; takes each worker's lock (callers already inside a
-   worker lock use [flush_worker] directly). *)
+(* Drain all buffers; takes each shard's worker lock (callers already
+   inside a worker lock use [flush_worker] directly). *)
 let flush t =
-  Array.iteri
-    (fun i w -> with_worker_lock t i (fun () -> flush_worker t w))
-    t.workers
+  Array.iter
+    (fun sh -> with_worker_lock t sh.sid (fun () -> flush_worker t sh))
+    t.shards
+
+let _ = flush
 
 (* ------------------------------------------------------------------ *)
 (* Mirror cache management (direct, in-enclave sections)               *)
@@ -497,16 +713,16 @@ let flush t =
 
 (* Update the host copy of [parent]'s slot with a pointer computed and
    returned by the verifier (the eviction hand-back of §4.3). *)
-let apply_ptr t parent (ptr : Value.ptr) =
-  let pe = Tree.get_exn t.tree parent in
+let apply_ptr sh parent (ptr : Value.ptr) =
+  let pe = Tree.get_exn sh.tree parent in
   match pe.value with
   | Value.Node n ->
       let d = Key.dir ptr.key ~ancestor:parent in
       pe.value <- Value.Node (Value.set_slot n d (Some ptr))
   | Value.Data _ -> assert false
 
-let mark_in_blum t parent key =
-  let pe = Tree.get_exn t.tree parent in
+let mark_in_blum sh parent key =
+  let pe = Tree.get_exn sh.tree parent in
   match pe.value with
   | Value.Node n -> (
       let d = Key.dir key ~ancestor:parent in
@@ -516,41 +732,41 @@ let mark_in_blum t parent key =
       | Some _ | None -> assert false)
   | Value.Data _ -> assert false
 
-let decr_parent_children w parent =
-  match Key_lru.find w.lru parent with
+let decr_parent_children sh parent =
+  match Key_lru.find sh.lru parent with
   | Some pe -> Key_lru.decr_children pe
   | None -> assert (Key.equal parent Key.root)
 
 (* Evict one merkle record from the verifier cache (and its mirror). *)
-let evict_mirror t w e ~epoch_floor =
+let evict_mirror _t sh e ~epoch_floor =
   let k = Key_lru.key e in
   assert (Key_lru.children e = 0);
-  (match Key.Tbl.find w.via k with
+  (match Key.Tbl.find sh.via k with
   | `M ->
-      let parent = Key.Tbl.find w.parents k in
-      let ptr = ok (Verifier.evict_m t.verifier ~tid:w.wid ~key:k ~parent) in
-      apply_ptr t parent ptr;
-      decr_parent_children w parent;
-      (maux t k).mstate <- M_merkle
+      let parent = Key.Tbl.find sh.parents k in
+      let ptr = ok (Verifier.evict_m sh.verifier ~tid:0 ~key:k ~parent) in
+      apply_ptr sh parent ptr;
+      decr_parent_children sh parent;
+      (maux sh k).mstate <- M_merkle
   | `B ->
-      let ts' = Timestamp.max w.clock (Timestamp.first_of_epoch epoch_floor) in
-      ok (Verifier.evict_b t.verifier ~tid:w.wid ~key:k ~timestamp:ts');
-      w.clock <- ts';
-      (maux t k).mstate <- M_blum ts');
-  Key_lru.remove w.lru e;
-  Key.Tbl.remove w.via k;
-  Key.Tbl.remove w.parents k
+      let ts' = Timestamp.max sh.clock (Timestamp.first_of_epoch epoch_floor) in
+      ok (Verifier.evict_b sh.verifier ~tid:0 ~key:k ~timestamp:ts');
+      sh.clock <- ts';
+      (maux sh k).mstate <- M_blum ts');
+  Key_lru.remove sh.lru e;
+  Key.Tbl.remove sh.via k;
+  Key.Tbl.remove sh.parents k
 
-let ensure_room t w ?protect () =
+let ensure_room t sh ?protect () =
   (* Keep two slots of headroom: one for the record being added, one for the
      transient data record of the operation in flight. *)
-  while Key_lru.length w.lru >= t.config.cache_capacity - 2 do
-    match Key_lru.victim ?exclude:protect w.lru with
+  while Key_lru.length sh.lru >= t.config.cache_capacity - 2 do
+    match Key_lru.victim ?exclude:protect sh.lru with
     | Some e ->
         (* Evictions must land in the live epoch: during a background scan
            of the sealed epoch, an evict timestamped into the sealed epoch
            would add an element the in-flight scan can no longer balance. *)
-        evict_mirror t w e ~epoch_floor:(Atomic.get t.live_epoch)
+        evict_mirror t sh e ~epoch_floor:(Atomic.get t.live_epoch)
     | None ->
         raise
           (Integrity_violation
@@ -558,72 +774,73 @@ let ensure_room t w ?protect () =
   done
 
 (* Make every merkle record on [path] (root-first, ending at the pointing
-   parent) resident in [w]'s verifier cache; returns the pointing parent.
+   parent) resident in [sh]'s verifier cache; returns the pointing parent.
    [loaded] counts chain records that were not already resident — the
    operation's tier attribution hinges on it. *)
-let ensure_chain ?loaded t w path =
+let ensure_chain ?loaded t sh path =
   let note_load () =
     match loaded with Some r -> incr r | None -> ()
   in
   let arr = Array.of_list path in
   let n = Array.length arr in
   (* The deepest node already cached or blum-protected anchors the chain:
-     everything below it is plain merkle-protected. *)
+     everything below it is plain merkle-protected. Each shard's verifier
+     pins its own tree's root, so the root always anchors. *)
   let rec find_anchor i =
     if i < 0 then -1
     else
       let k = arr.(i) in
-      if Key.equal k Key.root then if w.wid = 0 then i else -1
-      else if Key_lru.mem w.lru k then i
+      if Key.equal k Key.root then i
+      else if Key_lru.mem sh.lru k then i
       else
-        match (maux t k).mstate with
+        match (maux sh k).mstate with
         | M_blum _ -> i
         | M_merkle -> find_anchor (i - 1)
-        | M_cached wid ->
+        | M_cached sid ->
             raise
               (Integrity_violation
-                 (Fmt.str "routing: %a cached in worker %d, not %d" Key.pp k
-                    wid w.wid))
+                 (Fmt.str "routing: %a marked cached in shard %d but absent \
+                           from its mirror" Key.pp k sid))
   in
   let anchor = find_anchor (n - 1) in
   if anchor < 0 then
-    raise (Integrity_violation "routing: chain has no anchor for this worker");
+    raise (Integrity_violation "routing: chain has no anchor for this shard");
   for j = anchor to n - 1 do
     let k = arr.(j) in
-    if Key.equal k Key.root then () (* pinned in thread 0 *)
+    if Key.equal k Key.root then () (* pinned in the shard's thread 0 *)
     else
-      match Key_lru.find w.lru k with
-      | Some e -> Key_lru.touch w.lru e
+      match Key_lru.find sh.lru k with
+      | Some e -> Key_lru.touch sh.lru e
       | None -> (
-          let entry = Tree.get_exn t.tree k in
+          let entry = Tree.get_exn sh.tree k in
           match entry.aux.mstate with
           | M_blum ts ->
               note_load ();
-              ensure_room t w ();
+              ensure_room t sh ();
               ok
-                (Verifier.add_b t.verifier ~tid:w.wid ~key:k ~value:entry.value
+                (Verifier.add_b sh.verifier ~tid:0 ~key:k ~value:entry.value
                    ~timestamp:ts);
-              mirror_add_b w ts;
-              ignore (Key_lru.add w.lru k);
-              Key.Tbl.replace w.via k `B;
-              entry.aux.mstate <- M_cached w.wid
+              mirror_add_b sh ts;
+              ignore (Key_lru.add sh.lru k);
+              Key.Tbl.replace sh.via k `B;
+              entry.aux.mstate <- M_cached sh.sid
           | M_merkle ->
               note_load ();
               let parent = arr.(j - 1) in
-              ensure_room t w ~protect:parent ();
+              ensure_room t sh ~protect:parent ();
               let installed =
                 ok
-                  (Verifier.add_m t.verifier ~tid:w.wid ~key:k
+                  (Verifier.add_m sh.verifier ~tid:0 ~key:k
                      ~value:entry.value ~parent)
               in
               assert (installed = None);
-              ignore (Key_lru.add w.lru k);
-              Key.Tbl.replace w.via k `M;
-              Key.Tbl.replace w.parents k parent;
-              (match Key_lru.find w.lru parent with
+              ignore (Key_lru.add sh.lru k);
+              Key.Tbl.replace sh.via k `M;
+              Key.Tbl.replace sh.parents k parent;
+              (match Key_lru.find sh.lru parent with
               | Some pe -> Key_lru.incr_children pe
               | None -> assert (Key.equal parent Key.root));
-              entry.aux.mstate <- M_cached w.wid
+              entry.aux.mstate <- M_cached sh.sid
           | M_cached _ -> assert false)
   done;
   arr.(n - 1)
@@ -641,13 +858,13 @@ exception Raced
 
 (* Fast path: the record rides the deferred tier — one CAS plus three O(1)
    log entries, no Merkle hashing (§5.3). *)
-let rec blum_fast t w key cur ts action =
+let rec blum_fast t sh key cur ts action =
   (* The evict must land in the live epoch: while a background scan has the
      previous epoch sealed but still open in the verifier, a re-touch of a
      record whose timestamp predates the seal would otherwise evict back
      into the sealed epoch — an element the in-flight scan's snapshot can
      no longer balance. *)
-  let clock' = Timestamp.max w.clock (Timestamp.next ts) in
+  let clock' = Timestamp.max sh.clock (Timestamp.next ts) in
   let ts' =
     Timestamp.max clock' (Timestamp.first_of_epoch (Atomic.get t.live_epoch))
   in
@@ -656,116 +873,77 @@ let rec blum_fast t w key cur ts action =
     Store.try_cas t.store key ~expected_aux:(aux_blum ts) new_v
       ~aux:(aux_blum ts')
   then begin
-    w.clock <- ts';
-    push t w (E_add_b (key, Value.Data cur, ts));
+    sh.clock <- ts';
+    push t sh (E_add_b (key, Value.Data cur, ts));
     (match action with
-    | A_get meta -> push t w (E_vget (key, cur, meta))
-    | A_put (v, meta) -> push t w (E_vput (key, v, meta)));
-    push t w (E_evict_b (key, ts'));
+    | A_get meta -> push t sh (E_vget (key, cur, meta))
+    | A_put (v, meta) -> push t sh (E_vput (key, v, meta)));
+    push t sh (E_evict_b (key, ts'));
     if Timestamp.epoch ts < Timestamp.epoch ts' then
       (* The touch crossed the epoch boundary (only possible while a
          background scan is in flight): the [add_b] above balances the
          sealed epoch's evict of this record, and the new evict lands in
          the live epoch — so the record must re-enter the live epoch's
-         dirty set or that evict would never be balanced. The owner's
-         dirty list belongs to another worker's lock; park the key in a
-         leaf-locked side list that the next seal barrier routes to its
-         owner's snapshot. Exactly one touch per record crosses (the next
-         one sees both timestamps in the live epoch). *)
-      with_lock t.redeferred_lock (fun () ->
-          t.redeferred <- key :: t.redeferred);
+         dirty set or that evict would never be balanced. The shard's
+         dirty list is snapshotted by the seal barrier; park the key in a
+         leaf-locked side list that the next seal barrier routes back to
+         its shard's snapshot. Exactly one touch per record crosses (the
+         next one sees both timestamps in the live epoch). *)
+      with_redeferred_lock t (fun () -> t.redeferred <- key :: t.redeferred);
     Metrics.tier t.metrics Metrics.Blum;
     cur
   end
   else begin
-    (* Another worker won the CAS; retry against the fresh state. *)
+    (* Another domain won the CAS; retry against the fresh state. *)
     t.stats.cas_retries <- t.stats.cas_retries + 1;
     Metrics.cas_retry t.metrics;
     match ok (Store.get t.store key) with
     | Some (cur', aux) when aux_is_blum aux ->
-        blum_fast t w key cur' (aux_timestamp aux) action
+        blum_fast t sh key cur' (aux_timestamp aux) action
     | Some _ | None -> raise Raced
   end
 
 (* Validate the client-visible operation against the cached record. *)
-let client_validate t w key cur action =
+let client_validate t sh key cur action =
   match action with
   | A_get meta ->
-      ok (Verifier.vget t.verifier ~tid:w.wid ~key cur);
+      ok (Verifier.vget sh.verifier ~tid:0 ~key cur);
       gateway_receipt t ~kind:Auth.Get key cur meta;
       cur
   | A_put (v, meta) ->
-      ok (Verifier.vput t.verifier ~tid:w.wid ~key v);
+      ok (Verifier.vput sh.verifier ~tid:0 ~key v);
       gateway_receipt t ~kind:Auth.Put key v meta;
       v
 
 (* Hand the (cached, just-validated) data record to the deferred tier for the
    rest of the epoch (§6.1: touched records are hot). *)
-let defer_data t w key parent new_v =
+let defer_data t sh key parent new_v =
   (* Same live-epoch floor as [blum_fast]: during a background scan the
      deferral's evict may not land in the sealed epoch. *)
   let ts' =
-    Timestamp.max w.clock (Timestamp.first_of_epoch (Atomic.get t.live_epoch))
+    Timestamp.max sh.clock (Timestamp.first_of_epoch (Atomic.get t.live_epoch))
   in
-  ok (Verifier.evict_bm t.verifier ~tid:w.wid ~key ~timestamp:ts' ~parent);
-  w.clock <- ts';
-  mark_in_blum t parent key;
+  ok (Verifier.evict_bm sh.verifier ~tid:0 ~key ~timestamp:ts' ~parent);
+  sh.clock <- ts';
+  mark_in_blum sh parent key;
   Store.put t.store key new_v ~aux:(aux_blum ts');
-  w.dirty <- key :: w.dirty;
-  w.dirty_len <- w.dirty_len + 1
-
-let owner_of_path t path =
-  let rec find = function
-    | [] -> 0
-    | k :: rest ->
-        let a = maux t k in
-        if a.owner >= 0 then a.owner else find rest
-  in
-  find path
-
-(* Routing without locks, for external dispatchers (the server's executor
-   pool) and the seal barrier (parked cross-epoch keys): frontier ownership
-   is static after load/recover, and the frontier is an antichain, so a
-   data key has at most one frontier ancestor — probe the prefix at each
-   depth the frontier actually uses (pointer-hop frontiers sit at arbitrary
-   depths in the compressed tree, not at depth [frontier_levels]). Keys not
-   under any frontier node route to worker 0, matching [owner_of_path]
-   (worker 0's thread holds the root). *)
-let owner_of_data_key t key =
-  let rec probe = function
-    | [] -> 0
-    | d :: rest -> (
-        match Key.Tbl.find_opt t.owners (Key.prefix key d) with
-        | Some wid -> wid
-        | None -> probe rest)
-  in
-  probe t.owner_depths
-
-(* Derive [owner_depths] from a freshly populated [owners] table. *)
-let refresh_owner_depths t =
-  let ds =
-    Key.Tbl.fold (fun k _ acc -> Key.depth k :: acc) t.owners []
-    |> List.sort_uniq (fun a b -> compare b a)
-  in
-  t.owner_depths <- ds
-
-let owner_of_key t k = owner_of_data_key t (Key.of_int64 k)
+  sh.dirty <- key :: sh.dirty;
+  sh.dirty_len <- sh.dirty_len + 1
 
 (* Slow path: the record is merkle-protected (first touch this epoch), or
-   absent. Pays the chain from the nearest blum anchor (§6). Takes the tree
-   lock, then the owning worker's lock; if the record turned blum-protected
-   while we raced for the locks (another domain's first touch), returns
-   [None] and the caller retries on the fast path. *)
-let merkle_slow t key action =
-  with_tree_lock t @@ fun () ->
-  let descent = Tree.descend t.tree key in
-  let w = t.workers.(owner_of_path t descent.path) in
-  with_worker_lock t w.wid @@ fun () ->
+   absent. Pays the chain from the nearest blum anchor (§6). Takes the
+   shard's tree lock, then its worker lock; if the record turned
+   blum-protected while we raced for the locks (another domain's first
+   touch), returns [None] and the caller retries on the fast path. *)
+let merkle_slow t sh key action =
+  with_shard_lock t sh.sid @@ fun () ->
+  let descent = Tree.descend sh.tree key in
+  with_worker_lock t sh.sid @@ fun () ->
   match ok (Store.get t.store key) with
   | Some (_, aux) when aux_is_blum aux -> None
   | store_state ->
   t.stats.merkle_path <- t.stats.merkle_path + 1;
-  flush_worker t w;
+  flush_worker t sh;
   let t0 = now () in
   let loaded = ref 0 in
   let result =
@@ -776,43 +954,43 @@ let merkle_slow t key action =
               match store_state with Some s -> s | None -> assert false
             in
             assert (Int64.equal aux aux_merkle);
-            let parent = ensure_chain ~loaded t w descent.path in
+            let parent = ensure_chain ~loaded t sh descent.path in
             let installed =
               ok
-                (Verifier.add_m t.verifier ~tid:w.wid ~key
+                (Verifier.add_m sh.verifier ~tid:0 ~key
                    ~value:(Value.Data cur) ~parent)
             in
             assert (installed = None);
-            let new_v = client_validate t w key cur action in
-            defer_data t w key parent new_v;
+            let new_v = client_validate t sh key cur action in
+            defer_data t sh key parent new_v;
             cur
         | (Tree.Empty_slot | Tree.Split _), A_get meta ->
             (* Non-existence proof from the pointing parent (Example 4.1). *)
-            let parent = ensure_chain ~loaded t w descent.path in
-            ok (Verifier.vget_absent t.verifier ~tid:w.wid ~key ~parent);
+            let parent = ensure_chain ~loaded t sh descent.path in
+            ok (Verifier.vget_absent sh.verifier ~tid:0 ~key ~parent);
             gateway_receipt t ~kind:Auth.Get key None meta;
             None
         | Tree.Empty_slot, (A_put (_, _) as action) ->
-            let parent = ensure_chain ~loaded t w descent.path in
+            let parent = ensure_chain ~loaded t sh descent.path in
             let installed =
               ok
-                (Verifier.add_m t.verifier ~tid:w.wid ~key
+                (Verifier.add_m sh.verifier ~tid:0 ~key
                    ~value:(Value.Data None) ~parent)
             in
             (match installed with
-            | Some ptr -> apply_ptr t parent ptr
+            | Some ptr -> apply_ptr sh parent ptr
             | None -> assert false);
-            let new_v = client_validate t w key None action in
-            defer_data t w key parent new_v;
+            let new_v = client_validate t sh key None action in
+            defer_data t sh key parent new_v;
             None
         | Tree.Split pointee, (A_put (_, _) as action) ->
-            let parent = ensure_chain ~loaded t w descent.path in
+            let parent = ensure_chain ~loaded t sh descent.path in
             (* Fabricate the internal node splitting the edge to [pointee] —
                new chain material, so the op is Merkle-tier regardless of
                cache residency. *)
             incr loaded;
             let node_key = Key.lca key pointee in
-            let pn = Tree.get_exn t.tree parent in
+            let pn = Tree.get_exn sh.tree parent in
             let old_ptr =
               match pn.value with
               | Value.Node n -> (
@@ -828,80 +1006,77 @@ let merkle_slow t key action =
                    (Key.dir pointee ~ancestor:node_key)
                    (Some old_ptr))
             in
-            ensure_room t w ~protect:parent ();
+            ensure_room t sh ~protect:parent ();
             let installed =
               ok
-                (Verifier.add_m t.verifier ~tid:w.wid ~key:node_key
+                (Verifier.add_m sh.verifier ~tid:0 ~key:node_key
                    ~value:node_value ~parent)
             in
-            Tree.set t.tree node_key node_value
-              ~aux:{ mstate = M_cached w.wid; owner = -1 };
+            Tree.set sh.tree node_key node_value
+              ~aux:{ mstate = M_cached sh.sid; owner = -1 };
             (match installed with
-            | Some ptr -> apply_ptr t parent ptr
+            | Some ptr -> apply_ptr sh parent ptr
             | None -> assert false);
-            ignore (Key_lru.add w.lru node_key);
-            Key.Tbl.replace w.via node_key `M;
-            Key.Tbl.replace w.parents node_key parent;
-            (match Key_lru.find w.lru parent with
+            ignore (Key_lru.add sh.lru node_key);
+            Key.Tbl.replace sh.via node_key `M;
+            Key.Tbl.replace sh.parents node_key parent;
+            (match Key_lru.find sh.lru parent with
             | Some pe -> Key_lru.incr_children pe
             | None -> assert (Key.equal parent Key.root));
             (* If the displaced pointee is a cached merkle record, its
                pointing parent is now the new node. *)
-            (if (not (Key.is_data_key pointee)) && Key_lru.mem w.lru pointee then begin
-               Key.Tbl.replace w.parents pointee node_key;
-               decr_parent_children w parent;
-               match Key_lru.find w.lru node_key with
+            (if (not (Key.is_data_key pointee)) && Key_lru.mem sh.lru pointee then begin
+               Key.Tbl.replace sh.parents pointee node_key;
+               decr_parent_children sh parent;
+               match Key_lru.find sh.lru node_key with
                | Some ne -> Key_lru.incr_children ne
                | None -> assert false
              end);
             (* Now a plain fresh insert under the new node. *)
             let installed =
               ok
-                (Verifier.add_m t.verifier ~tid:w.wid ~key
+                (Verifier.add_m sh.verifier ~tid:0 ~key
                    ~value:(Value.Data None) ~parent:node_key)
             in
             (match installed with
-            | Some ptr -> apply_ptr t node_key ptr
+            | Some ptr -> apply_ptr sh node_key ptr
             | None -> assert false);
-            let new_v = client_validate t w key None action in
-            defer_data t w key node_key new_v;
+            let new_v = client_validate t sh key None action in
+            defer_data t sh key node_key new_v;
             None)
   in
   t.stats.verifier_time_s <- t.stats.verifier_time_s +. (now () -. t0);
   Metrics.tier t.metrics
     (if !loaded = 0 then Metrics.Cached else Metrics.Merkle);
-  Some (result, w)
+  Some (result, sh)
 
-let rec process_inner t ?worker key action =
+let rec process_inner t key action =
   t.stats.ops <- t.stats.ops + 1;
+  (* Routing is forced by the key: each record belongs to exactly one
+     shard, so a worker's log buffer only ever holds entries for its own
+     partition — which is what lets a shard close and seal its own epoch
+     slice without waiting for the others. *)
+  let sh = t.shards.(shard_of_data_key t key) in
   match ok (Store.get t.store key) with
-  | Some (cur, aux) when aux_is_blum aux ->
+  | Some (cur, aux) when aux_is_blum aux -> (
       t.stats.blum_fast_path <- t.stats.blum_fast_path + 1;
-      let w =
-        match worker with
-        | Some wid -> t.workers.(wid)
-        | None ->
-            let w = t.workers.(t.rr) in
-            t.rr <- (t.rr + 1) mod Array.length t.workers;
-            w
-      in
-      (match
-         with_worker_lock t w.wid (fun () ->
-             blum_fast t w key cur (aux_timestamp aux) action)
-       with
-      | value -> (value, w)
+      match
+        with_worker_lock t sh.sid (fun () ->
+            blum_fast t sh key cur (aux_timestamp aux) action)
+      with
+      | value -> (value, sh)
       | exception Raced ->
           t.stats.ops <- t.stats.ops - 1;
-          process_inner t ?worker key action)
+          process_inner t key action)
   | Some _ | None -> (
-      match merkle_slow t key action with
+      match merkle_slow t sh key action with
       | Some result -> result
       | None ->
           (* lost a first-touch race; the record is deferred now *)
           t.stats.ops <- t.stats.ops - 1;
-          process_inner t ?worker key action)
+          process_inner t key action)
 
-let process t ?worker ?(admitted = false) key action =
+let process t ?(admitted = false) key action =
   (* Admission control runs up front, before any verifier mutation or log
      entry: a put with a forged client MAC or a replayed nonce is rejected
      here with the system state untouched, so one bad request cannot poison
@@ -914,12 +1089,12 @@ let process t ?worker ?(admitted = false) key action =
       gateway_check_put t key v meta
   | A_put _ | A_get _ -> ());
   let t0 = now () in
-  let ((_, w) as result) = process_inner t ?worker key action in
+  let ((_, sh) as result) = process_inner t key action in
   (match action with
   | A_get _ -> Metrics.get_op t.metrics
   | A_put _ -> Metrics.put_op t.metrics);
-  t.stats.worker_busy_s.(w.wid) <-
-    t.stats.worker_busy_s.(w.wid) +. (now () -. t0);
+  t.stats.worker_busy_s.(sh.sid) <-
+    t.stats.worker_busy_s.(sh.sid) +. (now () -. t0);
   result
 
 (* ------------------------------------------------------------------ *)
@@ -927,33 +1102,36 @@ let process t ?worker ?(admitted = false) key action =
 (* ------------------------------------------------------------------ *)
 
 let verifier_op_count t =
-  let s = Verifier.stats t.verifier in
-  s.n_add_m + s.n_evict_m + s.n_add_b + s.n_evict_b + s.n_evict_bm + s.n_vget
-  + s.n_vput
+  Array.fold_left
+    (fun acc sh ->
+      let s = Verifier.stats sh.verifier in
+      acc + s.n_add_m + s.n_evict_m + s.n_add_b + s.n_evict_b + s.n_evict_bm
+      + s.n_vget + s.n_vput)
+    0 t.shards
 
-(* Background slices re-take the tree lock and their own worker lock per
+(* Background slices re-take their shard's tree lock and worker lock per
    [bg_chunk]-sized chunk of work, releasing them in between so foreground
    operations interleave: the pause any single operation can observe is
    bounded by one chunk, not the whole scan. *)
 let bg_chunk = 256
 
-(* One worker's slice of the verification scan: steps 1–3 (sorted dirty
-   re-apply, frontier migration, quiesced cache sweep). Epoch close and
-   set-hash detachment stay with the coordinator ([close_and_detach]): a
-   worker's log buffer can hold fast-path entries for records of {e any}
-   partition (routing is round-robin / caller-chosen), so no thread may
-   certify the epoch closed until every partition has migrated.
+(* One shard's slice of the verification scan: steps 1–3 (sorted dirty
+   re-apply, frontier migration, quiesced cache sweep). Because routing
+   confines every record — and therefore every buffered log entry — to its
+   own shard, the epoch close and seal also ride the slice
+   ([close_and_seal_shard] below): a shard certifies its partition the
+   moment its own migration finishes, without waiting for the others. Only
+   the store-level multiset fold remains serial.
 
    Quiesced mode ([background = false]): the coordinator holds every lock
-   and the slices run free, exactly as before. Background mode: the world
-   is live — the slice chunks its way through the sealed snapshot under
-   tree + own-worker locks (the same order [merkle_slow] takes, so no
-   deadlock), racing foreground fast-path CASes on the store; migration
-   therefore claims each dirty record by CAS, and a record whose touch
-   already carried it into the live epoch is skipped (the toucher's
-   [add_b] balanced this epoch, and the seal parked the key for the
-   next). *)
-let scan_worker t ~epoch ~background w dirty =
+   and the slices run free. Background mode: the world is live — the slice
+   chunks its way through the sealed snapshot under its shard's tree +
+   worker locks (the same order [merkle_slow] takes, so no deadlock),
+   racing foreground fast-path CASes on the store; migration therefore
+   claims each dirty record by CAS, and a record whose touch already
+   carried it into the live epoch is skipped (the toucher's [add_b]
+   balanced this epoch, and the seal parked the key for the next). *)
+let scan_shard t ~epoch ~background sh dirty =
   let migrated_data = ref 0 and migrated_frontier = ref 0 in
   let chunked len f =
     if not background then begin
@@ -963,12 +1141,12 @@ let scan_worker t ~epoch ~background w dirty =
       let i = ref 0 in
       while !i < len do
         let hi = min len (!i + bg_chunk) in
-        with_tree_lock t (fun () ->
-            with_worker_lock t w.wid (fun () ->
+        with_shard_lock t sh.sid (fun () ->
+            with_worker_lock t sh.sid (fun () ->
                 (* Drain buffered foreground entries before any direct
                    verifier call: their evict timestamps predate ours, and
                    the thread clock only moves forward. *)
-                flush_worker t w;
+                flush_worker t sh;
                 Enclave.call t.enclave (fun () -> f !i hi)));
         i := hi
       done
@@ -1000,17 +1178,17 @@ let scan_worker t ~epoch ~background w dirty =
         else begin
           (* Claimed: the store says merkle, so any racing fast path now
              fails its CAS and falls through to [merkle_slow], which
-             blocks on the tree lock until this chunk completes. *)
-          let descent = Tree.descend t.tree key in
+             blocks on the shard's tree lock until this chunk completes. *)
+          let descent = Tree.descend sh.tree key in
           assert (descent.outcome = Tree.Exists);
-          let parent = ensure_chain t w descent.path in
-          ensure_room t w ~protect:parent ();
+          let parent = ensure_chain t sh descent.path in
+          ensure_room t sh ~protect:parent ();
           ok
-            (Verifier.add_b t.verifier ~tid:w.wid ~key ~value:(Value.Data v)
+            (Verifier.add_b sh.verifier ~tid:0 ~key ~value:(Value.Data v)
                ~timestamp:ts);
-          mirror_add_b w ts;
-          let ptr = ok (Verifier.evict_m t.verifier ~tid:w.wid ~key ~parent) in
-          apply_ptr t parent ptr;
+          mirror_add_b sh ts;
+          let ptr = ok (Verifier.evict_m sh.verifier ~tid:0 ~key ~parent) in
+          apply_ptr sh parent ptr;
           incr migrated_data
         end
     | Some _ | None ->
@@ -1021,37 +1199,37 @@ let scan_worker t ~epoch ~background w dirty =
         let key = dirty.(i) in
         if not (i > 0 && Key.equal key dirty.(i - 1)) then migrate_dirty key
       done);
-  (* 2. Migrate this worker's frontier merkle records that were not touched
+  (* 2. Migrate this shard's frontier merkle records that were not touched
      (still in the deferred tier) to the next epoch. *)
-  let frontier = Array.of_list t.frontier_by_worker.(w.wid) in
+  let frontier = Array.of_list sh.frontier in
   chunked (Array.length frontier) (fun lo hi ->
       for i = lo to hi - 1 do
         let f = frontier.(i) in
-        let entry = Tree.get_exn t.tree f in
+        let entry = Tree.get_exn sh.tree f in
         match entry.aux.mstate with
         | M_blum ts when Timestamp.epoch ts <= epoch ->
-            ensure_room t w ();
+            ensure_room t sh ();
             ok
-              (Verifier.add_b t.verifier ~tid:w.wid ~key:f ~value:entry.value
+              (Verifier.add_b sh.verifier ~tid:0 ~key:f ~value:entry.value
                  ~timestamp:ts);
-            mirror_add_b w ts;
+            mirror_add_b sh ts;
             let ts' =
-              Timestamp.max w.clock (Timestamp.first_of_epoch (epoch + 1))
+              Timestamp.max sh.clock (Timestamp.first_of_epoch (epoch + 1))
             in
-            ok (Verifier.evict_b t.verifier ~tid:w.wid ~key:f ~timestamp:ts');
-            w.clock <- ts';
+            ok (Verifier.evict_b sh.verifier ~tid:0 ~key:f ~timestamp:ts');
+            sh.clock <- ts';
             entry.aux.mstate <- M_blum ts';
             incr migrated_frontier
         | M_blum _ ->
             (* Already carried into the live epoch by a mid-scan cache
                eviction; the next scan migrates it. *)
             ()
-        | M_cached wid' ->
+        | M_cached sid ->
             (* Cached this epoch: the quiesced sweep below — or, in
                background mode, a later capacity eviction at the live-epoch
-               floor — moves it into a later epoch. Only ever cached by the
-               owner ([merkle_slow] routes by [owner_of_path]). *)
-            assert (wid' = w.wid)
+               floor — moves it into a later epoch. Only ever cached by its
+               own shard (routing is forced by key). *)
+            assert (sid = sh.sid)
         | M_merkle -> assert false
       done);
   (* 3. Quiesced only: evict every remaining cached merkle record, children
@@ -1062,51 +1240,60 @@ let scan_worker t ~epoch ~background w dirty =
      floor, balanced by that epoch's scan. *)
   if not background then
     Enclave.call t.enclave (fun () ->
-        while Key_lru.length w.lru > 0 do
-          match Key_lru.victim w.lru with
-          | Some e -> evict_mirror t w e ~epoch_floor:(epoch + 1)
+        while Key_lru.length sh.lru > 0 do
+          match Key_lru.victim sh.lru with
+          | Some e -> evict_mirror t sh e ~epoch_floor:(epoch + 1)
           | None ->
               raise (Integrity_violation "cycle in cached merkle records")
         done);
   (!migrated_data, !migrated_frontier)
 
-(* 4a. Epoch close + set-hash detachment, one worker at a time, strictly
-   after every slice has joined (see [scan_worker] on why no thread may
-   close earlier). In background mode each worker's lock is held just long
-   enough to flush its buffer, close the epoch and detach its set hashes;
-   afterwards the serial aggregation reads only the detached values, never
-   thread state that foreground traffic keeps mutating. *)
-let close_and_detach t ~epoch ~background =
-  let n = Array.length t.workers in
-  let detached = Array.make n ("", "") in
-  for wid = 0 to n - 1 do
-    let w = t.workers.(wid) in
-    let work () =
-      flush_worker t w;
+(* 4a. Per-shard epoch close + seal, at the tail of each shard's own slice
+   (routing confines a shard's log entries to its own partition, so a
+   shard may certify the moment its migration finishes — this is what
+   moves the former serial close/detach loop into the parallel phase). In
+   background mode the shard's worker lock is held just long enough to
+   flush its buffer, close the epoch, detach its set hashes and seal;
+   afterwards the store-level aggregation reads only the returned fold,
+   never thread state that foreground traffic keeps mutating. *)
+let close_and_seal_shard t ~epoch ~background sh =
+  let work () =
+    flush_worker t sh;
+    let fold =
       Enclave.call t.enclave (fun () ->
-          ok (Verifier.close_epoch t.verifier ~tid:wid ~epoch);
-          detached.(wid) <-
-            ok (Verifier.detach_epoch t.verifier ~tid:wid ~epoch));
-      w.clock <- Timestamp.max w.clock (Timestamp.first_of_epoch (epoch + 1))
+          ok (Verifier.close_epoch sh.verifier ~tid:0 ~epoch);
+          let detached =
+            [| ok (Verifier.detach_epoch sh.verifier ~tid:0 ~epoch) |]
+          in
+          let _shard_cert, fold =
+            ok
+              (Verifier.seal_epoch_shard sh.verifier ~shard:sh.sid ~epoch
+                 ~detached)
+          in
+          fold)
     in
-    if background then with_worker_lock t wid work else work ()
-  done;
-  detached
+    sh.clock <- Timestamp.max sh.clock (Timestamp.first_of_epoch (epoch + 1));
+    fold
+  in
+  if background then with_worker_lock t sh.sid work else work ()
 
 (* The verification scan (§6.3, §8.1). Quiesced mode: stop-the-world — the
-   coordinator owns the tree and every worker for the whole scan (lock
-   order: tree first, then workers ascending — the same order
-   [merkle_slow] uses, so scans and operations cannot deadlock), and the
-   per-worker slices fan out to real domains (§8.5). Background mode
+   coordinator owns every shard for the whole scan (lock order: tree locks
+   ascending, then worker locks ascending — the same order [merkle_slow]
+   uses, so scans and operations cannot deadlock), and the per-shard
+   slices fan out to real domains (§8.5). Background mode
    ([config.background_verify]): the world stops only for the {e seal
    barrier} — flush every log buffer, snapshot every dirty set, route the
    parked epoch-crossing keys, bump the live epoch — after which
    foreground gets/puts resume immediately against epoch [e+1] while the
    slices migrate epoch [e] underneath them.
 
-   Either way the scan ends in the same serial detached aggregation; the
-   multiset fold is order-independent, so background scans yield
-   bit-identical epoch certificates to quiesced (and to sequential) ones.
+   Each slice ends by closing and sealing its own shard's epoch
+   ([close_and_seal_shard]); the serial tail is only the store-level
+   multiset fold over the per-shard values plus one HMAC. The fold is
+   order-independent, so the aggregated certificate is bit-identical
+   whether one shard or N produced it — and identical to the certificate a
+   single unsharded verifier would sign.
 
    The caller must hold [verify_mutex]. Returns [(epoch, certificate)]. *)
 let verify_inner t =
@@ -1122,27 +1309,27 @@ let verify_inner t =
       Atomic.set t.verify_inflight false;
       Metrics.verify_in_flight t.metrics 0)
   @@ fun () ->
-  (* ---- Seal barrier: O(workers) under the world lock. ---- *)
+  (* ---- Seal barrier: O(shards) under the world lock. ---- *)
   lock_world t;
   let seal () =
-    let epoch = Verifier.current_epoch t.verifier in
-    Array.iter (flush_worker t) t.workers;
+    let epoch = Verifier.current_epoch t.shards.(0).verifier in
+    Array.iter (flush_worker t) t.shards;
     let dirty_lists =
       Array.map
-        (fun w ->
-          let d = w.dirty in
-          w.dirty <- [];
-          w.dirty_len <- 0;
+        (fun sh ->
+          let d = sh.dirty in
+          sh.dirty <- [];
+          sh.dirty_len <- 0;
           d)
-        t.workers
+        t.shards
     in
     (* Keys whose fast-path touch crossed the previous boundary belong to
-       this epoch's dirty sets; route each to its owner's snapshot. *)
+       this epoch's dirty sets; route each to its shard's snapshot. *)
     List.iter
       (fun k ->
-        let wid = owner_of_data_key t k in
-        dirty_lists.(wid) <- k :: dirty_lists.(wid))
-      (with_lock t.redeferred_lock (fun () ->
+        let sid = shard_of_data_key t k in
+        dirty_lists.(sid) <- k :: dirty_lists.(sid))
+      (with_redeferred_lock t (fun () ->
            let r = t.redeferred in
            t.redeferred <- [];
            r));
@@ -1163,29 +1350,50 @@ let verify_inner t =
     Metrics.verify_pause t.metrics ~seconds:(now () -. t0)
   end;
   let run_scan () =
-    let n = Array.length t.workers in
+    let n = Array.length t.shards in
     let results = Array.make n (0, 0) in
+    let folds = Array.make n ("", "") in
     let failures = Array.make n None in
-    let slice wid () =
-      let w = t.workers.(wid) in
+    let slice sid () =
+      let sh = t.shards.(sid) in
       let tw = now () in
-      (match scan_worker t ~epoch ~background w dirty.(wid) with
-      | r -> results.(wid) <- r
-      | exception e -> failures.(wid) <- Some e);
+      (match
+         let r = scan_shard t ~epoch ~background sh dirty.(sid) in
+         let fold = close_and_seal_shard t ~epoch ~background sh in
+         (r, fold)
+       with
+      | r, fold ->
+          results.(sid) <- r;
+          folds.(sid) <- fold
+      | exception e -> failures.(sid) <- Some e);
       let dt = now () -. tw in
-      t.stats.worker_busy_s.(wid) <- t.stats.worker_busy_s.(wid) +. dt;
-      Metrics.verify_worker t.metrics ~wid ~seconds:dt
+      t.stats.worker_busy_s.(sid) <- t.stats.worker_busy_s.(sid) +. dt;
+      Metrics.verify_shard t.metrics ~sid ~seconds:dt
     in
-    (* Worker 0's slice runs on the coordinator domain; failures are
-       collected per worker and re-raised only after every domain has
-       joined, so a tampering detection on one partition never leaves
-       another domain running unsupervised. *)
-    (if n = 1 then slice 0 ()
+    (* Dispatch the slices over at most [recommended_domain_count]
+       domains: spawning one domain per shard on a machine with fewer
+       cores makes the domains time-share, which both adds scheduler
+       overhead and corrupts the per-slice wall-clock accounting (each
+       slice's elapsed time would absorb the others' work). Each lane
+       drains a strided subset of shards sequentially; lane 0 runs on
+       the coordinator domain. Failures are collected per shard and
+       re-raised only after every domain has joined, so a tampering
+       detection on one partition never leaves another domain running
+       unsupervised. *)
+    let lanes = min n (Domain.recommended_domain_count ()) in
+    let lane l () =
+      let sid = ref l in
+      while !sid < n do
+        slice !sid ();
+        sid := !sid + lanes
+      done
+    in
+    (if lanes = 1 then lane 0 ()
      else begin
        let domains =
-         Array.init (n - 1) (fun i -> Domain.spawn (slice (i + 1)))
+         Array.init (lanes - 1) (fun i -> Domain.spawn (lane (i + 1)))
        in
-       slice 0 ();
+       lane 0 ();
        Array.iter Domain.join domains
      end);
     Array.iter (function Some e -> raise e | None -> ()) failures;
@@ -1194,13 +1402,22 @@ let verify_inner t =
         t.stats.migrated_data <- t.stats.migrated_data + d;
         t.stats.migrated_frontier <- t.stats.migrated_frontier + f)
       results;
-    (* 4b. Serial tail: close every thread, detach its set hashes and seal
-       the epoch certificate over the aggregate. *)
+    (* 4b. Serial tail: fold every shard's detached set-hash values into
+       the store-level accumulators and sign the epoch certificate. The
+       per-shard balance checks already ran inside the slices; this is
+       O(shards) multiset merges plus one HMAC — the only inherently
+       serial work left in a scan. *)
     let ts = now () in
-    let detached = close_and_detach t ~epoch ~background in
     let cert =
       Enclave.call t.enclave (fun () ->
-          ok (Verifier.verify_epoch_detached t.verifier ~epoch ~detached))
+          match
+            Verifier.aggregate_epoch_certificate
+              ~mset_secret:t.config.mset_secret
+              ~mac_secret:t.config.mac_secret ~epoch
+              ~folds:(Array.to_list folds)
+          with
+          | Ok c -> c
+          | Error e -> raise (Integrity_violation e))
     in
     t.stats.serial_s <- t.stats.serial_s +. (now () -. ts);
     cert
@@ -1233,7 +1450,7 @@ let verify_inner t =
    goes through [bg_lock] so a joiner racing a dispatcher can never leave
    a domain unjoined. *)
 let join_bg t =
-  match with_lock t.bg_lock (fun () -> Atomic.exchange t.bg_join None) with
+  match with_bg_lock t (fun () -> Atomic.exchange t.bg_join None) with
   | Some d -> Domain.join d
   | None -> ()
 
@@ -1250,7 +1467,7 @@ let cold_maintain t =
   match t.cold with
   | None -> ()
   | Some _ ->
-      with_lock t.cold_lock (fun () ->
+      with_cold_lock t (fun () ->
           (match Store.demote_now t.store ~budget:t.config.cold_threshold with
           | Ok _ -> ()
           | Error e -> Logs.warn (fun m -> m "cold demotion: %s" e));
@@ -1276,7 +1493,7 @@ let verify_async t ~on_complete =
   (* Raise the latch before the domain exists, so [maybe_verify] callers
      stop dispatching the moment a scan is queued, not once it starts. *)
   Atomic.set t.verify_inflight true;
-  with_lock t.bg_lock (fun () ->
+  with_bg_lock t (fun () ->
       let prev = Atomic.exchange t.bg_join None in
       let d =
         Domain.spawn (fun () ->
@@ -1378,59 +1595,74 @@ let check_epoch_certificate t ~epoch cert =
 
 let load t records =
   if t.loaded then invalid_arg "Fastver.load: already loaded";
-  let data =
-    Array.map
-      (fun (k, v) -> (Key.of_int64 k, Value.Data (Some v)))
-      records
-  in
-  Tree.bulk_build t.tree ~algo:t.config.algo
-    ~aux:(fun _ _ -> { mstate = M_merkle; owner = -1 })
-    data;
-  (maux t Key.root).mstate <- M_cached 0;
+  let n_sh = Array.length t.shards in
+  let keyed = Array.map (fun (k, v) -> (Key.of_int64 k, v)) records in
+  (* Range boundaries from key quantiles, so shards start balanced on the
+     loaded distribution. Duplicate quantiles (tiny loads) just leave some
+     shards empty — routing stays total either way. *)
+  let sorted = Array.copy keyed in
+  Array.sort (fun (a, _) (b, _) -> Key.compare a b) sorted;
+  let len = Array.length sorted in
+  t.boundaries <-
+    (if len = 0 then synth_boundaries n_sh
+     else Array.init (n_sh - 1) (fun i -> fst sorted.((i + 1) * len / n_sh)));
+  let buckets = Array.make n_sh [] in
   Array.iter
-    (fun (k, v) -> Store.put t.store k (Some v) ~aux:aux_merkle)
-    (Array.map (fun (k, v) -> (Key.of_int64 k, v)) records);
-  ok (Verifier.install_root t.verifier (Tree.get_exn t.tree Key.root).value);
+    (fun (k, v) ->
+      let sid = shard_of_data_key t k in
+      buckets.(sid) <- (k, Value.Data (Some v)) :: buckets.(sid))
+    keyed;
+  Array.iter (fun (k, v) -> Store.put t.store k (Some v) ~aux:aux_merkle) keyed;
+  Array.iter
+    (fun sh ->
+      Tree.bulk_build sh.tree ~algo:t.config.algo
+        ~aux:(fun _ _ -> { mstate = M_merkle; owner = -1 })
+        (Array.of_list buckets.(sh.sid));
+      (maux sh Key.root).mstate <- M_cached sh.sid;
+      ok
+        (Verifier.install_root sh.verifier
+           (Tree.get_exn sh.tree Key.root).value))
+    t.shards;
   t.loaded <- true;
-  (* Push the depth-d frontier into the deferred tier (§6.2): done on worker
-     0, whose thread holds the root. *)
-  let frontier =
-    Tree.frontier t.tree ~levels:t.config.frontier_levels
-    |> List.filter (fun k -> not (Key.equal k Key.root))
-    |> List.sort Key.compare
-  in
-  let n_frontier = List.length frontier in
-  let w0 = t.workers.(0) in
-  Enclave.call t.enclave (fun () ->
-      List.iteri
-        (fun i f ->
-          let wid = i * t.config.n_workers / max 1 n_frontier in
-          let entry = Tree.get_exn t.tree f in
-          entry.aux.owner <- wid;
-          t.frontier_by_worker.(wid) <- f :: t.frontier_by_worker.(wid);
-          Key.Tbl.replace t.owners f wid;
-          let descent = Tree.descend t.tree f in
-          assert (descent.outcome = Tree.Exists);
-          let parent = ensure_chain t w0 descent.path in
-          ensure_room t w0 ~protect:parent ();
-          let installed =
-            ok
-              (Verifier.add_m t.verifier ~tid:0 ~key:f ~value:entry.value
-                 ~parent)
-          in
-          assert (installed = None);
-          let ts' = w0.clock in
-          ok (Verifier.evict_bm t.verifier ~tid:0 ~key:f ~timestamp:ts' ~parent);
-          mark_in_blum t parent f;
-          entry.aux.mstate <- M_blum ts')
-        frontier;
-      (* Clear worker 0's chain nodes so all workers start symmetric. *)
-      while Key_lru.length w0.lru > 0 do
-        match Key_lru.victim w0.lru with
-        | Some e -> evict_mirror t w0 e ~epoch_floor:0
-        | None -> assert false
-      done);
-  refresh_owner_depths t
+  (* Push each shard's depth-d frontier into the deferred tier (§6.2), on
+     that shard's own verifier thread. *)
+  Array.iter
+    (fun sh ->
+      let frontier =
+        Tree.frontier sh.tree ~levels:t.config.frontier_levels
+        |> List.filter (fun k -> not (Key.equal k Key.root))
+        |> List.sort Key.compare
+      in
+      Enclave.call t.enclave (fun () ->
+          List.iter
+            (fun f ->
+              let entry = Tree.get_exn sh.tree f in
+              entry.aux.owner <- sh.sid;
+              sh.frontier <- f :: sh.frontier;
+              let descent = Tree.descend sh.tree f in
+              assert (descent.outcome = Tree.Exists);
+              let parent = ensure_chain t sh descent.path in
+              ensure_room t sh ~protect:parent ();
+              let installed =
+                ok
+                  (Verifier.add_m sh.verifier ~tid:0 ~key:f
+                     ~value:entry.value ~parent)
+              in
+              assert (installed = None);
+              let ts' = sh.clock in
+              ok
+                (Verifier.evict_bm sh.verifier ~tid:0 ~key:f ~timestamp:ts'
+                   ~parent);
+              mark_in_blum sh parent f;
+              entry.aux.mstate <- M_blum ts')
+            frontier;
+          (* Clear the chain nodes so every shard starts symmetric. *)
+          while Key_lru.length sh.lru > 0 do
+            match Key_lru.victim sh.lru with
+            | Some e -> evict_mirror t sh e ~epoch_floor:0
+            | None -> assert false
+          done))
+    t.shards
 
 (* ------------------------------------------------------------------ *)
 (* Batch driver                                                        *)
@@ -1469,11 +1701,11 @@ module Session = struct
 
   type 'v receipt = { value : 'v; nonce : int64; epoch : int; mac : string }
 
-  let take_receipt s w meta ~kind ~key ~value ~nonce =
+  let take_receipt s sh meta ~kind ~key ~value ~nonce =
     (* The op's receipt cell fills when its log entry flushes; flushing under
-       the worker lock also orders any cell write made by a concurrent
-       domain's scan before this read. *)
-    with_worker_lock s.sys w.wid (fun () -> flush_worker s.sys w);
+       the shard's worker lock also orders any cell write made by a
+       concurrent domain's scan before this read. *)
+    with_worker_lock s.sys sh.sid (fun () -> flush_worker s.sys sh);
     match !(meta.receipt) with
     | None -> raise (Integrity_violation "missing validation receipt")
     | Some (mac, epoch) ->
@@ -1491,8 +1723,8 @@ module Session = struct
     let key = Key.of_int64 k in
     s.sys.stats.gets <- s.sys.stats.gets + 1;
     let meta = mk_meta ~client:s.client_id ~nonce ~mac:"" in
-    let value, w = process s.sys key (A_get (Some meta)) in
-    let mac, epoch = take_receipt s w meta ~kind:Auth.Get ~key ~value ~nonce in
+    let value, sh = process s.sys key (A_get (Some meta)) in
+    let mac, epoch = take_receipt s sh meta ~kind:Auth.Get ~key ~value ~nonce in
     maybe_verify s.sys;
     { value; nonce; epoch; mac }
 
@@ -1504,15 +1736,15 @@ module Session = struct
     s.sys.stats.puts <- s.sys.stats.puts + 1;
     let mac = Auth.put_request s.auth ~client:s.client_id ~nonce key v in
     let meta = mk_meta ~client:s.client_id ~nonce ~mac in
-    let _, w = process s.sys key (A_put (Some v, Some meta)) in
+    let _, sh = process s.sys key (A_put (Some v, Some meta)) in
     let mac, epoch =
-      take_receipt s w meta ~kind:Auth.Put ~key ~value:(Some v) ~nonce
+      take_receipt s sh meta ~kind:Auth.Put ~key ~value:(Some v) ~nonce
     in
     maybe_verify s.sys;
     { value = (); nonce; epoch; mac }
 
   let await_certainty s r =
-    while Verifier.verified_epoch s.sys.verifier < r.epoch do
+    while verified_epoch s.sys < r.epoch do
       (* [verify_pair] reports which epoch the certificate covers — reading
          the verifier's current epoch separately would race a concurrent
          (or background) scan and check the certificate against the wrong
@@ -1551,7 +1783,10 @@ module Batch = struct
      waiting for its receipt cell to fill when its log entry flushes. *)
   type pending = { p_meta : meta option; p_item : item; p_op : int }
 
-  let submit ?worker ?(pre_admitted = false) t ops =
+  let submit ?worker:_ ?(pre_admitted = false) t ops =
+    (* The [worker] hint is accepted for compatibility but ignored: shard
+       routing is forced by key, so a dispatcher cannot choose where an
+       operation runs — only which domain drives it. *)
     check_loaded t;
     let auth = t.config.authenticate_clients in
     let n = Array.length ops in
@@ -1560,17 +1795,17 @@ module Batch = struct
     let meta_of ~client ~nonce ~mac =
       if auth then Some (mk_meta ~client ~nonce ~mac) else None
     in
-    let touched = Array.make (Array.length t.workers) false in
+    let touched = Array.make (Array.length t.shards) false in
     let one i action ~client ~nonce ~mac key =
       let meta = meta_of ~client ~nonce ~mac in
-      let returned, w =
-        process t ?worker ~admitted:pre_admitted
+      let returned, sh =
+        process t ~admitted:pre_admitted
           (data_key (Key.of_int64 key))
           (match action with
           | `Get -> A_get meta
           | `Put v -> A_put (v, meta))
       in
-      touched.(w.wid) <- true;
+      touched.(sh.sid) <- true;
       (* what the receipt MAC covers: the read value for gets, the new
          value for puts (process returns the overwritten value) *)
       let value = match action with `Get -> returned | `Put v -> v in
@@ -1614,19 +1849,19 @@ module Batch = struct
                   Failed e))
         ops
     in
-    (* One drain per worker this batch actually ran on covers every receipt:
+    (* One drain per shard this batch actually ran on covers every receipt:
        this is where the enclave-transition amortisation happens (§7) —
-       and flushing only touched workers means a batch confined to one
+       and flushing only touched shards means a batch confined to one
        partition never blocks on another partition's (possibly stalled)
        executor. A violation here is real tampering surfacing on a deferred
        validation; ops whose receipts never materialise are failed below. *)
     let flush_error =
       match
         Array.iteri
-          (fun i w ->
-            if touched.(i) then
-              with_worker_lock t i (fun () -> flush_worker t w))
-          t.workers
+          (fun sid sh ->
+            if touched.(sid) then
+              with_worker_lock t sid (fun () -> flush_worker t sh))
+          t.shards
       with
       | () -> None
       | exception Integrity_violation e -> Some e
@@ -1638,9 +1873,9 @@ module Batch = struct
        let fallback_epoch = Atomic.get t.live_epoch in
        List.iter
          (fun p ->
-           (* The flush above took every touched worker's lock, which also
-              orders any receipt-cell write made by a concurrent domain's
-              verification scan before these reads. *)
+           (* The flush above took every touched shard's worker lock, which
+              also orders any receipt-cell write made by a concurrent
+              domain's verification scan before these reads. *)
            match p.p_meta with
            | None -> assert false
            | Some m -> (
@@ -1669,10 +1904,13 @@ end
 (* Durability (§7)                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let tree_file = "merkle.tree"
 let data_file = "data.ckpt"
 let sealed_file = "verifier.sealed"
 let tpm_file = "tpm.state"
+
+(* One merkle image per shard: untrusted files; tampering surfaces as
+   verification failures after recovery. *)
+let shard_tree_file sid = Printf.sprintf "merkle-%d.tree" sid
 
 (* Present only when a cold tier is configured; checksummed by the MANIFEST
    like every other component. Written after the data checkpoint so every
@@ -1680,14 +1918,21 @@ let tpm_file = "tpm.state"
    commits. *)
 let cold_manifest_file = "cold.manifest"
 
-(* Checkpoints are versioned generations [dir/ckpt-<n>/] holding the four
+(* Checkpoints are versioned generations [dir/ckpt-<n>/] holding the
    component files plus a MANIFEST with the SHA-256 of each. Every file —
    the manifest included — is written temp-file + fsync + rename
    ({!Ckpt_io}), and the manifest is written last, so the manifest's
    presence-and-validity is the generation's commit point: a crash at any
    byte offset leaves either a committed generation (old or new) or a torn
-   one that recovery can recognise and discard. *)
-let component_files = [ data_file; tree_file; sealed_file; tpm_file ]
+   one that recovery can recognise and discard.
+
+   The shard count lives in the sealed payload, so the static component
+   check below names only the shard-count-independent files; the per-shard
+   tree files are still checksummed by the manifest (its [verify] covers
+   every entry), and a missing one surfaces as a read failure during
+   recovery of a generation whose manifest vouches for it — Tampered by
+   construction. *)
+let static_component_files = [ data_file; sealed_file; tpm_file ]
 
 (* A generation commits only when its manifest lists every component file,
    records the directory's own generation number, and every checksum
@@ -1721,7 +1966,7 @@ let classify_generation ~number gdir =
                List.exists
                  (fun e -> e.Ckpt_io.Manifest.name = name)
                  m.Ckpt_io.Manifest.entries)
-             component_files)
+             static_component_files)
       then Tampered "manifest missing a component file"
       else
         match Ckpt_io.Manifest.verify ~dir:gdir m with
@@ -1734,6 +1979,11 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Internal: aborts a checkpoint attempt with an [Error], leaving the new
+   generation uncommitted (no manifest was written, so recovery classifies
+   the directory as torn and the previous generation stays authoritative). *)
+exception Ckpt_error of string
+
 let mstate_encode buf st ~is_root =
   match st with
   | M_merkle -> Buffer.add_char buf 'm'
@@ -1741,151 +1991,337 @@ let mstate_encode buf st ~is_root =
       Buffer.add_char buf 'b';
       Buffer.add_string buf (Timestamp.encode ts)
   | M_cached _ when is_root -> Buffer.add_char buf 'm' (* re-pinned on recover *)
-  | M_cached _ -> invalid_arg "checkpoint: record still cached"
+  | M_cached _ -> raise (Ckpt_error "checkpoint: record still cached")
 
-let checkpoint t ~dir =
-  check_loaded t;
-  let ck0 = now () in
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  (* Serialize against verification scans: a checkpoint taken mid-scan
-     would capture half-migrated protection state and lose the scan's
-     sealed snapshot (which lives only in the scan's arrays). Taken before
-     any world lock — the same order the scans use. *)
-  with_lock t.verify_mutex
-  @@ fun () ->
-  (* Stop the world: snapshotting the store and trie while other domains
-     mutate them would tear the images (and race Hashtbl internals). *)
-  lock_world t;
-  Fun.protect ~finally:(fun () -> unlock_world t)
-  @@ fun () ->
-  Array.iter (flush_worker t) t.workers;
-  (* With background verification, foreground traffic may have left merkle
-     records cached at the instant the world stopped; the sealed summary
-     requires empty caches and the tree image cannot encode cached
-     records, so evict them all (children first) into the live epoch. *)
-  Array.iter
-    (fun w ->
-      Enclave.call t.enclave (fun () ->
-          while Key_lru.length w.lru > 0 do
-            match Key_lru.victim w.lru with
-            | Some e ->
-                evict_mirror t w e ~epoch_floor:(Atomic.get t.live_epoch)
-            | None ->
-                raise (Integrity_violation "cycle in cached merkle records")
-          done))
-    t.workers;
-  let summary =
-    Enclave.call t.enclave (fun () ->
-        ok (Verifier.checkpoint_summary t.verifier))
-  in
-  (* The gateway's anti-replay nonce table is trusted state too: without it
-     a recovered system would accept replays of pre-crash puts. Seal it
-     alongside the verifier summary. *)
+(* Sealed-payload layout (version 2, sharded):
+     u64  nonce_blob length
+     ...  nonce blob (16 bytes per client: u64 client, u64 last nonce)
+     8    magic "FVSHARD1"
+     u64  shard count
+     ...  (shards - 1) range boundaries, 34 bytes each (Key.encode)
+     per shard: u64 summary length, then the shard verifier's summary
+   The boundaries and shard count ride the *sealed* (trusted,
+   rollback-protected) payload because routing is integrity-critical: a
+   host free to re-aim routing could ask the wrong shard for an absence
+   proof of a key the right shard holds. *)
+let shard_magic = "FVSHARD1"
+
+let encode_sealed_payload t ~summaries =
   let nonce_blob =
     let buf = Buffer.create 64 in
     Hashtbl.iter
       (fun client nonce ->
-        Buffer.add_string buf (Fastver_crypto.Bytes_util.string_of_u64_le (Int64.of_int client));
+        Buffer.add_string buf
+          (Fastver_crypto.Bytes_util.string_of_u64_le (Int64.of_int client));
         Buffer.add_string buf (Fastver_crypto.Bytes_util.string_of_u64_le nonce))
       t.nonces;
     Buffer.contents buf
   in
-  let sealed_payload =
-    Fastver_crypto.Bytes_util.string_of_u64_le (Int64.of_int (String.length nonce_blob))
-    ^ nonce_blob ^ summary
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Fastver_crypto.Bytes_util.string_of_u64_le
+       (Int64.of_int (String.length nonce_blob)));
+  Buffer.add_string buf nonce_blob;
+  Buffer.add_string buf shard_magic;
+  Buffer.add_string buf
+    (Fastver_crypto.Bytes_util.string_of_u64_le
+       (Int64.of_int (Array.length t.shards)));
+  Array.iter (fun b -> Buffer.add_string buf (Key.encode b)) t.boundaries;
+  Array.iter
+    (fun summary ->
+      Buffer.add_string buf
+        (Fastver_crypto.Bytes_util.string_of_u64_le
+           (Int64.of_int (String.length summary)));
+      Buffer.add_string buf summary)
+    summaries;
+  Buffer.contents buf
+
+(* Total parser for the sealed payload: hostile bytes yield [Error], never
+   an exception (the slot's MAC already vouched for it, but recovery's
+   contract is that no decoder raises on corrupt input). *)
+let parse_sealed_payload payload =
+  let exception Corrupt of string in
+  let fail fmt = Printf.ksprintf (fun e -> raise (Corrupt e)) fmt in
+  let pos = ref 0 and n = String.length payload in
+  let need k = if k < 0 || !pos + k > n then fail "sealed payload truncated" in
+  let u64 () =
+    need 8;
+    let v = Fastver_crypto.Bytes_util.get_u64_le payload !pos in
+    pos := !pos + 8;
+    v
   in
-  Enclave.Sealed_slot.store t.sealed sealed_payload;
-  (* A fresh generation directory: higher than anything on disk, committed
-     or torn. Its files all land inside it, so a crash mid-checkpoint can
-     never touch a previous generation. *)
-  let generation =
-    match Ckpt_io.generations dir with (g, _) :: _ -> g + 1 | [] -> 0
+  let str k =
+    need k;
+    let s = String.sub payload !pos k in
+    pos := !pos + k;
+    s
   in
-  let gdir = Filename.concat dir (Ckpt_io.generation_dir_name generation) in
-  Ckpt_io.remove_tree gdir;
-  Sys.mkdir gdir 0o755;
-  Ckpt_io.write_file_atomic (Filename.concat gdir sealed_file)
-    (Enclave.Sealed_slot.external_blob t.sealed);
-  (* Simulated TPM NVRAM: hardware state that survives restarts. *)
-  Ckpt_io.write_file_atomic (Filename.concat gdir tpm_file)
-    (Fastver_crypto.Bytes_util.to_hex (Enclave.Sealed_slot.hw_key t.sealed)
-    ^ "\n"
-    ^ Int64.to_string (Enclave.Sealed_slot.counter t.sealed));
-  Store.checkpoint t.store
-    ~path:(Filename.concat gdir data_file)
-    ~version:(Verifier.verified_epoch t.verifier);
-  (* Cold tier: the segment files themselves stay in [cold_dir] (they are
-     append-only and immutable once sealed); the generation records only
-     the manifest naming the committed prefix of each. [manifest_encode]
-     fsyncs the active segment first, so every record the data checkpoint
-     references is durable before the manifest that vouches for it. *)
-  (match t.cold with
-  | None -> ()
-  | Some c ->
-      Ckpt_io.write_file_atomic
-        (Filename.concat gdir cold_manifest_file)
-        (Store.Cold.manifest_encode c));
-  (* Merkle records: untrusted file; tampering surfaces as verification
-     failures after recovery. *)
-  let buf = Buffer.create 4096 in
-  Tree.iter t.tree (fun k entry ->
-      Buffer.add_string buf (Key.encode k);
-      let venc = Value.encode entry.value in
-      let b4 = Bytes.create 4 in
-      Bytes.set_int32_le b4 0 (Int32.of_int (String.length venc));
-      Buffer.add_bytes buf b4;
-      Buffer.add_string buf venc;
-      mstate_encode buf entry.aux.mstate ~is_root:(Key.equal k Key.root);
-      Bytes.set_int32_le b4 0 (Int32.of_int entry.aux.owner);
-      Buffer.add_bytes buf b4);
-  Ckpt_io.write_file_atomic (Filename.concat gdir tree_file)
-    (Buffer.contents buf);
-  (* Commit point: the manifest, checksumming every component, goes last. *)
-  let components =
-    component_files
-    @ (match t.cold with None -> [] | Some _ -> [ cold_manifest_file ])
-  in
-  let entries =
-    List.map
-      (fun name ->
-        match Ckpt_io.Manifest.entry_of_file ~dir:gdir name with
-        | Ok e -> e
-        | Error e -> failwith ("checkpoint: " ^ name ^ ": " ^ e))
-      components
-  in
-  Ckpt_io.Manifest.write ~dir:gdir { generation; entries };
-  Ckpt_io.fsync_dir dir;
-  (* Retention: keep this generation plus its newest *committed*
-     predecessor (the fallback for a crash during the *next* checkpoint);
-     prune everything else. The fallback is chosen by commit status, not by
-     number: a checkpoint attempt that failed non-fatally (disk full, say,
-     with the process still serving) leaves a torn directory in the numeric
-     predecessor slot, and keeping that instead of the last good generation
-     would leave no usable fallback at all. *)
-  let older =
-    List.filter (fun (g, _) -> g < generation) (Ckpt_io.generations dir)
-  in
-  let fallback =
-    List.find_opt
-      (fun (g, path) -> classify_generation ~number:g path = Committed)
-      older
-  in
-  List.iter
-    (fun (g, path) ->
-      match fallback with
-      | Some (fg, _) when g = fg -> ()
-      | Some _ | None -> Ckpt_io.remove_tree path)
-    older;
-  (* Only now — after the new generation committed and old ones were
-     pruned — may segments retired two checkpoints ago be unlinked: no
-     retained manifest can still name them. *)
-  (match t.cold with
-  | None -> ()
-  | Some c -> Store.Cold.note_checkpoint c);
-  Metrics.checkpoint_write t.metrics (now () -. ck0)
+  try
+    let nonce_len = Int64.to_int (u64 ()) in
+    let nonce_blob = str nonce_len in
+    if String.length nonce_blob mod 16 <> 0 then
+      fail "sealed payload: ragged nonce table";
+    let nonces = Hashtbl.create 8 in
+    let rec entries off =
+      if off < String.length nonce_blob then begin
+        Hashtbl.replace nonces
+          (Int64.to_int (Fastver_crypto.Bytes_util.get_u64_le nonce_blob off))
+          (Fastver_crypto.Bytes_util.get_u64_le nonce_blob (off + 8));
+        entries (off + 16)
+      end
+    in
+    entries 0;
+    let magic = str (String.length shard_magic) in
+    if magic <> shard_magic then
+      fail
+        "unsupported pre-sharding sealed payload; re-checkpoint with this \
+         release";
+    let n_shards = Int64.to_int (u64 ()) in
+    if n_shards < 1 || n_shards > 65536 then
+      fail "sealed payload: implausible shard count %d" n_shards;
+    let boundaries =
+      Array.init (n_shards - 1) (fun _ ->
+          let kenc = str 34 in
+          let depth = String.get_uint16_le kenc 0 in
+          if depth > Key.max_depth then fail "sealed payload: bad boundary key";
+          let p = Key.of_bytes32 (String.sub kenc 2 32) in
+          if depth = Key.max_depth then p else Key.prefix p depth)
+    in
+    let summaries =
+      Array.init n_shards (fun _ -> str (Int64.to_int (u64 ())))
+    in
+    if !pos <> n then fail "sealed payload: trailing bytes";
+    Ok (nonces, boundaries, summaries)
+  with Corrupt e -> Error e
+
+let checkpoint t ~dir =
+  check_loaded t;
+  let ck0 = now () in
+  match
+    (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+    (* Serialize against verification scans: a checkpoint taken mid-scan
+       would capture half-migrated protection state and lose the scan's
+       sealed snapshot (which lives only in the scan's arrays). Taken before
+       any world lock — the same order the scans use. *)
+    with_lock t.verify_mutex
+    @@ fun () ->
+    (* Stop the world: snapshotting the store and tries while other domains
+       mutate them would tear the images (and race Hashtbl internals). *)
+    lock_world t;
+    Fun.protect ~finally:(fun () -> unlock_world t)
+    @@ fun () ->
+    Array.iter (flush_worker t) t.shards;
+    (* With background verification, foreground traffic may have left merkle
+       records cached at the instant the world stopped; the sealed summaries
+       require empty caches and the tree images cannot encode cached
+       records, so evict them all (children first) into the live epoch. *)
+    Array.iter
+      (fun sh ->
+        Enclave.call t.enclave (fun () ->
+            while Key_lru.length sh.lru > 0 do
+              match Key_lru.victim sh.lru with
+              | Some e ->
+                  evict_mirror t sh e ~epoch_floor:(Atomic.get t.live_epoch)
+              | None ->
+                  raise (Integrity_violation "cycle in cached merkle records")
+            done))
+      t.shards;
+    let summaries =
+      Array.map
+        (fun sh ->
+          Enclave.call t.enclave (fun () ->
+              ok (Verifier.checkpoint_summary sh.verifier)))
+        t.shards
+    in
+    (* The gateway's anti-replay nonce table is trusted state too: without it
+       a recovered system would accept replays of pre-crash puts. It is
+       sealed alongside the shard summaries and routing boundaries. *)
+    Enclave.Sealed_slot.store t.sealed (encode_sealed_payload t ~summaries);
+    (* A fresh generation directory: higher than anything on disk, committed
+       or torn. Its files all land inside it, so a crash mid-checkpoint can
+       never touch a previous generation. *)
+    let generation =
+      match Ckpt_io.generations dir with (g, _) :: _ -> g + 1 | [] -> 0
+    in
+    let gdir = Filename.concat dir (Ckpt_io.generation_dir_name generation) in
+    Ckpt_io.remove_tree gdir;
+    Sys.mkdir gdir 0o755;
+    Ckpt_io.write_file_atomic (Filename.concat gdir sealed_file)
+      (Enclave.Sealed_slot.external_blob t.sealed);
+    (* Simulated TPM NVRAM: hardware state that survives restarts. *)
+    Ckpt_io.write_file_atomic (Filename.concat gdir tpm_file)
+      (Fastver_crypto.Bytes_util.to_hex (Enclave.Sealed_slot.hw_key t.sealed)
+      ^ "\n"
+      ^ Int64.to_string (Enclave.Sealed_slot.counter t.sealed));
+    Store.checkpoint t.store
+      ~path:(Filename.concat gdir data_file)
+      ~version:(verified_epoch t);
+    (* Cold tier: the segment files themselves stay in [cold_dir] (they are
+       append-only and immutable once sealed); the generation records only
+       the manifest naming the committed prefix of each. [manifest_encode]
+       fsyncs the active segment first, so every record the data checkpoint
+       references is durable before the manifest that vouches for it. Under
+       [cold_lock] so a racing maintenance pass's segment rotation is never
+       interleaved with the encoding. *)
+    (match t.cold with
+    | None -> ()
+    | Some c ->
+        let encoded = with_cold_lock t (fun () -> Store.Cold.manifest_encode c) in
+        Ckpt_io.write_file_atomic
+          (Filename.concat gdir cold_manifest_file)
+          encoded);
+    (* Per-shard merkle images. *)
+    Array.iter
+      (fun sh ->
+        let buf = Buffer.create 4096 in
+        Tree.iter sh.tree (fun k entry ->
+            Buffer.add_string buf (Key.encode k);
+            let venc = Value.encode entry.value in
+            let b4 = Bytes.create 4 in
+            Bytes.set_int32_le b4 0 (Int32.of_int (String.length venc));
+            Buffer.add_bytes buf b4;
+            Buffer.add_string buf venc;
+            mstate_encode buf entry.aux.mstate
+              ~is_root:(Key.equal k Key.root);
+            Bytes.set_int32_le b4 0 (Int32.of_int entry.aux.owner);
+            Buffer.add_bytes buf b4);
+        Ckpt_io.write_file_atomic
+          (Filename.concat gdir (shard_tree_file sh.sid))
+          (Buffer.contents buf))
+      t.shards;
+    (* Commit point: the manifest, checksumming every component, goes last. *)
+    let components =
+      static_component_files
+      @ List.init (Array.length t.shards) shard_tree_file
+      @ (match t.cold with None -> [] | Some _ -> [ cold_manifest_file ])
+    in
+    let entries =
+      List.map
+        (fun name ->
+          match Ckpt_io.Manifest.entry_of_file ~dir:gdir name with
+          | Ok e -> e
+          | Error e -> raise (Ckpt_error ("checkpoint: " ^ name ^ ": " ^ e)))
+        components
+    in
+    Ckpt_io.Manifest.write ~dir:gdir { generation; entries };
+    Ckpt_io.fsync_dir dir;
+    (* Retention: keep this generation plus its newest *committed*
+       predecessor (the fallback for a crash during the *next* checkpoint);
+       prune everything else. The fallback is chosen by commit status, not by
+       number: a checkpoint attempt that failed non-fatally (disk full, say,
+       with the process still serving) leaves a torn directory in the numeric
+       predecessor slot, and keeping that instead of the last good generation
+       would leave no usable fallback at all. *)
+    let older =
+      List.filter (fun (g, _) -> g < generation) (Ckpt_io.generations dir)
+    in
+    let fallback =
+      List.find_opt
+        (fun (g, path) -> classify_generation ~number:g path = Committed)
+        older
+    in
+    List.iter
+      (fun (g, path) ->
+        match fallback with
+        | Some (fg, _) when g = fg -> ()
+        | Some _ | None -> Ckpt_io.remove_tree path)
+      older;
+    (* Only now — after the new generation committed and old ones were
+       pruned — may segments retired two checkpoints ago be unlinked: no
+       retained manifest can still name them. *)
+    (match t.cold with
+    | None -> ()
+    | Some c -> with_cold_lock t (fun () -> Store.Cold.note_checkpoint c))
+  with
+  | () ->
+      Metrics.checkpoint_write t.metrics (now () -. ck0);
+      Ok ()
+  | exception Ckpt_error e -> Error e
+  | exception Sys_error e -> Error ("checkpoint: " ^ e)
+  | exception Failure e -> Error ("checkpoint: " ^ e)
+
+(* Total parser for one shard's merkle image: every malformed-input path is
+   an [Error] — truncation, a data key where an internal node belongs, a
+   negative length, an unknown protection tag. The enclosing generation was
+   already classified Committed, so any of these means the manifest was
+   forged around tampered bytes; the caller treats the generation as
+   tampered and refuses to fall back. *)
+let parse_tree_file ~sid raw =
+  let exception Corrupt of string in
+  let fail fmt = Printf.ksprintf (fun e -> raise (Corrupt e)) fmt in
+  let tree = Tree.create ~root_aux:{ mstate = M_cached sid; owner = -1 } in
+  let pos = ref 0 and n = String.length raw in
+  let need k = if k < 0 || !pos + k > n then fail "tree file truncated" in
+  try
+    while !pos < n do
+      need 34;
+      let kenc = String.sub raw !pos 34 in
+      let depth = String.get_uint16_le kenc 0 in
+      if depth >= Key.max_depth then fail "data key in tree file";
+      let key = Key.prefix (Key.of_bytes32 (String.sub kenc 2 32)) depth in
+      pos := !pos + 34;
+      need 4;
+      let vlen = Int32.to_int (String.get_int32_le raw !pos) in
+      pos := !pos + 4;
+      need vlen;
+      let value =
+        match Value.decode (String.sub raw !pos vlen) with
+        | Ok v -> v
+        | Error e -> fail "%s" e
+      in
+      pos := !pos + vlen;
+      need 1;
+      let mstate =
+        match raw.[!pos] with
+        | 'm' ->
+            incr pos;
+            M_merkle
+        | 'b' ->
+            need 9;
+            let ts = String.get_int64_le raw (!pos + 1) in
+            pos := !pos + 9;
+            M_blum ts
+        | c -> fail "bad mstate tag 0x%02x" (Char.code c)
+      in
+      need 4;
+      let owner = Int32.to_int (String.get_int32_le raw !pos) in
+      pos := !pos + 4;
+      if Key.equal key Key.root then begin
+        let e = Tree.get_exn tree Key.root in
+        e.value <- value;
+        e.aux <- { mstate = M_cached sid; owner }
+      end
+      else Tree.set tree key value ~aux:{ mstate; owner }
+    done;
+    (* Structural consistency: every pointer must target either a data key
+       (whose record lives in the store) or an internal record present in
+       this file, strictly inside its pointing record's subtree. No honest
+       checkpoint writes anything else, and a dangling or upward pointer
+       would crash or loop tree descent after recovery instead of
+       surfacing as the tampering it is. *)
+    Tree.iter tree (fun k e ->
+        match e.value with
+        | Value.Data _ -> fail "data value under merkle key in tree file"
+        | Value.Node node ->
+            List.iter
+              (function
+                | None -> ()
+                | Some (p : Value.ptr) ->
+                    if not (Key.is_proper_ancestor k p.key) then
+                      fail "pointer outside its subtree in tree file";
+                    if not (Key.is_data_key p.key) then (
+                      match Tree.find tree p.key with
+                      | Some { value = Value.Node _; _ } -> ()
+                      | Some _ | None ->
+                          fail "dangling pointer in tree file"))
+              [ node.left; node.right ]);
+    Ok tree
+  with Corrupt e -> Error e
 
 (* Rebuild a system from one committed generation directory. Total: every
-   decoder failure is an [Error]; nothing here may raise on corrupt input. *)
+   decoder failure is an [Error]; nothing here may raise on corrupt input.
+   The shard count and routing boundaries are adopted from the sealed
+   payload — the configuration's [n_shards] only governs fresh systems. *)
 let recover_generation ?(config = Config.default) ~gdir () =
   let ( let* ) = Result.bind in
   let* tpm =
@@ -1906,41 +2342,20 @@ let recover_generation ?(config = Config.default) ~gdir () =
   in
   Enclave.Sealed_slot.inject_blob sealed blob;
   let* sealed_payload = Enclave.Sealed_slot.load sealed in
-  let* nonces, summary =
-    if String.length sealed_payload < 8 then Error "sealed payload truncated"
-    else
-      let nonce_len = Int64.to_int (Fastver_crypto.Bytes_util.get_u64_le sealed_payload 0) in
-      if nonce_len < 0 || 8 + nonce_len > String.length sealed_payload then
-        Error "sealed payload corrupt"
-      else begin
-        let nonces = Hashtbl.create 8 in
-        let rec entries off =
-          if off >= 8 + nonce_len then ()
-          else begin
-            Hashtbl.replace nonces
-              (Int64.to_int (Fastver_crypto.Bytes_util.get_u64_le sealed_payload off))
-              (Fastver_crypto.Bytes_util.get_u64_le sealed_payload (off + 8));
-            entries (off + 16)
-          end
-        in
-        entries 8;
-        Ok
-          ( nonces,
-            String.sub sealed_payload (8 + nonce_len)
-              (String.length sealed_payload - 8 - nonce_len) )
-      end
-  in
+  let* nonces, boundaries, summaries = parse_sealed_payload sealed_payload in
+  let n_sh = Array.length summaries in
   let enclave = Enclave.create config.cost_model in
-  let vconfig =
-    {
-      Verifier.n_threads = config.n_workers;
-      cache_capacity = config.cache_capacity;
-      algo = config.algo;
-      mac_secret = config.mac_secret;
-      mset_secret = config.mset_secret;
-    }
+  let vconfig = vconfig_of config in
+  let* verifiers =
+    let rec build acc sid =
+      if sid >= n_sh then Ok (Array.of_list (List.rev acc))
+      else
+        match Verifier.of_summary ~enclave vconfig summaries.(sid) with
+        | Ok v -> build (v :: acc) (sid + 1)
+        | Error e -> Error (Printf.sprintf "shard %d: %s" sid e)
+    in
+    build [] 0
   in
-  let* verifier = Verifier.of_summary ~enclave vconfig summary in
   (* The cold tier recovers from the manifest this generation committed:
      sealed segments are re-verified against their footers and the torn
      tail of the active segment is truncated back to the committed length.
@@ -1960,104 +2375,56 @@ let recover_generation ?(config = Config.default) ~gdir () =
       ~path:(Filename.concat gdir data_file)
       ()
   in
-  (* The data checkpoint's version must equal the sealed verifier summary's
+  (* The data checkpoint's version must equal every sealed shard summary's
      verified epoch: they were written by the same checkpoint, and a
      disagreement means the generation was stitched together from mixed
-     states (the sealed summary is the trusted side of the pair). *)
+     states (the sealed summaries are the trusted side of the pair). *)
   let* () =
-    let epoch = Verifier.verified_epoch verifier in
-    if data_version <> epoch then
-      Error
-        (Printf.sprintf
-           "data checkpoint version %d disagrees with sealed verifier epoch \
-            %d"
-           data_version epoch)
-    else Ok ()
+    let rec check sid =
+      if sid >= n_sh then Ok ()
+      else
+        let epoch = Verifier.verified_epoch verifiers.(sid) in
+        if data_version <> epoch then
+          Error
+            (Printf.sprintf
+               "data checkpoint version %d disagrees with shard %d's sealed \
+                verifier epoch %d"
+               data_version sid epoch)
+        else check (sid + 1)
+    in
+    check 0
   in
-  let* tree_raw =
-    try Ok (read_file (Filename.concat gdir tree_file))
-    with Sys_error e | Failure e -> Error e
-  in
-  let tree = Tree.create ~root_aux:{ mstate = M_cached 0; owner = -1 } in
-  let* () =
-    let pos = ref 0 and n = String.length tree_raw in
-    try
-      while !pos < n do
-        let kenc = String.sub tree_raw !pos 34 in
-        let depth = String.get_uint16_le kenc 0 in
-        let key =
-          let p = Key.of_bytes32 (String.sub kenc 2 32) in
-          if depth = Key.max_depth then failwith "data key in tree file"
-          else Key.prefix p depth
+  let* shards =
+    let rec build acc sid =
+      if sid >= n_sh then Ok (Array.of_list (List.rev acc))
+      else
+        let* raw =
+          try Ok (read_file (Filename.concat gdir (shard_tree_file sid)))
+          with Sys_error e | Failure e -> Error e
         in
-        pos := !pos + 34;
-        let vlen = Int32.to_int (String.get_int32_le tree_raw !pos) in
-        pos := !pos + 4;
-        let value =
-          match Value.decode (String.sub tree_raw !pos vlen) with
-          | Ok v -> v
-          | Error e -> failwith e
+        let* tree =
+          Result.map_error
+            (fun e -> Printf.sprintf "shard %d: %s" sid e)
+            (parse_tree_file ~sid raw)
         in
-        pos := !pos + vlen;
-        let mstate =
-          match tree_raw.[!pos] with
-          | 'm' ->
-              incr pos;
-              M_merkle
-          | 'b' ->
-              let ts = String.get_int64_le tree_raw (!pos + 1) in
-              pos := !pos + 9;
-              M_blum ts
-          | _ -> failwith "bad mstate tag"
-        in
-        let owner = Int32.to_int (String.get_int32_le tree_raw !pos) in
-        pos := !pos + 4;
-        if Key.equal key Key.root then begin
-          let e = Tree.get_exn tree Key.root in
-          e.value <- value;
-          e.aux <- { mstate = M_cached 0; owner }
-        end
-        else Tree.set tree key value ~aux:{ mstate; owner }
-      done;
-      Ok ()
-    with
-    | Invalid_argument _ -> Error "tree file truncated"
-    | Failure e -> Error e
-  in
-  let worker wid =
-    {
-      wid;
-      clock = Verifier.clock verifier ~tid:wid;
-      lru = Key_lru.create ();
-      via = Key.Tbl.create 64;
-      parents = Key.Tbl.create 64;
-      log = [];
-      log_len = 0;
-      dirty = [];
-      dirty_len = 0;
-    }
+        build (mk_shard ~tree verifiers.(sid) sid :: acc) (sid + 1)
+    in
+    build [] 0
   in
   let t =
     {
       config;
       enclave;
-      verifier;
+      shards;
+      boundaries;
       store;
-      tree;
-      workers = Array.init config.n_workers worker;
       auth = Auth.key_of_secret config.mac_secret;
       nonces;
       sealed;
-      frontier_by_worker = Array.make config.n_workers [];
-      owners = Key.Tbl.create 64;
-      owner_depths = [];
-      rr = 0;
       loaded = true;
-      worker_locks = Array.init config.n_workers (fun _ -> Mutex.create ());
-      tree_lock = Mutex.create ();
       gateway_lock = Mutex.create ();
       ops_since_verify = Atomic.make 0;
-      live_epoch = Atomic.make (Verifier.current_epoch verifier);
+      live_epoch = Atomic.make (Verifier.current_epoch verifiers.(0));
       verify_mutex = Mutex.create ();
       verify_inflight = Atomic.make false;
       bg_lock = Mutex.create ();
@@ -2067,47 +2434,28 @@ let recover_generation ?(config = Config.default) ~gdir () =
       on_verified = None;
       cold;
       cold_lock = Mutex.create ();
-      stats =
-        {
-          ops = 0;
-          gets = 0;
-          puts = 0;
-          scans = 0;
-          blum_fast_path = 0;
-          merkle_path = 0;
-          verifies = 0;
-          migrated_data = 0;
-          migrated_frontier = 0;
-          verify_time_s = 0.0;
-          last_verify_latency_s = 0.0;
-          verifier_time_s = 0.0;
-          cas_retries = 0;
-          worker_busy_s = Array.make config.n_workers 0.0;
-          serial_s = 0.0;
-        };
+      stats = mk_stats n_sh;
       metrics = Metrics.create ~enabled:config.metrics_enabled ();
     }
   in
-  Tree.iter t.tree (fun k entry ->
-      if entry.aux.owner >= 0 && entry.aux.owner < config.n_workers then begin
-        t.frontier_by_worker.(entry.aux.owner) <-
-          k :: t.frontier_by_worker.(entry.aux.owner);
-        Key.Tbl.replace t.owners k entry.aux.owner
-      end);
-  refresh_owner_depths t;
+  Array.iter
+    (fun sh ->
+      Tree.iter sh.tree (fun k entry ->
+          if entry.aux.owner >= 0 then sh.frontier <- k :: sh.frontier))
+    t.shards;
   (* Re-seed the dirty sets from the persisted protection state: a
      checkpoint may land mid-epoch (with background verification it
      routinely does), so data records still riding the deferred tier
      persist with blum aux, and their evict-set entries came back with the
-     sealed summary. Without their keys in the owners' dirty lists the
+     sealed summaries. Without their keys in the shards' dirty lists the
      next scan could never balance those entries. The store aux is the
      source of truth — it also covers keys that were sitting in the
      in-memory re-deferral list when the process died. *)
   Store.iter_aux t.store (fun k aux ->
       if aux_is_blum aux then begin
-        let w = t.workers.(owner_of_data_key t k) in
-        w.dirty <- k :: w.dirty;
-        w.dirty_len <- w.dirty_len + 1
+        let sh = t.shards.(shard_of_data_key t k) in
+        sh.dirty <- k :: sh.dirty;
+        sh.dirty_len <- sh.dirty_len + 1
       end);
   wire_metrics t;
   Ok t
@@ -2145,7 +2493,7 @@ let recover ?(config = Config.default) ~dir () =
       if
         List.exists
           (fun f -> Sys.file_exists (Filename.concat dir f))
-          component_files
+          ("merkle.tree" :: static_component_files)
       then
         Error
           "unsupported legacy checkpoint format (flat pre-generation \
@@ -2168,7 +2516,12 @@ module String_keys = struct
 end
 
 let set_auto_checkpoint t ~dir =
-  t.on_verified <- Some (fun () -> checkpoint t ~dir)
+  t.on_verified <-
+    Some
+      (fun () ->
+        match checkpoint t ~dir with
+        | Ok () -> ()
+        | Error e -> Logs.warn (fun m -> m "auto-checkpoint: %s" e))
 
 let clear_auto_checkpoint t = t.on_verified <- None
 
@@ -2208,7 +2561,9 @@ module Parallel = struct
   let run_ycsb t ~spec ~db_size ~ops_per_worker =
     check_loaded t;
     let open Fastver_workload in
-    let n = Array.length t.workers in
+    (* Driver domains: [n_workers] of them. Each operation still routes to
+       its key's shard — the domains only generate and drive traffic. *)
+    let n = max 1 t.config.n_workers in
     let failures = Array.make n None in
     let body wid () =
       let gen =
@@ -2219,17 +2574,15 @@ module Parallel = struct
         while !i < ops_per_worker do
           (match Ycsb.next gen with
           | Ycsb.Read k ->
-              ignore (process t ~worker:wid (Key.of_int64 k) (A_get None));
+              ignore (process t (Key.of_int64 k) (A_get None));
               incr i
           | Ycsb.Update (k, v) ->
-              ignore
-                (process t ~worker:wid (Key.of_int64 k)
-                   (A_put (Some v, None)));
+              ignore (process t (Key.of_int64 k) (A_put (Some v, None)));
               incr i
           | Ycsb.Scan (k, len) ->
               for j = 0 to len - 1 do
                 ignore
-                  (process t ~worker:wid
+                  (process t
                      (Key.of_int64 (Int64.add k (Int64.of_int j)))
                      (A_get None))
               done;
@@ -2264,11 +2617,19 @@ module Testing = struct
     match !last_put with
     | None -> invalid_arg "Testing.replay_last_put: no put recorded"
     | Some (key, value, m) ->
-        let _, w = process t key (A_put (value, Some m)) in
-        flush_worker t w
+        let _, sh = process t key (A_put (value, Some m)) in
+        flush_worker t sh
 
   let corrupt_merkle_record t k =
-    let e = Tree.get_exn t.tree k in
+    let rec entry_of sid =
+      if sid >= Array.length t.shards then
+        invalid_arg "corrupt_merkle_record: key not present"
+      else
+        match Tree.find t.shards.(sid).tree k with
+        | Some e -> e
+        | None -> entry_of (sid + 1)
+    in
+    let e = entry_of 0 in
     match e.value with
     | Value.Node { left = Some p; right } ->
         e.value <-
@@ -2281,15 +2642,24 @@ module Testing = struct
 
   let some_merkle_key t =
     let found = ref None in
-    Tree.iter t.tree (fun k e ->
-        if !found = None && (not (Key.equal k Key.root)) then
-          match e.aux.mstate with M_merkle -> found := Some k | _ -> ());
+    Array.iter
+      (fun sh ->
+        Tree.iter sh.tree (fun k e ->
+            if !found = None && (not (Key.equal k Key.root)) then
+              match e.aux.mstate with M_merkle -> found := Some k | _ -> ()))
+      t.shards;
     !found
 
   (* Lock-order assertion hooks: with enforcement on, every acquisition in
-     the core checks the documented [tree_lock] -> ascending-worker-lock
-     order, and these helpers let tests provoke violations directly. *)
+     the core checks the documented order — shard tree locks ascending,
+     then worker locks ascending, with [bg_lock]/[redeferred_lock]/
+     [cold_lock] as annotated leaves — and these helpers let tests provoke
+     violations directly. *)
   let enforce_lock_order on = Atomic.set Lock_order.enforce on
-  let with_tree_lock t f = with_tree_lock t f
+  let with_tree_lock t f = with_shard_lock t 0 f
+  let with_shard_lock t sid f = with_shard_lock t sid f
   let with_worker_lock t wid f = with_worker_lock t wid f
+  let with_bg_lock t f = with_bg_lock t f
+  let with_redeferred_lock t f = with_redeferred_lock t f
+  let with_cold_lock t f = with_cold_lock t f
 end

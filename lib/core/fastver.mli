@@ -1,9 +1,15 @@
 (** FastVer: a verified key-value store (the paper's end-to-end system).
 
     A {!t} couples the untrusted host machinery — a FASTER-style store for
-    data records, a Patricia sparse-Merkle-tree store for merkle records,
-    per-worker verification-log buffers — with the in-enclave verifier. Every
-    get/put is validated by the verifier using the hybrid scheme of §6:
+    data records, per-shard Patricia sparse-Merkle-tree stores for merkle
+    records, per-shard verification-log buffers — with the in-enclave
+    verifier. The key space is partitioned into [Config.shards] independent
+    {e shards} (range partitions by data key, boundaries chosen from the
+    loaded key distribution and sealed with the verifier state): each shard
+    owns its own Merkle tree, verifier thread, dirty set, frontier cut and
+    epoch clock, guarded by its own locks, so operations and verification
+    slices on different shards never contend. Every get/put is validated by
+    its shard's verifier using the hybrid scheme of §6:
 
     - hot records ride the {e deferred} tier: O(1) [add_b]/[evict_b] calls
       and a multiset-hash fold, no Merkle hashing;
@@ -11,9 +17,11 @@
       nearest blum-protected ancestor (the depth-[d] frontier), after which
       it is handed to the deferred tier ([evict_bm]);
     - {!verify} runs the verification scan: touched records are re-applied
-      to the Merkle tree in sorted key order (§6.3), frontier merkle records
-      migrate to the next epoch, per-thread set hashes are aggregated and
-      compared, and an epoch certificate is issued.
+      to their shard's Merkle tree in sorted key order (§6.3), frontier
+      merkle records migrate to the next epoch, each shard seals its own
+      epoch-balance certificate, and the per-shard multiset folds aggregate
+      into one store-level epoch certificate — bit-identical whether the
+      epoch ran on 1 shard or N.
 
     Operations are {e provisionally} validated when processed; validation
     becomes final when the surrounding epoch verifies. {!Integrity_violation}
@@ -138,8 +146,9 @@ module Batch : sig
       raise on per-operation integrity failures — they come back as
       [Failed].
 
-      [?worker] pins the batch to one worker's log buffer (the server's
-      executor pool routes each batch to the worker owning its keys).
+      [?worker] is accepted for compatibility and ignored: since sharding,
+      every operation routes to the log buffer of the shard owning its key
+      ({!owner_of_key}), regardless of which executor drives it.
       [?pre_admitted] skips the gateway admission check on puts — for
       callers that already ran {!admit_put} on the dispatching domain to
       consume client nonces in arrival order; re-checking would burn the
@@ -156,30 +165,35 @@ val admit_put :
     client authentication is disabled. *)
 
 val owner_of_key : t -> int64 -> int
-(** The worker id owning a data key's frontier partition (the worker whose
-    log buffer its slow-path entries land in). Lock-free; the routing table
-    is static once {!load} / {!recover} completes. The server uses it to
-    route operations to executor domains so each batch touches one worker's
-    buffer. *)
+(** The shard id owning a data key (the shard whose Merkle tree, verifier,
+    log buffer and dirty set its operations touch). Lock-free; the routing
+    table is static once {!load} / {!recover} completes. The server uses it
+    to route operations to executor domains so each batch stays inside one
+    shard's locks. *)
+
+val n_shards : t -> int
+(** Number of verifier shards (= [Config.shards config] for a fresh system;
+    adopted from the sealed checkpoint payload after {!recover}). *)
 
 (** {2 Verification} *)
 
 val verify : t -> string
 (** Run the verification scan for the current epoch (§8.1 "batching"):
-    migrate deferred records, apply sorted Merkle updates, aggregate and
-    compare set hashes. Returns the epoch certificate.
+    migrate deferred records, apply sorted Merkle updates, seal each shard
+    and aggregate the shard folds into the store-level epoch certificate,
+    which is returned.
 
-    With [n_workers > 1] the scan is parallel: each worker's sorted dirty
-    set and frontier partition are re-applied on its own spawned domain
-    (per-worker slice timings land in [worker_busy_s] and
-    [fastver_verify_worker_seconds]); only set-hash aggregation and
-    certificate sealing stay serial. The multiset hashes are
-    order-independent, so the certificate is identical to the sequential
-    scan's.
+    With [n_shards > 1] the scan is parallel end-to-end: each shard's
+    sorted dirty set, frontier migration, epoch close and shard seal run on
+    the shard's own spawned domain (slice timings land in [worker_busy_s]
+    and [fastver_verify_shard_seconds]); only the O(shards) fold
+    aggregation and the final certificate MAC stay serial. The multiset
+    folds are order-independent, so the certificate is bit-identical to the
+    1-shard scan's.
 
     With [Config.background_verify] the world stops only for the {e seal
-    barrier} — an O(workers) section that flushes the log buffers,
-    snapshots the per-worker dirty sets and bumps {!live_epoch} — and the
+    barrier} — an O(shards) section that flushes the log buffers,
+    snapshots the per-shard dirty sets and bumps {!live_epoch} — and the
     scan then runs over the sealed snapshot concurrently with foreground
     gets/puts, which immediately fold into the next epoch. [verify] itself
     still blocks its caller until the certificate is sealed (use
@@ -210,7 +224,7 @@ val live_epoch : t -> int
     holds the sealed epoch open and [live_epoch] is one ahead. *)
 
 val flush : t -> unit
-(** Drain all worker log buffers into the verifier. *)
+(** Drain every shard's log buffer into its verifier. *)
 
 val current_epoch : t -> int
 val check_epoch_certificate : t -> epoch:int -> string -> bool
@@ -218,17 +232,17 @@ val check_epoch_certificate : t -> epoch:int -> string -> bool
 
 (** {2 Durability} *)
 
-val checkpoint : t -> dir:string -> unit
-(** Persist the data records, merkle records and sealed verifier summary
-    (§7): run after {!verify} so that the on-disk state corresponds to a
-    verified epoch. Serializes with verification scans (a checkpoint
-    issued during a background scan waits for the scan to finish) and
-    evicts all cached merkle records first — so a mid-epoch checkpoint
-    under live traffic is well-defined:
-    still-deferred records persist with their blum protection state, and
-    recovery re-seeds the dirty sets from it. A recovered system therefore
-    resumes from the last {e sealed} (checkpointed) epoch; work from any
-    in-flight scan or later epoch is simply re-done.
+val checkpoint : t -> dir:string -> (unit, string) result
+(** Persist the data records, per-shard merkle records and sealed verifier
+    summaries (§7): run after {!verify} so that the on-disk state
+    corresponds to a verified epoch. Serializes with verification scans (a
+    checkpoint issued during a background scan waits for the scan to
+    finish) and evicts all cached merkle records first — so a mid-epoch
+    checkpoint under live traffic is well-defined: still-deferred records
+    persist with their blum protection state, and recovery re-seeds the
+    dirty sets from it. A recovered system therefore resumes from the last
+    {e sealed} (checkpointed) epoch; work from any in-flight scan or later
+    epoch is simply re-done.
 
     Crash-safe: each checkpoint is a fresh generation [dir/ckpt-<n>/] whose
     files are written temp-file + fsync + rename and committed by a MANIFEST
@@ -236,7 +250,15 @@ val checkpoint : t -> dir:string -> unit
     a crash at any byte offset leaves the previous generation untouched.
     The new generation and its newest {e committed} predecessor are
     retained (a torn attempt in the numeric predecessor slot is never kept
-    in place of the last good generation); everything else is pruned. *)
+    in place of the last good generation); everything else is pruned.
+
+    Total on I/O and encoding failure: a full disk, an unwritable
+    directory, or state that cannot be encoded yields [Error _] with the
+    new generation left uncommitted (no manifest, so recovery classifies
+    the attempt as torn and the previous generation stays authoritative) —
+    the system itself remains live and consistent. Only genuine integrity
+    failures ({!Integrity_violation}) and test-injected crashes still
+    raise. *)
 
 val recover : ?config:Config.t -> dir:string -> unit -> (t, string) result
 (** Rebuild a system from the newest committed checkpoint generation.
@@ -247,9 +269,12 @@ val recover : ?config:Config.t -> dir:string -> unit -> (t, string) result
     generation disagrees with its [ckpt-<n>] directory name — stops
     recovery with [Error _] and is left in place as evidence: silently
     falling back to an older generation would turn one flipped bit into a
-    rollback primitive. The verifier summary is validated against the
+    rollback primitive. The verifier summaries are validated against the
     enclave's rollback-protected sealed slot, and the data checkpoint's
-    version must match the sealed summary's verified epoch. Total on
+    version must match every sealed shard summary's verified epoch. The
+    shard count and routing boundaries are adopted from the sealed payload
+    ([config.n_shards] only governs fresh systems); a payload from a
+    pre-sharding release is rejected with an explicit [Error _]. Total on
     corrupt input: malformed checkpoints yield [Error _], never an
     exception. *)
 
@@ -281,7 +306,9 @@ end
 val set_auto_checkpoint : t -> dir:string -> unit
 (** Checkpoint after every successful verification scan — the paper's §7
     guarantee that a completed epoch is also a persisted epoch (CPR-aligned
-    epochs). *)
+    epochs). A failed auto-checkpoint is logged as a warning; the epoch
+    remains verified in memory and the previous generation stays
+    authoritative on disk. *)
 
 val clear_auto_checkpoint : t -> unit
 
@@ -302,10 +329,11 @@ type stats = {
   mutable verifier_time_s : float;  (** wall time spent applying verifier ops *)
   mutable cas_retries : int;
   mutable worker_busy_s : float array;
-      (** per-worker attributed processing time (indexed by worker id);
+      (** per-shard attributed processing time (indexed by shard id);
           the scalability simulator derives modelled makespans from it *)
   mutable serial_s : float;
-      (** inherently serial verification work (epoch close, aggregation) *)
+      (** inherently serial verification work (fold aggregation and the
+          store-level certificate MAC) *)
 }
 
 val stats : t -> stats
@@ -322,8 +350,8 @@ val registry : t -> Fastver_obs.Registry.t
     - [fastver_gets_total] / [fastver_puts_total] / [fastver_scans_total],
       [fastver_cas_retries_total], [fastver_verifies_total];
     - [fastver_log_flush_entries], [fastver_verify_scan_seconds],
-      [fastver_verify_worker_seconds{worker=...}] (per-worker parallel scan
-      slices), [fastver_verify_touched_records],
+      [fastver_verify_shard_seconds{shard=...}] (per-shard parallel scan
+      slices incl. close/seal), [fastver_verify_touched_records],
       [fastver_verify_pause_seconds] (the foreground pause per
       verification: the whole scan when quiesced, only the seal barrier
       with [background_verify]), [fastver_checkpoint_write_seconds],
@@ -332,7 +360,9 @@ val registry : t -> Fastver_obs.Registry.t
       running);
     - callback-backed: [fastver_epoch], [fastver_verified_epoch],
       [fastver_epoch_certificates_total],
-      [fastver_verifier_ops_total{op=...}], [fastver_store_records],
+      [fastver_verifier_ops_total{op=...}] (summed over shards),
+      [fastver_shard_ops_total{shard=...}] (per-shard totals),
+      [fastver_store_records],
       [fastver_store_reads_total], [fastver_store_writes_total],
       [fastver_store_rcu_copies_total], [fastver_store_spill_reads_total],
       [fastver_enclave_overhead_ns].
@@ -347,8 +377,21 @@ val cold_stats : t -> Fastver_kvstore.Store.Cold.stats option
 (** Cold-tier counters (segments, live/dead bytes, authenticated reads,
     GC rewrites); [None] when [Config.cold_dir] is unset. *)
 
-val verifier_handle : t -> Fastver_verifier.Verifier.t
-(** The underlying verifier (read-only uses: stats, epoch inspection). *)
+val verifier_stats : t -> Fastver_verifier.Verifier.op_stats
+(** Verifier operation counters summed across shards ([n_certificates] is
+    the per-shard maximum — every shard seals once per store epoch). *)
+
+val verifier_failure : t -> string option
+(** The first shard verifier's recorded poison failure, if any ([None]
+    means every shard is healthy). *)
+
+val verified_epoch : t -> int
+(** The newest epoch verified by {e every} shard (the store-level verified
+    epoch; the minimum over shards). *)
+
+val enclave_handle : t -> Fastver_enclave.Enclave.t
+(** The (simulated) enclave shared by all shard verifiers — read-only uses:
+    cost accounting, transition counts. *)
 
 (** {2 Parallel runtime}
 
@@ -408,14 +451,23 @@ module Testing : sig
   (** Any currently merkle-protected internal record. *)
 
   val enforce_lock_order : bool -> unit
-  (** Globally enable the lock-order shadow: every [tree_lock] / worker-lock
-      acquisition checks the documented order ([tree_lock] first, then
-      worker locks in ascending id) and raises [Invalid_argument] naming
-      both locks on a violation. Off by default (one atomic load per lock
-      operation when off). *)
+  (** Globally enable the lock-order shadow: every lock acquisition in the
+      core checks the documented order — shard tree locks in ascending
+      shard id, then worker locks in ascending id, with [bg_lock],
+      [redeferred_lock] and [cold_lock] as leaves ([redeferred_lock] and
+      [cold_lock] may be taken under tree/worker locks but nothing may be
+      taken under them; [bg_lock] may only be taken with nothing held) —
+      and raises [Invalid_argument] naming both locks on a violation. Off
+      by default (one atomic load per lock operation when off). *)
 
   val with_tree_lock : t -> (unit -> 'a) -> 'a
+  (** Shard 0's tree lock (compatibility alias for single-shard tests). *)
+
+  val with_shard_lock : t -> int -> (unit -> 'a) -> 'a
   val with_worker_lock : t -> int -> (unit -> 'a) -> 'a
+  val with_bg_lock : t -> (unit -> 'a) -> 'a
+  val with_redeferred_lock : t -> (unit -> 'a) -> 'a
+  val with_cold_lock : t -> (unit -> 'a) -> 'a
   (** Order-checked lock acquisition, exposed so tests can provoke
       violations deliberately. *)
 end

@@ -98,14 +98,14 @@ let cas_retry t = if t.enabled then Counter.incr t.cas_retries
 
 let flush t n = if t.enabled then Histogram.record t.flush_entries n
 
-let verify_worker_seconds t ~wid =
+let verify_shard_seconds t ~sid =
   Registry.histogram t.registry ~scale:1e-9
-    ~labels:[ ("worker", string_of_int wid) ]
-    ~help:"Per-worker verification-scan time (parallel slice)"
-    "fastver_verify_worker_seconds"
+    ~labels:[ ("shard", string_of_int sid) ]
+    ~help:"Per-shard verification-scan time (parallel slice incl. seal)"
+    "fastver_verify_shard_seconds"
 
-let verify_worker t ~wid ~seconds =
-  if t.enabled then Histogram.record_span (verify_worker_seconds t ~wid) seconds
+let verify_shard t ~sid ~seconds =
+  if t.enabled then Histogram.record_span (verify_shard_seconds t ~sid) seconds
 
 let verify_pause t ~seconds =
   if t.enabled then Histogram.record_span t.verify_pause_seconds seconds

@@ -45,14 +45,14 @@ val verify_in_flight : t -> int -> unit
     the gauge is cheap and load-bearing for operators watching a
     background scan. *)
 
-val verify_worker_seconds : t -> wid:int -> Fastver_obs.Histogram.t
-(** The per-worker scan-slice histogram ([fastver_verify_worker_seconds]
-    labeled [worker=<wid>]). Registration is idempotent; call once per
-    worker at wiring time so the series exists before the first scan. *)
+val verify_shard_seconds : t -> sid:int -> Fastver_obs.Histogram.t
+(** The per-shard scan-slice histogram ([fastver_verify_shard_seconds]
+    labeled [shard=<sid>]). Registration is idempotent; call once per
+    shard at wiring time so the series exists before the first scan. *)
 
-val verify_worker : t -> wid:int -> seconds:float -> unit
-(** One worker's share of a verification scan (dirty re-apply + frontier
-    migration + epoch close on its own domain). *)
+val verify_shard : t -> sid:int -> seconds:float -> unit
+(** One shard's share of a verification scan (dirty re-apply + frontier
+    migration + epoch close/seal on its own domain). *)
 
 val checkpoint_write : t -> float -> unit
 val recover_done : t -> float -> unit

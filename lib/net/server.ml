@@ -100,12 +100,13 @@ type job = {
       (* (wire nonce, op, reply slot) *)
 }
 
-(* Executor pool (active when [n_workers > 1]): one domain per system
-   worker, fed over a bounded queue each. Routing jobs by key owner keeps
-   every worker's verification-log buffer written with partition affinity,
-   and the per-owner FIFO makes operations on the same key execute in
-   arrival order (same key -> same owner -> same queue). Cross-partition
-   requests (scans, verify, admin) quiesce the pool first. *)
+(* Executor pool (active when the system has more than one shard): one
+   domain per verifier shard, fed over a bounded queue each. Routing jobs
+   by key owner keeps every shard's locks, tree and verification-log buffer
+   touched from one executor at a time, and the per-owner FIFO makes
+   operations on the same key execute in arrival order (same key -> same
+   shard -> same queue). Cross-shard requests (scans, verify, admin)
+   quiesce the pool first. *)
 type pool = {
   n_execs : int;
   queues : job Fastver.Bounded_queue.t array; (* one SPSC queue per executor *)
@@ -179,7 +180,11 @@ let create ?(config = default_config) sys ~listen =
           Unix.set_nonblock vwake_r;
           Unix.set_nonblock vwake_w;
           let pool =
-            let n = (Fastver.config sys).n_workers in
+            (* One executor per verifier shard: batches are grouped by
+               {!Fastver.owner_of_key}, which names shards, so the queue
+               array must cover every shard id even when shards exceed
+               workers. *)
+            let n = Fastver.n_shards sys in
             if n <= 1 then None
             else begin
               let wake_r, wake_w = Unix.pipe ~cloexec:true () in
@@ -697,7 +702,7 @@ let run t =
   Log.info (fun m -> m "serving on %a" Addr.pp t.addr);
   (match t.pool with
   | Some p ->
-      Log.info (fun m -> m "executor pool: %d worker domains" p.n_execs);
+      Log.info (fun m -> m "executor pool: %d shard domains" p.n_execs);
       p.execs <- Array.init p.n_execs (fun wid -> Domain.spawn (executor t p wid))
   | None -> ());
   while not (Atomic.get t.stopping) do

@@ -463,6 +463,62 @@ let verify_epoch t ~epoch =
     end
   end
 
+(* Sharded stores (§5.3 extended across trees): each shard runs its own
+   verifier over a disjoint keyspace slice. Sealing an epoch is two-level:
+   every shard checks its local add/evict balance and issues a shard
+   certificate, exporting its folded (add, evict) values; the store-level
+   certificate then folds the per-shard values order-independently and signs
+   the unchanged store-level message — so the aggregated certificate is
+   bit-identical whether one shard or N produced it. *)
+
+let shard_certificate_message ~shard ~epoch =
+  Printf.sprintf "fastver-shard-verified:%d:%d" shard epoch
+
+let seal_epoch_shard t ~shard ~epoch ~detached =
+  let* () = guard t in
+  if epoch <> t.verified + 1 then
+    fail t "seal_epoch: shard %d expected epoch %d" shard (t.verified + 1)
+  else if Array.length detached <> Array.length t.threads then
+    fail t "seal_epoch: detached sets for %d threads, have %d"
+      (Array.length detached) (Array.length t.threads)
+  else if Array.exists (fun th -> th.closed_through < epoch) t.threads then
+    fail t "seal_epoch: not all threads closed epoch %d" epoch
+  else begin
+    let adds = Multiset_hash.create t.mset_key
+    and evicts = Multiset_hash.create t.mset_key in
+    Array.iter
+      (fun (add, evict) ->
+        Multiset_hash.merge adds (Multiset_hash.of_value t.mset_key add);
+        Multiset_hash.merge evicts (Multiset_hash.of_value t.mset_key evict))
+      detached;
+    if not (Multiset_hash.equal adds evicts) then
+      fail t "seal_epoch: add/evict multiset mismatch in shard %d epoch %d"
+        shard epoch
+    else begin
+      t.verified <- epoch;
+      t.stats.n_certificates <- t.stats.n_certificates + 1;
+      let cert =
+        Hmac.mac ~key:t.config.mac_secret
+          (shard_certificate_message ~shard ~epoch)
+      in
+      Ok (cert, (Multiset_hash.value adds, Multiset_hash.value evicts))
+    end
+  end
+
+let aggregate_epoch_certificate ~mset_secret ~mac_secret ~epoch ~folds =
+  let key = Multiset_hash.key_of_string mset_secret in
+  let adds = Multiset_hash.create key and evicts = Multiset_hash.create key in
+  List.iter
+    (fun (add, evict) ->
+      Multiset_hash.merge adds (Multiset_hash.of_value key add);
+      Multiset_hash.merge evicts (Multiset_hash.of_value key evict))
+    folds;
+  if not (Multiset_hash.equal adds evicts) then
+    Error
+      (Printf.sprintf
+         "aggregate_epoch: add/evict multiset mismatch in epoch %d" epoch)
+  else Ok (Hmac.mac ~key:mac_secret (epoch_certificate_message ~epoch))
+
 let sign t msg =
   if t.failure <> None then invalid_arg "Verifier.sign: poisoned";
   Hmac.mac ~key:t.config.mac_secret msg

@@ -136,6 +136,40 @@ val verify_epoch_detached :
     pair per thread, indexed by [tid]) instead of the live thread tables.
     Same certificate, same poisoning semantics. *)
 
+(** {2 Sharded epoch aggregation}
+
+    A sharded store runs one verifier per keyspace partition. Sealing an
+    epoch is two-level: each shard checks its local add/evict balance
+    ({!seal_epoch_shard}), issuing a shard certificate and exporting its
+    folded set-hash values; the store level then folds every shard's values
+    order-independently ({!aggregate_epoch_certificate}) and signs the same
+    message {!verify_epoch} signs — so the aggregated certificate is
+    bit-identical whether one shard or N produced it. *)
+
+val seal_epoch_shard :
+  t -> shard:int -> epoch:int -> detached:(string * string) array ->
+  (string * (string * string)) result
+(** {!verify_epoch_detached} for one shard: checks this verifier's local
+    add/evict balance over the detached per-thread hashes, advances
+    {!verified_epoch}, and returns [(shard_certificate, (add, evict))] where
+    the second component is this shard's folded multiset-hash pair for
+    {!aggregate_epoch_certificate}. Poisons this shard's verifier on
+    mismatch. *)
+
+val aggregate_epoch_certificate :
+  mset_secret:string -> mac_secret:string -> epoch:int ->
+  folds:(string * string) list -> string result
+(** Fold per-shard [(add, evict)] multiset-hash values (from
+    {!seal_epoch_shard}) into store-level accumulators, check the global
+    balance, and return the store-level epoch certificate — an HMAC over
+    {!epoch_certificate_message}, identical to a single-verifier
+    {!verify_epoch} certificate. Pure: takes the secrets directly and
+    poisons nothing (per-shard verifiers were already poisoned by their own
+    local checks if anything was wrong). *)
+
+val shard_certificate_message : shard:int -> epoch:int -> string
+(** The canonical byte string signed by {!seal_epoch_shard}. *)
+
 (** {2 Validation signatures} *)
 
 val sign : t -> string -> string

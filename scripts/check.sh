@@ -130,12 +130,35 @@ echo "  cold + crashsafe suites clean"
 dune exec bench/main.exe -- --quick --only wirealloc > /dev/null
 dune exec bench/main.exe -- --quick --only wirealloc > /dev/null
 $FV bench diff --figure wirealloc
+# same gate for the scale figure (modelled scaling sweep; looser 35%
+# tolerance — the measured row rides the machine's scheduler)
+dune exec bench/main.exe -- --quick --only scale > /dev/null
+dune exec bench/main.exe -- --quick --only scale > /dev/null
+$FV bench diff --figure scale
+
+echo "== sharded serve round trip (2 executor domains, 4 verifier shards)"
+$FV serve --listen "unix:$WORK/shard.sock" -n 2000 --batch 0 --enclave zero \
+  --workers 2 --shards 4 &
+SHARD_SRV=$!
+trap 'kill -9 $SRV $OBS_SRV $SHARD_SRV 2>/dev/null || true; rm -rf "$WORK"' EXIT
+i=0
+while [ ! -S "$WORK/shard.sock" ]; do
+  i=$((i + 1)); [ $i -gt 100 ] && { echo "shard server never came up"; exit 1; }
+  sleep 0.1
+done
+# routing honours the sealed shard boundaries: every op lands on its
+# owner's executor, responses verify client-side, and the stats
+# reconciliation must balance across all four partitions
+$FV client-bench --connect "unix:$WORK/shard.sock" --ops 4000 --clients 4 \
+  --window 32 -n 2000
+$FV stats --connect "unix:$WORK/shard.sock" --check
+kill -9 $SHARD_SRV 2>/dev/null || true
 
 echo "== multi-domain serve round trip (executor pool, 4 workers)"
 $FV serve --listen "unix:$WORK/pool.sock" -n 2000 --batch 0 --enclave zero \
   --workers 4 &
 POOL_SRV=$!
-trap 'kill -9 $SRV $OBS_SRV $POOL_SRV 2>/dev/null || true; rm -rf "$WORK"' EXIT
+trap 'kill -9 $SRV $OBS_SRV $SHARD_SRV $POOL_SRV 2>/dev/null || true; rm -rf "$WORK"' EXIT
 i=0
 while [ ! -S "$WORK/pool.sock" ]; do
   i=$((i + 1)); [ $i -gt 100 ] && { echo "pool server never came up"; exit 1; }

@@ -9,6 +9,11 @@
    larger-than-memory path through the full Fastver stack with verification
    on; and misconfiguration totality (spill or cold tier absent). *)
 
+let ckpt t ~dir =
+  match Fastver.checkpoint t ~dir with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "checkpoint: %s" e
+
 open Fastver_kvstore
 module Cold = Fastver_cold.Cold
 module Segment = Fastver_cold.Segment
@@ -580,7 +585,7 @@ let test_larger_than_memory () =
   (* re-admitted records verify like any Blum add *)
   ignore (Fastver.verify t);
   (* checkpoint/recover round trip carries the cold manifest *)
-  Fastver.checkpoint t ~dir;
+  ckpt t ~dir;
   (match Fastver.recover ~config ~dir () with
   | Error e -> Alcotest.failf "recover with cold tier: %s" e
   | Ok t2 ->

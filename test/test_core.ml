@@ -17,6 +17,12 @@ let mk ?(n = 1000) ?(workers = 2) ?(d = 3) ?(batch = 0) () =
 
 let vo = Alcotest.(option string)
 
+let ckpt t ~dir =
+  match Fastver.checkpoint t ~dir with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "checkpoint: %s" e
+
+
 let test_basic_ops () =
   let t = mk () in
   Alcotest.(check vo) "get first" (Some "v000000") (Fastver.get t 0L);
@@ -162,7 +168,7 @@ let test_checkpoint_recover () =
   Fastver.load t (Array.init 50 (fun i -> (Int64.of_int i, string_of_int i)));
   Fastver.put t 10L "before-ckpt";
   ignore (Fastver.verify t);
-  Fastver.checkpoint t ~dir;
+  ckpt t ~dir;
   match Fastver.recover ~config ~dir () with
   | Error e -> Alcotest.failf "recover: %s" e
   | Ok t2 ->
@@ -182,14 +188,14 @@ let test_recover_tampered_tree () =
   let t = Fastver.create ~config () in
   Fastver.load t (Array.init 50 (fun i -> (Int64.of_int i, string_of_int i)));
   ignore (Fastver.verify t);
-  Fastver.checkpoint t ~dir;
+  ckpt t ~dir;
   let gdir =
     match C.generations dir with
     | (_, g) :: _ -> g
     | [] -> Alcotest.fail "checkpoint wrote no generation"
   in
   (* corrupt one byte of the untrusted merkle-tree file *)
-  let path = Filename.concat gdir "merkle.tree" in
+  let path = Filename.concat gdir "merkle-0.tree" in
   let ic = open_in_bin path in
   let raw = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
   close_in ic;
@@ -207,8 +213,8 @@ let test_recover_tampered_tree () =
       let entries =
         List.map
           (fun (e : C.Manifest.entry) ->
-            if e.name = "merkle.tree" then
-              match C.Manifest.entry_of_file ~dir:gdir "merkle.tree" with
+            if e.name = "merkle-0.tree" then
+              match C.Manifest.entry_of_file ~dir:gdir "merkle-0.tree" with
               | Ok e' -> e'
               | Error err -> Alcotest.fail err
             else e)

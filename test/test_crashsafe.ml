@@ -15,6 +15,11 @@ module C = Fastver_kvstore.Ckpt_io
 
 let vo = Alcotest.(option string)
 
+let ckpt t ~dir =
+  match Fastver.checkpoint t ~dir with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "checkpoint: %s" e
+
 let fresh_dir name =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) name in
   C.remove_tree dir;
@@ -50,7 +55,7 @@ let poised dir =
   let s = Fastver.Session.connect t ~client_id:3 in
   ignore (Fastver.Session.put s 1L "committed-v1");
   ignore (Fastver.verify t);
-  Fastver.checkpoint t ~dir;
+  ckpt t ~dir;
   Fastver.put t 1L "in-flight-v2";
   Fastver.put t 41L "new-record";
   ignore (Fastver.verify t);
@@ -88,7 +93,8 @@ let run_cut_point name fault =
   C.arm fault;
   let crashed =
     match Fastver.checkpoint t ~dir with
-    | () -> false
+    | Ok () -> false
+    | Error e -> Alcotest.failf "checkpoint: %s" e
     | exception C.Injected_crash _ -> true
   in
   C.disarm ();
@@ -101,7 +107,7 @@ let checkpoint_write_volume () =
   let dir = fresh_dir "fv-crash-measure" in
   let t = poised dir in
   C.arm (C.Die_after_bytes max_int);
-  Fastver.checkpoint t ~dir;
+  ckpt t ~dir;
   C.disarm ();
   let total = C.bytes_written () in
   C.remove_tree dir;
@@ -130,7 +136,8 @@ let test_sweep_mid_write () =
   Alcotest.(check int) "every cut point crashed" (List.length cuts) n_crashed
 
 let component_files =
-  [ "data.ckpt"; "merkle.tree"; "verifier.sealed"; "tpm.state"; "MANIFEST" ]
+  [ "data.ckpt"; "merkle-0.tree"; "merkle-1.tree"; "verifier.sealed"; "tpm.state";
+    "MANIFEST" ]
 
 let test_sweep_pre_fsync () =
   List.iter
@@ -156,9 +163,9 @@ let test_double_crash () =
   let dir = fresh_dir "fv-crash-double" in
   let t = poised dir in
   C.arm (C.Die_after_bytes 100);
-  (try Fastver.checkpoint t ~dir with C.Injected_crash _ -> ());
+  (try ckpt t ~dir with C.Injected_crash _ -> ());
   C.arm (C.Die_before_rename "MANIFEST");
-  (try Fastver.checkpoint t ~dir with C.Injected_crash _ -> ());
+  (try ckpt t ~dir with C.Injected_crash _ -> ());
   C.disarm ();
   assert_recovered_consistent ~dir ~crashed:true;
   C.remove_tree dir
@@ -170,10 +177,10 @@ let test_survivor_can_checkpoint_again () =
   let dir = fresh_dir "fv-crash-retry" in
   let t = poised dir in
   C.arm (C.Die_after_bytes 1000);
-  (try Fastver.checkpoint t ~dir with C.Injected_crash _ -> ());
+  (try ckpt t ~dir with C.Injected_crash _ -> ());
   C.disarm ();
   ignore (Fastver.verify t);
-  Fastver.checkpoint t ~dir;
+  ckpt t ~dir;
   (match Fastver.recover ~config ~dir () with
   | Error e -> Alcotest.failf "recover after retry: %s" e
   | Ok t2 ->
@@ -196,7 +203,7 @@ let test_recover_mid_background_scan () =
     (Array.init 40 (fun i -> (Int64.of_int i, Printf.sprintf "v%06d" i)));
   Fastver.put t 1L "sealed-state";
   ignore (Fastver.verify t);
-  Fastver.checkpoint t ~dir;
+  ckpt t ~dir;
   let e_sealed = Fastver.current_epoch t in
   (* dirty the open epoch, then fire the scan the "crash" interrupts *)
   for i = 0 to 39 do
@@ -242,7 +249,7 @@ let test_mid_epoch_checkpoint_recovers () =
   for i = 0 to 39 do
     Fastver.put t (Int64.of_int i) (Printf.sprintf "mid-%d" i)
   done;
-  Fastver.checkpoint t ~dir;
+  ckpt t ~dir;
   (match Fastver.recover ~config ~dir () with
   | Error e -> Alcotest.failf "mid-epoch recover: %s" e
   | Ok t2 ->
@@ -289,7 +296,7 @@ let pristine =
      let s = Fastver.Session.connect t ~client_id:7 in
      ignore (Fastver.Session.put s 2L "sealed-in");
      ignore (Fastver.verify t);
-     Fastver.checkpoint t ~dir;
+     ckpt t ~dir;
      dir)
 
 let rehash_manifest gdir =
@@ -364,7 +371,7 @@ let test_corrupt_components () =
          surfaced as tampering (an [Error], never a silent fallback) *)
       check_corruption ~fixup:false ~file ~name:(file ^ "-mismatch")
         flip_middle)
-    [ "data.ckpt"; "merkle.tree"; "verifier.sealed"; "tpm.state" ]
+    [ "data.ckpt"; "merkle-0.tree"; "merkle-1.tree"; "verifier.sealed"; "tpm.state" ]
 
 let test_corrupt_manifest () =
   List.iter
@@ -385,10 +392,10 @@ let test_tamper_does_not_roll_back () =
   let t = mk () in
   Fastver.put t 1L "old-state";
   ignore (Fastver.verify t);
-  Fastver.checkpoint t ~dir;
+  ckpt t ~dir;
   Fastver.put t 1L "new-state";
   ignore (Fastver.verify t);
-  Fastver.checkpoint t ~dir;
+  ckpt t ~dir;
   let gdir =
     match C.generations dir with
     | (_, g) :: _ -> g
@@ -412,10 +419,10 @@ let test_generation_number_pinned () =
   let t = mk () in
   Fastver.put t 1L "old-state";
   ignore (Fastver.verify t);
-  Fastver.checkpoint t ~dir;
+  ckpt t ~dir;
   Fastver.put t 1L "new-state";
   ignore (Fastver.verify t);
-  Fastver.checkpoint t ~dir;
+  ckpt t ~dir;
   copy_tree (Filename.concat dir "ckpt-0") (Filename.concat dir "ckpt-5");
   (match Fastver.recover ~config ~dir () with
   | Ok _ -> Alcotest.fail "replayed generation accepted under a new number"
@@ -433,11 +440,11 @@ let test_retention_keeps_committed_fallback () =
   let t = poised dir in
   (* torn ckpt-1: the attempt dies mid-write *)
   C.arm (C.Die_after_bytes 100);
-  (try Fastver.checkpoint t ~dir with C.Injected_crash _ -> ());
+  (try ckpt t ~dir with C.Injected_crash _ -> ());
   C.disarm ();
   ignore (Fastver.verify t);
   (* committed ckpt-2: retention runs *)
-  Fastver.checkpoint t ~dir;
+  ckpt t ~dir;
   Alcotest.(check bool) "committed ckpt-0 retained as fallback" true
     (Sys.file_exists (Filename.concat dir "ckpt-0/MANIFEST"));
   Alcotest.(check bool) "torn ckpt-1 pruned" false
@@ -503,7 +510,7 @@ let prop_recover_never_raises =
   QCheck.Test.make ~name:"Fastver.recover total under random corruption"
     ~count:60
     QCheck.(
-      quad (int_bound 3) (int_bound 1000) (int_bound 255) bool)
+      quad (int_bound 4) (int_bound 1000) (int_bound 255) bool)
     (fun (file_idx, frac_millis, byte, fixup) ->
       let frac = float_of_int frac_millis /. 1000.0 in
       let dir = fresh_dir "fv-fuzz-recover" in
@@ -515,7 +522,7 @@ let prop_recover_never_raises =
       in
       let file =
         List.nth
-          [ "data.ckpt"; "merkle.tree"; "verifier.sealed"; "tpm.state" ]
+          [ "data.ckpt"; "merkle-0.tree"; "merkle-1.tree"; "verifier.sealed"; "tpm.state" ]
           file_idx
       in
       mutate_file (Filename.concat gdir file) (fun raw ->
@@ -566,7 +573,7 @@ let test_crash_mid_cold_append () =
   Fastver.load t
     (Array.init n (fun i -> (Int64.of_int i, Printf.sprintf "v%06d" i)));
   ignore (Fastver.verify t) (* demotes the cooling tail to cold *);
-  Fastver.checkpoint t ~dir;
+  ckpt t ~dir;
   (* dirty the store so the next maintenance pass has records to demote,
      then die torn: half a record hits the disk before the "kill" *)
   for i = 0 to n - 1 do

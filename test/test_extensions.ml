@@ -1,6 +1,11 @@
 (* Extension features: string-keyed view, key-level API, auto-checkpointing,
    sorted-migration ablation flag, and a randomized adversary property. *)
 
+let ckpt t ~dir =
+  match Fastver.checkpoint t ~dir with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "checkpoint: %s" e
+
 let vo = Alcotest.(option string)
 
 let mk ?(d = 3) ?(sorted = true) ?(n = 500) () =
@@ -185,7 +190,7 @@ let test_nonce_replay_across_recovery () =
   let s = Fastver.Session.connect t ~client_id:9 in
   ignore (Fastver.Session.put s 1L "legit");
   ignore (Fastver.verify t);
-  Fastver.checkpoint t ~dir;
+  ckpt t ~dir;
   match Fastver.recover ~config:(Fastver.config t) ~dir () with
   | Error e -> Alcotest.failf "recover: %s" e
   | Ok t2 -> (

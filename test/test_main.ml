@@ -16,6 +16,7 @@ let () =
       Test_workload.suite;
       Test_extensions.suite;
       Test_crashsafe.suite;
+      Test_shard.suite;
       Test_parallel.suite;
       Test_simthreads.suite;
       Test_wire.suite;

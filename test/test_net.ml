@@ -312,7 +312,7 @@ let test_multi_domain_stress () =
         failures;
       ignore (Fastver.verify t);
       Alcotest.(check bool) "verifier healthy" true
-        (Fastver_verifier.Verifier.failure (Fastver.verifier_handle t) = None))
+        (Fastver.verifier_failure t = None))
 
 (* ------------------------------------------------------------------ *)
 (* Background verification over the wire                               *)

@@ -42,7 +42,7 @@ let test_parallel_updates_and_verify () =
   ignore (Fastver.verify t);
   let s = Fastver.stats t in
   Alcotest.(check bool) "verifier healthy" true
-    (Fastver_verifier.Verifier.failure (Fastver.verifier_handle t) = None);
+    (Fastver.verifier_failure t = None);
   Alcotest.(check bool) "work happened" true (s.blum_fast_path > 0)
 
 let test_parallel_with_auto_verify () =
@@ -54,7 +54,7 @@ let test_parallel_with_auto_verify () =
   Alcotest.(check bool) "several epochs verified concurrently" true
     (Fastver.current_epoch t >= 3);
   Alcotest.(check bool) "verifier healthy" true
-    (Fastver_verifier.Verifier.failure (Fastver.verifier_handle t) = None)
+    (Fastver.verifier_failure t = None)
 
 let test_parallel_disjoint_ranges_deterministic () =
   (* With each domain confined to its own key range, the final state is the
@@ -101,7 +101,7 @@ let test_parallel_contention_cas () =
     ~db_size:n ~ops_per_worker:10_000;
   ignore (Fastver.verify t);
   Alcotest.(check bool) "verifier healthy under contention" true
-    (Fastver_verifier.Verifier.failure (Fastver.verifier_handle t) = None)
+    (Fastver.verifier_failure t = None)
 
 let test_worker_failed_propagates () =
   (* A tampered record raises Integrity_violation inside whichever worker
@@ -151,7 +151,7 @@ let test_verify_races_concurrent_process () =
         (Fastver.check_epoch_certificate t ~epoch:(e0 + i) cert))
     certs;
   Alcotest.(check bool) "verifier healthy" true
-    (Fastver_verifier.Verifier.failure (Fastver.verifier_handle t) = None);
+    (Fastver.verifier_failure t = None);
   (* per-worker scan timings surfaced for every worker *)
   let busy = (Fastver.stats t).worker_busy_s in
   Array.iteri
@@ -265,7 +265,7 @@ let test_background_verify_races_writers () =
     (!overlap > 0);
   ignore (Fastver.verify t);
   Alcotest.(check bool) "verifier healthy" true
-    (Fastver_verifier.Verifier.failure (Fastver.verifier_handle t) = None)
+    (Fastver.verifier_failure t = None)
 
 let test_background_auto_verify () =
   (* With background_verify and a batch size, maybe_verify launches scans
@@ -280,7 +280,7 @@ let test_background_auto_verify () =
   Alcotest.(check bool) "several epochs verified in the background" true
     (Fastver.current_epoch t >= 3);
   Alcotest.(check bool) "verifier healthy" true
-    (Fastver_verifier.Verifier.failure (Fastver.verifier_handle t) = None)
+    (Fastver.verifier_failure t = None)
 
 let test_lock_order_enforced () =
   let t = mk ~workers:3 8 in
@@ -309,6 +309,38 @@ let test_lock_order_enforced () =
   expect_violation "same worker twice" (fun () ->
       Fastver.Testing.with_worker_lock t 1 (fun () ->
           Fastver.Testing.with_worker_lock t 1 (fun () -> ())));
+  (* shard tree locks compose in ascending shard id, before workers *)
+  Fastver.Testing.with_shard_lock t 0 (fun () ->
+      Fastver.Testing.with_shard_lock t 2 (fun () ->
+          Fastver.Testing.with_worker_lock t 1 (fun () -> ())));
+  expect_violation "descending shards" (fun () ->
+      Fastver.Testing.with_shard_lock t 2 (fun () ->
+          Fastver.Testing.with_shard_lock t 0 (fun () -> ())));
+  expect_violation "worker-then-shard" (fun () ->
+      Fastver.Testing.with_worker_lock t 0 (fun () ->
+          Fastver.Testing.with_shard_lock t 1 (fun () -> ())));
+  (* the leaves: redeferred and cold may sit under tree/worker locks, but
+     nothing nests under a leaf, and bg requires nothing held at all *)
+  Fastver.Testing.with_shard_lock t 1 (fun () ->
+      Fastver.Testing.with_redeferred_lock t (fun () -> ()));
+  Fastver.Testing.with_worker_lock t 2 (fun () ->
+      Fastver.Testing.with_cold_lock t (fun () -> ()));
+  Fastver.Testing.with_bg_lock t (fun () -> ());
+  expect_violation "shard under redeferred" (fun () ->
+      Fastver.Testing.with_redeferred_lock t (fun () ->
+          Fastver.Testing.with_shard_lock t 0 (fun () -> ())));
+  expect_violation "worker under cold" (fun () ->
+      Fastver.Testing.with_cold_lock t (fun () ->
+          Fastver.Testing.with_worker_lock t 0 (fun () -> ())));
+  expect_violation "cold under redeferred" (fun () ->
+      Fastver.Testing.with_redeferred_lock t (fun () ->
+          Fastver.Testing.with_cold_lock t (fun () -> ())));
+  expect_violation "bg under tree" (fun () ->
+      Fastver.Testing.with_tree_lock t (fun () ->
+          Fastver.Testing.with_bg_lock t (fun () -> ())));
+  expect_violation "redeferred under bg" (fun () ->
+      Fastver.Testing.with_bg_lock t (fun () ->
+          Fastver.Testing.with_redeferred_lock t (fun () -> ())));
   (* real operations — fast path, slow path, a full parallel scan — all
      follow the documented order under enforcement *)
   for i = 0 to 7 do
@@ -316,7 +348,7 @@ let test_lock_order_enforced () =
   done;
   ignore (Fastver.verify t);
   Alcotest.(check bool) "verifier healthy under enforcement" true
-    (Fastver_verifier.Verifier.failure (Fastver.verifier_handle t) = None)
+    (Fastver.verifier_failure t = None)
 
 let test_parallel_then_tamper () =
   let n = 500 in
