@@ -1247,12 +1247,166 @@ let fig_coldtier () =
   pf "  wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
+(* Replication: follower read scaling + failover                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig_repl () =
+  header
+    "Verified read replication: followers replay the primary's op stream,\n\
+     verify the certificate chain at every epoch boundary, and serve\n\
+     reads through the ordinary network path (clients re-check receipt\n\
+     MACs unchanged). Aggregate verified-read throughput vs follower\n\
+     count, plus failover: reads keep flowing after the primary dies";
+  let n = 20_000 in
+  let tmp suffix =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fastver-repl-%d-%s" (Unix.getpid ()) suffix)
+  in
+  let json_rows = ref [] in
+  let failover_ms = ref 0.0 in
+  let single = ref 0.0 in
+  pf "%-10s %14s %16s %10s\n" "followers" "agg ops/s" "ideal ops/s" "p99(ms)";
+  List.iter
+    (fun fcount ->
+      let config =
+        {
+          Fastver.Config.default with
+          n_workers = 2;
+          batch_size = 0;
+          cost_model = Cost_model.zero;
+        }
+      in
+      Gc.compact ();
+      let t = Fastver.create ~config () in
+      Fastver.load t (records n);
+      let rsock = tmp (Printf.sprintf "%d-pri.sock" fcount) in
+      let prim =
+        match
+          Fastver_replica.Primary.create t
+            ~listen:(Fastver_net.Addr.Unix_sock rsock)
+        with
+        | Ok p -> p
+        | Error e -> failwith ("repl: " ^ e)
+      in
+      Fastver_replica.Primary.start prim;
+      (* a few sealed epochs of writes for the followers to replay *)
+      for e = 0 to 3 do
+        for i = 0 to 499 do
+          Fastver.put t
+            (Int64.of_int ((e * 500) + i))
+            (Printf.sprintf "v%d-%d" e i)
+        done;
+        ignore (Fastver.verify t)
+      done;
+      let sealed = Fastver.verified_epoch t in
+      (* followers serve reads only; one worker each keeps the per-node
+         domain count low so follower processes pack onto the machine *)
+      let fconfig = { config with Fastver.Config.n_workers = 1 } in
+      let followers =
+        List.init fcount (fun i ->
+            let lsock = tmp (Printf.sprintf "%d-f%d.sock" fcount i) in
+            match
+              Fastver_replica.Follower.create ~config:fconfig
+                ~load:(fun sys -> Fastver.load sys (records n))
+                ~primary:(Fastver_net.Addr.Unix_sock rsock)
+                ~listen:(Fastver_net.Addr.Unix_sock lsock)
+                ~dir:(tmp (Printf.sprintf "%d-f%d-state" fcount i))
+                ()
+            with
+            | Ok f ->
+                Fastver_replica.Follower.start f;
+                f
+            | Error e -> failwith ("repl follower: " ^ e))
+      in
+      let deadline = Unix.gettimeofday () +. 30.0 in
+      List.iter
+        (fun f ->
+          while
+            Fastver_replica.Follower.verified_epoch f < sealed
+            && Unix.gettimeofday () < deadline
+          do
+            Unix.sleepf 0.01
+          done;
+          if Fastver_replica.Follower.verified_epoch f < sealed then
+            failwith "repl: follower failed to catch up")
+        followers;
+      (* one closed-loop verified-read benchmark per follower, concurrently.
+         One client domain per follower: aggregate throughput then scales
+         with follower count up to the machine's core budget (the JSON
+         records the core count so flat curves on small boxes read as a
+         hardware ceiling, not a replication bottleneck). *)
+      let bench f =
+        let srv = Option.get (Fastver_replica.Follower.server f) in
+        Fastver_net.Net_bench.run
+          ~addr:(Fastver_net.Server.bound_addr srv)
+          ~clients:1 ~window:32 ~ops:20_000 ~db_size:n ~put_ratio:0.0 ()
+      in
+      let doms =
+        List.map (fun f -> Domain.spawn (fun () -> bench f)) followers
+      in
+      let rs = List.map Domain.join doms in
+      let open Fastver_net.Net_bench in
+      let agg = List.fold_left (fun a r -> a +. r.ops_per_s) 0.0 rs in
+      let p99 = List.fold_left (fun a r -> max a r.p99_ms) 0.0 rs in
+      let fails =
+        List.fold_left
+          (fun a r -> a + r.integrity_failures + r.errors)
+          0 rs
+      in
+      if fails > 0 then failwith "repl: follower reads failed verification";
+      if fcount = 1 then single := agg;
+      let ideal = !single *. float_of_int fcount in
+      pf "%-10d %14.0f %16.0f %10.3f\n%!" fcount agg ideal p99;
+      (* failover on the largest round: kill the primary mid-stream, then
+         time verified reads against a follower that just lost it *)
+      (if fcount = 4 then begin
+         let f0 = List.hd followers in
+         let srv = Option.get (Fastver_replica.Follower.server f0) in
+         let faddr = Fastver_net.Server.bound_addr srv in
+         let t0 = Unix.gettimeofday () in
+         Fastver_replica.Primary.stop prim;
+         let r =
+           Fastver_net.Net_bench.run ~addr:faddr ~clients:1 ~window:1
+             ~ops:200 ~db_size:n ~put_ratio:0.0 ~first_client:64 ()
+         in
+         if r.integrity_failures + r.errors > 0 then
+           failwith "repl: post-failover reads failed";
+         failover_ms := (Unix.gettimeofday () -. t0) *. 1000.0;
+         pf "  failover: %.1f ms for 200 verified reads after primary death\n%!"
+           !failover_ms
+       end);
+      Results.(record "repl"
+        [ ("followers", I fcount); ("records", I n);
+          ("agg_ops_per_s", F agg); ("ideal_ops_per_s", F ideal);
+          ("p99_ms", F p99) ]);
+      json_rows :=
+        Printf.sprintf
+          "    {\"followers\": %d, \"records\": %d, \"agg_ops_per_s\": %.1f, \
+           \"ideal_ops_per_s\": %.1f, \"p99_ms\": %.3f}"
+          fcount n agg ideal p99
+        :: !json_rows;
+      List.iter Fastver_replica.Follower.stop followers;
+      Fastver_replica.Primary.stop prim)
+    [ 1; 2; 4 ];
+  let path = "BENCH_repl.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"figure\": \"repl\",\n  \"cores\": %d,\n  \
+     \"failover_200_reads_ms\": %.1f,\n  \
+     \"rows\": [\n%s\n  ]\n}\n"
+    (Domain.recommended_domain_count ())
+    !failover_ms
+    (String.concat ",\n" (List.rev !json_rows));
+  close_out oc;
+  pf "  wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let all_figs =
   [ "fig12"; "fig13a"; "fig13b"; "fig13cd"; "fig14a"; "fig14b"; "fig14c";
-    "scale"; "vpause"; "concerto"; "ablations"; "coldtier"; "net";
+    "scale"; "vpause"; "concerto"; "ablations"; "coldtier"; "net"; "repl";
     "wirealloc"; "obs"; "micro" ]
 
 let run_bench only quick full =
@@ -1281,6 +1435,7 @@ let run_bench only quick full =
   run "ablations" (fun () -> ablations s);
   run "coldtier" fig_coldtier;
   run "net" fig_net;
+  run "repl" fig_repl;
   run "wirealloc" fig_wire_alloc;
   run "obs" (fun () -> fig_obs s);
   run "micro" bechamel_micro;

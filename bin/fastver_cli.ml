@@ -203,7 +203,7 @@ let parse_addr s =
 
 let serve_cmd listen db_size workers shards batch depth cache algo
     enclave_model no_auth seed batch_limit ckpt_dir background_verify
-    metrics_interval cold_dir cold_threshold =
+    metrics_interval cold_dir cold_threshold repl_listen =
   if db_size < 1 then die "--db-size must be at least 1";
   if workers < 1 then die "--workers must be at least 1";
   if shards < 0 then die "--shards must be non-negative";
@@ -244,6 +244,25 @@ let serve_cmd listen db_size workers shards batch depth cache algo
               dir e)
   in
   Option.iter (fun dir -> Fastver.set_auto_checkpoint t ~dir) ckpt_dir;
+  (* The replication tee must be installed before the store serves traffic:
+     ops admitted earlier would be missing from the retained stream. *)
+  let primary =
+    match repl_listen with
+    | None -> None
+    | Some s -> (
+        let raddr = parse_addr s in
+        let rcfg =
+          { Fastver_replica.Primary.default_config with checkpoint_dir = ckpt_dir }
+        in
+        match Fastver_replica.Primary.create ~config:rcfg t ~listen:raddr with
+        | Error e -> die "replication listener: %s" e
+        | Ok p ->
+            Fastver_replica.Primary.start p;
+            Logs.app (fun m ->
+                m "replicating on %a" Net.Addr.pp
+                  (Fastver_replica.Primary.bound_addr p));
+            Some p)
+  in
   let scfg = { Net.Server.default_config with batch_limit } in
   match Net.Server.create ~config:scfg t ~listen:addr with
   | Error e -> die "%s" e
@@ -269,6 +288,7 @@ let serve_cmd listen db_size workers shards batch depth cache algo
         | _ -> ()
       done;
       Net.Server.stop srv;
+      Option.iter Fastver_replica.Primary.stop primary;
       let c = Net.Server.counters srv in
       let s = Fastver.stats t in
       Logs.app (fun m ->
@@ -298,6 +318,76 @@ let recover_cmd dir workers batch depth cache algo enclave_model no_auth seed
           Logs.app (fun m ->
               m "recovered from %s: epoch %d verified, certificate OK" dir
                 epoch))
+
+(* ------------------------------------------------------------------ *)
+(* follow: replication follower serving verified reads                 *)
+(* ------------------------------------------------------------------ *)
+
+let follow_cmd primary listen db_size workers shards depth cache algo
+    enclave_model no_auth seed dir =
+  if db_size < 1 then die "--db-size must be at least 1";
+  if workers < 1 then die "--workers must be at least 1";
+  let primary_addr = parse_addr primary in
+  let listen_addr = Option.map parse_addr listen in
+  let config =
+    { (mk_config workers 0 depth cache algo enclave_model no_auth seed)
+      with n_shards = shards }
+  in
+  (* Bulk loads are trusted and out-of-band (not streamed); a fresh follower
+     installs the same initial database the primary's [load_system] did. *)
+  let load sys =
+    Logs.app (fun m -> m "fresh follower: loading %d records…" db_size);
+    Fastver.load sys
+      (Array.init db_size (fun i ->
+           (Int64.of_int i, Fastver_workload.Ycsb.initial_value (Int64.of_int i))))
+  in
+  match
+    Fastver_replica.Follower.create ~config ~load ~primary:primary_addr
+      ?listen:listen_addr ~dir ()
+  with
+  | Error e -> die "follow: %s" e
+  | Ok f ->
+      let t = Fastver_replica.Follower.system f in
+      (match Fastver_replica.Follower.server f with
+      | Some srv ->
+          Logs.app (fun m ->
+              m "follower serving reads on %a (primary %a)" Net.Addr.pp
+                (Net.Server.bound_addr srv) Net.Addr.pp primary_addr)
+      | None ->
+          Logs.app (fun m ->
+              m "follower tailing %a (no read listener)" Net.Addr.pp
+                primary_addr));
+      Fastver_replica.Follower.start f;
+      let stopping = Atomic.make false in
+      let on_signal _ = Atomic.set stopping true in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+      while
+        (not (Atomic.get stopping))
+        && Fastver_replica.Follower.state f <> Fastver_replica.Follower.Halted
+      do
+        try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      (match Fastver_replica.Follower.failure f with
+      | Some (epoch, reason) ->
+          Logs.err (fun m ->
+              m "INTEGRITY VIOLATION at epoch %d: %s — follower halted; \
+                 already-verified state still serves"
+                epoch reason);
+          (* keep serving verified state until told to stop *)
+          while not (Atomic.get stopping) do
+            try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          done
+      | None -> ());
+      Fastver_replica.Follower.stop f;
+      let s = Fastver.stats t in
+      Logs.app (fun m ->
+          m "follower stopped: %d ops applied over %d verified epochs; served \
+             %d gets locally"
+            (Fastver_replica.Follower.applied_ops f)
+            (Fastver_replica.Follower.verified_epoch f + 1)
+            s.gets);
+      if Fastver_replica.Follower.failure f <> None then exit 3
 
 (* ------------------------------------------------------------------ *)
 (* stats: fetch and reconcile a live metrics snapshot                  *)
@@ -447,14 +537,15 @@ let stats_cmd connect format check =
       end
 
 let client_bench_cmd connect clients window ops db_size put_ratio secret
-    no_verify seed =
+    no_verify seed first_client =
   if clients < 1 then die "--clients must be at least 1";
   if window < 1 then die "--window must be at least 1";
   if put_ratio < 0.0 || put_ratio > 1.0 then die "--put-ratio must be in [0, 1]";
+  if first_client < 1 then die "--first-client must be at least 1";
   let addr = parse_addr connect in
   let r =
     Net.Net_bench.run ~addr ~clients ~window ~ops ~db_size ~put_ratio
-      ~verify:(not no_verify) ~secret ~seed ()
+      ~verify:(not no_verify) ~secret ~seed ~first_client ()
   in
   Logs.app (fun m -> m "%a" Net.Net_bench.pp_result r);
   let open Net.Net_bench in
@@ -602,6 +693,27 @@ let background_verify =
                barrier and keep serving into the next epoch while the scan \
                runs, instead of quiescing the executor pool.")
 
+let repl_listen =
+  Arg.(value & opt (some string) None & info [ "replication-listen" ]
+         ~docv:"ADDR"
+         ~doc:"Also serve the replication stream (op records + epoch \
+               certificates) to followers on this address.")
+
+let follow_primary =
+  Arg.(required & opt (some string) None & info [ "primary" ] ~docv:"ADDR"
+         ~doc:"The primary's replication listener (its \
+               --replication-listen address).")
+
+let follow_listen =
+  Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"ADDR"
+         ~doc:"Serve read-only verified reads on this address (clients check \
+               receipt MACs exactly as against the primary).")
+
+let follow_dir =
+  Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+         ~doc:"Follower state directory: checkpoint generations fetched \
+               from the primary during catch-up land here.")
+
 let metrics_interval =
   Arg.(value & opt (some float) None & info [ "metrics-interval" ]
          ~docv:"SECS"
@@ -613,7 +725,14 @@ let serve_term =
     const (fun () -> serve_cmd)
     $ setup_logs $ listen $ db_size $ workers $ shards $ batch $ depth $ cache
     $ algo $ enclave_model $ no_auth $ seed $ batch_limit $ ckpt_dir
-    $ background_verify $ metrics_interval $ cold_dir $ cold_threshold)
+    $ background_verify $ metrics_interval $ cold_dir $ cold_threshold
+    $ repl_listen)
+
+let follow_term =
+  Term.(
+    const (fun () -> follow_cmd)
+    $ setup_logs $ follow_primary $ follow_listen $ db_size $ workers $ shards
+    $ depth $ cache $ algo $ enclave_model $ no_auth $ seed $ follow_dir)
 
 let stats_format =
   let f =
@@ -645,11 +764,19 @@ let client_bench_ops =
   Arg.(value & opt int 100_000 & info [ "ops" ] ~docv:"OPS"
          ~doc:"Total operations across all clients.")
 
+let client_bench_first_client =
+  Arg.(value & opt int 1 & info [ "first-client" ] ~docv:"ID"
+         ~doc:"Client id of the first bench session; ids count up from \
+               here. A server that recovered from a checkpoint remembers \
+               each client's put nonces, so benching it again with the \
+               same ids is (correctly) rejected as replay — pass a fresh \
+               range instead.")
+
 let client_bench_term =
   Term.(
     const (fun () -> client_bench_cmd)
     $ setup_logs $ connect $ clients $ window $ client_bench_ops $ db_size
-    $ put_ratio $ secret $ no_verify $ seed)
+    $ put_ratio $ secret $ no_verify $ seed $ client_bench_first_client)
 
 let scale_term =
   Term.(const (fun () -> scale_cmd) $ setup_logs $ db_size $ ops $ depth)
@@ -703,6 +830,8 @@ let kv_pairs line =
 let default_threshold fig =
   if fig = "wirealloc" then 0.10
   else if fig = "scale" then 0.35
+  else if fig = "coldtier" then 0.35 (* disk-bound rows jitter more than CPU *)
+  else if fig = "vpause" then 0.50 (* sub-ms pauses: scheduler noise dominates *)
   else 0.30
 
 (* Mean of each direction-carrying metric over a figure archive's rows. *)
@@ -880,6 +1009,12 @@ let cmds =
          ~doc:"Recover a verified store from its newest committed checkpoint \
                generation and run a verification scan")
       recover_term;
+    Cmd.v
+      (Cmd.info "follow"
+         ~doc:"Run a replication follower: replay the primary's op stream, \
+               verify the epoch-certificate chain at every boundary, and \
+               serve integrity-checked reads")
+      follow_term;
     Cmd.v
       (Cmd.info "client-bench"
          ~doc:"Closed-loop benchmark against a running fastver server, \

@@ -89,6 +89,19 @@ type stats = {
       (* inherently serial work: the store-level multiset fold + signature *)
 }
 
+(* Replication tee. [on_op] fires for every applied put/delete, under the
+   owning shard's worker lock at the instant the op folds into its epoch —
+   so for any single key the stream order equals the apply order, and every
+   op tagged epoch [e] is teed before [on_seal] can fire for [e] (the seal
+   barrier holds all worker locks). [on_seal] fires once per verified epoch,
+   in epoch order (serialized by [verify_mutex]), with the store-level
+   certificate. Hooks must be lock-free leaf code: they run under core
+   locks. *)
+type replication = {
+  on_op : epoch:int -> key:Key.t -> value:string option -> unit;
+  on_seal : epoch:int -> cert:string -> unit;
+}
+
 type t = {
   config : Config.t;
   enclave : Enclave.t;
@@ -131,6 +144,8 @@ type t = {
          snapshots *)
   mutable on_verified : (unit -> unit) option;
       (* e.g. auto-checkpoint: runs after each successful scan *)
+  mutable repl : replication option;
+      (* replication tee, if a primary is streaming this store *)
   cold : Store.Cold.t option;
   cold_lock : Mutex.t;
       (* serialises cold maintenance (demotion + compaction) with itself
@@ -326,6 +341,7 @@ let create ?(config = Config.default) () =
       redeferred = [];
       redeferred_lock = Mutex.create ();
       on_verified = None;
+      repl = None;
       cold;
       cold_lock = Mutex.create ();
       stats = mk_stats n_sh;
@@ -383,6 +399,18 @@ let verifier_stats t =
   acc
 
 let live_epoch t = Atomic.get t.live_epoch
+
+(* Replication tee call sites. No-ops unless a primary installed hooks. *)
+let repl_op t ~epoch ~key ~value =
+  match t.repl with None -> () | Some r -> r.on_op ~epoch ~key ~value
+
+let repl_seal t ~epoch ~cert =
+  match t.repl with None -> () | Some r -> r.on_seal ~epoch ~cert
+
+let set_replication_hooks t ~on_op ~on_seal =
+  t.repl <- Some { on_op; on_seal }
+
+let clear_replication_hooks t = t.repl <- None
 let verify_in_flight t = Atomic.get t.verify_inflight
 
 let ok = function Ok x -> x | Error e -> raise (Integrity_violation e)
@@ -879,6 +907,9 @@ let rec blum_fast t sh key cur ts action =
     | A_get meta -> push t sh (E_vget (key, cur, meta))
     | A_put (v, meta) -> push t sh (E_vput (key, v, meta)));
     push t sh (E_evict_b (key, ts'));
+    (match action with
+    | A_put (v, _) -> repl_op t ~epoch:(Timestamp.epoch ts') ~key ~value:v
+    | A_get _ -> ());
     if Timestamp.epoch ts < Timestamp.epoch ts' then
       (* The touch crossed the epoch boundary (only possible while a
          background scan is in flight): the [add_b] above balances the
@@ -963,6 +994,10 @@ let merkle_slow t sh key action =
             assert (installed = None);
             let new_v = client_validate t sh key cur action in
             defer_data t sh key parent new_v;
+            (match action with
+            | A_put _ ->
+                repl_op t ~epoch:(Timestamp.epoch sh.clock) ~key ~value:new_v
+            | A_get _ -> ());
             cur
         | (Tree.Empty_slot | Tree.Split _), A_get meta ->
             (* Non-existence proof from the pointing parent (Example 4.1). *)
@@ -982,6 +1017,10 @@ let merkle_slow t sh key action =
             | None -> assert false);
             let new_v = client_validate t sh key None action in
             defer_data t sh key parent new_v;
+            (match action with
+            | A_put _ ->
+                repl_op t ~epoch:(Timestamp.epoch sh.clock) ~key ~value:new_v
+            | A_get _ -> ());
             None
         | Tree.Split pointee, (A_put (_, _) as action) ->
             let parent = ensure_chain ~loaded t sh descent.path in
@@ -1043,6 +1082,10 @@ let merkle_slow t sh key action =
             | None -> assert false);
             let new_v = client_validate t sh key None action in
             defer_data t sh key node_key new_v;
+            (match action with
+            | A_put _ ->
+                repl_op t ~epoch:(Timestamp.epoch sh.clock) ~key ~value:new_v
+            | A_get _ -> ());
             None)
   in
   t.stats.verifier_time_s <- t.stats.verifier_time_s +. (now () -. t0);
@@ -1427,6 +1470,12 @@ let verify_inner t =
     else
       Fun.protect ~finally:(fun () -> unlock_world t) run_scan
   in
+  (* Epoch-boundary record for replication followers: emitted after the
+     scan proved the epoch balanced, in epoch order ([verify_mutex]
+     serializes scans). Every op teed with this epoch tag preceded the
+     seal barrier above, so followers hold the full epoch when this
+     record reaches them. *)
+  repl_seal t ~epoch ~cert;
   if not background then
     Metrics.verify_pause t.metrics ~seconds:(now () -. t0);
   (* Account the enclave crossings this scan would have cost: its verifier
@@ -2432,6 +2481,7 @@ let recover_generation ?(config = Config.default) ~gdir () =
       redeferred = [];
       redeferred_lock = Mutex.create ();
       on_verified = None;
+      repl = None;
       cold;
       cold_lock = Mutex.create ();
       stats = mk_stats n_sh;

@@ -312,6 +312,27 @@ val set_auto_checkpoint : t -> dir:string -> unit
 
 val clear_auto_checkpoint : t -> unit
 
+(** {2 Replication tee}
+
+    A replication primary installs two hooks. [on_op] fires for every
+    applied put ([value = Some _]) or delete ([value = None]), tagged with
+    the epoch the op folded into, under the owning shard's worker lock — so
+    per-key stream order equals apply order, and every op tagged epoch [e]
+    fires before [on_seal] can fire for [e]. [on_seal] fires once per
+    verified epoch, in epoch order, carrying the store-level certificate
+    (the same value {!verify} returns). Hooks run under core locks: they
+    must only hand the event off (append to a leaf-locked log), never
+    re-enter this API or block. Bulk {!load} is not teed — an initial
+    database is authenticated out of band, exactly as on the primary. *)
+
+val set_replication_hooks :
+  t ->
+  on_op:(epoch:int -> key:Key.t -> value:string option -> unit) ->
+  on_seal:(epoch:int -> cert:string -> unit) ->
+  unit
+
+val clear_replication_hooks : t -> unit
+
 (** {2 Statistics} *)
 
 type stats = {

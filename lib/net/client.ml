@@ -47,6 +47,9 @@ let connect addr =
 let close t =
   if not t.closed then begin
     t.closed <- true;
+    (* shutdown first: close alone does not wake a domain blocked in read
+       on the same fd, and the replication follower closes from stop () *)
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
@@ -99,9 +102,15 @@ type session = {
   secret : string;
   mutable nonce : int64;
   inflight : expect Queue.t;
+  max_staleness : int;
+  mutable max_epoch : int; (* highest *certified* epoch seen this session *)
 }
 
-let open_session ?(verify = true) conn ~client ~secret =
+(* Default staleness budget of one epoch: a read executed concurrently
+   with the verification scan that produced the session's newest
+   certificate is legitimately stamped one epoch behind it. Anything
+   wider means the server is serving old state. *)
+let open_session ?(verify = true) ?(max_staleness = 1) conn ~client ~secret =
   let id = send conn (Wire.Open_session { client }) in
   (match expect_id id (recv conn) with
   | Wire.Session_opened { client = c } when c = client -> ()
@@ -115,6 +124,8 @@ let open_session ?(verify = true) conn ~client ~secret =
     secret;
     nonce = 0L;
     inflight = Queue.create ();
+    max_staleness;
+    max_epoch = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -169,7 +180,24 @@ let check_item s ~kind ~nonce (item : Wire.item) =
         raise
           (Fastver.Integrity_violation
              (Printf.sprintf "client: receipt MAC mismatch for key %Ld"
-                item.key))
+                item.key));
+      (* Stale-epoch detection against the session's *certified* anchor
+         (the highest epoch a checked [verify_now] certificate carried).
+         Receipt stamps mean "final once this epoch verifies", and deferred
+         ops are stamped at validation while fast-path neighbours are
+         stamped at execution, so receipt-vs-receipt comparison would flag
+         honest pipelines that straddle a seal. Against a certificate the
+         check is sound: once this session has seen the store certified at
+         epoch E, a MAC-valid receipt stamped more than [max_staleness]
+         below E means the server is serving authentic-but-old state — a
+         lagging or rolled-back replica. *)
+      if item.epoch + s.max_staleness < s.max_epoch then
+        raise
+          (Fastver.Integrity_violation
+             (Printf.sprintf
+                "client: stale epoch %d for key %Ld (session saw the store \
+                 certified at epoch %d, max staleness %d)"
+                item.epoch item.key s.max_epoch s.max_staleness))
 
 type reply =
   | Value of string option
@@ -271,6 +299,17 @@ let verify_now s =
             raise
               (Fastver.Integrity_violation
                  (Printf.sprintf "client: bad epoch %d certificate" epoch)));
+      (* Certificate epochs are monotone per connection on an honest node
+         (scans serialise on the verify mutex and responses keep request
+         order), so any regression here is rollback evidence. *)
+      if epoch + s.max_staleness < s.max_epoch then
+        raise
+          (Fastver.Integrity_violation
+             (Printf.sprintf
+                "client: stale verified epoch %d (session already saw epoch \
+                 %d certified, max staleness %d)"
+                epoch s.max_epoch s.max_staleness));
+      if epoch > s.max_epoch then s.max_epoch <- epoch;
       (epoch, cert)
   | Wire.Error e -> raise (Server_error e)
   | _ -> raise (Protocol_error "unexpected response to verify")
@@ -298,3 +337,5 @@ let metrics conn ~format =
       data
   | Wire.Error e -> raise (Server_error e)
   | _ -> raise (Protocol_error "unexpected response to metrics")
+
+let session_epoch s = s.max_epoch

@@ -26,13 +26,42 @@ type t
 val connect : Addr.t -> (t, string) result
 val close : t -> unit
 
+(** {2 Raw frames}
+
+    Low-level request/response exchange on a connection, used by tooling
+    that speaks opcodes outside the session protocol (the replication
+    follower's subscription and checkpoint-fetch conversations). Plain
+    sessions never need these. *)
+
+val send : t -> Wire.request -> int64
+(** Encode and write one request; returns its frame id. *)
+
+val recv : t -> int64 * Wire.response
+(** Block for the next response frame.
+    @raise Protocol_error on EOF or a malformed frame. *)
+
 type session
 
 val open_session :
-  ?verify:bool -> t -> client:int -> secret:string -> session
+  ?verify:bool -> ?max_staleness:int -> t -> client:int -> secret:string ->
+  session
 (** Opens an authenticated session. [verify] (default [true]) controls
     client-side receipt checking — switch it off only when the server runs
-    with [authenticate_clients = false]. *)
+    with [authenticate_clients = false]. [max_staleness] (default [1])
+    bounds epoch staleness against the session's certified anchor: the
+    session remembers the highest epoch any checked {!verify_now}
+    certificate carried, and a later receipt stamped more than
+    [max_staleness] epochs below that anchor — or a later certificate
+    regressing below it — raises {!Fastver.Integrity_violation},
+    catching a rolled-back or lagging server replaying
+    authentic-but-old state. Sessions that never call {!verify_now}
+    have no anchor and skip the staleness check (receipt MACs are still
+    verified). The default of [1] tolerates reads racing the scan that
+    produced the anchor certificate. *)
+
+val session_epoch : session -> int
+(** Highest certified epoch observed by this session so far (0 until the
+    first {!verify_now}). *)
 
 val close_session : session -> unit
 (** Drains in-flight requests, then closes the session (not the

@@ -66,9 +66,11 @@ let run_client ~addr ~window ~my_ops ~db_size ~put_ratio ~verify ~secret ~seed
            done;
            Client.close_session s
          with
-        | Fastver.Integrity_violation _ ->
+        | Fastver.Integrity_violation reason ->
+            Logs.warn (fun m -> m "client %d: integrity: %s" client reason);
             out.c_integrity <- out.c_integrity + 1
-        | Client.Server_error _ | Client.Protocol_error _ ->
+        | (Client.Server_error e | Client.Protocol_error e) ->
+            Logs.warn (fun m -> m "client %d: %s" client e);
             out.c_errors <- out.c_errors + 1);
         Client.close conn
       with e ->

@@ -8,6 +8,10 @@ type config = {
   conn_out_limit : int;
   max_frame : int;
   max_scan_len : int;
+  read_only : bool;
+      (* replication follower mode: refuse puts, and answer [Verify] from
+         the already-verified epoch instead of running a scan (a follower's
+         epochs are sealed by the primary's stream, never locally) *)
 }
 
 let default_config =
@@ -17,6 +21,7 @@ let default_config =
     conn_out_limit = 4 * 1024 * 1024;
     max_frame = Wire.max_frame;
     max_scan_len = 65536;
+    read_only = false;
   }
 
 type counters = {
@@ -330,9 +335,12 @@ let classify t conn req =
       | Error e -> `Err e
       | Ok client -> `Data (Fastver.Batch.Get { client; nonce; key }))
   | Wire.Put { key; nonce; mac; value } -> (
-      match client () with
-      | Error e -> `Err e
-      | Ok client -> `Data (Fastver.Batch.Put { client; nonce; mac; key; value }))
+      if t.cfg.read_only then `Err "read-only follower: puts go to the primary"
+      else
+        match client () with
+        | Error e -> `Err e
+        | Ok client ->
+            `Data (Fastver.Batch.Put { client; nonce; mac; key; value }))
   | Wire.Scan { start; len; nonce } -> (
       if len < 0 || len > t.cfg.max_scan_len then `Err "scan length out of range"
       else
@@ -359,7 +367,23 @@ let classify t conn req =
           conn.client <- None;
           Wire.Session_closed)
   | Wire.Verify ->
-      if (Fastver.config t.sys).background_verify then
+      if t.cfg.read_only then
+        (* A follower never seals epochs itself — its verified epoch only
+           advances when the primary's boundary certificate authenticates.
+           Re-sign the certificate for the epoch we already hold so the
+           client's [verify_now] check works unchanged. *)
+        `Admin
+          (fun _conn ->
+            let epoch = Fastver.verified_epoch t.sys in
+            if epoch < 0 then Wire.Error "read-only follower: no epoch verified yet"
+            else
+              let cert =
+                Fastver_crypto.Hmac.mac
+                  ~key:(Fastver.config t.sys).mac_secret
+                  (Fastver_verifier.Verifier.epoch_certificate_message ~epoch)
+              in
+              Wire.Verified { epoch; cert })
+      else if (Fastver.config t.sys).background_verify then
         (* No quiesce, no blocking the I/O domain: the scan runs on a
            background domain and the reply slot is filled from its
            completion callback (see [`Verify] in [drain]). *)
@@ -383,6 +407,8 @@ let classify t conn req =
             | Wire.Prometheus -> Fastver_obs.Registry.to_prometheus reg
           in
           Wire.Metrics_reply { format; data })
+  | Wire.Subscribe _ | Wire.Fetch_checkpoint ->
+      `Err "replication opcodes are served on the replication listener"
 
 let response_of_reply nonce (reply : Fastver.Batch.reply) =
   match reply with
@@ -396,7 +422,7 @@ let nonce_of = function
   | Wire.Get { nonce; _ } | Wire.Put { nonce; _ } | Wire.Scan { nonce; _ } ->
       nonce
   | Wire.Open_session _ | Wire.Close_session | Wire.Verify | Wire.Stats
-  | Wire.Metrics _ ->
+  | Wire.Metrics _ | Wire.Subscribe _ | Wire.Fetch_checkpoint ->
       0L
 
 (* ------------------------------------------------------------------ *)

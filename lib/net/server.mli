@@ -52,6 +52,14 @@ type config = {
       (** queued output bytes per connection before its reads pause *)
   max_frame : int;
   max_scan_len : int;  (** reject scans longer than this *)
+  read_only : bool;
+      (** replication-follower mode (default [false]): [Put] requests are
+          refused, and [Verify] answers with the follower's already-verified
+          epoch — re-signing its certificate under the shared secret — rather
+          than sealing an epoch locally (a follower's epochs advance only
+          with the primary's authenticated boundary records, so the client's
+          [verify_now] check works unchanged). Gets, scans, stats and
+          metrics are served normally. *)
 }
 
 val default_config : config

@@ -14,6 +14,8 @@ type request =
   | Verify
   | Stats
   | Metrics of { format : metrics_format }
+  | Subscribe of { from_epoch : int }
+  | Fetch_checkpoint
 
 type item = { key : int64; value : string option; epoch : int; mac : string }
 
@@ -37,6 +39,10 @@ type response =
   | Verified of { epoch : int; cert : string }
   | Stats_reply of stats
   | Metrics_reply of { format : metrics_format; data : string }
+  | Subscribed of { from_epoch : int; run_id : int64 }
+  | Checkpoint_reply of { generation : int; files : (string * string) array }
+  | Repl_op of { epoch : int; key : string; value : string option }
+  | Repl_epoch of { epoch : int; cert : string; stream_mac : string }
   | Error of string
 
 (* ------------------------------------------------------------------ *)
@@ -51,6 +57,8 @@ let tag_scan = 0x05
 let tag_verify = 0x06
 let tag_stats = 0x07
 let tag_metrics = 0x08
+let tag_subscribe = 0x09
+let tag_fetch_checkpoint = 0x0a
 let tag_opened = 0x81
 let tag_closed = 0x82
 let tag_got = 0x83
@@ -59,6 +67,10 @@ let tag_scanned = 0x85
 let tag_verified = 0x86
 let tag_stats_reply = 0x87
 let tag_metrics_reply = 0x88
+let tag_subscribed = 0x89
+let tag_checkpoint_reply = 0x8a
+let tag_repl_op = 0x8b
+let tag_repl_epoch = 0x8c
 let tag_error = 0xff
 
 let metrics_format_byte = function Json -> 0 | Prometheus -> 1
@@ -146,7 +158,11 @@ let encode_request_into b ~id req =
   | Stats -> begin_frame b ~id tag_stats
   | Metrics { format } ->
       begin_frame b ~id tag_metrics;
-      add_u8 b (metrics_format_byte format));
+      add_u8 b (metrics_format_byte format)
+  | Subscribe { from_epoch } ->
+      begin_frame b ~id tag_subscribe;
+      add_u32 b from_epoch
+  | Fetch_checkpoint -> begin_frame b ~id tag_fetch_checkpoint);
   to_frame b
 
 let encode_response_into b ~id resp =
@@ -187,6 +203,32 @@ let encode_response_into b ~id resp =
       add_u8 b (metrics_format_byte format);
       add_u32 b (String.length data);
       Buffer.add_string b data
+  | Subscribed { from_epoch; run_id } ->
+      begin_frame b ~id tag_subscribed;
+      add_u32 b from_epoch;
+      add_i64 b run_id
+  | Checkpoint_reply { generation; files } ->
+      begin_frame b ~id tag_checkpoint_reply;
+      add_u32 b generation;
+      add_u32 b (Array.length files);
+      Array.iter
+        (fun (name, data) ->
+          add_mac b name;
+          add_u32 b (String.length data);
+          Buffer.add_string b data)
+        files
+  | Repl_op { epoch; key; value } ->
+      begin_frame b ~id tag_repl_op;
+      if String.length key <> 32 then
+        invalid_arg "Wire.Repl_op: key must be 32 bytes";
+      add_u32 b epoch;
+      Buffer.add_string b key;
+      add_value_opt b value
+  | Repl_epoch { epoch; cert; stream_mac } ->
+      begin_frame b ~id tag_repl_epoch;
+      add_u32 b epoch;
+      add_mac b cert;
+      add_mac b stream_mac
   | Error msg ->
       begin_frame b ~id tag_error;
       add_u32 b (String.length msg);
@@ -307,6 +349,8 @@ let decode_request =
       else if tag = tag_verify then Verify
       else if tag = tag_stats then Stats
       else if tag = tag_metrics then Metrics { format = metrics_format c }
+      else if tag = tag_subscribe then Subscribe { from_epoch = u32 c }
+      else if tag = tag_fetch_checkpoint then Fetch_checkpoint
       else raise (Bad (Printf.sprintf "unknown request tag 0x%02x" tag)))
 
 let decode_response =
@@ -348,6 +392,36 @@ let decode_response =
         let format = metrics_format c in
         let n = u32 c in
         Metrics_reply { format; data = str c n }
+      else if tag = tag_subscribed then
+        let from_epoch = u32 c in
+        let run_id = i64 c in
+        Subscribed { from_epoch; run_id }
+      else if tag = tag_checkpoint_reply then begin
+        let generation = u32 c in
+        let count = u32 c in
+        (* each file entry consumes >= 6 bytes (two length prefixes), so
+           [count] is implicitly bounded by the payload: check before
+           building the array *)
+        if count * 6 > String.length c.s - c.pos then
+          raise (Bad "checkpoint file count exceeds payload");
+        let files =
+          Array.init count (fun _ ->
+              let name = mac_str c in
+              let n = u32 c in
+              (name, str c n))
+        in
+        Checkpoint_reply { generation; files }
+      end
+      else if tag = tag_repl_op then
+        let epoch = u32 c in
+        let key = str c 32 in
+        let value = value_opt c in
+        Repl_op { epoch; key; value }
+      else if tag = tag_repl_epoch then
+        let epoch = u32 c in
+        let cert = mac_str c in
+        let stream_mac = mac_str c in
+        Repl_epoch { epoch; cert; stream_mac }
       else if tag = tag_error then
         let n = u32 c in
         Error (str c n)
@@ -370,6 +444,9 @@ let pp_request ppf = function
   | Metrics { format } ->
       Format.fprintf ppf "metrics(%s)"
         (match format with Json -> "json" | Prometheus -> "prometheus")
+  | Subscribe { from_epoch } ->
+      Format.fprintf ppf "subscribe(from epoch %d)" from_epoch
+  | Fetch_checkpoint -> Format.fprintf ppf "fetch-checkpoint"
 
 let pp_response ppf = function
   | Session_opened { client } -> Format.fprintf ppf "session-opened(%d)" client
@@ -381,4 +458,13 @@ let pp_response ppf = function
   | Stats_reply _ -> Format.fprintf ppf "stats-reply"
   | Metrics_reply { data; _ } ->
       Format.fprintf ppf "metrics-reply(%d bytes)" (String.length data)
+  | Subscribed { from_epoch; run_id } ->
+      Format.fprintf ppf "subscribed(from epoch %d, run %Ld)" from_epoch run_id
+  | Checkpoint_reply { generation; files } ->
+      Format.fprintf ppf "checkpoint-reply(gen %d, %d files)" generation
+        (Array.length files)
+  | Repl_op { epoch; value; _ } ->
+      Format.fprintf ppf "repl-op(epoch %d, %s)" epoch
+        (match value with None -> "delete" | Some _ -> "put")
+  | Repl_epoch { epoch; _ } -> Format.fprintf ppf "repl-epoch(%d)" epoch
   | Error e -> Format.fprintf ppf "error(%s)" e

@@ -37,6 +37,14 @@ type request =
   | Verify
   | Stats
   | Metrics of { format : metrics_format }
+  | Subscribe of { from_epoch : int }
+      (** Replication: stream every op and epoch-boundary record for epochs
+          [>= from_epoch]; the subscriber's state already reflects all
+          sealed epochs below it. *)
+  | Fetch_checkpoint
+      (** Replication catch-up: ship the newest committed checkpoint
+          generation so a follower too far behind the primary's replication
+          log can bootstrap, then re-subscribe from its sealed epoch. *)
 
 type item = { key : int64; value : string option; epoch : int; mac : string }
 (** One validated result: the receipt MAC covers (kind, client, nonce, key,
@@ -64,6 +72,27 @@ type response =
   | Metrics_reply of { format : metrics_format; data : string }
       (** [data] is the rendered snapshot (untrusted diagnostics — metrics
           are host-side state and carry no receipt MAC). *)
+  | Subscribed of { from_epoch : int; run_id : int64 }
+      (** Ack for {!request.Subscribe}: streaming starts at [from_epoch].
+          [run_id] identifies this primary incarnation; a follower that
+          reconnects and sees a different [run_id] must re-bootstrap (the
+          primary may have restarted from an older checkpoint). *)
+  | Checkpoint_reply of { generation : int; files : (string * string) array }
+      (** The newest committed generation's component files as
+          [(basename, contents)] pairs — MANIFEST included, so the receiver
+          re-verifies every checksum through the normal recovery path and
+          trusts nothing about the transport. *)
+  | Repl_op of { epoch : int; key : string; value : string option }
+      (** One applied op in stream order. [key] is the raw 32-byte data-key
+          path ({!Key.to_bytes32}); [value = None] is a delete. Untrusted
+          until the epoch's boundary record authenticates: followers fold
+          every op into a per-epoch digest that {!response.Repl_epoch}'s
+          [stream_mac] must match. *)
+  | Repl_epoch of { epoch : int; cert : string; stream_mac : string }
+      (** Epoch-boundary record: [cert] is the store-level epoch certificate
+          (HMAC over {!Fastver_verifier.Verifier.epoch_certificate_message});
+          [stream_mac] authenticates the exact op sequence streamed for
+          [epoch] (see {!Fastver_replica.Stream}). *)
   | Error of string
 
 val encode_request : id:int64 -> request -> string

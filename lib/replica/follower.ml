@@ -1,0 +1,418 @@
+let src = Logs.Src.create "fastver.replica.follower" ~doc:"Replication follower"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+module Wire = Fastver_net.Wire
+module Addr = Fastver_net.Addr
+module Client = Fastver_net.Client
+module Server = Fastver_net.Server
+module Verifier = Fastver_verifier.Verifier
+
+type state = Streaming | Disconnected | Halted | Stopped
+
+type t = {
+  sys : Fastver.t;
+  server : Server.t option;
+  primary : Addr.t;
+  chain : Verifier.Cert_chain.t;
+  lock : Mutex.t;
+  mutable conn : Client.t option;
+  mutable state : state;
+  mutable failure : (int * string) option;
+  mutable run_id : int64 option;
+  mutable applied : int;
+  mutable max_seen : int; (* highest epoch tag seen in the stream *)
+  pending : (int, (string * string option) list) Hashtbl.t;
+      (* buffered ops per unsealed epoch, newest first: nothing is applied
+         to the store until the epoch's boundary record authenticates *)
+  digests : (int, string) Hashtbl.t;
+  stop_flag : bool Atomic.t;
+  mutable domain : unit Domain.t option;
+  reconnect_delay : float;
+  m_applied : Fastver_obs.Counter.t;
+  m_certs_ok : Fastver_obs.Counter.t;
+  m_certs_bad : Fastver_obs.Counter.t;
+  m_lag : Fastver_obs.Gauge.t;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* ---- Bootstrap conversations ---- *)
+
+let subscribe conn ~from_epoch =
+  let id = Client.send conn (Wire.Subscribe { from_epoch }) in
+  match Client.recv conn with
+  | id', Wire.Subscribed { from_epoch = f; run_id } when Int64.equal id id' ->
+      Ok (`Subscribed (f, run_id))
+  | id', Wire.Error e when Int64.equal id id' -> Ok (`Refused e)
+  | _ -> Error "unexpected response to subscribe"
+
+let valid_component name =
+  name <> "" && name <> "." && name <> ".."
+  && Filename.basename name = name
+  && not (String.contains name '/')
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (EEXIST, _, _) -> ()
+  end
+
+(* Fetch the primary's newest committed generation into [dir] and recover
+   from it. The shipped bytes are untrusted: component names are confined to
+   the generation directory and [Fastver.recover] re-verifies the manifest's
+   checksums (and the sealed shard layout) before any of it becomes state. *)
+let fetch_checkpoint conn ~config ~dir =
+  let id = Client.send conn Wire.Fetch_checkpoint in
+  match Client.recv conn with
+  | id', Wire.Checkpoint_reply { generation; files } when Int64.equal id id' ->
+      let gdir =
+        Filename.concat dir
+          (Fastver_kvstore.Ckpt_io.generation_dir_name generation)
+      in
+      if
+        Array.for_all (fun (name, _) -> valid_component name) files
+        && Array.length files > 0
+      then begin
+        Fastver_kvstore.Ckpt_io.remove_tree gdir;
+        mkdir_p gdir;
+        Array.iter
+          (fun (name, data) -> write_file (Filename.concat gdir name) data)
+          files;
+        Fastver.recover ~config ~dir ()
+      end
+      else Error "checkpoint reply contains unsafe file names"
+  | id', Wire.Error e when Int64.equal id id' ->
+      Error ("checkpoint fetch refused: " ^ e)
+  | _ -> Error "unexpected response to checkpoint fetch"
+
+(* ---- Stream handling ---- *)
+
+let gauge_lag t =
+  Fastver_obs.Gauge.set t.m_lag
+    (float_of_int (max 0 (t.max_seen - Fastver.verified_epoch t.sys)))
+
+let halt t ~epoch reason =
+  with_lock t.lock (fun () ->
+      if t.failure = None then t.failure <- Some (epoch, reason);
+      t.state <- Halted);
+  Fastver_obs.Counter.incr t.m_certs_bad;
+  (match t.conn with Some c -> Client.close c | None -> ());
+  t.conn <- None;
+  Log.err (fun m -> m "follower halted at epoch %d: %s" epoch reason);
+  raise
+    (Fastver.Integrity_violation
+       (Printf.sprintf "replication follower halted at epoch %d: %s" epoch
+          reason))
+
+let record_op t ~epoch ~key ~value =
+  with_lock t.lock (fun () ->
+      let digest =
+        match Hashtbl.find_opt t.digests epoch with
+        | Some d -> d
+        | None -> Stream.empty_digest
+      in
+      Hashtbl.replace t.digests epoch (Stream.fold digest ~epoch ~key ~value);
+      Hashtbl.replace t.pending epoch
+        ((key, value)
+        :: Option.value (Hashtbl.find_opt t.pending epoch) ~default:[]);
+      if epoch > t.max_seen then t.max_seen <- epoch);
+  gauge_lag t
+
+(* An epoch-boundary record: the commit point for everything streamed under
+   this epoch's tag. Nothing was applied yet — a flipped bit in any op (or
+   in the certificate itself) halts the follower here, before any client
+   could read the altered value. *)
+let handle_boundary t ~epoch ~cert ~stream_mac =
+  let digest, ops =
+    with_lock t.lock (fun () ->
+        ( Option.value (Hashtbl.find_opt t.digests epoch)
+            ~default:Stream.empty_digest,
+          List.rev (Option.value (Hashtbl.find_opt t.pending epoch) ~default:[])
+        ))
+  in
+  let mac_secret = (Fastver.config t.sys).mac_secret in
+  if not (Stream.check_boundary_mac ~mac_secret ~epoch ~digest ~tag:stream_mac)
+  then
+    halt t ~epoch
+      (Printf.sprintf
+         "stream MAC mismatch for epoch %d: a streamed op or the boundary \
+          record was altered"
+         epoch);
+  (match Verifier.Cert_chain.check t.chain ~epoch ~cert with
+  | Error reason -> halt t ~epoch reason
+  | Ok () -> ());
+  let local_epoch = Fastver.current_epoch t.sys in
+  if local_epoch <> epoch then
+    halt t ~epoch
+      (Printf.sprintf "epoch desync: follower is at epoch %d, stream sealed %d"
+         local_epoch epoch);
+  List.iter
+    (fun (key, value) ->
+      let k = Key.of_bytes32 key in
+      (match value with
+      | Some v -> Fastver.put_key t.sys k v
+      | None -> Fastver.delete_key t.sys k);
+      Fastver_obs.Counter.incr t.m_applied)
+    ops;
+  (* Seal locally: the follower's own verifier re-checks the epoch balance
+     over the replayed ops, and its live epoch advances in lockstep with
+     the primary's — receipts served from here on are stamped [>= epoch]. *)
+  (match Fastver.verify t.sys with
+  | _cert -> ()
+  | exception Fastver.Integrity_violation e ->
+      halt t ~epoch ("local verification failed: " ^ e));
+  with_lock t.lock (fun () ->
+      Hashtbl.remove t.pending epoch;
+      Hashtbl.remove t.digests epoch;
+      t.applied <- t.applied + List.length ops;
+      if epoch > t.max_seen then t.max_seen <- epoch);
+  Fastver_obs.Counter.incr t.m_certs_ok;
+  gauge_lag t
+
+exception Disconnected_exn
+
+let stream_once t conn =
+  match Client.recv conn with
+  | _, Wire.Repl_op { epoch; key; value } -> record_op t ~epoch ~key ~value
+  | _, Wire.Repl_epoch { epoch; cert; stream_mac } ->
+      handle_boundary t ~epoch ~cert ~stream_mac
+  | _, Wire.Error e ->
+      Log.warn (fun m -> m "primary sent error mid-stream: %s" e);
+      raise Disconnected_exn
+  | _, _ -> raise (Client.Protocol_error "unexpected frame on replication stream")
+
+let drop_unsealed t =
+  with_lock t.lock (fun () ->
+      Hashtbl.reset t.pending;
+      Hashtbl.reset t.digests;
+      t.max_seen <- Fastver.verified_epoch t.sys)
+
+let rec run t =
+  match t.conn with
+  | None -> reconnect t
+  | Some conn -> (
+      match stream_once t conn with
+      | () -> run t
+      | exception (Client.Protocol_error _ | Unix.Unix_error _ | Disconnected_exn)
+        ->
+          if Atomic.get t.stop_flag then t.state <- Stopped
+          else begin
+            Log.info (fun m -> m "replication stream lost; reconnecting");
+            Client.close conn;
+            t.conn <- None;
+            t.state <- Disconnected;
+            reconnect t
+          end)
+
+(* Reconnect with the follower's existing state: drop buffered unsealed
+   epochs (the primary replays them in full) and re-subscribe from the first
+   epoch we have not verified. A refusal is terminal: falling below the
+   primary's retained floor needs a checkpoint re-bootstrap (restart the
+   follower), and a primary behind our verified epoch is a rollback. *)
+and reconnect t =
+  if Atomic.get t.stop_flag then t.state <- Stopped
+  else begin
+    drop_unsealed t;
+    match Client.connect t.primary with
+    | Error _ ->
+        Unix.sleepf t.reconnect_delay;
+        reconnect t
+    | Ok conn -> (
+        let from_epoch = Fastver.verified_epoch t.sys + 1 in
+        match subscribe conn ~from_epoch with
+        | Ok (`Subscribed (_, rid)) ->
+            (match t.run_id with
+            | Some old when not (Int64.equal old rid) ->
+                Log.warn (fun m ->
+                    m "primary restarted (run %Ld -> %Ld); resuming from epoch %d"
+                      old rid from_epoch)
+            | _ -> ());
+            t.run_id <- Some rid;
+            t.conn <- Some conn;
+            t.state <- Streaming;
+            run t
+        | Ok (`Refused e) ->
+            Client.close conn;
+            t.state <- Halted;
+            halt t ~epoch:(Fastver.verified_epoch t.sys)
+              ("primary refused re-subscription: " ^ e)
+        | Error e | (exception Client.Protocol_error e) ->
+            Client.close conn;
+            Unix.sleepf t.reconnect_delay;
+            ignore e;
+            reconnect t
+        | exception Unix.Unix_error _ ->
+            Client.close conn;
+            Unix.sleepf t.reconnect_delay;
+            reconnect t)
+  end
+
+(* ---- Lifecycle ---- *)
+
+let mk ?server_config ?(reconnect_delay = 0.2) ~primary ?listen ~conn ~run_id sys
+    =
+  let module Reg = Fastver_obs.Registry in
+  let reg = Fastver.registry sys in
+  Reg.counter_fn reg
+    ~help:"Validated reads served by this follower"
+    "fastver_repl_follower_reads_total"
+    (fun () -> (Fastver.stats sys).gets + (Fastver.stats sys).scans);
+  let server =
+    match listen with
+    | None -> Ok None
+    | Some addr -> (
+        let config =
+          match server_config with
+          | Some c -> { c with Server.read_only = true }
+          | None -> { Server.default_config with read_only = true }
+        in
+        match Server.create ~config sys ~listen:addr with
+        | Ok s ->
+            Server.start s;
+            Ok (Some s)
+        | Error e -> Error e)
+  in
+  match server with
+  | Error e -> Error e
+  | Ok server ->
+      Ok
+        {
+          sys;
+          server;
+          primary;
+          chain =
+            Verifier.Cert_chain.create
+              ~mac_secret:(Fastver.config sys).mac_secret
+              ~verified:(Fastver.verified_epoch sys);
+          lock = Mutex.create ();
+          conn = Some conn;
+          state = Streaming;
+          failure = None;
+          run_id = Some run_id;
+          applied = 0;
+          max_seen = Fastver.verified_epoch sys;
+          pending = Hashtbl.create 4;
+          digests = Hashtbl.create 4;
+          stop_flag = Atomic.make false;
+          domain = None;
+          reconnect_delay;
+          m_applied =
+            Reg.counter reg ~help:"Replicated ops applied after verification"
+              "fastver_repl_ops_applied_total";
+          m_certs_ok =
+            Reg.counter reg ~help:"Epoch boundary records that authenticated"
+              "fastver_repl_certs_verified_total";
+          m_certs_bad =
+            Reg.counter reg ~help:"Epoch boundary records rejected"
+              "fastver_repl_certs_rejected_total";
+          m_lag =
+            Reg.gauge reg
+              ~help:"Epochs seen in the stream but not yet verified locally"
+              "fastver_repl_lag_epochs";
+        }
+
+let create ?server_config ?reconnect_delay ?(config = Fastver.Config.default)
+    ?load ~primary ?listen ~dir () =
+  (* A follower never seals epochs on its own: batch-triggered auto
+     verification is disabled; epochs advance only at authenticated
+     boundary records. *)
+  let config = { config with Fastver.Config.batch_size = 0 } in
+  match Client.connect primary with
+  | Error e -> Error e
+  | Ok conn -> (
+      let fail e =
+        Client.close conn;
+        Error e
+      in
+      (* A fresh follower's state reflects no sealed epoch: subscribe from
+         0. If the primary's retained stream starts later, bootstrap from
+         its newest committed checkpoint generation and tail from the
+         sealed epoch — exactly the recovery path a restarted primary
+         takes. *)
+      match subscribe conn ~from_epoch:0 with
+      | Error e -> fail e
+      | exception Client.Protocol_error e -> fail e
+      | exception Unix.Unix_error (e, _, _) -> fail (Unix.error_message e)
+      | Ok (`Subscribed (_, run_id)) -> (
+          let sys = Fastver.create ~config () in
+          (match load with Some f -> f sys | None -> ());
+          match mk ?server_config ?reconnect_delay ~primary ?listen ~conn ~run_id sys with
+          | Ok t -> Ok t
+          | Error e -> fail e)
+      | Ok (`Refused reason) -> (
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i =
+              i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+            in
+            nn > 0 && go 0
+          in
+          if not (contains reason "fetch a checkpoint") then
+            fail ("primary refused subscription: " ^ reason)
+          else
+            match fetch_checkpoint conn ~config ~dir with
+            | Error e -> fail e
+            | exception Client.Protocol_error e -> fail e
+            | exception Unix.Unix_error (e, _, _) -> fail (Unix.error_message e)
+            | Ok sys -> (
+                let from_epoch = Fastver.verified_epoch sys + 1 in
+                Log.app (fun m ->
+                    m
+                      "bootstrapped from primary checkpoint (verified epoch \
+                       %d); tailing from %d"
+                      (Fastver.verified_epoch sys)
+                      from_epoch);
+                match subscribe conn ~from_epoch with
+                | Ok (`Subscribed (_, run_id)) -> (
+                    match
+                      mk ?server_config ?reconnect_delay ~primary ?listen ~conn
+                        ~run_id sys
+                    with
+                    | Ok t -> Ok t
+                    | Error e -> fail e)
+                | Ok (`Refused e) ->
+                    fail ("primary refused post-checkpoint subscription: " ^ e)
+                | Error e -> fail e
+                | exception Client.Protocol_error e -> fail e
+                | exception Unix.Unix_error (e, _, _) ->
+                    fail (Unix.error_message e))))
+
+let start t =
+  t.domain <-
+    Some
+      (Domain.spawn (fun () ->
+           match run t with
+           | () -> ()
+           | exception Fastver.Integrity_violation _ ->
+               () (* evidence preserved in [failure t]; reads keep serving *)
+           | exception e ->
+               Log.err (fun m ->
+                   m "follower stream loop died: %s" (Printexc.to_string e))))
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  (match t.conn with Some c -> Client.close c | None -> ());
+  (match t.domain with
+  | Some d ->
+      t.domain <- None;
+      Domain.join d
+  | None -> ());
+  (match t.server with Some s -> Server.stop s | None -> ());
+  t.state <- Stopped
+
+let system t = t.sys
+let server t = t.server
+let state t = with_lock t.lock (fun () -> t.state)
+let failure t = with_lock t.lock (fun () -> t.failure)
+let verified_epoch t = Fastver.verified_epoch t.sys
+let applied_ops t = with_lock t.lock (fun () -> t.applied)
+let run_id t = t.run_id

@@ -1,0 +1,82 @@
+(** A replication follower: rebuilds store state by replaying the primary's
+    framed op stream, verifies the epoch-certificate chain at every epoch
+    boundary, and (optionally) serves integrity-checked reads through the
+    ordinary {!Fastver_net.Server} path — read-only, so clients re-check
+    receipt MACs exactly as against the primary.
+
+    Trust model: the follower holds the shared [mac_secret], so its own
+    verifier re-derives every receipt and epoch certificate. The stream is
+    untrusted transport — ops are buffered per epoch and applied only after
+    the boundary record authenticates (stream digest MAC + certificate
+    chain), then the follower's local verification scan re-checks the epoch
+    balance. A single flipped bit in a streamed op or certificate halts the
+    follower with {!Fastver.Integrity_violation} naming the epoch; the
+    evidence stays readable via {!failure} and already-verified state keeps
+    serving. *)
+
+type t
+
+type state =
+  | Streaming  (** connected, applying verified epochs *)
+  | Disconnected  (** between reconnect attempts *)
+  | Halted
+      (** integrity failure — evidence in {!failure}; reads still served *)
+  | Stopped
+
+val create :
+  ?server_config:Fastver_net.Server.config ->
+  ?reconnect_delay:float ->
+  ?config:Fastver.Config.t ->
+  ?load:(Fastver.t -> unit) ->
+  primary:Fastver_net.Addr.t ->
+  ?listen:Fastver_net.Addr.t ->
+  dir:string ->
+  unit ->
+  (t, string) result
+(** Connect to the primary and bootstrap. A fresh follower subscribes from
+    epoch 0 and, when it holds no sealed state, installs the initial
+    database via [load] (which must perform the same trusted bulk load the
+    primary did — bulk loads are out-of-band, not streamed). If the
+    primary's retained stream no longer reaches back to epoch 0 the
+    follower fetches the newest committed checkpoint generation into [dir],
+    recovers through the manifest-verified recovery path, and tails from the
+    recovered epoch. [config.batch_size] is forced to [0]: a follower never
+    seals epochs on its own, it advances only at authenticated boundary
+    records. With [listen] set, a read-only {!Fastver_net.Server} is started
+    on the recovered system.
+
+    Follower metrics (on the system's registry):
+    [fastver_repl_ops_applied_total], [fastver_repl_certs_verified_total],
+    [fastver_repl_certs_rejected_total], [fastver_repl_lag_epochs],
+    [fastver_repl_follower_reads_total]. *)
+
+val run : t -> unit
+(** Consume the stream in the calling thread. Returns on {!stop}; raises
+    {!Fastver.Integrity_violation} on a halt (state and evidence are
+    recorded first, so reads keep serving). Disconnects reconnect
+    automatically from the first unverified epoch; a refused re-subscription
+    (stream floor passed the follower, or a rolled-back primary) is treated
+    as a halt. *)
+
+val start : t -> unit
+(** {!run} in a background domain; an integrity halt is recorded (see
+    {!failure}) rather than propagated. *)
+
+val stop : t -> unit
+(** Stop streaming, join the domain, stop the read server. *)
+
+val system : t -> Fastver.t
+val server : t -> Fastver_net.Server.t option
+val state : t -> state
+
+val failure : t -> (int * string) option
+(** The halting [(epoch, reason)], if an integrity failure occurred. *)
+
+val verified_epoch : t -> int
+(** Highest epoch applied and locally verified ([-1] if none). *)
+
+val applied_ops : t -> int
+(** Streamed ops applied to the local store (verified epochs only). *)
+
+val run_id : t -> int64 option
+(** The primary incarnation last subscribed to. *)

@@ -1,0 +1,66 @@
+(** The replication primary: tees every admitted op into a framed stream and
+    serves it, with epoch-boundary certificate records, to subscribed
+    followers on a dedicated listener.
+
+    {!create} installs the {!Fastver.set_replication_hooks} tee, so it must
+    run {e before} the store serves traffic: ops applied earlier are not in
+    the retained log and their epoch could never authenticate downstream.
+    The stream layer keeps the last [retain_epochs] sealed epochs of
+    records; a follower subscribing from below that floor is told to fetch
+    the newest committed checkpoint generation instead (shipped verbatim,
+    manifest included — the follower re-verifies every checksum through the
+    normal recovery path).
+
+    Wire conversation (see {!Fastver_net.Wire}): a follower sends
+    [Subscribe { from_epoch }] meaning "my state reflects every sealed epoch
+    below [from_epoch]"; the primary acks with [Subscribed] (carrying this
+    incarnation's [run_id]), replays the retained records for epochs
+    [>= from_epoch] and then streams live. [Fetch_checkpoint] may be sent on
+    the same connection before subscribing.
+
+    Metrics (on the system's registry): [fastver_repl_ops_streamed_total],
+    [fastver_repl_epochs_streamed_total], [fastver_repl_followers],
+    [fastver_repl_stream_lag_bytes]. *)
+
+type config = {
+  retain_epochs : int;
+      (** sealed epochs kept replayable for tailing subscribers
+          (default 64) *)
+  conn_out_limit : int;
+      (** a follower whose unsent backlog exceeds this is disconnected
+          (default 64 MiB) *)
+  checkpoint_dir : string option;
+      (** where [Fetch_checkpoint] reads generations from; [None] disables
+          checkpoint catch-up *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config -> Fastver.t -> listen:Fastver_net.Addr.t ->
+  (t, string) result
+(** Binds the replication listener and installs the tee hooks. Call before
+    the store serves any traffic. *)
+
+val bound_addr : t -> Fastver_net.Addr.t
+(** Effective listen address (TCP port 0 resolved). *)
+
+val run : t -> unit
+(** Run the streaming loop in the calling thread until {!stop}. *)
+
+val start : t -> unit
+(** Run the loop in a background domain. *)
+
+val stop : t -> unit
+(** Clear the tee hooks, wake and join the loop, close every connection and
+    the listener. Idempotent. *)
+
+val sealed_epoch : t -> int
+(** Highest epoch whose boundary record has been emitted ([-1] if none). *)
+
+val followers : t -> int
+(** Live replication connections (subscribed or not). *)
+
+val run_id : t -> int64

@@ -659,3 +659,51 @@ let cached t ~tid key =
 
 let cache_size t ~tid = Key.Tbl.length (thread t tid).cache
 let clock t ~tid = (thread t tid).clock
+
+(* A follower consuming the primary's epoch-certificate stream holds no
+   verifier state of its own for the chain — just the last epoch whose
+   certificate authenticated. Certificates are HMACs over the epoch number
+   alone, so the chain check is: epochs arrive densely in order, and each
+   certificate authenticates under the shared secret. Any gap, regression or
+   forged byte stops the chain permanently at the offending epoch. *)
+module Cert_chain = struct
+  type nonrec t = {
+    mac_secret : string;
+    mutable verified : int;
+    mutable failed : (int * string) option;
+  }
+
+  let create ~mac_secret ~verified = { mac_secret; verified; failed = None }
+  let verified_epoch t = t.verified
+  let failure t = t.failed
+
+  let check t ~epoch ~cert =
+    match t.failed with
+    | Some (e, reason) ->
+        Error (Printf.sprintf "chain already failed at epoch %d: %s" e reason)
+    | None ->
+        if epoch <> t.verified + 1 then begin
+          let reason =
+            Printf.sprintf "expected epoch %d next, got %d" (t.verified + 1)
+              epoch
+          in
+          t.failed <- Some (epoch, reason);
+          Error reason
+        end
+        else if
+          not
+            (Hmac.verify ~key:t.mac_secret
+               (epoch_certificate_message ~epoch)
+               ~tag:cert)
+        then begin
+          let reason =
+            Printf.sprintf "epoch %d certificate does not authenticate" epoch
+          in
+          t.failed <- Some (epoch, reason);
+          Error reason
+        end
+        else begin
+          t.verified <- epoch;
+          Ok ()
+        end
+end

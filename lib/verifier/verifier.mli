@@ -234,3 +234,30 @@ type op_stats = {
 }
 
 val stats : t -> op_stats
+
+(** {2 Certificate-chain checking (replication followers)}
+
+    A process that consumes epoch certificates without running a verifier —
+    a replication follower replaying the primary's op stream — tracks only
+    the last epoch whose certificate authenticated. [check] enforces that
+    epochs arrive densely in order and that each certificate is a valid HMAC
+    over {!epoch_certificate_message} under the shared secret; the first
+    failure is terminal and preserved (epoch + reason) as evidence. *)
+module Cert_chain : sig
+  type t
+
+  val create : mac_secret:string -> verified:int -> t
+  (** [verified] is the highest already-verified epoch ([-1] for a fresh
+      store; the sealed epoch after checkpoint recovery). *)
+
+  val verified_epoch : t -> int
+
+  val failure : t -> (int * string) option
+  (** [Some (epoch, reason)] once a certificate was rejected; the chain then
+      refuses to advance forever. *)
+
+  val check : t -> epoch:int -> cert:string -> (unit, string) Stdlib.result
+  (** Verify the certificate for [epoch], which must be exactly
+      [verified_epoch t + 1]. Advances the chain on success; poisons it on
+      the first failure. *)
+end

@@ -135,6 +135,16 @@ $FV bench diff --figure wirealloc
 dune exec bench/main.exe -- --quick --only scale > /dev/null
 dune exec bench/main.exe -- --quick --only scale > /dev/null
 $FV bench diff --figure scale
+# cold-tier figure: disk-bound rows jitter more than CPU-bound ones, so
+# the diff gate applies its direction-aware 35% tolerance per metric
+dune exec bench/main.exe -- --quick --only coldtier > /dev/null
+dune exec bench/main.exe -- --quick --only coldtier > /dev/null
+$FV bench diff --figure coldtier
+# verification-pause figure: sub-millisecond pauses ride scheduler noise,
+# gated at 50% (lower-is-better metrics only flag genuine regressions)
+dune exec bench/main.exe -- --quick --only vpause > /dev/null
+dune exec bench/main.exe -- --quick --only vpause > /dev/null
+$FV bench diff --figure vpause
 
 echo "== sharded serve round trip (2 executor domains, 4 verifier shards)"
 $FV serve --listen "unix:$WORK/shard.sock" -n 2000 --batch 0 --enclave zero \
@@ -170,5 +180,91 @@ $FV client-bench --connect "unix:$WORK/pool.sock" --ops 4000 --clients 4 \
   --window 32 -n 2000
 $FV stats --connect "unix:$WORK/pool.sock" --check
 kill -9 $POOL_SRV 2>/dev/null || true
+
+echo "== replication (primary + 2 followers, kill -9 failover, checkpoint rejoin)"
+# primary with a replication listener; --batch so epochs seal (and
+# checkpoints commit) while client traffic is in flight
+$FV serve --listen "unix:$WORK/rp.sock" --replication-listen "unix:$WORK/repl.sock" \
+  -n 2000 --batch 400 --enclave zero --checkpoint-dir "$WORK/rckpt" &
+RP_SRV=$!
+F1=; F2=; F3=; RP2_SRV=
+trap 'kill -9 $SRV $OBS_SRV $SHARD_SRV $POOL_SRV $RP_SRV $F1 $F2 $F3 $RP2_SRV 2>/dev/null || true; rm -rf "$WORK"' EXIT
+i=0
+while [ ! -S "$WORK/repl.sock" ]; do
+  i=$((i + 1)); [ $i -gt 100 ] && { echo "replication listener never came up"; exit 1; }
+  sleep 0.1
+done
+$FV follow --primary "unix:$WORK/repl.sock" --listen "unix:$WORK/f1.sock" \
+  -n 2000 --dir "$WORK/f1" > "$WORK/f1.log" 2>&1 &
+F1=$!
+$FV follow --primary "unix:$WORK/repl.sock" --listen "unix:$WORK/f2.sock" \
+  -n 2000 --dir "$WORK/f2" > "$WORK/f2.log" 2>&1 &
+F2=$!
+for s in f1 f2; do
+  i=0
+  while [ ! -S "$WORK/$s.sock" ]; do
+    i=$((i + 1)); [ $i -gt 100 ] && { echo "follower $s never came up"; exit 1; }
+    sleep 0.1
+  done
+done
+# write traffic on the primary seals epochs the followers must replay,
+# verify at each boundary, and mirror into their local stores
+$FV client-bench --connect "unix:$WORK/rp.sock" --ops 4000 --clients 2 -n 2000
+i=0
+until ls "$WORK"/rckpt/ckpt-*/MANIFEST >/dev/null 2>&1; do
+  i=$((i + 1)); [ $i -gt 100 ] && { echo "primary committed no checkpoint"; exit 1; }
+  sleep 0.1
+done
+# verified reads against both followers: the client re-checks every
+# receipt MAC, so a follower serving tampered state would fail here
+$FV client-bench --connect "unix:$WORK/f1.sock" --ops 2000 --clients 2 \
+  -n 2000 --put-ratio 0
+$FV client-bench --connect "unix:$WORK/f2.sock" --ops 1000 --clients 1 \
+  -n 2000 --put-ratio 0
+# reconciliation on every node: primary and both followers
+$FV stats --connect "unix:$WORK/rp.sock" --check
+$FV stats --connect "unix:$WORK/f1.sock" --check
+$FV stats --connect "unix:$WORK/f2.sock" --check
+# kill -9 the primary: already-verified follower state keeps serving
+kill -9 $RP_SRV
+$FV client-bench --connect "unix:$WORK/f1.sock" --ops 1000 --clients 1 \
+  -n 2000 --put-ratio 0
+echo "  follower survived primary kill -9, reads still verify"
+# restart the primary from its checkpoint directory on the same
+# replication address; a follower joining now predates the retained
+# stream and must catch up via checkpoint fetch, not a fresh load
+$FV serve --listen "unix:$WORK/rp2.sock" --replication-listen "unix:$WORK/repl.sock" \
+  -n 2000 --batch 400 --enclave zero --checkpoint-dir "$WORK/rckpt" &
+RP2_SRV=$!
+i=0
+while [ ! -S "$WORK/rp2.sock" ]; do
+  i=$((i + 1)); [ $i -gt 100 ] && { echo "restarted primary never came up"; exit 1; }
+  sleep 0.1
+done
+$FV follow --primary "unix:$WORK/repl.sock" --listen "unix:$WORK/f3.sock" \
+  -n 2000 --dir "$WORK/f3" > "$WORK/f3.log" 2>&1 &
+F3=$!
+i=0
+while [ ! -S "$WORK/f3.sock" ]; do
+  i=$((i + 1)); [ $i -gt 100 ] && { echo "rejoining follower never came up"; exit 1; }
+  sleep 0.1
+done
+# the rejoining follower's state dir must hold a fetched generation, and
+# its log must show the checkpoint path rather than the fresh-load path
+ls "$WORK"/f3/ckpt-*/MANIFEST >/dev/null 2>&1 \
+  || { echo "rejoining follower did not fetch a checkpoint"; cat "$WORK/f3.log"; exit 1; }
+if grep -q "fresh follower" "$WORK/f3.log"; then
+  echo "rejoining follower took the fresh-load path"; exit 1
+fi
+# the recovered verifier remembers client put nonces from before the
+# crash, so the post-restart bench must use a fresh client-id range
+$FV client-bench --connect "unix:$WORK/rp2.sock" --ops 1000 --clients 1 \
+  -n 2000 --first-client 10
+$FV client-bench --connect "unix:$WORK/f3.sock" --ops 1000 --clients 1 \
+  -n 2000 --put-ratio 0
+$FV stats --connect "unix:$WORK/rp2.sock" --check
+$FV stats --connect "unix:$WORK/f3.sock" --check
+echo "  rejoining follower caught up from checkpoint, all nodes reconcile"
+kill -9 $F1 $F2 $F3 $RP2_SRV 2>/dev/null || true
 
 echo "OK"

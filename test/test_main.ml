@@ -21,4 +21,5 @@ let () =
       Test_simthreads.suite;
       Test_wire.suite;
       Test_net.suite;
+      Test_replica.suite;
     ]

@@ -1,0 +1,793 @@
+(* Verified read replication, end to end: the stream-integrity layer, the
+   certificate-chain checker, a live primary/follower pair over Unix
+   sockets, and the adversarial cases — a flipped bit in a streamed op or
+   an epoch certificate halts the follower with the offending epoch
+   preserved, a mid-frame disconnect tears down cleanly, and a client
+   detects receipts from a stale epoch. *)
+
+module Net = Fastver_net
+module Replica = Fastver_replica
+module Verifier = Fastver_verifier.Verifier
+
+let initial_value = Fastver_workload.Ycsb.initial_value
+
+let test_config =
+  {
+    Fastver.Config.default with
+    n_workers = 2;
+    batch_size = 0;
+    cost_model = Cost_model.zero;
+  }
+
+let secret = Fastver.Config.default.mac_secret
+let auth_key = Fastver.Auth.key_of_secret secret
+
+let records n =
+  Array.init n (fun i -> (Int64.of_int i, initial_value (Int64.of_int i)))
+
+let mk_system ?(n = 256) () =
+  let t = Fastver.create ~config:test_config () in
+  Fastver.load t (records n);
+  t
+
+let sock_counter = ref 0
+
+let fresh_sock () =
+  incr sock_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "fastver-repl-test-%d-%d.sock" (Unix.getpid ())
+       !sock_counter)
+
+let fresh_dir () =
+  let d = Filename.temp_file "fastver" "-repl" in
+  Sys.remove d;
+  d
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> remove_tree (Filename.concat path f))
+        (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let wait_for ?(timeout = 20.0) msg pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  while (not (pred ())) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  if not (pred ()) then Alcotest.fail ("timed out waiting for " ^ msg)
+
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn > 0 && go 0
+
+(* ------------------------------------------------------------------ *)
+(* Stream digests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_stream_digest () =
+  let k i = Key.to_bytes32 (Key.of_int64 (Int64.of_int i)) in
+  let d1 =
+    Replica.Stream.(
+      fold
+        (fold empty_digest ~epoch:3 ~key:(k 1) ~value:(Some "a"))
+        ~epoch:3 ~key:(k 2) ~value:None)
+  in
+  let d1' =
+    Replica.Stream.(
+      fold
+        (fold empty_digest ~epoch:3 ~key:(k 1) ~value:(Some "a"))
+        ~epoch:3 ~key:(k 2) ~value:None)
+  in
+  Alcotest.(check bool) "fold is deterministic" true (String.equal d1 d1');
+  let reordered =
+    Replica.Stream.(
+      fold
+        (fold empty_digest ~epoch:3 ~key:(k 2) ~value:None)
+        ~epoch:3 ~key:(k 1) ~value:(Some "a"))
+  in
+  Alcotest.(check bool) "fold is order-sensitive" false
+    (String.equal d1 reordered);
+  let other_epoch =
+    Replica.Stream.(
+      fold
+        (fold empty_digest ~epoch:4 ~key:(k 1) ~value:(Some "a"))
+        ~epoch:4 ~key:(k 2) ~value:None)
+  in
+  Alcotest.(check bool) "epoch tag is folded in" false
+    (String.equal d1 other_epoch);
+  (* None and Some "" are distinct ops *)
+  let del = Replica.Stream.(fold empty_digest ~epoch:0 ~key:(k 9) ~value:None) in
+  let emp =
+    Replica.Stream.(fold empty_digest ~epoch:0 ~key:(k 9) ~value:(Some ""))
+  in
+  Alcotest.(check bool) "delete <> empty put" false (String.equal del emp);
+  let mac = Replica.Stream.boundary_mac ~mac_secret:secret ~epoch:3 ~digest:d1 in
+  Alcotest.(check bool) "boundary mac checks" true
+    (Replica.Stream.check_boundary_mac ~mac_secret:secret ~epoch:3 ~digest:d1
+       ~tag:mac);
+  Alcotest.(check bool) "wrong epoch rejected" false
+    (Replica.Stream.check_boundary_mac ~mac_secret:secret ~epoch:4 ~digest:d1
+       ~tag:mac);
+  let flipped = Bytes.of_string mac in
+  Bytes.set flipped 0 (Char.chr (Char.code (Bytes.get flipped 0) lxor 1));
+  Alcotest.(check bool) "flipped mac rejected" false
+    (Replica.Stream.check_boundary_mac ~mac_secret:secret ~epoch:3 ~digest:d1
+       ~tag:(Bytes.to_string flipped))
+
+(* ------------------------------------------------------------------ *)
+(* Certificate chain                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let cert_for epoch =
+  Fastver_crypto.Hmac.mac ~key:secret
+    (Verifier.epoch_certificate_message ~epoch)
+
+let test_cert_chain () =
+  let ch = Verifier.Cert_chain.create ~mac_secret:secret ~verified:(-1) in
+  (match Verifier.Cert_chain.check ch ~epoch:0 ~cert:(cert_for 0) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Verifier.Cert_chain.check ch ~epoch:1 ~cert:(cert_for 1) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "verified advances" 1
+    (Verifier.Cert_chain.verified_epoch ch);
+  (* a forged certificate is terminal, with evidence preserved *)
+  (match Verifier.Cert_chain.check ch ~epoch:2 ~cert:(cert_for 99) with
+  | Ok () -> Alcotest.fail "forged certificate accepted"
+  | Error e ->
+      Alcotest.(check bool) "reason names the epoch" true (find_sub e "2"));
+  (match Verifier.Cert_chain.failure ch with
+  | Some (2, _) -> ()
+  | _ -> Alcotest.fail "failure evidence not preserved");
+  (match Verifier.Cert_chain.check ch ~epoch:2 ~cert:(cert_for 2) with
+  | Ok () -> Alcotest.fail "chain kept going after a terminal failure"
+  | Error _ -> ());
+  (* gaps and reordering are terminal too: a dense in-order chain is the
+     only thing a follower may advance along *)
+  let ch2 = Verifier.Cert_chain.create ~mac_secret:secret ~verified:0 in
+  (match Verifier.Cert_chain.check ch2 ~epoch:3 ~cert:(cert_for 3) with
+  | Ok () -> Alcotest.fail "gap accepted"
+  | Error e ->
+      Alcotest.(check bool) "gap reason names both epochs" true
+        (find_sub e "1" && find_sub e "3"));
+  match Verifier.Cert_chain.failure ch2 with
+  | Some (3, _) -> ()
+  | None | Some _ -> Alcotest.fail "gap evidence not preserved"
+
+(* ------------------------------------------------------------------ *)
+(* Replication wire opcodes                                            *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_response resp =
+  let frame = Net.Wire.encode_response ~id:7L resp in
+  let r = Net.Frame.create () in
+  Net.Frame.feed_string r frame;
+  match Net.Frame.next r with
+  | Ok (Some p) -> Net.Wire.decode_response p
+  | _ -> Alcotest.fail "frame did not round-trip"
+
+let test_wire_repl_opcodes () =
+  let key = Key.to_bytes32 (Key.of_int64 42L) in
+  List.iter
+    (fun resp ->
+      match roundtrip_response resp with
+      | Ok (7L, got) when got = resp -> ()
+      | Ok _ -> Alcotest.fail "decoded to a different value"
+      | Error e -> Alcotest.fail e)
+    [
+      Net.Wire.Subscribed { from_epoch = 12; run_id = 0x1234_5678L };
+      Net.Wire.Checkpoint_reply
+        { generation = 3; files = [| ("MANIFEST", "x"); ("a.bin", "\x00\xff") |] };
+      Net.Wire.Repl_op { epoch = 5; key; value = Some "hello" };
+      Net.Wire.Repl_op { epoch = 5; key; value = None };
+      Net.Wire.Repl_epoch
+        { epoch = 9; cert = cert_for 9; stream_mac = String.make 32 'm' };
+    ];
+  (* the encoder refuses a key that is not the raw 32-byte path *)
+  (match
+     Net.Wire.encode_response ~id:0L
+       (Net.Wire.Repl_op { epoch = 0; key = "short"; value = None })
+   with
+  | _ -> Alcotest.fail "short key accepted"
+  | exception Invalid_argument _ -> ());
+  (* a checkpoint reply claiming 2^31-ish files is rejected before any
+     allocation proportional to the claim *)
+  let b = Buffer.create 32 in
+  Buffer.add_string b "FV";
+  Buffer.add_char b (Char.chr Net.Wire.version);
+  Buffer.add_char b '\x8a' (* Checkpoint_reply *);
+  Buffer.add_string b (String.make 8 '\x00') (* id *);
+  Buffer.add_string b "\x00\x00\x00\x00" (* generation *);
+  Buffer.add_string b "\xff\xff\xff\x7f" (* file count *);
+  let t0 = Unix.gettimeofday () in
+  (match Net.Wire.decode_response (Buffer.contents b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "file-count bomb accepted");
+  if Unix.gettimeofday () -. t0 > 0.5 then
+    Alcotest.fail "file-count bomb took too long"
+
+(* QCheck: hostile bytes under the replication tags never raise and never
+   decode to a malformed value (keys always come back 32 bytes wide). *)
+let prop_repl_op_hostile =
+  QCheck.Test.make ~name:"hostile Repl_op/Repl_epoch bytes are total"
+    ~count:1000
+    QCheck.(pair (oneofl [ '\x8b'; '\x8c'; '\x89'; '\x8a' ])
+              (string_of_size QCheck.Gen.(0 -- 200)))
+    (fun (tag, junk) ->
+      let b = Buffer.create 64 in
+      Buffer.add_string b "FV";
+      Buffer.add_char b (Char.chr Net.Wire.version);
+      Buffer.add_char b tag;
+      Buffer.add_string b (String.make 8 '\x00');
+      Buffer.add_string b junk;
+      match Net.Wire.decode_response (Buffer.contents b) with
+      | Error _ -> true
+      | Ok (_, Net.Wire.Repl_op { key; _ }) -> String.length key = 32
+      | Ok _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Primary + follower, end to end                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mk_primary ?(pconfig = Replica.Primary.default_config) ?(n = 256) () =
+  let t = mk_system ~n () in
+  let path = fresh_sock () in
+  match Replica.Primary.create ~config:pconfig t ~listen:(Net.Addr.Unix_sock path) with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      Replica.Primary.start p;
+      (t, p, Net.Addr.Unix_sock path)
+
+let mk_follower ?(n = 256) ?listen primary =
+  let dir = fresh_dir () in
+  match
+    Replica.Follower.create ~config:test_config
+      ~load:(fun sys -> Fastver.load sys (records n))
+      ~primary ?listen ~dir ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok f ->
+      Replica.Follower.start f;
+      (f, dir)
+
+let caught_up t f () =
+  Replica.Follower.verified_epoch f >= Fastver.verified_epoch t
+
+let test_follower_replays_and_serves () =
+  let t, p, addr = mk_primary () in
+  (* two sealed epochs before the follower exists (replayed from the
+     retained log), including a delete *)
+  Fastver.put t 5L "epoch0";
+  Fastver.delete_key t (Key.of_int64 7L);
+  ignore (Fastver.verify t);
+  Fastver.put t 5L "epoch1";
+  Fastver.put t 9L "nine";
+  ignore (Fastver.verify t);
+  let lsock = fresh_sock () in
+  let f, fdir = mk_follower ~listen:(Net.Addr.Unix_sock lsock) addr in
+  wait_for "replay catch-up" (caught_up t f);
+  (* live streaming after the subscription *)
+  Fastver.put t 5L "epoch2";
+  ignore (Fastver.verify t);
+  wait_for "live catch-up" (caught_up t f);
+  let ft = Replica.Follower.system f in
+  Alcotest.(check (option string)) "replayed put" (Some "epoch2")
+    (Fastver.get ft 5L);
+  Alcotest.(check (option string)) "replayed delete" None (Fastver.get ft 7L);
+  Alcotest.(check (option string)) "untouched key" (Some (initial_value 3L))
+    (Fastver.get ft 3L);
+  (* reads through the ordinary network path, receipt MACs checked by the
+     unchanged client *)
+  (match Net.Client.connect (Net.Addr.Unix_sock lsock) with
+  | Error e -> Alcotest.fail e
+  | Ok conn ->
+      let s = Net.Client.open_session conn ~client:1 ~secret in
+      Alcotest.(check (option string)) "verified read via follower"
+        (Some "epoch2") (Net.Client.get s 5L);
+      Alcotest.(check (option string)) "verified read of delete" None
+        (Net.Client.get s 7L);
+      (* a put must be refused: followers are read-only *)
+      (match Net.Client.put s 3L "nope" with
+      | () -> Alcotest.fail "follower accepted a put"
+      | exception Net.Client.Server_error e ->
+          Alcotest.(check bool) "put refusal names the primary" true
+            (find_sub e "primary"));
+      Net.Client.close conn);
+  (* metrics: both ends expose the replication families *)
+  let pm = Fastver_obs.Registry.to_json (Fastver.registry t) in
+  let fm = Fastver_obs.Registry.to_json (Fastver.registry ft) in
+  List.iter
+    (fun (json, name) ->
+      Alcotest.(check bool) (name ^ " present") true (find_sub json name))
+    [
+      (pm, "fastver_repl_ops_streamed_total");
+      (pm, "fastver_repl_epochs_streamed_total");
+      (pm, "fastver_repl_followers");
+      (fm, "fastver_repl_ops_applied_total");
+      (fm, "fastver_repl_certs_verified_total");
+      (fm, "fastver_repl_lag_epochs");
+      (fm, "fastver_repl_follower_reads_total");
+    ];
+  Alcotest.(check int) "applied ops counted" 5
+    (Replica.Follower.applied_ops f);
+  Replica.Follower.stop f;
+  Replica.Primary.stop p;
+  remove_tree fdir
+
+let test_follower_survives_primary_death () =
+  let t, p, addr = mk_primary () in
+  Fastver.put t 11L "alive";
+  ignore (Fastver.verify t);
+  let lsock = fresh_sock () in
+  let f, fdir = mk_follower ~listen:(Net.Addr.Unix_sock lsock) addr in
+  wait_for "catch-up" (caught_up t f);
+  (* the primary dies mid-stream; the follower must keep serving verified
+     reads and settle into its reconnect loop, never an exception *)
+  Replica.Primary.stop p;
+  wait_for "disconnect noticed" (fun () ->
+      Replica.Follower.state f = Replica.Follower.Disconnected);
+  (match Net.Client.connect (Net.Addr.Unix_sock lsock) with
+  | Error e -> Alcotest.fail e
+  | Ok conn ->
+      let s = Net.Client.open_session conn ~client:1 ~secret in
+      Alcotest.(check (option string)) "read survives primary death"
+        (Some "alive") (Net.Client.get s 11L);
+      Net.Client.close conn);
+  Alcotest.(check bool) "no integrity failure recorded" true
+    (Replica.Follower.failure f = None);
+  (* the primary comes back (same store, same address): the follower
+     re-subscribes from its verified epoch and resumes *)
+  (match Replica.Primary.create t ~listen:addr with
+  | Error e -> Alcotest.fail e
+  | Ok p2 ->
+      Replica.Primary.start p2;
+      Fastver.put t 11L "back";
+      ignore (Fastver.verify t);
+      wait_for "resumed streaming" (caught_up t f);
+      Alcotest.(check (option string)) "post-restart put replicated"
+        (Some "back")
+        (Fastver.get (Replica.Follower.system f) 11L);
+      Replica.Primary.stop p2);
+  Replica.Follower.stop f;
+  remove_tree fdir
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint catch-up                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_checkpoint_bootstrap () =
+  let ckpt = fresh_dir () in
+  let t = mk_system ~n:64 () in
+  Fastver.set_auto_checkpoint t ~dir:ckpt;
+  Fastver.put t 3L "before";
+  ignore (Fastver.verify t);
+  Fastver.put t 4L "also before";
+  ignore (Fastver.verify t);
+  (* the primary starts with sealed history: its retained stream begins at
+     the current epoch, so a from-zero subscriber must fetch a checkpoint *)
+  let path = fresh_sock () in
+  let pcfg =
+    { Replica.Primary.default_config with checkpoint_dir = Some ckpt }
+  in
+  (match Replica.Primary.create ~config:pcfg t ~listen:(Net.Addr.Unix_sock path) with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      Replica.Primary.start p;
+      let fdir = fresh_dir () in
+      (match
+         Replica.Follower.create ~config:test_config
+           ~load:(fun _ -> Alcotest.fail "fresh-load path taken")
+           ~primary:(Net.Addr.Unix_sock path) ~dir:fdir ()
+       with
+      | Error e -> Alcotest.fail e
+      | Ok f ->
+          Alcotest.(check bool) "recovered a verified epoch" true
+            (Replica.Follower.verified_epoch f >= 0);
+          Replica.Follower.start f;
+          Fastver.put t 5L "after";
+          ignore (Fastver.verify t);
+          wait_for "tail after bootstrap" (caught_up t f);
+          let ft = Replica.Follower.system f in
+          Alcotest.(check (option string)) "checkpointed put" (Some "before")
+            (Fastver.get ft 3L);
+          Alcotest.(check (option string)) "streamed put" (Some "after")
+            (Fastver.get ft 5L);
+          Replica.Follower.stop f;
+          remove_tree fdir);
+      Replica.Primary.stop p);
+  remove_tree ckpt
+
+(* ------------------------------------------------------------------ *)
+(* Tampering with the stream                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A frame-aware person-in-the-middle on the replication stream: requests
+   pass verbatim; [tamper] may rewrite one primary->follower payload. *)
+let start_proxy ~listen_path ~server_addr ~tamper =
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX listen_path);
+  Unix.listen lfd 1;
+  Domain.spawn (fun () ->
+      let cfd, _ = Unix.accept lfd in
+      let sfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (match Net.Addr.to_sockaddr server_addr with
+      | Ok a -> Unix.connect sfd a
+      | Error e -> failwith e);
+      let reader = Net.Frame.create () in
+      let buf = Bytes.create 4096 in
+      let tampered = ref false in
+      let prefix len =
+        let b = Bytes.create 4 in
+        Bytes.set_int32_le b 0 (Int32.of_int len);
+        Bytes.to_string b
+      in
+      let forward payload =
+        let payload =
+          if !tampered then payload
+          else
+            match tamper payload with
+            | Some p ->
+                tampered := true;
+                p
+            | None -> payload
+        in
+        Net.Sockio.send_all cfd (prefix (String.length payload) ^ payload)
+      in
+      (try
+         let running = ref true in
+         while !running do
+           let rs, _, _ = Unix.select [ cfd; sfd ] [] [] 10.0 in
+           if rs = [] then running := false;
+           List.iter
+             (fun fd ->
+               let n = Unix.read fd buf 0 (Bytes.length buf) in
+               if n = 0 then running := false
+               else if fd == cfd then
+                 Net.Sockio.send_all sfd (Bytes.sub_string buf 0 n)
+               else begin
+                 Net.Frame.feed reader buf 0 n;
+                 let rec drain () =
+                   match Net.Frame.next reader with
+                   | Ok (Some payload) ->
+                       forward payload;
+                       drain ()
+                   | Ok None -> ()
+                   | Error _ -> running := false
+                 in
+                 drain ()
+               end)
+             rs
+         done
+       with Unix.Unix_error _ | Failure _ -> ());
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ cfd; sfd; lfd ])
+
+let flip_byte tag index payload =
+  if String.length payload <= Net.Wire.header_len
+     || Char.code payload.[3] <> tag
+  then None
+  else begin
+    let b = Bytes.of_string payload in
+    let i = if index < 0 then Bytes.length b + index else index in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+    Some (Bytes.to_string b)
+  end
+
+let halted_with_evidence ~what ~tamper =
+  let t, p, addr = mk_primary () in
+  Fastver.put t 5L "target";
+  Fastver.put t 6L "decoy";
+  ignore (Fastver.verify t);
+  let proxy_path = fresh_sock () in
+  let proxy = start_proxy ~listen_path:proxy_path ~server_addr:addr ~tamper in
+  let fdir = fresh_dir () in
+  (match
+     Replica.Follower.create ~config:test_config
+       ~load:(fun sys -> Fastver.load sys (records 256))
+       ~primary:(Net.Addr.Unix_sock proxy_path) ~dir:fdir ()
+   with
+  | Error e -> Alcotest.fail e
+  | Ok f ->
+      Replica.Follower.start f;
+      wait_for "halt" (fun () ->
+          Replica.Follower.state f = Replica.Follower.Halted);
+      (match Replica.Follower.failure f with
+      | Some (epoch, reason) ->
+          Alcotest.(check int) (what ^ ": halting epoch preserved") 0 epoch;
+          Alcotest.(check bool) (what ^ ": reason names the epoch") true
+            (find_sub reason "epoch 0" || find_sub reason "0 cert")
+      | None -> Alcotest.fail (what ^ ": no failure evidence"));
+      (* nothing tampered was applied: the follower still holds only the
+         trusted initial load *)
+      Alcotest.(check (option string)) (what ^ ": tampered op not served")
+        (Some (initial_value 5L))
+        (Fastver.get (Replica.Follower.system f) 5L);
+      Replica.Follower.stop f);
+  Replica.Primary.stop p;
+  Domain.join proxy;
+  remove_tree fdir;
+  try Sys.remove proxy_path with Sys_error _ -> ()
+
+(* Flip one bit of the first streamed op's value: the boundary stream MAC
+   no longer matches the follower's digest. *)
+let test_flipped_op_halts () =
+  halted_with_evidence ~what:"flipped op" ~tamper:(flip_byte 0x8b (-1))
+
+(* Flip one bit of the epoch certificate inside the boundary record: the
+   stream digest still matches, but the certificate chain rejects it. *)
+let test_flipped_cert_halts () =
+  let cert_off = Net.Wire.header_len + 4 + 2 (* epoch + u16 len *) in
+  halted_with_evidence ~what:"flipped cert" ~tamper:(flip_byte 0x8c cert_off)
+
+(* ------------------------------------------------------------------ *)
+(* Stream teardown totality                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A byte-truncating proxy: forwards the first [limit] primary->follower
+   bytes — enough for the Subscribed ack, then mid-frame — and drops the
+   connection. The follower must land in its reconnect loop, never an
+   exception and never a halt. *)
+let start_truncating_proxy ~listen_path ~server_addr ~limit =
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX listen_path);
+  Unix.listen lfd 1;
+  Domain.spawn (fun () ->
+      let cfd, _ = Unix.accept lfd in
+      let sfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (match Net.Addr.to_sockaddr server_addr with
+      | Ok a -> Unix.connect sfd a
+      | Error e -> failwith e);
+      let buf = Bytes.create 4096 in
+      let sent = ref 0 in
+      (try
+         let running = ref true in
+         while !running do
+           let rs, _, _ = Unix.select [ cfd; sfd ] [] [] 10.0 in
+           if rs = [] then running := false;
+           List.iter
+             (fun fd ->
+               let n = Unix.read fd buf 0 (Bytes.length buf) in
+               if n = 0 then running := false
+               else if fd == cfd then
+                 Net.Sockio.send_all sfd (Bytes.sub_string buf 0 n)
+               else begin
+                 let keep = min n (limit - !sent) in
+                 if keep > 0 then begin
+                   Net.Sockio.send_all cfd (Bytes.sub_string buf 0 keep);
+                   sent := !sent + keep
+                 end;
+                 if !sent >= limit then running := false
+               end)
+             rs
+         done
+       with Unix.Unix_error _ | Failure _ -> ());
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ cfd; sfd; lfd ])
+
+let test_truncated_stream_reconnects () =
+  let t, p, addr = mk_primary () in
+  Fastver.put t 2L "x";
+  ignore (Fastver.verify t);
+  let proxy_path = fresh_sock () in
+  (* 28 bytes of Subscribed ack + 12 bytes into the replayed first frame *)
+  let proxy =
+    start_truncating_proxy ~listen_path:proxy_path ~server_addr:addr ~limit:40
+  in
+  let fdir = fresh_dir () in
+  (match
+     Replica.Follower.create ~config:test_config
+       ~load:(fun sys -> Fastver.load sys (records 256))
+       ~primary:(Net.Addr.Unix_sock proxy_path) ~dir:fdir ()
+   with
+  | Error e -> Alcotest.fail e
+  | Ok f ->
+      Replica.Follower.start f;
+      wait_for "clean disconnect" (fun () ->
+          Replica.Follower.state f = Replica.Follower.Disconnected);
+      Alcotest.(check bool) "mid-frame cut is not an integrity failure" true
+        (Replica.Follower.failure f = None);
+      (* no partial epoch leaked into the store *)
+      Alcotest.(check (option string)) "partial frame not applied"
+        (Some (initial_value 2L))
+        (Fastver.get (Replica.Follower.system f) 2L);
+      Replica.Follower.stop f);
+  Replica.Primary.stop p;
+  Domain.join proxy;
+  remove_tree fdir;
+  try Sys.remove proxy_path with Sys_error _ -> ()
+
+(* The primary side of the same property: a subscriber that sends garbage
+   gets a clean Error frame and a closed connection, and the listener keeps
+   serving well-formed subscribers afterwards. *)
+let test_primary_survives_garbage () =
+  let t, p, addr = mk_primary () in
+  Fastver.put t 1L "v";
+  ignore (Fastver.verify t);
+  (match Net.Addr.to_sockaddr addr with
+  | Error e -> Alcotest.fail e
+  | Ok sa ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd sa;
+      (* an insane length prefix: the frame layer rejects it outright *)
+      Net.Sockio.send_all fd "\xff\xff\xff\xffgarbage";
+      let buf = Bytes.create 4096 in
+      let got = Buffer.create 64 in
+      (try
+         let rec drain () =
+           let n = Unix.read fd buf 0 (Bytes.length buf) in
+           if n > 0 then begin
+             Buffer.add_subbytes got buf 0 n;
+             drain ()
+           end
+         in
+         drain ()
+       with Unix.Unix_error _ -> ());
+      Unix.close fd;
+      Alcotest.(check bool) "error frame before close" true
+        (find_sub (Buffer.contents got) "malformed"));
+  (* the loop survived: a well-formed follower still gets served *)
+  let f, fdir = mk_follower addr in
+  wait_for "subscriber after garbage" (caught_up t f);
+  Replica.Follower.stop f;
+  Replica.Primary.stop p;
+  remove_tree fdir
+
+(* ------------------------------------------------------------------ *)
+(* Client stale-epoch detection                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A fake server holding the shared secret (receipts authenticate!) that
+   certifies the store at [cert_epoch] but serves correctly-signed read
+   receipts from OLDER epochs — the replay a stale or rolled-back replica
+   would produce. Only the session's staleness check against its certified
+   anchor can catch it. *)
+let start_stale_server ~listen_path ~cert_epoch ~epochs =
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX listen_path);
+  Unix.listen lfd 1;
+  Domain.spawn (fun () ->
+      let cfd, _ = Unix.accept lfd in
+      let reader = Net.Frame.create () in
+      let buf = Bytes.create 4096 in
+      let remaining = ref epochs in
+      let client = ref 0 in
+      (try
+         let running = ref true in
+         while !running do
+           let n = Unix.read cfd buf 0 (Bytes.length buf) in
+           if n = 0 then running := false
+           else begin
+             Net.Frame.feed reader buf 0 n;
+             let rec drain () =
+               match Net.Frame.next reader with
+               | Ok (Some payload) ->
+                   (match Net.Wire.decode_request payload with
+                   | Ok (id, Net.Wire.Open_session { client = c }) ->
+                       client := c;
+                       Net.Sockio.send_all cfd
+                         (Net.Wire.encode_response ~id
+                            (Net.Wire.Session_opened { client = c }))
+                   | Ok (id, Net.Wire.Get { key; nonce }) ->
+                       let epoch =
+                         match !remaining with
+                         | e :: rest ->
+                             remaining := rest;
+                             e
+                         | [] -> 0
+                       in
+                       let value = Some "v" in
+                       let mac =
+                         Fastver.Auth.receipt auth_key ~kind:Fastver.Auth.Get
+                           ~client:!client ~nonce (Key.of_int64 key) value
+                           ~epoch
+                       in
+                       Net.Sockio.send_all cfd
+                         (Net.Wire.encode_response ~id
+                            (Net.Wire.Got
+                               { nonce; item = { key; value; epoch; mac } }))
+                   | Ok (id, Net.Wire.Verify) ->
+                       let cert =
+                         Fastver_crypto.Hmac.mac ~key:secret
+                           (Verifier.epoch_certificate_message
+                              ~epoch:cert_epoch)
+                       in
+                       Net.Sockio.send_all cfd
+                         (Net.Wire.encode_response ~id
+                            (Net.Wire.Verified { epoch = cert_epoch; cert }))
+                   | Ok (id, Net.Wire.Close_session) ->
+                       Net.Sockio.send_all cfd
+                         (Net.Wire.encode_response ~id Net.Wire.Session_closed);
+                       running := false
+                   | Ok _ | Error _ -> running := false);
+                   drain ()
+               | Ok None -> ()
+               | Error _ -> running := false
+             in
+             drain ()
+           end
+         done
+       with Unix.Unix_error _ -> ());
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ cfd; lfd ])
+
+let test_client_stale_epoch () =
+  let path = fresh_sock () in
+  let srv = start_stale_server ~listen_path:path ~cert_epoch:5 ~epochs:[ 4; 3 ] in
+  (match Net.Client.connect (Net.Addr.Unix_sock path) with
+  | Error e -> Alcotest.fail e
+  | Ok conn ->
+      let s = Net.Client.open_session conn ~client:4 ~secret in
+      (* anchor the session: the server certifies the store at epoch 5 *)
+      let epoch, _cert = Net.Client.verify_now s in
+      Alcotest.(check int) "anchor epoch" 5 epoch;
+      Alcotest.(check int) "session epoch" 5 (Net.Client.session_epoch s);
+      (* a receipt one epoch behind the anchor is a read racing the scan *)
+      Alcotest.(check (option string)) "epoch 4 within default slack"
+        (Some "v") (Net.Client.get s 1L);
+      (* the next receipt authenticates but comes from epoch 3, two behind
+         the certified anchor: authentic-but-old state *)
+      (match Net.Client.get s 2L with
+      | _ -> Alcotest.fail "stale-epoch receipt accepted"
+      | exception Fastver.Integrity_violation reason ->
+          Alcotest.(check bool) "reason names staleness" true
+            (find_sub reason "stale"));
+      Net.Client.close conn);
+  Domain.join srv;
+  try Sys.remove path with Sys_error _ -> ()
+
+let test_client_staleness_budget () =
+  let path = fresh_sock () in
+  let srv = start_stale_server ~listen_path:path ~cert_epoch:5 ~epochs:[ 3; 2 ] in
+  (match Net.Client.connect (Net.Addr.Unix_sock path) with
+  | Error e -> Alcotest.fail e
+  | Ok conn ->
+      (* an explicit staleness budget tolerates a bounded lag... *)
+      let s = Net.Client.open_session conn ~client:4 ~secret ~max_staleness:2 in
+      ignore (Net.Client.verify_now s);
+      Alcotest.(check (option string)) "epoch 3 within budget" (Some "v")
+        (Net.Client.get s 1L);
+      (* ...but not beyond it *)
+      (match Net.Client.get s 2L with
+      | _ -> Alcotest.fail "epoch 2 exceeds the staleness budget"
+      | exception Fastver.Integrity_violation _ -> ());
+      Net.Client.close conn);
+  Domain.join srv;
+  try Sys.remove path with Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  ( "replica",
+    [
+      Alcotest.test_case "stream digest" `Quick test_stream_digest;
+      Alcotest.test_case "certificate chain" `Quick test_cert_chain;
+      Alcotest.test_case "replication wire opcodes" `Quick
+        test_wire_repl_opcodes;
+      QCheck_alcotest.to_alcotest prop_repl_op_hostile;
+      Alcotest.test_case "follower replays and serves" `Quick
+        test_follower_replays_and_serves;
+      Alcotest.test_case "follower survives primary death" `Quick
+        test_follower_survives_primary_death;
+      Alcotest.test_case "checkpoint bootstrap" `Quick
+        test_checkpoint_bootstrap;
+      Alcotest.test_case "flipped op halts follower" `Quick
+        test_flipped_op_halts;
+      Alcotest.test_case "flipped cert halts follower" `Quick
+        test_flipped_cert_halts;
+      Alcotest.test_case "truncated stream reconnects" `Quick
+        test_truncated_stream_reconnects;
+      Alcotest.test_case "primary survives garbage" `Quick
+        test_primary_survives_garbage;
+      Alcotest.test_case "client stale-epoch detection" `Quick
+        test_client_stale_epoch;
+      Alcotest.test_case "client staleness budget" `Quick
+        test_client_staleness_budget;
+    ] )

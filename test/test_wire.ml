@@ -33,6 +33,8 @@ let gen_request =
         return Wire.Verify;
         return Wire.Stats;
         map (fun format -> Wire.Metrics { format }) gen_metrics_format;
+        map (fun from_epoch -> Wire.Subscribe { from_epoch }) (0 -- 1_000_000);
+        return Wire.Fetch_checkpoint;
       ])
 
 let gen_item =
@@ -76,6 +78,23 @@ let gen_response =
           gen_metrics_format
           (string_size (0 -- 400));
         map (fun e -> Wire.Error e) (string_size (0 -- 80));
+        map2
+          (fun from_epoch run_id -> Wire.Subscribed { from_epoch; run_id })
+          (0 -- 1_000_000) gen_i64;
+        map2
+          (fun generation files ->
+            Wire.Checkpoint_reply { generation; files = Array.of_list files })
+          (0 -- 1_000_000)
+          (list_size (0 -- 6)
+             (pair (string_size (0 -- 24)) (string_size (0 -- 120))));
+        map3
+          (* the encoder requires the raw 32-byte data-key path *)
+          (fun epoch key value -> Wire.Repl_op { epoch; key; value })
+          (0 -- 1_000_000) (string_size (32 -- 32)) gen_value;
+        map3
+          (fun epoch cert stream_mac ->
+            Wire.Repl_epoch { epoch; cert; stream_mac })
+          (0 -- 1_000_000) gen_mac gen_mac;
       ])
 
 let arb_request =
