@@ -203,7 +203,7 @@ let parse_addr s =
 
 let serve_cmd listen db_size workers shards batch depth cache algo
     enclave_model no_auth seed batch_limit ckpt_dir background_verify
-    metrics_interval cold_dir cold_threshold repl_listen =
+    metrics_interval cold_dir cold_threshold repl_listen adaptive =
   if db_size < 1 then die "--db-size must be at least 1";
   if workers < 1 then die "--workers must be at least 1";
   if shards < 0 then die "--shards must be non-negative";
@@ -212,7 +212,12 @@ let serve_cmd listen db_size workers shards batch depth cache algo
   let config =
     {
       (mk_config workers batch depth cache algo enclave_model no_auth seed)
-      with n_shards = shards; background_verify; cold_dir; cold_threshold;
+      with
+      n_shards = shards;
+      background_verify;
+      cold_dir;
+      cold_threshold;
+      adaptive;
     }
   in
   let t =
@@ -494,6 +499,11 @@ let stats_cmd connect format check =
               ("net batches", "fastver_net_batches_total");
               ("net protocol errors", "fastver_net_proto_errors_total");
               ("net op failures", "fastver_net_op_failures_total");
+              ("adaptive retunes", "fastver_adaptive_retunes_total");
+              ("adaptive promotions", "fastver_adaptive_promotions_total");
+              ("adaptive demotions", "fastver_adaptive_demotions_total");
+              ("adaptive cache bytes", "fastver_adaptive_cache_bytes");
+              ("repl frames streamed", "fastver_repl_frames_total");
             ];
           let lat field disp =
             row disp
@@ -699,6 +709,14 @@ let repl_listen =
          ~doc:"Also serve the replication stream (op records + epoch \
                certificates) to followers on this address.")
 
+let adaptive_flag =
+  Arg.(value & flag & info [ "adaptive" ]
+         ~doc:"Enable the adaptive verification hierarchy: at every epoch \
+               boundary a controller retunes the hot/cold tier split, \
+               per-shard verifier cache capacities, and the Merkle frontier \
+               depth from live observability data. Certificates are \
+               bit-identical to a static run over the same operations.")
+
 let follow_primary =
   Arg.(required & opt (some string) None & info [ "primary" ] ~docv:"ADDR"
          ~doc:"The primary's replication listener (its \
@@ -726,7 +744,7 @@ let serve_term =
     $ setup_logs $ listen $ db_size $ workers $ shards $ batch $ depth $ cache
     $ algo $ enclave_model $ no_auth $ seed $ batch_limit $ ckpt_dir
     $ background_verify $ metrics_interval $ cold_dir $ cold_threshold
-    $ repl_listen)
+    $ repl_listen $ adaptive_flag)
 
 let follow_term =
   Term.(
@@ -893,7 +911,23 @@ let parse_archive f =
     in
     scan 0
 
-let bench_diff_cmd results_dir figures threshold =
+(* --ci: instead of a fixed tolerance against the single previous run,
+   derive each metric's band from the spread of up to [ci_window] prior
+   archives — two run-to-run standard deviations around their mean, floored
+   at --threshold (or 5%). A metric seen in fewer than two prior runs falls
+   back to the fixed-tolerance comparison. *)
+let ci_window = 8
+
+let mean_sd vals =
+  let k = float_of_int (List.length vals) in
+  let mean = List.fold_left ( +. ) 0.0 vals /. k in
+  let var =
+    List.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 vals
+    /. Float.max 1.0 (k -. 1.0)
+  in
+  (mean, sqrt var)
+
+let bench_diff_cmd results_dir figures threshold ci =
   if not (Sys.file_exists results_dir && Sys.is_directory results_dir) then
     die "no archived benchmark runs in %s — run the bench harness first"
       results_dir;
@@ -926,7 +960,7 @@ let bench_diff_cmd results_dir figures threshold =
           match
             List.rev (List.sort compare files) |> List.map (fun (_, _, f) -> f)
           with
-          | newest :: prev :: _ ->
+          | newest :: (prev :: _ as priors) ->
               let tol =
                 match threshold with
                 | Some t -> t
@@ -934,12 +968,46 @@ let bench_diff_cmd results_dir figures threshold =
               in
               let base = archive_metrics (Filename.concat results_dir prev) in
               let cur = archive_metrics (Filename.concat results_dir newest) in
-              Printf.printf "%-12s %s vs %s (tolerance %.0f%%)\n" fig newest
-                prev (100.0 *. tol);
+              let samples =
+                if ci then
+                  List.filteri (fun i _ -> i < ci_window) priors
+                  |> List.map (fun f ->
+                         archive_metrics (Filename.concat results_dir f))
+                else []
+              in
+              let ci_floor = Option.value ~default:0.05 threshold in
+              if ci then
+                Printf.printf
+                  "%-12s %s vs mean of %d prior run(s) (ci: ±2 sd, floor \
+                   %.0f%%)\n"
+                  fig newest (List.length samples) (100.0 *. ci_floor)
+              else
+                Printf.printf "%-12s %s vs %s (tolerance %.0f%%)\n" fig newest
+                  prev (100.0 *. tol);
               List.iter
                 (fun (key, v) ->
-                  match (List.assoc_opt key base, metric_direction key) with
-                  | Some b, Some dir when b <> 0.0 ->
+                  let band =
+                    (* (baseline, tolerance, annotation) for this metric *)
+                    match List.filter_map (List.assoc_opt key) samples with
+                    | _ :: _ :: _ as vals ->
+                        let mean, sd = mean_sd vals in
+                        if mean = 0.0 then None
+                        else
+                          let tol =
+                            Float.max ci_floor (2.0 *. (sd /. Float.abs mean))
+                          in
+                          Some
+                            ( mean,
+                              tol,
+                              Printf.sprintf "  (±%.1f%% over %d runs)"
+                                (100.0 *. tol) (List.length vals) )
+                    | _ -> (
+                        match List.assoc_opt key base with
+                        | Some b when b <> 0.0 -> Some (b, tol, "")
+                        | _ -> None)
+                  in
+                  match (band, metric_direction key) with
+                  | Some (b, tol, note), Some dir ->
                       let ratio = v /. b in
                       let regressed =
                         match dir with
@@ -947,9 +1015,10 @@ let bench_diff_cmd results_dir figures threshold =
                         | `Lower -> ratio > 1.0 +. tol
                       in
                       if regressed then incr regressions;
-                      Printf.printf "  %-28s %12.4g -> %12.4g  %+6.1f%%%s\n"
+                      Printf.printf "  %-28s %12.4g -> %12.4g  %+6.1f%%%s%s\n"
                         key b v
                         (100.0 *. (ratio -. 1.0))
+                        note
                         (if regressed then "  REGRESSION" else "")
                   | _ -> ())
                 (List.sort compare cur)
@@ -958,6 +1027,91 @@ let bench_diff_cmd results_dir figures threshold =
   if !regressions > 0 then
     die "%d metric(s) regressed beyond tolerance" !regressions
   else Logs.app (fun m -> m "no regressions beyond tolerance")
+
+(* ------------------------------------------------------------------ *)
+(* bench history: a figure's performance trajectory over archived runs *)
+(* ------------------------------------------------------------------ *)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Archive headers render as ["key": "value"] — pull the string value. *)
+let string_field json key =
+  match find_sub json (Printf.sprintf "\"%s\": \"" key) with
+  | None -> None
+  | Some i -> (
+      match String.index_from_opt json i '"' with
+      | None -> None
+      | Some j -> Some (String.sub json i (j - i)))
+
+let bench_history_cmd results_dir fig last as_json =
+  if not (Sys.file_exists results_dir && Sys.is_directory results_dir) then
+    die "no archived benchmark runs in %s — run the bench harness first"
+      results_dir;
+  let runs =
+    Sys.readdir results_dir |> Array.to_list
+    |> List.filter_map (fun f ->
+           match parse_archive f with
+           | Some (g, stamp, seq) when g = fig -> Some (stamp, seq, f)
+           | _ -> None)
+    |> List.sort compare
+  in
+  let runs =
+    let n = List.length runs in
+    if last > 0 && n > last then List.filteri (fun i _ -> i >= n - last) runs
+    else runs
+  in
+  if runs = [] then die "no archived runs for figure %s in %s" fig results_dir;
+  let entries =
+    List.map
+      (fun (stamp, _, f) ->
+        let path = Filename.concat results_dir f in
+        let header = read_all path in
+        ( stamp,
+          Option.value ~default:"unknown" (string_field header "git_rev"),
+          Option.value ~default:"?" (string_field header "scale"),
+          List.sort compare (archive_metrics path) ))
+      runs
+  in
+  if as_json then begin
+    let n = List.length entries in
+    print_string "[\n";
+    List.iteri
+      (fun i (stamp, rev, scale, metrics) ->
+        Printf.printf
+          "  {\"stamp\": \"%s\", \"git_rev\": \"%s\", \"scale\": \"%s\", \
+           \"metrics\": {"
+          stamp rev scale;
+        List.iteri
+          (fun j (k, v) ->
+            Printf.printf "%s\"%s\": %.6g" (if j = 0 then "" else ", ") k v)
+          metrics;
+        Printf.printf "}}%s\n" (if i = n - 1 then "" else ","))
+      entries;
+    print_string "]\n"
+  end
+  else begin
+    Printf.printf "%s: %d archived run(s), oldest first\n" fig
+      (List.length entries);
+    let prev = ref [] in
+    List.iter
+      (fun (stamp, rev, scale, metrics) ->
+        Printf.printf "%s  %-10s %-6s" stamp rev scale;
+        List.iter
+          (fun (k, v) ->
+            match List.assoc_opt k !prev with
+            | Some p when p <> 0.0 ->
+                Printf.printf "  %s=%.4g (%+.1f%%)" k v
+                  (100.0 *. ((v /. p) -. 1.0))
+            | _ -> Printf.printf "  %s=%.4g" k v)
+          metrics;
+        print_newline ();
+        prev := metrics)
+      entries
+  end
 
 let results_dir =
   Arg.(value & opt string (Filename.concat "bench" "results")
@@ -974,10 +1128,35 @@ let diff_threshold =
          ~doc:"Override the per-figure tolerance (fraction, e.g. 0.1 = \
                10%). Defaults: 0.10 for wirealloc, 0.30 elsewhere.")
 
+let diff_ci =
+  Arg.(value & flag & info [ "ci" ]
+         ~doc:"Derive each metric's tolerance from the spread of up to 8 \
+               prior archived runs (two run-to-run standard deviations \
+               around their mean, floored at --threshold or 5%) instead of \
+               the fixed per-figure default. Metrics with fewer than two \
+               prior samples fall back to the fixed comparison.")
+
 let bench_diff_term =
   Term.(
     const (fun () -> bench_diff_cmd)
-    $ setup_logs $ results_dir $ diff_figures $ diff_threshold)
+    $ setup_logs $ results_dir $ diff_figures $ diff_threshold $ diff_ci)
+
+let history_fig =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FIG"
+         ~doc:"The figure whose archived runs to list (e.g. fig12, adaptive).")
+
+let history_last =
+  Arg.(value & opt int 0 & info [ "last" ] ~docv:"N"
+         ~doc:"Only show the newest N runs (0 = all).")
+
+let history_json =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the trajectory as a JSON array instead of a table.")
+
+let bench_history_term =
+  Term.(
+    const (fun () -> bench_history_cmd)
+    $ setup_logs $ results_dir $ history_fig $ history_last $ history_json)
 
 let bench_cmd_group =
   Cmd.group
@@ -991,6 +1170,13 @@ let bench_cmd_group =
                  previous one and fail on metric regressions beyond a \
                  per-figure tolerance")
         bench_diff_term;
+      Cmd.v
+        (Cmd.info "history"
+           ~doc:"Show a figure's performance trajectory across every \
+                 archived run: timestamp, git revision, scale, and the mean \
+                 of each direction-carrying metric, with run-over-run \
+                 deltas")
+        bench_history_term;
     ]
 
 let cmds =

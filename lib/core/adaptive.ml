@@ -1,0 +1,132 @@
+(* Online controller for the verification hierarchy.
+
+   Runs at every epoch seal (under the world lock, between epochs) and turns
+   the live obs picture — per-tier op counts plus a per-key-range heat
+   sketch — into a per-shard plan: how much verifier cache each shard gets
+   from the global budget, how deep its blum frontier cut should sit, and
+   which deferred keys are hot enough to carry on the blum fast path instead
+   of migrating back to merkle protection.
+
+   The controller is a pure function of its observation snapshot: no clocks,
+   no randomness, no hidden state. Determinism is what makes the decisions
+   testable and keeps certificates reproducible — the same workload trace
+   yields the same tier assignment, and the certificate depends only on the
+   epoch number either way. *)
+
+(* Heat sketch geometry: key heat is folded into [buckets] counters by
+   [bucket]. Coarse on purpose — the executors bump one array cell per op
+   under the worker lock they already hold, so the sketch costs one add on
+   the hot path and 2 KiB per shard. *)
+let buckets = 256
+let bucket key = Key.hash key land (buckets - 1)
+
+type params = {
+  cache_budget : int;  (* total verifier-cache entries across all shards *)
+  depth_min : int;
+  depth_max : int;
+  hot_fraction : float;  (* share of a shard's cache spendable on carries *)
+  min_cache : int;  (* per-shard capacity floor *)
+}
+
+type shard_obs = {
+  blum_ops : int;
+  merkle_ops : int;
+  cached_ops : int;
+  frontier_size : int;
+  cache_len : int;
+  cache_cap : int;
+  depth : int;
+  heat : int array;  (* length [buckets] *)
+}
+
+type plan = {
+  p_cache_cap : int;
+  p_depth : int;
+  p_hot_min : int;  (* heat threshold to newly promote a key *)
+  p_hot_keep : int;  (* lower threshold to keep an already-hot key *)
+  p_hot_budget : int;  (* max keys carried in the deferred tier this epoch *)
+}
+
+let pp_plan ppf p =
+  Format.fprintf ppf "cap=%d d=%d hot>=%d keep>=%d budget=%d" p.p_cache_cap
+    p.p_depth p.p_hot_min p.p_hot_keep p.p_hot_budget
+
+(* Frontier depth: a deeper cut shortens the merkle chains loaded on every
+   slow-path op but adds ~2x frontier records, each of which costs a full
+   add/evict roundtrip at EVERY scan to carry its blum entry into the next
+   epoch — a recurring tax, not a one-time one. So the equilibrium tracks
+   merkle pressure: deepen while the frontier is under 1/16 of the
+   pressure, retreat once its maintenance exceeds 1/8 of it. The [1/16,
+   1/8] band (one level per epoch from either side lands inside it) is the
+   hysteresis that prevents oscillation on a stable workload. *)
+let retune_depth params o =
+  let pressure = o.merkle_ops + o.cached_ops in
+  if pressure > 16 * max 16 o.frontier_size && o.depth < params.depth_max then
+    o.depth + 1
+  else if o.frontier_size > max 16 (pressure / 8) && o.depth > params.depth_min
+  then o.depth - 1
+  else o.depth
+
+let heat_total heat = Array.fold_left ( + ) 0 heat
+
+(* Hot-key thresholds: a key qualifies when its heat bucket runs 4x the
+   average bucket; it stays qualified down to 2x. The gap is the per-key
+   hysteresis band. *)
+let hot_thresholds heat =
+  let hot_min = max 4 (4 * heat_total heat / buckets) in
+  (hot_min, max 2 (hot_min / 2))
+
+let decide params obs =
+  let n = Array.length obs in
+  if n = 0 then [||]
+  else begin
+    (* Cache budget is split by merkle-tier pressure: blum-tier ops never
+       touch the cache beyond transient migration, so shards whose traffic
+       resolves through chains or cache hits get the entries. *)
+    let share o = o.merkle_ops + o.cached_ops + 1 in
+    let total_share = Array.fold_left (fun a o -> a + share o) 0 obs in
+    let caps =
+      Array.map
+        (fun o ->
+          max params.min_cache (params.cache_budget * share o / total_share))
+        obs
+    in
+    (* Per-shard hysteresis: moves under 1/8 of the current capacity are
+       noise, keep the old value. *)
+    Array.iteri
+      (fun i c ->
+        if abs (c - obs.(i).cache_cap) * 8 < obs.(i).cache_cap then
+          caps.(i) <- obs.(i).cache_cap)
+      caps;
+    (* Never exceed the global budget (floors may resist: a many-shard
+       store whose floors alone exceed the budget keeps the floors). *)
+    let sum = Array.fold_left ( + ) 0 caps in
+    if sum > params.cache_budget then
+      Array.iteri
+        (fun i c ->
+          caps.(i) <- max params.min_cache (c * params.cache_budget / sum))
+        caps;
+    Array.mapi
+      (fun i o ->
+        let hot_min, hot_keep = hot_thresholds o.heat in
+        {
+          p_cache_cap = caps.(i);
+          p_depth = retune_depth params o;
+          p_hot_min = hot_min;
+          p_hot_keep = hot_keep;
+          p_hot_budget =
+            int_of_float (params.hot_fraction *. float_of_int caps.(i));
+        })
+      obs
+  end
+
+let should_carry plan ~heat ~already_hot =
+  heat >= plan.p_hot_min || (already_hot && heat >= plan.p_hot_keep)
+
+(* Exponential decay between epochs: halving keeps the sketch responsive to
+   rotation (a bucket that stops being touched fades within a few epochs)
+   without forgetting a stable hot set. *)
+let decay heat =
+  for i = 0 to Array.length heat - 1 do
+    heat.(i) <- heat.(i) / 2
+  done

@@ -1,0 +1,72 @@
+(** Online controller for the verification hierarchy.
+
+    At every epoch seal the store snapshots, per shard, the tier attribution
+    counters (blum / merkle / cached ops this epoch), the frontier size, the
+    verifier-cache occupancy, and a coarse per-key-range heat sketch, and
+    asks {!decide} for a plan: the shard's verifier-cache capacity (drawn
+    from a store-wide budget), its target frontier depth, and the heat
+    thresholds governing which deferred keys are carried on the blum fast
+    path instead of being migrated back to merkle protection.
+
+    {!decide} is a pure function of the observation snapshot — no clocks, no
+    randomness — so decisions are deterministic and testable, and all tier
+    movement it triggers rides the ordinary sealed-epoch machinery:
+    certificates remain bit-identical to a static run with the same final
+    tier assignment. *)
+
+val buckets : int
+(** Number of heat-sketch counters per shard (256). *)
+
+val bucket : Key.t -> int
+(** Sketch cell for a key: [Key.hash k land (buckets - 1)]. *)
+
+type params = {
+  cache_budget : int;
+      (** Total verifier-cache entries shared by all shards. *)
+  depth_min : int;  (** Lower bound for retuned frontier depth. *)
+  depth_max : int;  (** Upper bound for retuned frontier depth. *)
+  hot_fraction : float;
+      (** Fraction of a shard's cache capacity spendable on hot-key
+          carries each epoch. *)
+  min_cache : int;  (** Per-shard capacity floor (>= 2 for the verifier). *)
+}
+
+type shard_obs = {
+  blum_ops : int;  (** Fast-path (deferred-tier) ops this epoch. *)
+  merkle_ops : int;  (** Slow-path ops that loaded chain records. *)
+  cached_ops : int;  (** Ops served entirely from the verifier cache. *)
+  frontier_size : int;  (** Blum-protected internal nodes (cut size). *)
+  cache_len : int;  (** Resident verifier-cache entries. *)
+  cache_cap : int;  (** Current capacity. *)
+  depth : int;  (** Current frontier cut depth (Patricia levels). *)
+  heat : int array;  (** Heat sketch, length {!buckets}. *)
+}
+
+type plan = {
+  p_cache_cap : int;
+  p_depth : int;
+  p_hot_min : int;  (** Heat threshold to newly promote a key. *)
+  p_hot_keep : int;  (** Lower threshold keeping an already-hot key. *)
+  p_hot_budget : int;  (** Max keys carried in the deferred tier. *)
+}
+
+val pp_plan : Format.formatter -> plan -> unit
+
+val decide : params -> shard_obs array -> plan array
+(** Pure, deterministic: one plan per observed shard. Capacities respect
+    [params.cache_budget] (up to per-shard [min_cache] floors), move only on
+    >= 1/8 relative changes, and depth moves at most one level per epoch
+    toward an equilibrium tracking merkle pressure: deepen while the
+    frontier is under 1/16 of the pressure, retreat once it exceeds 1/8
+    (frontier records cost a migration roundtrip at every scan, so their
+    mass is a recurring tax). The [1/16, 1/8] dead band is the hysteresis
+    that keeps a stable workload from thrashing. *)
+
+val should_carry : plan -> heat:int -> already_hot:bool -> bool
+(** Whether a dirty deferred key with the given sketch heat should be
+    carried (kept blum-protected) rather than migrated back to merkle. *)
+
+val heat_total : int array -> int
+
+val decay : int array -> unit
+(** Halve every sketch cell in place (called once per epoch seal). *)

@@ -18,6 +18,11 @@ type t = {
   cold_threshold : int;
   cold_segment_bytes : int;
   cold_gc_ratio : float;
+  adaptive : bool;
+  adaptive_cache_budget : int;
+  adaptive_depth_min : int;
+  adaptive_depth_max : int;
+  adaptive_hot_fraction : float;
 }
 
 let default =
@@ -41,6 +46,11 @@ let default =
     cold_threshold = 100_000;
     cold_segment_bytes = 4 * 1024 * 1024;
     cold_gc_ratio = 0.5;
+    adaptive = false;
+    adaptive_cache_budget = 0;
+    adaptive_depth_min = 2;
+    adaptive_depth_max = 10;
+    adaptive_hot_fraction = 0.5;
   }
 
 let shards t = if t.n_shards <= 0 then max 1 t.n_workers else t.n_shards
@@ -48,7 +58,7 @@ let shards t = if t.n_shards <= 0 then max 1 t.n_workers else t.n_shards
 let pp ppf t =
   Format.fprintf ppf
     "workers=%d shards=%d cache=%d d=%d batch=%d log=%d algo=%a enclave=%a \
-     auth=%b sorted=%b metrics=%b bgverify=%b cold=%s"
+     auth=%b sorted=%b metrics=%b bgverify=%b cold=%s adaptive=%b"
     t.n_workers (shards t) t.cache_capacity t.frontier_levels t.batch_size
     t.log_buffer_size Record_enc.pp_algo t.algo Cost_model.pp t.cost_model
     t.authenticate_clients t.sorted_migration t.metrics_enabled
@@ -56,3 +66,4 @@ let pp ppf t =
     (match t.cold_dir with
     | None -> "off"
     | Some d -> Printf.sprintf "%s@%d" d t.cold_threshold)
+    t.adaptive

@@ -55,6 +55,23 @@ type t = {
   cold_segment_bytes : int;  (** Cold segment seal threshold. *)
   cold_gc_ratio : float;
       (** Compact a sealed segment once this fraction of its bytes is dead. *)
+  adaptive : bool;
+      (** Run the online controller ({!Adaptive}) at every epoch seal:
+          promote hot deferred keys to stay on the blum fast path, retune
+          per-shard frontier depth between [adaptive_depth_min] and
+          [adaptive_depth_max], and redistribute verifier-cache capacity
+          across shards within [adaptive_cache_budget]. All movement rides
+          the sealed-epoch machinery, so certificates stay bit-identical to
+          a static run with the same tier assignment. *)
+  adaptive_cache_budget : int;
+      (** Store-wide verifier-cache entry budget shared by all shards; [0]
+          (default) means [shards * cache_capacity] — i.e. resizing only
+          redistributes, never grows beyond the static footprint. *)
+  adaptive_depth_min : int;  (** Lower bound for retuned frontier depth. *)
+  adaptive_depth_max : int;  (** Upper bound for retuned frontier depth. *)
+  adaptive_hot_fraction : float;
+      (** Fraction of a shard's cache capacity the controller may spend on
+          hot-key carry (promotions) each epoch. *)
 }
 
 val default : t

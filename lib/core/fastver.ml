@@ -5,6 +5,7 @@ exception Integrity_violation of string
 
 module Config = Config
 module Auth = Auth
+module Adaptive = Adaptive
 module Bounded_queue = Bounded_queue
 module Reg = Fastver_obs.Registry
 
@@ -67,6 +68,18 @@ type shard = {
   mutable log_len : int;
   mutable dirty : Key.t list; (* data keys handed to blum this epoch *)
   mutable dirty_len : int;
+  (* Adaptive-controller state. [heat] and the per-epoch tier counters are
+     written under [worker_lock] (and only when the config enables the
+     controller); the rest is written at the seal barrier under the world
+     lock and read by the scan that follows. *)
+  mutable cache_cap : int; (* live verifier-cache capacity for this shard *)
+  mutable depth : int; (* current frontier cut depth (Patricia levels) *)
+  heat : int array; (* Adaptive.buckets-cell per-key-range heat sketch *)
+  hot : unit Key.Tbl.t; (* keys currently carried in the deferred tier *)
+  mutable plan : Adaptive.plan option; (* decision for the upcoming scan *)
+  mutable ops_blum_e : int; (* per-epoch tier attribution for the controller *)
+  mutable ops_merkle_e : int;
+  mutable ops_cached_e : int;
 }
 
 type stats = {
@@ -204,6 +217,32 @@ let wire_metrics t =
           s.n_add_m + s.n_evict_m + s.n_add_b + s.n_evict_b + s.n_evict_bm
           + s.n_vget + s.n_vput))
     t.shards;
+  (* Adaptive-controller decision surfaces. The bytes figure is a nominal
+     footprint (entries x a conservative 128 B/record: 34 B encoded key +
+     value/pointer payload + table overhead) so operators can watch the
+     budget without the verifier exposing its allocator. *)
+  let cache_entry_bytes = 128 in
+  Array.iter
+    (fun sh ->
+      let labels = [ ("shard", string_of_int sh.sid) ] in
+      Reg.gauge_fn reg ~labels
+        ~help:"Live verifier-cache capacity (entries)"
+        "fastver_adaptive_cache_capacity" (fun () ->
+          float_of_int sh.cache_cap);
+      Reg.gauge_fn reg ~labels
+        ~help:"Frontier cut depth (Patricia levels)" "fastver_adaptive_depth"
+        (fun () -> float_of_int sh.depth);
+      Reg.gauge_fn reg ~labels
+        ~help:"Keys currently carried in the deferred tier"
+        "fastver_adaptive_hot_keys" (fun () ->
+          float_of_int (Key.Tbl.length sh.hot)))
+    t.shards;
+  Reg.gauge_fn reg
+    ~help:"Nominal verifier-cache footprint across shards (bytes)"
+    "fastver_adaptive_cache_bytes" (fun () ->
+      float_of_int
+        (cache_entry_bytes
+        * Array.fold_left (fun a sh -> a + sh.cache_cap) 0 t.shards));
   Reg.gauge_fn reg ~help:"Live data records in the host store"
     "fastver_store_records" (fun () ->
       float_of_int (Fastver_kvstore.Store.length t.store));
@@ -288,6 +327,14 @@ let mk_shard ?tree verifier sid =
     log_len = 0;
     dirty = [];
     dirty_len = 0;
+    cache_cap = Verifier.cache_capacity verifier;
+    depth = 0;
+    heat = Array.make Adaptive.buckets 0;
+    hot = Key.Tbl.create 64;
+    plan = None;
+    ops_blum_e = 0;
+    ops_merkle_e = 0;
+    ops_cached_e = 0;
   }
 
 let mk_stats n_sh =
@@ -355,6 +402,27 @@ let config t = t.config
 let stats t = t.stats
 let registry t = Metrics.registry t.metrics
 let n_shards t = Array.length t.shards
+
+type adaptive_shard = {
+  a_sid : int;
+  a_depth : int;
+  a_cache_cap : int;
+  a_hot_keys : int;
+  a_frontier : int;
+}
+
+(* Unsynchronised int reads: a point-in-time picture for stats and tests. *)
+let adaptive_state t =
+  Array.map
+    (fun sh ->
+      {
+        a_sid = sh.sid;
+        a_depth = sh.depth;
+        a_cache_cap = sh.cache_cap;
+        a_hot_keys = Key.Tbl.length sh.hot;
+        a_frontier = List.length sh.frontier;
+      })
+    t.shards
 let enclave_handle t = t.enclave
 let enclave_overhead_ns t = Enclave.charged_ns t.enclave
 let cold_stats t = Option.map Store.Cold.stats t.cold
@@ -788,7 +856,7 @@ let evict_mirror _t sh e ~epoch_floor =
 let ensure_room t sh ?protect () =
   (* Keep two slots of headroom: one for the record being added, one for the
      transient data record of the operation in flight. *)
-  while Key_lru.length sh.lru >= t.config.cache_capacity - 2 do
+  while Key_lru.length sh.lru >= sh.cache_cap - 2 do
     match Key_lru.victim ?exclude:protect sh.lru with
     | Some e ->
         (* Evictions must land in the live epoch: during a background scan
@@ -921,6 +989,11 @@ let rec blum_fast t sh key cur ts action =
          its shard's snapshot. Exactly one touch per record crosses (the
          next one sees both timestamps in the live epoch). *)
       with_redeferred_lock t (fun () -> t.redeferred <- key :: t.redeferred);
+    if t.config.adaptive then begin
+      sh.ops_blum_e <- sh.ops_blum_e + 1;
+      let b = Adaptive.bucket key in
+      sh.heat.(b) <- sh.heat.(b) + 1
+    end;
     Metrics.tier t.metrics Metrics.Blum;
     cur
   end
@@ -1089,6 +1162,12 @@ let merkle_slow t sh key action =
             None)
   in
   t.stats.verifier_time_s <- t.stats.verifier_time_s +. (now () -. t0);
+  if t.config.adaptive then begin
+    if !loaded = 0 then sh.ops_cached_e <- sh.ops_cached_e + 1
+    else sh.ops_merkle_e <- sh.ops_merkle_e + 1;
+    let b = Adaptive.bucket key in
+    sh.heat.(b) <- sh.heat.(b) + 1
+  end;
   Metrics.tier t.metrics
     (if !loaded = 0 then Metrics.Cached else Metrics.Merkle);
   Some (result, sh)
@@ -1158,6 +1237,60 @@ let verifier_op_count t =
    bounded by one chunk, not the whole scan. *)
 let bg_chunk = 256
 
+let adaptive_params t =
+  let n = Array.length t.shards in
+  {
+    Adaptive.cache_budget =
+      (if t.config.adaptive_cache_budget > 0 then t.config.adaptive_cache_budget
+       else n * t.config.cache_capacity);
+    depth_min = t.config.adaptive_depth_min;
+    depth_max = t.config.adaptive_depth_max;
+    hot_fraction = t.config.adaptive_hot_fraction;
+    (* The floor must leave room for a full merkle chain plus [ensure_room]'s
+       two slots of headroom, or a shrunken shard would refuse its own slow
+       path. *)
+    min_cache = max 32 (t.config.cache_capacity / 8);
+  }
+
+(* Controller step, inside the seal barrier (world lock held): snapshot this
+   epoch's observations, decide, and install the plan the following scan
+   executes. Applying the verifier-capacity change here is safe even when it
+   shrinks below the resident count: every add goes through [ensure_room]
+   first, which evicts the mirror down to the new capacity's headroom before
+   the verifier sees another record. *)
+let adaptive_step t =
+  if t.config.adaptive then begin
+    let obs =
+      Array.map
+        (fun sh ->
+          {
+            Adaptive.blum_ops = sh.ops_blum_e;
+            merkle_ops = sh.ops_merkle_e;
+            cached_ops = sh.ops_cached_e;
+            frontier_size = List.length sh.frontier;
+            cache_len = Key_lru.length sh.lru;
+            cache_cap = sh.cache_cap;
+            depth = sh.depth;
+            heat = Array.copy sh.heat;
+          })
+        t.shards
+    in
+    let plans = Adaptive.decide (adaptive_params t) obs in
+    Array.iteri
+      (fun i sh ->
+        let p = plans.(i) in
+        sh.plan <- Some p;
+        sh.cache_cap <- p.Adaptive.p_cache_cap;
+        Verifier.set_cache_capacity sh.verifier p.Adaptive.p_cache_cap;
+        sh.depth <- p.Adaptive.p_depth;
+        Adaptive.decay sh.heat;
+        sh.ops_blum_e <- 0;
+        sh.ops_merkle_e <- 0;
+        sh.ops_cached_e <- 0)
+      t.shards;
+    Metrics.adaptive_retune t.metrics
+  end
+
 (* One shard's slice of the verification scan: steps 1–3 (sorted dirty
    re-apply, frontier migration, quiesced cache sweep). Because routing
    confines every record — and therefore every buffered log entry — to its
@@ -1202,38 +1335,92 @@ let scan_shard t ~epoch ~background sh dirty =
      fast path), but the sorted pass skips adjacent equals so a duplicate
      could never double-migrate. *)
   if t.config.sorted_migration then Array.sort Key.compare dirty;
+  let plan = if t.config.adaptive then sh.plan else None in
+  let carry_budget =
+    ref (match plan with Some p -> p.Adaptive.p_hot_budget | None -> 0)
+  in
+  let promoted = ref 0 and demoted = ref 0 in
   let rec migrate_dirty key =
     match ok (Store.get t.store key) with
-    | Some (v, aux) when aux_is_blum aux ->
+    | Some (v, aux) when aux_is_blum aux -> (
         let ts = aux_timestamp aux in
         if Timestamp.epoch ts > epoch then
           (* Re-touched across the seal while this scan was in flight: the
              toucher's [add_b] balanced this epoch's evict and its key is
              parked for the next seal. Nothing to do here. *)
           ()
-        else if
-          not (Store.try_cas t.store key ~expected_aux:aux v ~aux:aux_merkle)
-        then
-          (* A foreground fast-path CAS slipped in between our read and
-             ours; re-read — it either stayed in the sealed epoch (retry
-             the claim) or crossed into the live one (skip, above). *)
-          migrate_dirty key
-        else begin
-          (* Claimed: the store says merkle, so any racing fast path now
-             fails its CAS and falls through to [merkle_slow], which
-             blocks on the shard's tree lock until this chunk completes. *)
-          let descent = Tree.descend sh.tree key in
-          assert (descent.outcome = Tree.Exists);
-          let parent = ensure_chain t sh descent.path in
-          ensure_room t sh ~protect:parent ();
-          ok
-            (Verifier.add_b sh.verifier ~tid:0 ~key ~value:(Value.Data v)
-               ~timestamp:ts);
-          mirror_add_b sh ts;
-          let ptr = ok (Verifier.evict_m sh.verifier ~tid:0 ~key ~parent) in
-          apply_ptr sh parent ptr;
-          incr migrated_data
-        end
+        else
+          let carry =
+            match plan with
+            | Some p when !carry_budget > 0 ->
+                Adaptive.should_carry p
+                  ~heat:sh.heat.(Adaptive.bucket key)
+                  ~already_hot:(Key.Tbl.mem sh.hot key)
+            | Some _ | None -> false
+          in
+          if carry then begin
+            (* Hot carry: keep the record in the deferred tier across the
+               boundary instead of migrating it back to merkle, so its next
+               touches stay on the fast path. Same balance as a fast-path
+               epoch crossing: the [add_b] at [ts] squares the sealed
+               epoch's evict, the fresh evict lands in the live epoch, and
+               re-entering the dirty list guarantees the next scan balances
+               that one in turn. *)
+            let ts' =
+              Timestamp.max
+                (Timestamp.max sh.clock (Timestamp.next ts))
+                (Timestamp.first_of_epoch (epoch + 1))
+            in
+            if
+              not
+                (Store.try_cas t.store key ~expected_aux:aux v
+                   ~aux:(aux_blum ts'))
+            then migrate_dirty key
+            else begin
+              ensure_room t sh ();
+              ok
+                (Verifier.add_b sh.verifier ~tid:0 ~key ~value:(Value.Data v)
+                   ~timestamp:ts);
+              mirror_add_b sh ts;
+              ok (Verifier.evict_b sh.verifier ~tid:0 ~key ~timestamp:ts');
+              sh.clock <- ts';
+              sh.dirty <- key :: sh.dirty;
+              sh.dirty_len <- sh.dirty_len + 1;
+              decr carry_budget;
+              if not (Key.Tbl.mem sh.hot key) then begin
+                Key.Tbl.replace sh.hot key ();
+                incr promoted
+              end;
+              incr migrated_data
+            end
+          end
+          else if
+            not (Store.try_cas t.store key ~expected_aux:aux v ~aux:aux_merkle)
+          then
+            (* A foreground fast-path CAS slipped in between our read and
+               ours; re-read — it either stayed in the sealed epoch (retry
+               the claim) or crossed into the live one (skip, above). *)
+            migrate_dirty key
+          else begin
+            (* Claimed: the store says merkle, so any racing fast path now
+               fails its CAS and falls through to [merkle_slow], which
+               blocks on the shard's tree lock until this chunk completes. *)
+            let descent = Tree.descend sh.tree key in
+            assert (descent.outcome = Tree.Exists);
+            let parent = ensure_chain t sh descent.path in
+            ensure_room t sh ~protect:parent ();
+            ok
+              (Verifier.add_b sh.verifier ~tid:0 ~key ~value:(Value.Data v)
+                 ~timestamp:ts);
+            mirror_add_b sh ts;
+            let ptr = ok (Verifier.evict_m sh.verifier ~tid:0 ~key ~parent) in
+            apply_ptr sh parent ptr;
+            if Key.Tbl.mem sh.hot key then begin
+              Key.Tbl.remove sh.hot key;
+              incr demoted
+            end;
+            incr migrated_data
+          end)
     | Some _ | None ->
         raise (Integrity_violation "dirty record not in blum state")
   in
@@ -1242,6 +1429,97 @@ let scan_shard t ~epoch ~background sh dirty =
         let key = dirty.(i) in
         if not (i > 0 && Key.equal key dirty.(i - 1)) then migrate_dirty key
       done);
+  (* 1b. Frontier retune (adaptive): diff the current cut against the
+     depth-[p_depth] cut of today's tree and migrate membership toward it.
+     Promotions run the trusted-load procedure (chain in, [evict_bm] into
+     the live epoch); demotions reverse it ([add_b] squaring the sealed
+     epoch, [evict_m] back to a plain merkle pointer — which also clears
+     the parent's in-blum mark). A member that is currently cached, or
+     whose timestamp already crossed into the live epoch, is skipped and
+     retried at the next seal; convergence over a few epochs is the point,
+     not a liability — it bounds per-scan work and doubles as hysteresis. *)
+  (match plan with
+  | Some p ->
+      let demote = ref [||] and promote = ref [||] in
+      chunked 1 (fun _ _ ->
+          let cut = Tree.frontier sh.tree ~levels:p.Adaptive.p_depth in
+          let in_cut = Key.Tbl.create 64 in
+          List.iter (fun k -> Key.Tbl.replace in_cut k ()) cut;
+          demote :=
+            Array.of_list
+              (List.filter (fun f -> not (Key.Tbl.mem in_cut f)) sh.frontier);
+          promote :=
+            Array.of_list
+              (List.filter
+                 (fun k ->
+                   (not (Key.equal k Key.root))
+                   && (Tree.get_exn sh.tree k).aux.owner < 0)
+                 cut));
+      chunked (Array.length !demote) (fun lo hi ->
+          for i = lo to hi - 1 do
+            let f = !demote.(i) in
+            let entry = Tree.get_exn sh.tree f in
+            match entry.aux.mstate with
+            | M_blum ts
+              when Timestamp.epoch ts <= epoch && not (Key_lru.mem sh.lru f)
+              ->
+                let descent = Tree.descend sh.tree f in
+                assert (descent.outcome = Tree.Exists);
+                let parent = ensure_chain t sh descent.path in
+                ensure_room t sh ~protect:parent ();
+                ok
+                  (Verifier.add_b sh.verifier ~tid:0 ~key:f
+                     ~value:entry.value ~timestamp:ts);
+                mirror_add_b sh ts;
+                let ptr =
+                  ok (Verifier.evict_m sh.verifier ~tid:0 ~key:f ~parent)
+                in
+                apply_ptr sh parent ptr;
+                entry.aux.mstate <- M_merkle;
+                entry.aux.owner <- -1;
+                sh.frontier <-
+                  List.filter (fun k -> not (Key.equal k f)) sh.frontier;
+                incr migrated_frontier
+            | M_blum _ | M_cached _ -> ()
+            | M_merkle -> assert false
+          done);
+      chunked (Array.length !promote) (fun lo hi ->
+          for i = lo to hi - 1 do
+            let g = !promote.(i) in
+            let entry = Tree.get_exn sh.tree g in
+            match entry.aux.mstate with
+            | M_merkle ->
+                let descent = Tree.descend sh.tree g in
+                assert (descent.outcome = Tree.Exists);
+                let parent = ensure_chain t sh descent.path in
+                ensure_room t sh ~protect:parent ();
+                let installed =
+                  ok
+                    (Verifier.add_m sh.verifier ~tid:0 ~key:g
+                       ~value:entry.value ~parent)
+                in
+                assert (installed = None);
+                let ts' =
+                  Timestamp.max sh.clock
+                    (Timestamp.first_of_epoch (epoch + 1))
+                in
+                ok
+                  (Verifier.evict_bm sh.verifier ~tid:0 ~key:g ~timestamp:ts'
+                     ~parent);
+                sh.clock <- ts';
+                mark_in_blum sh parent g;
+                entry.aux.mstate <- M_blum ts';
+                entry.aux.owner <- sh.sid;
+                sh.frontier <- g :: sh.frontier;
+                incr migrated_frontier
+            | M_blum _ | M_cached _ ->
+                (* Resident on some chain right now (or already carried into
+                   the live epoch); retried at the next seal. *)
+                ()
+          done)
+  | None -> ());
+  Metrics.adaptive_promotions t.metrics !promoted;
+  Metrics.adaptive_demotions t.metrics !demoted;
   (* 2. Migrate this shard's frontier merkle records that were not touched
      (still in the deferred tier) to the next epoch. *)
   let frontier = Array.of_list sh.frontier in
@@ -1376,6 +1654,10 @@ let verify_inner t =
            let r = t.redeferred in
            t.redeferred <- [];
            r));
+    (* Adaptive controller: decide and install the next epoch's plan from
+       this epoch's observations, atomically with the boundary — the scan
+       below executes it. *)
+    adaptive_step t;
     (* From here on, operations fold into the next epoch. *)
     Atomic.set t.live_epoch (epoch + 1);
     Atomic.set t.ops_since_verify 0;
@@ -1677,6 +1959,7 @@ let load t records =
      that shard's own verifier thread. *)
   Array.iter
     (fun sh ->
+      sh.depth <- t.config.frontier_levels;
       let frontier =
         Tree.frontier sh.tree ~levels:t.config.frontier_levels
         |> List.filter (fun k -> not (Key.equal k Key.root))
@@ -2491,7 +2774,20 @@ let recover_generation ?(config = Config.default) ~gdir () =
   Array.iter
     (fun sh ->
       Tree.iter sh.tree (fun k entry ->
-          if entry.aux.owner >= 0 then sh.frontier <- k :: sh.frontier))
+          if entry.aux.owner >= 0 then sh.frontier <- k :: sh.frontier);
+      (* The frontier cut depth survives as the shape of the recovered
+         frontier itself (owner marks): a member's Patricia level is the
+         length of its parent chain. Heat, hot-set and per-epoch counters
+         are advisory and restart cold; the carried keys themselves persist
+         as blum aux and re-enter via the dirty re-seed below, so an
+         adaptive store recovers mid-flight without certificate drift. *)
+      sh.depth <-
+        (match sh.frontier with
+        | [] -> config.frontier_levels
+        | fs ->
+            List.fold_left
+              (fun d f -> max d (List.length (Tree.descend sh.tree f).path))
+              1 fs))
     t.shards;
   (* Re-seed the dirty sets from the persisted protection state: a
      checkpoint may land mid-epoch (with background verification it

@@ -42,6 +42,10 @@ type response =
   | Subscribed of { from_epoch : int; run_id : int64 }
   | Checkpoint_reply of { generation : int; files : (string * string) array }
   | Repl_op of { epoch : int; key : string; value : string option }
+  | Repl_batch of { epoch : int; ops : (string * string option) array }
+      (* one epoch's buffered ops in apply order — the batched form of a run
+         of [Repl_op]s, cutting stream frames (and syscalls) by the batch
+         length *)
   | Repl_epoch of { epoch : int; cert : string; stream_mac : string }
   | Error of string
 
@@ -71,6 +75,7 @@ let tag_subscribed = 0x89
 let tag_checkpoint_reply = 0x8a
 let tag_repl_op = 0x8b
 let tag_repl_epoch = 0x8c
+let tag_repl_batch = 0x8d
 let tag_error = 0xff
 
 let metrics_format_byte = function Json -> 0 | Prometheus -> 1
@@ -224,6 +229,17 @@ let encode_response_into b ~id resp =
       add_u32 b epoch;
       Buffer.add_string b key;
       add_value_opt b value
+  | Repl_batch { epoch; ops } ->
+      begin_frame b ~id tag_repl_batch;
+      add_u32 b epoch;
+      add_u32 b (Array.length ops);
+      Array.iter
+        (fun (key, value) ->
+          if String.length key <> 32 then
+            invalid_arg "Wire.Repl_batch: key must be 32 bytes";
+          Buffer.add_string b key;
+          add_value_opt b value)
+        ops
   | Repl_epoch { epoch; cert; stream_mac } ->
       begin_frame b ~id tag_repl_epoch;
       add_u32 b epoch;
@@ -417,6 +433,22 @@ let decode_response =
         let key = str c 32 in
         let value = value_opt c in
         Repl_op { epoch; key; value }
+      else if tag = tag_repl_batch then begin
+        let epoch = u32 c in
+        let count = u32 c in
+        (* each op consumes >= 33 bytes (32-byte key + value tag), so
+           [count] is implicitly bounded by the payload: check before
+           building the array *)
+        if count * 33 > String.length c.s - c.pos then
+          raise (Bad "repl batch count exceeds payload");
+        let ops =
+          Array.init count (fun _ ->
+              let key = str c 32 in
+              let value = value_opt c in
+              (key, value))
+        in
+        Repl_batch { epoch; ops }
+      end
       else if tag = tag_repl_epoch then
         let epoch = u32 c in
         let cert = mac_str c in
@@ -466,5 +498,7 @@ let pp_response ppf = function
   | Repl_op { epoch; value; _ } ->
       Format.fprintf ppf "repl-op(epoch %d, %s)" epoch
         (match value with None -> "delete" | Some _ -> "put")
+  | Repl_batch { epoch; ops } ->
+      Format.fprintf ppf "repl-batch(epoch %d, %d ops)" epoch (Array.length ops)
   | Repl_epoch { epoch; _ } -> Format.fprintf ppf "repl-epoch(%d)" epoch
   | Error e -> Format.fprintf ppf "error(%s)" e

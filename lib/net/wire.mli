@@ -88,6 +88,13 @@ type response =
           until the epoch's boundary record authenticates: followers fold
           every op into a per-epoch digest that {!response.Repl_epoch}'s
           [stream_mac] must match. *)
+  | Repl_batch of { epoch : int; ops : (string * string option) array }
+      (** A run of consecutive ops from one epoch in apply order — the
+          batched form of {!response.Repl_op}, flushed by the primary at
+          each epoch seal (plus size/time caps), cutting stream frames and
+          syscalls by the batch length. Followers treat it exactly as the
+          equivalent [Repl_op] sequence: the per-op stream digest is
+          unchanged, so old and new frames interoperate. *)
   | Repl_epoch of { epoch : int; cert : string; stream_mac : string }
       (** Epoch-boundary record: [cert] is the store-level epoch certificate
           (HMAC over {!Fastver_verifier.Verifier.epoch_certificate_message});

@@ -183,6 +183,10 @@ exception Disconnected_exn
 let stream_once t conn =
   match Client.recv conn with
   | _, Wire.Repl_op { epoch; key; value } -> record_op t ~epoch ~key ~value
+  | _, Wire.Repl_batch { epoch; ops } ->
+      (* Exactly the equivalent Repl_op run: fold and buffer each op in
+         order; authentication still happens only at the boundary record. *)
+      Array.iter (fun (key, value) -> record_op t ~epoch ~key ~value) ops
   | _, Wire.Repl_epoch { epoch; cert; stream_mac } ->
       handle_boundary t ~epoch ~cert ~stream_mac
   | _, Wire.Error e ->

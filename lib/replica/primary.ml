@@ -10,10 +10,18 @@ type config = {
   retain_epochs : int;
   conn_out_limit : int;
   checkpoint_dir : string option;
+  batch_ops : int;
+  batch_delay : float;
 }
 
 let default_config =
-  { retain_epochs = 64; conn_out_limit = 64 * 1024 * 1024; checkpoint_dir = None }
+  {
+    retain_epochs = 64;
+    conn_out_limit = 64 * 1024 * 1024;
+    checkpoint_dir = None;
+    batch_ops = 512;
+    batch_delay = 0.02;
+  }
 
 type conn = {
   fd : Unix.file_descr;
@@ -41,6 +49,13 @@ type t = {
   mutable floor : int; (* lowest epoch completely present in [log] *)
   mutable sealed : int; (* highest epoch whose boundary record was emitted *)
   digests : (int, string) Hashtbl.t; (* per-open-epoch running digest *)
+  mutable batch : (string * string option) list;
+      (* ops buffered toward the next [Repl_batch] frame, newest first;
+         all batch fields under [t.lock] *)
+  mutable batch_epoch : int; (* epoch every buffered op belongs to *)
+  mutable batch_n : int;
+  mutable batch_since : float; (* arrival time of the oldest buffered op *)
+  mutable frames : int; (* op-carrying stream frames emitted so far *)
   enc : Buffer.t; (* frame encode scratch, under [t.lock] *)
   mutable conns : conn list; (* mutated by the loop; read under [t.lock] *)
   wake_r : Unix.file_descr;
@@ -49,6 +64,7 @@ type t = {
   mutable loop_domain : unit Domain.t option;
   scratch : Bytes.t;
   m_ops : Fastver_obs.Counter.t;
+  m_frames : Fastver_obs.Counter.t;
   m_epochs : Fastver_obs.Counter.t;
   m_followers : Fastver_obs.Gauge.t;
   m_lag_bytes : Fastver_obs.Gauge.t;
@@ -83,27 +99,76 @@ let enqueue t c frame =
 let broadcast t frame =
   List.iter (fun c -> if c.subscribed then enqueue t c frame) t.conns
 
+(* Emit the buffered ops as one [Repl_batch] frame. Caller holds [t.lock].
+   The per-epoch stream digest was already folded op by op at admission, so
+   batching changes only the framing — a follower sees the identical op
+   sequence and authenticates the identical boundary MAC. *)
+let flush_batch t =
+  if t.batch_n > 0 then begin
+    let ops = Array.of_list (List.rev t.batch) in
+    let frame =
+      Wire.encode_response_into t.enc ~id:0L
+        (Wire.Repl_batch { epoch = t.batch_epoch; ops })
+    in
+    t.log <- (t.batch_epoch, frame) :: t.log;
+    t.batch <- [];
+    t.batch_n <- 0;
+    t.frames <- t.frames + 1;
+    Fastver_obs.Counter.incr t.m_frames;
+    broadcast t frame
+  end
+
 (* ---- Tee hooks (see Fastver.set_replication_hooks for the contract) ---- *)
 
 let on_op t ~epoch ~key ~value =
   let key = Key.to_bytes32 key in
-  with_lock t.lock (fun () ->
-      let digest =
-        match Hashtbl.find_opt t.digests epoch with
-        | Some d -> d
-        | None -> Stream.empty_digest
-      in
-      Hashtbl.replace t.digests epoch (Stream.fold digest ~epoch ~key ~value);
-      let frame =
-        Wire.encode_response_into t.enc ~id:0L (Wire.Repl_op { epoch; key; value })
-      in
-      t.log <- (epoch, frame) :: t.log;
-      Fastver_obs.Counter.incr t.m_ops;
-      broadcast t frame);
-  wake t
+  let now = Unix.gettimeofday () in
+  let want_wake =
+    with_lock t.lock (fun () ->
+        let digest =
+          match Hashtbl.find_opt t.digests epoch with
+          | Some d -> d
+          | None -> Stream.empty_digest
+        in
+        Hashtbl.replace t.digests epoch (Stream.fold digest ~epoch ~key ~value);
+        Fastver_obs.Counter.incr t.m_ops;
+        if t.cfg.batch_ops <= 1 then begin
+          (* Legacy per-op framing (batch_ops <= 1): one frame per op. *)
+          let frame =
+            Wire.encode_response_into t.enc ~id:0L
+              (Wire.Repl_op { epoch; key; value })
+          in
+          t.log <- (epoch, frame) :: t.log;
+          t.frames <- t.frames + 1;
+          Fastver_obs.Counter.incr t.m_frames;
+          broadcast t frame;
+          true
+        end
+        else begin
+          if t.batch_n > 0 && t.batch_epoch <> epoch then flush_batch t;
+          if t.batch_n = 0 then begin
+            t.batch_epoch <- epoch;
+            t.batch_since <- now
+          end;
+          t.batch <- (key, value) :: t.batch;
+          t.batch_n <- t.batch_n + 1;
+          if t.batch_n >= t.cfg.batch_ops then begin
+            flush_batch t;
+            true
+          end
+          else
+            (* Wake only on the first buffered op, so the loop re-arms its
+               select timeout to the batch_delay time cap. *)
+            t.batch_n = 1
+        end)
+  in
+  if want_wake then wake t
 
 let on_seal t ~epoch ~cert =
   with_lock t.lock (fun () ->
+      (* The boundary record commits the epoch's op sequence: everything
+         buffered must be framed and in the log ahead of it. *)
+      flush_batch t;
       let digest =
         match Hashtbl.find_opt t.digests epoch with
         | Some d ->
@@ -160,7 +225,9 @@ let handle_subscribe t c ~id ~from_epoch =
       else begin
         (* Ack, replay the retained tail, and mark subscribed — atomically
            under the lock, so no hook-teed frame can slip between the replay
-           snapshot and the live stream. *)
+           snapshot and the live stream. Flush the open batch first so the
+           log is complete up to this instant. *)
+        flush_batch t;
         enqueue t c
           (Wire.encode_response ~id
              (Wire.Subscribed { from_epoch; run_id = t.run_id }));
@@ -320,7 +387,13 @@ let loop t =
           else None)
         conns
     in
-    (match Unix.select rd wr [] 1.0 with
+    let timeout =
+      (* Shorten the select timeout while a batch is buffered so the
+         batch_delay time cap actually fires. *)
+      with_lock t.lock (fun () ->
+          if t.batch_n > 0 then Float.min t.cfg.batch_delay 1.0 else 1.0)
+    in
+    (match Unix.select rd wr [] timeout with
     | rd_ready, wr_ready, _ ->
         if List.mem t.wake_r rd_ready then (
           try ignore (Unix.read t.wake_r t.scratch 0 64)
@@ -336,6 +409,13 @@ let loop t =
               drain_reader t c)
           conns
     | exception Unix.Unix_error (EINTR, _, _) -> ());
+    (* Time cap: a batch older than batch_delay goes out now even if it
+       never filled; the broadcast frames get written next iteration. *)
+    with_lock t.lock (fun () ->
+        if
+          t.batch_n > 0
+          && Unix.gettimeofday () -. t.batch_since >= t.cfg.batch_delay
+        then flush_batch t);
     (* Reap the dead; account follower + lag gauges. *)
     let died, lag =
       with_lock t.lock (fun () ->
@@ -415,6 +495,11 @@ let create ?(config = default_config) sys ~listen =
           floor = Fastver.live_epoch sys;
           sealed = Fastver.verified_epoch sys;
           digests = Hashtbl.create 4;
+          batch = [];
+          batch_epoch = 0;
+          batch_n = 0;
+          batch_since = 0.;
+          frames = 0;
           enc = Buffer.create 256;
           conns = [];
           wake_r;
@@ -425,6 +510,10 @@ let create ?(config = default_config) sys ~listen =
           m_ops =
             Reg.counter reg ~help:"Ops teed into the replication stream"
               "fastver_repl_ops_streamed_total";
+          m_frames =
+            Reg.counter reg
+              ~help:"Op-carrying frames emitted to the replication stream"
+              "fastver_repl_frames_total";
           m_epochs =
             Reg.counter reg
               ~help:"Epoch-boundary records emitted to the replication stream"
@@ -465,5 +554,6 @@ let stop t =
   end
 
 let sealed_epoch t = with_lock t.lock (fun () -> t.sealed)
+let frames_emitted t = with_lock t.lock (fun () -> t.frames)
 let followers t = with_lock t.lock (fun () -> List.length t.conns)
 let run_id t = t.run_id

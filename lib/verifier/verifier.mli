@@ -221,6 +221,16 @@ val cached : t -> tid:int -> Key.t -> Value.t option
 val cache_size : t -> tid:int -> int
 val clock : t -> tid:int -> Timestamp.t
 
+val cache_capacity : t -> int
+(** Live per-thread cache capacity (initially [config.cache_capacity]). *)
+
+val set_cache_capacity : t -> int -> unit
+(** Retune the per-thread cache capacity (clamped to [>= 2]). Safe to call
+    between epochs; the host must evict residents down to the new capacity
+    before issuing further adds, exactly as it maintains headroom today. The
+    soundness argument is unchanged — capacity only bounds memory, never
+    correctness. *)
+
 type op_stats = {
   mutable n_add_m : int;
   mutable n_evict_m : int;

@@ -145,6 +145,12 @@ $FV bench diff --figure coldtier
 dune exec bench/main.exe -- --quick --only vpause > /dev/null
 dune exec bench/main.exe -- --quick --only vpause > /dev/null
 $FV bench diff --figure vpause
+# adaptive-hierarchy figure: the run itself enforces the cert-identity and
+# ratio acceptance floors (it fails hard on divergence), the diff gates
+# throughput run-over-run
+dune exec bench/main.exe -- --quick --only adaptive > /dev/null
+dune exec bench/main.exe -- --quick --only adaptive > /dev/null
+$FV bench diff --figure adaptive
 
 echo "== sharded serve round trip (2 executor domains, 4 verifier shards)"
 $FV serve --listen "unix:$WORK/shard.sock" -n 2000 --batch 0 --enclave zero \
@@ -266,5 +272,35 @@ $FV stats --connect "unix:$WORK/rp2.sock" --check
 $FV stats --connect "unix:$WORK/f3.sock" --check
 echo "  rejoining follower caught up from checkpoint, all nodes reconcile"
 kill -9 $F1 $F2 $F3 $RP2_SRV 2>/dev/null || true
+
+echo "== adaptive hierarchy under live traffic (serve --adaptive)"
+# small --batch so epoch seals (and controller rounds) fire mid-traffic
+$FV serve --listen "unix:$WORK/ad.sock" -n 2000 --batch 400 --enclave zero \
+  --adaptive &
+AD_SRV=$!
+trap 'kill -9 $SRV $OBS_SRV $SHARD_SRV $POOL_SRV $RP_SRV $F1 $F2 $F3 $RP2_SRV $AD_SRV 2>/dev/null || true; rm -rf "$WORK"' EXIT
+i=0
+while [ ! -S "$WORK/ad.sock" ]; do
+  i=$((i + 1)); [ $i -gt 100 ] && { echo "adaptive server never came up"; exit 1; }
+  sleep 0.1
+done
+# rotating workload: three bursts with different zipf seeds and read/write
+# mixes, so the hot set and the tier pressure both shift under the
+# controller while certificates keep sealing
+$FV client-bench --connect "unix:$WORK/ad.sock" --ops 2000 --clients 2 \
+  -n 2000 --seed 1
+$FV client-bench --connect "unix:$WORK/ad.sock" --ops 2000 --clients 2 \
+  -n 2000 --seed 99 --put-ratio 0.8 --first-client 10
+$FV client-bench --connect "unix:$WORK/ad.sock" --ops 2000 --clients 2 \
+  -n 2000 --seed 7 --put-ratio 0.1 --first-client 20
+# reconciliation must still balance with the controller moving tiers
+$FV stats --connect "unix:$WORK/ad.sock" --check
+$FV stats --connect "unix:$WORK/ad.sock" --format json > "$WORK/ad-metrics.json"
+RETUNES=$(sed -n 's/.*"name":"fastver_adaptive_retunes_total","labels":{[^}]*},"value":\([0-9]*\).*/\1/p' \
+  "$WORK/ad-metrics.json")
+[ "${RETUNES:-0}" -ge 1 ] \
+  || { echo "no controller rounds fired under --adaptive load"; exit 1; }
+echo "  $RETUNES controller rounds during rotating load, stats reconcile"
+kill -9 $AD_SRV 2>/dev/null || true
 
 echo "OK"

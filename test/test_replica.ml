@@ -185,6 +185,9 @@ let test_wire_repl_opcodes () =
         { generation = 3; files = [| ("MANIFEST", "x"); ("a.bin", "\x00\xff") |] };
       Net.Wire.Repl_op { epoch = 5; key; value = Some "hello" };
       Net.Wire.Repl_op { epoch = 5; key; value = None };
+      Net.Wire.Repl_batch
+        { epoch = 5; ops = [| (key, Some "a"); (key, None); (key, Some "") |] };
+      Net.Wire.Repl_batch { epoch = 0; ops = [||] };
       Net.Wire.Repl_epoch
         { epoch = 9; cert = cert_for 9; stream_mac = String.make 32 'm' };
     ];
@@ -194,6 +197,12 @@ let test_wire_repl_opcodes () =
        (Net.Wire.Repl_op { epoch = 0; key = "short"; value = None })
    with
   | _ -> Alcotest.fail "short key accepted"
+  | exception Invalid_argument _ -> ());
+  (match
+     Net.Wire.encode_response ~id:0L
+       (Net.Wire.Repl_batch { epoch = 0; ops = [| ("short", None) |] })
+   with
+  | _ -> Alcotest.fail "short batched key accepted"
   | exception Invalid_argument _ -> ());
   (* a checkpoint reply claiming 2^31-ish files is rejected before any
      allocation proportional to the claim *)
@@ -216,7 +225,7 @@ let test_wire_repl_opcodes () =
 let prop_repl_op_hostile =
   QCheck.Test.make ~name:"hostile Repl_op/Repl_epoch bytes are total"
     ~count:1000
-    QCheck.(pair (oneofl [ '\x8b'; '\x8c'; '\x89'; '\x8a' ])
+    QCheck.(pair (oneofl [ '\x8b'; '\x8c'; '\x8d'; '\x89'; '\x8a' ])
               (string_of_size QCheck.Gen.(0 -- 200)))
     (fun (tag, junk) ->
       let b = Buffer.create 64 in
@@ -228,6 +237,8 @@ let prop_repl_op_hostile =
       match Net.Wire.decode_response (Buffer.contents b) with
       | Error _ -> true
       | Ok (_, Net.Wire.Repl_op { key; _ }) -> String.length key = 32
+      | Ok (_, Net.Wire.Repl_batch { ops; _ }) ->
+          Array.for_all (fun (key, _) -> String.length key = 32) ops
       | Ok _ -> true)
 
 (* ------------------------------------------------------------------ *)
@@ -479,8 +490,8 @@ let flip_byte tag index payload =
     Some (Bytes.to_string b)
   end
 
-let halted_with_evidence ~what ~tamper =
-  let t, p, addr = mk_primary () in
+let halted_with_evidence ?pconfig ~what ~tamper () =
+  let t, p, addr = mk_primary ?pconfig () in
   Fastver.put t 5L "target";
   Fastver.put t 6L "decoy";
   ignore (Fastver.verify t);
@@ -514,16 +525,66 @@ let halted_with_evidence ~what ~tamper =
   remove_tree fdir;
   try Sys.remove proxy_path with Sys_error _ -> ()
 
-(* Flip one bit of the first streamed op's value: the boundary stream MAC
-   no longer matches the follower's digest. *)
+(* Flip one bit inside the streamed batch (the last byte is part of the
+   final op's value): the boundary stream MAC no longer matches the
+   follower's digest. *)
 let test_flipped_op_halts () =
-  halted_with_evidence ~what:"flipped op" ~tamper:(flip_byte 0x8b (-1))
+  halted_with_evidence ~what:"flipped batched op"
+    ~tamper:(flip_byte 0x8d (-1)) ()
+
+(* The same property under legacy per-op framing (batch_ops <= 1). *)
+let test_flipped_legacy_op_halts () =
+  halted_with_evidence
+    ~pconfig:{ Replica.Primary.default_config with batch_ops = 1 }
+    ~what:"flipped legacy op"
+    ~tamper:(flip_byte 0x8b (-1)) ()
 
 (* Flip one bit of the epoch certificate inside the boundary record: the
    stream digest still matches, but the certificate chain rejects it. *)
 let test_flipped_cert_halts () =
   let cert_off = Net.Wire.header_len + 4 + 2 (* epoch + u16 len *) in
-  halted_with_evidence ~what:"flipped cert" ~tamper:(flip_byte 0x8c cert_off)
+  halted_with_evidence ~what:"flipped cert" ~tamper:(flip_byte 0x8c cert_off) ()
+
+(* ------------------------------------------------------------------ *)
+(* Frame batching                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The same op sequence framed per-op vs batched: batching must carry 10k
+   ops in at least 10x fewer op-carrying frames, and a follower replaying
+   either framing converges to the same verified state — the stream digest
+   and boundary MAC are framing-independent. *)
+let test_batching_cuts_frames () =
+  let run ~batch_ops =
+    let pcfg =
+      (* a long delay so only the size cap and epoch seals split batches *)
+      { Replica.Primary.default_config with batch_ops; batch_delay = 5.0 }
+    in
+    let t, p, addr = mk_primary ~pconfig:pcfg () in
+    for e = 0 to 1 do
+      for i = 0 to 4999 do
+        Fastver.put t (Int64.of_int (i mod 200)) (Printf.sprintf "%d-%d" e i)
+      done;
+      ignore (Fastver.verify t)
+    done;
+    let frames = Replica.Primary.frames_emitted p in
+    let f, fdir = mk_follower addr in
+    wait_for "catch-up" (caught_up t f);
+    Alcotest.(check (option string)) "last write replayed" (Some "1-4999")
+      (Fastver.get (Replica.Follower.system f) 199L);
+    Alcotest.(check int) "every op applied" 10_000
+      (Replica.Follower.applied_ops f);
+    Replica.Follower.stop f;
+    Replica.Primary.stop p;
+    remove_tree fdir;
+    frames
+  in
+  let batched = run ~batch_ops:512 in
+  let legacy = run ~batch_ops:1 in
+  Alcotest.(check int) "legacy framing is one frame per op" 10_000 legacy;
+  Alcotest.(check bool)
+    (Printf.sprintf "10k ops in >=10x fewer frames (%d vs %d)" batched legacy)
+    true
+    (batched > 0 && batched * 10 <= legacy)
 
 (* ------------------------------------------------------------------ *)
 (* Stream teardown totality                                            *)
@@ -778,8 +839,12 @@ let suite =
         test_follower_survives_primary_death;
       Alcotest.test_case "checkpoint bootstrap" `Quick
         test_checkpoint_bootstrap;
+      Alcotest.test_case "batching cuts stream frames" `Quick
+        test_batching_cuts_frames;
       Alcotest.test_case "flipped op halts follower" `Quick
         test_flipped_op_halts;
+      Alcotest.test_case "flipped legacy op halts follower" `Quick
+        test_flipped_legacy_op_halts;
       Alcotest.test_case "flipped cert halts follower" `Quick
         test_flipped_cert_halts;
       Alcotest.test_case "truncated stream reconnects" `Quick

@@ -91,6 +91,11 @@ let gen_response =
           (* the encoder requires the raw 32-byte data-key path *)
           (fun epoch key value -> Wire.Repl_op { epoch; key; value })
           (0 -- 1_000_000) (string_size (32 -- 32)) gen_value;
+        map2
+          (fun epoch ops ->
+            Wire.Repl_batch { epoch; ops = Array.of_list ops })
+          (0 -- 1_000_000)
+          (list_size (0 -- 20) (pair (string_size (32 -- 32)) gen_value));
         map3
           (fun epoch cert stream_mac ->
             Wire.Repl_epoch { epoch; cert; stream_mac })
