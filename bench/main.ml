@@ -1264,6 +1264,7 @@ let fig_repl () =
   in
   let json_rows = ref [] in
   let failover_ms = ref 0.0 in
+  let write_failover_ms = ref 0.0 in
   let single = ref 0.0 in
   pf "%-10s %14s %16s %10s\n" "followers" "agg ops/s" "ideal ops/s" "p99(ms)";
   List.iter
@@ -1388,14 +1389,105 @@ let fig_repl () =
       List.iter Fastver_replica.Follower.stop followers;
       Fastver_replica.Primary.stop prim)
     [ 1; 2; 4 ];
+  (* Write failover: an electable candidate loses the primary, elects
+     itself over its verified chain, and starts taking writes — time from
+     primary death until 200 verified writes have been accepted by the
+     promoted node through the ordinary client path. *)
+  (let config =
+     {
+       Fastver.Config.default with
+       n_workers = 1;
+       batch_size = 0;
+       cost_model = Cost_model.zero;
+     }
+   in
+   let t = Fastver.create ~config () in
+   Fastver.load t (records n);
+   let rsock = tmp "wf-pri.sock" in
+   let prim =
+     match
+       Fastver_replica.Primary.create t
+         ~listen:(Fastver_net.Addr.Unix_sock rsock)
+     with
+     | Ok p -> p
+     | Error e -> failwith ("repl: " ^ e)
+   in
+   Fastver_replica.Primary.start prim;
+   for e = 0 to 3 do
+     for i = 0 to 499 do
+       Fastver.put t
+         (Int64.of_int ((e * 500) + i))
+         (Printf.sprintf "w%d-%d" e i)
+     done;
+     ignore (Fastver.verify t)
+   done;
+   let sealed = Fastver.verified_epoch t in
+   let election =
+     Fastver_replica.Follower.electable ~priority:1 ~election_timeout:0.25
+       ~probe_timeout:0.25 ~probe_interval:0.1 ~promote_batch:500
+       (Fastver_net.Addr.Unix_sock (tmp "wf-cand.sock"))
+   in
+   let f =
+     match
+       Fastver_replica.Follower.create ~config
+         ~load:(fun sys -> Fastver.load sys (records n))
+         ~reconnect_delay:0.05 ~election
+         ~primary:(Fastver_net.Addr.Unix_sock rsock)
+         ~listen:(Fastver_net.Addr.Unix_sock (tmp "wf-f.sock"))
+         ~dir:(tmp "wf-f-state") ()
+     with
+     | Ok f ->
+         Fastver_replica.Follower.start f;
+         f
+     | Error e -> failwith ("repl write-failover: " ^ e)
+   in
+   let deadline = Unix.gettimeofday () +. 30.0 in
+   while
+     Fastver_replica.Follower.verified_epoch f < sealed
+     && Unix.gettimeofday () < deadline
+   do
+     Unix.sleepf 0.01
+   done;
+   if Fastver_replica.Follower.verified_epoch f < sealed then
+     failwith "repl: write-failover candidate failed to catch up";
+   let srv = Option.get (Fastver_replica.Follower.server f) in
+   let faddr = Fastver_net.Server.bound_addr srv in
+   let t0 = Unix.gettimeofday () in
+   Fastver_replica.Primary.stop prim;
+   let deadline = Unix.gettimeofday () +. 30.0 in
+   while
+     Fastver_replica.Follower.state f <> Fastver_replica.Follower.Leading
+     && Unix.gettimeofday () < deadline
+   do
+     Unix.sleepf 0.005
+   done;
+   if Fastver_replica.Follower.state f <> Fastver_replica.Follower.Leading
+   then failwith "repl: candidate never promoted after primary death";
+   let r =
+     Fastver_net.Net_bench.run ~addr:faddr ~clients:1 ~window:1 ~ops:200
+       ~db_size:n ~put_ratio:1.0 ~first_client:80 ()
+   in
+   if
+     r.Fastver_net.Net_bench.integrity_failures
+     + r.Fastver_net.Net_bench.errors
+     > 0
+   then failwith "repl: post-promotion writes failed";
+   write_failover_ms := (Unix.gettimeofday () -. t0) *. 1000.0;
+   pf
+     "  write failover: %.1f ms from primary death to 200 verified writes \
+      on the promoted candidate\n\
+      %!"
+     !write_failover_ms;
+   Fastver_replica.Follower.stop f);
   let path = "BENCH_repl.json" in
   let oc = open_out path in
   Printf.fprintf oc
     "{\n  \"figure\": \"repl\",\n  \"cores\": %d,\n  \
      \"failover_200_reads_ms\": %.1f,\n  \
+     \"write_failover_200_writes_ms\": %.1f,\n  \
      \"rows\": [\n%s\n  ]\n}\n"
     (Domain.recommended_domain_count ())
-    !failover_ms
+    !failover_ms !write_failover_ms
     (String.concat ",\n" (List.rev !json_rows));
   close_out oc;
   pf "  wrote %s\n%!" path

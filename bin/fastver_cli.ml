@@ -203,7 +203,7 @@ let parse_addr s =
 
 let serve_cmd listen db_size workers shards batch depth cache algo
     enclave_model no_auth seed batch_limit ckpt_dir background_verify
-    metrics_interval cold_dir cold_threshold repl_listen adaptive =
+    metrics_interval cold_dir cold_threshold repl_listen repl_peers adaptive =
   if db_size < 1 then die "--db-size must be at least 1";
   if workers < 1 then die "--workers must be at least 1";
   if shards < 0 then die "--shards must be non-negative";
@@ -268,6 +268,9 @@ let serve_cmd listen db_size workers shards batch depth cache algo
                   (Fastver_replica.Primary.bound_addr p));
             Some p)
   in
+  let peer_addrs = List.map parse_addr repl_peers in
+  if peer_addrs <> [] && primary = None then
+    die "--repl-peer requires --replication-listen";
   let scfg = { Net.Server.default_config with batch_limit } in
   match Net.Server.create ~config:scfg t ~listen:addr with
   | Error e -> die "%s" e
@@ -281,9 +284,87 @@ let serve_cmd listen db_size workers shards batch depth cache algo
             (Net.Server.bound_addr srv)
             (if no_auth then "off" else "on"));
       Net.Server.start srv;
+      (* Rejoin fencing: while serving as primary, probe peer replication
+         listeners. A peer that proves it is primary for a higher fencing
+         term — or deposition evidence recorded at subscribe time — means
+         an election happened while this process was down: demote in place
+         and re-join as a follower of the new primary, catching up via the
+         checkpoint-fetch path. Terms are in-memory, so a restarted deposed
+         primary is at term 0 — the lowest possible — and can never win a
+         probe exchange it should lose. *)
+      let demoted = ref None in
+      let find_new_primary p ~min_term =
+        List.find_map
+          (fun peer ->
+            match
+              Fastver_replica.Primary.announce ~timeout:0.5 peer
+                ~term:(Fastver_replica.Primary.term p)
+                ~sealed:(Fastver.verified_epoch t)
+                ~priority:(Fastver_replica.Primary.priority p)
+                ~run_id:(Fastver_replica.Primary.run_id p)
+            with
+            | `Info i
+              when i.Fastver_replica.Primary.p_primary
+                   && i.Fastver_replica.Primary.p_term >= min_term
+                   && i.Fastver_replica.Primary.p_term
+                      > Fastver_replica.Primary.term p ->
+                Some (i.Fastver_replica.Primary.p_term, peer)
+            | `Info _ | `Unreachable _ -> None)
+          peer_addrs
+      in
+      let demote_to p ~term ~target =
+        Logs.app (fun m ->
+            m
+              "deposed at fencing term %d: demoting to follower of %a \
+               (re-bootstrapping via checkpoint fetch)"
+              term Net.Addr.pp target);
+        Net.Server.stop srv;
+        Fastver_replica.Primary.stop p;
+        let fdir = Filename.temp_file "fastver" "-demoted" in
+        Sys.remove fdir;
+        let load sys =
+          Fastver.load sys
+            (Array.init db_size (fun i ->
+                 ( Int64.of_int i,
+                   Fastver_workload.Ycsb.initial_value (Int64.of_int i) )))
+        in
+        match
+          Fastver_replica.Follower.create ~config ~load ~primary:target
+            ~listen:addr ~dir:fdir ()
+        with
+        | Error e -> die "demotion failed: %s" e
+        | Ok f ->
+            Fastver_replica.Follower.start f;
+            Logs.app (fun m ->
+                m "demoted: serving verified reads on %a as a follower of %a"
+                  Net.Addr.pp addr Net.Addr.pp target);
+            demoted := Some f
+      in
       let last_dump = ref (Unix.gettimeofday ()) in
+      let last_probe = ref 0.0 in
       while not (Atomic.get stopping) do
         (try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        (match (primary, !demoted) with
+        | Some p, None when Unix.gettimeofday () -. !last_probe >= 0.5 ->
+            last_probe := Unix.gettimeofday ();
+            (match Fastver_replica.Primary.deposed p with
+            | Some (term, Some addr_s) -> (
+                match Net.Addr.parse addr_s with
+                | Ok target -> demote_to p ~term ~target
+                | Error _ -> (
+                    match find_new_primary p ~min_term:term with
+                    | Some (term, target) -> demote_to p ~term ~target
+                    | None -> ()))
+            | Some (term, None) -> (
+                match find_new_primary p ~min_term:term with
+                | Some (term, target) -> demote_to p ~term ~target
+                | None -> ())
+            | None when peer_addrs <> [] -> (
+                match find_new_primary p ~min_term:0 with
+                | Some (term, target) -> demote_to p ~term ~target
+                | None -> ())
+            | None -> ())
+        | _ -> ());
         match metrics_interval with
         | Some secs when Unix.gettimeofday () -. !last_dump >= secs ->
             last_dump := Unix.gettimeofday ();
@@ -292,15 +373,26 @@ let serve_cmd listen db_size workers shards batch depth cache algo
                   (Fastver_obs.Registry.to_json (Fastver.registry t)))
         | _ -> ()
       done;
-      Net.Server.stop srv;
-      Option.iter Fastver_replica.Primary.stop primary;
-      let c = Net.Server.counters srv in
-      let s = Fastver.stats t in
-      Logs.app (fun m ->
-          m "served %d requests on %d connections in %d drains (largest %d); \
-             %d protocol errors, %d failed ops; store at %d ops, epoch %d"
-            c.served c.accepted c.batches c.max_batch c.proto_errors
-            c.op_failures s.ops (Fastver.current_epoch t))
+      match !demoted with
+      | Some f ->
+          Fastver_replica.Follower.stop f;
+          Logs.app (fun m ->
+              m "demoted follower stopped: %d ops applied over %d verified \
+                 epochs"
+                (Fastver_replica.Follower.applied_ops f)
+                (Fastver_replica.Follower.verified_epoch f + 1))
+      | None ->
+          Net.Server.stop srv;
+          Option.iter Fastver_replica.Primary.stop primary;
+          let c = Net.Server.counters srv in
+          let s = Fastver.stats t in
+          Logs.app (fun m ->
+              m
+                "served %d requests on %d connections in %d drains (largest \
+                 %d); %d protocol errors, %d failed ops; store at %d ops, \
+                 epoch %d"
+                c.served c.accepted c.batches c.max_batch c.proto_errors
+                c.op_failures s.ops (Fastver.current_epoch t))
 
 let recover_cmd dir workers batch depth cache algo enclave_model no_auth seed
     cold_dir cold_threshold =
@@ -329,11 +421,21 @@ let recover_cmd dir workers batch depth cache algo enclave_model no_auth seed
 (* ------------------------------------------------------------------ *)
 
 let follow_cmd primary listen db_size workers shards depth cache algo
-    enclave_model no_auth seed dir =
+    enclave_model no_auth seed dir electable peers priority =
   if db_size < 1 then die "--db-size must be at least 1";
   if workers < 1 then die "--workers must be at least 1";
   let primary_addr = parse_addr primary in
   let listen_addr = Option.map parse_addr listen in
+  if electable = None && (peers <> [] || priority <> 0) then
+    die "--peer/--priority require --electable";
+  let election =
+    Option.map
+      (fun s ->
+        Fastver_replica.Follower.electable
+          ~peers:(List.map parse_addr peers)
+          ~priority ~checkpoint_dir:dir (parse_addr s))
+      electable
+  in
   let config =
     { (mk_config workers 0 depth cache algo enclave_model no_auth seed)
       with n_shards = shards }
@@ -347,8 +449,8 @@ let follow_cmd primary listen db_size workers shards depth cache algo
            (Int64.of_int i, Fastver_workload.Ycsb.initial_value (Int64.of_int i))))
   in
   match
-    Fastver_replica.Follower.create ~config ~load ~primary:primary_addr
-      ?listen:listen_addr ~dir ()
+    Fastver_replica.Follower.create ~config ~load ?election
+      ~primary:primary_addr ?listen:listen_addr ~dir ()
   with
   | Error e -> die "follow: %s" e
   | Ok f ->
@@ -362,6 +464,13 @@ let follow_cmd primary listen db_size workers shards depth cache algo
           Logs.app (fun m ->
               m "follower tailing %a (no read listener)" Net.Addr.pp
                 primary_addr));
+      (match election with
+      | Some e ->
+          Logs.app (fun m ->
+              m "electable candidate on %a (priority %d, %d peers)"
+                Net.Addr.pp e.Fastver_replica.Follower.listen priority
+                (List.length peers))
+      | None -> ());
       Fastver_replica.Follower.start f;
       let stopping = Atomic.make false in
       let on_signal _ = Atomic.set stopping true in
@@ -732,6 +841,36 @@ let follow_dir =
          ~doc:"Follower state directory: checkpoint generations fetched \
                from the primary during catch-up land here.")
 
+let follow_electable =
+  Arg.(value & opt (some string) None & info [ "electable" ] ~docv:"ADDR"
+         ~doc:"Stand for election. Binds ADDR as this candidate's \
+               replication listener from the start (answering term probes); \
+               when the primary stays unreachable, the candidate holding \
+               the highest chain-verified sealed epoch (ties broken by \
+               --priority, then run id) promotes in place — it starts \
+               serving writes, and the replication stream on ADDR, under a \
+               new fencing term.")
+
+let follow_peers =
+  Arg.(value & opt_all string [] & info [ "peer" ] ~docv:"ADDR"
+         ~doc:"Another candidate's --electable address (repeatable). \
+               Election rounds probe every peer; unreachable peers do not \
+               vote.")
+
+let follow_priority =
+  Arg.(value & opt int 0 & info [ "priority" ] ~docv:"N"
+         ~doc:"Static election priority: breaks equal-sealed-epoch ties, \
+               higher wins (default 0).")
+
+let repl_peers =
+  Arg.(value & opt_all string [] & info [ "repl-peer" ] ~docv:"ADDR"
+         ~doc:"A peer replication listener to probe while serving \
+               (repeatable). If a peer proves it is primary for a higher \
+               fencing term — an election happened while this process was \
+               down — the server demotes in place: it stops accepting \
+               writes and re-joins as a read-only follower of the new \
+               primary, catching up through the checkpoint-fetch path.")
+
 let metrics_interval =
   Arg.(value & opt (some float) None & info [ "metrics-interval" ]
          ~docv:"SECS"
@@ -744,13 +883,14 @@ let serve_term =
     $ setup_logs $ listen $ db_size $ workers $ shards $ batch $ depth $ cache
     $ algo $ enclave_model $ no_auth $ seed $ batch_limit $ ckpt_dir
     $ background_verify $ metrics_interval $ cold_dir $ cold_threshold
-    $ repl_listen $ adaptive_flag)
+    $ repl_listen $ repl_peers $ adaptive_flag)
 
 let follow_term =
   Term.(
     const (fun () -> follow_cmd)
     $ setup_logs $ follow_primary $ follow_listen $ db_size $ workers $ shards
-    $ depth $ cache $ algo $ enclave_model $ no_auth $ seed $ follow_dir)
+    $ depth $ cache $ algo $ enclave_model $ no_auth $ seed $ follow_dir
+    $ follow_electable $ follow_peers $ follow_priority)
 
 let stats_format =
   let f =

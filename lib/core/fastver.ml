@@ -116,7 +116,11 @@ type replication = {
 }
 
 type t = {
-  config : Config.t;
+  mutable config : Config.t;
+      (* mutable only for [set_batch_size]: election promotion re-enables
+         auto-sealing on a live store that was created as a follower
+         (batch_size 0). The field swap is a single word store of an
+         immutable record, so concurrent readers see either value whole. *)
   enclave : Enclave.t;
   shards : shard array;
   mutable boundaries : Key.t array;
@@ -2870,6 +2874,14 @@ let set_auto_checkpoint t ~dir =
         | Error e -> Logs.warn (fun m -> m "auto-checkpoint: %s" e))
 
 let clear_auto_checkpoint t = t.on_verified <- None
+
+(* Promotion support: a store created as a replication follower runs with
+   batch_size 0 (its epochs are sealed by the primary's stream). When the
+   follower wins an election it must start sealing epochs itself again, so
+   the new primary's boundary records flow. *)
+let set_batch_size t n =
+  if n < 0 then invalid_arg "Fastver.set_batch_size: negative batch size";
+  t.config <- { t.config with Config.batch_size = n }
 
 (* ------------------------------------------------------------------ *)
 (* Parallel runtime (§5.3, §7 thread model)                            *)

@@ -320,6 +320,14 @@ module String_keys : sig
   val delete : t -> string -> unit
 end
 
+val set_batch_size : t -> int -> unit
+(** Retune the auto-verification cadence on a live store. Replication
+    election uses it at promotion: a follower runs with [batch_size = 0]
+    (epochs sealed by the primary's stream), and the winner must start
+    sealing epochs itself to emit boundary records. Takes effect from the
+    next admitted operation.
+    @raise Invalid_argument on a negative size. *)
+
 val set_auto_checkpoint : t -> dir:string -> unit
 (** Checkpoint after every successful verification scan — the paper's §7
     guarantee that a completed epoch is also a persisted epoch (CPR-aligned

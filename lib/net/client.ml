@@ -1,11 +1,13 @@
 exception Server_error of string
 exception Protocol_error of string
+exception Timeout
 
 let () =
   Printexc.register_printer (function
     | Server_error e -> Some (Printf.sprintf "Fastver_net.Client.Server_error(%s)" e)
     | Protocol_error e ->
         Some (Printf.sprintf "Fastver_net.Client.Protocol_error(%s)" e)
+    | Timeout -> Some "Fastver_net.Client.Timeout"
     | _ -> None)
 
 type t = {
@@ -59,19 +61,40 @@ let send t req =
   Sockio.send_all t.fd (Wire.encode_request_into t.enc ~id req);
   id
 
-let recv t =
+(* [?timeout] bounds the whole wait for one response (a deadline, not a
+   per-read idle budget): a half-open server — frozen under SIGSTOP, or
+   killed mid-handshake with the socket left dangling — otherwise parks the
+   caller in select forever. Raises [Timeout]; the connection is then in an
+   unknown mid-frame state and must be closed, which is what the follower's
+   reconnect path does. *)
+let recv ?timeout t =
+  let deadline =
+    match timeout with None -> None | Some d -> Some (Unix.gettimeofday () +. d)
+  in
+  let wait () =
+    match deadline with
+    | None -> ignore (Unix.select [ t.fd ] [] [] (-1.0))
+    | Some dl ->
+        let left = dl -. Unix.gettimeofday () in
+        if left <= 0.0 then raise Timeout;
+        let r, _, _ = Unix.select [ t.fd ] [] [] left in
+        if r = [] then raise Timeout
+  in
   let rec frame () =
     match Frame.next t.reader with
     | Error e -> raise (Protocol_error e)
     | Ok (Some payload) -> payload
     | Ok None -> (
+        (* the fd is blocking: with a deadline, prove readability first or
+           [read] would park here past it *)
+        (match deadline with Some _ -> wait () | None -> ());
         match Sockio.read_chunk t.fd t.scratch with
         | `Eof -> raise (Protocol_error "connection closed by server")
         | `Data n ->
             Frame.feed t.reader t.scratch 0 n;
             frame ()
         | `Again ->
-            ignore (Unix.select [ t.fd ] [] [] (-1.0));
+            wait ();
             frame ())
   in
   match Wire.decode_response (frame ()) with

@@ -20,6 +20,10 @@ exception Server_error of string
 exception Protocol_error of string
 (** The byte stream is not a well-formed FastVer conversation. *)
 
+exception Timeout
+(** {!recv}'s deadline expired before a full response arrived. The
+    connection may be mid-frame and must be closed. *)
+
 type t
 (** A connection. *)
 
@@ -36,9 +40,18 @@ val close : t -> unit
 val send : t -> Wire.request -> int64
 (** Encode and write one request; returns its frame id. *)
 
-val recv : t -> int64 * Wire.response
-(** Block for the next response frame.
-    @raise Protocol_error on EOF or a malformed frame. *)
+val recv : ?timeout:float -> t -> int64 * Wire.response
+(** Block for the next response frame. [?timeout] (seconds) bounds the
+    whole wait — the replication follower uses it to keep a half-open
+    primary (SIGSTOP, mid-handshake kill) from hanging the subscribe
+    handshake forever.
+    @raise Protocol_error on EOF or a malformed frame.
+    @raise Timeout when the deadline passes first. *)
+
+val expect_id : int64 -> int64 * Wire.response -> Wire.response
+(** [expect_id id (recv t)] unwraps a response after checking it answers
+    frame [id].
+    @raise Protocol_error on an out-of-order id. *)
 
 type session
 

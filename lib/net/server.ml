@@ -126,6 +126,9 @@ type pool = {
 type t = {
   sys : Fastver.t;
   cfg : config;
+  read_only : bool Atomic.t;
+      (* starts as cfg.read_only; election promotion flips it off on a live
+         follower (and demotion flips it back) without restarting the loop *)
   listener : Unix.file_descr;
   addr : Addr.t;
   pending : (conn * int64 * Wire.request * float) Queue.t;
@@ -213,6 +216,7 @@ let create ?(config = default_config) sys ~listen =
             {
               sys;
               cfg = config;
+              read_only = Atomic.make config.read_only;
               listener = fd;
               addr;
               pending = Queue.create ();
@@ -235,6 +239,8 @@ let create ?(config = default_config) sys ~listen =
                (Unix.error_message e)))
 
 let bound_addr t = t.addr
+let read_only t = Atomic.get t.read_only
+let set_read_only t v = Atomic.set t.read_only v
 
 let counters t =
   let module C = Fastver_obs.Counter in
@@ -335,7 +341,8 @@ let classify t conn req =
       | Error e -> `Err e
       | Ok client -> `Data (Fastver.Batch.Get { client; nonce; key }))
   | Wire.Put { key; nonce; mac; value } -> (
-      if t.cfg.read_only then `Err "read-only follower: puts go to the primary"
+      if Atomic.get t.read_only then
+        `Err "read-only follower: puts go to the primary"
       else
         match client () with
         | Error e -> `Err e
@@ -367,7 +374,7 @@ let classify t conn req =
           conn.client <- None;
           Wire.Session_closed)
   | Wire.Verify ->
-      if t.cfg.read_only then
+      if Atomic.get t.read_only then
         (* A follower never seals epochs itself — its verified epoch only
            advances when the primary's boundary certificate authenticates.
            Re-sign the certificate for the epoch we already hold so the
@@ -407,7 +414,8 @@ let classify t conn req =
             | Wire.Prometheus -> Fastver_obs.Registry.to_prometheus reg
           in
           Wire.Metrics_reply { format; data })
-  | Wire.Subscribe _ | Wire.Fetch_checkpoint ->
+  | Wire.Subscribe _ | Wire.Fetch_checkpoint | Wire.Announce_term _
+  | Wire.Promote _ ->
       `Err "replication opcodes are served on the replication listener"
 
 let response_of_reply nonce (reply : Fastver.Batch.reply) =
@@ -422,7 +430,8 @@ let nonce_of = function
   | Wire.Get { nonce; _ } | Wire.Put { nonce; _ } | Wire.Scan { nonce; _ } ->
       nonce
   | Wire.Open_session _ | Wire.Close_session | Wire.Verify | Wire.Stats
-  | Wire.Metrics _ | Wire.Subscribe _ | Wire.Fetch_checkpoint ->
+  | Wire.Metrics _ | Wire.Subscribe _ | Wire.Fetch_checkpoint
+  | Wire.Announce_term _ | Wire.Promote _ ->
       0L
 
 (* ------------------------------------------------------------------ *)

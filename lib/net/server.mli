@@ -84,6 +84,16 @@ val create : ?config:config -> Fastver.t -> listen:Addr.t -> (t, string) result
 
 val bound_addr : t -> Addr.t
 
+val read_only : t -> bool
+(** The live value — starts as [config.read_only], moved by
+    {!set_read_only}. *)
+
+val set_read_only : t -> bool -> unit
+(** Flip follower mode on a running server. Election promotion calls
+    [set_read_only t false] so a follower starts admitting puts without
+    restarting its loop (demotion flips it back). Requests already past
+    classification keep the mode they saw. *)
+
 val counters : t -> counters
 
 val run : t -> unit

@@ -1,4 +1,5 @@
-let version = 1
+let version = 2
+let min_version = 1
 let magic = "FV"
 let header_len = 2 + 1 + 1 + 8
 let max_frame = 16 * 1024 * 1024
@@ -14,8 +15,15 @@ type request =
   | Verify
   | Stats
   | Metrics of { format : metrics_format }
-  | Subscribe of { from_epoch : int }
+  | Subscribe of { from_epoch : int; term : int }
   | Fetch_checkpoint
+  | Announce_term of {
+      term : int;
+      sealed : int;
+      priority : int;
+      run_id : int64;
+    }
+  | Promote of { term : int; addr : string }
 
 type item = { key : int64; value : string option; epoch : int; mac : string }
 
@@ -39,14 +47,25 @@ type response =
   | Verified of { epoch : int; cert : string }
   | Stats_reply of stats
   | Metrics_reply of { format : metrics_format; data : string }
-  | Subscribed of { from_epoch : int; run_id : int64 }
-  | Checkpoint_reply of { generation : int; files : (string * string) array }
+  | Subscribed of { from_epoch : int; run_id : int64; term : int }
+  | Checkpoint_reply of {
+      generation : int;
+      files : (string * string) array;
+      term : int;
+    }
   | Repl_op of { epoch : int; key : string; value : string option }
   | Repl_batch of { epoch : int; ops : (string * string option) array }
       (* one epoch's buffered ops in apply order — the batched form of a run
          of [Repl_op]s, cutting stream frames (and syscalls) by the batch
          length *)
-  | Repl_epoch of { epoch : int; cert : string; stream_mac : string }
+  | Repl_epoch of { epoch : int; cert : string; stream_mac : string; term : int }
+  | Term_info of {
+      term : int;
+      sealed : int;
+      priority : int;
+      run_id : int64;
+      primary : bool;
+    }
   | Error of string
 
 (* ------------------------------------------------------------------ *)
@@ -63,6 +82,8 @@ let tag_stats = 0x07
 let tag_metrics = 0x08
 let tag_subscribe = 0x09
 let tag_fetch_checkpoint = 0x0a
+let tag_announce_term = 0x0b
+let tag_promote = 0x0c
 let tag_opened = 0x81
 let tag_closed = 0x82
 let tag_got = 0x83
@@ -76,6 +97,7 @@ let tag_checkpoint_reply = 0x8a
 let tag_repl_op = 0x8b
 let tag_repl_epoch = 0x8c
 let tag_repl_batch = 0x8d
+let tag_term_info = 0x8e
 let tag_error = 0xff
 
 let metrics_format_byte = function Json -> 0 | Prometheus -> 1
@@ -164,10 +186,22 @@ let encode_request_into b ~id req =
   | Metrics { format } ->
       begin_frame b ~id tag_metrics;
       add_u8 b (metrics_format_byte format)
-  | Subscribe { from_epoch } ->
+  | Subscribe { from_epoch; term } ->
       begin_frame b ~id tag_subscribe;
-      add_u32 b from_epoch
-  | Fetch_checkpoint -> begin_frame b ~id tag_fetch_checkpoint);
+      add_u32 b from_epoch;
+      add_u32 b term
+  | Fetch_checkpoint -> begin_frame b ~id tag_fetch_checkpoint
+  | Announce_term { term; sealed; priority; run_id } ->
+      begin_frame b ~id tag_announce_term;
+      add_u32 b term;
+      (* sealed can be -1 (nothing verified yet): ship it as a signed 64 *)
+      add_i64 b (Int64.of_int sealed);
+      add_u32 b priority;
+      add_i64 b run_id
+  | Promote { term; addr } ->
+      begin_frame b ~id tag_promote;
+      add_u32 b term;
+      add_mac b addr);
   to_frame b
 
 let encode_response_into b ~id resp =
@@ -208,13 +242,15 @@ let encode_response_into b ~id resp =
       add_u8 b (metrics_format_byte format);
       add_u32 b (String.length data);
       Buffer.add_string b data
-  | Subscribed { from_epoch; run_id } ->
+  | Subscribed { from_epoch; run_id; term } ->
       begin_frame b ~id tag_subscribed;
       add_u32 b from_epoch;
-      add_i64 b run_id
-  | Checkpoint_reply { generation; files } ->
+      add_i64 b run_id;
+      add_u32 b term
+  | Checkpoint_reply { generation; files; term } ->
       begin_frame b ~id tag_checkpoint_reply;
       add_u32 b generation;
+      add_u32 b term;
       add_u32 b (Array.length files);
       Array.iter
         (fun (name, data) ->
@@ -240,11 +276,19 @@ let encode_response_into b ~id resp =
           Buffer.add_string b key;
           add_value_opt b value)
         ops
-  | Repl_epoch { epoch; cert; stream_mac } ->
+  | Repl_epoch { epoch; cert; stream_mac; term } ->
       begin_frame b ~id tag_repl_epoch;
       add_u32 b epoch;
       add_mac b cert;
-      add_mac b stream_mac
+      add_mac b stream_mac;
+      add_u32 b term
+  | Term_info { term; sealed; priority; run_id; primary } ->
+      begin_frame b ~id tag_term_info;
+      add_u32 b term;
+      add_i64 b (Int64.of_int sealed);
+      add_u32 b priority;
+      add_i64 b run_id;
+      add_u8 b (if primary then 1 else 0)
   | Error msg ->
       begin_frame b ~id tag_error;
       add_u32 b (String.length msg);
@@ -330,21 +374,26 @@ let header payload =
   if String.sub payload 0 2 <> magic then raise (Bad "bad magic");
   let c = { s = payload; pos = 2 } in
   let ver = u8 c in
-  if ver <> version then raise (Bad (Printf.sprintf "unsupported version %d" ver));
+  if ver < min_version || ver > version then
+    raise (Bad (Printf.sprintf "unsupported version %d" ver));
   let tag = u8 c in
   let id = i64 c in
-  (c, tag, id)
+  (c, ver, tag, id)
 
+(* Version-1 frames predate the fencing term: the term-bearing messages
+   ([Subscribe]/[Subscribed]/[Repl_epoch]) simply omit the field, and the
+   decoders below default it to 0 — term 0 is "before any election", so a
+   legacy peer is indistinguishable from a never-elected cluster. *)
 let decode decode_tag payload =
   match
-    let c, tag, id = header payload in
-    (id, finish c (decode_tag c tag))
+    let c, ver, tag, id = header payload in
+    (id, finish c (decode_tag ver c tag))
   with
   | v -> Ok v
   | exception Bad e -> Error e
 
 let decode_request =
-  decode (fun c tag ->
+  decode (fun ver c tag ->
       if tag = tag_open then Open_session { client = u32 c }
       else if tag = tag_close then Close_session
       else if tag = tag_get then
@@ -365,12 +414,25 @@ let decode_request =
       else if tag = tag_verify then Verify
       else if tag = tag_stats then Stats
       else if tag = tag_metrics then Metrics { format = metrics_format c }
-      else if tag = tag_subscribe then Subscribe { from_epoch = u32 c }
+      else if tag = tag_subscribe then
+        let from_epoch = u32 c in
+        let term = if ver >= 2 then u32 c else 0 in
+        Subscribe { from_epoch; term }
       else if tag = tag_fetch_checkpoint then Fetch_checkpoint
+      else if tag = tag_announce_term then
+        let term = u32 c in
+        let sealed = Int64.to_int (i64 c) in
+        let priority = u32 c in
+        let run_id = i64 c in
+        Announce_term { term; sealed; priority; run_id }
+      else if tag = tag_promote then
+        let term = u32 c in
+        let addr = mac_str c in
+        Promote { term; addr }
       else raise (Bad (Printf.sprintf "unknown request tag 0x%02x" tag)))
 
 let decode_response =
-  decode (fun c tag ->
+  decode (fun ver c tag ->
       if tag = tag_opened then Session_opened { client = u32 c }
       else if tag = tag_closed then Session_closed
       else if tag = tag_got then
@@ -411,9 +473,11 @@ let decode_response =
       else if tag = tag_subscribed then
         let from_epoch = u32 c in
         let run_id = i64 c in
-        Subscribed { from_epoch; run_id }
+        let term = if ver >= 2 then u32 c else 0 in
+        Subscribed { from_epoch; run_id; term }
       else if tag = tag_checkpoint_reply then begin
         let generation = u32 c in
+        let term = if ver >= 2 then u32 c else 0 in
         let count = u32 c in
         (* each file entry consumes >= 6 bytes (two length prefixes), so
            [count] is implicitly bounded by the payload: check before
@@ -426,7 +490,7 @@ let decode_response =
               let n = u32 c in
               (name, str c n))
         in
-        Checkpoint_reply { generation; files }
+        Checkpoint_reply { generation; files; term }
       end
       else if tag = tag_repl_op then
         let epoch = u32 c in
@@ -453,7 +517,20 @@ let decode_response =
         let epoch = u32 c in
         let cert = mac_str c in
         let stream_mac = mac_str c in
-        Repl_epoch { epoch; cert; stream_mac }
+        let term = if ver >= 2 then u32 c else 0 in
+        Repl_epoch { epoch; cert; stream_mac; term }
+      else if tag = tag_term_info then
+        let term = u32 c in
+        let sealed = Int64.to_int (i64 c) in
+        let priority = u32 c in
+        let run_id = i64 c in
+        let primary =
+          match u8 c with
+          | 0 -> false
+          | 1 -> true
+          | t -> raise (Bad (Printf.sprintf "bad primary flag 0x%02x" t))
+        in
+        Term_info { term; sealed; priority; run_id; primary }
       else if tag = tag_error then
         let n = u32 c in
         Error (str c n)
@@ -476,9 +553,14 @@ let pp_request ppf = function
   | Metrics { format } ->
       Format.fprintf ppf "metrics(%s)"
         (match format with Json -> "json" | Prometheus -> "prometheus")
-  | Subscribe { from_epoch } ->
-      Format.fprintf ppf "subscribe(from epoch %d)" from_epoch
+  | Subscribe { from_epoch; term } ->
+      Format.fprintf ppf "subscribe(from epoch %d, term %d)" from_epoch term
   | Fetch_checkpoint -> Format.fprintf ppf "fetch-checkpoint"
+  | Announce_term { term; sealed; priority; run_id } ->
+      Format.fprintf ppf "announce-term(term %d, sealed %d, prio %d, run %Ld)"
+        term sealed priority run_id
+  | Promote { term; addr } ->
+      Format.fprintf ppf "promote(term %d, %s)" term addr
 
 let pp_response ppf = function
   | Session_opened { client } -> Format.fprintf ppf "session-opened(%d)" client
@@ -490,15 +572,21 @@ let pp_response ppf = function
   | Stats_reply _ -> Format.fprintf ppf "stats-reply"
   | Metrics_reply { data; _ } ->
       Format.fprintf ppf "metrics-reply(%d bytes)" (String.length data)
-  | Subscribed { from_epoch; run_id } ->
-      Format.fprintf ppf "subscribed(from epoch %d, run %Ld)" from_epoch run_id
-  | Checkpoint_reply { generation; files } ->
-      Format.fprintf ppf "checkpoint-reply(gen %d, %d files)" generation
-        (Array.length files)
+  | Subscribed { from_epoch; run_id; term } ->
+      Format.fprintf ppf "subscribed(from epoch %d, run %Ld, term %d)"
+        from_epoch run_id term
+  | Checkpoint_reply { generation; files; term } ->
+      Format.fprintf ppf "checkpoint-reply(gen %d, %d files, term %d)"
+        generation (Array.length files) term
   | Repl_op { epoch; value; _ } ->
       Format.fprintf ppf "repl-op(epoch %d, %s)" epoch
         (match value with None -> "delete" | Some _ -> "put")
   | Repl_batch { epoch; ops } ->
       Format.fprintf ppf "repl-batch(epoch %d, %d ops)" epoch (Array.length ops)
-  | Repl_epoch { epoch; _ } -> Format.fprintf ppf "repl-epoch(%d)" epoch
+  | Repl_epoch { epoch; term; _ } ->
+      Format.fprintf ppf "repl-epoch(%d, term %d)" epoch term
+  | Term_info { term; sealed; priority; run_id; primary } ->
+      Format.fprintf ppf "term-info(term %d, sealed %d, prio %d, run %Ld, %s)"
+        term sealed priority run_id
+        (if primary then "primary" else "standby")
   | Error e -> Format.fprintf ppf "error(%s)" e

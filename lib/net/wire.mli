@@ -16,7 +16,13 @@
     never an exception and never unbounded work or allocation. *)
 
 val version : int
-(** Protocol version carried in every frame (currently 1). *)
+(** Protocol version carried in every encoded frame (currently 2, which
+    added the replication fencing term). *)
+
+val min_version : int
+(** Oldest version the decoders still accept. Version-1 frames lack the
+    term field on [Subscribe]/[Subscribed]/[Repl_epoch]; decoding defaults
+    it to 0 ("before any election"), so both framings interoperate. *)
 
 val header_len : int
 (** Bytes of the fixed payload header (magic, version, type, request id). *)
@@ -37,14 +43,36 @@ type request =
   | Verify
   | Stats
   | Metrics of { format : metrics_format }
-  | Subscribe of { from_epoch : int }
+  | Subscribe of { from_epoch : int; term : int }
       (** Replication: stream every op and epoch-boundary record for epochs
           [>= from_epoch]; the subscriber's state already reflects all
-          sealed epochs below it. *)
+          sealed epochs below it. [term] is the fencing term under which the
+          subscriber's newest verified epoch was sealed — a primary refuses
+          a subscriber from a *higher* term (the refusal is proof the
+          primary was deposed) and fences one whose stale term claims
+          epochs this primary re-sealed after an election. *)
   | Fetch_checkpoint
       (** Replication catch-up: ship the newest committed checkpoint
           generation so a follower too far behind the primary's replication
           log can bootstrap, then re-subscribe from its sealed epoch. *)
+  | Announce_term of {
+      term : int;
+      sealed : int;
+      priority : int;
+      run_id : int64;
+    }
+      (** Election state exchange: the sender's fencing term, newest
+          chain-verified sealed epoch ([-1] if none), static election
+          priority and incarnation id. Candidates send it to every peer
+          when the primary is lost, and primaries probe peers with it to
+          detect a rival with a higher term. Answered by
+          {!response.Term_info}. *)
+  | Promote of { term : int; addr : string }
+      (** Directive from an election winner: "I am primary for [term],
+          serving replication at [addr]" ({!Addr.to_string} form). A
+          standby that receives it abandons its own candidacy and
+          re-subscribes at [addr]; a primary that receives it with a
+          higher term knows it has been deposed. *)
 
 type item = { key : int64; value : string option; epoch : int; mac : string }
 (** One validated result: the receipt MAC covers (kind, client, nonce, key,
@@ -72,16 +100,29 @@ type response =
   | Metrics_reply of { format : metrics_format; data : string }
       (** [data] is the rendered snapshot (untrusted diagnostics — metrics
           are host-side state and carry no receipt MAC). *)
-  | Subscribed of { from_epoch : int; run_id : int64 }
+  | Subscribed of { from_epoch : int; run_id : int64; term : int }
       (** Ack for {!request.Subscribe}: streaming starts at [from_epoch].
           [run_id] identifies this primary incarnation; a follower that
           reconnects and sees a different [run_id] must re-bootstrap (the
-          primary may have restarted from an older checkpoint). *)
-  | Checkpoint_reply of { generation : int; files : (string * string) array }
+          primary may have restarted from an older checkpoint). [term] is
+          the primary's current fencing term; followers adopt it (terms
+          only move forward). *)
+  | Checkpoint_reply of {
+      generation : int;
+      files : (string * string) array;
+      term : int;
+    }
       (** The newest committed generation's component files as
           [(basename, contents)] pairs — MANIFEST included, so the receiver
           re-verifies every checksum through the normal recovery path and
-          trusts nothing about the transport. *)
+          trusts nothing about the transport. [term] is the fencing term the
+          sender holds: checkpoints carry state sealed under that term, and
+          terms are not persisted inside generations, so a bootstrapping
+          follower adopts it once the generation passes tamper-evident
+          recovery (the field itself is unauthenticated — lying about it
+          costs availability at the next subscribe, never integrity, since
+          divergent state is still caught by the local re-verification
+          scan against the streamed certificates). *)
   | Repl_op of { epoch : int; key : string; value : string option }
       (** One applied op in stream order. [key] is the raw 32-byte data-key
           path ({!Key.to_bytes32}); [value = None] is a delete. Untrusted
@@ -95,11 +136,26 @@ type response =
           syscalls by the batch length. Followers treat it exactly as the
           equivalent [Repl_op] sequence: the per-op stream digest is
           unchanged, so old and new frames interoperate. *)
-  | Repl_epoch of { epoch : int; cert : string; stream_mac : string }
+  | Repl_epoch of { epoch : int; cert : string; stream_mac : string; term : int }
       (** Epoch-boundary record: [cert] is the store-level epoch certificate
           (HMAC over {!Fastver_verifier.Verifier.epoch_certificate_message});
           [stream_mac] authenticates the exact op sequence streamed for
-          [epoch] (see {!Fastver_replica.Stream}). *)
+          [epoch] (see {!Fastver_replica.Stream}). [term] is the fencing
+          term the epoch was sealed under — followers reject a record whose
+          term moves backwards (a deposed primary replaying old state). *)
+  | Term_info of {
+      term : int;
+      sealed : int;
+      priority : int;
+      run_id : int64;
+      primary : bool;
+    }
+      (** Reply to {!request.Announce_term} / {!request.Promote}: the
+          responder's election state. [primary] says whether the responder
+          is currently serving writes — a prober that finds a primary with
+          a greater (term, sealed, priority, run_id) tuple than its own
+          must defer to it (candidates re-subscribe, rival primaries
+          demote). *)
   | Error of string
 
 val encode_request : id:int64 -> request -> string

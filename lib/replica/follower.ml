@@ -7,12 +7,44 @@ module Client = Fastver_net.Client
 module Server = Fastver_net.Server
 module Verifier = Fastver_verifier.Verifier
 
-type state = Streaming | Disconnected | Halted | Stopped
+type state = Streaming | Disconnected | Leading | Halted | Stopped
+
+type election = {
+  listen : Addr.t;
+      (* bound as a standby listener from the start: answers term probes,
+         refuses subscribers; serves the stream once promoted *)
+  peers : Addr.t list; (* the other candidates' replication addresses *)
+  priority : int;
+  election_timeout : float;
+      (* primary unreachable this long before a candidacy round *)
+  probe_timeout : float; (* per-peer announce/promote exchange budget *)
+  probe_interval : float; (* leader's rival-probe cadence *)
+  promote_batch : int; (* auto-seal cadence re-enabled at promotion *)
+  checkpoint_dir : string option; (* auto-checkpoint once leading *)
+}
+
+let electable ?(peers = []) ?(priority = 0) ?(election_timeout = 1.0)
+    ?(probe_timeout = 1.0) ?(probe_interval = 0.5) ?(promote_batch = 256)
+    ?checkpoint_dir listen =
+  {
+    listen;
+    peers;
+    priority;
+    election_timeout;
+    probe_timeout;
+    probe_interval;
+    promote_batch;
+    checkpoint_dir;
+  }
+
+let backoff_cap = 5.0
 
 type t = {
   sys : Fastver.t;
   server : Server.t option;
-  primary : Addr.t;
+  mutable primary : Addr.t; (* current subscription target *)
+  orig_primary : Addr.t; (* as configured: probed so a rejoining deposed
+                            primary learns of the new term *)
   chain : Verifier.Cert_chain.t;
   lock : Mutex.t;
   mutable conn : Client.t option;
@@ -27,24 +59,53 @@ type t = {
   digests : (int, string) Hashtbl.t;
   stop_flag : bool Atomic.t;
   mutable domain : unit Domain.t option;
-  reconnect_delay : float;
+  reconnect_delay : float; (* backoff base *)
+  mutable backoff : float; (* current exponential ceiling, [base, cap] *)
+  rng : Random.State.t; (* full jitter: N followers losing one primary
+                           must not hammer the candidate in lockstep *)
+  handshake_timeout : float;
+  mutable term : int;
+      (* chain term: the fencing term the newest *authenticated* boundary
+         record carried. This — and only this — is what Subscribe claims;
+         adopting a term any earlier would let a divergent chain bypass the
+         primary's stale-term fence. *)
+  mutable seen_term : int;
+      (* highest term observed anywhere (acks, probes, boundaries) — a
+         candidacy must outbid it *)
+  mutable lost_since : float option;
+      (* when the primary first became unreachable; election grace timer *)
+  election : election option;
+  standby : Primary.t option; (* Some iff electable *)
+  self_id : int64; (* candidate identity, final election tie-break *)
   m_applied : Fastver_obs.Counter.t;
   m_certs_ok : Fastver_obs.Counter.t;
   m_certs_bad : Fastver_obs.Counter.t;
   m_lag : Fastver_obs.Gauge.t;
+  m_elections : Fastver_obs.Counter.t;
+  m_promote_s : Fastver_obs.Histogram.t;
 }
 
 let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn > 0 && go 0
+
 (* ---- Bootstrap conversations ---- *)
 
-let subscribe conn ~from_epoch =
-  let id = Client.send conn (Wire.Subscribe { from_epoch }) in
-  match Client.recv conn with
-  | id', Wire.Subscribed { from_epoch = f; run_id } when Int64.equal id id' ->
-      Ok (`Subscribed (f, run_id))
+(* The handshake is deadline-bounded: a half-open primary socket (frozen
+   under SIGSTOP, or killed mid-handshake) otherwise parks the follower in
+   recv forever. [Client.Timeout] propagates to the caller, which treats it
+   like any other connection failure and falls back to reconnect. *)
+let subscribe ?(timeout = 5.0) conn ~from_epoch ~term =
+  let id = Client.send conn (Wire.Subscribe { from_epoch; term }) in
+  match Client.recv ~timeout conn with
+  | id', Wire.Subscribed { from_epoch = f; run_id; term } when Int64.equal id id'
+    ->
+      Ok (`Subscribed (f, run_id, term))
   | id', Wire.Error e when Int64.equal id id' -> Ok (`Refused e)
   | _ -> Error "unexpected response to subscribe"
 
@@ -62,18 +123,24 @@ let write_file path data =
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
     mkdir_p (Filename.dirname dir);
-    try Unix.mkdir dir 0o755
-    with Unix.Unix_error (EEXIST, _, _) -> ()
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ()
   end
 
 (* Fetch the primary's newest committed generation into [dir] and recover
    from it. The shipped bytes are untrusted: component names are confined to
    the generation directory and [Fastver.recover] re-verifies the manifest's
-   checksums (and the sealed shard layout) before any of it becomes state. *)
-let fetch_checkpoint conn ~config ~dir =
+   checksums (and the sealed shard layout) before any of it becomes state.
+   Also returns the sender's fencing term: the generation's epochs were
+   sealed under it, and terms are not persisted inside checkpoints, so the
+   bootstrapping follower must claim it when re-subscribing or the primary's
+   own stale-term fence sends it straight back here. The field itself is
+   unauthenticated — a lie costs availability at the next subscribe, never
+   integrity (divergent state still fails the local re-verification scan
+   against the streamed certificates). *)
+let fetch_checkpoint ?(timeout = 60.0) conn ~config ~dir =
   let id = Client.send conn Wire.Fetch_checkpoint in
-  match Client.recv conn with
-  | id', Wire.Checkpoint_reply { generation; files } when Int64.equal id id' ->
+  match Client.recv ~timeout conn with
+  | id', Wire.Checkpoint_reply { generation; files; term } when Int64.equal id id' ->
       let gdir =
         Filename.concat dir
           (Fastver_kvstore.Ckpt_io.generation_dir_name generation)
@@ -87,7 +154,7 @@ let fetch_checkpoint conn ~config ~dir =
         Array.iter
           (fun (name, data) -> write_file (Filename.concat gdir name) data)
           files;
-        Fastver.recover ~config ~dir ()
+        Result.map (fun sys -> (sys, term)) (Fastver.recover ~config ~dir ())
       end
       else Error "checkpoint reply contains unsafe file names"
   | id', Wire.Error e when Int64.equal id id' ->
@@ -131,7 +198,7 @@ let record_op t ~epoch ~key ~value =
    this epoch's tag. Nothing was applied yet — a flipped bit in any op (or
    in the certificate itself) halts the follower here, before any client
    could read the altered value. *)
-let handle_boundary t ~epoch ~cert ~stream_mac =
+let handle_boundary t ~epoch ~cert ~stream_mac ~term =
   let digest, ops =
     with_lock t.lock (fun () ->
         ( Option.value (Hashtbl.find_opt t.digests epoch)
@@ -139,8 +206,20 @@ let handle_boundary t ~epoch ~cert ~stream_mac =
           List.rev (Option.value (Hashtbl.find_opt t.pending epoch) ~default:[])
         ))
   in
+  (* Fencing: terms only move forward along an authenticated chain. A
+     boundary stamped below the chain term is a deposed primary's record
+     (or a replay) — reject before any MAC work. *)
+  if term < t.term then
+    halt t ~epoch
+      (Printf.sprintf
+         "fencing violation: boundary record for epoch %d carries term %d \
+          but the chain is already at term %d"
+         epoch term t.term);
   let mac_secret = (Fastver.config t.sys).mac_secret in
-  if not (Stream.check_boundary_mac ~mac_secret ~epoch ~digest ~tag:stream_mac)
+  if
+    not
+      (Stream.check_boundary_mac ~mac_secret ~term ~epoch ~digest
+         ~tag:stream_mac ())
   then
     halt t ~epoch
       (Printf.sprintf
@@ -174,7 +253,11 @@ let handle_boundary t ~epoch ~cert ~stream_mac =
       Hashtbl.remove t.pending epoch;
       Hashtbl.remove t.digests epoch;
       t.applied <- t.applied + List.length ops;
-      if epoch > t.max_seen then t.max_seen <- epoch);
+      if epoch > t.max_seen then t.max_seen <- epoch;
+      (* The chain term advances only here: the boundary authenticated, so
+         our newest verified epoch really was sealed under [term]. *)
+      if term > t.term then t.term <- term;
+      if term > t.seen_term then t.seen_term <- term);
   Fastver_obs.Counter.incr t.m_certs_ok;
   gauge_lag t
 
@@ -187,8 +270,8 @@ let stream_once t conn =
       (* Exactly the equivalent Repl_op run: fold and buffer each op in
          order; authentication still happens only at the boundary record. *)
       Array.iter (fun (key, value) -> record_op t ~epoch ~key ~value) ops
-  | _, Wire.Repl_epoch { epoch; cert; stream_mac } ->
-      handle_boundary t ~epoch ~cert ~stream_mac
+  | _, Wire.Repl_epoch { epoch; cert; stream_mac; term } ->
+      handle_boundary t ~epoch ~cert ~stream_mac ~term
   | _, Wire.Error e ->
       Log.warn (fun m -> m "primary sent error mid-stream: %s" e);
       raise Disconnected_exn
@@ -200,76 +283,369 @@ let drop_unsealed t =
       Hashtbl.reset t.digests;
       t.max_seen <- Fastver.verified_epoch t.sys)
 
+(* ---- Reconnect pacing: exponential backoff with full jitter ---- *)
+
+(* Sleep uniform(0, backoff) then double the ceiling toward the cap; a
+   successful subscribe resets it to the base. Sliced so [stop] never waits
+   out a multi-second delay. *)
+let backoff_sleep t =
+  let d = Random.State.float t.rng t.backoff in
+  t.backoff <- Float.min backoff_cap (t.backoff *. 2.0);
+  let until = Unix.gettimeofday () +. d in
+  let rec nap () =
+    if not (Atomic.get t.stop_flag) then begin
+      let left = until -. Unix.gettimeofday () in
+      if left > 0.0 then begin
+        Unix.sleepf (Float.min 0.05 left);
+        nap ()
+      end
+    end
+  in
+  nap ()
+
+let reset_backoff t =
+  t.backoff <- t.reconnect_delay;
+  t.lost_since <- None
+
+let note_seen_term t term =
+  if term > t.seen_term then t.seen_term <- term
+
+(* ---- Election ---- *)
+
+(* A candidate outranks another by (sealed, priority, run-id), compared
+   lexicographically. Soundness of leading with the *highest verified
+   epoch*: every sealed epoch is chain-authenticated back to the shared
+   secret, so the candidate holding the largest one provably contains every
+   write any client could have had certified — there is nothing newer to
+   lose. Priority and run-id only break exact ties deterministically. *)
+let rank (sealed, prio, rid) = (sealed, prio, rid)
+
+let my_rank t e = rank (Fastver.verified_epoch t.sys, e.priority, t.self_id)
+
+let retarget t ~addr ~term reason =
+  Log.app (fun m ->
+      m "re-homing to %s (term %d): %s" (Addr.to_string addr) term reason);
+  t.primary <- addr;
+  note_seen_term t term;
+  reset_backoff t
+
+(* Consume a [Promote] directive the standby listener may have received
+   from an election winner. *)
+let check_directive t =
+  match t.standby with
+  | None -> ()
+  | Some sb -> (
+      match Primary.take_directive sb with
+      | Some (term, Some addr_s) -> (
+          match Addr.parse addr_s with
+          | Ok addr -> retarget t ~addr ~term "promote directive from winner"
+          | Error _ ->
+              Log.warn (fun m ->
+                  m "promote directive carried unparseable address %S" addr_s))
+      | Some (term, None) -> note_seen_term t term
+      | None -> ())
+
+let probe_targets e orig =
+  if List.mem orig e.peers then e.peers else orig :: e.peers
+
+(* One candidacy round. Deterministic given the reachable peer set: every
+   candidate compares the same (sealed, priority, run-id) tuples, so the
+   maximum is the unique winner; unreachable peers simply do not vote
+   (a healed partition is reconciled by the leader's rival probes). *)
+let run_election t e sb =
+  Fastver_obs.Counter.incr t.m_elections;
+  let t0 = Unix.gettimeofday () in
+  let sealed = Fastver.verified_epoch t.sys in
+  let mine = my_rank t e in
+  let infos =
+    List.filter_map
+      (fun peer ->
+        match
+          Primary.announce ~timeout:e.probe_timeout peer ~term:t.seen_term
+            ~sealed ~priority:e.priority ~run_id:t.self_id
+        with
+        | `Info i -> Some (peer, i)
+        | `Unreachable why ->
+            Log.debug (fun m ->
+                m "election: peer %s unreachable (%s)" (Addr.to_string peer)
+                  why);
+            None)
+      (probe_targets e t.orig_primary)
+  in
+  match
+    List.find_opt
+      (fun (_, i) -> i.Primary.p_primary && i.Primary.p_term >= t.seen_term)
+      infos
+  with
+  | Some (peer, i) ->
+      (* Someone already leads at a current term: no election needed. *)
+      retarget t ~addr:peer ~term:i.Primary.p_term "found a live primary"
+  | None ->
+      let beaten =
+        List.exists
+          (fun (_, i) ->
+            rank (i.Primary.p_sealed, i.Primary.p_priority, i.Primary.p_run_id)
+            > mine)
+          infos
+      in
+      let max_term =
+        List.fold_left
+          (fun a (_, i) -> max a i.Primary.p_term)
+          (max t.seen_term (Primary.term sb))
+          infos
+      in
+      note_seen_term t max_term;
+      if beaten then begin
+        (* A better candidate is live: restart the grace timer and let it
+           claim the term (we will find it as primary next round, or get
+           its Promote directive on the standby listener). *)
+        Log.info (fun m ->
+            m "election: deferring to a better-ranked candidate (our sealed \
+               epoch %d)"
+              sealed);
+        t.lost_since <- Some (Unix.gettimeofday ())
+      end
+      else begin
+        (* We hold the highest verified epoch among reachable candidates:
+           promote in place under a term above everything seen. *)
+        let term = max_term + 1 in
+        Primary.promote sb ~term;
+        Fastver.set_batch_size t.sys e.promote_batch;
+        (match e.checkpoint_dir with
+        | Some dir -> Fastver.set_auto_checkpoint t.sys ~dir
+        | None -> ());
+        (match t.server with Some s -> Server.set_read_only s false | None -> ());
+        with_lock t.lock (fun () ->
+            t.term <- term;
+            t.seen_term <- term;
+            t.state <- Leading);
+        reset_backoff t;
+        Fastver_obs.Histogram.record_span t.m_promote_s
+          (Unix.gettimeofday () -. t0);
+        Log.app (fun m ->
+            m
+              "elected: promoted to primary for term %d at %s (sealed epoch \
+               %d, priority %d)"
+              term
+              (Addr.to_string e.listen)
+              sealed e.priority);
+        (* Winner directive, best-effort: losers re-subscribe here and a
+           rejoining deposed primary learns it was fenced. *)
+        List.iter
+          (fun peer ->
+            match
+              Primary.send_promote ~timeout:e.probe_timeout peer ~term
+                ~self:e.listen
+            with
+            | `Ok | `Unreachable _ -> ())
+          (probe_targets e t.orig_primary)
+      end
+
+(* Leading → Standby: a rival with a greater claim is primary. Hand the
+   write role back, re-enter the follower loop against the rival. *)
+let step_down t sb ~term ~addr reason =
+  Primary.demote sb ~term;
+  Fastver.set_batch_size t.sys 0;
+  Fastver.clear_auto_checkpoint t.sys;
+  (match t.server with Some s -> Server.set_read_only s true | None -> ());
+  with_lock t.lock (fun () ->
+      note_seen_term t term;
+      t.state <- Disconnected);
+  (match addr with
+  | Some a -> retarget t ~addr:a ~term reason
+  | None -> reset_backoff t);
+  Log.app (fun m -> m "stepped down at term %d: %s" term reason)
+
+(* ---- The follower loop ---- *)
+
 let rec run t =
-  match t.conn with
-  | None -> reconnect t
-  | Some conn -> (
-      match stream_once t conn with
-      | () -> run t
-      | exception (Client.Protocol_error _ | Unix.Unix_error _ | Disconnected_exn)
-        ->
-          if Atomic.get t.stop_flag then t.state <- Stopped
-          else begin
-            Log.info (fun m -> m "replication stream lost; reconnecting");
-            Client.close conn;
-            t.conn <- None;
-            t.state <- Disconnected;
-            reconnect t
-          end)
+  match with_lock t.lock (fun () -> t.state) with
+  | Leading -> lead t
+  | Halted | Stopped -> ()
+  | Streaming | Disconnected -> (
+      match t.conn with
+      | None -> reconnect t
+      | Some conn -> (
+          match stream_once t conn with
+          | () -> run t
+          | exception
+              ( Client.Protocol_error _ | Unix.Unix_error _ | Disconnected_exn
+              | Client.Timeout ) ->
+              if Atomic.get t.stop_flag then t.state <- Stopped
+              else begin
+                Log.info (fun m -> m "replication stream lost; reconnecting");
+                Client.close conn;
+                t.conn <- None;
+                t.state <- Disconnected;
+                reconnect t
+              end))
 
 (* Reconnect with the follower's existing state: drop buffered unsealed
    epochs (the primary replays them in full) and re-subscribe from the first
-   epoch we have not verified. A refusal is terminal: falling below the
-   primary's retained floor needs a checkpoint re-bootstrap (restart the
-   follower), and a primary behind our verified epoch is a rollback. *)
+   epoch we have not verified, claiming the chain term. Refusals split three
+   ways: "not primary"/"deposed" peers are retryable (the cluster is mid
+   election — back off and, if electable, run a candidacy round once the
+   grace timer fires); a floor/stale-term refusal needs a checkpoint
+   re-bootstrap (terminal here — restart the follower, as the CLI demotion
+   path does); a rollback refusal is integrity evidence and halts. *)
 and reconnect t =
   if Atomic.get t.stop_flag then t.state <- Stopped
   else begin
     drop_unsealed t;
-    match Client.connect t.primary with
-    | Error _ ->
-        Unix.sleepf t.reconnect_delay;
-        reconnect t
-    | Ok conn -> (
-        let from_epoch = Fastver.verified_epoch t.sys + 1 in
-        match subscribe conn ~from_epoch with
-        | Ok (`Subscribed (_, rid)) ->
+    check_directive t;
+    if with_lock t.lock (fun () -> t.state) = Leading then lead t
+    else begin
+      match try_subscribe t with
+      | `Streaming -> run t
+      | `Retry ->
+          (match (t.election, t.standby) with
+          | Some e, Some sb -> (
+              let now = Unix.gettimeofday () in
+              match t.lost_since with
+              | None -> t.lost_since <- Some now
+              | Some since when now -. since >= e.election_timeout ->
+                  run_election t e sb
+              | Some _ -> ())
+          | _ -> ());
+          if with_lock t.lock (fun () -> t.state) = Leading then lead t
+          else begin
+            backoff_sleep t;
+            reconnect t
+          end
+    end
+  end
+
+and try_subscribe t =
+  match Client.connect t.primary with
+  | Error _ -> `Retry
+  | Ok conn -> (
+      let from_epoch = Fastver.verified_epoch t.sys + 1 in
+      let close_retry () =
+        Client.close conn;
+        `Retry
+      in
+      match
+        subscribe ~timeout:t.handshake_timeout conn ~from_epoch ~term:t.term
+      with
+      | Ok (`Subscribed (_, rid, srv_term)) ->
+          if srv_term < t.term then begin
+            (* An ack below our chain term means this primary never saw the
+               election that sealed our newest epoch — a stale (probably
+               legacy) incarnation. Do not regress onto it. *)
+            Log.warn (fun m ->
+                m
+                  "primary at %s speaks term %d below our chain term %d; \
+                   refusing to regress"
+                  (Addr.to_string t.primary) srv_term t.term);
+            close_retry ()
+          end
+          else begin
+            note_seen_term t srv_term;
             (match t.run_id with
             | Some old when not (Int64.equal old rid) ->
                 Log.warn (fun m ->
-                    m "primary restarted (run %Ld -> %Ld); resuming from epoch %d"
+                    m
+                      "primary restarted (run %Ld -> %Ld); resuming from \
+                       epoch %d"
                       old rid from_epoch)
             | _ -> ());
             t.run_id <- Some rid;
             t.conn <- Some conn;
-            t.state <- Streaming;
-            run t
-        | Ok (`Refused e) ->
-            Client.close conn;
-            t.state <- Halted;
-            halt t ~epoch:(Fastver.verified_epoch t.sys)
-              ("primary refused re-subscription: " ^ e)
-        | Error e | (exception Client.Protocol_error e) ->
-            Client.close conn;
-            Unix.sleepf t.reconnect_delay;
-            ignore e;
-            reconnect t
-        | exception Unix.Unix_error _ ->
-            Client.close conn;
-            Unix.sleepf t.reconnect_delay;
-            reconnect t)
-  end
+            with_lock t.lock (fun () -> t.state <- Streaming);
+            reset_backoff t;
+            `Streaming
+          end
+      | Ok (`Refused e) when contains e "not primary" || contains e "deposed"
+        ->
+          Log.info (fun m -> m "subscribe refused (%s); will retry" e);
+          close_retry ()
+      | Ok (`Refused e) ->
+          Client.close conn;
+          halt t ~epoch:(Fastver.verified_epoch t.sys)
+            ("primary refused re-subscription: " ^ e)
+      | Error e ->
+          Log.info (fun m -> m "subscribe failed (%s); will retry" e);
+          close_retry ()
+      | exception Client.Timeout ->
+          Log.info (fun m ->
+              m "subscribe handshake timed out after %.1fs; reconnecting"
+                t.handshake_timeout);
+          close_retry ()
+      | exception Client.Protocol_error _ -> close_retry ()
+      | exception Unix.Unix_error _ -> close_retry ())
+
+(* The leader loop: stream hooks do the real work; this domain only watches
+   for rivals (healed partitions) and deposition evidence, at
+   probe_interval cadence. *)
+and lead t =
+  match (t.election, t.standby) with
+  | Some e, Some sb ->
+      let rec go () =
+        if Atomic.get t.stop_flag then t.state <- Stopped
+        else begin
+          (match Primary.deposed sb with
+          | Some (term, addr_s) ->
+              let addr =
+                Option.bind addr_s (fun s -> Result.to_option (Addr.parse s))
+              in
+              step_down t sb ~term ~addr "deposed by a higher term"
+          | None ->
+              let my =
+                ( Primary.term sb,
+                  Fastver.verified_epoch t.sys,
+                  e.priority,
+                  t.self_id )
+              in
+              List.iter
+                (fun peer ->
+                  if with_lock t.lock (fun () -> t.state) = Leading then
+                    match
+                      Primary.announce ~timeout:e.probe_timeout peer
+                        ~term:(Primary.term sb)
+                        ~sealed:(Fastver.verified_epoch t.sys)
+                        ~priority:e.priority ~run_id:t.self_id
+                    with
+                    | `Info i
+                      when i.Primary.p_primary
+                           && ( i.Primary.p_term,
+                                i.Primary.p_sealed,
+                                i.Primary.p_priority,
+                                i.Primary.p_run_id )
+                              > my ->
+                        step_down t sb ~term:i.Primary.p_term
+                          ~addr:(Some peer) "rival primary outranks us"
+                    | `Info _ | `Unreachable _ -> ())
+                (probe_targets e t.orig_primary));
+          match with_lock t.lock (fun () -> t.state) with
+          | Leading ->
+              let until = Unix.gettimeofday () +. e.probe_interval in
+              let rec nap () =
+                if not (Atomic.get t.stop_flag) then begin
+                  let left = until -. Unix.gettimeofday () in
+                  if left > 0.0 then begin
+                    Unix.sleepf (Float.min 0.05 left);
+                    nap ()
+                  end
+                end
+              in
+              nap ();
+              go ()
+          | Disconnected -> reconnect t
+          | _ -> ()
+        end
+      in
+      go ()
+  | _ -> ()
 
 (* ---- Lifecycle ---- *)
 
-let mk ?server_config ?(reconnect_delay = 0.2) ~primary ?listen ~conn ~run_id sys
-    =
+let mk ?server_config ?(reconnect_delay = 0.2) ?(handshake_timeout = 5.0)
+    ?election ?(init_term = 0) ~primary ?listen ~conn ~run_id sys =
   let module Reg = Fastver_obs.Registry in
   let reg = Fastver.registry sys in
-  Reg.counter_fn reg
-    ~help:"Validated reads served by this follower"
-    "fastver_repl_follower_reads_total"
-    (fun () -> (Fastver.stats sys).gets + (Fastver.stats sys).scans);
+  Reg.counter_fn reg ~help:"Validated reads served by this follower"
+    "fastver_repl_follower_reads_total" (fun () ->
+      (Fastver.stats sys).gets + (Fastver.stats sys).scans);
   let server =
     match listen with
     | None -> Ok None
@@ -285,14 +661,35 @@ let mk ?server_config ?(reconnect_delay = 0.2) ~primary ?listen ~conn ~run_id sy
             Ok (Some s)
         | Error e -> Error e)
   in
-  match server with
-  | Error e -> Error e
-  | Ok server ->
+  let standby =
+    match (server, election) with
+    | Error _, _ | _, None -> Ok None
+    | Ok _, Some e -> (
+        let pconfig =
+          {
+            Primary.default_config with
+            checkpoint_dir = e.checkpoint_dir;
+            priority = e.priority;
+          }
+        in
+        match Primary.create ~config:pconfig ~role:Primary.Standby sys
+                ~listen:e.listen
+        with
+        | Ok sb ->
+            Primary.start sb;
+            Ok (Some sb)
+        | Error err -> Error ("cannot bind election listener: " ^ err))
+  in
+  match (server, standby) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok server, Ok standby ->
+      let rng = Random.State.make_self_init () in
       Ok
         {
           sys;
           server;
           primary;
+          orig_primary = primary;
           chain =
             Verifier.Cert_chain.create
               ~mac_secret:(Fastver.config sys).mac_secret
@@ -309,6 +706,18 @@ let mk ?server_config ?(reconnect_delay = 0.2) ~primary ?listen ~conn ~run_id sy
           stop_flag = Atomic.make false;
           domain = None;
           reconnect_delay;
+          backoff = reconnect_delay;
+          rng;
+          handshake_timeout;
+          term = init_term;
+          seen_term = init_term;
+          lost_since = None;
+          election;
+          standby;
+          self_id =
+            Int64.logxor
+              (Int64.of_float (Unix.gettimeofday () *. 1e6))
+              (Random.State.int64 rng Int64.max_int);
           m_applied =
             Reg.counter reg ~help:"Replicated ops applied after verification"
               "fastver_repl_ops_applied_total";
@@ -322,14 +731,24 @@ let mk ?server_config ?(reconnect_delay = 0.2) ~primary ?listen ~conn ~run_id sy
             Reg.gauge reg
               ~help:"Epochs seen in the stream but not yet verified locally"
               "fastver_repl_lag_epochs";
+          m_elections =
+            Reg.counter reg ~help:"Election rounds started by this node"
+              "fastver_repl_elections_total";
+          m_promote_s =
+            Reg.histogram reg ~scale:1e-9
+              ~help:
+                "Election-start to serving-writes latency of in-place \
+                 promotions"
+              "fastver_repl_promotion_seconds";
         }
 
-let create ?server_config ?reconnect_delay ?(config = Fastver.Config.default)
-    ?load ~primary ?listen ~dir () =
+let create ?server_config ?reconnect_delay ?handshake_timeout ?election
+    ?(config = Fastver.Config.default) ?load ~primary ?listen ~dir () =
   (* A follower never seals epochs on its own: batch-triggered auto
      verification is disabled; epochs advance only at authenticated
-     boundary records. *)
+     boundary records (until an election promotes it). *)
   let config = { config with Fastver.Config.batch_size = 0 } in
+  let hs_timeout = Option.value handshake_timeout ~default:5.0 in
   match Client.connect primary with
   | Error e -> Error e
   | Ok conn -> (
@@ -338,47 +757,51 @@ let create ?server_config ?reconnect_delay ?(config = Fastver.Config.default)
         Error e
       in
       (* A fresh follower's state reflects no sealed epoch: subscribe from
-         0. If the primary's retained stream starts later, bootstrap from
-         its newest committed checkpoint generation and tail from the
-         sealed epoch — exactly the recovery path a restarted primary
-         takes. *)
-      match subscribe conn ~from_epoch:0 with
+         0 at term 0. If the primary's retained stream starts later,
+         bootstrap from its newest committed checkpoint generation and tail
+         from the sealed epoch — exactly the recovery path a restarted
+         primary takes. *)
+      match subscribe ~timeout:hs_timeout conn ~from_epoch:0 ~term:0 with
       | Error e -> fail e
+      | exception Client.Timeout ->
+          fail
+            (Printf.sprintf "subscribe handshake timed out after %.1fs"
+               hs_timeout)
       | exception Client.Protocol_error e -> fail e
       | exception Unix.Unix_error (e, _, _) -> fail (Unix.error_message e)
-      | Ok (`Subscribed (_, run_id)) -> (
+      | Ok (`Subscribed (_, run_id, _)) -> (
           let sys = Fastver.create ~config () in
           (match load with Some f -> f sys | None -> ());
-          match mk ?server_config ?reconnect_delay ~primary ?listen ~conn ~run_id sys with
+          match
+            mk ?server_config ?reconnect_delay ?handshake_timeout ?election
+              ~primary ?listen ~conn ~run_id sys
+          with
           | Ok t -> Ok t
           | Error e -> fail e)
       | Ok (`Refused reason) -> (
-          let contains hay needle =
-            let nh = String.length hay and nn = String.length needle in
-            let rec go i =
-              i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
-            in
-            nn > 0 && go 0
-          in
           if not (contains reason "fetch a checkpoint") then
             fail ("primary refused subscription: " ^ reason)
           else
             match fetch_checkpoint conn ~config ~dir with
             | Error e -> fail e
+            | exception Client.Timeout -> fail "checkpoint fetch timed out"
             | exception Client.Protocol_error e -> fail e
             | exception Unix.Unix_error (e, _, _) -> fail (Unix.error_message e)
-            | Ok sys -> (
+            | Ok (sys, ck_term) -> (
                 let from_epoch = Fastver.verified_epoch sys + 1 in
                 Log.app (fun m ->
                     m
                       "bootstrapped from primary checkpoint (verified epoch \
-                       %d); tailing from %d"
+                       %d, term %d); tailing from %d"
                       (Fastver.verified_epoch sys)
-                      from_epoch);
-                match subscribe conn ~from_epoch with
-                | Ok (`Subscribed (_, run_id)) -> (
+                      ck_term from_epoch);
+                match
+                  subscribe ~timeout:hs_timeout conn ~from_epoch ~term:ck_term
+                with
+                | Ok (`Subscribed (_, run_id, _)) -> (
                     match
-                      mk ?server_config ?reconnect_delay ~primary ?listen ~conn
+                      mk ?server_config ?reconnect_delay ?handshake_timeout
+                        ?election ~init_term:ck_term ~primary ?listen ~conn
                         ~run_id sys
                     with
                     | Ok t -> Ok t
@@ -386,6 +809,8 @@ let create ?server_config ?reconnect_delay ?(config = Fastver.Config.default)
                 | Ok (`Refused e) ->
                     fail ("primary refused post-checkpoint subscription: " ^ e)
                 | Error e -> fail e
+                | exception Client.Timeout ->
+                    fail "post-checkpoint subscribe handshake timed out"
                 | exception Client.Protocol_error e -> fail e
                 | exception Unix.Unix_error (e, _, _) ->
                     fail (Unix.error_message e))))
@@ -410,6 +835,7 @@ let stop t =
       t.domain <- None;
       Domain.join d
   | None -> ());
+  (match t.standby with Some sb -> Primary.stop sb | None -> ());
   (match t.server with Some s -> Server.stop s | None -> ());
   t.state <- Stopped
 
@@ -420,3 +846,5 @@ let failure t = with_lock t.lock (fun () -> t.failure)
 let verified_epoch t = Fastver.verified_epoch t.sys
 let applied_ops t = with_lock t.lock (fun () -> t.applied)
 let run_id t = t.run_id
+let term t = with_lock t.lock (fun () -> t.term)
+let standby t = t.standby

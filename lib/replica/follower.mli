@@ -12,20 +12,66 @@
     balance. A single flipped bit in a streamed op or certificate halts the
     follower with {!Fastver.Integrity_violation} naming the epoch; the
     evidence stays readable via {!failure} and already-verified state keeps
-    serving. *)
+    serving.
+
+    {b Election.} An {!electable} follower binds its advertised replication
+    address immediately, as a standby {!Primary} that answers term probes.
+    When the primary stays unreachable past [election_timeout], candidates
+    run a deterministic round: each probes the others with [Announce_term]
+    and the one holding the greatest (verified epoch, priority, run-id)
+    tuple promotes in place under a fencing term above every term seen —
+    sound because a sealed epoch is chain-authenticated, so the highest
+    verified epoch provably contains every certified write. Losers receive
+    the winner's [Promote] directive and re-subscribe there. A deposed
+    primary that rejoins is refused at subscribe time (its chain term is
+    stale) and must demote itself to a follower. *)
 
 type t
 
 type state =
   | Streaming  (** connected, applying verified epochs *)
   | Disconnected  (** between reconnect attempts *)
+  | Leading  (** won an election; serving writes and the stream *)
   | Halted
       (** integrity failure — evidence in {!failure}; reads still served *)
   | Stopped
 
+type election = {
+  listen : Fastver_net.Addr.t;
+      (** this candidate's replication address, bound from the start *)
+  peers : Fastver_net.Addr.t list;
+      (** the other candidates' replication addresses *)
+  priority : int;  (** static tie-break, higher wins (default 0) *)
+  election_timeout : float;
+      (** seconds of primary unreachability before a candidacy round
+          (default 1.0) *)
+  probe_timeout : float;
+      (** per-peer announce/promote exchange budget (default 1.0) *)
+  probe_interval : float;
+      (** leader's rival-probe cadence after promotion (default 0.5) *)
+  promote_batch : int;
+      (** auto-seal batch size re-enabled at promotion (default 256) *)
+  checkpoint_dir : string option;
+      (** enable auto-checkpointing there once leading *)
+}
+
+val electable :
+  ?peers:Fastver_net.Addr.t list ->
+  ?priority:int ->
+  ?election_timeout:float ->
+  ?probe_timeout:float ->
+  ?probe_interval:float ->
+  ?promote_batch:int ->
+  ?checkpoint_dir:string ->
+  Fastver_net.Addr.t ->
+  election
+(** [electable listen] with the defaults above. *)
+
 val create :
   ?server_config:Fastver_net.Server.config ->
   ?reconnect_delay:float ->
+  ?handshake_timeout:float ->
+  ?election:election ->
   ?config:Fastver.Config.t ->
   ?load:(Fastver.t -> unit) ->
   primary:Fastver_net.Addr.t ->
@@ -42,13 +88,24 @@ val create :
     recovers through the manifest-verified recovery path, and tails from the
     recovered epoch. [config.batch_size] is forced to [0]: a follower never
     seals epochs on its own, it advances only at authenticated boundary
-    records. With [listen] set, a read-only {!Fastver_net.Server} is started
-    on the recovered system.
+    records (until an election promotes it).
+
+    [reconnect_delay] (default 0.2 s) is the {e base} of an exponential
+    backoff with full jitter, capped at 5 s and reset by every successful
+    subscribe — a fleet of followers losing one primary does not
+    reconnect-storm the candidate. [handshake_timeout] (default 5 s) bounds
+    every subscribe/fetch conversation; a primary that accepts the
+    connection but never answers is treated as down, not waited on forever.
+
+    [election] requires [listen] (the read server) to make promotion
+    meaningful, but they are independent: [election.listen] is the
+    {e replication} address.
 
     Follower metrics (on the system's registry):
     [fastver_repl_ops_applied_total], [fastver_repl_certs_verified_total],
     [fastver_repl_certs_rejected_total], [fastver_repl_lag_epochs],
-    [fastver_repl_follower_reads_total]. *)
+    [fastver_repl_follower_reads_total], [fastver_repl_elections_total],
+    [fastver_repl_promotion_seconds]. *)
 
 val run : t -> unit
 (** Consume the stream in the calling thread. Returns on {!stop}; raises
@@ -56,14 +113,16 @@ val run : t -> unit
     recorded first, so reads keep serving). Disconnects reconnect
     automatically from the first unverified epoch; a refused re-subscription
     (stream floor passed the follower, or a rolled-back primary) is treated
-    as a halt. *)
+    as a halt — except "not primary"/"deposed" refusals, which mean the
+    cluster is mid-election and are retried. *)
 
 val start : t -> unit
 (** {!run} in a background domain; an integrity halt is recorded (see
     {!failure}) rather than propagated. *)
 
 val stop : t -> unit
-(** Stop streaming, join the domain, stop the read server. *)
+(** Stop streaming, join the domain, stop the standby listener and the read
+    server. *)
 
 val system : t -> Fastver.t
 val server : t -> Fastver_net.Server.t option
@@ -80,3 +139,10 @@ val applied_ops : t -> int
 
 val run_id : t -> int64 option
 (** The primary incarnation last subscribed to. *)
+
+val term : t -> int
+(** The chain term: the fencing term of the newest authenticated boundary
+    record (or the term this node promoted under). *)
+
+val standby : t -> Primary.t option
+(** The standby/leading replication listener, when electable. *)

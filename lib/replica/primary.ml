@@ -5,6 +5,7 @@ module Wire = Fastver_net.Wire
 module Frame = Fastver_net.Frame
 module Sockio = Fastver_net.Sockio
 module Addr = Fastver_net.Addr
+module Client = Fastver_net.Client
 
 type config = {
   retain_epochs : int;
@@ -12,6 +13,8 @@ type config = {
   checkpoint_dir : string option;
   batch_ops : int;
   batch_delay : float;
+  term : int;
+  priority : int;
 }
 
 let default_config =
@@ -21,7 +24,11 @@ let default_config =
     checkpoint_dir = None;
     batch_ops = 512;
     batch_delay = 0.02;
+    term = 0;
+    priority = 0;
   }
+
+type role = Leading | Standby
 
 type conn = {
   fd : Unix.file_descr;
@@ -48,6 +55,18 @@ type t = {
   mutable log : (int * string) list; (* (epoch, frame), newest first *)
   mutable floor : int; (* lowest epoch completely present in [log] *)
   mutable sealed : int; (* highest epoch whose boundary record was emitted *)
+  mutable role : role; (* Standby = election candidate: answers term probes,
+                          refuses subscribers, tees nothing until promoted *)
+  mutable term : int; (* fencing term every boundary record is stamped with *)
+  mutable term_start : int;
+      (* first epoch sealed under [term]: a subscriber whose verified state
+         reaches into [term_start, ..] but carries an older term verified a
+         chain this primary re-sealed after winning an election — it must
+         discard and re-bootstrap (checkpoint fetch) *)
+  mutable deposed_by : (int * string option) option;
+      (* evidence this primary lost its mandate: a peer spoke from a higher
+         term (optionally naming the new primary's address). The owner polls
+         {!deposed} and demotes. *)
   digests : (int, string) Hashtbl.t; (* per-open-epoch running digest *)
   mutable batch : (string * string option) list;
       (* ops buffered toward the next [Repl_batch] frame, newest first;
@@ -68,6 +87,7 @@ type t = {
   m_epochs : Fastver_obs.Counter.t;
   m_followers : Fastver_obs.Gauge.t;
   m_lag_bytes : Fastver_obs.Gauge.t;
+  m_term : Fastver_obs.Gauge.t;
 }
 
 let with_lock m f =
@@ -179,11 +199,11 @@ let on_seal t ~epoch ~cert =
       let stream_mac =
         Stream.boundary_mac
           ~mac_secret:(Fastver.config t.sys).mac_secret
-          ~epoch ~digest
+          ~term:t.term ~epoch ~digest ()
       in
       let frame =
         Wire.encode_response_into t.enc ~id:0L
-          (Wire.Repl_epoch { epoch; cert; stream_mac })
+          (Wire.Repl_epoch { epoch; cert; stream_mac; term = t.term })
       in
       t.log <- (epoch, frame) :: t.log;
       t.sealed <- epoch;
@@ -204,9 +224,42 @@ let reply t c ~id resp =
   with_lock t.lock (fun () ->
       enqueue t c (Wire.encode_response ~id resp))
 
-let handle_subscribe t c ~id ~from_epoch =
+let handle_subscribe t c ~id ~from_epoch ~term:sub_term =
   with_lock t.lock (fun () ->
-      if from_epoch < t.floor then
+      if t.role = Standby then
+        enqueue t c
+          (Wire.encode_response ~id
+             (Wire.Error
+                (Printf.sprintf
+                   "not primary: standby candidate at term %d" t.term)))
+      else if sub_term > t.term then begin
+        (* The subscriber verified an epoch sealed under a term this primary
+           has never seen: an election happened behind our back, so *we* are
+           the deposed one. Record the evidence (the owner demotes) and
+           refuse — accepting would fork the chain. *)
+        if t.deposed_by = None then t.deposed_by <- Some (sub_term, None);
+        enqueue t c
+          (Wire.encode_response ~id
+             (Wire.Error
+                (Printf.sprintf
+                   "deposed: subscriber speaks term %d, this primary is at \
+                    term %d"
+                   sub_term t.term)))
+      end
+      else if sub_term < t.term && from_epoch - 1 >= t.term_start then
+        (* Fencing: the subscriber claims verified epochs that this primary
+           (re-)sealed under a newer term, but its own chain for them was
+           sealed under an older one — a deposed primary's descendant. Its
+           state may diverge from ours at those epochs, so replaying the
+           retained tail is unsound: it must discard and re-bootstrap. *)
+        enqueue t c
+          (Wire.encode_response ~id
+             (Wire.Error
+                (Printf.sprintf
+                   "stale term %d: epochs from %d were re-sealed under term \
+                    %d — fetch a checkpoint"
+                   sub_term t.term_start t.term)))
+      else if from_epoch < t.floor then
         enqueue t c
           (Wire.encode_response ~id
              (Wire.Error
@@ -230,7 +283,7 @@ let handle_subscribe t c ~id ~from_epoch =
         flush_batch t;
         enqueue t c
           (Wire.encode_response ~id
-             (Wire.Subscribed { from_epoch; run_id = t.run_id }));
+             (Wire.Subscribed { from_epoch; run_id = t.run_id; term = t.term }));
         List.iter
           (fun (e, frame) -> if e >= from_epoch then enqueue t c frame)
           (List.rev t.log);
@@ -277,18 +330,77 @@ let checkpoint_reply t =
             in
             if total + 4096 > Wire.max_frame then
               Wire.Error "checkpoint generation too large to stream"
-            else Wire.Checkpoint_reply { generation = gen; files }
+            else
+              Wire.Checkpoint_reply
+                { generation = gen; files; term = with_lock t.lock (fun () -> t.term) }
           with
           | resp -> resp
           | exception Sys_error e ->
               Wire.Error ("cannot read checkpoint generation: " ^ e)))
 
+(* The responder's election state, under [t.lock]. A standby's newest
+   sealed epoch is whatever its follower verified; a leader's is what its
+   own boundary records reached. *)
+let term_info_locked t =
+  Wire.Term_info
+    {
+      term = t.term;
+      sealed =
+        (match t.role with
+        | Leading -> t.sealed
+        | Standby -> Fastver.verified_epoch t.sys);
+      priority = t.cfg.priority;
+      run_id = t.run_id;
+      primary = (t.role = Leading && t.deposed_by = None);
+    }
+
+let handle_announce t c ~id ~term ~sealed ~priority ~run_id =
+  with_lock t.lock (fun () ->
+      Log.debug (fun m ->
+          m "announce-term from peer (term %d, sealed %d, prio %d, run %Ld)"
+            term sealed priority run_id);
+      if term > t.term then begin
+        (* Any peer speaking from a higher term proves a newer election
+           committed. A leader records the evidence and lets its owner
+           demote; a standby just adopts the term so its next candidacy
+           starts above it. *)
+        match t.role with
+        | Leading -> if t.deposed_by = None then t.deposed_by <- Some (term, None)
+        | Standby ->
+            t.term <- term;
+            Fastver_obs.Gauge.set t.m_term (float_of_int term)
+      end;
+      enqueue t c (Wire.encode_response ~id (term_info_locked t)));
+  wake t
+
+let handle_promote t c ~id ~term ~addr =
+  with_lock t.lock (fun () ->
+      (match t.role with
+      | Leading ->
+          if term > t.term && t.deposed_by = None then begin
+            Log.warn (fun m ->
+                m "deposed: peer promoted to term %d (serving at %s)" term addr);
+            t.deposed_by <- Some (term, Some addr)
+          end
+      | Standby ->
+          if term >= t.term then begin
+            t.term <- max t.term term;
+            Fastver_obs.Gauge.set t.m_term (float_of_int t.term);
+            if t.deposed_by = None then t.deposed_by <- Some (term, Some addr)
+          end);
+      enqueue t c (Wire.encode_response ~id (term_info_locked t)));
+  wake t
+
 let handle_request t c ~id req =
   match (req : Wire.request) with
-  | Wire.Subscribe { from_epoch } -> handle_subscribe t c ~id ~from_epoch
+  | Wire.Subscribe { from_epoch; term } ->
+      handle_subscribe t c ~id ~from_epoch ~term
   | Wire.Fetch_checkpoint ->
       reply t c ~id (checkpoint_reply t);
       wake t
+  | Wire.Announce_term { term; sealed; priority; run_id } ->
+      handle_announce t c ~id ~term ~sealed ~priority ~run_id
+  | Wire.Promote { term; addr } -> handle_promote t c ~id ~term ~addr
   | _ ->
       reply t c ~id (Wire.Error "not a replication opcode");
       wake t
@@ -432,10 +544,41 @@ let loop t =
     List.iter close_conn died;
     Fastver_obs.Gauge.set t.m_lag_bytes (float_of_int lag)
   done;
-  (* Shutdown: close every socket; followers see EOF and reconnect (or a
-     test tears everything down). *)
+  (* Shutdown: drain queued output first, under a short grace budget, so a
+     follower mid-[Fetch_checkpoint] receives its complete reply (or, if it
+     cannot drain in time, a frame cut at the transport — which its decoder
+     rejects whole; it never sees a torn generation it would try to recover
+     from). Then shut the sockets down explicitly: readers get a clean EOF
+     rather than a reset, and retry against the elected primary. *)
   let conns = with_lock t.lock (fun () -> t.conns) in
-  List.iter close_conn conns;
+  let deadline = Unix.gettimeofday () +. 1.0 in
+  let busy () =
+    List.filter
+      (fun c ->
+        (not c.dead)
+        && (not (Queue.is_empty c.pending)
+           || with_lock t.lock (fun () -> not (Queue.is_empty c.outq))))
+      conns
+  in
+  let rec drain () =
+    match busy () with
+    | [] -> ()
+    | busy when Unix.gettimeofday () < deadline -> (
+        match Unix.select [] (List.map (fun c -> c.fd) busy) [] 0.05 with
+        | _, wr, _ ->
+            List.iter (fun c -> if List.mem c.fd wr then flush_conn t c) busy;
+            drain ()
+        | exception Unix.Unix_error (EINTR, _, _) -> drain ())
+    | _ ->
+        Log.info (fun m ->
+            m "shutdown: dropping undrained follower output after grace")
+  in
+  drain ();
+  List.iter
+    (fun c ->
+      (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      close_conn c)
+    conns;
   with_lock t.lock (fun () -> t.conns <- [])
 
 (* ---- Lifecycle ---- *)
@@ -467,7 +610,12 @@ let listen_on addr =
             (Printf.sprintf "cannot listen on %s: %s" (Addr.to_string addr)
                (Unix.error_message e)))
 
-let create ?(config = default_config) sys ~listen =
+let install_hooks t =
+  Fastver.set_replication_hooks t.sys
+    ~on_op:(fun ~epoch ~key ~value -> on_op t ~epoch ~key ~value)
+    ~on_seal:(fun ~epoch ~cert -> on_seal t ~epoch ~cert)
+
+let create ?(config = default_config) ?(role = Leading) sys ~listen =
   match listen_on listen with
   | Error e -> Error e
   | Ok (listen_fd, addr) ->
@@ -494,6 +642,10 @@ let create ?(config = default_config) sys ~listen =
           log = [];
           floor = Fastver.live_epoch sys;
           sealed = Fastver.verified_epoch sys;
+          role;
+          term = config.term;
+          term_start = Fastver.verified_epoch sys + 1;
+          deposed_by = None;
           digests = Hashtbl.create 4;
           batch = [];
           batch_epoch = 0;
@@ -525,11 +677,16 @@ let create ?(config = default_config) sys ~listen =
             Reg.gauge reg
               ~help:"Largest per-follower backlog of unsent stream bytes"
               "fastver_repl_stream_lag_bytes";
+          m_term =
+            Reg.gauge reg
+              ~help:"Replication fencing term this node is operating under"
+              "fastver_repl_term";
         }
       in
-      Fastver.set_replication_hooks sys
-        ~on_op:(fun ~epoch ~key ~value -> on_op t ~epoch ~key ~value)
-        ~on_seal:(fun ~epoch ~cert -> on_seal t ~epoch ~cert);
+      Fastver_obs.Gauge.set t.m_term (float_of_int t.term);
+      (* A standby is an election candidate: it answers term probes and
+         refuses subscribers, but tees nothing until {!promote}. *)
+      if role = Leading then install_hooks t;
       Ok t
 
 let run t = loop t
@@ -557,3 +714,114 @@ let sealed_epoch t = with_lock t.lock (fun () -> t.sealed)
 let frames_emitted t = with_lock t.lock (fun () -> t.frames)
 let followers t = with_lock t.lock (fun () -> List.length t.conns)
 let run_id t = t.run_id
+let role t = with_lock t.lock (fun () -> t.role)
+let term t = with_lock t.lock (fun () -> t.term)
+let priority t = t.cfg.priority
+let deposed t = with_lock t.lock (fun () -> t.deposed_by)
+
+let take_directive t =
+  with_lock t.lock (fun () ->
+      let d = t.deposed_by in
+      if t.role = Standby then t.deposed_by <- None;
+      d)
+
+(* ---- Election transitions ---- *)
+
+(* Promotion in place: install the tee hooks on the live store and start
+   serving the stream this listener has been refusing. The follower that
+   owns this standby flips its net server out of read-only and re-enables
+   auto-sealing around this call. The retained log restarts empty — every
+   epoch this primary seals is stamped with the new term, so [term_start]
+   is exactly the first post-election epoch and the subscribe-time fencing
+   check falls out of it. *)
+let promote t ~term =
+  with_lock t.lock (fun () ->
+      if t.role = Leading then invalid_arg "Primary.promote: already leading";
+      t.role <- Leading;
+      t.term <- term;
+      t.deposed_by <- None;
+      t.sealed <- Fastver.verified_epoch t.sys;
+      t.floor <- Fastver.live_epoch t.sys;
+      t.term_start <- t.sealed + 1;
+      t.log <- [];
+      t.batch <- [];
+      t.batch_n <- 0;
+      Hashtbl.reset t.digests;
+      Fastver_obs.Gauge.set t.m_term (float_of_int term));
+  install_hooks t;
+  Log.info (fun m ->
+      m "promoted: leading term %d from epoch %d at %s" term
+        (with_lock t.lock (fun () -> t.term_start))
+        (Addr.to_string t.addr));
+  wake t
+
+(* Demotion in place: stop teeing, adopt the deposing term, and cut every
+   subscriber loose — they must re-subscribe to whoever deposed us. The
+   listener stays up as a standby candidate (it keeps answering probes). *)
+let demote t ~term =
+  Fastver.clear_replication_hooks t.sys;
+  with_lock t.lock (fun () ->
+      t.role <- Standby;
+      t.term <- max t.term term;
+      t.deposed_by <- None;
+      List.iter (fun c -> c.dead <- true) t.conns;
+      Fastver_obs.Gauge.set t.m_term (float_of_int t.term));
+  Log.info (fun m ->
+      m "demoted to standby at term %d (%s)"
+        (with_lock t.lock (fun () -> t.term))
+        (Addr.to_string t.addr));
+  wake t
+
+(* ---- Peer probing (election rounds, rival detection, rejoin checks) ---- *)
+
+type peer_info = {
+  p_term : int;
+  p_sealed : int;
+  p_priority : int;
+  p_run_id : int64;
+  p_primary : bool;
+}
+
+let rpc ?(timeout = 2.0) peer req ~k =
+  match Client.connect peer with
+  | Error e -> `Unreachable e
+  | Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          match
+            let id = Client.send conn req in
+            Client.expect_id id (Client.recv ~timeout conn)
+          with
+          | resp -> k resp
+          | exception Client.Timeout -> `Unreachable "peer timed out"
+          | exception Client.Protocol_error e -> `Unreachable e
+          | exception Client.Server_error e -> `Unreachable e
+          | exception Unix.Unix_error (e, _, _) ->
+              `Unreachable (Unix.error_message e))
+
+(* One [Announce_term] exchange with a peer's replication listener: "here
+   is my election state, what is yours?". Total — any failure is just
+   [`Unreachable], which election treats as that peer not voting. *)
+let announce ?timeout peer ~term ~sealed ~priority ~run_id =
+  rpc ?timeout peer (Wire.Announce_term { term; sealed; priority; run_id })
+    ~k:(function
+    | Wire.Term_info { term; sealed; priority; run_id; primary } ->
+        `Info
+          {
+            p_term = term;
+            p_sealed = sealed;
+            p_priority = priority;
+            p_run_id = run_id;
+            p_primary = primary;
+          }
+    | Wire.Error e -> `Unreachable ("peer refused announce-term: " ^ e)
+    | _ -> `Unreachable "unexpected reply to announce-term")
+
+(* Best-effort winner directive: "I am primary for [term] at [self]". *)
+let send_promote ?timeout peer ~term ~self =
+  rpc ?timeout peer (Wire.Promote { term; addr = Addr.to_string self })
+    ~k:(function
+    | Wire.Term_info _ -> `Ok
+    | Wire.Error e -> `Unreachable ("peer refused promote: " ^ e)
+    | _ -> `Unreachable "unexpected reply to promote")

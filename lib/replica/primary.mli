@@ -12,15 +12,26 @@
     normal recovery path).
 
     Wire conversation (see {!Fastver_net.Wire}): a follower sends
-    [Subscribe { from_epoch }] meaning "my state reflects every sealed epoch
-    below [from_epoch]"; the primary acks with [Subscribed] (carrying this
-    incarnation's [run_id]), replays the retained records for epochs
-    [>= from_epoch] and then streams live. [Fetch_checkpoint] may be sent on
-    the same connection before subscribing.
+    [Subscribe { from_epoch; term }] meaning "my state reflects every sealed
+    epoch below [from_epoch], newest verified under fencing [term]"; the
+    primary acks with [Subscribed] (carrying this incarnation's [run_id] and
+    current term), replays the retained records for epochs [>= from_epoch]
+    and then streams live. [Fetch_checkpoint] may be sent on the same
+    connection before subscribing. [Announce_term] and [Promote] are the
+    election opcodes: every listener (leading or standby) answers them with
+    [Term_info].
+
+    {b Fencing.} Every boundary record is stamped with the primary's term
+    (covered by the stream MAC). At subscribe time: a subscriber speaking a
+    {e higher} term proves this primary was deposed (the refusal is recorded
+    — see {!deposed} — and the owner demotes); a subscriber whose {e older}
+    term claims epochs at or past {!promote}'s [term_start] is fenced off
+    with a "fetch a checkpoint" refusal, because those epochs were re-sealed
+    under the new term and its chain may diverge.
 
     Metrics (on the system's registry): [fastver_repl_ops_streamed_total],
     [fastver_repl_epochs_streamed_total], [fastver_repl_followers],
-    [fastver_repl_stream_lag_bytes]. *)
+    [fastver_repl_stream_lag_bytes], [fastver_repl_term]. *)
 
 type config = {
   retain_epochs : int;
@@ -42,17 +53,33 @@ type config = {
   batch_delay : float;
       (** seconds a buffered op may wait before its batch is flushed
           (default 0.02) *)
+  term : int;
+      (** initial fencing term (default 0 — "never elected"). Election
+          winners get theirs via {!promote}. *)
+  priority : int;
+      (** static election priority reported in [Term_info] (default 0);
+          higher wins equal-epoch ties. *)
 }
 
 val default_config : config
 
+type role = Leading | Standby
+(** [Leading] tees and streams; [Standby] is an election candidate — the
+    listener answers [Announce_term]/[Promote] probes and refuses
+    subscribers until {!promote}. *)
+
 type t
 
 val create :
-  ?config:config -> Fastver.t -> listen:Fastver_net.Addr.t ->
+  ?config:config ->
+  ?role:role ->
+  Fastver.t ->
+  listen:Fastver_net.Addr.t ->
   (t, string) result
-(** Binds the replication listener and installs the tee hooks. Call before
-    the store serves any traffic. *)
+(** Binds the replication listener; with [~role:Leading] (the default) also
+    installs the tee hooks, so it must run before the store serves any
+    traffic. [~role:Standby] installs nothing — an electable follower binds
+    its future replication address this way and {!promote}s in place. *)
 
 val bound_addr : t -> Fastver_net.Addr.t
 (** Effective listen address (TCP port 0 resolved). *)
@@ -79,3 +106,65 @@ val followers : t -> int
 (** Live replication connections (subscribed or not). *)
 
 val run_id : t -> int64
+
+(** {2 Election} *)
+
+val role : t -> role
+val term : t -> int
+val priority : t -> int
+
+val deposed : t -> (int * string option) option
+(** Evidence this node's mandate ended: a peer spoke from a strictly higher
+    term ([Some (term, addr)]; [addr] names the new primary's replication
+    address when a [Promote] directive carried it). The owner should
+    {!demote} a leader, or re-subscribe a standby's follower at [addr]. *)
+
+val take_directive : t -> (int * string option) option
+(** Like {!deposed}, but on a standby also consumes the directive, so the
+    owner acts on each one exactly once. *)
+
+val promote : t -> term:int -> unit
+(** Standby → Leading in place: install the tee hooks on the live store and
+    start serving the stream under [term]. The first epoch sealed after this
+    call is the fencing boundary ([term_start]) for stale-term subscribers.
+    The caller is responsible for re-enabling auto-sealing
+    ({!Fastver.set_batch_size}) and flipping its net server out of
+    read-only.
+    @raise Invalid_argument if already leading. *)
+
+val demote : t -> term:int -> unit
+(** Leading → Standby in place: clear the tee hooks, adopt [term] (terms
+    never move backwards), and disconnect every subscriber so they re-home
+    to the new primary. The listener keeps answering election probes. *)
+
+(** {2 Peer probing} *)
+
+type peer_info = {
+  p_term : int;
+  p_sealed : int;
+  p_priority : int;
+  p_run_id : int64;
+  p_primary : bool;
+}
+
+val announce :
+  ?timeout:float ->
+  Fastver_net.Addr.t ->
+  term:int ->
+  sealed:int ->
+  priority:int ->
+  run_id:int64 ->
+  [ `Info of peer_info | `Unreachable of string ]
+(** One [Announce_term] exchange with a peer's replication listener. Total:
+    connection failures, timeouts (default 2 s) and refusals all come back
+    as [`Unreachable] — election treats such a peer as not voting. *)
+
+val send_promote :
+  ?timeout:float ->
+  Fastver_net.Addr.t ->
+  term:int ->
+  self:Fastver_net.Addr.t ->
+  [ `Ok | `Unreachable of string ]
+(** Best-effort winner directive: tell [peer] that [self] is primary for
+    [term]. Losers re-subscribe there; a stale rival primary records it as
+    deposition evidence. *)

@@ -15,9 +15,19 @@ val fold : string -> epoch:int -> key:string -> value:string option -> string
     digest. [key] is the raw 32-byte data-key path, as carried on the wire.
     @raise Invalid_argument on wrong digest or key width. *)
 
-val boundary_mac : mac_secret:string -> epoch:int -> digest:string -> string
-(** The [stream_mac] the primary puts in its epoch-boundary record. *)
+val boundary_mac :
+  mac_secret:string -> ?term:int -> epoch:int -> digest:string -> unit -> string
+(** The [stream_mac] the primary puts in its epoch-boundary record. The
+    fencing [term] (default 0) is covered by the MAC; term 0 produces the
+    pre-election (wire v1) message byte-for-byte, so both framings
+    interoperate. *)
 
 val check_boundary_mac :
-  mac_secret:string -> epoch:int -> digest:string -> tag:string -> bool
+  mac_secret:string ->
+  ?term:int ->
+  epoch:int ->
+  digest:string ->
+  tag:string ->
+  unit ->
+  bool
 (** Constant-time check of a received boundary MAC. *)

@@ -129,28 +129,29 @@ echo "  cold + crashsafe suites clean"
 # 10% tolerance (same-machine back-to-back runs must agree)
 dune exec bench/main.exe -- --quick --only wirealloc > /dev/null
 dune exec bench/main.exe -- --quick --only wirealloc > /dev/null
-$FV bench diff --figure wirealloc
+$FV bench diff --ci --figure wirealloc
 # same gate for the scale figure (modelled scaling sweep; looser 35%
 # tolerance — the measured row rides the machine's scheduler)
 dune exec bench/main.exe -- --quick --only scale > /dev/null
 dune exec bench/main.exe -- --quick --only scale > /dev/null
-$FV bench diff --figure scale
+$FV bench diff --ci --figure scale
 # cold-tier figure: disk-bound rows jitter more than CPU-bound ones, so
 # the diff gate applies its direction-aware 35% tolerance per metric
 dune exec bench/main.exe -- --quick --only coldtier > /dev/null
 dune exec bench/main.exe -- --quick --only coldtier > /dev/null
-$FV bench diff --figure coldtier
-# verification-pause figure: sub-millisecond pauses ride scheduler noise,
-# gated at 50% (lower-is-better metrics only flag genuine regressions)
+$FV bench diff --ci --figure coldtier
+# verification-pause figure: sub-millisecond pauses and max-latency ride
+# scheduler noise hard on shared boxes, so this gate keeps the old 50%
+# fixed tolerance as the band floor (the ±2 sd band applies when wider)
 dune exec bench/main.exe -- --quick --only vpause > /dev/null
 dune exec bench/main.exe -- --quick --only vpause > /dev/null
-$FV bench diff --figure vpause
+$FV bench diff --ci --threshold 0.5 --figure vpause
 # adaptive-hierarchy figure: the run itself enforces the cert-identity and
 # ratio acceptance floors (it fails hard on divergence), the diff gates
 # throughput run-over-run
 dune exec bench/main.exe -- --quick --only adaptive > /dev/null
 dune exec bench/main.exe -- --quick --only adaptive > /dev/null
-$FV bench diff --figure adaptive
+$FV bench diff --ci --figure adaptive
 
 echo "== sharded serve round trip (2 executor domains, 4 verifier shards)"
 $FV serve --listen "unix:$WORK/shard.sock" -n 2000 --batch 0 --enclave zero \
@@ -273,12 +274,105 @@ $FV stats --connect "unix:$WORK/f3.sock" --check
 echo "  rejoining follower caught up from checkpoint, all nodes reconcile"
 kill -9 $F1 $F2 $F3 $RP2_SRV 2>/dev/null || true
 
+echo "== election failover (kill -9 primary, candidate promotes, writes move)"
+# primary plus two electable candidates with crossed peer lists; e1 carries
+# the higher priority so the election outcome is deterministic
+$FV serve --listen "unix:$WORK/ep.sock" --replication-listen "unix:$WORK/erepl.sock" \
+  -n 2000 --batch 400 --enclave zero --checkpoint-dir "$WORK/eckpt" > "$WORK/ep.log" 2>&1 &
+EP_SRV=$!
+E1=; E2=; EP2_SRV=
+trap 'kill -9 $SRV $OBS_SRV $SHARD_SRV $POOL_SRV $RP_SRV $F1 $F2 $F3 $RP2_SRV $EP_SRV $E1 $E2 $EP2_SRV 2>/dev/null || true; rm -rf "$WORK"' EXIT
+i=0
+while [ ! -S "$WORK/erepl.sock" ]; do
+  i=$((i + 1)); [ $i -gt 100 ] && { echo "election primary never came up"; exit 1; }
+  sleep 0.1
+done
+$FV follow --primary "unix:$WORK/erepl.sock" --listen "unix:$WORK/e1.sock" \
+  --electable "unix:$WORK/e1r.sock" --peer "unix:$WORK/e2r.sock" --priority 2 \
+  -n 2000 --dir "$WORK/e1" > "$WORK/e1.log" 2>&1 &
+E1=$!
+$FV follow --primary "unix:$WORK/erepl.sock" --listen "unix:$WORK/e2.sock" \
+  --electable "unix:$WORK/e2r.sock" --peer "unix:$WORK/e1r.sock" --priority 1 \
+  -n 2000 --dir "$WORK/e2" > "$WORK/e2.log" 2>&1 &
+E2=$!
+for s in e1 e2; do
+  i=0
+  while [ ! -S "$WORK/$s.sock" ]; do
+    i=$((i + 1)); [ $i -gt 100 ] && { echo "candidate $s never came up"; exit 1; }
+    sleep 0.1
+  done
+done
+# seal verified epochs on the primary so the candidates hold certified
+# state to elect over
+$FV client-bench --connect "unix:$WORK/ep.sock" --ops 3000 --clients 2 -n 2000
+# verified reads against both candidates before the failover
+$FV client-bench --connect "unix:$WORK/e1.sock" --ops 500 --clients 1 \
+  -n 2000 --put-ratio 0
+$FV client-bench --connect "unix:$WORK/e2.sock" --ops 500 --clients 1 \
+  -n 2000 --put-ratio 0
+$FV stats --connect "unix:$WORK/e1.sock" --check
+$FV stats --connect "unix:$WORK/e2.sock" --check
+# kill -9 the primary: the higher-priority candidate must win the election
+# and promote in place; the loser re-homes onto the winner
+kill -9 $EP_SRV
+i=0
+until grep -q "elected: promoted to primary" "$WORK/e1.log"; do
+  i=$((i + 1)); [ $i -gt 200 ] && { echo "no candidate promoted after primary kill -9"; cat "$WORK/e1.log" "$WORK/e2.log"; exit 1; }
+  sleep 0.1
+done
+i=0
+until grep -q "re-homing to" "$WORK/e2.log"; do
+  i=$((i + 1)); [ $i -gt 200 ] && { echo "losing candidate never re-homed onto the winner"; cat "$WORK/e2.log"; exit 1; }
+  sleep 0.1
+done
+# writes now land on the promoted node through the ordinary verified
+# client path (fresh client-id range), and replicate to the loser
+$FV client-bench --connect "unix:$WORK/e1.sock" --ops 2000 --clients 2 \
+  -n 2000 --first-client 30
+$FV client-bench --connect "unix:$WORK/e2.sock" --ops 1000 --clients 1 \
+  -n 2000 --put-ratio 0
+$FV stats --connect "unix:$WORK/e1.sock" --check
+$FV stats --connect "unix:$WORK/e2.sock" --check
+if grep -q "INTEGRITY VIOLATION" "$WORK/e2.log"; then
+  echo "loser halted on the promoted stream"; cat "$WORK/e2.log"; exit 1
+fi
+echo "  failover complete: writes verify against the promoted candidate"
+# the promoted node must commit a checkpoint so the fenced ex-primary can
+# re-bootstrap through the checkpoint-fetch path
+i=0
+until ls "$WORK"/e1/ckpt-*/MANIFEST >/dev/null 2>&1; do
+  i=$((i + 1)); [ $i -gt 100 ] && { echo "promoted candidate committed no checkpoint"; exit 1; }
+  sleep 0.1
+done
+# restart the deposed primary with the candidates as probe peers: it must
+# discover the higher fencing term and demote itself to a follower
+$FV serve --listen "unix:$WORK/ep2.sock" --replication-listen "unix:$WORK/erepl.sock" \
+  --repl-peer "unix:$WORK/e1r.sock" --repl-peer "unix:$WORK/e2r.sock" \
+  -n 2000 --batch 400 --enclave zero --checkpoint-dir "$WORK/eckpt" > "$WORK/ep2.log" 2>&1 &
+EP2_SRV=$!
+i=0
+until grep -q "demoted: serving verified reads" "$WORK/ep2.log"; do
+  i=$((i + 1)); [ $i -gt 200 ] && { echo "rejoining ex-primary never demoted"; cat "$WORK/ep2.log"; exit 1; }
+  sleep 0.1
+done
+i=0
+while [ ! -S "$WORK/ep2.sock" ]; do
+  i=$((i + 1)); [ $i -gt 100 ] && { echo "demoted follower never came up"; exit 1; }
+  sleep 0.1
+done
+# the demoted node serves verified reads of the post-failover history
+$FV client-bench --connect "unix:$WORK/ep2.sock" --ops 1000 --clients 1 \
+  -n 2000 --put-ratio 0
+$FV stats --connect "unix:$WORK/ep2.sock" --check
+echo "  deposed primary rejoined as a follower, every node reconciles"
+kill -9 $E1 $E2 $EP2_SRV 2>/dev/null || true
+
 echo "== adaptive hierarchy under live traffic (serve --adaptive)"
 # small --batch so epoch seals (and controller rounds) fire mid-traffic
 $FV serve --listen "unix:$WORK/ad.sock" -n 2000 --batch 400 --enclave zero \
   --adaptive &
 AD_SRV=$!
-trap 'kill -9 $SRV $OBS_SRV $SHARD_SRV $POOL_SRV $RP_SRV $F1 $F2 $F3 $RP2_SRV $AD_SRV 2>/dev/null || true; rm -rf "$WORK"' EXIT
+trap 'kill -9 $SRV $OBS_SRV $SHARD_SRV $POOL_SRV $RP_SRV $F1 $F2 $F3 $RP2_SRV $EP_SRV $E1 $E2 $EP2_SRV $AD_SRV 2>/dev/null || true; rm -rf "$WORK"' EXIT
 i=0
 while [ ! -S "$WORK/ad.sock" ]; do
   i=$((i + 1)); [ $i -gt 100 ] && { echo "adaptive server never came up"; exit 1; }

@@ -105,18 +105,34 @@ let test_stream_digest () =
     Replica.Stream.(fold empty_digest ~epoch:0 ~key:(k 9) ~value:(Some ""))
   in
   Alcotest.(check bool) "delete <> empty put" false (String.equal del emp);
-  let mac = Replica.Stream.boundary_mac ~mac_secret:secret ~epoch:3 ~digest:d1 in
+  let mac =
+    Replica.Stream.boundary_mac ~mac_secret:secret ~epoch:3 ~digest:d1 ()
+  in
   Alcotest.(check bool) "boundary mac checks" true
     (Replica.Stream.check_boundary_mac ~mac_secret:secret ~epoch:3 ~digest:d1
-       ~tag:mac);
+       ~tag:mac ());
   Alcotest.(check bool) "wrong epoch rejected" false
     (Replica.Stream.check_boundary_mac ~mac_secret:secret ~epoch:4 ~digest:d1
-       ~tag:mac);
+       ~tag:mac ());
   let flipped = Bytes.of_string mac in
   Bytes.set flipped 0 (Char.chr (Char.code (Bytes.get flipped 0) lxor 1));
   Alcotest.(check bool) "flipped mac rejected" false
     (Replica.Stream.check_boundary_mac ~mac_secret:secret ~epoch:3 ~digest:d1
-       ~tag:(Bytes.to_string flipped))
+       ~tag:(Bytes.to_string flipped) ());
+  (* the fencing term is covered by the MAC — a relay cannot re-stamp a
+     boundary record under a different term — and term 0 is byte-identical
+     to the pre-election message, so v1 streams still authenticate *)
+  let mac_t2 =
+    Replica.Stream.boundary_mac ~mac_secret:secret ~term:2 ~epoch:3 ~digest:d1 ()
+  in
+  Alcotest.(check bool) "term folded into the mac" false
+    (String.equal mac mac_t2);
+  Alcotest.(check bool) "term mac checks under its term" true
+    (Replica.Stream.check_boundary_mac ~mac_secret:secret ~term:2 ~epoch:3
+       ~digest:d1 ~tag:mac_t2 ());
+  Alcotest.(check bool) "re-stamped term rejected" false
+    (Replica.Stream.check_boundary_mac ~mac_secret:secret ~term:1 ~epoch:3
+       ~digest:d1 ~tag:mac_t2 ())
 
 (* ------------------------------------------------------------------ *)
 (* Certificate chain                                                   *)
@@ -180,16 +196,40 @@ let test_wire_repl_opcodes () =
       | Ok _ -> Alcotest.fail "decoded to a different value"
       | Error e -> Alcotest.fail e)
     [
-      Net.Wire.Subscribed { from_epoch = 12; run_id = 0x1234_5678L };
+      Net.Wire.Subscribed { from_epoch = 12; run_id = 0x1234_5678L; term = 4 };
       Net.Wire.Checkpoint_reply
-        { generation = 3; files = [| ("MANIFEST", "x"); ("a.bin", "\x00\xff") |] };
+        { generation = 3; files = [| ("MANIFEST", "x"); ("a.bin", "\x00\xff") |];
+          term = 1 };
       Net.Wire.Repl_op { epoch = 5; key; value = Some "hello" };
       Net.Wire.Repl_op { epoch = 5; key; value = None };
       Net.Wire.Repl_batch
         { epoch = 5; ops = [| (key, Some "a"); (key, None); (key, Some "") |] };
       Net.Wire.Repl_batch { epoch = 0; ops = [||] };
       Net.Wire.Repl_epoch
-        { epoch = 9; cert = cert_for 9; stream_mac = String.make 32 'm' };
+        { epoch = 9; cert = cert_for 9; stream_mac = String.make 32 'm';
+          term = 2 };
+      Net.Wire.Term_info
+        { term = 7; sealed = 12; priority = 3; run_id = 0xdeadL;
+          primary = true };
+    ];
+  (* the election request opcodes round-trip too (including sealed = -1,
+     "nothing verified yet") *)
+  List.iter
+    (fun req ->
+      let frame = Net.Wire.encode_request ~id:7L req in
+      let r = Net.Frame.create () in
+      Net.Frame.feed_string r frame;
+      match Net.Frame.next r with
+      | Ok (Some p) -> (
+          match Net.Wire.decode_request p with
+          | Ok (7L, got) when got = req -> ()
+          | Ok _ -> Alcotest.fail "request decoded to a different value"
+          | Error e -> Alcotest.fail e)
+      | _ -> Alcotest.fail "request frame did not round-trip")
+    [
+      Net.Wire.Announce_term
+        { term = 7; sealed = -1; priority = 3; run_id = 0xdeadL };
+      Net.Wire.Promote { term = 7; addr = "unix:/tmp/x.sock" };
     ];
   (* the encoder refuses a key that is not the raw 32-byte path *)
   (match
@@ -212,6 +252,7 @@ let test_wire_repl_opcodes () =
   Buffer.add_char b '\x8a' (* Checkpoint_reply *);
   Buffer.add_string b (String.make 8 '\x00') (* id *);
   Buffer.add_string b "\x00\x00\x00\x00" (* generation *);
+  Buffer.add_string b "\x00\x00\x00\x00" (* term *);
   Buffer.add_string b "\xff\xff\xff\x7f" (* file count *);
   let t0 = Unix.gettimeofday () in
   (match Net.Wire.decode_response (Buffer.contents b) with
@@ -824,6 +865,522 @@ let test_client_staleness_budget () =
   try Sys.remove path with Sys_error _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Handshake bounding                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A stalled fake primary: accepts connections, reads and discards, never
+   answers. The pathological peer a recv deadline exists for. *)
+let start_stalled_listener path =
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 8;
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let conns = ref [] in
+        let buf = Bytes.create 4096 in
+        (try
+           while not (Atomic.get stop) do
+             let rs, _, _ = Unix.select (lfd :: !conns) [] [] 0.1 in
+             List.iter
+               (fun fd ->
+                 if fd == lfd then begin
+                   let c, _ = Unix.accept lfd in
+                   conns := c :: !conns
+                 end
+                 else
+                   let n =
+                     try Unix.read fd buf 0 4096 with Unix.Unix_error _ -> 0
+                   in
+                   if n = 0 then begin
+                     conns := List.filter (fun c -> not (c == fd)) !conns;
+                     try Unix.close fd with Unix.Unix_error _ -> ()
+                   end)
+               rs
+           done
+         with Unix.Unix_error _ -> ());
+        List.iter
+          (fun c -> try Unix.close c with Unix.Unix_error _ -> ())
+          !conns;
+        try Unix.close lfd with Unix.Unix_error _ -> ())
+  in
+  (stop, d)
+
+let test_handshake_timeout () =
+  (* bootstrap: create against a stalled primary must return an error in
+     bounded time, never hang in recv *)
+  let path = fresh_sock () in
+  let stop, d = start_stalled_listener path in
+  let fdir = fresh_dir () in
+  let t0 = Unix.gettimeofday () in
+  (match
+     Replica.Follower.create ~config:test_config ~handshake_timeout:0.3
+       ~load:(fun _ -> ())
+       ~primary:(Net.Addr.Unix_sock path) ~dir:fdir ()
+   with
+  | Ok _ -> Alcotest.fail "subscribe against a stalled primary succeeded"
+  | Error e ->
+      Alcotest.(check bool) "error names the timeout" true
+        (find_sub e "timed out"));
+  Alcotest.(check bool) "create returned within bounds" true
+    (Unix.gettimeofday () -. t0 < 5.0);
+  Atomic.set stop true;
+  Domain.join d;
+  (try Sys.remove path with Sys_error _ -> ());
+  remove_tree fdir
+
+let test_handshake_timeout_reconnect () =
+  (* a running follower whose reconnect lands on a stalled listener must
+     fall back to its reconnect loop — and resume once a real primary is
+     back on the address *)
+  let t, p, addr = mk_primary () in
+  Fastver.put t 21L "before";
+  ignore (Fastver.verify t);
+  let fdir = fresh_dir () in
+  let f =
+    match
+      Replica.Follower.create ~config:test_config ~reconnect_delay:0.05
+        ~handshake_timeout:0.3
+        ~load:(fun sys -> Fastver.load sys (records 256))
+        ~primary:addr ~dir:fdir ()
+    with
+    | Error e -> Alcotest.fail e
+    | Ok f ->
+        Replica.Follower.start f;
+        f
+  in
+  wait_for "caught up" (caught_up t f);
+  Replica.Primary.stop p;
+  let path = match addr with Net.Addr.Unix_sock p -> p | _ -> assert false in
+  (try Sys.remove path with Sys_error _ -> ());
+  let stop, d = start_stalled_listener path in
+  (* reconnects now reach a listener that never completes the handshake:
+     the follower must keep cycling, not park in recv forever *)
+  Unix.sleepf 1.5;
+  Alcotest.(check bool) "still disconnected, not hung or halted" true
+    (Replica.Follower.state f = Replica.Follower.Disconnected
+    && Replica.Follower.failure f = None);
+  Atomic.set stop true;
+  Domain.join d;
+  (try Sys.remove path with Sys_error _ -> ());
+  (match Replica.Primary.create t ~listen:addr with
+  | Error e -> Alcotest.fail e
+  | Ok p2 ->
+      Replica.Primary.start p2;
+      Fastver.put t 21L "after";
+      ignore (Fastver.verify t);
+      wait_for "resumed after the stall" (caught_up t f);
+      Alcotest.(check (option string)) "post-stall write replicated"
+        (Some "after")
+        (Fastver.get (Replica.Follower.system f) 21L);
+      Replica.Primary.stop p2);
+  Replica.Follower.stop f;
+  remove_tree fdir
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown vs in-flight checkpoint fetch                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Race [Primary.stop] against an in-flight [Fetch_checkpoint], at several
+   offsets. The frame layer makes the reply all-or-nothing; the shutdown
+   drain must make "nothing" a clean EOF or error frame — never a torn
+   frame, never a hang. *)
+let test_shutdown_fetch_race () =
+  let ckpt = fresh_dir () in
+  let t = mk_system ~n:64 () in
+  Fastver.set_auto_checkpoint t ~dir:ckpt;
+  for i = 0 to 4 do
+    Fastver.put t (Int64.of_int i) "x";
+    ignore (Fastver.verify t)
+  done;
+  List.iter
+    (fun delay ->
+      let path = fresh_sock () in
+      let pcfg =
+        { Replica.Primary.default_config with checkpoint_dir = Some ckpt }
+      in
+      match Replica.Primary.create ~config:pcfg t ~listen:(Net.Addr.Unix_sock path) with
+      | Error e -> Alcotest.fail e
+      | Ok p -> (
+          Replica.Primary.start p;
+          match Net.Client.connect (Net.Addr.Unix_sock path) with
+          | Error e -> Alcotest.fail e
+          | Ok conn ->
+              let id = Net.Client.send conn Net.Wire.Fetch_checkpoint in
+              let stopper =
+                Domain.spawn (fun () ->
+                    Unix.sleepf delay;
+                    Replica.Primary.stop p)
+              in
+              (match Net.Client.recv ~timeout:10.0 conn with
+              | id', Net.Wire.Checkpoint_reply { files; _ }
+                when Int64.equal id id' ->
+                  (* a complete frame: the whole generation arrived *)
+                  Alcotest.(check bool) "generation includes its manifest"
+                    true
+                    (Array.exists (fun (n, _) -> n = "MANIFEST") files)
+              | _, Net.Wire.Error _ -> ()
+              | _ -> Alcotest.fail "unexpected reply to checkpoint fetch"
+              | exception Net.Client.Protocol_error _ -> () (* clean EOF *)
+              | exception Net.Client.Timeout ->
+                  Alcotest.fail "checkpoint fetch hung across shutdown"
+              | exception Unix.Unix_error _ -> ());
+              Domain.join stopper;
+              Net.Client.close conn))
+    [ 0.0; 0.002; 0.01; 0.05 ];
+  (* mid-fetch loss, then a successful retry against a fresh primary *)
+  let path = fresh_sock () in
+  let pcfg =
+    { Replica.Primary.default_config with checkpoint_dir = Some ckpt }
+  in
+  (match Replica.Primary.create ~config:pcfg t ~listen:(Net.Addr.Unix_sock path) with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      Replica.Primary.start p;
+      let fdir = fresh_dir () in
+      (match
+         Replica.Follower.create ~config:test_config
+           ~load:(fun _ -> Alcotest.fail "fresh-load path taken")
+           ~primary:(Net.Addr.Unix_sock path) ~dir:fdir ()
+       with
+      | Error e -> Alcotest.fail e
+      | Ok f ->
+          Alcotest.(check bool) "bootstrap after the raced fetches" true
+            (Replica.Follower.verified_epoch f >= 0);
+          Replica.Follower.stop f);
+      remove_tree fdir;
+      Replica.Primary.stop p);
+  remove_tree ckpt
+
+(* ------------------------------------------------------------------ *)
+(* Primary loss at every protocol stage                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Lose the primary mid-epoch (streamed ops, no boundary) and right at a
+   boundary seal: the follower must come back clean each time and resume
+   against the restarted primary from its verified epoch. *)
+let test_primary_loss_stage_sweep () =
+  let t, p, addr = mk_primary () in
+  let f, fdir = mk_follower addr in
+  wait_for "caught up" (caught_up t f);
+  (* stage 1: mid-epoch — an op is in the stream, its boundary never is *)
+  Fastver.put t 80L "unsealed";
+  Unix.sleepf 0.1;
+  Replica.Primary.stop p;
+  wait_for "mid-epoch loss noticed" (fun () ->
+      Replica.Follower.state f = Replica.Follower.Disconnected);
+  Alcotest.(check bool) "mid-epoch loss is not an integrity failure" true
+    (Replica.Follower.failure f = None);
+  Alcotest.(check (option string)) "unsealed op never applied"
+    (Some (initial_value 80L))
+    (Fastver.get (Replica.Follower.system f) 80L);
+  (* the primary restarts with the op still unsealed; seal and catch up *)
+  (match Replica.Primary.create t ~listen:addr with
+  | Error e -> Alcotest.fail e
+  | Ok p2 ->
+      Fastver.put t 80L "sealed";
+      ignore (Fastver.verify t);
+      Replica.Primary.start p2;
+      wait_for "resumed after mid-epoch loss" (caught_up t f);
+      Alcotest.(check (option string)) "sealed value replicated"
+        (Some "sealed")
+        (Fastver.get (Replica.Follower.system f) 80L);
+      (* stage 2: loss at the boundary — seal and stop with no settling
+         time, so the boundary record races the teardown *)
+      Fastver.put t 81L "boundary";
+      ignore (Fastver.verify t);
+      Replica.Primary.stop p2);
+  wait_for "boundary-race loss noticed" (fun () ->
+      Replica.Follower.state f = Replica.Follower.Disconnected);
+  Alcotest.(check bool) "boundary race is not an integrity failure" true
+    (Replica.Follower.failure f = None);
+  (* whether or not the boundary made it, the restart must converge *)
+  (match Replica.Primary.create t ~listen:addr with
+  | Error e -> Alcotest.fail e
+  | Ok p3 ->
+      Replica.Primary.start p3;
+      Fastver.put t 82L "converged";
+      ignore (Fastver.verify t);
+      wait_for "resumed after boundary race" (caught_up t f);
+      Alcotest.(check (option string)) "boundary epoch applied exactly once"
+        (Some "boundary")
+        (Fastver.get (Replica.Follower.system f) 81L);
+      Alcotest.(check (option string)) "post-race epoch applied"
+        (Some "converged")
+        (Fastver.get (Replica.Follower.system f) 82L);
+      Replica.Primary.stop p3);
+  Replica.Follower.stop f;
+  remove_tree fdir
+
+(* ------------------------------------------------------------------ *)
+(* Election & failover                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mk_electable ?(n = 256) ~priority ~peers ~repl ~lsock primary =
+  let dir = fresh_dir () in
+  let e =
+    Replica.Follower.electable ~peers ~priority ~election_timeout:0.3
+      ~probe_timeout:0.5 ~probe_interval:0.15 ~promote_batch:1 repl
+  in
+  match
+    Replica.Follower.create ~config:test_config ~reconnect_delay:0.05
+      ~handshake_timeout:2.0 ~election:e
+      ~load:(fun sys -> Fastver.load sys (records n))
+      ~primary ~listen:(Net.Addr.Unix_sock lsock) ~dir ()
+  with
+  | Error err -> Alcotest.fail err
+  | Ok f ->
+      Replica.Follower.start f;
+      (f, dir)
+
+(* Kill the primary under two electable followers: the higher-priority one
+   must promote in place and serve *verified writes*; the loser must
+   re-subscribe to it with its certificate chain unbroken across the term
+   change. *)
+let test_election_failover () =
+  let t, p, addr = mk_primary () in
+  Fastver.put t 50L "pre-failover";
+  ignore (Fastver.verify t);
+  let r1 = fresh_sock () and r2 = fresh_sock () in
+  let l1 = fresh_sock () and l2 = fresh_sock () in
+  let f1, d1 =
+    mk_electable ~priority:2
+      ~peers:[ Net.Addr.Unix_sock r2 ]
+      ~repl:(Net.Addr.Unix_sock r1) ~lsock:l1 addr
+  in
+  let f2, d2 =
+    mk_electable ~priority:1
+      ~peers:[ Net.Addr.Unix_sock r1 ]
+      ~repl:(Net.Addr.Unix_sock r2) ~lsock:l2 addr
+  in
+  wait_for "both caught up" (fun () -> caught_up t f1 () && caught_up t f2 ());
+  let chain_checks_before =
+    Replica.Follower.verified_epoch f2
+  in
+  Replica.Primary.stop p;
+  wait_for "priority winner promotes" (fun () ->
+      Replica.Follower.state f1 = Replica.Follower.Leading);
+  Alcotest.(check bool) "fencing term advanced" true
+    (Replica.Follower.term f1 >= 1);
+  wait_for "loser re-homes to the winner" (fun () ->
+      Replica.Follower.state f2 = Replica.Follower.Streaming
+      && Replica.Follower.run_id f2
+         = Some
+             (Replica.Primary.run_id
+                (Option.get (Replica.Follower.standby f1))));
+  (* verified writes against the promoted node, via the ordinary client
+     path: receipt MACs and a fresh epoch certificate, post-election *)
+  (match Net.Client.connect (Net.Addr.Unix_sock l1) with
+  | Error e -> Alcotest.fail e
+  | Ok conn ->
+      let s = Net.Client.open_session conn ~client:1 ~secret in
+      Net.Client.put s 60L "failover-write";
+      let epoch, _cert = Net.Client.verify_now s in
+      Alcotest.(check bool) "cert chain alive across the term change" true
+        (epoch > chain_checks_before);
+      Alcotest.(check (option string)) "verified read-back"
+        (Some "failover-write") (Net.Client.get s 60L);
+      Net.Client.close conn);
+  wait_for "write replicated to the loser" (fun () ->
+      Fastver.get (Replica.Follower.system f2) 60L = Some "failover-write");
+  Alcotest.(check bool) "loser chain unbroken" true
+    (Replica.Follower.failure f2 = None);
+  Alcotest.(check bool) "loser verified past its pre-failover chain" true
+    (Replica.Follower.verified_epoch f2 > chain_checks_before);
+  Alcotest.(check bool) "loser adopted the new term" true
+    (Replica.Follower.term f2 >= 1);
+  let m1 =
+    Fastver_obs.Registry.to_json (Fastver.registry (Replica.Follower.system f1))
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " present") true (find_sub m1 name))
+    [
+      "fastver_repl_elections_total";
+      "fastver_repl_promotion_seconds";
+      "fastver_repl_term";
+    ];
+  Replica.Follower.stop f2;
+  Replica.Follower.stop f1;
+  remove_tree d1;
+  remove_tree d2
+
+(* Primary-side fencing at subscribe time, all three refusal classes. *)
+let test_subscribe_fencing () =
+  let t = mk_system ~n:16 () in
+  let path = fresh_sock () in
+  (match Replica.Primary.create t ~listen:(Net.Addr.Unix_sock path) with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      Replica.Primary.start p;
+      (match Net.Client.connect (Net.Addr.Unix_sock path) with
+      | Error e -> Alcotest.fail e
+      | Ok conn ->
+          (* a subscriber speaking a higher term proves this primary was
+             deposed: refusal plus recorded evidence *)
+          let id =
+            Net.Client.send conn (Net.Wire.Subscribe { from_epoch = 0; term = 5 })
+          in
+          (match Net.Client.recv ~timeout:5.0 conn with
+          | id', Net.Wire.Error e when Int64.equal id id' ->
+              Alcotest.(check bool) "refusal names deposition" true
+                (find_sub e "deposed")
+          | _ -> Alcotest.fail "higher-term subscriber was not refused");
+          Net.Client.close conn);
+      (match Replica.Primary.deposed p with
+      | Some (5, _) -> ()
+      | _ -> Alcotest.fail "deposition evidence not recorded");
+      Replica.Primary.stop p);
+  (* a standby candidate refuses subscribers outright *)
+  let path2 = fresh_sock () in
+  (match
+     Replica.Primary.create ~role:Replica.Primary.Standby t
+       ~listen:(Net.Addr.Unix_sock path2)
+   with
+  | Error e -> Alcotest.fail e
+  | Ok sb ->
+      Replica.Primary.start sb;
+      (match Net.Client.connect (Net.Addr.Unix_sock path2) with
+      | Error e -> Alcotest.fail e
+      | Ok conn ->
+          let id =
+            Net.Client.send conn (Net.Wire.Subscribe { from_epoch = 0; term = 0 })
+          in
+          (match Net.Client.recv ~timeout:5.0 conn with
+          | id', Net.Wire.Error e when Int64.equal id id' ->
+              Alcotest.(check bool) "standby refusal is retryable" true
+                (find_sub e "not primary")
+          | _ -> Alcotest.fail "standby accepted a subscriber");
+          Net.Client.close conn);
+      (* after promotion, a stale-term subscriber claiming re-sealed epochs
+         is fenced onto the checkpoint path *)
+      Replica.Primary.promote sb ~term:3;
+      (match Net.Client.connect (Net.Addr.Unix_sock path2) with
+      | Error e -> Alcotest.fail e
+      | Ok conn ->
+          let from_epoch = Fastver.verified_epoch t + 2 in
+          let id =
+            Net.Client.send conn (Net.Wire.Subscribe { from_epoch; term = 0 })
+          in
+          (match Net.Client.recv ~timeout:5.0 conn with
+          | id', Net.Wire.Error e when Int64.equal id id' ->
+              Alcotest.(check bool) "stale term fenced to checkpoint" true
+                (find_sub e "checkpoint")
+          | _ -> Alcotest.fail "stale-term subscriber was not fenced");
+          Net.Client.close conn);
+      Replica.Primary.stop sb)
+
+(* A bidirectional splice forwarder: healing a simulated partition means
+   binding these at the peer addresses the candidates were configured
+   with. Handles any number of sequential connections (election probes are
+   one connection each). *)
+let start_forwarder ~listen_path ~target =
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX listen_path);
+  Unix.listen lfd 8;
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let buf = Bytes.create 4096 in
+        let conns = ref [] in
+        let close_pair (a, b) =
+          (try Unix.close a with Unix.Unix_error _ -> ());
+          try Unix.close b with Unix.Unix_error _ -> ()
+        in
+        (try
+           while not (Atomic.get stop) do
+             let fds =
+               lfd :: List.concat_map (fun (a, b) -> [ a; b ]) !conns
+             in
+             let rs, _, _ = Unix.select fds [] [] 0.1 in
+             List.iter
+               (fun fd ->
+                 if fd == lfd then begin
+                   let cfd, _ = Unix.accept lfd in
+                   match Net.Addr.to_sockaddr target with
+                   | Ok a -> (
+                       let sfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+                       try
+                         Unix.connect sfd a;
+                         conns := (cfd, sfd) :: !conns
+                       with Unix.Unix_error _ ->
+                         Unix.close cfd;
+                         Unix.close sfd)
+                   | Error _ -> Unix.close cfd
+                 end
+                 else
+                   match
+                     List.find_opt (fun (a, b) -> fd == a || fd == b) !conns
+                   with
+                   | None -> ()
+                   | Some ((a, b) as pair) ->
+                       let dst = if fd == a then b else a in
+                       let n =
+                         try Unix.read fd buf 0 4096
+                         with Unix.Unix_error _ -> 0
+                       in
+                       if n = 0 then begin
+                         conns := List.filter (fun p -> p != pair) !conns;
+                         close_pair pair
+                       end
+                       else Net.Sockio.send_all dst (Bytes.sub_string buf 0 n))
+               rs
+           done
+         with Unix.Unix_error _ -> ());
+        List.iter close_pair !conns;
+        try Unix.close lfd with Unix.Unix_error _ -> ())
+  in
+  (stop, d)
+
+(* Partition two electable followers (peer addresses unbound), kill the
+   primary: both promote at the same term. Heal the partition: the rival
+   probes find each other and exactly one primary survives — the other
+   demotes in place and re-subscribes, chain intact. *)
+let test_dual_promotion_heals () =
+  let t, p, addr = mk_primary () in
+  let ra = fresh_sock () and rb = fresh_sock () in
+  let pa = fresh_sock () and pb = fresh_sock () in
+  let la = fresh_sock () and lb = fresh_sock () in
+  let fa, da =
+    mk_electable ~priority:2
+      ~peers:[ Net.Addr.Unix_sock pb ]
+      ~repl:(Net.Addr.Unix_sock ra) ~lsock:la addr
+  in
+  let fb, db =
+    mk_electable ~priority:1
+      ~peers:[ Net.Addr.Unix_sock pa ]
+      ~repl:(Net.Addr.Unix_sock rb) ~lsock:lb addr
+  in
+  wait_for "both caught up" (fun () -> caught_up t fa () && caught_up t fb ());
+  Replica.Primary.stop p;
+  wait_for "both promote during the partition" (fun () ->
+      Replica.Follower.state fa = Replica.Follower.Leading
+      && Replica.Follower.state fb = Replica.Follower.Leading);
+  (* heal: bind the peer addresses with splices to the real listeners *)
+  let stop_a, dfa = start_forwarder ~listen_path:pa ~target:(Net.Addr.Unix_sock ra) in
+  let stop_b, dfb = start_forwarder ~listen_path:pb ~target:(Net.Addr.Unix_sock rb) in
+  wait_for "exactly one primary survives the heal" (fun () ->
+      Replica.Follower.state fa = Replica.Follower.Leading
+      && Replica.Follower.state fb = Replica.Follower.Streaming);
+  Alcotest.(check bool) "loser demoted with chain intact" true
+    (Replica.Follower.failure fb = None);
+  (* the surviving primary serves writes; the demoted rival replicates them *)
+  Fastver.put (Replica.Follower.system fa) 70L "post-heal";
+  wait_for "post-heal write reaches the demoted rival" (fun () ->
+      Fastver.get (Replica.Follower.system fb) 70L = Some "post-heal");
+  Replica.Follower.stop fb;
+  Replica.Follower.stop fa;
+  Atomic.set stop_a true;
+  Atomic.set stop_b true;
+  Domain.join dfa;
+  Domain.join dfb;
+  remove_tree da;
+  remove_tree db;
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ pa; pb ]
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   ( "replica",
@@ -855,4 +1412,16 @@ let suite =
         test_client_stale_epoch;
       Alcotest.test_case "client staleness budget" `Quick
         test_client_staleness_budget;
+      Alcotest.test_case "handshake timeout bounds create" `Quick
+        test_handshake_timeout;
+      Alcotest.test_case "handshake timeout falls back to reconnect" `Quick
+        test_handshake_timeout_reconnect;
+      Alcotest.test_case "shutdown vs checkpoint fetch race" `Quick
+        test_shutdown_fetch_race;
+      Alcotest.test_case "primary loss stage sweep" `Quick
+        test_primary_loss_stage_sweep;
+      Alcotest.test_case "election failover" `Quick test_election_failover;
+      Alcotest.test_case "subscribe fencing" `Quick test_subscribe_fencing;
+      Alcotest.test_case "dual promotion heals" `Quick
+        test_dual_promotion_heals;
     ] )

@@ -33,8 +33,19 @@ let gen_request =
         return Wire.Verify;
         return Wire.Stats;
         map (fun format -> Wire.Metrics { format }) gen_metrics_format;
-        map (fun from_epoch -> Wire.Subscribe { from_epoch }) (0 -- 1_000_000);
+        map2
+          (fun from_epoch term -> Wire.Subscribe { from_epoch; term })
+          (0 -- 1_000_000) (0 -- 1_000_000);
         return Wire.Fetch_checkpoint;
+        map
+          (fun (term, sealed, priority, run_id) ->
+            Wire.Announce_term { term; sealed; priority; run_id })
+          (quad (0 -- 1_000_000)
+             (map (fun s -> s - 1) (0 -- 1_000_000))
+             (0 -- 1000) gen_i64);
+        map2
+          (fun term addr -> Wire.Promote { term; addr })
+          (0 -- 1_000_000) (string_size (0 -- 48));
       ])
 
 let gen_item =
@@ -78,15 +89,18 @@ let gen_response =
           gen_metrics_format
           (string_size (0 -- 400));
         map (fun e -> Wire.Error e) (string_size (0 -- 80));
-        map2
-          (fun from_epoch run_id -> Wire.Subscribed { from_epoch; run_id })
-          (0 -- 1_000_000) gen_i64;
-        map2
-          (fun generation files ->
-            Wire.Checkpoint_reply { generation; files = Array.of_list files })
+        map3
+          (fun from_epoch run_id term ->
+            Wire.Subscribed { from_epoch; run_id; term })
+          (0 -- 1_000_000) gen_i64 (0 -- 1_000_000);
+        map3
+          (fun generation files term ->
+            Wire.Checkpoint_reply
+              { generation; files = Array.of_list files; term })
           (0 -- 1_000_000)
           (list_size (0 -- 6)
-             (pair (string_size (0 -- 24)) (string_size (0 -- 120))));
+             (pair (string_size (0 -- 24)) (string_size (0 -- 120))))
+          (0 -- 1_000_000);
         map3
           (* the encoder requires the raw 32-byte data-key path *)
           (fun epoch key value -> Wire.Repl_op { epoch; key; value })
@@ -96,10 +110,18 @@ let gen_response =
             Wire.Repl_batch { epoch; ops = Array.of_list ops })
           (0 -- 1_000_000)
           (list_size (0 -- 20) (pair (string_size (32 -- 32)) gen_value));
-        map3
-          (fun epoch cert stream_mac ->
-            Wire.Repl_epoch { epoch; cert; stream_mac })
-          (0 -- 1_000_000) gen_mac gen_mac;
+        map
+          (fun ((epoch, cert, stream_mac), term) ->
+            Wire.Repl_epoch { epoch; cert; stream_mac; term })
+          (pair (triple (0 -- 1_000_000) gen_mac gen_mac) (0 -- 1_000_000));
+        map
+          (fun ((term, sealed, priority), (run_id, primary)) ->
+            Wire.Term_info { term; sealed; priority; run_id; primary })
+          (pair
+             (triple (0 -- 1_000_000)
+                (map (fun s -> s - 1) (0 -- 1_000_000))
+                (0 -- 1000))
+             (pair gen_i64 bool));
       ])
 
 let arb_request =
@@ -264,6 +286,122 @@ let test_bad_metrics_format () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown metrics format byte accepted"
 
+(* ------------------------------------------------------------------ *)
+(* Version-1 compatibility                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-built v1 framings: the pre-election protocol carried no fencing
+   term in Subscribe/Subscribed/Repl_epoch. A v2 decoder must accept them
+   with [term = 0] ("before any election") — and because decoders reject
+   trailing bytes, a v1 frame that smuggles the v2 term field in must
+   error, not silently parse. *)
+
+let le32 v =
+  let b = Buffer.create 4 in
+  Buffer.add_char b (Char.chr (v land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+  Buffer.contents b
+
+let le64 v =
+  let b = Buffer.create 8 in
+  Buffer.add_int64_le b v;
+  Buffer.contents b
+
+let v1_frame ~tag ~id body =
+  Printf.sprintf "FV\x01%c%s%s" (Char.chr tag) (le64 id) body
+
+let mac16 s = Printf.sprintf "%c%c%s"
+    (Char.chr (String.length s land 0xff))
+    (Char.chr ((String.length s lsr 8) land 0xff))
+    s
+
+let prop_v1_subscribe =
+  QCheck.Test.make ~name:"v1 Subscribe decodes with term = 0" ~count:300
+    QCheck.(pair (int_bound 1_000_000) int64)
+    (fun (from_epoch, id) ->
+      Wire.decode_request (v1_frame ~tag:0x09 ~id (le32 from_epoch))
+      = Ok (id, Wire.Subscribe { from_epoch; term = 0 }))
+
+let prop_v1_subscribe_trailing_term =
+  QCheck.Test.make ~name:"v1 Subscribe with smuggled term field errors"
+    ~count:300
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (from_epoch, term) ->
+      Result.is_error
+        (Wire.decode_request
+           (v1_frame ~tag:0x09 ~id:1L (le32 from_epoch ^ le32 term))))
+
+let prop_v1_subscribed =
+  QCheck.Test.make ~name:"v1 Subscribed decodes with term = 0" ~count:300
+    QCheck.(pair (int_bound 1_000_000) int64)
+    (fun (from_epoch, run_id) ->
+      Wire.decode_response (v1_frame ~tag:0x89 ~id:2L (le32 from_epoch ^ le64 run_id))
+      = Ok (2L, Wire.Subscribed { from_epoch; run_id; term = 0 }))
+
+let prop_v1_repl_epoch =
+  QCheck.Test.make ~name:"v1 Repl_epoch decodes with term = 0" ~count:300
+    QCheck.(triple (int_bound 1_000_000)
+              (string_of_size QCheck.Gen.(0 -- 48))
+              (string_of_size QCheck.Gen.(0 -- 48)))
+    (fun (epoch, cert, stream_mac) ->
+      Wire.decode_response
+        (v1_frame ~tag:0x8c ~id:3L (le32 epoch ^ mac16 cert ^ mac16 stream_mac))
+      = Ok (3L, Wire.Repl_epoch { epoch; cert; stream_mac; term = 0 }))
+
+let prop_v1_checkpoint_reply =
+  QCheck.Test.make ~name:"v1 Checkpoint_reply decodes with term = 0"
+    ~count:300
+    QCheck.(pair (int_bound 1_000_000)
+              (small_list (pair (string_of_size QCheck.Gen.(0 -- 24))
+                             (string_of_size QCheck.Gen.(0 -- 64)))))
+    (fun (generation, files) ->
+      let body =
+        le32 generation
+        ^ le32 (List.length files)
+        ^ String.concat ""
+            (List.map (fun (n, d) -> mac16 n ^ le32 (String.length d) ^ d)
+               files)
+      in
+      Wire.decode_response (v1_frame ~tag:0x8a ~id:5L body)
+      = Ok (5L, Wire.Checkpoint_reply
+                  { generation; files = Array.of_list files; term = 0 }))
+
+(* A v2 frame in the old (term-less) framing is short, not ambiguous. *)
+let test_v2_requires_term () =
+  let frame = Printf.sprintf "FV\x02\x09%s%s" (le64 4L) (le32 17) in
+  match Wire.decode_request frame with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "v2 Subscribe without a term field accepted"
+
+(* The Term_info primary flag is a strict 0/1 byte: any other value is a
+   hostile peer, not a truthy boolean. *)
+let test_term_info_bad_flag () =
+  let payload =
+    payload_of_frame
+      (Wire.encode_response ~id:5L
+         (Wire.Term_info
+            { term = 3; sealed = 7; priority = 1; run_id = 9L; primary = false }))
+  in
+  let b = Bytes.of_string payload in
+  Bytes.set b (Bytes.length b - 1) '\x02';
+  match Wire.decode_response (Bytes.to_string b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range primary flag accepted"
+
+(* Hostile handshake/term fields: arbitrary u32 terms and i64 run-ids must
+   decode totally (no exception, no huge allocation) whether or not the
+   remaining body is well-formed. *)
+let prop_hostile_election_fields =
+  QCheck.Test.make ~name:"hostile election payloads never raise" ~count:500
+    QCheck.(pair (oneofl [ 0x09; 0x0b; 0x0c; 0x89; 0x8c; 0x8e ])
+              (string_of_size QCheck.Gen.(0 -- 64)))
+    (fun (tag, body) ->
+      decodes_without_raising (v1_frame ~tag ~id:0L body)
+      && decodes_without_raising
+           (Printf.sprintf "FV\x02%c%s%s" (Char.chr tag) (le64 0L) body))
+
 let test_version_rejected () =
   let payload = payload_of_frame (Wire.encode_request ~id:0L Wire.Verify) in
   let b = Bytes.of_string payload in
@@ -280,6 +418,15 @@ let suite =
       Alcotest.test_case "bad version rejected" `Quick test_version_rejected;
       Alcotest.test_case "bad metrics format rejected" `Quick
         test_bad_metrics_format;
+      Alcotest.test_case "v2 subscribe requires term" `Quick
+        test_v2_requires_term;
+      Alcotest.test_case "term-info flag strict" `Quick test_term_info_bad_flag;
+      QCheck_alcotest.to_alcotest prop_v1_subscribe;
+      QCheck_alcotest.to_alcotest prop_v1_subscribe_trailing_term;
+      QCheck_alcotest.to_alcotest prop_v1_subscribed;
+      QCheck_alcotest.to_alcotest prop_v1_repl_epoch;
+      QCheck_alcotest.to_alcotest prop_v1_checkpoint_reply;
+      QCheck_alcotest.to_alcotest prop_hostile_election_fields;
       QCheck_alcotest.to_alcotest prop_request_roundtrip;
       QCheck_alcotest.to_alcotest prop_response_roundtrip;
       QCheck_alcotest.to_alcotest prop_chunked_feed;
